@@ -1,0 +1,208 @@
+// Package meteorshower's root benchmark suite regenerates each table and
+// figure of the paper once per benchmark iteration (b.N is normally 1 for
+// these; each iteration is a full simulated experiment). Custom metrics
+// carry the headline number of each figure so `go test -bench` output can
+// be compared against the paper directly. Full-resolution runs live in
+// cmd/msbench; these use the quick grid.
+package meteorshower
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"meteorshower/internal/bench"
+	"meteorshower/internal/failure"
+	"meteorshower/internal/spe"
+)
+
+func quickParams() bench.Params {
+	p := bench.Params{
+		Window: 800 * time.Millisecond,
+		Warmup: 200 * time.Millisecond,
+		Nodes:  4,
+		Quick:  true,
+		Seed:   1,
+	}
+	return p
+}
+
+// BenchmarkTable1 regenerates the failure model table.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.RunTable1(int64(i + 1))
+		b.ReportMetric(rows[0].AFN100[failure.Network], "google-net-AFN100")
+		b.ReportMetric(rows[0].Burst*100, "burst-%")
+	}
+}
+
+// BenchmarkFig5 runs the TMI state-size trace and reports its envelope.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		traces, err := bench.RunFig5(quickParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(traces[0].Max)/1024, "maxKB")
+		b.ReportMetric(float64(traces[0].Min)/1024, "minKB")
+	}
+}
+
+// BenchmarkFig12 measures normalized throughput: the reported metric is
+// MS-src+ap / baseline at the quick grid's checkpoint count.
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cc, err := bench.RunCommonCase(quickParams(), io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cc.Cells {
+			if c.Scheme == "MS-src+ap" && c.Ckpts == 3 {
+				b.ReportMetric(cc.NormalizedThroughput(c), "ms-src+ap/baseline-tput")
+			}
+		}
+	}
+}
+
+// BenchmarkFig13 measures normalized latency on the same grid.
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cc, err := bench.RunCommonCase(quickParams(), io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cc.Cells {
+			if c.Scheme == "MS-src+ap" && c.Ckpts == 3 {
+				b.ReportMetric(cc.NormalizedLatency(c), "ms-src+ap/baseline-lat")
+			}
+		}
+	}
+}
+
+// BenchmarkFig14 measures checkpoint time per variant (TMI).
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFig14(quickParams(), bench.TMIApp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Variant {
+			case "MS-src":
+				b.ReportMetric(r.Total.Seconds()*1000, "ms-src-ckpt-ms")
+			case "MS-src+ap":
+				b.ReportMetric(r.Total.Seconds()*1000, "ms-src+ap-ckpt-ms")
+			}
+		}
+	}
+}
+
+// BenchmarkFig15 measures peak instantaneous latency during a checkpoint.
+func BenchmarkFig15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := bench.RunFig15(quickParams(), bench.TMIApp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			var peak time.Duration
+			for _, bk := range s.Buckets {
+				if bk.MeanLat > peak {
+					peak = bk.MeanLat
+				}
+			}
+			if s.Variant == "MS-src" {
+				b.ReportMetric(peak.Seconds()*1000, "sync-peak-ms")
+			}
+			if s.Variant == "MS-src+ap" {
+				b.ReportMetric(peak.Seconds()*1000, "async-peak-ms")
+			}
+		}
+	}
+}
+
+// BenchmarkFig16 measures worst-case recovery time.
+func BenchmarkFig16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFig16(quickParams(), bench.TMIApp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Variant == "MS-src(+ap)" {
+				b.ReportMetric(r.Total.Seconds()*1000, "ms-src-recovery-ms")
+			}
+			if r.Variant == "MS-src+ap+aa" {
+				b.ReportMetric(r.Total.Seconds()*1000, "aa-recovery-ms")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationAsync isolates sync vs async checkpoint disruption.
+func BenchmarkAblationAsync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunAblationAsync(quickParams(), bench.TMIApp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Value == "MS-src" {
+				b.ReportMetric(r.Result, "sync-peak-ms")
+			} else {
+				b.ReportMetric(r.Result, "async-peak-ms")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationAware isolates checkpoint-timing state-size savings.
+func BenchmarkAblationAware(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunAblationAware(quickParams(), bench.TMIApp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Value == "MS-src+ap" {
+				b.ReportMetric(r.Result/1024, "random-timing-stateKB")
+			}
+			if r.Value == "Oracle" {
+				b.ReportMetric(r.Result/1024, "oracle-stateKB")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationBufferSize sweeps the baseline preservation buffer.
+func BenchmarkAblationBufferSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunAblationBufferSize(quickParams(), bench.TMIApp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].Result/rows[0].Result, "200KB/10KB-tput-ratio")
+	}
+}
+
+// BenchmarkAblationGroupCommit sweeps source-log flush thresholds.
+func BenchmarkAblationGroupCommit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunAblationGroupCommit(quickParams(), bench.TMIApp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].Result/rows[0].Result, "batched/strict-tput-ratio")
+	}
+}
+
+// BenchmarkBaselineRecovery measures single-HAU baseline recovery.
+func BenchmarkBaselineRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cell, err := bench.RunCell(quickParams(), bench.TMIApp, spe.Baseline, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = cell
+	}
+}

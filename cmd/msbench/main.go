@@ -1,0 +1,172 @@
+// Command msbench regenerates the paper's tables and figures on the
+// simulated cluster.
+//
+// Usage:
+//
+//	msbench -exp all                     # everything (slow)
+//	msbench -exp fig12 -window 3s        # one experiment, bigger window
+//	msbench -exp fig14 -app SignalGuru   # one app
+//	msbench -exp table1
+//
+// Experiments: table1, fig5, fig12, fig13, fig14, fig15, fig16, ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"meteorshower/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table1|fig5|fig12|fig13|fig14|fig15|fig16|ablations|soak|all")
+		window = flag.Duration("window", 2*time.Second, "measurement window (the paper's 10-minute window, scaled)")
+		warmup = flag.Duration("warmup", 0, "warmup/profiling time (default window/4)")
+		nodes  = flag.Int("nodes", 8, "worker nodes")
+		app    = flag.String("app", "", "restrict per-app experiments to TMI|BCP|SignalGuru")
+		quick  = flag.Bool("quick", false, "reduced grids")
+		seed   = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	p := bench.Params{Window: *window, Warmup: *warmup, Nodes: *nodes, Quick: *quick, Seed: *seed}
+	apps := bench.AllApps()
+	if *app != "" {
+		apps = nil
+		for _, k := range bench.AllApps() {
+			if strings.EqualFold(k.String(), *app) {
+				apps = append(apps, k)
+			}
+		}
+		if len(apps) == 0 {
+			fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
+			os.Exit(2)
+		}
+	}
+
+	run := func(name string, fn func() error) {
+		fmt.Printf("== %s ==\n", name)
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %s)\n\n", name, time.Since(start).Truncate(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("table1") {
+		run("table1", func() error {
+			bench.FprintTable1(os.Stdout, bench.RunTable1(*seed))
+			return nil
+		})
+	}
+	if want("fig5") {
+		run("fig5", func() error {
+			traces, err := bench.RunFig5(p)
+			if err != nil {
+				return err
+			}
+			bench.FprintFig5(os.Stdout, traces)
+			return nil
+		})
+	}
+	if want("fig12") || want("fig13") {
+		run("fig12+fig13", func() error {
+			cc, err := bench.RunCommonCase(p, os.Stdout)
+			if err != nil {
+				return err
+			}
+			if want("fig12") || *exp == "all" {
+				cc.FprintFig12(os.Stdout)
+			}
+			if want("fig13") || *exp == "all" {
+				cc.FprintFig13(os.Stdout)
+			}
+			fmt.Printf("\nsource preservation gain @0 ckpts: %.2fx (paper: ~1.35x avg)\n",
+				cc.SourcePreservationGain())
+			fmt.Printf("async gain MS-src+ap/MS-src @3 ckpts: %.2fx (paper: ~1.28x avg)\n",
+				cc.AsyncGainAt(3))
+			return nil
+		})
+	}
+	if want("fig14") {
+		run("fig14", func() error {
+			for _, k := range apps {
+				rows, err := bench.RunFig14(p, k)
+				if err != nil {
+					return err
+				}
+				bench.FprintFig14(os.Stdout, k.String(), rows)
+			}
+			return nil
+		})
+	}
+	if want("fig15") {
+		run("fig15", func() error {
+			for _, k := range apps {
+				series, err := bench.RunFig15(p, k)
+				if err != nil {
+					return err
+				}
+				bench.FprintFig15(os.Stdout, series)
+			}
+			return nil
+		})
+	}
+	if want("fig16") {
+		run("fig16", func() error {
+			for _, k := range apps {
+				rows, err := bench.RunFig16(p, k)
+				if err != nil {
+					return err
+				}
+				bench.FprintFig16(os.Stdout, k.String(), rows)
+			}
+			return nil
+		})
+	}
+	if want("soak") {
+		run("soak", func() error {
+			res, err := bench.RunSoak(p, bench.TMIApp, bench.MSSoakScheme(), 3)
+			if err != nil {
+				return err
+			}
+			bench.FprintSoak(os.Stdout, res)
+			return nil
+		})
+	}
+	if want("ablations") {
+		run("ablations", func() error {
+			var all []bench.AblationRow
+			for _, job := range []struct {
+				fn   func(bench.Params, bench.AppKind) ([]bench.AblationRow, error)
+				kind bench.AppKind
+			}{
+				{bench.RunAblationBufferSize, bench.TMIApp},
+				{bench.RunAblationAsync, bench.BCPApp}, // dense sink stream
+				{bench.RunAblationAware, bench.TMIApp},
+				{bench.RunAblationGroupCommit, bench.TMIApp},
+			} {
+				rows, err := job.fn(p, job.kind)
+				if err != nil {
+					return err
+				}
+				all = append(all, rows...)
+			}
+			rows, err := bench.RunAblationDelta(p, bench.BCPApp)
+			if err != nil {
+				return err
+			}
+			all = append(all, rows...)
+			all = append(all, bench.RunAblationScatter(p, 1<<20)...)
+			bench.FprintAblations(os.Stdout, all)
+			return nil
+		})
+	}
+}

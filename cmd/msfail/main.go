@@ -1,0 +1,58 @@
+// Command msfail prints the commodity-data-center failure model (Table I)
+// and, optionally, a sampled failure trace for a cluster.
+//
+//	msfail                      # Table I for Google DC and Abe
+//	msfail -trace -nodes 2400 -horizon 720h
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"meteorshower/internal/bench"
+	"meteorshower/internal/failure"
+)
+
+func main() {
+	var (
+		trace   = flag.Bool("trace", false, "print a sampled failure trace")
+		nodes   = flag.Int("nodes", 2400, "cluster size for the trace")
+		horizon = flag.Duration("horizon", 30*24*time.Hour, "trace horizon")
+		seed    = flag.Int64("seed", 1, "trace seed")
+		abe     = flag.Bool("abe", false, "use the Abe cluster profile for the trace")
+	)
+	flag.Parse()
+
+	bench.FprintTable1(os.Stdout, bench.RunTable1(*seed))
+
+	// What the failure rates mean for an application: a 1-safe scheme
+	// masks single-node failures only; Meteor Shower survives whole
+	// bursts and pays a fast recovery instead.
+	year := failure.Generate(failure.GoogleDC(), 2400, failure.Year, *seed)
+	oneSafe := failure.ApplicationAvailability(year, 1, 10*time.Second, failure.Year)
+	ms := failure.ApplicationAvailability(year, 1<<30, 30*time.Second, failure.Year)
+	fmt.Printf("\napplication availability over a Google-model year (2400 nodes):\n")
+	fmt.Printf("  1-safe scheme:  %.4f%%  (bursts are fatal)\n", oneSafe*100)
+	fmt.Printf("  Meteor Shower:  %.4f%%  (whole-application recovery per event)\n", ms*100)
+
+	if !*trace {
+		return
+	}
+	prof := failure.GoogleDC()
+	if *abe {
+		prof = failure.AbeCluster()
+	}
+	events := failure.Generate(prof, *nodes, *horizon, *seed)
+	fmt.Printf("\ntrace: %s, %d nodes, %s horizon, %d events\n",
+		prof.Name, *nodes, *horizon, len(events))
+	for _, e := range events {
+		kind := "single"
+		if e.Correlated() {
+			kind = fmt.Sprintf("BURST x%d", len(e.Nodes))
+		}
+		fmt.Printf("  +%-10s %-12s %-10s recovery %s\n",
+			e.At.Truncate(time.Minute), e.Cause, kind, e.Recovery.Truncate(time.Minute))
+	}
+}

@@ -1,0 +1,3 @@
+module meteorshower
+
+go 1.22

@@ -1,0 +1,210 @@
+package apps
+
+import (
+	"meteorshower/internal/cluster"
+	"meteorshower/internal/graph"
+	"meteorshower/internal/metrics"
+	"meteorshower/internal/operator"
+)
+
+// BCPConfig sizes the Bus Capacity Prediction application (paper §II-B2,
+// Fig. 3): camera sources S0..3 feed dispatchers D, people counters C and
+// historical image processors H; boarding models B join into J; on-vehicle
+// sensor sources S4..7 feed noise filters N, arrival models A and
+// alighting models L; groups G merge into crowdedness predictors P and the
+// sink K.
+type BCPConfig struct {
+	CameraGroups  int // S/D/H/B per group; C = 4x
+	SensorGroups  int // sensor S/N/A/L per group
+	CamsPerSource int
+	ImgW, ImgH    int
+	MaxPeople     int
+	ArriveEvery   int // frames between bus arrivals at a camera
+	CamRatePerMS  float64
+	SensRatePerMS float64
+	MaxRate       bool // elastic sources: replay as fast as absorbed
+	CamBurst      int
+	SensBurst     int
+	Seed          int64
+
+	Collector     *metrics.Collector
+	SinkRef       *SinkRef
+	TrackIdentity bool
+}
+
+// BCPPaper returns the 55-operator configuration (4 camera groups: 4 S +
+// 4 D + 16 C + 4 H + 4 B + 2 J; 4 sensor groups: 4 S + 4 N + 4 A + 4 L;
+// 2 G + 2 P + 1 K).
+func BCPPaper(col *metrics.Collector) BCPConfig {
+	return BCPConfig{
+		CameraGroups: 4, SensorGroups: 4, CamsPerSource: 6,
+		ImgW: 48, ImgH: 32, MaxPeople: 6, ArriveEvery: 20,
+		CamRatePerMS: 0.20, SensRatePerMS: 0.30,
+		MaxRate: true, CamBurst: 4, SensBurst: 4, Seed: 2,
+		Collector: col,
+	}
+}
+
+// BCPSmall returns a compact configuration for tests: 1 camera group with
+// 2 counters, 1 sensor group, 13 operators total.
+func BCPSmall(col *metrics.Collector) BCPConfig {
+	return BCPConfig{
+		CameraGroups: 1, SensorGroups: 1, CamsPerSource: 2,
+		ImgW: 32, ImgH: 24, MaxPeople: 3, ArriveEvery: 4,
+		CamRatePerMS: 0.5, SensRatePerMS: 1, Seed: 2,
+		Collector: col,
+	}
+}
+
+// countersPerGroup is the number of Counter pipelines per camera group.
+const countersPerGroup = 4
+
+// BCP builds the application spec.
+func BCP(cfg BCPConfig) cluster.AppSpec {
+	g := graph.New()
+	addAll := func(ids ...string) {
+		for _, id := range ids {
+			g.MustAddNode(id)
+		}
+	}
+	// Camera side.
+	for c := 0; c < cfg.CameraGroups; c++ {
+		addAll("S"+itoa(c), "D"+itoa(c), "H"+itoa(c), "B"+itoa(c))
+		for k := 0; k < countersPerGroup; k++ {
+			addAll("C" + itoa(c*countersPerGroup+k))
+		}
+	}
+	nJoins := (cfg.CameraGroups + 1) / 2
+	for j := 0; j < nJoins; j++ {
+		addAll("J" + itoa(j))
+	}
+	// Sensor side.
+	for s := 0; s < cfg.SensorGroups; s++ {
+		addAll("S"+itoa(cfg.CameraGroups+s), "N"+itoa(s), "A"+itoa(s), "L"+itoa(s))
+	}
+	nGroups := (cfg.SensorGroups + 1) / 2
+	if nJoins > nGroups {
+		nGroups = nJoins
+	}
+	for gi := 0; gi < nGroups; gi++ {
+		addAll("G"+itoa(gi), "P"+itoa(gi))
+	}
+	addAll("K")
+
+	// Camera wiring: S -> D -> {C..., H}; C,H -> B; B pairs -> J.
+	for c := 0; c < cfg.CameraGroups; c++ {
+		g.MustAddEdge("S"+itoa(c), "D"+itoa(c))
+		for k := 0; k < countersPerGroup; k++ {
+			g.MustAddEdge("D"+itoa(c), "C"+itoa(c*countersPerGroup+k))
+		}
+		g.MustAddEdge("D"+itoa(c), "H"+itoa(c))
+		for k := 0; k < countersPerGroup; k++ {
+			g.MustAddEdge("C"+itoa(c*countersPerGroup+k), "B"+itoa(c))
+		}
+		g.MustAddEdge("H"+itoa(c), "B"+itoa(c))
+		g.MustAddEdge("B"+itoa(c), "J"+itoa(c/2))
+	}
+	// A J with a single camera group still needs two inputs: loop the
+	// same B? Joins require two ports; for odd group counts the last join
+	// reuses the previous B.
+	for j := 0; j < nJoins; j++ {
+		if g.InDegree("J"+itoa(j)) == 1 {
+			src := "B" + itoa(2*j)
+			if 2*j > 0 {
+				src = "B" + itoa(2*j-1)
+			} else if cfg.CameraGroups > 1 {
+				src = "B1"
+			}
+			if g.PortOf(src, "J"+itoa(j)) < 0 {
+				g.MustAddEdge(src, "J"+itoa(j))
+			}
+		}
+	}
+	// Sensor wiring: S -> N -> {A, L}.
+	for s := 0; s < cfg.SensorGroups; s++ {
+		g.MustAddEdge("S"+itoa(cfg.CameraGroups+s), "N"+itoa(s))
+		g.MustAddEdge("N"+itoa(s), "A"+itoa(s))
+		g.MustAddEdge("N"+itoa(s), "L"+itoa(s))
+	}
+	// Groups: J j -> G j; A/L pairs -> their group; G -> P -> K.
+	for j := 0; j < nJoins; j++ {
+		g.MustAddEdge("J"+itoa(j), "G"+itoa(j%nGroups))
+	}
+	for s := 0; s < cfg.SensorGroups; s++ {
+		gi := s / 2
+		if gi >= nGroups {
+			gi = nGroups - 1
+		}
+		g.MustAddEdge("A"+itoa(s), "G"+itoa(gi))
+		g.MustAddEdge("L"+itoa(s), "G"+itoa(gi))
+	}
+	for gi := 0; gi < nGroups; gi++ {
+		g.MustAddEdge("G"+itoa(gi), "P"+itoa(gi))
+		g.MustAddEdge("P"+itoa(gi), "K")
+	}
+
+	camSources := cfg.CameraGroups
+	return cluster.AppSpec{
+		Name:  "BCP",
+		Graph: g,
+		NewOperators: func(id string) []operator.Operator {
+			idx := atoi(id[1:])
+			switch id[0] {
+			case 'S':
+				if idx < camSources {
+					src := operator.NewRateSource(
+						id, cfg.CamRatePerMS, cfg.Seed+int64(idx),
+						ImagePayload(idx, cfg.CamsPerSource, cfg.ImgW, cfg.ImgH, cfg.MaxPeople),
+					)
+					src.MaxRate = cfg.MaxRate
+					if cfg.CamBurst > 0 {
+						src.CatchUpCap = cfg.CamBurst
+					}
+					return []operator.Operator{src}
+				}
+				src := operator.NewRateSource(
+					id, cfg.SensRatePerMS, cfg.Seed+int64(idx),
+					SensorPayload(idx, cfg.CamsPerSource, 50),
+				)
+				src.MaxRate = cfg.MaxRate
+				if cfg.SensBurst > 0 {
+					src.CatchUpCap = cfg.SensBurst
+				}
+				return []operator.Operator{src}
+			case 'D':
+				return []operator.Operator{NewFrameDispatchOp(id, countersPerGroup, countersPerGroup)}
+			case 'C':
+				return []operator.Operator{NewCountPeopleOp(id)}
+			case 'H':
+				return []operator.Operator{NewHistoryOp(id, cfg.ArriveEvery)}
+			case 'B':
+				return []operator.Operator{NewEMAPredictOp(id, 0.3)}
+			case 'J':
+				return []operator.Operator{NewCombineOp(id, func(a, b float64) float64 { return (a + b) / 2 })}
+			case 'N':
+				return []operator.Operator{NewRangeFilterOp(id, 0, 60, 2)}
+			case 'A':
+				return []operator.Operator{NewEMAPredictOp(id, 0.4)}
+			case 'L':
+				return []operator.Operator{NewEMAPredictOp(id, 0.4)}
+			case 'G':
+				return []operator.Operator{operator.NewPassthrough(id, 1)}
+			case 'P':
+				return []operator.Operator{NewEMAPredictOp(id, 0.5)}
+			default:
+				return []operator.Operator{newSink(id, cfg.Collector, cfg.SinkRef, cfg.TrackIdentity)}
+			}
+		},
+	}
+}
+
+func atoi(s string) int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			break
+		}
+		n = n*10 + int(s[i]-'0')
+	}
+	return n
+}

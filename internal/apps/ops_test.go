@@ -1,0 +1,551 @@
+package apps
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"meteorshower/internal/operator"
+	"meteorshower/internal/tuple"
+	"meteorshower/internal/vision"
+)
+
+type capture struct {
+	byPort map[int][]*tuple.Tuple
+}
+
+func newCapture() *capture { return &capture{byPort: make(map[int][]*tuple.Tuple)} }
+
+func (c *capture) emit(port int, t *tuple.Tuple) { c.byPort[port] = append(c.byPort[port], t) }
+
+func (c *capture) total() int {
+	n := 0
+	for _, ts := range c.byPort {
+		n += len(ts)
+	}
+	return n
+}
+
+func posTuple(id uint64, key string, x, y float64, tsMS int64) *tuple.Tuple {
+	t := tuple.New(id, "S0", key, Position{X: x, Y: y, TsMS: tsMS}.Encode())
+	return t
+}
+
+func readingTuple(id uint64, key string, v float64, tsMS int64) *tuple.Tuple {
+	return tuple.New(id, "S0", key, Reading{Value: v, TsMS: tsMS}.Encode())
+}
+
+func imageTuple(id uint64, key string, blobs int) *tuple.Tuple {
+	im := vision.Synthesize(vision.SynthesizeOpts{W: 96, H: 64, Blobs: blobs, Seed: int64(id)})
+	return tuple.New(id, "S0", key, im.Marshal())
+}
+
+func TestPayloadRoundTrips(t *testing.T) {
+	p := Position{X: 1.5, Y: -2.25, TsMS: 42}
+	got, err := DecodePosition(p.Encode())
+	if err != nil || got != p {
+		t.Fatalf("position: %+v, %v", got, err)
+	}
+	s := Speed{V: 3.5, RefSpeed: 50}
+	gs, err := DecodeSpeed(s.Encode())
+	if err != nil || gs != s {
+		t.Fatalf("speed: %+v, %v", gs, err)
+	}
+	r := Reading{Value: 7, TsMS: 9}
+	gr, err := DecodeReading(r.Encode())
+	if err != nil || gr != r {
+		t.Fatalf("reading: %+v, %v", gr, err)
+	}
+	if _, err := DecodePosition(nil); err == nil {
+		t.Fatal("short position accepted")
+	}
+	if _, err := DecodeSpeed([]byte{1}); err == nil {
+		t.Fatal("short speed accepted")
+	}
+	if _, err := DecodeReading([]byte{1}); err == nil {
+		t.Fatal("short reading accepted")
+	}
+}
+
+func TestPairOpComputesSpeed(t *testing.T) {
+	p := NewPairOp("P0")
+	c := newCapture()
+	p.OnTuple(0, posTuple(1, "ph", 0, 0, 100), c.emit)
+	if c.total() != 0 {
+		t.Fatal("emitted speed from a single position")
+	}
+	// Moved 30,40 (=50 units) over 10 ms: speed 5.
+	p.OnTuple(0, posTuple(2, "ph", 30, 40, 110), c.emit)
+	if c.total() != 1 {
+		t.Fatal("no speed emitted")
+	}
+	sp, err := DecodeSpeed(c.byPort[0][0].Data)
+	if err != nil || sp.V != 5 {
+		t.Fatalf("speed = %+v, %v", sp, err)
+	}
+	if c.byPort[0][0].Src != "P0" || c.byPort[0][0].ID != 1 {
+		t.Fatal("derived tuple identity not stamped")
+	}
+}
+
+func TestPairOpIgnoresStaleTimestamps(t *testing.T) {
+	p := NewPairOp("P0")
+	c := newCapture()
+	p.OnTuple(0, posTuple(1, "ph", 0, 0, 100), c.emit)
+	p.OnTuple(0, posTuple(2, "ph", 9, 9, 100), c.emit) // same ts
+	if c.total() != 0 {
+		t.Fatal("emitted speed for non-advancing timestamp")
+	}
+}
+
+func TestPairOpSnapshotRestore(t *testing.T) {
+	p := NewPairOp("P0")
+	c := newCapture()
+	p.OnTuple(0, posTuple(1, "ph", 0, 0, 100), c.emit)
+	snap, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := NewPairOp("P0")
+	if err := p2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if p2.StateSize() != p.StateSize() {
+		t.Fatal("state size changed across restore")
+	}
+	// The restored op pairs against the restored position.
+	p2.OnTuple(0, posTuple(2, "ph", 30, 40, 110), c.emit)
+	if c.total() != 1 {
+		t.Fatal("restored pair op lost its last position")
+	}
+	if err := p2.Restore([]byte{1}); err == nil {
+		t.Fatal("short snapshot accepted")
+	}
+}
+
+func TestRefSpeedOpRoutesByKey(t *testing.T) {
+	m := NewRefSpeedOp("M0", 4)
+	c := newCapture()
+	sp := Speed{V: 1}
+	for i := 0; i < 16; i++ {
+		tu := tuple.New(uint64(i), "P0", "ph"+itoa(i%2), sp.Encode())
+		m.OnTuple(0, tu, c.emit)
+	}
+	used := 0
+	for _, ts := range c.byPort {
+		if len(ts) > 0 {
+			used++
+		}
+	}
+	if used == 0 || used > 2 {
+		t.Fatalf("2 keys landed on %d ports", used)
+	}
+	out, _ := DecodeSpeed(c.byPort[firstPort(c)][0].Data)
+	if out.RefSpeed < 5 || out.RefSpeed > 95 {
+		t.Fatalf("ref speed = %v", out.RefSpeed)
+	}
+}
+
+func firstPort(c *capture) int {
+	for p, ts := range c.byPort {
+		if len(ts) > 0 {
+			return p
+		}
+	}
+	return -1
+}
+
+func TestKMeansOpSawtoothAndFlush(t *testing.T) {
+	const win = int64(100 * time.Millisecond)
+	a := NewKMeansOp("A0", 2, win, 1)
+	c := newCapture()
+	base := int64(1e9)
+	for i := 0; i < 20; i++ {
+		tu := tuple.New(uint64(i), "G0", "ph", Speed{V: float64(i % 4), RefSpeed: 30}.Encode())
+		tu.Ts = base + int64(i)
+		if err := a.OnTuple(0, tu, c.emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.StateSize() == 0 || a.PoolLen() != 20 {
+		t.Fatal("pool not accumulating")
+	}
+	// Before the window: no flush.
+	a.OnTick(base+win/2, c.emit)
+	if c.total() != 0 {
+		t.Fatal("flushed early")
+	}
+	a.OnTick(base+win+1, c.emit)
+	if c.total() != 2 {
+		t.Fatalf("emitted %d clusters, want 2", c.total())
+	}
+	if a.StateSize() != 0 || a.PoolLen() != 0 {
+		t.Fatal("pool not discarded after clustering — no sawtooth")
+	}
+}
+
+func TestKMeansOpSnapshotRestore(t *testing.T) {
+	a := NewKMeansOp("A0", 2, 1e9, 1)
+	for i := 0; i < 5; i++ {
+		tu := tuple.New(uint64(i), "G0", "ph", Speed{V: float64(i)}.Encode())
+		a.OnTuple(0, tu, func(int, *tuple.Tuple) {})
+	}
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := NewKMeansOp("A0", 2, 1e9, 1)
+	if err := a2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if a2.PoolLen() != 5 || a2.StateSize() != a.StateSize() {
+		t.Fatalf("restored pool %d size %d", a2.PoolLen(), a2.StateSize())
+	}
+}
+
+func TestCountPeopleOp(t *testing.T) {
+	op := NewCountPeopleOp("C0")
+	c := newCapture()
+	if err := op.OnTuple(0, imageTuple(1, "cam", 3), c.emit); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := DecodeReading(c.byPort[0][0].Data)
+	if err != nil || rd.Value != 3 {
+		t.Fatalf("count = %+v, %v", rd, err)
+	}
+	if err := op.OnTuple(0, tuple.New(2, "S", "cam", []byte{1}), c.emit); err == nil {
+		t.Fatal("corrupt image accepted")
+	}
+}
+
+func TestHistoryOpArrivalClears(t *testing.T) {
+	h := NewHistoryOp("H0", 4)
+	c := newCapture()
+	for i := 0; i < 3; i++ {
+		if err := h.OnTuple(0, imageTuple(uint64(i), "cam0", 2), c.emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.FrameCount() != 3 || h.StateSize() == 0 {
+		t.Fatal("history not accumulating")
+	}
+	if c.total() != 0 {
+		t.Fatal("emitted before arrival")
+	}
+	// 4th frame: bus arrives, history cleared, count emitted.
+	if err := h.OnTuple(0, imageTuple(3, "cam0", 2), c.emit); err != nil {
+		t.Fatal(err)
+	}
+	if h.FrameCount() != 0 || h.StateSize() != 0 {
+		t.Fatal("history not cleared on arrival")
+	}
+	if c.total() != 1 {
+		t.Fatal("no count emitted on arrival")
+	}
+}
+
+func TestHistoryOpPerCameraIsolation(t *testing.T) {
+	h := NewHistoryOp("H0", 4)
+	c := newCapture()
+	for i := 0; i < 4; i++ {
+		h.OnTuple(0, imageTuple(uint64(i), "cam0", 1), c.emit)
+	}
+	h.OnTuple(0, imageTuple(9, "cam1", 1), c.emit)
+	if h.FrameCount() != 1 {
+		t.Fatalf("cam1 history affected by cam0 arrival: %d frames", h.FrameCount())
+	}
+}
+
+func TestHistoryOpSnapshotRestore(t *testing.T) {
+	h := NewHistoryOp("H0", 10)
+	c := newCapture()
+	for i := 0; i < 3; i++ {
+		h.OnTuple(0, imageTuple(uint64(i), "cam0", 1), c.emit)
+	}
+	snap, err := h.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := NewHistoryOp("H0", 10)
+	if err := h2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if h2.FrameCount() != 3 || h2.StateSize() != h.StateSize() {
+		t.Fatalf("restored: %d frames, %d bytes", h2.FrameCount(), h2.StateSize())
+	}
+}
+
+func TestEMAPredictOp(t *testing.T) {
+	e := NewEMAPredictOp("B0", 0.5)
+	c := newCapture()
+	e.OnTuple(0, readingTuple(1, "bus", 10, 1), c.emit)
+	e.OnTuple(0, readingTuple(2, "bus", 20, 2), c.emit)
+	v, ok := e.Prediction("bus")
+	if !ok || v != 15 { // 0.5*20 + 0.5*10
+		t.Fatalf("ema = %v, %v", v, ok)
+	}
+	if c.total() != 2 {
+		t.Fatal("predictions not emitted")
+	}
+	snap, _ := e.Snapshot()
+	e2 := NewEMAPredictOp("B0", 0.5)
+	if err := e2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := e2.Prediction("bus"); v != 15 {
+		t.Fatal("ema lost in restore")
+	}
+}
+
+func TestRangeFilterOp(t *testing.T) {
+	f := NewRangeFilterOp("N0", 0, 60, 2)
+	c := newCapture()
+	f.OnTuple(0, readingTuple(1, "bus", 30, 1), c.emit)
+	f.OnTuple(0, readingTuple(2, "bus", 500, 2), c.emit) // noise
+	if len(c.byPort[0]) != 1 || len(c.byPort[1]) != 1 {
+		t.Fatalf("fanout filter: %d/%d", len(c.byPort[0]), len(c.byPort[1]))
+	}
+}
+
+func TestCombineOp(t *testing.T) {
+	j := NewCombineOp("J0", func(a, b float64) float64 { return a - b })
+	c := newCapture()
+	j.OnTuple(0, readingTuple(1, "bus", 10, 1), c.emit)
+	if c.total() != 0 {
+		t.Fatal("combined with missing side")
+	}
+	j.OnTuple(1, readingTuple(2, "bus", 4, 2), c.emit)
+	if c.total() != 1 {
+		t.Fatal("no combination emitted")
+	}
+	rd, _ := DecodeReading(c.byPort[0][0].Data)
+	if rd.Value != 6 { // 10 - 4, port order preserved
+		t.Fatalf("combined = %v", rd.Value)
+	}
+	if err := j.OnTuple(2, readingTuple(3, "bus", 1, 3), c.emit); err == nil {
+		t.Fatal("port 2 accepted")
+	}
+	snap, _ := j.Snapshot()
+	j2 := NewCombineOp("J0", func(a, b float64) float64 { return a - b })
+	if err := j2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if j2.StateSize() != j.StateSize() {
+		t.Fatal("combine state lost")
+	}
+}
+
+func TestFrameDispatchOp(t *testing.T) {
+	d := NewFrameDispatchOp("D0", 4, 4)
+	c := newCapture()
+	for i := 0; i < 12; i++ {
+		d.OnTuple(0, imageTuple(uint64(i), "cam"+itoa(i%3), 1), c.emit)
+	}
+	if len(c.byPort[4]) != 12 {
+		t.Fatalf("history copy port got %d, want 12", len(c.byPort[4]))
+	}
+	routed := 0
+	for p := 0; p < 4; p++ {
+		routed += len(c.byPort[p])
+	}
+	if routed != 12 {
+		t.Fatalf("routed %d, want 12", routed)
+	}
+	// Same key always lands on the same worker.
+	d2 := NewFrameDispatchOp("D1", 4, -1)
+	c2 := newCapture()
+	for i := 0; i < 8; i++ {
+		d2.OnTuple(0, imageTuple(uint64(i), "fixed", 1), c2.emit)
+	}
+	nonEmpty := 0
+	for _, ts := range c2.byPort {
+		if len(ts) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("one key split over %d workers", nonEmpty)
+	}
+}
+
+func TestBandAndShapeFilters(t *testing.T) {
+	b := NewBandFilterOp("C0", 140, 255)
+	s := NewShapeFilterOp("A0", 0.3, 3)
+	c := newCapture()
+	if err := b.OnTuple(0, imageTuple(1, "x", 2), c.emit); err != nil {
+		t.Fatal(err)
+	}
+	out := c.byPort[0][0]
+	c2 := newCapture()
+	if err := s.OnTuple(0, out, c2.emit); err != nil {
+		t.Fatal(err)
+	}
+	im, err := vision.UnmarshalImage(c2.byPort[0][0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Square-ish synthetic lights must survive both filters.
+	if got := vision.CountBlobs(im, 150, 4); got != 2 {
+		t.Fatalf("blobs after filters = %d, want 2", got)
+	}
+}
+
+func TestMotionFilterOpDwellAndClear(t *testing.T) {
+	m := NewMotionFilterOp("M0", 3)
+	c := newCapture()
+	for i := 0; i < 2; i++ {
+		if err := m.OnTuple(0, imageTuple(100, "x0", 2), c.emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.StateSize() == 0 || c.total() != 0 {
+		t.Fatal("frames not preserved during dwell")
+	}
+	if err := m.OnTuple(0, imageTuple(100, "x0", 2), c.emit); err != nil {
+		t.Fatal(err)
+	}
+	if m.StateSize() != 0 {
+		t.Fatal("frames not discarded when vehicle left")
+	}
+	if c.total() != 1 {
+		t.Fatal("no detection emitted")
+	}
+	// Identical frames: the stationary lights survive the intersection.
+	rd, _ := DecodeReading(c.byPort[0][0].Data)
+	if rd.Value != 2 {
+		t.Fatalf("detected %v lights, want 2", rd.Value)
+	}
+}
+
+func TestMotionFilterSnapshotRestore(t *testing.T) {
+	m := NewMotionFilterOp("M0", 10)
+	c := newCapture()
+	for i := 0; i < 4; i++ {
+		m.OnTuple(0, imageTuple(uint64(i), "x0", 1), c.emit)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewMotionFilterOp("M0", 10)
+	if err := m2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if m2.StateSize() != m.StateSize() {
+		t.Fatal("motion filter state lost")
+	}
+}
+
+func TestVotingOp(t *testing.T) {
+	v := NewVotingOp("V0", 3)
+	c := newCapture()
+	v.OnTuple(0, readingTuple(1, "x0", 2, 1), c.emit)
+	v.OnTuple(0, readingTuple(2, "x0", 3, 2), c.emit)
+	if c.total() != 0 {
+		t.Fatal("voted before quorum")
+	}
+	v.OnTuple(0, readingTuple(3, "x0", 3, 3), c.emit)
+	if c.total() != 1 {
+		t.Fatal("no vote emitted at quorum")
+	}
+	rd, _ := DecodeReading(c.byPort[0][0].Data)
+	if rd.Value != 3 {
+		t.Fatalf("majority = %v, want 3", rd.Value)
+	}
+	if v.StateSize() != 0 {
+		t.Fatal("votes not cleared")
+	}
+}
+
+func TestVotingOpSnapshotRestore(t *testing.T) {
+	v := NewVotingOp("V0", 5)
+	c := newCapture()
+	v.OnTuple(0, readingTuple(1, "x0", 2, 1), c.emit)
+	v.OnTuple(0, readingTuple(2, "x1", 4, 2), c.emit)
+	snap, _ := v.Snapshot()
+	v2 := NewVotingOp("V0", 5)
+	if err := v2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if v2.StateSize() != v.StateSize() {
+		t.Fatal("votes lost in restore")
+	}
+}
+
+func TestSVMPredictOp(t *testing.T) {
+	p := NewSVMPredictOp("P0", 3)
+	c := newCapture()
+	if err := p.OnTuple(0, readingTuple(1, "x0", 2, 15), c.emit); err != nil {
+		t.Fatal(err)
+	}
+	rd, _ := DecodeReading(c.byPort[0][0].Data)
+	if rd.Value != 1 && rd.Value != -1 {
+		t.Fatalf("prediction = %v", rd.Value)
+	}
+	snap, _ := p.Snapshot()
+	p2 := NewSVMPredictOp("P0", 3)
+	if err := p2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	c2 := newCapture()
+	p2.OnTuple(0, readingTuple(1, "x0", 2, 15), c2.emit)
+	a, _ := DecodeReading(c.byPort[0][0].Data)
+	b, _ := DecodeReading(c2.byPort[0][0].Data)
+	if a.Value != b.Value {
+		t.Fatal("restored model predicts differently")
+	}
+}
+
+func TestIdentityStamping(t *testing.T) {
+	id := identity{name: "op"}
+	t1 := id.stamp(&tuple.Tuple{})
+	t2 := id.stamp(&tuple.Tuple{})
+	if t1.ID != 1 || t2.ID != 2 || t1.Src != "op" {
+		t.Fatalf("stamps: %d %d %s", t1.ID, t2.ID, t1.Src)
+	}
+	snap := id.snapshot()
+	id2 := identity{name: "op"}
+	if err := id2.restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if id2.stamp(&tuple.Tuple{}).ID != 3 {
+		t.Fatal("identity counter not restored")
+	}
+}
+
+// Property: PairOp snapshot/restore round-trips arbitrary phone maps.
+func TestQuickPairOpRoundTrip(t *testing.T) {
+	f := func(n uint8) bool {
+		p := NewPairOp("P")
+		for i := 0; i < int(n%30); i++ {
+			p.OnTuple(0, posTuple(uint64(i), "ph"+itoa(i%7), float64(i), float64(i), int64(i)), func(int, *tuple.Tuple) {})
+		}
+		snap, err := p.Snapshot()
+		if err != nil {
+			return false
+		}
+		p2 := NewPairOp("P")
+		if err := p2.Restore(snap); err != nil {
+			return false
+		}
+		return p2.StateSize() == p.StateSize()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var _ operator.Operator = (*PairOp)(nil)
+var _ operator.Operator = (*RefSpeedOp)(nil)
+var _ operator.Ticker = (*KMeansOp)(nil)
+var _ operator.Operator = (*CountPeopleOp)(nil)
+var _ operator.Operator = (*HistoryOp)(nil)
+var _ operator.Operator = (*EMAPredictOp)(nil)
+var _ operator.Operator = (*RangeFilterOp)(nil)
+var _ operator.Operator = (*CombineOp)(nil)
+var _ operator.Operator = (*FrameDispatchOp)(nil)
+var _ operator.Operator = (*BandFilterOp)(nil)
+var _ operator.Operator = (*ShapeFilterOp)(nil)
+var _ operator.Operator = (*MotionFilterOp)(nil)
+var _ operator.Operator = (*VotingOp)(nil)
+var _ operator.Operator = (*SVMPredictOp)(nil)

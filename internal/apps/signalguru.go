@@ -1,0 +1,126 @@
+package apps
+
+import (
+	"meteorshower/internal/cluster"
+	"meteorshower/internal/graph"
+	"meteorshower/internal/metrics"
+	"meteorshower/internal/operator"
+)
+
+// SGConfig sizes the SignalGuru application (paper §II-B2, Fig. 4):
+// windshield-mounted iPhone sources S feed dispatchers D, color filters C,
+// shape filters A and motion filters M; voting operators V merge parallel
+// detections, groups G collect them, SVM predictors P forecast signal
+// transitions, K is the sink.
+type SGConfig struct {
+	PhoneGroups    int // S and D count
+	FiltersPerDisp int // C/A/M pipelines per dispatcher
+	Predictors     int // P count
+	Intersections  int // distinct intersections per phone group
+	ImgW, ImgH     int
+	FramePad       int // raw full-resolution bytes carried past the thumbnail
+	MaxLights      int
+	DwellFrames    int // frames a vehicle stays at an intersection
+	RatePerMS      float64
+	MaxRate        bool // elastic sources: replay as fast as absorbed
+	Burst          int
+	Seed           int64
+
+	Collector     *metrics.Collector
+	SinkRef       *SinkRef
+	TrackIdentity bool
+}
+
+// SGPaper returns the 55-operator configuration (4 S + 4 D + 12 C + 12 A +
+// 12 M + 4 V + 4 G + 2 P + 1 K).
+func SGPaper(col *metrics.Collector) SGConfig {
+	return SGConfig{
+		PhoneGroups: 4, FiltersPerDisp: 3, Predictors: 2, Intersections: 3,
+		ImgW: 48, ImgH: 32, FramePad: 14 << 10, MaxLights: 4, DwellFrames: 12,
+		RatePerMS: 0.30, MaxRate: true, Burst: 1, Seed: 3,
+		Collector: col,
+	}
+}
+
+// SGSmall returns a compact configuration for tests.
+func SGSmall(col *metrics.Collector) SGConfig {
+	return SGConfig{
+		PhoneGroups: 1, FiltersPerDisp: 2, Predictors: 1, Intersections: 2,
+		ImgW: 32, ImgH: 24, MaxLights: 2, DwellFrames: 4,
+		RatePerMS: 0.6, Seed: 3,
+		Collector: col,
+	}
+}
+
+// SG builds the application spec.
+func SG(cfg SGConfig) cluster.AppSpec {
+	g := graph.New()
+	for p := 0; p < cfg.PhoneGroups; p++ {
+		g.MustAddNode("S" + itoa(p))
+		g.MustAddNode("D" + itoa(p))
+		g.MustAddNode("V" + itoa(p))
+		g.MustAddNode("G" + itoa(p))
+	}
+	nFilters := cfg.PhoneGroups * cfg.FiltersPerDisp
+	for i := 0; i < nFilters; i++ {
+		g.MustAddNode("C" + itoa(i))
+		g.MustAddNode("A" + itoa(i))
+		g.MustAddNode("M" + itoa(i))
+	}
+	for p := 0; p < cfg.Predictors; p++ {
+		g.MustAddNode("P" + itoa(p))
+	}
+	g.MustAddNode("K")
+
+	for p := 0; p < cfg.PhoneGroups; p++ {
+		g.MustAddEdge("S"+itoa(p), "D"+itoa(p))
+		for k := 0; k < cfg.FiltersPerDisp; k++ {
+			i := p*cfg.FiltersPerDisp + k
+			g.MustAddEdge("D"+itoa(p), "C"+itoa(i))
+			g.MustAddEdge("C"+itoa(i), "A"+itoa(i))
+			g.MustAddEdge("A"+itoa(i), "M"+itoa(i))
+			g.MustAddEdge("M"+itoa(i), "V"+itoa(p))
+		}
+		g.MustAddEdge("V"+itoa(p), "G"+itoa(p))
+		g.MustAddEdge("G"+itoa(p), "P"+itoa(p%cfg.Predictors))
+	}
+	for p := 0; p < cfg.Predictors; p++ {
+		g.MustAddEdge("P"+itoa(p), "K")
+	}
+
+	return cluster.AppSpec{
+		Name:  "SignalGuru",
+		Graph: g,
+		NewOperators: func(id string) []operator.Operator {
+			idx := atoi(id[1:])
+			switch id[0] {
+			case 'S':
+				src := operator.NewRateSource(
+					id, cfg.RatePerMS, cfg.Seed+int64(idx),
+					ImagePayloadPadded(idx, cfg.Intersections, cfg.ImgW, cfg.ImgH, cfg.MaxLights, cfg.FramePad),
+				)
+				src.MaxRate = cfg.MaxRate
+				if cfg.Burst > 0 {
+					src.CatchUpCap = cfg.Burst
+				}
+				return []operator.Operator{src}
+			case 'D':
+				return []operator.Operator{NewFrameDispatchOp(id, cfg.FiltersPerDisp, -1)}
+			case 'C':
+				return []operator.Operator{NewBandFilterOp(id, 140, 255)}
+			case 'A':
+				return []operator.Operator{NewShapeFilterOp(id, 0.3, 3)}
+			case 'M':
+				return []operator.Operator{NewMotionFilterOp(id, cfg.DwellFrames)}
+			case 'V':
+				return []operator.Operator{NewVotingOp(id, 3)}
+			case 'G':
+				return []operator.Operator{operator.NewPassthrough(id, 1)}
+			case 'P':
+				return []operator.Operator{NewSVMPredictOp(id, cfg.Seed)}
+			default:
+				return []operator.Operator{newSink(id, cfg.Collector, cfg.SinkRef, cfg.TrackIdentity)}
+			}
+		},
+	}
+}

@@ -1,0 +1,137 @@
+package apps
+
+import (
+	"time"
+
+	"meteorshower/internal/cluster"
+	"meteorshower/internal/graph"
+	"meteorshower/internal/metrics"
+	"meteorshower/internal/operator"
+)
+
+// TMIConfig sizes the Transportation Mode Inference application (paper
+// §II-B2, Fig. 2): S sources collect phone positions from base stations,
+// P pairs compute speeds, M GoogleMap operators annotate reference speeds,
+// G groups partition phones, A k-means operators cluster each window, K is
+// the sink.
+type TMIConfig struct {
+	Sources int // S operators (base-station aggregators)
+	Pairs   int // P and M operators (1:1)
+	Groups  int // G and A operators (1:1)
+
+	RatePerMS       float64 // tuples per simulated ms per source
+	MaxRate         bool    // elastic sources: replay as fast as absorbed
+	Burst           int     // tuples offered per tick when MaxRate
+	RecordPad       int     // CDR bytes beyond the raw position fields
+	PhonesPerSource int
+	Window          time.Duration // the paper's N-minute k-means window, scaled
+	K               int           // clusters (transportation modes)
+	Seed            int64
+
+	Collector     *metrics.Collector
+	SinkRef       *SinkRef
+	TrackIdentity bool
+}
+
+// TMIPaper returns the 55-operator configuration of the evaluation
+// (10 S + 12 P + 12 M + 10 G + 10 A + 1 K), with the 10-minute window
+// scaled to simulation time.
+func TMIPaper(col *metrics.Collector, window time.Duration) TMIConfig {
+	return TMIConfig{
+		Sources: 10, Pairs: 12, Groups: 10,
+		RatePerMS: 2.0, MaxRate: true, Burst: 8, RecordPad: 140, PhonesPerSource: 40,
+		Window: window, K: 4, Seed: 1,
+		Collector: col,
+	}
+}
+
+// TMISmall returns a 7-operator configuration for tests.
+func TMISmall(col *metrics.Collector) TMIConfig {
+	return TMIConfig{
+		Sources: 2, Pairs: 2, Groups: 2,
+		RatePerMS: 1, PhonesPerSource: 8,
+		Window: 50 * time.Millisecond, K: 2, Seed: 1,
+		Collector: col,
+	}
+}
+
+// TMI builds the application spec.
+func TMI(cfg TMIConfig) cluster.AppSpec {
+	g := graph.New()
+	var sources, pairs, maps, groups, analyzers []string
+	for i := 0; i < cfg.Sources; i++ {
+		id := "S" + itoa(i)
+		g.MustAddNode(id)
+		sources = append(sources, id)
+	}
+	for i := 0; i < cfg.Pairs; i++ {
+		p := "P" + itoa(i)
+		m := "M" + itoa(i)
+		g.MustAddNode(p)
+		g.MustAddNode(m)
+		pairs = append(pairs, p)
+		maps = append(maps, m)
+	}
+	for i := 0; i < cfg.Groups; i++ {
+		gr := "G" + itoa(i)
+		a := "A" + itoa(i)
+		g.MustAddNode(gr)
+		g.MustAddNode(a)
+		groups = append(groups, gr)
+		analyzers = append(analyzers, a)
+	}
+	g.MustAddNode("K")
+	// Base stations feed pairs round-robin; extra pairs reuse sources.
+	for i, p := range pairs {
+		g.MustAddEdge(sources[i%len(sources)], p)
+	}
+	for i := range pairs {
+		g.MustAddEdge(pairs[i], maps[i])
+	}
+	// "Each GoogleMap operator connects to all Group operators."
+	for _, m := range maps {
+		for _, gr := range groups {
+			g.MustAddEdge(m, gr)
+		}
+	}
+	for i := range groups {
+		g.MustAddEdge(groups[i], analyzers[i])
+	}
+	for _, a := range analyzers {
+		g.MustAddEdge(a, "K")
+	}
+
+	srcIdx := make(map[string]int, len(sources))
+	for i, id := range sources {
+		srcIdx[id] = i
+	}
+	return cluster.AppSpec{
+		Name:  "TMI",
+		Graph: g,
+		NewOperators: func(id string) []operator.Operator {
+			switch id[0] {
+			case 'S':
+				i := srcIdx[id]
+				src := operator.NewRateSource(
+					id, cfg.RatePerMS, cfg.Seed+int64(i),
+					PositionPayload(i, cfg.PhonesPerSource, cfg.RecordPad),
+				)
+				src.MaxRate = cfg.MaxRate
+				if cfg.Burst > 0 {
+					src.CatchUpCap = cfg.Burst
+				}
+				return []operator.Operator{src}
+			case 'P':
+				return []operator.Operator{NewPairOp(id)}
+			case 'M':
+				return []operator.Operator{NewRefSpeedOp(id, cfg.Groups)}
+			case 'G':
+				return []operator.Operator{operator.NewPassthrough(id, 1)}
+			case 'A':
+				return []operator.Operator{NewKMeansOp(id, cfg.K, int64(cfg.Window), cfg.Seed)}
+			default:
+				return []operator.Operator{newSink(id, cfg.Collector, cfg.SinkRef, cfg.TrackIdentity)}
+			}
+		},
+	}
+}

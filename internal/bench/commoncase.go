@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// CommonCase is the Fig. 12 + Fig. 13 grid: throughput and latency for
+// every (app, scheme, checkpoint count) cell, with the values normalized to
+// the baseline at zero checkpoints per app — exactly how the paper reports
+// them ("all values are normalized to the ... baseline system with zero
+// checkpoint").
+type CommonCase struct {
+	Cells []Cell
+	// Base indexes the baseline/0-checkpoints cell per app.
+	Base map[string]Cell
+}
+
+// RunCommonCase sweeps the grid. It is the most expensive experiment: cells
+// are (apps) x (schemes) x (checkpoint counts), each running Warmup+Window.
+func RunCommonCase(p Params, progress io.Writer) (*CommonCase, error) {
+	p = p.withDefaults()
+	out := &CommonCase{Base: make(map[string]Cell)}
+	for _, app := range p.Apps() {
+		for _, scheme := range AllSchemes() {
+			for _, n := range p.CkptCounts() {
+				if scheme.ApplicationAware() && n == 0 {
+					// aa with zero checkpoints degenerates to MS-src+ap;
+					// the paper's Fig. 12 aa series starts at 1.
+					continue
+				}
+				cell, err := RunCell(p, app, scheme, n)
+				if err != nil {
+					return nil, fmt.Errorf("cell %v/%v/%d: %w", app, scheme, n, err)
+				}
+				out.Cells = append(out.Cells, cell)
+				if progress != nil {
+					fmt.Fprintf(progress, "  %-10s %-13s ckpts=%d  %8.1f tuples/ms  lat=%s\n",
+						cell.App, cell.Scheme, cell.Ckpts, cell.TuplesPerMS, cell.MeanLat)
+				}
+				if scheme.String() == "Baseline" && n == 0 {
+					out.Base[cell.App] = cell
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// NormalizedThroughput returns cell throughput / baseline-0 throughput.
+func (cc *CommonCase) NormalizedThroughput(c Cell) float64 {
+	b, ok := cc.Base[c.App]
+	if !ok || b.TuplesPerMS == 0 {
+		return 0
+	}
+	return c.TuplesPerMS / b.TuplesPerMS
+}
+
+// NormalizedLatency returns cell latency / baseline-0 latency.
+func (cc *CommonCase) NormalizedLatency(c Cell) float64 {
+	b, ok := cc.Base[c.App]
+	if !ok || b.MeanLat == 0 {
+		return 0
+	}
+	return float64(c.MeanLat) / float64(b.MeanLat)
+}
+
+// FprintFig12 prints the normalized-throughput table (Fig. 12).
+func (cc *CommonCase) FprintFig12(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 12 — normalized throughput (baseline @ 0 checkpoints = 1.00)")
+	cc.fprintGrid(w, cc.NormalizedThroughput)
+}
+
+// FprintFig13 prints the normalized-latency table (Fig. 13).
+func (cc *CommonCase) FprintFig13(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 13 — normalized latency (baseline @ 0 checkpoints = 1.00)")
+	cc.fprintGrid(w, cc.NormalizedLatency)
+}
+
+func (cc *CommonCase) fprintGrid(w io.Writer, norm func(Cell) float64) {
+	apps := map[string]bool{}
+	schemes := []string{}
+	seenScheme := map[string]bool{}
+	counts := []int{}
+	seenCount := map[int]bool{}
+	for _, c := range cc.Cells {
+		apps[c.App] = true
+		if !seenScheme[c.Scheme] {
+			seenScheme[c.Scheme] = true
+			schemes = append(schemes, c.Scheme)
+		}
+		if !seenCount[c.Ckpts] {
+			seenCount[c.Ckpts] = true
+			counts = append(counts, c.Ckpts)
+		}
+	}
+	lookup := map[string]Cell{}
+	for _, c := range cc.Cells {
+		lookup[fmt.Sprintf("%s/%s/%d", c.App, c.Scheme, c.Ckpts)] = c
+	}
+	for _, app := range []string{"TMI", "BCP", "SignalGuru"} {
+		if !apps[app] {
+			continue
+		}
+		fmt.Fprintf(w, "\n(%s)\n%-14s", app, "#ckpts")
+		for _, n := range counts {
+			fmt.Fprintf(w, "%8d", n)
+		}
+		fmt.Fprintln(w)
+		for _, s := range schemes {
+			fmt.Fprintf(w, "%-14s", s)
+			for _, n := range counts {
+				c, ok := lookup[fmt.Sprintf("%s/%s/%d", app, s, n)]
+				if !ok {
+					fmt.Fprintf(w, "%8s", "-")
+					continue
+				}
+				fmt.Fprintf(w, "%8.2f", norm(c))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// SourcePreservationGain returns the average MS-src/baseline throughput
+// ratio at zero checkpoints — the paper's "source preservation increases
+// throughput by 35%" claim (§IV-A).
+func (cc *CommonCase) SourcePreservationGain() float64 {
+	var sum float64
+	var n int
+	for _, c := range cc.Cells {
+		if c.Scheme == "MS-src" && c.Ckpts == 0 {
+			if r := cc.NormalizedThroughput(c); r > 0 {
+				sum += r
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// AsyncGainAt returns the average MS-src+ap vs MS-src throughput ratio at
+// the given checkpoint count (paper: +28% at 3 checkpoints).
+func (cc *CommonCase) AsyncGainAt(ckpts int) float64 {
+	ratios := map[string][2]float64{}
+	for _, c := range cc.Cells {
+		if c.Ckpts != ckpts {
+			continue
+		}
+		r := ratios[c.App]
+		switch c.Scheme {
+		case "MS-src":
+			r[0] = c.TuplesPerMS
+		case "MS-src+ap":
+			r[1] = c.TuplesPerMS
+		}
+		ratios[c.App] = r
+	}
+	var sum float64
+	var n int
+	for _, r := range ratios {
+		if r[0] > 0 && r[1] > 0 {
+			sum += r[1] / r[0]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+var _ = time.Second

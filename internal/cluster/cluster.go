@@ -1,0 +1,715 @@
+// Package cluster simulates a commodity cluster running one stream
+// application: nodes hosting HAUs, per-node local disks, a shared storage
+// node with the controller, fail-stop failure injection (single node or
+// correlated burst), and the two recovery procedures the paper evaluates —
+// whole-application rollback for Meteor Shower and single-HAU restart for
+// the baseline.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"meteorshower/internal/buffer"
+	"meteorshower/internal/controller"
+	"meteorshower/internal/graph"
+	"meteorshower/internal/operator"
+	"meteorshower/internal/spe"
+	"meteorshower/internal/storage"
+)
+
+// AppSpec describes a stream application independent of the fault-tolerance
+// scheme: its query network and how to build each HAU's operator chain.
+type AppSpec struct {
+	Name  string
+	Graph *graph.Graph
+	// NewOperators returns a *fresh* operator chain for HAU id. Recovery
+	// rebuilds chains from scratch and restores their snapshots.
+	NewOperators func(id string) []operator.Operator
+}
+
+// Config assembles a simulated cluster.
+type Config struct {
+	App    AppSpec
+	Scheme spe.Scheme
+	Nodes  int // worker nodes; HAUs are placed round-robin
+
+	LocalDiskSpec  storage.DiskSpec
+	SharedSpec     storage.DiskSpec
+	EdgeBuffer     int
+	TickEvery      time.Duration
+	CkptPeriod     time.Duration // baseline per-HAU period / controller period
+	PreserveMemCap int64         // baseline in-memory buffer cap (paper: 50 MB)
+	SourceFlush    int64         // source-log group-commit threshold
+	PerTupleDelay  time.Duration
+	Seed           int64
+
+	// DeltaCheckpoint enables block-delta checkpoint writes (paper §V).
+	DeltaCheckpoint bool
+	// ShedWatermark enables load shedding above this output-queue
+	// occupancy fraction (0 = off). Shedding trades exactly-once for
+	// bounded latency under long-term overload (paper §III).
+	ShedWatermark float64
+
+	Listener spe.Listener // optional extra listener (controller is wired automatically)
+	Now      func() int64
+}
+
+// node is one simulated worker machine.
+type node struct {
+	index int
+	disk  *storage.Disk
+	alive atomic.Bool
+}
+
+// RecoveryStats decomposes a recovery the way Fig. 16 does: "the recovery
+// proceeds in four phases: 1) the recovery node reloads the operators; 2)
+// the node reads the HAU's state from the shared storage; 3) the node
+// deserializes the state and reconstructs the data structures; and 4) the
+// controller reconnects the recovered HAUs."
+type RecoveryStats struct {
+	Reload      time.Duration // phase 1: reloading the operators
+	DiskIO      time.Duration // phase 2: reading state from shared storage
+	Deserialize time.Duration // phase 3: rebuilding operator data structures
+	Reconnect   time.Duration // phase 4: controller reconnects the HAUs
+	// ReplayFetch is the time to pull preserved tuples from the source
+	// logs. The paper does NOT count replay in recovery time ("after
+	// recovery, the source HAUs replay the preserved tuples ... we do not
+	// further evaluate it"), so it is reported separately and excluded
+	// from Total.
+	ReplayFetch time.Duration
+	Epoch       uint64
+	HAUs        int
+}
+
+// Total returns the end-to-end recovery time (phases 1-4, excluding the
+// tuple replay that follows).
+func (r RecoveryStats) Total() time.Duration {
+	return r.Reload + r.DiskIO + r.Deserialize + r.Reconnect
+}
+
+// Cluster is a running simulated deployment.
+type Cluster struct {
+	cfg Config
+
+	shared  *storage.Store
+	catalog *storage.Catalog
+	ctrl    *controller.Controller
+
+	mu         sync.Mutex
+	nodes      []*node
+	haus       map[string]*spe.HAU
+	hauNode    map[string]int
+	cancels    map[string]context.CancelFunc
+	inEdges    map[string][]*spe.Edge // keyed by downstream id
+	sourceLogs map[string]*buffer.SourceLog
+	preservers map[string]*buffer.Preserver
+	rng        *rand.Rand
+
+	rootCtx context.Context
+	started bool
+}
+
+// New builds (but does not start) a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.App.Graph == nil || cfg.App.NewOperators == nil {
+		return nil, errors.New("cluster: incomplete app spec")
+	}
+	if err := cfg.App.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.PreserveMemCap <= 0 {
+		cfg.PreserveMemCap = buffer.DefaultMemCap
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 2 * time.Millisecond
+	}
+	if cfg.Now == nil {
+		cfg.Now = func() int64 { return time.Now().UnixNano() }
+	}
+	cl := &Cluster{
+		cfg:        cfg,
+		shared:     storage.NewStore(cfg.SharedSpec),
+		haus:       make(map[string]*spe.HAU),
+		hauNode:    make(map[string]int),
+		cancels:    make(map[string]context.CancelFunc),
+		inEdges:    make(map[string][]*spe.Edge),
+		sourceLogs: make(map[string]*buffer.SourceLog),
+		preservers: make(map[string]*buffer.Preserver),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+	}
+	cl.catalog = storage.NewCatalog(cl.shared, cfg.App.Graph.Nodes())
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &node{index: i, disk: storage.NewDisk(cfg.LocalDiskSpec)}
+		n.alive.Store(true)
+		cl.nodes = append(cl.nodes, n)
+	}
+	ids := cfg.App.Graph.Nodes()
+	for i, id := range ids {
+		cl.hauNode[id] = i % cfg.Nodes
+	}
+	ctrlCfg := controller.Config{
+		Scheme:     cfg.Scheme,
+		HAUs:       nil, // installed after build
+		Sources:    cfg.App.Graph.Sources(),
+		Catalog:    cl.catalog,
+		SourceLogs: cl.sourceLogs,
+		Period:     cfg.CkptPeriod,
+		IsAlive:    cl.hauAlive,
+		Now:        cfg.Now,
+	}
+	cl.ctrl = controller.New(ctrlCfg)
+	return cl, nil
+}
+
+// Catalog exposes the checkpoint catalog.
+func (cl *Cluster) Catalog() *storage.Catalog { return cl.catalog }
+
+// SharedStore exposes the shared storage node.
+func (cl *Cluster) SharedStore() *storage.Store { return cl.shared }
+
+// Controller exposes the controller.
+func (cl *Cluster) Controller() *controller.Controller { return cl.ctrl }
+
+// HAU returns the current instance for id.
+func (cl *Cluster) HAU(id string) *spe.HAU {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.haus[id]
+}
+
+// NodeOf returns the node index hosting id.
+func (cl *Cluster) NodeOf(id string) int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.hauNode[id]
+}
+
+func (cl *Cluster) hauAlive(id string) bool {
+	cl.mu.Lock()
+	n := cl.hauNode[id]
+	node := cl.nodes[n]
+	cl.mu.Unlock()
+	return node.alive.Load()
+}
+
+// Start builds every HAU, wires the query network, and launches the HAU
+// goroutines. The controller's Run loop is NOT started automatically; call
+// StartController for scheme-driven checkpointing or drive epochs manually.
+func (cl *Cluster) Start(ctx context.Context) error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.started {
+		return errors.New("cluster: already started")
+	}
+	cl.rootCtx = ctx
+	g := cl.cfg.App.Graph
+	// Build all edges first (downstream in-edge slices define ports).
+	for _, id := range g.Nodes() {
+		ups := g.Upstream(id)
+		edges := make([]*spe.Edge, len(ups))
+		for i, up := range ups {
+			edges[i] = spe.NewEdge(up, id, cl.cfg.EdgeBuffer)
+		}
+		cl.inEdges[id] = edges
+	}
+	for _, id := range g.Nodes() {
+		h, _, _, err := cl.buildHAU(id, nil)
+		if err != nil {
+			return err
+		}
+		cl.haus[id] = h
+	}
+	cl.installControllerHAUs()
+	for id, h := range cl.haus {
+		hctx, cancel := context.WithCancel(ctx)
+		cl.cancels[id] = cancel
+		h.Start(hctx)
+	}
+	cl.started = true
+	return nil
+}
+
+// StartController launches the controller loop (periodic checkpoints,
+// alert mode, failure pings).
+func (cl *Cluster) StartController(ctx context.Context) {
+	go cl.ctrl.Run(ctx)
+}
+
+// buildHAU constructs an HAU instance for id. Held lock: cl.mu. The two
+// returned durations are the operator-construction (reload) and state
+// deserialization times, the Fig. 16 phases 1 and 3.
+func (cl *Cluster) buildHAU(id string, restoreBlob []byte) (*spe.HAU, time.Duration, time.Duration, error) {
+	g := cl.cfg.App.Graph
+	opsStart := time.Now()
+	ops := cl.cfg.App.NewOperators(id)
+	opsDur := time.Since(opsStart)
+	nd := cl.nodes[cl.hauNode[id]]
+
+	outIDs := g.Downstream(id)
+	outs := make([]*spe.Edge, len(outIDs))
+	for i, down := range outIDs {
+		port := g.PortOf(id, down)
+		outs[i] = cl.inEdges[down][port]
+	}
+	cfg := spe.Config{
+		ID:              id,
+		Scheme:          cl.cfg.Scheme,
+		Ops:             ops,
+		In:              cl.inEdges[id],
+		Out:             outs,
+		Catalog:         cl.catalog,
+		Listener:        cl.listener(),
+		TickEvery:       cl.cfg.TickEvery,
+		PerTupleDelay:   cl.cfg.PerTupleDelay,
+		DeltaCheckpoint: cl.cfg.DeltaCheckpoint,
+		ShedWatermark:   cl.cfg.ShedWatermark,
+		Now:             cl.cfg.Now,
+	}
+	isSource := len(cl.inEdges[id]) == 0
+	if cl.cfg.Scheme == spe.Baseline {
+		cfg.CkptPeriod = cl.cfg.CkptPeriod
+		if cl.cfg.CkptPeriod > 0 {
+			cfg.CkptPhase = time.Duration(cl.rng.Int63n(int64(cl.cfg.CkptPeriod)))
+		}
+		pres := buffer.NewPreserver(len(outs), cl.cfg.PreserveMemCap, nd.disk)
+		cl.preservers[id] = pres
+		cfg.Preserver = pres
+		downID := id
+		cfg.AckUpstream = func(inPort int, seq uint64) {
+			cl.ackUpstream(downID, inPort, seq)
+		}
+	} else if isSource {
+		log := cl.sourceLogs[id]
+		if log == nil {
+			log = buffer.NewSourceLog(id, cl.shared, cl.cfg.SourceFlush)
+			cl.sourceLogs[id] = log
+		}
+		cfg.SourceLog = log
+	}
+	h, err := spe.New(cfg)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var restoreDur time.Duration
+	if restoreBlob != nil {
+		restoreStart := time.Now()
+		if err := h.RestoreFrom(restoreBlob); err != nil {
+			return nil, 0, 0, err
+		}
+		restoreDur = time.Since(restoreStart)
+	}
+	return h, opsDur, restoreDur, nil
+}
+
+// listener returns the fan-out listener: controller plus any extra.
+func (cl *Cluster) listener() spe.Listener {
+	if cl.cfg.Listener == nil {
+		return cl.ctrl
+	}
+	return fanOutListener{cl.ctrl, cl.cfg.Listener}
+}
+
+type fanOutListener []spe.Listener
+
+func (f fanOutListener) CheckpointDone(hau string, epoch uint64, b spe.CheckpointBreakdown) {
+	for _, l := range f {
+		l.CheckpointDone(hau, epoch, b)
+	}
+}
+
+func (f fanOutListener) TurningPoint(hau string, at int64, size int64, icr float64, halved bool) {
+	for _, l := range f {
+		l.TurningPoint(hau, at, size, icr, halved)
+	}
+}
+
+func (f fanOutListener) Stopped(hau string, err error) {
+	for _, l := range f {
+		l.Stopped(hau, err)
+	}
+}
+
+// ackUpstream routes a baseline checkpoint ack from downstream's input
+// port to the upstream HAU's preserver.
+func (cl *Cluster) ackUpstream(down string, inPort int, seq uint64) {
+	g := cl.cfg.App.Graph
+	ups := g.Upstream(down)
+	if inPort < 0 || inPort >= len(ups) {
+		return
+	}
+	up := ups[inPort]
+	cl.mu.Lock()
+	pres := cl.preservers[up]
+	cl.mu.Unlock()
+	if pres == nil {
+		return
+	}
+	// The upstream's output port for this edge.
+	for outPort, d := range g.Downstream(up) {
+		if d == down {
+			pres.Trim(outPort, seq)
+			return
+		}
+	}
+}
+
+// installControllerHAUs hands the controller the live HAU map. The
+// controller keeps the same map pointer, so recovery just mutates it.
+func (cl *Cluster) installControllerHAUs() {
+	cl.ctrl.SetHAUs(cl.haus)
+}
+
+// KillNode fail-stops one node: its HAUs halt immediately and its disk
+// becomes unreachable.
+func (cl *Cluster) KillNode(idx int) {
+	cl.mu.Lock()
+	if idx < 0 || idx >= len(cl.nodes) {
+		cl.mu.Unlock()
+		return
+	}
+	cl.nodes[idx].alive.Store(false)
+	var dead []string
+	for id, n := range cl.hauNode {
+		if n == idx {
+			dead = append(dead, id)
+		}
+	}
+	cancels := make([]context.CancelFunc, 0, len(dead))
+	for _, id := range dead {
+		if c := cl.cancels[id]; c != nil {
+			cancels = append(cancels, c)
+		}
+	}
+	cl.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// KillNodes fail-stops a set of nodes (a correlated burst).
+func (cl *Cluster) KillNodes(idxs []int) {
+	for _, i := range idxs {
+		cl.KillNode(i)
+	}
+}
+
+// KillAll fail-stops every worker node — the paper's worst case, "where
+// all computing nodes on which a stream application runs fail".
+func (cl *Cluster) KillAll() {
+	cl.mu.Lock()
+	n := len(cl.nodes)
+	cl.mu.Unlock()
+	for i := 0; i < n; i++ {
+		cl.KillNode(i)
+	}
+}
+
+// StopAll cancels every HAU without marking nodes dead (orderly shutdown).
+func (cl *Cluster) StopAll() {
+	cl.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(cl.cancels))
+	haus := make([]*spe.HAU, 0, len(cl.haus))
+	for id, c := range cl.cancels {
+		cancels = append(cancels, c)
+		haus = append(haus, cl.haus[id])
+	}
+	cl.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	for _, h := range haus {
+		<-h.Done()
+	}
+}
+
+// RecoverAll performs whole-application recovery from the Most Recent
+// Complete Checkpoint: every HAU is restarted (on healthy nodes), state is
+// read back from shared storage, sources replay their preserved tuples.
+// Returns the phase breakdown (Fig. 16).
+func (cl *Cluster) RecoverAll(ctx context.Context) (RecoveryStats, error) {
+	var stats RecoveryStats
+
+	// Make sure every old instance is dead and async writers drained.
+	cl.mu.Lock()
+	oldHAUs := make([]*spe.HAU, 0, len(cl.haus))
+	for _, h := range cl.haus {
+		oldHAUs = append(oldHAUs, h)
+	}
+	cancels := make([]context.CancelFunc, 0, len(cl.cancels))
+	for _, c := range cl.cancels {
+		cancels = append(cancels, c)
+	}
+	cl.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	for _, h := range oldHAUs {
+		<-h.Done()
+	}
+
+	mrc, ok := cl.catalog.MostRecentComplete()
+	if !ok {
+		return stats, errors.New("cluster: no complete checkpoint to recover from")
+	}
+	stats.Epoch = mrc
+
+	// Restart dead nodes' HAUs on healthy nodes: reassign placements.
+	cl.mu.Lock()
+	healthy := make([]int, 0, len(cl.nodes))
+	for i, n := range cl.nodes {
+		if n.alive.Load() {
+			healthy = append(healthy, i)
+		}
+	}
+	if len(healthy) == 0 {
+		// Everything failed: the paper restarts HAUs "on other healthy
+		// nodes" — model replacement nodes by reviving the old ones.
+		for _, n := range cl.nodes {
+			n.alive.Store(true)
+			healthy = append(healthy, n.index)
+		}
+	}
+	k := 0
+	for _, id := range cl.cfg.App.Graph.Nodes() {
+		if !cl.nodes[cl.hauNode[id]].alive.Load() {
+			cl.hauNode[id] = healthy[k%len(healthy)]
+			k++
+		}
+	}
+	g := cl.cfg.App.Graph
+	ids := g.Nodes()
+	// Fresh edges everywhere: in-flight tuples are rolled back.
+	for _, id := range ids {
+		ups := g.Upstream(id)
+		edges := make([]*spe.Edge, len(ups))
+		for i, up := range ups {
+			edges[i] = spe.NewEdge(up, id, cl.cfg.EdgeBuffer)
+		}
+		cl.inEdges[id] = edges
+	}
+	cl.mu.Unlock()
+
+	// Phase 2: read all checkpoint blobs (parallel readers contending on
+	// the shared store, like 55 nodes hammering one storage node).
+	diskStart := time.Now()
+	blobs := make(map[string][]byte, len(ids))
+	var blobMu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(ids))
+	for _, id := range ids {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			blob, _, err := cl.catalog.LoadState(mrc, id)
+			if err != nil {
+				errCh <- fmt.Errorf("load %s: %w", id, err)
+				return
+			}
+			blobMu.Lock()
+			blobs[id] = blob
+			blobMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return stats, err
+	default:
+	}
+	stats.DiskIO = time.Since(diskStart)
+
+	// Phases 1+3: reload operators and deserialize state.
+	newHAUs := make(map[string]*spe.HAU, len(ids))
+	cl.mu.Lock()
+	for _, id := range ids {
+		h, opsDur, restoreDur, err := cl.buildHAU(id, blobs[id])
+		if err != nil {
+			cl.mu.Unlock()
+			return stats, err
+		}
+		stats.Reload += opsDur
+		stats.Deserialize += restoreDur
+		newHAUs[id] = h
+	}
+	cl.mu.Unlock()
+
+	// Source replay: re-feed everything preserved since the MRC. Counted
+	// separately — the paper's recovery time stops before replay.
+	replayStart := time.Now()
+	cl.mu.Lock()
+	for id, log := range cl.sourceLogs {
+		ts, err := log.ReplaySince(mrc)
+		if err != nil {
+			cl.mu.Unlock()
+			return stats, err
+		}
+		newHAUs[id].SetSourceReplay(ts)
+	}
+	cl.mu.Unlock()
+	stats.ReplayFetch = time.Since(replayStart)
+
+	// Phase 4: reconnect — swap the live map and start everything.
+	reconnectStart := time.Now()
+	cl.mu.Lock()
+	for id, h := range newHAUs {
+		cl.haus[id] = h
+		hctx, cancel := context.WithCancel(cl.rootCtx)
+		cl.cancels[id] = cancel
+		h.Start(hctx)
+	}
+	cl.installControllerHAUs()
+	cl.mu.Unlock()
+	stats.Reconnect = time.Since(reconnectStart)
+	stats.HAUs = len(ids)
+	cl.ctrl.ClearFailure()
+	return stats, nil
+}
+
+// RecoverHAU restarts a single failed HAU from its most recent individual
+// checkpoint (the baseline's recovery procedure): upstream neighbours swap
+// in fresh edges and replay their preserved tuples; downstream neighbours
+// drop the duplicates they already processed by sequence number.
+func (cl *Cluster) RecoverHAU(ctx context.Context, id string) (RecoveryStats, error) {
+	var stats RecoveryStats
+	cl.mu.Lock()
+	old := cl.haus[id]
+	cancel := cl.cancels[id]
+	cl.mu.Unlock()
+	if old == nil {
+		return stats, fmt.Errorf("cluster: unknown HAU %q", id)
+	}
+	if cancel != nil {
+		cancel()
+	}
+	<-old.Done()
+
+	epoch, ok := cl.catalog.LatestEpochFor(id)
+	if !ok {
+		return stats, fmt.Errorf("cluster: no checkpoint for HAU %q", id)
+	}
+	stats.Epoch = epoch
+	diskStart := time.Now()
+	blob, _, err := cl.catalog.LoadState(epoch, id)
+	if err != nil {
+		return stats, err
+	}
+	stats.DiskIO = time.Since(diskStart)
+
+	// Move to a healthy node if the old one is down.
+	cl.mu.Lock()
+	if !cl.nodes[cl.hauNode[id]].alive.Load() {
+		for i, n := range cl.nodes {
+			if n.alive.Load() {
+				cl.hauNode[id] = i
+				break
+			}
+		}
+	}
+	// Fresh input edges (in-flight tuples on the dead node are gone).
+	g := cl.cfg.App.Graph
+	ups := g.Upstream(id)
+	edges := make([]*spe.Edge, len(ups))
+	for i, up := range ups {
+		edges[i] = spe.NewEdge(up, id, cl.cfg.EdgeBuffer)
+	}
+	cl.inEdges[id] = edges
+	h, opsDur, restoreDur, err := cl.buildHAU(id, blob)
+	if err != nil {
+		cl.mu.Unlock()
+		return stats, err
+	}
+	stats.Reload = opsDur
+	stats.Deserialize = restoreDur
+	reconnectStart := time.Now()
+	cl.haus[id] = h
+	hctx, hcancel := context.WithCancel(cl.rootCtx)
+	cl.cancels[id] = hcancel
+	cl.installControllerHAUs()
+	upstreams := make([]*spe.HAU, len(ups))
+	for i, up := range ups {
+		upstreams[i] = cl.haus[up]
+	}
+	cl.mu.Unlock()
+
+	h.Start(hctx)
+	// Rewire upstream neighbours and replay their preserved output.
+	for i, up := range ups {
+		uh := upstreams[i]
+		if uh == nil {
+			continue
+		}
+		outPort := -1
+		for p, d := range g.Downstream(up) {
+			if d == id {
+				outPort = p
+				break
+			}
+		}
+		if outPort < 0 {
+			continue
+		}
+		uh.Command(spe.Command{Kind: spe.CmdSwapOutEdge, Port: outPort, Edge: edges[i]})
+		uh.Command(spe.Command{Kind: spe.CmdReplayOutput, Port: outPort})
+	}
+	stats.Reconnect = time.Since(reconnectStart)
+	stats.HAUs = 1
+	cl.ctrl.ClearFailure()
+	return stats, nil
+}
+
+// SetFailureHandler installs the callback the controller invokes when its
+// pings detect dead nodes. Typical production wiring performs RecoverAll.
+func (cl *Cluster) SetFailureHandler(fn func(dead []string)) {
+	cl.ctrl.SetOnFailure(fn)
+}
+
+// GraphNodes returns all HAU ids of the application.
+func (cl *Cluster) GraphNodes() []string { return cl.cfg.App.Graph.Nodes() }
+
+// ProcessedTotal sums ProcessedCount over all live HAUs — the paper's
+// throughput numerator ("the number of tuples processed by the application
+// within a 10-minute time window").
+func (cl *Cluster) ProcessedTotal() uint64 {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var n uint64
+	for _, h := range cl.haus {
+		n += h.ProcessedCount()
+	}
+	return n
+}
+
+// SourceLog exposes the preservation log of a source (tests, tooling).
+func (cl *Cluster) SourceLog(id string) *buffer.SourceLog {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.sourceLogs[id]
+}
+
+// Preserver exposes the input-preservation buffer of an HAU (baseline).
+func (cl *Cluster) Preserver(id string) *buffer.Preserver {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.preservers[id]
+}
+
+// ReplayableTuples reports how many tuples the source logs currently hold.
+func (cl *Cluster) ReplayableTuples() int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	n := 0
+	for _, l := range cl.sourceLogs {
+		n += l.PreservedCount()
+	}
+	return n
+}

@@ -1,0 +1,235 @@
+// Package core is the top-level Meteor Shower API: it assembles a stream
+// application, a fault-tolerance scheme, a simulated cluster and the
+// controller into a runnable System, and provides the measurement helpers
+// the evaluation harness (and any downstream user) builds on.
+//
+// Typical use:
+//
+//	sys, _ := core.NewSystem(core.Options{App: app, Scheme: spe.MSSrcAPAA, ...})
+//	defer sys.Stop()
+//	sys.Start(ctx)
+//	sys.StartController(ctx)      // scheme-driven checkpoint scheduling
+//	...                           // let it stream
+//	sum := sys.Summarize(col, window)
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"meteorshower/internal/cluster"
+	"meteorshower/internal/controller"
+	"meteorshower/internal/metrics"
+	"meteorshower/internal/spe"
+	"meteorshower/internal/statesize"
+	"meteorshower/internal/storage"
+)
+
+// Options configures a System. Zero values select sensible defaults.
+type Options struct {
+	App    cluster.AppSpec
+	Scheme spe.Scheme
+	Nodes  int
+
+	// CheckpointPeriod is the checkpoint period T (controller-driven for
+	// MS schemes, per-HAU for the baseline). Zero disables periodic
+	// checkpointing (epochs can still be triggered manually).
+	CheckpointPeriod time.Duration
+
+	// TimeScale compresses simulated disk time: 1.0 = real time, 0.01 =
+	// 100x faster, 0 = no disk sleeping (unit tests).
+	TimeScale float64
+	// LocalDisk / SharedDisk override the default disk models. TimeScale
+	// is applied on top when they are zero-valued.
+	LocalDisk  storage.DiskSpec
+	SharedDisk storage.DiskSpec
+
+	EdgeBuffer     int
+	TickEvery      time.Duration
+	PreserveMemCap int64 // baseline in-memory preservation cap
+	SourceFlush    int64 // source-log group commit threshold
+	PerTupleDelay  time.Duration
+	Seed           int64
+
+	// AutoRecover wires the controller's failure detector to whole
+	// application recovery (Meteor Shower's behaviour in production).
+	AutoRecover bool
+
+	// DeltaCheckpoint writes block deltas instead of full state when the
+	// delta is smaller (paper §V: "delta-checkpointing ... could be
+	// applied jointly" with Meteor Shower).
+	DeltaCheckpoint bool
+	// ShedWatermark enables load shedding above this output-queue
+	// occupancy (paper §III); it trades exactly-once for liveness under
+	// long-term overload, so it is off by default.
+	ShedWatermark float64
+
+	Listener spe.Listener // optional extra event listener
+}
+
+func (o *Options) applyDefaults() {
+	if o.Nodes <= 0 {
+		o.Nodes = 4
+	}
+	zero := storage.DiskSpec{}
+	if o.LocalDisk == zero {
+		o.LocalDisk = storage.DefaultLocalDisk()
+		o.LocalDisk.TimeScale = o.TimeScale
+	}
+	if o.SharedDisk == zero {
+		o.SharedDisk = storage.DefaultSharedStore()
+		o.SharedDisk.TimeScale = o.TimeScale
+	}
+	if o.TickEvery <= 0 {
+		o.TickEvery = 2 * time.Millisecond
+	}
+	if o.SourceFlush == 0 {
+		o.SourceFlush = 4 << 10
+	}
+}
+
+// System is a running Meteor Shower deployment.
+type System struct {
+	opts Options
+	cl   *cluster.Cluster
+}
+
+// NewSystem validates opts and builds the deployment.
+func NewSystem(opts Options) (*System, error) {
+	opts.applyDefaults()
+	cl, err := cluster.New(cluster.Config{
+		App:             opts.App,
+		Scheme:          opts.Scheme,
+		Nodes:           opts.Nodes,
+		LocalDiskSpec:   opts.LocalDisk,
+		SharedSpec:      opts.SharedDisk,
+		EdgeBuffer:      opts.EdgeBuffer,
+		TickEvery:       opts.TickEvery,
+		CkptPeriod:      opts.CheckpointPeriod,
+		PreserveMemCap:  opts.PreserveMemCap,
+		SourceFlush:     opts.SourceFlush,
+		PerTupleDelay:   opts.PerTupleDelay,
+		Seed:            opts.Seed,
+		Listener:        opts.Listener,
+		DeltaCheckpoint: opts.DeltaCheckpoint,
+		ShedWatermark:   opts.ShedWatermark,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{opts: opts, cl: cl}, nil
+}
+
+// Cluster exposes the underlying simulated cluster.
+func (s *System) Cluster() *cluster.Cluster { return s.cl }
+
+// Controller exposes the controller.
+func (s *System) Controller() *controller.Controller { return s.cl.Controller() }
+
+// Catalog exposes the checkpoint catalog.
+func (s *System) Catalog() *storage.Catalog { return s.cl.Catalog() }
+
+// Scheme returns the configured scheme.
+func (s *System) Scheme() spe.Scheme { return s.opts.Scheme }
+
+// Start launches the HAU goroutines.
+func (s *System) Start(ctx context.Context) error {
+	if err := s.cl.Start(ctx); err != nil {
+		return err
+	}
+	if s.opts.AutoRecover {
+		s.cl.SetFailureHandler(func([]string) {
+			go s.cl.RecoverAll(ctx) //nolint:errcheck // recovery errors surface via HAU state
+		})
+	}
+	return nil
+}
+
+// StartController launches scheme-driven checkpoint scheduling and failure
+// detection.
+func (s *System) StartController(ctx context.Context) {
+	s.cl.StartController(ctx)
+}
+
+// TriggerCheckpoint fires the next checkpoint epoch and returns it.
+func (s *System) TriggerCheckpoint() uint64 {
+	return s.cl.Controller().TriggerCheckpoint()
+}
+
+// WaitForEpoch blocks until the application checkpoint for epoch completes
+// or the timeout elapses.
+func (s *System) WaitForEpoch(epoch uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if e, ok := s.cl.Catalog().MostRecentComplete(); ok && e >= epoch {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return errors.New("core: epoch did not complete in time")
+}
+
+// Profile runs the application-aware profiling phase (MS-src+ap+aa).
+func (s *System) Profile(ctx context.Context, dur time.Duration) statesize.Profile {
+	return s.cl.Controller().ProfileApplication(ctx, dur)
+}
+
+// KillNode fail-stops one node.
+func (s *System) KillNode(idx int) { s.cl.KillNode(idx) }
+
+// KillNodes fail-stops a correlated burst of nodes.
+func (s *System) KillNodes(idxs []int) { s.cl.KillNodes(idxs) }
+
+// KillAll fail-stops every worker node.
+func (s *System) KillAll() { s.cl.KillAll() }
+
+// RecoverAll rolls the whole application back to the MRC.
+func (s *System) RecoverAll(ctx context.Context) (cluster.RecoveryStats, error) {
+	return s.cl.RecoverAll(ctx)
+}
+
+// RecoverHAU restarts one HAU from its latest individual checkpoint
+// (baseline recovery).
+func (s *System) RecoverHAU(ctx context.Context, id string) (cluster.RecoveryStats, error) {
+	return s.cl.RecoverHAU(ctx, id)
+}
+
+// Stop shuts down all HAUs.
+func (s *System) Stop() { s.cl.StopAll() }
+
+// Summary holds the headline measurements of one run — the quantities
+// Figs. 12/13 plot.
+type Summary struct {
+	App         string
+	Scheme      string
+	Window      time.Duration
+	Tuples      uint64
+	TuplesPerMS float64
+	MeanLatency time.Duration
+	P50, P99    time.Duration
+	Checkpoints int
+}
+
+// Summarize reads the collector and controller into a Summary covering
+// deliveries since 'since' (UnixNano); window is used for the rate.
+func (s *System) Summarize(col *metrics.Collector, since int64, window time.Duration) Summary {
+	completed := 0
+	for _, st := range s.cl.Controller().EpochStats() {
+		if st.Complete {
+			completed++
+		}
+	}
+	n := col.CountSince(since)
+	return Summary{
+		App:         s.opts.App.Name,
+		Scheme:      s.opts.Scheme.String(),
+		Window:      window,
+		Tuples:      n,
+		TuplesPerMS: float64(n) / float64(window.Milliseconds()),
+		MeanLatency: col.MeanLatency(),
+		P50:         col.Quantile(0.50),
+		P99:         col.Quantile(0.99),
+		Checkpoints: completed,
+	}
+}

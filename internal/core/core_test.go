@@ -1,0 +1,239 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"meteorshower/internal/cluster"
+	"meteorshower/internal/graph"
+	"meteorshower/internal/metrics"
+	"meteorshower/internal/operator"
+	"meteorshower/internal/spe"
+)
+
+// chainSpec builds S -> C -> K with identity tracking.
+func chainSpec(col *metrics.Collector, sinkRef **operator.Sink) cluster.AppSpec {
+	g := graph.New()
+	g.MustAddNode("S")
+	g.MustAddNode("C")
+	g.MustAddNode("K")
+	g.MustAddEdge("S", "C")
+	g.MustAddEdge("C", "K")
+	return cluster.AppSpec{
+		Name:  "chain",
+		Graph: g,
+		NewOperators: func(id string) []operator.Operator {
+			switch id {
+			case "S":
+				return []operator.Operator{operator.NewRateSource("S", 4, 9, operator.BytePayload(16, 4))}
+			case "C":
+				return []operator.Operator{operator.NewCounter("C")}
+			default:
+				s := operator.NewSink("K", col)
+				s.TrackIdentity = true
+				if sinkRef != nil {
+					*sinkRef = s
+				}
+				return []operator.Operator{s}
+			}
+		},
+	}
+}
+
+func newChainSystem(t *testing.T, scheme spe.Scheme) (*System, *metrics.Collector, **operator.Sink) {
+	t.Helper()
+	col := metrics.NewCollector()
+	sinkRef := new(*operator.Sink)
+	sys, err := NewSystem(Options{
+		App:       chainSpec(col, sinkRef),
+		Scheme:    scheme,
+		Nodes:     2,
+		TimeScale: 0,
+		TickEvery: time.Millisecond,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, col, sinkRef
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestNewSystemValidates(t *testing.T) {
+	if _, err := NewSystem(Options{}); err == nil {
+		t.Fatal("empty options accepted")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}
+	o.applyDefaults()
+	if o.Nodes != 4 || o.TickEvery <= 0 || o.SourceFlush == 0 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if o.LocalDisk.BandwidthBps == 0 || o.SharedDisk.BandwidthBps == 0 {
+		t.Fatal("disk defaults missing")
+	}
+}
+
+func TestSystemLifecycle(t *testing.T) {
+	sys, col, _ := newChainSystem(t, spe.MSSrcAP)
+	if sys.Scheme() != spe.MSSrcAP {
+		t.Fatal("scheme accessor wrong")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := sys.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "tuples", func() bool { return col.Count() >= 20 })
+	if sys.Cluster() == nil || sys.Controller() == nil || sys.Catalog() == nil {
+		t.Fatal("accessors nil")
+	}
+	sys.Stop()
+}
+
+func TestTriggerAndWaitForEpoch(t *testing.T) {
+	sys, col, _ := newChainSystem(t, spe.MSSrcAP)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := sys.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+	waitFor(t, 10*time.Second, "warmup", func() bool { return col.Count() >= 10 })
+	ep := sys.TriggerCheckpoint()
+	if err := sys.WaitForEpoch(ep, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitForEpoch(ep+5, 50*time.Millisecond); err == nil {
+		t.Fatal("future epoch reported complete")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sys, col, _ := newChainSystem(t, spe.MSSrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := sys.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+	start := time.Now()
+	waitFor(t, 10*time.Second, "tuples", func() bool { return col.Count() >= 20 })
+	sum := sys.Summarize(col, start.UnixNano(), time.Since(start))
+	if sum.App != "chain" || sum.Scheme != "MS-src" {
+		t.Fatalf("labels: %+v", sum)
+	}
+	if sum.Tuples == 0 || sum.MeanLatency <= 0 {
+		t.Fatalf("measurements empty: %+v", sum)
+	}
+}
+
+func TestAutoRecover(t *testing.T) {
+	col := metrics.NewCollector()
+	sinkRef := new(*operator.Sink)
+	sys, err := NewSystem(Options{
+		App:         chainSpec(col, sinkRef),
+		Scheme:      spe.MSSrcAP,
+		Nodes:       2,
+		TimeScale:   0,
+		TickEvery:   time.Millisecond,
+		Seed:        1,
+		AutoRecover: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := sys.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+	sys.StartController(ctx)
+	waitFor(t, 10*time.Second, "warmup", func() bool { return col.Count() >= 10 })
+	ep := sys.TriggerCheckpoint()
+	if err := sys.WaitForEpoch(ep, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Kill one node; the controller's pings must notice and auto-recover.
+	sys.KillNode(0)
+	before := col.Count()
+	waitFor(t, 15*time.Second, "auto recovery resumes flow", func() bool {
+		return col.Count() > before+20
+	})
+}
+
+// TestQuickExactlyOnceUnderRandomFailures is the paper's core correctness
+// claim, tested adversarially: checkpoint at a random time, kill a random
+// subset of nodes at a random time, recover, and require the sink to see
+// no duplicate deliveries across the cut for every seed.
+func TestQuickExactlyOnceUnderRandomFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, scheme := range []spe.Scheme{spe.MSSrc, spe.MSSrcAP} {
+		for seed := int64(0); seed < 4; seed++ {
+			scheme, seed := scheme, seed
+			t.Run(scheme.String(), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				col := metrics.NewCollector()
+				sinkRef := new(*operator.Sink)
+				sys, err := NewSystem(Options{
+					App:       chainSpec(col, sinkRef),
+					Scheme:    scheme,
+					Nodes:     3,
+					TimeScale: 0,
+					TickEvery: time.Millisecond,
+					Seed:      seed,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				if err := sys.Start(ctx); err != nil {
+					t.Fatal(err)
+				}
+				defer sys.Stop()
+
+				time.Sleep(time.Duration(20+rng.Intn(60)) * time.Millisecond)
+				ep := sys.TriggerCheckpoint()
+				if err := sys.WaitForEpoch(ep, 10*time.Second); err != nil {
+					t.Fatal(err)
+				}
+				time.Sleep(time.Duration(rng.Intn(80)) * time.Millisecond)
+				// Random burst: 1..3 nodes.
+				n := 1 + rng.Intn(3)
+				for i := 0; i < n; i++ {
+					sys.KillNode(rng.Intn(3))
+				}
+				if _, err := sys.RecoverAll(ctx); err != nil {
+					t.Fatal(err)
+				}
+				sink := *sinkRef
+				before := sink.Delivered()
+				waitFor(t, 10*time.Second, "post-recovery flow", func() bool {
+					return (*sinkRef).Delivered() > before+20
+				})
+				if d := (*sinkRef).Duplicates(); d != 0 {
+					t.Fatalf("seed %d: %d duplicates after random failure", seed, d)
+				}
+			})
+		}
+	}
+}

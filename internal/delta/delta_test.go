@@ -1,0 +1,202 @@
+package delta
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripIdentical(t *testing.T) {
+	base := bytes.Repeat([]byte{7}, 5000)
+	d := Diff(base, base, 512)
+	if len(d) >= len(base)/4 {
+		t.Fatalf("identical state delta too big: %d", len(d))
+	}
+	got, err := Apply(base, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, base) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestRoundTripSingleBlockChange(t *testing.T) {
+	base := make([]byte, 8192)
+	for i := range base {
+		base[i] = byte(i)
+	}
+	cur := append([]byte(nil), base...)
+	cur[5000] ^= 0xFF
+	d := Diff(base, cur, 1024)
+	// 8 blocks, 1 changed: ~1KB of data + headers.
+	if len(d) > 1200 {
+		t.Fatalf("one-block delta = %d bytes", len(d))
+	}
+	got, err := Apply(base, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, cur) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestRoundTripGrowShrink(t *testing.T) {
+	base := bytes.Repeat([]byte{1}, 3000)
+	for _, cur := range [][]byte{
+		bytes.Repeat([]byte{1}, 5000), // grow
+		bytes.Repeat([]byte{1}, 100),  // shrink
+		nil,                           // empty
+	} {
+		d := Diff(base, cur, 256)
+		got, err := Apply(base, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, cur) {
+			t.Fatalf("grow/shrink mismatch at len %d", len(cur))
+		}
+	}
+}
+
+func TestNilBase(t *testing.T) {
+	cur := []byte("fresh state with no prior checkpoint")
+	d := Diff(nil, cur, 8)
+	got, err := Apply(nil, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, cur) {
+		t.Fatal("nil-base round trip failed")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	if _, err := Apply(nil, []byte{1, 2}); err == nil {
+		t.Fatal("short diff accepted")
+	}
+	base := []byte("0123456789")
+	d := Diff(base, base, 4)
+	if _, err := Apply(base[:5], d); err == nil {
+		t.Fatal("base length mismatch accepted")
+	}
+	// Truncated payload.
+	cur := []byte("ABCDEFGHIJ")
+	d2 := Diff(base, cur, 4)
+	if _, err := Apply(base, d2[:len(d2)-3]); err == nil {
+		t.Fatal("truncated diff accepted")
+	}
+	// Bad magic.
+	bad := append([]byte(nil), d...)
+	bad[0] = 0
+	if _, err := Apply(base, bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestIsDelta(t *testing.T) {
+	d := Diff(nil, []byte("x"), 4)
+	if !IsDelta(d) {
+		t.Fatal("diff not recognized")
+	}
+	if IsDelta([]byte("plain state blob")) {
+		t.Fatal("plain blob recognized as delta")
+	}
+}
+
+func TestSavings(t *testing.T) {
+	base := bytes.Repeat([]byte{9}, 10000)
+	d := Diff(base, base, 1024)
+	if s := Savings(d, len(base)); s < 0.9 {
+		t.Fatalf("identical-state savings = %.2f", s)
+	}
+	if Savings(nil, 0) != 0 {
+		t.Fatal("zero-length savings must be 0")
+	}
+}
+
+// Property: Apply(base, Diff(base, cur)) == cur for random inputs, block
+// sizes, and mutation patterns.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := make([]byte, rng.Intn(6000))
+		rng.Read(base)
+		var cur []byte
+		switch rng.Intn(3) {
+		case 0: // random mutation of base
+			cur = append([]byte(nil), base...)
+			for i := 0; i < rng.Intn(20); i++ {
+				if len(cur) > 0 {
+					cur[rng.Intn(len(cur))] ^= byte(rng.Intn(256))
+				}
+			}
+		case 1: // resize
+			cur = make([]byte, rng.Intn(6000))
+			rng.Read(cur)
+			copy(cur, base)
+		default: // unrelated
+			cur = make([]byte, rng.Intn(6000))
+			rng.Read(cur)
+		}
+		bs := 16 << rng.Intn(7)
+		got, err := Apply(base, Diff(base, cur, bs))
+		return err == nil && bytes.Equal(got, cur)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the delta of an unchanged prefix is never larger than the
+// changed-suffix size plus per-block overhead.
+func TestQuickDeltaBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2048 + rng.Intn(4096)
+		base := make([]byte, n)
+		rng.Read(base)
+		cur := append([]byte(nil), base...)
+		changed := rng.Intn(n / 2)
+		rng.Read(cur[n-changed:])
+		d := Diff(base, cur, 256)
+		overhead := (n/256+2)*1 + 32
+		return len(d) <= changed+256+overhead
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDiff64K(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	base := make([]byte, 64<<10)
+	rng.Read(base)
+	cur := append([]byte(nil), base...)
+	for i := 0; i < 64; i++ {
+		cur[rng.Intn(len(cur))] ^= 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Diff(base, cur, DefaultBlockSize)
+	}
+}
+
+func BenchmarkApply64K(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	base := make([]byte, 64<<10)
+	rng.Read(base)
+	cur := append([]byte(nil), base...)
+	cur[100] ^= 1
+	d := Diff(base, cur, DefaultBlockSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Apply(base, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

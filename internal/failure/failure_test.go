@@ -1,0 +1,177 @@
+package failure
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGoogleNetworkExample(t *testing.T) {
+	n, afn := GoogleNetworkExample()
+	if n != 7640 {
+		t.Fatalf("node failures = %d, want 7640 (paper §II-B1)", n)
+	}
+	if afn <= 300 {
+		t.Fatalf("AFN100 = %.1f, paper says > 300", afn)
+	}
+}
+
+func TestGenerateGoogleMatchesTable1(t *testing.T) {
+	events := Generate(GoogleDC(), 2400, Year, 1)
+	afn := AFN100(events, 2400, Year)
+	if afn[Network] <= 300 {
+		t.Fatalf("Network AFN100 = %.1f, want > 300", afn[Network])
+	}
+	if afn[Environment] < 100 || afn[Environment] > 160 {
+		t.Fatalf("Environment AFN100 = %.1f, want 100~150", afn[Environment])
+	}
+	if afn[Ooops] < 80 || afn[Ooops] > 120 {
+		t.Fatalf("Ooops AFN100 = %.1f, want ~100", afn[Ooops])
+	}
+	if afn[Disk] < 1.7 || afn[Disk] > 8.6 {
+		t.Fatalf("Disk AFN100 = %.1f, want 1.7~8.6", afn[Disk])
+	}
+	if afn[Memory] < 0.5 || afn[Memory] > 2.5 {
+		t.Fatalf("Memory AFN100 = %.1f, want ~1.3", afn[Memory])
+	}
+}
+
+func TestGenerateAbeMatchesTable1(t *testing.T) {
+	events := Generate(AbeCluster(), 2400, Year, 2)
+	afn := AFN100(events, 2400, Year)
+	if afn[Network] < 180 || afn[Network] > 320 {
+		t.Fatalf("Abe Network AFN100 = %.1f, want ~250", afn[Network])
+	}
+	if afn[Ooops] < 25 || afn[Ooops] > 55 {
+		t.Fatalf("Abe Ooops AFN100 = %.1f, want ~40", afn[Ooops])
+	}
+	if afn[Disk] < 2 || afn[Disk] > 6 {
+		t.Fatalf("Abe Disk AFN100 = %.1f, want 2~6", afn[Disk])
+	}
+	if afn[Environment] != 0 {
+		t.Fatalf("Abe Environment AFN100 = %.1f, want 0 (NA)", afn[Environment])
+	}
+}
+
+func TestBurstFractionAround10Percent(t *testing.T) {
+	events := Generate(GoogleDC(), 2400, Year, 3)
+	f := BurstFraction(events)
+	if f < 0.01 || f > 0.2 {
+		t.Fatalf("burst fraction = %.3f, want ~0.10", f)
+	}
+}
+
+func TestBurstsAreRackCorrelated(t *testing.T) {
+	p := GoogleDC()
+	events := Generate(p, 2400, Year, 4)
+	sawRack := false
+	for _, e := range events {
+		if !e.Correlated() {
+			continue
+		}
+		// Correlated node sets must be contiguous ranges.
+		for i := 1; i < len(e.Nodes); i++ {
+			if e.Nodes[i] != e.Nodes[i-1]+1 {
+				t.Fatalf("burst nodes not contiguous: %v...", e.Nodes[:min(len(e.Nodes), 5)])
+			}
+		}
+		if len(e.Nodes) == p.NodesPerRack && e.Nodes[0]%p.NodesPerRack == 0 {
+			sawRack = true
+		}
+	}
+	if !sawRack {
+		t.Fatal("no rack-aligned burst generated in a full year")
+	}
+}
+
+func TestGenerateSortedAndBounded(t *testing.T) {
+	horizon := 30 * 24 * time.Hour
+	events := Generate(GoogleDC(), 800, horizon, 5)
+	for i, e := range events {
+		if e.At < 0 || e.At >= horizon {
+			t.Fatalf("event %d at %v outside horizon", i, e.At)
+		}
+		if i > 0 && e.At < events[i-1].At {
+			t.Fatal("events not sorted by time")
+		}
+		if len(e.Nodes) == 0 {
+			t.Fatalf("event %d affects no nodes", i)
+		}
+		for _, n := range e.Nodes {
+			if n < 0 || n >= 800 {
+				t.Fatalf("event %d node %d out of range", i, n)
+			}
+		}
+		if e.Recovery <= 0 {
+			t.Fatalf("event %d has no recovery time", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GoogleDC(), 2400, Year, 42)
+	b := Generate(GoogleDC(), 2400, Year, 42)
+	if len(a) != len(b) {
+		t.Fatal("same seed, different event counts")
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Cause != b[i].Cause || len(a[i].Nodes) != len(b[i].Nodes) {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestAFN100Empty(t *testing.T) {
+	if got := AFN100(nil, 0, 0); len(got) != 0 {
+		t.Fatal("degenerate AFN100 must be empty")
+	}
+}
+
+func TestBurstFractionEmpty(t *testing.T) {
+	if BurstFraction(nil) != 0 {
+		t.Fatal("empty trace burst fraction must be 0")
+	}
+}
+
+func TestCauseStrings(t *testing.T) {
+	want := []string{"Network", "Environment", "Ooops", "Disk", "Memory"}
+	for i, c := range Causes() {
+		if c.String() != want[i] {
+			t.Fatalf("cause %d = %q", i, c.String())
+		}
+	}
+	if Cause(99).String() == "" {
+		t.Fatal("unknown cause must stringify")
+	}
+}
+
+func TestSmallClusterNoRacks(t *testing.T) {
+	// Clusters smaller than a rack must still generate valid events.
+	events := Generate(GoogleDC(), 56, Year, 6)
+	for _, e := range events {
+		for _, n := range e.Nodes {
+			if n < 0 || n >= 56 {
+				t.Fatalf("node %d out of range for 56-node cluster", n)
+			}
+		}
+	}
+}
+
+// Property: AFN100 scales linearly with horizon (double the horizon with
+// the same per-year rates keeps the annualized number roughly constant).
+func TestQuickAFN100Annualized(t *testing.T) {
+	f := func(seed int64) bool {
+		e1 := Generate(GoogleDC(), 2400, Year, seed)
+		e2 := Generate(GoogleDC(), 2400, 2*Year, seed)
+		a1 := AFN100(e1, 2400, Year)[Network]
+		a2 := AFN100(e2, 2400, 2*Year)[Network]
+		if a1 == 0 || a2 == 0 {
+			return false
+		}
+		ratio := a1 / a2
+		return ratio > 0.5 && ratio < 2.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package kmeans implements Lloyd's k-means clustering with k-means++
+// seeding. It is the kernel of the TMI application (paper §II-B2): "a
+// k-means operator retains input tuples in an internal pool and clusters
+// the tuples at the end of the time window".
+package kmeans
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Point is a feature vector. All points passed to Cluster must share one
+// dimensionality.
+type Point []float64
+
+// Result holds the outcome of a clustering run.
+type Result struct {
+	Centroids  []Point
+	Assignment []int // Assignment[i] = index of the centroid of point i
+	Inertia    float64
+	Iterations int
+}
+
+// Config controls the clustering.
+type Config struct {
+	K        int
+	MaxIter  int   // 0 = default 50
+	Seed     int64 // deterministic seeding
+	MinDelta float64
+}
+
+// ErrBadInput reports empty input or invalid K.
+var ErrBadInput = errors.New("kmeans: need at least K points and K >= 1")
+
+// Cluster partitions points into cfg.K clusters.
+func Cluster(points []Point, cfg Config) (*Result, error) {
+	if cfg.K < 1 || len(points) < cfg.K {
+		return nil, ErrBadInput
+	}
+	dim := len(points[0])
+	for _, p := range points {
+		if len(p) != dim {
+			return nil, errors.New("kmeans: inconsistent dimensions")
+		}
+	}
+	maxIter := cfg.MaxIter
+	if maxIter == 0 {
+		maxIter = 50
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cents := seedPlusPlus(points, cfg.K, rng)
+	assign := make([]int, len(points))
+	res := &Result{}
+	prev := math.Inf(1)
+	for iter := 1; iter <= maxIter; iter++ {
+		res.Iterations = iter
+		// Assignment step.
+		inertia := 0.0
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range cents {
+				if d := sqDist(p, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+			inertia += bestD
+		}
+		res.Inertia = inertia
+		// Update step.
+		sums := make([]Point, cfg.K)
+		counts := make([]int, cfg.K)
+		for c := range sums {
+			sums[c] = make(Point, dim)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d := range p {
+				sums[c][d] += p[d]
+			}
+		}
+		for c := range cents {
+			if counts[c] == 0 {
+				// Empty cluster: reseed to the farthest point.
+				cents[c] = append(Point(nil), points[farthest(points, cents)]...)
+				continue
+			}
+			for d := range sums[c] {
+				sums[c][d] /= float64(counts[c])
+			}
+			cents[c] = sums[c]
+		}
+		if prev-inertia < cfg.MinDelta && iter > 1 {
+			break
+		}
+		prev = inertia
+	}
+	// Final assignment against the last update.
+	for i, p := range points {
+		best, bestD := 0, math.Inf(1)
+		for c, cent := range cents {
+			if d := sqDist(p, cent); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+	}
+	res.Centroids = cents
+	res.Assignment = assign
+	return res, nil
+}
+
+// seedPlusPlus implements k-means++ initialization: the first centroid is
+// uniform, each next is sampled proportionally to squared distance from the
+// nearest chosen centroid.
+func seedPlusPlus(points []Point, k int, rng *rand.Rand) []Point {
+	cents := make([]Point, 0, k)
+	cents = append(cents, append(Point(nil), points[rng.Intn(len(points))]...))
+	d2 := make([]float64, len(points))
+	for len(cents) < k {
+		var total float64
+		for i, p := range points {
+			d2[i] = sqDist(p, cents[0])
+			for _, c := range cents[1:] {
+				if d := sqDist(p, c); d < d2[i] {
+					d2[i] = d
+				}
+			}
+			total += d2[i]
+		}
+		if total == 0 {
+			// All points identical to chosen centroids; duplicate one.
+			cents = append(cents, append(Point(nil), points[0]...))
+			continue
+		}
+		r := rng.Float64() * total
+		acc := 0.0
+		pick := len(points) - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= r {
+				pick = i
+				break
+			}
+		}
+		cents = append(cents, append(Point(nil), points[pick]...))
+	}
+	return cents
+}
+
+func farthest(points []Point, cents []Point) int {
+	best, bestD := 0, -1.0
+	for i, p := range points {
+		d := math.Inf(1)
+		for _, c := range cents {
+			if dd := sqDist(p, c); dd < d {
+				d = dd
+			}
+		}
+		if d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func sqDist(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// SqDist exposes squared Euclidean distance for tests and callers.
+func SqDist(a, b Point) float64 { return sqDist(a, b) }

@@ -1,0 +1,176 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blobs generates n points around each of the given centers with the given
+// spread.
+func blobs(r *rand.Rand, centers []Point, n int, spread float64) []Point {
+	var pts []Point
+	for _, c := range centers {
+		for i := 0; i < n; i++ {
+			p := make(Point, len(c))
+			for d := range c {
+				p[d] = c[d] + r.NormFloat64()*spread
+			}
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func TestClusterBadInput(t *testing.T) {
+	if _, err := Cluster(nil, Config{K: 1}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Cluster([]Point{{1}}, Config{K: 2}); err == nil {
+		t.Fatal("K > len(points) accepted")
+	}
+	if _, err := Cluster([]Point{{1}, {2}}, Config{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := Cluster([]Point{{1, 2}, {3}}, Config{K: 1}); err == nil {
+		t.Fatal("inconsistent dims accepted")
+	}
+}
+
+func TestClusterSeparatedBlobs(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	centers := []Point{{0, 0}, {100, 0}, {0, 100}}
+	pts := blobs(r, centers, 40, 1.5)
+	res, err := Cluster(pts, Config{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every recovered centroid must be within 5 units of a true center.
+	for _, c := range res.Centroids {
+		best := math.Inf(1)
+		for _, tc := range centers {
+			if d := math.Sqrt(SqDist(c, tc)); d < best {
+				best = d
+			}
+		}
+		if best > 5 {
+			t.Fatalf("centroid %v is %.1f from any true center", c, best)
+		}
+	}
+	// Points from one blob should share a label.
+	for b := 0; b < 3; b++ {
+		label := res.Assignment[b*40]
+		for i := 1; i < 40; i++ {
+			if res.Assignment[b*40+i] != label {
+				t.Fatalf("blob %d split across clusters", b)
+			}
+		}
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := blobs(r, []Point{{0}, {50}}, 30, 2)
+	a, _ := Cluster(pts, Config{K: 2, Seed: 42})
+	b, _ := Cluster(pts, Config{K: 2, Seed: 42})
+	if a.Inertia != b.Inertia || a.Iterations != b.Iterations {
+		t.Fatal("same seed produced different runs")
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatal("same seed produced different assignments")
+		}
+	}
+}
+
+func TestClusterKEqualsN(t *testing.T) {
+	pts := []Point{{0}, {10}, {20}}
+	res, err := Cluster(pts, Config{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-9 {
+		t.Fatalf("K=N inertia = %v, want 0", res.Inertia)
+	}
+}
+
+func TestClusterIdenticalPoints(t *testing.T) {
+	pts := []Point{{5, 5}, {5, 5}, {5, 5}, {5, 5}}
+	res, err := Cluster(pts, Config{K: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Fatalf("identical points inertia = %v", res.Inertia)
+	}
+}
+
+// Property: every point is assigned to its nearest centroid.
+func TestQuickNearestCentroidInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(80)
+		k := 1 + r.Intn(4)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{r.Float64() * 100, r.Float64() * 100}
+		}
+		res, err := Cluster(pts, Config{K: k, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for i, p := range pts {
+			got := SqDist(p, res.Centroids[res.Assignment[i]])
+			for _, c := range res.Centroids {
+				if SqDist(p, c) < got-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: inertia never exceeds the inertia of the trivial single
+// centroid at the global mean when K >= 1.
+func TestQuickInertiaBeatsGlobalMean(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(50)
+		pts := make([]Point, n)
+		mean := Point{0, 0}
+		for i := range pts {
+			pts[i] = Point{r.Float64() * 10, r.Float64() * 10}
+			mean[0] += pts[i][0] / float64(n)
+			mean[1] += pts[i][1] / float64(n)
+		}
+		var trivial float64
+		for _, p := range pts {
+			trivial += SqDist(p, mean)
+		}
+		res, err := Cluster(pts, Config{K: 2, Seed: seed})
+		if err != nil {
+			return false
+		}
+		return res.Inertia <= trivial+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCluster1000x2(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	pts := blobs(r, []Point{{0, 0}, {50, 50}, {0, 100}, {100, 0}}, 250, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cluster(pts, Config{K: 4, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

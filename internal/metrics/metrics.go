@@ -1,0 +1,138 @@
+// Package metrics collects the two quantities the paper evaluates —
+// end-to-end throughput ("the number of tuples processed by the
+// application within a 10-minute time window") and latency ("the average
+// processing time of these tuples") — plus the instantaneous-latency
+// series used for Fig. 15.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Point is one latency observation.
+type Point struct {
+	At  int64 // ns timestamp of delivery
+	Lat time.Duration
+}
+
+// Collector accumulates sink-side observations. Safe for concurrent use —
+// multiple sink HAUs may share one collector.
+type Collector struct {
+	mu     sync.Mutex
+	count  uint64
+	latSum time.Duration
+	points []Point
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// RecordLatency implements operator.LatencyRecorder.
+func (c *Collector) RecordLatency(at int64, lat time.Duration) {
+	c.mu.Lock()
+	c.count++
+	c.latSum += lat
+	c.points = append(c.points, Point{At: at, Lat: lat})
+	c.mu.Unlock()
+}
+
+// Count returns the number of tuples delivered — the throughput numerator.
+func (c *Collector) Count() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// MeanLatency returns the average end-to-end latency.
+func (c *Collector) MeanLatency() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.count == 0 {
+		return 0
+	}
+	return c.latSum / time.Duration(c.count)
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) of all recorded latencies.
+func (c *Collector) Quantile(p float64) time.Duration {
+	c.mu.Lock()
+	lats := make([]time.Duration, len(c.points))
+	for i, pt := range c.points {
+		lats[i] = pt.Lat
+	}
+	c.mu.Unlock()
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := int(p * float64(len(lats)-1))
+	return lats[idx]
+}
+
+// Bucket is a time bucket of the instantaneous-latency series.
+type Bucket struct {
+	Start   int64
+	Count   int
+	MeanLat time.Duration
+	MaxLat  time.Duration
+}
+
+// InstantSeries groups observations into fixed-width buckets — the
+// instantaneous latency ("the processing time of each tuple during a
+// checkpoint", Fig. 15). Empty buckets between observations are included
+// with zero counts so plots keep their time base.
+func (c *Collector) InstantSeries(width time.Duration) []Bucket {
+	c.mu.Lock()
+	points := append([]Point(nil), c.points...)
+	c.mu.Unlock()
+	if len(points) == 0 || width <= 0 {
+		return nil
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].At < points[j].At })
+	start := points[0].At
+	end := points[len(points)-1].At
+	n := int((end-start)/int64(width)) + 1
+	buckets := make([]Bucket, n)
+	for i := range buckets {
+		buckets[i].Start = start + int64(i)*int64(width)
+	}
+	sums := make([]time.Duration, n)
+	for _, p := range points {
+		i := int((p.At - start) / int64(width))
+		buckets[i].Count++
+		sums[i] += p.Lat
+		if p.Lat > buckets[i].MaxLat {
+			buckets[i].MaxLat = p.Lat
+		}
+	}
+	for i := range buckets {
+		if buckets[i].Count > 0 {
+			buckets[i].MeanLat = sums[i] / time.Duration(buckets[i].Count)
+		}
+	}
+	return buckets
+}
+
+// CountSince returns deliveries with At >= since.
+func (c *Collector) CountSince(since int64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n uint64
+	for _, p := range c.points {
+		if p.At >= since {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset clears all observations.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.count = 0
+	c.latSum = 0
+	c.points = nil
+	c.mu.Unlock()
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCollectorBasics(t *testing.T) {
+	c := NewCollector()
+	if c.Count() != 0 || c.MeanLatency() != 0 || c.Quantile(0.5) != 0 {
+		t.Fatal("fresh collector not zero")
+	}
+	c.RecordLatency(100, 10*time.Millisecond)
+	c.RecordLatency(200, 30*time.Millisecond)
+	if c.Count() != 2 {
+		t.Fatalf("Count = %d", c.Count())
+	}
+	if c.MeanLatency() != 20*time.Millisecond {
+		t.Fatalf("Mean = %v", c.MeanLatency())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	c := NewCollector()
+	for i := 1; i <= 100; i++ {
+		c.RecordLatency(int64(i), time.Duration(i)*time.Millisecond)
+	}
+	if q := c.Quantile(0); q != 1*time.Millisecond {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := c.Quantile(1); q != 100*time.Millisecond {
+		t.Fatalf("q1 = %v", q)
+	}
+	med := c.Quantile(0.5)
+	if med < 45*time.Millisecond || med > 55*time.Millisecond {
+		t.Fatalf("median = %v", med)
+	}
+}
+
+func TestInstantSeries(t *testing.T) {
+	c := NewCollector()
+	// Two buckets of width 100ns: [0,100) has 2 points, [100,200) has 1.
+	c.RecordLatency(10, 5)
+	c.RecordLatency(50, 15)
+	c.RecordLatency(110, 100)
+	buckets := c.InstantSeries(100)
+	if len(buckets) != 2 {
+		t.Fatalf("buckets = %d", len(buckets))
+	}
+	if buckets[0].Count != 2 || buckets[0].MeanLat != 10 || buckets[0].MaxLat != 15 {
+		t.Fatalf("bucket0 = %+v", buckets[0])
+	}
+	if buckets[1].Count != 1 || buckets[1].MeanLat != 100 {
+		t.Fatalf("bucket1 = %+v", buckets[1])
+	}
+}
+
+func TestInstantSeriesIncludesEmptyBuckets(t *testing.T) {
+	c := NewCollector()
+	c.RecordLatency(0, 1)
+	c.RecordLatency(250, 1)
+	buckets := c.InstantSeries(100)
+	if len(buckets) != 3 {
+		t.Fatalf("buckets = %d, want 3", len(buckets))
+	}
+	if buckets[1].Count != 0 {
+		t.Fatal("middle bucket should be empty")
+	}
+}
+
+func TestInstantSeriesEmpty(t *testing.T) {
+	c := NewCollector()
+	if got := c.InstantSeries(100); got != nil {
+		t.Fatal("empty collector must return nil series")
+	}
+	c.RecordLatency(1, 1)
+	if got := c.InstantSeries(0); got != nil {
+		t.Fatal("zero width must return nil")
+	}
+}
+
+func TestCountSince(t *testing.T) {
+	c := NewCollector()
+	c.RecordLatency(100, 1)
+	c.RecordLatency(200, 1)
+	c.RecordLatency(300, 1)
+	if got := c.CountSince(200); got != 2 {
+		t.Fatalf("CountSince = %d", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewCollector()
+	c.RecordLatency(1, 1)
+	c.Reset()
+	if c.Count() != 0 || len(c.InstantSeries(10)) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.RecordLatency(int64(g*1000+i), time.Duration(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", c.Count())
+	}
+}

@@ -1,0 +1,442 @@
+// Package operator defines the stream operator abstraction and a library
+// of reusable operators. An operator is "executed repeatedly to process the
+// incoming data" (paper §II-A); whenever it finishes processing a unit of
+// input it emits output tuples downstream.
+//
+// Operators are single-goroutine objects owned by their HAU; they need no
+// internal locking. Everything an operator keeps between invocations is its
+// *state*, which must be exposed through StateSize (the paper generates
+// state_size() with a precompiler; Go operators implement it directly) and
+// must round-trip through Snapshot/Restore for checkpointing.
+package operator
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+
+	"meteorshower/internal/tuple"
+)
+
+// Emitter delivers an output tuple to one of the operator's output ports.
+// Port numbering follows the query network's downstream order.
+type Emitter func(port int, t *tuple.Tuple)
+
+// Operator is the unit of stream processing logic.
+type Operator interface {
+	// Name identifies the operator for diagnostics.
+	Name() string
+	// OnTuple processes one data tuple arriving on the given input port.
+	OnTuple(port int, t *tuple.Tuple, emit Emitter) error
+	// StateSize returns the operator's current state footprint in bytes
+	// (statesize.Sizer).
+	StateSize() int64
+	// Snapshot serializes the operator state for a checkpoint.
+	Snapshot() ([]byte, error)
+	// Restore rebuilds the operator state from a snapshot.
+	Restore([]byte) error
+}
+
+// Ticker is implemented by operators that need time-driven execution, e.g.
+// window flushes. The HAU calls OnTick periodically with the current time.
+type Ticker interface {
+	OnTick(now int64, emit Emitter) error
+}
+
+// Source is implemented by source operators: instead of consuming inputs
+// they generate tuples. Generate is called by the HAU's clock; it returns
+// the next batch (possibly empty). Generated tuples must carry fresh IDs so
+// preservation and replay can identify them.
+type Source interface {
+	Operator
+	Generate(now int64) []*tuple.Tuple
+}
+
+// Base provides Name and empty-state defaults for stateless operators.
+type Base struct {
+	OpName string
+}
+
+// Name returns the operator name.
+func (b *Base) Name() string { return b.OpName }
+
+// StateSize is zero for stateless operators.
+func (b *Base) StateSize() int64 { return 0 }
+
+// Snapshot of a stateless operator is empty.
+func (b *Base) Snapshot() ([]byte, error) { return nil, nil }
+
+// Restore of a stateless operator accepts any snapshot.
+func (b *Base) Restore([]byte) error { return nil }
+
+// ---------------------------------------------------------------------------
+
+// Map applies a pure function to each tuple. A nil result drops the tuple
+// (making Map double as a filter).
+type Map struct {
+	Base
+	Fn func(*tuple.Tuple) *tuple.Tuple
+}
+
+// NewMap returns a stateless map/filter operator.
+func NewMap(name string, fn func(*tuple.Tuple) *tuple.Tuple) *Map {
+	return &Map{Base: Base{OpName: name}, Fn: fn}
+}
+
+// OnTuple applies Fn and forwards non-nil results to port 0.
+func (m *Map) OnTuple(_ int, t *tuple.Tuple, emit Emitter) error {
+	if out := m.Fn(t); out != nil {
+		emit(0, out)
+	}
+	return nil
+}
+
+// Passthrough forwards every input tuple to every output port — the
+// paper's Group operators (fan-in) and broadcast stages.
+type Passthrough struct {
+	Base
+	Fanout int // number of output ports; 0 means 1
+}
+
+// NewPassthrough returns a fan-in/fan-out relay.
+func NewPassthrough(name string, fanout int) *Passthrough {
+	if fanout <= 0 {
+		fanout = 1
+	}
+	return &Passthrough{Base: Base{OpName: name}, Fanout: fanout}
+}
+
+// OnTuple forwards t to all output ports.
+func (p *Passthrough) OnTuple(_ int, t *tuple.Tuple, emit Emitter) error {
+	for port := 0; port < p.Fanout; port++ {
+		if port == p.Fanout-1 {
+			emit(port, t)
+		} else {
+			emit(port, t.Clone())
+		}
+	}
+	return nil
+}
+
+// Dispatch routes tuples to one of N output ports by key hash — the
+// paper's Dispatcher operators (D) that spread camera/phone feeds over
+// parallel pipelines.
+type Dispatch struct {
+	Base
+	Ports int
+}
+
+// NewDispatch returns a key-hash router over ports outputs.
+func NewDispatch(name string, ports int) *Dispatch {
+	if ports <= 0 {
+		ports = 1
+	}
+	return &Dispatch{Base: Base{OpName: name}, Ports: ports}
+}
+
+// OnTuple routes t by FNV-1a hash of its key.
+func (d *Dispatch) OnTuple(_ int, t *tuple.Tuple, emit Emitter) error {
+	emit(int(fnv1a(t.Key)%uint64(d.Ports)), t)
+	return nil
+}
+
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ---------------------------------------------------------------------------
+
+// Batcher accumulates tuples and flushes them as a batch when the batch
+// reaches MaxTuples or when MaxAge elapses since the first buffered tuple.
+// It is the schema of the paper's data-analysis kernels: "data mining and
+// image processing algorithms ... manipulate data in batches. At the
+// boundaries of the batches, the operator state is puny."
+//
+// Flush receives the batch and emits results; after it returns the pool is
+// discarded, which is exactly the moment of minimal state.
+type Batcher struct {
+	Base
+	MaxTuples int
+	MaxAge    int64 // ns; 0 = no time bound
+	Flush     func(batch []*tuple.Tuple, emit Emitter)
+
+	pool      []*tuple.Tuple
+	poolBytes int64
+	firstAt   int64
+}
+
+// NewBatcher returns a batching operator.
+func NewBatcher(name string, maxTuples int, maxAge int64, flush func([]*tuple.Tuple, Emitter)) *Batcher {
+	return &Batcher{Base: Base{OpName: name}, MaxTuples: maxTuples, MaxAge: maxAge, Flush: flush}
+}
+
+// OnTuple pools t and flushes when the tuple bound is hit.
+func (b *Batcher) OnTuple(_ int, t *tuple.Tuple, emit Emitter) error {
+	if len(b.pool) == 0 {
+		b.firstAt = t.Ts
+	}
+	b.pool = append(b.pool, t)
+	b.poolBytes += t.Size()
+	if b.MaxTuples > 0 && len(b.pool) >= b.MaxTuples {
+		b.doFlush(emit)
+	}
+	return nil
+}
+
+// OnTick flushes by age.
+func (b *Batcher) OnTick(now int64, emit Emitter) error {
+	if b.MaxAge > 0 && len(b.pool) > 0 && now-b.firstAt >= b.MaxAge {
+		b.doFlush(emit)
+	}
+	return nil
+}
+
+func (b *Batcher) doFlush(emit Emitter) {
+	if b.Flush != nil {
+		b.Flush(b.pool, emit)
+	}
+	b.pool = nil
+	b.poolBytes = 0
+}
+
+// PoolLen returns the number of pooled tuples.
+func (b *Batcher) PoolLen() int { return len(b.pool) }
+
+// StateSize reports the pooled bytes — the fluctuating state the
+// application-aware checkpointing exploits.
+func (b *Batcher) StateSize() int64 { return b.poolBytes }
+
+// Snapshot serializes the pool.
+func (b *Batcher) Snapshot() ([]byte, error) {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(b.firstAt))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.pool)))
+	buf = append(buf, tuple.MarshalMany(b.pool)...)
+	return buf, nil
+}
+
+// Restore rebuilds the pool.
+func (b *Batcher) Restore(buf []byte) error {
+	if len(buf) < 12 {
+		return errors.New("batcher: short snapshot")
+	}
+	b.firstAt = int64(binary.LittleEndian.Uint64(buf))
+	n := int(binary.LittleEndian.Uint32(buf[8:]))
+	pool, err := tuple.UnmarshalMany(buf[12:])
+	if err != nil {
+		return err
+	}
+	if len(pool) != n {
+		return errors.New("batcher: snapshot count mismatch")
+	}
+	b.pool = pool
+	b.poolBytes = 0
+	for _, t := range pool {
+		b.poolBytes += t.Size()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+
+// Join is a windowed symmetric hash join on Key over two input ports. A
+// tuple arriving on one port joins with every retained tuple of the other
+// port that shares its key; matched pairs are emitted as a combined tuple.
+// Tuples older than Window ns are evicted on tick.
+type Join struct {
+	Base
+	Window  int64
+	Combine func(left, right *tuple.Tuple) *tuple.Tuple
+
+	sides [2]map[string][]*tuple.Tuple
+	bytes int64
+}
+
+// NewJoin returns a windowed equi-join.
+func NewJoin(name string, window int64, combine func(l, r *tuple.Tuple) *tuple.Tuple) *Join {
+	j := &Join{Base: Base{OpName: name}, Window: window, Combine: combine}
+	j.sides[0] = make(map[string][]*tuple.Tuple)
+	j.sides[1] = make(map[string][]*tuple.Tuple)
+	return j
+}
+
+// OnTuple joins t against the opposite side and retains it.
+func (j *Join) OnTuple(port int, t *tuple.Tuple, emit Emitter) error {
+	if port != 0 && port != 1 {
+		return errors.New("join: only ports 0 and 1 supported")
+	}
+	other := j.sides[1-port]
+	for _, o := range other[t.Key] {
+		var l, r = t, o
+		if port == 1 {
+			l, r = o, t
+		}
+		if out := j.Combine(l, r); out != nil {
+			emit(0, out)
+		}
+	}
+	j.sides[port][t.Key] = append(j.sides[port][t.Key], t)
+	j.bytes += t.Size()
+	return nil
+}
+
+// OnTick evicts tuples older than the window.
+func (j *Join) OnTick(now int64, _ Emitter) error {
+	if j.Window <= 0 {
+		return nil
+	}
+	for s := range j.sides {
+		for k, list := range j.sides[s] {
+			kept := list[:0]
+			for _, t := range list {
+				if now-t.Ts < j.Window {
+					kept = append(kept, t)
+				} else {
+					j.bytes -= t.Size()
+				}
+			}
+			if len(kept) == 0 {
+				delete(j.sides[s], k)
+			} else {
+				j.sides[s][k] = kept
+			}
+		}
+	}
+	return nil
+}
+
+// StateSize reports retained bytes on both sides.
+func (j *Join) StateSize() int64 { return j.bytes }
+
+// Snapshot serializes both sides.
+func (j *Join) Snapshot() ([]byte, error) {
+	var buf []byte
+	for s := 0; s < 2; s++ {
+		var all []*tuple.Tuple
+		for _, list := range j.sides[s] {
+			all = append(all, list...)
+		}
+		enc := tuple.MarshalMany(all)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(enc)))
+		buf = append(buf, enc...)
+	}
+	return buf, nil
+}
+
+// Restore rebuilds both sides.
+func (j *Join) Restore(buf []byte) error {
+	j.bytes = 0
+	for s := 0; s < 2; s++ {
+		j.sides[s] = make(map[string][]*tuple.Tuple)
+		if len(buf) < 4 {
+			return errors.New("join: short snapshot")
+		}
+		n := int(binary.LittleEndian.Uint32(buf))
+		buf = buf[4:]
+		if len(buf) < n {
+			return errors.New("join: truncated snapshot")
+		}
+		ts, err := tuple.UnmarshalMany(buf[:n])
+		if err != nil {
+			return err
+		}
+		buf = buf[n:]
+		for _, t := range ts {
+			j.sides[s][t.Key] = append(j.sides[s][t.Key], t)
+			j.bytes += t.Size()
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+
+// Counter counts tuples per key — a simple stateful aggregate used in
+// tests and the quickstart example.
+type Counter struct {
+	Base
+	counts map[string]uint64
+}
+
+// NewCounter returns an empty per-key counter.
+func NewCounter(name string) *Counter {
+	return &Counter{Base: Base{OpName: name}, counts: make(map[string]uint64)}
+}
+
+// OnTuple increments the count for t.Key and emits a copy annotated with
+// nothing (the running count stays internal).
+func (c *Counter) OnTuple(_ int, t *tuple.Tuple, emit Emitter) error {
+	c.counts[t.Key]++
+	emit(0, t)
+	return nil
+}
+
+// Count returns the current count for key.
+func (c *Counter) Count(key string) uint64 { return c.counts[key] }
+
+// Total returns the sum over all keys.
+func (c *Counter) Total() uint64 {
+	var n uint64
+	for _, v := range c.counts {
+		n += v
+	}
+	return n
+}
+
+// StateSize reports the map footprint.
+func (c *Counter) StateSize() int64 {
+	var n int64
+	for k := range c.counts {
+		n += int64(len(k)) + 8
+	}
+	return n
+}
+
+// Snapshot serializes the counts. Keys are sorted so identical states
+// produce identical bytes — a requirement for delta-checkpointing to find
+// unchanged blocks.
+func (c *Counter) Snapshot() ([]byte, error) {
+	keys := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.counts)))
+	for _, k := range keys {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(k)))
+		buf = append(buf, k...)
+		buf = binary.LittleEndian.AppendUint64(buf, c.counts[k])
+	}
+	return buf, nil
+}
+
+// Restore rebuilds the counts.
+func (c *Counter) Restore(buf []byte) error {
+	if len(buf) < 4 {
+		return errors.New("counter: short snapshot")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	c.counts = make(map[string]uint64, n)
+	for i := 0; i < n; i++ {
+		if len(buf) < 2 {
+			return errors.New("counter: truncated snapshot")
+		}
+		kl := int(binary.LittleEndian.Uint16(buf))
+		buf = buf[2:]
+		if len(buf) < kl+8 {
+			return errors.New("counter: truncated snapshot")
+		}
+		k := string(buf[:kl])
+		v := binary.LittleEndian.Uint64(buf[kl:])
+		buf = buf[kl+8:]
+		c.counts[k] = v
+	}
+	return nil
+}

@@ -1,0 +1,331 @@
+package operator
+
+import (
+	"testing"
+	"testing/quick"
+
+	"meteorshower/internal/tuple"
+)
+
+// capture collects emitted tuples per port.
+type capture struct {
+	byPort map[int][]*tuple.Tuple
+}
+
+func newCapture() *capture { return &capture{byPort: make(map[int][]*tuple.Tuple)} }
+
+func (c *capture) emit(port int, t *tuple.Tuple) {
+	c.byPort[port] = append(c.byPort[port], t)
+}
+
+func (c *capture) total() int {
+	n := 0
+	for _, ts := range c.byPort {
+		n += len(ts)
+	}
+	return n
+}
+
+func mk(id uint64, key string) *tuple.Tuple {
+	return tuple.New(id, "S", key, []byte("x"))
+}
+
+func TestMapTransformsAndDrops(t *testing.T) {
+	m := NewMap("m", func(in *tuple.Tuple) *tuple.Tuple {
+		if in.Key == "drop" {
+			return nil
+		}
+		out := in.Clone()
+		out.Key = "mapped"
+		return out
+	})
+	c := newCapture()
+	m.OnTuple(0, mk(1, "keep"), c.emit)
+	m.OnTuple(0, mk(2, "drop"), c.emit)
+	if len(c.byPort[0]) != 1 || c.byPort[0][0].Key != "mapped" {
+		t.Fatalf("map output = %+v", c.byPort[0])
+	}
+	if m.StateSize() != 0 {
+		t.Fatal("map must be stateless")
+	}
+}
+
+func TestPassthroughFanout(t *testing.T) {
+	p := NewPassthrough("g", 3)
+	c := newCapture()
+	p.OnTuple(0, mk(1, "k"), c.emit)
+	for port := 0; port < 3; port++ {
+		if len(c.byPort[port]) != 1 {
+			t.Fatalf("port %d got %d tuples", port, len(c.byPort[port]))
+		}
+	}
+	// Fanout copies must be independent.
+	c.byPort[0][0].Data[0] = 0xFF
+	if c.byPort[1][0].Data[0] == 0xFF {
+		t.Fatal("fanout shares payloads")
+	}
+}
+
+func TestPassthroughDefaultFanout(t *testing.T) {
+	p := NewPassthrough("g", 0)
+	c := newCapture()
+	p.OnTuple(0, mk(1, "k"), c.emit)
+	if c.total() != 1 {
+		t.Fatal("default fanout must be 1")
+	}
+}
+
+func TestDispatchConsistentRouting(t *testing.T) {
+	d := NewDispatch("d", 4)
+	c := newCapture()
+	for i := 0; i < 20; i++ {
+		d.OnTuple(0, mk(uint64(i), "same-key"), c.emit)
+	}
+	// All same-key tuples land on one port.
+	ports := 0
+	for _, ts := range c.byPort {
+		if len(ts) > 0 {
+			ports++
+		}
+	}
+	if ports != 1 {
+		t.Fatalf("same key split over %d ports", ports)
+	}
+}
+
+func TestDispatchSpreadsKeys(t *testing.T) {
+	d := NewDispatch("d", 4)
+	c := newCapture()
+	for i := 0; i < 200; i++ {
+		d.OnTuple(0, mk(uint64(i), "key"+itoa(i)), c.emit)
+	}
+	for port := 0; port < 4; port++ {
+		if len(c.byPort[port]) == 0 {
+			t.Fatalf("port %d starved", port)
+		}
+	}
+}
+
+func TestBatcherFlushBySize(t *testing.T) {
+	var flushed [][]*tuple.Tuple
+	b := NewBatcher("b", 3, 0, func(batch []*tuple.Tuple, _ Emitter) {
+		flushed = append(flushed, batch)
+	})
+	for i := 0; i < 7; i++ {
+		b.OnTuple(0, mk(uint64(i), "k"), nil)
+	}
+	if len(flushed) != 2 {
+		t.Fatalf("flushes = %d, want 2", len(flushed))
+	}
+	if b.PoolLen() != 1 {
+		t.Fatalf("residual pool = %d, want 1", b.PoolLen())
+	}
+}
+
+func TestBatcherFlushByAge(t *testing.T) {
+	var flushed int
+	b := NewBatcher("b", 0, 100, func([]*tuple.Tuple, Emitter) { flushed++ })
+	tp := mk(1, "k")
+	tp.Ts = 1000
+	b.OnTuple(0, tp, nil)
+	b.OnTick(1050, nil) // age 50 < 100
+	if flushed != 0 {
+		t.Fatal("flushed too early")
+	}
+	b.OnTick(1100, nil)
+	if flushed != 1 {
+		t.Fatal("did not flush at max age")
+	}
+	b.OnTick(1200, nil) // empty pool: no flush
+	if flushed != 1 {
+		t.Fatal("flushed empty pool")
+	}
+}
+
+func TestBatcherStateSizeSawtooth(t *testing.T) {
+	b := NewBatcher("b", 5, 0, func([]*tuple.Tuple, Emitter) {})
+	var sizes []int64
+	for i := 0; i < 10; i++ {
+		b.OnTuple(0, mk(uint64(i), "k"), nil)
+		sizes = append(sizes, b.StateSize())
+	}
+	// Size grows then drops to 0 at each flush (i=4 and i=9).
+	if sizes[3] == 0 || sizes[4] != 0 || sizes[8] == 0 || sizes[9] != 0 {
+		t.Fatalf("sawtooth broken: %v", sizes)
+	}
+}
+
+func TestBatcherSnapshotRestore(t *testing.T) {
+	mkB := func() *Batcher { return NewBatcher("b", 100, 0, func([]*tuple.Tuple, Emitter) {}) }
+	b := mkB()
+	for i := 0; i < 5; i++ {
+		b.OnTuple(0, mk(uint64(i), "k"), nil)
+	}
+	snap, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := mkB()
+	if err := b2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if b2.PoolLen() != 5 || b2.StateSize() != b.StateSize() {
+		t.Fatalf("restored pool=%d size=%d, want 5/%d", b2.PoolLen(), b2.StateSize(), b.StateSize())
+	}
+	if err := b2.Restore([]byte{1}); err == nil {
+		t.Fatal("short snapshot accepted")
+	}
+}
+
+func TestJoinMatchesByKey(t *testing.T) {
+	j := NewJoin("j", 0, func(l, r *tuple.Tuple) *tuple.Tuple {
+		out := l.Clone()
+		out.Data = append(out.Data, r.Data...)
+		return out
+	})
+	c := newCapture()
+	j.OnTuple(0, mk(1, "a"), c.emit)
+	j.OnTuple(1, mk(2, "b"), c.emit) // no match
+	if c.total() != 0 {
+		t.Fatal("unmatched keys joined")
+	}
+	j.OnTuple(1, mk(3, "a"), c.emit) // matches tuple 1
+	if c.total() != 1 {
+		t.Fatalf("join emitted %d, want 1", c.total())
+	}
+	j.OnTuple(0, mk(4, "a"), c.emit) // matches tuple 3
+	if c.total() != 2 {
+		t.Fatalf("join emitted %d, want 2", c.total())
+	}
+}
+
+func TestJoinBadPort(t *testing.T) {
+	j := NewJoin("j", 0, func(l, r *tuple.Tuple) *tuple.Tuple { return l })
+	if err := j.OnTuple(2, mk(1, "a"), nil); err == nil {
+		t.Fatal("port 2 accepted")
+	}
+}
+
+func TestJoinWindowEviction(t *testing.T) {
+	j := NewJoin("j", 100, func(l, r *tuple.Tuple) *tuple.Tuple { return l.Clone() })
+	old := mk(1, "a")
+	old.Ts = 1000
+	j.OnTuple(0, old, nil)
+	if j.StateSize() == 0 {
+		t.Fatal("retained tuple has no state")
+	}
+	j.OnTick(2000, nil) // age 1000 > window 100
+	if j.StateSize() != 0 {
+		t.Fatal("expired tuple not evicted")
+	}
+	c := newCapture()
+	fresh := mk(2, "a")
+	fresh.Ts = 2000
+	j.OnTuple(1, fresh, c.emit)
+	if c.total() != 0 {
+		t.Fatal("joined against evicted tuple")
+	}
+}
+
+func TestJoinSnapshotRestore(t *testing.T) {
+	combine := func(l, r *tuple.Tuple) *tuple.Tuple { return l.Clone() }
+	j := NewJoin("j", 0, combine)
+	j.OnTuple(0, mk(1, "a"), nil)
+	j.OnTuple(1, mk(2, "z"), nil)
+	snap, err := j.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2 := NewJoin("j", 0, combine)
+	if err := j2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if j2.StateSize() != j.StateSize() {
+		t.Fatalf("restored size %d != %d", j2.StateSize(), j.StateSize())
+	}
+	c := newCapture()
+	j2.OnTuple(1, mk(3, "a"), c.emit)
+	if c.total() != 1 {
+		t.Fatal("restored join lost left side")
+	}
+}
+
+func TestCounterCountsAndSurvivesRestore(t *testing.T) {
+	cnt := NewCounter("c")
+	c := newCapture()
+	for i := 0; i < 5; i++ {
+		cnt.OnTuple(0, mk(uint64(i), "a"), c.emit)
+	}
+	cnt.OnTuple(0, mk(9, "b"), c.emit)
+	if cnt.Count("a") != 5 || cnt.Count("b") != 1 || cnt.Total() != 6 {
+		t.Fatalf("counts wrong: a=%d b=%d", cnt.Count("a"), cnt.Count("b"))
+	}
+	if c.total() != 6 {
+		t.Fatal("counter must forward tuples")
+	}
+	snap, _ := cnt.Snapshot()
+	cnt2 := NewCounter("c")
+	if err := cnt2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if cnt2.Count("a") != 5 || cnt2.Total() != 6 {
+		t.Fatal("restored counter lost counts")
+	}
+}
+
+func TestCounterRestoreCorrupt(t *testing.T) {
+	cnt := NewCounter("c")
+	if err := cnt.Restore([]byte{1, 2}); err == nil {
+		t.Fatal("short snapshot accepted")
+	}
+}
+
+// Property: Counter snapshot/restore is lossless for arbitrary key sets.
+func TestQuickCounterRoundTrip(t *testing.T) {
+	f := func(keys []string) bool {
+		cnt := NewCounter("c")
+		for i, k := range keys {
+			if k == "" {
+				k = "empty"
+			}
+			if len(k) > 100 {
+				k = k[:100]
+			}
+			cnt.OnTuple(0, mk(uint64(i), k), func(int, *tuple.Tuple) {})
+		}
+		snap, err := cnt.Snapshot()
+		if err != nil {
+			return false
+		}
+		cnt2 := NewCounter("c")
+		if err := cnt2.Restore(snap); err != nil {
+			return false
+		}
+		return cnt2.Total() == cnt.Total() && cnt2.StateSize() == cnt.StateSize()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Batcher snapshot/restore preserves pool contents exactly.
+func TestQuickBatcherRoundTrip(t *testing.T) {
+	f := func(n uint8) bool {
+		b := NewBatcher("b", 1000, 0, nil)
+		for i := 0; i < int(n%60); i++ {
+			b.OnTuple(0, mk(uint64(i), "k"+itoa(i)), nil)
+		}
+		snap, err := b.Snapshot()
+		if err != nil {
+			return false
+		}
+		b2 := NewBatcher("b", 1000, 0, nil)
+		if err := b2.Restore(snap); err != nil {
+			return false
+		}
+		return b2.PoolLen() == b.PoolLen() && b2.StateSize() == b.StateSize()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+package operator
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"meteorshower/internal/tuple"
+)
+
+// LatencyRecorder receives per-tuple end-to-end latencies from sinks.
+// metrics.Collector implements it.
+type LatencyRecorder interface {
+	RecordLatency(at int64, lat time.Duration)
+}
+
+// Sink terminates a stream: it records end-to-end latency for every tuple
+// and, when TrackIdentity is on, remembers which (source, id) pairs it has
+// delivered — the exactly-once oracle used by the recovery property tests.
+// Unlike most operators, a Sink is observed concurrently (benchmarks and
+// monitors read its counters while the HAU loop delivers), so it guards
+// its state.
+type Sink struct {
+	Base
+	Recorder      LatencyRecorder
+	TrackIdentity bool
+	Now           func() int64 // injectable clock; defaults to wall time
+
+	delivered atomic.Uint64
+	dupes     atomic.Uint64
+	mu        sync.Mutex
+	seen      map[string]map[uint64]bool
+}
+
+// NewSink returns a sink reporting into rec (which may be nil).
+func NewSink(name string, rec LatencyRecorder) *Sink {
+	return &Sink{Base: Base{OpName: name}, Recorder: rec, seen: make(map[string]map[uint64]bool)}
+}
+
+// OnTuple records the tuple's latency and identity.
+func (s *Sink) OnTuple(_ int, t *tuple.Tuple, _ Emitter) error {
+	now := time.Now().UnixNano()
+	if s.Now != nil {
+		now = s.Now()
+	}
+	s.delivered.Add(1)
+	if s.Recorder != nil {
+		s.Recorder.RecordLatency(now, time.Duration(now-t.Ts))
+	}
+	if s.TrackIdentity {
+		s.mu.Lock()
+		m := s.seen[t.Src]
+		if m == nil {
+			m = make(map[uint64]bool)
+			s.seen[t.Src] = m
+		}
+		if m[t.ID] {
+			s.dupes.Add(1)
+		}
+		m[t.ID] = true
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// Delivered returns the tuple count since the last restore.
+func (s *Sink) Delivered() uint64 { return s.delivered.Load() }
+
+// Duplicates returns how many identity-tracked tuples arrived twice.
+func (s *Sink) Duplicates() uint64 { return s.dupes.Load() }
+
+// SeenCount returns how many distinct (source, id) pairs were delivered.
+func (s *Sink) SeenCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, m := range s.seen {
+		n += len(m)
+	}
+	return n
+}
+
+// Seen reports whether the sink has delivered tuple (src, id).
+func (s *Sink) Seen(src string, id uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seen[src][id]
+}
+
+// StateSize covers the identity set.
+func (s *Sink) StateSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64 = 16
+	for src, m := range s.seen {
+		n += int64(len(src)) + int64(len(m))*9
+	}
+	return n
+}
+
+// Snapshot serializes the delivery state.
+func (s *Sink) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint64(buf, s.delivered.Load())
+	buf = binary.LittleEndian.AppendUint64(buf, s.dupes.Load())
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.seen)))
+	srcs := make([]string, 0, len(s.seen))
+	for src := range s.seen {
+		srcs = append(srcs, src)
+	}
+	sort.Strings(srcs)
+	for _, src := range srcs {
+		m := s.seen[src]
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(src)))
+		buf = append(buf, src...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m)))
+		ids := make([]uint64, 0, len(m))
+		for id := range m {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			buf = binary.LittleEndian.AppendUint64(buf, id)
+		}
+	}
+	return buf, nil
+}
+
+// Restore rebuilds the delivery state.
+func (s *Sink) Restore(buf []byte) error {
+	if len(buf) < 20 {
+		return errors.New("sink: short snapshot")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.delivered.Store(binary.LittleEndian.Uint64(buf))
+	s.dupes.Store(binary.LittleEndian.Uint64(buf[8:]))
+	nsrc := int(binary.LittleEndian.Uint32(buf[16:]))
+	buf = buf[20:]
+	s.seen = make(map[string]map[uint64]bool, nsrc)
+	for i := 0; i < nsrc; i++ {
+		if len(buf) < 2 {
+			return errors.New("sink: truncated snapshot")
+		}
+		sl := int(binary.LittleEndian.Uint16(buf))
+		buf = buf[2:]
+		if len(buf) < sl+4 {
+			return errors.New("sink: truncated snapshot")
+		}
+		src := string(buf[:sl])
+		n := int(binary.LittleEndian.Uint32(buf[sl:]))
+		buf = buf[sl+4:]
+		if len(buf) < n*8 {
+			return errors.New("sink: truncated snapshot")
+		}
+		m := make(map[uint64]bool, n)
+		for j := 0; j < n; j++ {
+			m[binary.LittleEndian.Uint64(buf[j*8:])] = true
+		}
+		buf = buf[n*8:]
+		s.seen[src] = m
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package operator
+
+import (
+	"testing"
+	"time"
+)
+
+const ms = int64(time.Millisecond)
+
+func TestRateSourceRate(t *testing.T) {
+	s := NewRateSource("S0", 2, 1, BytePayload(8, 4)) // 2 tuples/ms
+	s.Generate(0)                                     // prime the clock
+	got := s.Generate(10 * ms)
+	if len(got) != 20 {
+		t.Fatalf("generated %d tuples in 10ms at 2/ms, want 20", len(got))
+	}
+	// IDs are sequential from 0.
+	for i, tp := range got {
+		if tp.ID != uint64(i) || tp.Src != "S0" {
+			t.Fatalf("tuple %d = id %d src %s", i, tp.ID, tp.Src)
+		}
+	}
+}
+
+func TestRateSourceFractionalCredit(t *testing.T) {
+	s := NewRateSource("S0", 0.5, 1, BytePayload(4, 2)) // 1 tuple per 2ms
+	s.Generate(0)
+	n := 0
+	for i := int64(1); i <= 10; i++ {
+		n += len(s.Generate(i * ms))
+	}
+	if n != 5 {
+		t.Fatalf("generated %d in 10ms at 0.5/ms, want 5", n)
+	}
+}
+
+func TestRateSourceCatchUpCap(t *testing.T) {
+	s := NewRateSource("S0", 10, 1, BytePayload(4, 2))
+	s.CatchUpCap = 7
+	s.Generate(0)
+	got := s.Generate(100 * ms) // owes 1000 tuples
+	if len(got) != 7 {
+		t.Fatalf("cap ignored: %d tuples", len(got))
+	}
+	// Next call keeps draining.
+	got = s.Generate(100*ms + 1)
+	if len(got) != 7 {
+		t.Fatalf("backlog not drained: %d", len(got))
+	}
+}
+
+func TestRateSourceDeterministicPayloads(t *testing.T) {
+	a := NewRateSource("S0", 1, 42, BytePayload(16, 8))
+	b := NewRateSource("S0", 1, 42, BytePayload(16, 8))
+	a.Generate(0)
+	b.Generate(0)
+	ta := a.Generate(5 * ms)
+	tb := b.Generate(5 * ms)
+	for i := range ta {
+		if ta[i].Key != tb[i].Key || string(ta[i].Data) != string(tb[i].Data) {
+			t.Fatal("same seed produced different payloads")
+		}
+	}
+}
+
+func TestRateSourceSkipPast(t *testing.T) {
+	s := NewRateSource("S0", 1, 1, BytePayload(4, 2))
+	s.SkipPast(41)
+	if s.NextID() != 42 {
+		t.Fatalf("NextID = %d, want 42", s.NextID())
+	}
+	s.SkipPast(10) // must not go backwards
+	if s.NextID() != 42 {
+		t.Fatal("SkipPast went backwards")
+	}
+}
+
+func TestRateSourceSnapshotRestore(t *testing.T) {
+	s := NewRateSource("S0", 1, 1, BytePayload(4, 2))
+	s.Generate(0)
+	s.Generate(20 * ms)
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewRateSource("S0", 1, 1, BytePayload(4, 2))
+	if err := s2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if s2.NextID() != s.NextID() {
+		t.Fatalf("restored NextID = %d, want %d", s2.NextID(), s.NextID())
+	}
+	if err := s2.Restore([]byte{1}); err == nil {
+		t.Fatal("short snapshot accepted")
+	}
+}
+
+func TestRateSourceRejectsInput(t *testing.T) {
+	s := NewRateSource("S0", 1, 1, BytePayload(4, 2))
+	if err := s.OnTuple(0, mk(1, "k"), nil); err == nil {
+		t.Fatal("source accepted an input tuple")
+	}
+}
+
+type recLat struct {
+	lats []time.Duration
+}
+
+func (r *recLat) RecordLatency(_ int64, lat time.Duration) { r.lats = append(r.lats, lat) }
+
+func TestSinkLatencyAndIdentity(t *testing.T) {
+	rec := &recLat{}
+	s := NewSink("K", rec)
+	s.TrackIdentity = true
+	s.Now = func() int64 { return 5000 }
+	tp := mk(7, "k")
+	tp.Ts = 2000
+	s.OnTuple(0, tp, nil)
+	if len(rec.lats) != 1 || rec.lats[0] != 3000 {
+		t.Fatalf("latency = %v", rec.lats)
+	}
+	if !s.Seen("S", 7) || s.SeenCount() != 1 || s.Delivered() != 1 {
+		t.Fatal("identity not tracked")
+	}
+	s.OnTuple(0, tp.Clone(), nil)
+	if s.Duplicates() != 1 {
+		t.Fatalf("duplicates = %d, want 1", s.Duplicates())
+	}
+}
+
+func TestSinkSnapshotRestore(t *testing.T) {
+	s := NewSink("K", nil)
+	s.TrackIdentity = true
+	for i := uint64(0); i < 10; i++ {
+		tp := mk(i, "k")
+		s.OnTuple(0, tp, nil)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSink("K", nil)
+	s2.TrackIdentity = true
+	if err := s2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Delivered() != 10 || s2.SeenCount() != 10 || !s2.Seen("S", 3) {
+		t.Fatalf("restored sink: delivered=%d seen=%d", s2.Delivered(), s2.SeenCount())
+	}
+	// A replayed duplicate is detected against restored state.
+	s2.OnTuple(0, mk(3, "k"), nil)
+	if s2.Duplicates() != 1 {
+		t.Fatal("restored sink missed a duplicate")
+	}
+	if err := s2.Restore([]byte{0}); err == nil {
+		t.Fatal("short snapshot accepted")
+	}
+}
+
+func TestSinkNilRecorder(t *testing.T) {
+	s := NewSink("K", nil)
+	if err := s.OnTuple(0, mk(1, "k"), nil); err != nil {
+		t.Fatal(err)
+	}
+}

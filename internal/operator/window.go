@@ -1,0 +1,406 @@
+package operator
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"sort"
+
+	"meteorshower/internal/tuple"
+)
+
+// AggKind selects the aggregate a window computes.
+type AggKind uint8
+
+const (
+	// AggSum totals the values.
+	AggSum AggKind = iota
+	// AggAvg averages the values.
+	AggAvg
+	// AggMin keeps the minimum.
+	AggMin
+	// AggMax keeps the maximum.
+	AggMax
+	// AggCount counts tuples.
+	AggCount
+)
+
+func (k AggKind) String() string {
+	switch k {
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggCount:
+		return "count"
+	default:
+		return "unknown-agg"
+	}
+}
+
+// ValueFn extracts the numeric value a window aggregates from a tuple.
+// Implementations must be pure.
+type ValueFn func(*tuple.Tuple) (float64, error)
+
+// Float64Value decodes the payload's first 8 bytes as a float64 — matches
+// the encoding of apps.Reading and apps.Speed.
+func Float64Value(t *tuple.Tuple) (float64, error) {
+	if len(t.Data) < 8 {
+		return 0, errors.New("operator: payload too short for float64 value")
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(t.Data)), nil
+}
+
+// TumblingWindow computes a per-key aggregate over fixed, non-overlapping
+// event-time windows. When a window closes (its end passes, observed via
+// tick), one result tuple per key is emitted with the aggregate encoded as
+// a big-endian-free float64 (same layout Float64Value reads).
+type TumblingWindow struct {
+	id       identityCounter
+	Kind     AggKind
+	WindowNS int64
+	Value    ValueFn
+
+	winStart int64
+	sums     map[string]float64
+	mins     map[string]float64
+	maxs     map[string]float64
+	counts   map[string]uint64
+}
+
+// NewTumblingWindow returns a tumbling-window aggregate operator.
+func NewTumblingWindow(name string, kind AggKind, windowNS int64, value ValueFn) *TumblingWindow {
+	if value == nil {
+		value = Float64Value
+	}
+	w := &TumblingWindow{id: identityCounter{name: name}, Kind: kind, WindowNS: windowNS, Value: value}
+	w.reset()
+	return w
+}
+
+func (w *TumblingWindow) reset() {
+	w.sums = make(map[string]float64)
+	w.mins = make(map[string]float64)
+	w.maxs = make(map[string]float64)
+	w.counts = make(map[string]uint64)
+}
+
+// Name implements Operator.
+func (w *TumblingWindow) Name() string { return w.id.name }
+
+// OnTuple folds t into the open window.
+func (w *TumblingWindow) OnTuple(_ int, t *tuple.Tuple, _ Emitter) error {
+	v, err := w.Value(t)
+	if err != nil {
+		return err
+	}
+	if w.winStart == 0 {
+		w.winStart = t.Ts
+	}
+	k := t.Key
+	if w.counts[k] == 0 {
+		w.mins[k] = v
+		w.maxs[k] = v
+	} else {
+		if v < w.mins[k] {
+			w.mins[k] = v
+		}
+		if v > w.maxs[k] {
+			w.maxs[k] = v
+		}
+	}
+	w.sums[k] += v
+	w.counts[k]++
+	return nil
+}
+
+// OnTick closes the window when its span has elapsed and emits one result
+// tuple per key (keys sorted for determinism).
+func (w *TumblingWindow) OnTick(now int64, emit Emitter) error {
+	if w.winStart == 0 || now-w.winStart < w.WindowNS {
+		return nil
+	}
+	keys := make([]string, 0, len(w.counts))
+	for k := range w.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		var v float64
+		switch w.Kind {
+		case AggSum:
+			v = w.sums[k]
+		case AggAvg:
+			v = w.sums[k] / float64(w.counts[k])
+		case AggMin:
+			v = w.mins[k]
+		case AggMax:
+			v = w.maxs[k]
+		case AggCount:
+			v = float64(w.counts[k])
+		}
+		out := &tuple.Tuple{Key: k, Ts: now, Data: binary.LittleEndian.AppendUint64(nil, math.Float64bits(v))}
+		emit(0, w.id.stamp(out))
+	}
+	w.reset()
+	w.winStart = 0
+	return nil
+}
+
+// StateSize reports the open window's footprint.
+func (w *TumblingWindow) StateSize() int64 {
+	var n int64
+	for k := range w.counts {
+		n += int64(len(k)) + 32
+	}
+	return n
+}
+
+// Snapshot serializes the open window deterministically.
+func (w *TumblingWindow) Snapshot() ([]byte, error) {
+	buf := w.id.snapshot()
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(w.winStart))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(w.counts)))
+	keys := make([]string, 0, len(w.counts))
+	for k := range w.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(k)))
+		buf = append(buf, k...)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(w.sums[k]))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(w.mins[k]))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(w.maxs[k]))
+		buf = binary.LittleEndian.AppendUint64(buf, w.counts[k])
+	}
+	return buf, nil
+}
+
+// Restore rebuilds the open window.
+func (w *TumblingWindow) Restore(buf []byte) error {
+	if err := w.id.restore(&buf); err != nil {
+		return err
+	}
+	if len(buf) < 12 {
+		return errors.New("window: short snapshot")
+	}
+	w.winStart = int64(binary.LittleEndian.Uint64(buf))
+	n := int(binary.LittleEndian.Uint32(buf[8:]))
+	buf = buf[12:]
+	w.reset()
+	for i := 0; i < n; i++ {
+		if len(buf) < 2 {
+			return errors.New("window: truncated snapshot")
+		}
+		kl := int(binary.LittleEndian.Uint16(buf))
+		buf = buf[2:]
+		if len(buf) < kl+32 {
+			return errors.New("window: truncated snapshot")
+		}
+		k := string(buf[:kl])
+		w.sums[k] = math.Float64frombits(binary.LittleEndian.Uint64(buf[kl:]))
+		w.mins[k] = math.Float64frombits(binary.LittleEndian.Uint64(buf[kl+8:]))
+		w.maxs[k] = math.Float64frombits(binary.LittleEndian.Uint64(buf[kl+16:]))
+		w.counts[k] = binary.LittleEndian.Uint64(buf[kl+24:])
+		buf = buf[kl+32:]
+	}
+	return nil
+}
+
+// TopK tracks the K highest-valued keys seen (by latest value) and emits
+// the current ranking whenever it changes.
+type TopK struct {
+	id    identityCounter
+	K     int
+	Value ValueFn
+
+	latest map[string]float64
+}
+
+// NewTopK returns a top-k ranking operator.
+func NewTopK(name string, k int, value ValueFn) *TopK {
+	if k <= 0 {
+		k = 1
+	}
+	if value == nil {
+		value = Float64Value
+	}
+	return &TopK{id: identityCounter{name: name}, K: k, Value: value, latest: make(map[string]float64)}
+}
+
+// Name implements Operator.
+func (t *TopK) Name() string { return t.id.name }
+
+// Ranking returns the current top-K keys, highest first.
+func (t *TopK) Ranking() []string {
+	keys := make([]string, 0, len(t.latest))
+	for k := range t.latest {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if t.latest[keys[i]] != t.latest[keys[j]] {
+			return t.latest[keys[i]] > t.latest[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if len(keys) > t.K {
+		keys = keys[:t.K]
+	}
+	return keys
+}
+
+// OnTuple updates the key's value and emits the leader when the ranking's
+// head changes.
+func (t *TopK) OnTuple(_ int, tp *tuple.Tuple, emit Emitter) error {
+	v, err := t.Value(tp)
+	if err != nil {
+		return err
+	}
+	var prevHead string
+	if r := t.Ranking(); len(r) > 0 {
+		prevHead = r[0]
+	}
+	t.latest[tp.Key] = v
+	if r := t.Ranking(); len(r) > 0 && r[0] != prevHead {
+		out := &tuple.Tuple{Key: r[0], Ts: tp.Ts,
+			Data: binary.LittleEndian.AppendUint64(nil, math.Float64bits(t.latest[r[0]]))}
+		emit(0, t.id.stamp(out))
+	}
+	return nil
+}
+
+// StateSize reports the tracked keys.
+func (t *TopK) StateSize() int64 {
+	var n int64
+	for k := range t.latest {
+		n += int64(len(k)) + 8
+	}
+	return n
+}
+
+// Snapshot serializes the tracked values deterministically.
+func (t *TopK) Snapshot() ([]byte, error) {
+	buf := t.id.snapshot()
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.latest)))
+	keys := make([]string, 0, len(t.latest))
+	for k := range t.latest {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(k)))
+		buf = append(buf, k...)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.latest[k]))
+	}
+	return buf, nil
+}
+
+// Restore rebuilds the tracked values.
+func (t *TopK) Restore(buf []byte) error {
+	if err := t.id.restore(&buf); err != nil {
+		return err
+	}
+	if len(buf) < 4 {
+		return errors.New("topk: short snapshot")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	t.latest = make(map[string]float64, n)
+	for i := 0; i < n; i++ {
+		if len(buf) < 2 {
+			return errors.New("topk: truncated snapshot")
+		}
+		kl := int(binary.LittleEndian.Uint16(buf))
+		buf = buf[2:]
+		if len(buf) < kl+8 {
+			return errors.New("topk: truncated snapshot")
+		}
+		t.latest[string(buf[:kl])] = math.Float64frombits(binary.LittleEndian.Uint64(buf[kl:]))
+		buf = buf[kl+8:]
+	}
+	return nil
+}
+
+// Sampler forwards every Nth tuple — deterministic decimation for
+// downsampling heavy streams. Determinism keeps recovery replay exact.
+type Sampler struct {
+	id    identityCounter
+	Every uint64
+	seen  uint64
+}
+
+// NewSampler returns a 1-in-every sampler.
+func NewSampler(name string, every uint64) *Sampler {
+	if every == 0 {
+		every = 1
+	}
+	return &Sampler{id: identityCounter{name: name}, Every: every}
+}
+
+// Name implements Operator.
+func (s *Sampler) Name() string { return s.id.name }
+
+// OnTuple forwards every Every-th tuple.
+func (s *Sampler) OnTuple(_ int, t *tuple.Tuple, emit Emitter) error {
+	s.seen++
+	if s.seen%s.Every == 0 {
+		out := &tuple.Tuple{Key: t.Key, Ts: t.Ts, Data: t.Data}
+		emit(0, s.id.stamp(out))
+	}
+	return nil
+}
+
+// StateSize is the counter block.
+func (s *Sampler) StateSize() int64 { return 16 }
+
+// Snapshot serializes the decimation counter.
+func (s *Sampler) Snapshot() ([]byte, error) {
+	buf := s.id.snapshot()
+	return binary.LittleEndian.AppendUint64(buf, s.seen), nil
+}
+
+// Restore rebuilds the counter.
+func (s *Sampler) Restore(buf []byte) error {
+	if err := s.id.restore(&buf); err != nil {
+		return err
+	}
+	if len(buf) < 8 {
+		return errors.New("sampler: short snapshot")
+	}
+	s.seen = binary.LittleEndian.Uint64(buf)
+	return nil
+}
+
+// identityCounter stamps derived tuples with a per-operator identity so
+// that baseline recovery's per-source dedup covers derived streams (the
+// apps package has its own copy; this one serves the operator library).
+type identityCounter struct {
+	name string
+	next uint64
+}
+
+func (c *identityCounter) stamp(t *tuple.Tuple) *tuple.Tuple {
+	c.next++
+	t.Src = c.name
+	t.ID = c.next
+	return t
+}
+
+func (c *identityCounter) snapshot() []byte {
+	return binary.LittleEndian.AppendUint64(nil, c.next)
+}
+
+// restore consumes 8 bytes from *buf.
+func (c *identityCounter) restore(buf *[]byte) error {
+	if len(*buf) < 8 {
+		return errors.New("operator: short identity snapshot")
+	}
+	c.next = binary.LittleEndian.Uint64(*buf)
+	*buf = (*buf)[8:]
+	return nil
+}

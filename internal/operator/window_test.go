@@ -1,0 +1,244 @@
+package operator
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"meteorshower/internal/tuple"
+)
+
+func valTuple(id uint64, key string, v float64, ts int64) *tuple.Tuple {
+	t := tuple.New(id, "S", key, binary.LittleEndian.AppendUint64(nil, math.Float64bits(v)))
+	t.Ts = ts
+	return t
+}
+
+func decodeVal(t *tuple.Tuple) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(t.Data))
+}
+
+func TestAggKindStrings(t *testing.T) {
+	want := map[AggKind]string{AggSum: "sum", AggAvg: "avg", AggMin: "min", AggMax: "max", AggCount: "count", AggKind(99): "unknown-agg"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestFloat64ValueShortPayload(t *testing.T) {
+	if _, err := Float64Value(tuple.New(1, "S", "k", []byte{1})); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestTumblingWindowAggregates(t *testing.T) {
+	for _, tc := range []struct {
+		kind AggKind
+		want float64
+	}{
+		{AggSum, 60}, {AggAvg, 20}, {AggMin, 10}, {AggMax, 30}, {AggCount, 3},
+	} {
+		w := NewTumblingWindow("w", tc.kind, 100, nil)
+		c := newCapture()
+		w.OnTuple(0, valTuple(1, "k", 10, 1000), c.emit)
+		w.OnTuple(0, valTuple(2, "k", 30, 1010), c.emit)
+		w.OnTuple(0, valTuple(3, "k", 20, 1020), c.emit)
+		w.OnTick(1050, c.emit) // window open
+		if c.total() != 0 {
+			t.Fatalf("%v: emitted before window closed", tc.kind)
+		}
+		w.OnTick(1101, c.emit)
+		if c.total() != 1 {
+			t.Fatalf("%v: emitted %d results", tc.kind, c.total())
+		}
+		if got := decodeVal(c.byPort[0][0]); got != tc.want {
+			t.Fatalf("%v = %v, want %v", tc.kind, got, tc.want)
+		}
+		if w.StateSize() != 0 {
+			t.Fatalf("%v: window state survived close", tc.kind)
+		}
+	}
+}
+
+func TestTumblingWindowPerKey(t *testing.T) {
+	w := NewTumblingWindow("w", AggSum, 100, nil)
+	c := newCapture()
+	w.OnTuple(0, valTuple(1, "a", 1, 1000), c.emit)
+	w.OnTuple(0, valTuple(2, "b", 2, 1001), c.emit)
+	w.OnTick(1200, c.emit)
+	if c.total() != 2 {
+		t.Fatalf("results = %d, want 2 (per key)", c.total())
+	}
+	// Sorted key order.
+	if c.byPort[0][0].Key != "a" || c.byPort[0][1].Key != "b" {
+		t.Fatal("results not in deterministic key order")
+	}
+}
+
+func TestTumblingWindowSnapshotRestore(t *testing.T) {
+	w := NewTumblingWindow("w", AggAvg, 1000, nil)
+	w.OnTuple(0, valTuple(1, "k", 10, 500), nil)
+	w.OnTuple(0, valTuple(2, "k", 20, 510), nil)
+	snap, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := NewTumblingWindow("w", AggAvg, 1000, nil)
+	if err := w2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	c := newCapture()
+	w2.OnTuple(0, valTuple(3, "k", 60, 520), c.emit)
+	w2.OnTick(2000, c.emit)
+	if c.total() != 1 || decodeVal(c.byPort[0][0]) != 30 {
+		t.Fatalf("restored window avg wrong: %v", c.byPort[0])
+	}
+	if err := w2.Restore([]byte{1}); err == nil {
+		t.Fatal("short snapshot accepted")
+	}
+}
+
+func TestTopKRankingAndEmit(t *testing.T) {
+	tk := NewTopK("t", 2, nil)
+	c := newCapture()
+	tk.OnTuple(0, valTuple(1, "a", 5, 1), c.emit) // head: a -> emit
+	tk.OnTuple(0, valTuple(2, "b", 3, 2), c.emit) // head still a
+	tk.OnTuple(0, valTuple(3, "b", 9, 3), c.emit) // head: b -> emit
+	tk.OnTuple(0, valTuple(4, "c", 1, 4), c.emit) // head still b
+	if got := tk.Ranking(); len(got) != 2 || got[0] != "b" || got[1] != "a" {
+		t.Fatalf("ranking = %v", got)
+	}
+	if c.total() != 2 {
+		t.Fatalf("leader changes emitted = %d, want 2", c.total())
+	}
+}
+
+func TestTopKSnapshotRestore(t *testing.T) {
+	tk := NewTopK("t", 3, nil)
+	tk.OnTuple(0, valTuple(1, "x", 7, 1), func(int, *tuple.Tuple) {})
+	tk.OnTuple(0, valTuple(2, "y", 2, 2), func(int, *tuple.Tuple) {})
+	snap, _ := tk.Snapshot()
+	tk2 := NewTopK("t", 3, nil)
+	if err := tk2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := tk2.Ranking(); len(got) != 2 || got[0] != "x" {
+		t.Fatalf("restored ranking = %v", got)
+	}
+}
+
+func TestSamplerDecimates(t *testing.T) {
+	s := NewSampler("s", 3)
+	c := newCapture()
+	for i := uint64(1); i <= 10; i++ {
+		s.OnTuple(0, valTuple(i, "k", float64(i), int64(i)), c.emit)
+	}
+	if c.total() != 3 { // tuples 3, 6, 9
+		t.Fatalf("sampled %d, want 3", c.total())
+	}
+	// Restored sampler continues the phase.
+	snap, _ := s.Snapshot()
+	s2 := NewSampler("s", 3)
+	if err := s2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	c2 := newCapture()
+	s2.OnTuple(0, valTuple(11, "k", 11, 11), c2.emit)
+	s2.OnTuple(0, valTuple(12, "k", 12, 12), c2.emit) // 12th overall
+	if c2.total() != 1 {
+		t.Fatalf("restored sampler phase wrong: %d", c2.total())
+	}
+}
+
+func TestSamplerEveryClamp(t *testing.T) {
+	s := NewSampler("s", 0)
+	c := newCapture()
+	s.OnTuple(0, valTuple(1, "k", 1, 1), c.emit)
+	if c.total() != 1 {
+		t.Fatal("every=0 must forward everything")
+	}
+}
+
+// Property: for any sequence of values, TumblingWindow's sum equals the
+// plain sum and min <= avg <= max.
+func TestQuickTumblingInvariants(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				vals[i] = float64(i)
+			}
+		}
+		sum := NewTumblingWindow("w", AggSum, 1, nil)
+		min := NewTumblingWindow("w", AggMin, 1, nil)
+		max := NewTumblingWindow("w", AggMax, 1, nil)
+		var want float64
+		wantMin, wantMax := vals[0], vals[0]
+		for i, v := range vals {
+			tp := valTuple(uint64(i), "k", v, 100)
+			sum.OnTuple(0, tp, nil)
+			min.OnTuple(0, tp, nil)
+			max.OnTuple(0, tp, nil)
+			want += v
+			if v < wantMin {
+				wantMin = v
+			}
+			if v > wantMax {
+				wantMax = v
+			}
+		}
+		var gotSum, gotMin, gotMax float64
+		grab := func(dst *float64) Emitter {
+			return func(_ int, t *tuple.Tuple) { *dst = decodeVal(t) }
+		}
+		sum.OnTick(1000, grab(&gotSum))
+		min.OnTick(1000, grab(&gotMin))
+		max.OnTick(1000, grab(&gotMax))
+		return math.Abs(gotSum-want) < 1e-6*math.Max(1, math.Abs(want)) &&
+			gotMin == wantMin && gotMax == wantMax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TumblingWindow snapshot/restore round-trips mid-window state.
+func TestQuickTumblingRoundTrip(t *testing.T) {
+	f := func(n uint8) bool {
+		w := NewTumblingWindow("w", AggSum, 1<<40, nil)
+		for i := 0; i < int(n%40); i++ {
+			w.OnTuple(0, valTuple(uint64(i), "k"+string(rune('a'+i%5)), float64(i), 100), nil)
+		}
+		snap, err := w.Snapshot()
+		if err != nil {
+			return false
+		}
+		w2 := NewTumblingWindow("w", AggSum, 1<<40, nil)
+		if err := w2.Restore(snap); err != nil {
+			return false
+		}
+		s1, _ := w.Snapshot()
+		s2, _ := w2.Snapshot()
+		if len(s1) != len(s2) {
+			return false
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var _ Ticker = (*TumblingWindow)(nil)
+var _ Operator = (*TopK)(nil)
+var _ Operator = (*Sampler)(nil)

@@ -1,0 +1,175 @@
+package spe
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"meteorshower/internal/operator"
+	"meteorshower/internal/storage"
+	"meteorshower/internal/tuple"
+)
+
+// TestStreamBoundaryBlocksTokenedInput reproduces Fig. 6 time instant 4:
+// "HAU 5 then stops processing tuples from HAU 3 ... HAU 5 can still
+// process tuples from HAU 4 because HAU 5 has not received any token from
+// HAU 4." All observations go through the HAU's output edge and atomic
+// counters — the operator itself is owned by the HAU goroutine.
+func TestStreamBoundaryBlocksTokenedInput(t *testing.T) {
+	in0 := NewEdge("h3", "h5", 16)
+	in1 := NewEdge("h4", "h5", 16)
+	out := NewEdge("h5", "sink", 256)
+	cat := storage.NewCatalog(fastStore(), []string{"h5"})
+	h, err := New(Config{
+		ID: "h5", Scheme: MSSrc, Ops: []operator.Operator{operator.NewCounter("c")},
+		In: []*Edge{in0, in1}, Out: []*Edge{out},
+		Catalog: cat, TickEvery: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis := &recListener{}
+	h.cfg.Listener = lis
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h.Start(ctx)
+
+	// forwarded counts per source, observed via the output edge (safe:
+	// only this goroutine reads out.C).
+	counts := map[string]int{}
+	var token *tuple.Tuple
+	drain := func() {
+		for {
+			select {
+			case tp := <-out.C:
+				if tp.IsToken() {
+					token = tp
+				} else {
+					counts[tp.Src]++
+				}
+			default:
+				return
+			}
+		}
+	}
+	waitCounts := func(src string, want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			drain()
+			if counts[src] >= want {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("timeout: %s count = %d, want %d", src, counts[src], want)
+	}
+	send := func(e *Edge, src string, id, seq uint64) {
+		tp := tuple.New(id, src, src, nil)
+		tp.Seq = seq
+		e.C <- tp
+	}
+
+	// Pre-token traffic flows on both inputs.
+	send(in0, "h3", 1, 1)
+	send(in1, "h4", 1, 1)
+	waitCounts("h3", 1)
+	waitCounts("h4", 1)
+
+	// Token arrives on input 0 only; tuples behind it must NOT be
+	// processed while input 1 keeps flowing.
+	in0.C <- tuple.NewToken(tuple.Token{Epoch: 1, Kind: tuple.Cascading, From: "h3"})
+	send(in0, "h3", 2, 2) // post-token on the blocked stream
+	for i := uint64(2); i <= 6; i++ {
+		send(in1, "h4", i, i)
+	}
+	waitCounts("h4", 6)
+	drain()
+	if counts["h3"] != 1 {
+		t.Fatalf("post-token tuple processed before alignment: h3 count = %d", counts["h3"])
+	}
+	if lis.ckptCount() != 0 {
+		t.Fatal("checkpointed before all tokens arrived")
+	}
+
+	// The second token aligns the HAU: it checkpoints, forwards a token
+	// downstream, and resumes the blocked input.
+	in1.C <- tuple.NewToken(tuple.Token{Epoch: 1, Kind: tuple.Cascading, From: "h4"})
+	waitFor(t, 5*time.Second, func() bool { return lis.ckptCount() == 1 })
+	waitCounts("h3", 2)
+	drain()
+	if token == nil || token.Tok.Epoch != 1 || token.Tok.From != "h5" {
+		t.Fatalf("cascading token not forwarded: %+v", token)
+	}
+
+	// The checkpointed state must reflect exactly the pre-boundary
+	// tuples: h3 x1, h4 x6 (all sent before h4's token). Restore into a
+	// fresh operator to inspect the cut.
+	blob, _, err := cat.LoadState(1, "h5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt2 := operator.NewCounter("c")
+	h2, _ := New(Config{
+		ID: "h5", Scheme: MSSrc, Ops: []operator.Operator{cnt2},
+		In:  []*Edge{NewEdge("a", "h5", 0), NewEdge("b", "h5", 0)},
+		Out: []*Edge{NewEdge("h5", "z", 0)},
+	})
+	if err := h2.RestoreFrom(blob); err != nil {
+		t.Fatal(err)
+	}
+	if cnt2.Count("h3") != 1 || cnt2.Count("h4") != 6 {
+		t.Fatalf("cut state h3=%d h4=%d, want 1/6", cnt2.Count("h3"), cnt2.Count("h4"))
+	}
+	cancel()
+}
+
+// TestOneHopTokenNotForwarded verifies §III-B: "the incoming tokens are
+// not forwarded further to downstream HAUs. Instead, they are discarded
+// after the individual checkpoint starts."
+func TestOneHopTokenNotForwarded(t *testing.T) {
+	in := NewEdge("up", "H", 16)
+	out := NewEdge("H", "down", 256)
+	cat := storage.NewCatalog(fastStore(), []string{"H"})
+	h, _ := New(Config{
+		ID: "H", Scheme: MSSrcAP, Ops: []operator.Operator{operator.NewCounter("c")},
+		In: []*Edge{in}, Out: []*Edge{out},
+		Catalog: cat, TickEvery: time.Millisecond,
+	})
+	lis := &recListener{}
+	h.cfg.Listener = lis
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h.Start(ctx)
+
+	// Command first: H emits its own 1-hop token downstream immediately.
+	h.Command(Command{Kind: CmdCheckpoint, Epoch: 1})
+	var ownToken *tuple.Tuple
+	waitFor(t, 5*time.Second, func() bool {
+		select {
+		case tp := <-out.C:
+			if tp.IsToken() {
+				ownToken = tp
+			}
+		default:
+		}
+		return ownToken != nil
+	})
+	if ownToken.Tok.From != "H" || ownToken.Tok.Kind != tuple.OneHop {
+		t.Fatalf("own token = %+v", ownToken.Tok)
+	}
+
+	// The upstream's token aligns H; it must be discarded, not forwarded.
+	in.C <- tuple.NewToken(tuple.Token{Epoch: 1, Kind: tuple.OneHop, From: "up"})
+	waitFor(t, 5*time.Second, func() bool { return lis.ckptCount() == 1 })
+	h.WaitWriters()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case tp := <-out.C:
+		if tp.IsToken() {
+			t.Fatal("1-hop token forwarded downstream")
+		}
+	default:
+	}
+	cancel()
+}

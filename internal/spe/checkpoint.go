@@ -1,0 +1,210 @@
+package spe
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"meteorshower/internal/tuple"
+)
+
+// HAU checkpoint blob layout (little endian):
+//
+//	u32 nOut;  nOut  x u64 outSeq
+//	u32 nIn;   nIn   x u64 lastInSeq
+//	nIn x { u32 nSrc; nSrc x { u16 len, src, u64 id } }  per-source IDs
+//	u64 localEpoch
+//	u32 nRetained; per retained: u32 port, u32 len, tuple bytes
+//	u32 nOps;      per op:       u32 len, snapshot bytes
+//
+// The retained tuples are the in-flight tuples "between the incoming and
+// the output tokens" (§III-B) that recovery must re-send downstream.
+
+var errShortSnapshot = errors.New("spe: short HAU snapshot")
+
+// encodeState serializes the HAU's runtime counters, retained in-flight
+// tuples, and every operator's snapshot.
+func (h *HAU) encodeState() []byte {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(h.outSeq)))
+	for _, s := range h.outSeq {
+		buf = binary.LittleEndian.AppendUint64(buf, s)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(h.lastInSeq)))
+	for _, s := range h.lastInSeq {
+		buf = binary.LittleEndian.AppendUint64(buf, s)
+	}
+	for _, m := range h.lastSrcID {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m)))
+		for src, id := range m {
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(src)))
+			buf = append(buf, src...)
+			buf = binary.LittleEndian.AppendUint64(buf, id)
+		}
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, h.localEpoch)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(h.retained)))
+	for _, rt := range h.retained {
+		enc := rt.t.Marshal()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(rt.port))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(enc)))
+		buf = append(buf, enc...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(h.cfg.Ops)))
+	for _, op := range h.cfg.Ops {
+		snap, err := op.Snapshot()
+		if err != nil {
+			h.setErr(fmt.Errorf("spe: snapshot of %s: %w", op.Name(), err))
+			snap = nil
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(snap)))
+		buf = append(buf, snap...)
+	}
+	return buf
+}
+
+// RestoreFrom rebuilds the HAU from a checkpoint blob. Must be called
+// before Start. Retained in-flight tuples are queued for re-emission when
+// the loop starts.
+func (h *HAU) RestoreFrom(blob []byte) error {
+	r := reader{buf: blob}
+	nOut, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if int(nOut) != len(h.outSeq) {
+		return fmt.Errorf("spe: snapshot has %d out ports, HAU has %d", nOut, len(h.outSeq))
+	}
+	for i := range h.outSeq {
+		if h.outSeq[i], err = r.u64(); err != nil {
+			return err
+		}
+	}
+	nIn, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if int(nIn) != len(h.lastInSeq) {
+		return fmt.Errorf("spe: snapshot has %d in ports, HAU has %d", nIn, len(h.lastInSeq))
+	}
+	for i := range h.lastInSeq {
+		if h.lastInSeq[i], err = r.u64(); err != nil {
+			return err
+		}
+	}
+	for i := range h.lastSrcID {
+		nSrc, err := r.u32()
+		if err != nil {
+			return err
+		}
+		h.lastSrcID[i] = make(map[string]uint64, nSrc)
+		for j := uint32(0); j < nSrc; j++ {
+			src, err := r.str16()
+			if err != nil {
+				return err
+			}
+			id, err := r.u64()
+			if err != nil {
+				return err
+			}
+			h.lastSrcID[i][src] = id
+		}
+	}
+	if h.localEpoch, err = r.u64(); err != nil {
+		return err
+	}
+	nRet, err := r.u32()
+	if err != nil {
+		return err
+	}
+	h.pendingOut = h.pendingOut[:0]
+	for i := uint32(0); i < nRet; i++ {
+		port, err := r.u32()
+		if err != nil {
+			return err
+		}
+		enc, err := r.bytes()
+		if err != nil {
+			return err
+		}
+		t, _, err := tuple.Unmarshal(enc)
+		if err != nil {
+			return fmt.Errorf("spe: retained tuple %d: %w", i, err)
+		}
+		h.pendingOut = append(h.pendingOut, retainedTuple{port: int(port), t: t})
+	}
+	nOps, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if int(nOps) != len(h.cfg.Ops) {
+		return fmt.Errorf("spe: snapshot has %d ops, HAU has %d", nOps, len(h.cfg.Ops))
+	}
+	for _, op := range h.cfg.Ops {
+		snap, err := r.bytes()
+		if err != nil {
+			return err
+		}
+		if len(snap) == 0 {
+			snap = nil
+		}
+		if err := op.Restore(snap); err != nil {
+			return fmt.Errorf("spe: restore of %s: %w", op.Name(), err)
+		}
+	}
+	return nil
+}
+
+// SnapshotNow serializes the HAU state outside the protocol — used by
+// tests and by recovery verification tooling. Only safe when the HAU loop
+// is not running.
+func (h *HAU) SnapshotNow() []byte { return h.encodeState() }
+
+type reader struct {
+	buf []byte
+}
+
+func (r *reader) u32() (uint32, error) {
+	if len(r.buf) < 4 {
+		return 0, errShortSnapshot
+	}
+	v := binary.LittleEndian.Uint32(r.buf)
+	r.buf = r.buf[4:]
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if len(r.buf) < 8 {
+		return 0, errShortSnapshot
+	}
+	v := binary.LittleEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return v, nil
+}
+
+func (r *reader) str16() (string, error) {
+	if len(r.buf) < 2 {
+		return "", errShortSnapshot
+	}
+	n := int(binary.LittleEndian.Uint16(r.buf))
+	r.buf = r.buf[2:]
+	if len(r.buf) < n {
+		return "", errShortSnapshot
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if len(r.buf) < int(n) {
+		return nil, errShortSnapshot
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
+	return out, nil
+}

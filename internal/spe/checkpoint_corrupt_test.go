@@ -1,0 +1,82 @@
+package spe
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"meteorshower/internal/operator"
+	"meteorshower/internal/tuple"
+)
+
+// mkRestorable builds an HAU with 1 in, 1 out and a counter op.
+func mkRestorable(t *testing.T) *HAU {
+	t.Helper()
+	h, err := New(Config{
+		ID: "H", Scheme: MSSrcAP, Ops: []operator.Operator{operator.NewCounter("c")},
+		In:  []*Edge{NewEdge("a", "H", 0)},
+		Out: []*Edge{NewEdge("H", "z", 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestRestoreFromTruncatedEverywhere(t *testing.T) {
+	src := mkRestorable(t)
+	src.outSeq[0] = 5
+	src.lastInSeq[0] = 3
+	src.lastSrcID[0]["S"] = 9
+	blob := src.SnapshotNow()
+	// Every proper prefix must be rejected, never panic.
+	for cut := 0; cut < len(blob); cut++ {
+		h := mkRestorable(t)
+		if err := h.RestoreFrom(blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(blob))
+		}
+	}
+	// The full blob restores.
+	h := mkRestorable(t)
+	if err := h.RestoreFrom(blob); err != nil {
+		t.Fatal(err)
+	}
+	if h.lastSrcID[0]["S"] != 9 {
+		t.Fatal("per-source dedup state not restored")
+	}
+}
+
+func TestRestoreFromCorruptRetainedTuple(t *testing.T) {
+	src := mkRestorable(t)
+	src.retained = []retainedTuple{{port: 0, t: tuple.New(1, "S", "k", []byte("x"))}}
+	blob := src.SnapshotNow()
+	// Find the retained tuple bytes and corrupt the magic.
+	// Layout: after outSeq(4+8), inSeq(4+8), srcIDs(4), epoch(8),
+	// nRetained(4), port(4), len(4) comes the tuple encoding.
+	off := 4 + 8 + 4 + 8 + 4 + 8 + 4 + 4 + 4
+	if off+2 > len(blob) {
+		t.Fatalf("layout assumption broken: blob %d bytes", len(blob))
+	}
+	bad := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint16(bad[off:], 0xBEEF)
+	h := mkRestorable(t)
+	if err := h.RestoreFrom(bad); err == nil {
+		t.Fatal("corrupt retained tuple accepted")
+	}
+}
+
+func TestRestoreFromOpCountMismatch(t *testing.T) {
+	src := mkRestorable(t)
+	blob := src.SnapshotNow()
+	h2, err := New(Config{
+		ID: "H", Scheme: MSSrcAP,
+		Ops: []operator.Operator{operator.NewCounter("c"), operator.NewCounter("c2")},
+		In:  []*Edge{NewEdge("a", "H", 0)},
+		Out: []*Edge{NewEdge("H", "z", 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.RestoreFrom(blob); err == nil {
+		t.Fatal("op count mismatch accepted")
+	}
+}

@@ -1,0 +1,714 @@
+package spe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"meteorshower/internal/buffer"
+	"meteorshower/internal/delta"
+	"meteorshower/internal/operator"
+	"meteorshower/internal/statesize"
+	"meteorshower/internal/storage"
+	"meteorshower/internal/tuple"
+)
+
+// DefaultEdgeBuffer is the per-stream channel capacity. A bounded channel
+// is the in-flight window of the simulated TCP connection: full channel =
+// backpressure on the sender.
+const DefaultEdgeBuffer = 512
+
+// Edge is a stream between two HAUs.
+type Edge struct {
+	From, To string
+	C        chan *tuple.Tuple
+}
+
+// NewEdge returns an edge with the given buffer capacity (0 = default).
+func NewEdge(from, to string, buf int) *Edge {
+	if buf <= 0 {
+		buf = DefaultEdgeBuffer
+	}
+	return &Edge{From: from, To: to, C: make(chan *tuple.Tuple, buf)}
+}
+
+// Config assembles one HAU. The cluster layer builds these; tests build
+// them directly.
+type Config struct {
+	ID     string
+	Scheme Scheme
+	// Ops is the operator chain: Ops[0] receives the HAU's inputs, each
+	// operator's emissions feed the next, and the last operator's output
+	// ports map to Out edges. In the paper's evaluation every HAU holds
+	// exactly one operator.
+	Ops []operator.Operator
+	In  []*Edge
+	Out []*Edge
+
+	Catalog   *storage.Catalog  // individual checkpoint destination
+	SourceLog *buffer.SourceLog // source preservation (MS schemes, source HAUs)
+	Preserver *buffer.Preserver // input preservation (baseline, all HAUs)
+	// AckUpstream delivers a checkpoint ack for input port inPort
+	// covering sequences <= seq (baseline). Wired by the cluster.
+	AckUpstream func(inPort int, seq uint64)
+
+	Listener Listener
+
+	TickEvery  time.Duration // operator tick / source generation period
+	CkptPeriod time.Duration // baseline: self-checkpoint period (0 = off)
+	CkptPhase  time.Duration // baseline: random phase of first checkpoint
+
+	// PerTupleDelay models per-tuple CPU cost beyond the operators' real
+	// work. Zero for most tests.
+	PerTupleDelay time.Duration
+
+	// DeltaCheckpoint enables delta-checkpointing (paper §V): checkpoints
+	// write only the blocks changed since the previous epoch, with a full
+	// snapshot every DeltaFullEvery epochs.
+	DeltaCheckpoint bool
+	DeltaFullEvery  int // 0 = default 4
+
+	// ShedWatermark enables load shedding (paper §III: long-term overload
+	// "require[s] load shedding"): when an output channel is fuller than
+	// this fraction of its capacity, new data tuples for it are dropped
+	// instead of blocking the operator. 0 disables shedding.
+	ShedWatermark float64
+
+	Now func() int64 // clock; defaults to wall time
+}
+
+type retainedTuple struct {
+	port int
+	t    *tuple.Tuple
+}
+
+// HAU is a running High Availability Unit: "the smallest unit of work that
+// can be checkpointed and recovered independently".
+type HAU struct {
+	cfg Config
+	src operator.Source // cfg.Ops[0] if it is a source
+	ctx context.Context // loop context, set by run
+
+	ctrl chan Command
+
+	// Loop-owned state (no locks needed).
+	outSeq     []uint64
+	lastInSeq  []uint64
+	lastSrcID  []map[string]uint64 // per in port: per-source high-water ID
+	aligned    []bool
+	awaiting   bool
+	pendingEp  uint64
+	doneEpoch  uint64 // highest token epoch already checkpointed
+	alignStart int64
+	retaining  bool
+	retained   []retainedTuple
+	nextCkpt   int64
+	localEpoch uint64
+	reportAll  bool
+	alert      bool
+	tracker    statesize.Tracker
+	lastPeak   int64
+	emitters   []operator.Emitter
+	pendingOut []retainedTuple // in-flight tuples restored from a snapshot
+	srcReplay  []*tuple.Tuple  // preserved source tuples to re-send first
+
+	lastBlob  []byte // previous checkpoint state (delta base)
+	lastEpoch uint64
+	sinceFull int
+
+	cachedSize atomic.Int64
+	processed  atomic.Uint64
+	shed       atomic.Uint64
+	writerWG   sync.WaitGroup
+
+	startOnce sync.Once
+	done      chan struct{}
+	errMu     sync.Mutex
+	err       error
+}
+
+// New validates cfg and returns a ready-to-start HAU.
+func New(cfg Config) (*HAU, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("spe: empty HAU id")
+	}
+	if len(cfg.Ops) == 0 {
+		return nil, fmt.Errorf("spe: HAU %s has no operators", cfg.ID)
+	}
+	if cfg.Listener == nil {
+		cfg.Listener = NopListener{}
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 2 * time.Millisecond
+	}
+	if cfg.Now == nil {
+		cfg.Now = func() int64 { return time.Now().UnixNano() }
+	}
+	h := &HAU{
+		cfg:       cfg,
+		ctrl:      make(chan Command, 64),
+		outSeq:    make([]uint64, len(cfg.Out)),
+		lastInSeq: make([]uint64, len(cfg.In)),
+		lastSrcID: make([]map[string]uint64, len(cfg.In)),
+		aligned:   make([]bool, len(cfg.In)),
+		done:      make(chan struct{}),
+	}
+	for i := range h.lastSrcID {
+		h.lastSrcID[i] = make(map[string]uint64)
+	}
+	if s, ok := cfg.Ops[0].(operator.Source); ok {
+		h.src = s
+		if len(cfg.In) > 0 {
+			return nil, fmt.Errorf("spe: source HAU %s must not have inputs", cfg.ID)
+		}
+	}
+	h.emitters = make([]operator.Emitter, len(cfg.Ops))
+	for i := range cfg.Ops {
+		i := i
+		if i == len(cfg.Ops)-1 {
+			h.emitters[i] = func(port int, t *tuple.Tuple) { h.deliverOut(port, t) }
+		} else {
+			h.emitters[i] = func(port int, t *tuple.Tuple) {
+				if err := h.cfg.Ops[i+1].OnTuple(port, t, h.emitters[i+1]); err != nil {
+					h.setErr(err)
+				}
+			}
+		}
+	}
+	return h, nil
+}
+
+// ID returns the HAU id.
+func (h *HAU) ID() string { return h.cfg.ID }
+
+// Scheme returns the configured fault-tolerance scheme.
+func (h *HAU) Scheme() Scheme { return h.cfg.Scheme }
+
+// IsSource reports whether this HAU hosts a source operator.
+func (h *HAU) IsSource() bool { return h.src != nil }
+
+// Ops exposes the operator chain (read-only use).
+func (h *HAU) Ops() []operator.Operator { return h.cfg.Ops }
+
+// Command enqueues a controller command. Blocks only if the command queue
+// is saturated.
+func (h *HAU) Command(cmd Command) {
+	select {
+	case h.ctrl <- cmd:
+	case <-h.done:
+	}
+}
+
+// CachedStateSize returns the last sampled state size — the controller's
+// size query (§III-C3) reads this without disturbing the HAU loop.
+func (h *HAU) CachedStateSize() int64 { return h.cachedSize.Load() }
+
+// ProcessedCount returns how many data tuples this HAU has processed (or,
+// for sources, generated) since it started — the throughput numerator.
+func (h *HAU) ProcessedCount() uint64 { return h.processed.Load() }
+
+// ShedCount returns how many tuples load shedding dropped.
+func (h *HAU) ShedCount() uint64 { return h.shed.Load() }
+
+// Done is closed when the HAU loop exits.
+func (h *HAU) Done() <-chan struct{} { return h.done }
+
+// Err returns the terminal error, if any.
+func (h *HAU) Err() error {
+	h.errMu.Lock()
+	defer h.errMu.Unlock()
+	return h.err
+}
+
+func (h *HAU) setErr(err error) {
+	if err == nil {
+		return
+	}
+	h.errMu.Lock()
+	if h.err == nil {
+		h.err = err
+	}
+	h.errMu.Unlock()
+}
+
+// SetSourceReplay queues preserved tuples for re-emission before normal
+// processing starts. Must be called before Start. Recovery uses this to
+// replay the source log; the generator cursor is advanced past the highest
+// replayed id.
+func (h *HAU) SetSourceReplay(ts []*tuple.Tuple) {
+	h.srcReplay = ts
+}
+
+// Start launches the HAU loop. Safe to call once.
+func (h *HAU) Start(ctx context.Context) {
+	h.startOnce.Do(func() { go h.run(ctx) })
+}
+
+// WaitWriters blocks until any in-flight asynchronous checkpoint writers
+// finish (used by tests and orderly shutdown).
+func (h *HAU) WaitWriters() { h.writerWG.Wait() }
+
+func (h *HAU) now() int64 { return h.cfg.Now() }
+
+func (h *HAU) run(ctx context.Context) {
+	h.ctx = ctx
+	defer func() {
+		h.writerWG.Wait()
+		h.cfg.Listener.Stopped(h.cfg.ID, h.Err())
+		close(h.done)
+	}()
+
+	// Phase 0: recovery replay. In-flight tuples captured by the MRC
+	// snapshot go out first (they carry their original sequence numbers),
+	// then preserved source tuples.
+	for _, rt := range h.pendingOut {
+		if !h.rawSend(ctx, rt.port, rt.t) {
+			return
+		}
+	}
+	h.pendingOut = nil
+	var maxReplayed uint64
+	for _, t := range h.srcReplay {
+		for port := range h.cfg.Out {
+			out := t
+			if port < len(h.cfg.Out)-1 {
+				out = t.Clone()
+			}
+			if !h.deliverOut(port, out) {
+				return
+			}
+		}
+		if t.ID >= maxReplayed {
+			maxReplayed = t.ID + 1
+		}
+	}
+	if len(h.srcReplay) > 0 && h.src != nil {
+		if rs, ok := h.src.(*operator.RateSource); ok {
+			rs.SkipPast(maxReplayed - 1)
+		}
+	}
+	h.srcReplay = nil
+
+	if h.cfg.CkptPeriod > 0 {
+		h.nextCkpt = h.now() + int64(h.cfg.CkptPhase)
+	}
+
+	ticker := time.NewTicker(h.cfg.TickEvery)
+	defer ticker.Stop()
+
+	for {
+		if h.Err() != nil {
+			return // fail-stop: the operator stops functioning
+		}
+		cases := make([]reflect.SelectCase, 0, 3+len(h.cfg.In))
+		cases = append(cases,
+			reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(ctx.Done())},
+			reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(h.ctrl)},
+			reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(ticker.C)},
+		)
+		ports := make([]int, 0, len(h.cfg.In))
+		for i, e := range h.cfg.In {
+			if h.aligned[i] {
+				continue // blocked awaiting tokens on the other inputs
+			}
+			cases = append(cases, reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(e.C)})
+			ports = append(ports, i)
+		}
+		chosen, val, ok := reflect.Select(cases)
+		switch chosen {
+		case 0:
+			return
+		case 1:
+			if ok {
+				h.onCommand(ctx, val.Interface().(Command))
+			}
+		case 2:
+			h.onTick(ctx)
+		default:
+			if !ok {
+				// Upstream hung up; treat as quiescence, keep serving
+				// other inputs. Mark aligned forever to drop the case.
+				h.aligned[ports[chosen-3]] = true
+				continue
+			}
+			h.onInput(ctx, ports[chosen-3], val.Interface().(*tuple.Tuple))
+		}
+	}
+}
+
+func (h *HAU) onCommand(ctx context.Context, cmd Command) {
+	switch cmd.Kind {
+	case CmdCheckpoint:
+		h.onCheckpointCmd(ctx, cmd.Epoch)
+	case CmdAlertOn:
+		h.alert = true
+	case CmdAlertOff:
+		h.alert = false
+	case CmdReportAll:
+		h.reportAll = true
+	case CmdReportNormal:
+		h.reportAll = false
+	case CmdSwapOutEdge:
+		if cmd.Port >= 0 && cmd.Port < len(h.cfg.Out) && cmd.Edge != nil {
+			h.cfg.Out[cmd.Port] = cmd.Edge
+		}
+	case CmdReplayOutput:
+		if h.cfg.Preserver == nil || cmd.Port < 0 || cmd.Port >= len(h.cfg.Out) {
+			return
+		}
+		ts, err := h.cfg.Preserver.Replay(cmd.Port, 0)
+		if err != nil {
+			h.setErr(err)
+			return
+		}
+		for _, t := range ts {
+			if !h.rawSend(ctx, cmd.Port, t) {
+				return
+			}
+		}
+	}
+}
+
+func (h *HAU) onCheckpointCmd(ctx context.Context, epoch uint64) {
+	if h.cfg.Scheme.UsesTokens() {
+		// A token for this epoch may have raced ahead of the command (the
+		// upstream handled its command first); in that case the HAU is
+		// already armed — or already done — and a second arming would
+		// broadcast duplicate tokens and stall the next epoch.
+		if epoch <= h.doneEpoch || (h.awaiting && epoch <= h.pendingEp) {
+			return
+		}
+	}
+	switch {
+	case h.cfg.Scheme == MSSrc && h.src != nil:
+		// §III-A step 1: checkpoint, then trickle a cascading token.
+		h.alignStart = h.now()
+		h.doneEpoch = epoch
+		h.doCheckpoint(ctx, epoch, 0)
+		h.beginSourceEpoch(epoch)
+		h.broadcastToken(ctx, tuple.Token{Epoch: epoch, Kind: tuple.Cascading, From: h.cfg.ID})
+	case h.cfg.Scheme.OneHopTokens():
+		// §III-B: emit 1-hop tokens immediately, then await alignment.
+		h.broadcastToken(ctx, tuple.Token{Epoch: epoch, Kind: tuple.OneHop, From: h.cfg.ID})
+		if h.src != nil {
+			h.beginSourceEpoch(epoch)
+		}
+		if len(h.cfg.In) == 0 {
+			// Sources align trivially.
+			h.alignStart = h.now()
+			h.doneEpoch = epoch
+			h.doCheckpoint(ctx, epoch, 0)
+			return
+		}
+		h.awaiting = true
+		h.pendingEp = epoch
+		h.alignStart = h.now()
+		h.retaining = true
+	case h.cfg.Scheme == Baseline:
+		// The baseline checkpoints on its own timer; an explicit command
+		// forces one now (used by tests).
+		h.baselineCheckpoint(ctx)
+	}
+}
+
+func (h *HAU) beginSourceEpoch(epoch uint64) {
+	if h.cfg.SourceLog != nil {
+		if err := h.cfg.SourceLog.BeginEpoch(epoch); err != nil {
+			h.setErr(err)
+		}
+	}
+}
+
+func (h *HAU) onInput(ctx context.Context, port int, t *tuple.Tuple) {
+	if t.IsToken() {
+		h.onToken(ctx, port, *t.Tok)
+		return
+	}
+	// Duplicate suppression. Meteor Shower rolls the whole application back
+	// to one consistent cut, so per-edge sequence numbers are reliable.
+	// The baseline restarts a single HAU whose re-emissions may interleave
+	// multi-input processing differently, so its receivers match tuples by
+	// per-source id instead (per edge and source, ids are FIFO-ordered).
+	if h.cfg.Scheme == Baseline {
+		if t.Src != "" {
+			if last, ok := h.lastSrcID[port][t.Src]; ok && t.ID <= last {
+				return
+			}
+			h.lastSrcID[port][t.Src] = t.ID
+		}
+		if t.Seq > h.lastInSeq[port] {
+			h.lastInSeq[port] = t.Seq // tracked for checkpoint acks
+		}
+	} else if t.Seq != 0 {
+		if t.Seq <= h.lastInSeq[port] {
+			return // duplicate from a replay
+		}
+		h.lastInSeq[port] = t.Seq
+	}
+	if h.cfg.PerTupleDelay > 0 {
+		time.Sleep(h.cfg.PerTupleDelay)
+	}
+	h.processed.Add(1)
+	if err := h.cfg.Ops[0].OnTuple(port, t, h.emitters[0]); err != nil {
+		h.setErr(err)
+	}
+}
+
+func (h *HAU) onToken(ctx context.Context, port int, tok tuple.Token) {
+	if tok.Epoch <= h.doneEpoch {
+		return // stale duplicate from a late command broadcast
+	}
+	if !h.awaiting {
+		if h.cfg.Scheme.OneHopTokens() {
+			// Token raced ahead of the controller command (possible when
+			// the upstream processed its command first). Arm now exactly
+			// as the command would.
+			h.broadcastToken(ctx, tuple.Token{Epoch: tok.Epoch, Kind: tuple.OneHop, From: h.cfg.ID})
+			h.awaiting = true
+			h.pendingEp = tok.Epoch
+			h.alignStart = h.now()
+			h.retaining = true
+		} else {
+			h.awaiting = true
+			h.pendingEp = tok.Epoch
+			h.alignStart = h.now()
+		}
+	}
+	h.aligned[port] = true
+	n := 0
+	for _, a := range h.aligned {
+		if a {
+			n++
+		}
+	}
+	if n < len(h.cfg.In) {
+		return // stream boundary: stop reading this input, keep the rest
+	}
+	// All tokens received: individual checkpoint.
+	tokenWait := time.Duration(h.now() - h.alignStart)
+	epoch := h.pendingEp
+	h.awaiting = false
+	h.doneEpoch = epoch
+	for i := range h.aligned {
+		h.aligned[i] = false // erase tokens, reopen inputs
+	}
+	h.doCheckpoint(ctx, epoch, tokenWait)
+	if h.cfg.Scheme == MSSrc {
+		h.broadcastToken(ctx, tuple.Token{Epoch: epoch, Kind: tuple.Cascading, From: h.cfg.ID})
+	}
+}
+
+func (h *HAU) onTick(ctx context.Context) {
+	now := h.now()
+	if h.src != nil {
+		for _, t := range h.src.Generate(now) {
+			h.processed.Add(1)
+			if h.cfg.SourceLog != nil {
+				// Source preservation: stable write *before* sending.
+				if err := h.cfg.SourceLog.Append(t); err != nil {
+					h.setErr(err)
+					return
+				}
+			}
+			for port := range h.cfg.Out {
+				out := t
+				if port < len(h.cfg.Out)-1 {
+					out = t.Clone()
+				}
+				if !h.deliverOut(port, out) {
+					return
+				}
+			}
+		}
+	}
+	for i, op := range h.cfg.Ops {
+		if tk, ok := op.(operator.Ticker); ok {
+			if err := tk.OnTick(now, h.emitters[i]); err != nil {
+				h.setErr(err)
+			}
+		}
+	}
+	h.sampleState(now)
+	if h.cfg.Scheme == Baseline && h.cfg.CkptPeriod > 0 && now >= h.nextCkpt {
+		h.baselineCheckpoint(ctx)
+		h.nextCkpt = now + int64(h.cfg.CkptPeriod)
+	}
+}
+
+func (h *HAU) sampleState(now int64) {
+	size := h.stateSize()
+	h.cachedSize.Store(size)
+	tp := h.tracker.Observe(statesize.Sample{At: now, Size: size})
+	if tp == nil {
+		return
+	}
+	halved := false
+	if tp.Kind == statesize.Peak {
+		h.lastPeak = tp.Size
+	} else if h.lastPeak > 0 && tp.Size*2 < h.lastPeak {
+		halved = true
+	}
+	// Passive mode: only notify on halvings; active/alert/profiling mode
+	// reports every turning point with its ICR (§III-C3).
+	if h.reportAll || h.alert || halved {
+		h.cfg.Listener.TurningPoint(h.cfg.ID, tp.At, tp.Size, tp.ICR, halved)
+	}
+}
+
+func (h *HAU) stateSize() int64 {
+	var n int64
+	for _, op := range h.cfg.Ops {
+		n += op.StateSize()
+	}
+	for _, rt := range h.retained {
+		n += rt.t.Size()
+	}
+	return n
+}
+
+func (h *HAU) baselineCheckpoint(ctx context.Context) {
+	h.localEpoch++
+	h.alignStart = h.now()
+	h.doCheckpoint(ctx, h.localEpoch, 0)
+	// Ack upstream neighbours so they trim their preservation buffers.
+	if h.cfg.AckUpstream != nil {
+		for port := range h.cfg.In {
+			h.cfg.AckUpstream(port, h.lastInSeq[port])
+		}
+	}
+}
+
+// doCheckpoint takes the individual checkpoint for epoch. Synchronous
+// schemes block the loop for the full write; asynchronous schemes snapshot
+// in memory (the copy-on-write fork) and hand the write to a helper
+// goroutine, resuming the stream immediately.
+func (h *HAU) doCheckpoint(ctx context.Context, epoch uint64, tokenWait time.Duration) {
+	if h.cfg.Catalog == nil {
+		h.retaining = false
+		h.retained = nil
+		return
+	}
+	serStart := time.Now()
+	blob := h.encodeState()
+	serialize := time.Since(serStart)
+	h.retaining = false
+	h.retained = nil
+
+	// Delta-checkpointing: write only changed blocks against the previous
+	// epoch, falling back to full saves when the delta would not save
+	// anything or on the periodic full-snapshot epoch.
+	writeBlob := blob
+	baseEpoch := uint64(0)
+	useDelta := false
+	if h.cfg.DeltaCheckpoint && h.lastBlob != nil {
+		fullEvery := h.cfg.DeltaFullEvery
+		if fullEvery <= 0 {
+			fullEvery = 4
+		}
+		if h.sinceFull+1 < fullEvery {
+			diff := delta.Diff(h.lastBlob, blob, delta.DefaultBlockSize)
+			if len(diff) < len(blob) {
+				writeBlob = diff
+				baseEpoch = h.lastEpoch
+				useDelta = true
+			}
+		}
+	}
+	if useDelta {
+		h.sinceFull++
+	} else {
+		h.sinceFull = 0
+	}
+	h.lastBlob = blob
+	h.lastEpoch = epoch
+
+	b := CheckpointBreakdown{
+		TokenWait:  tokenWait,
+		Serialize:  serialize,
+		StateBytes: int64(len(writeBlob)),
+		Async:      h.cfg.Scheme.Asynchronous(),
+	}
+	id := h.cfg.ID
+	save := func() (time.Duration, bool, error) {
+		if useDelta {
+			return h.cfg.Catalog.SaveStateDelta(epoch, id, writeBlob, baseEpoch)
+		}
+		return h.cfg.Catalog.SaveState(epoch, id, writeBlob)
+	}
+	if b.Async {
+		h.writerWG.Add(1)
+		go func() {
+			defer h.writerWG.Done()
+			d, _, err := save()
+			if err != nil {
+				h.setErr(err)
+				return
+			}
+			b.DiskIO = d
+			h.cfg.Listener.CheckpointDone(id, epoch, b)
+		}()
+		return
+	}
+	d, _, err := save()
+	if err != nil {
+		h.setErr(err)
+		return
+	}
+	b.DiskIO = d
+	h.cfg.Listener.CheckpointDone(id, epoch, b)
+}
+
+func (h *HAU) broadcastToken(ctx context.Context, tok tuple.Token) {
+	for port := range h.cfg.Out {
+		t := tuple.NewToken(tok)
+		t.Ts = h.now()
+		if !h.rawSend(ctx, port, t) {
+			return
+		}
+	}
+}
+
+// deliverOut stamps, preserves, retains and sends a data tuple on an
+// output port. Returns false if the context died mid-send.
+func (h *HAU) deliverOut(port int, t *tuple.Tuple) bool {
+	if port < 0 || port >= len(h.cfg.Out) {
+		h.setErr(fmt.Errorf("spe: %s emitted to invalid port %d", h.cfg.ID, port))
+		return false
+	}
+	if h.cfg.ShedWatermark > 0 {
+		c := h.cfg.Out[port].C
+		if float64(len(c)) > h.cfg.ShedWatermark*float64(cap(c)) {
+			h.shed.Add(1)
+			return true // overload: drop instead of blocking upstream
+		}
+	}
+	h.outSeq[port]++
+	t.Seq = h.outSeq[port]
+	if h.cfg.Preserver != nil {
+		if _, err := h.cfg.Preserver.Append(port, t); err != nil {
+			h.setErr(err)
+			return false
+		}
+	}
+	if h.retaining {
+		h.retained = append(h.retained, retainedTuple{port: port, t: t.Clone()})
+	}
+	return h.rawSend(h.ctx, port, t)
+}
+
+// rawSend pushes t on the port's channel without stamping or preservation.
+func (h *HAU) rawSend(ctx context.Context, port int, t *tuple.Tuple) bool {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case h.cfg.Out[port].C <- t:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,259 @@
+package spe
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"meteorshower/internal/buffer"
+	"meteorshower/internal/operator"
+	"meteorshower/internal/storage"
+	"meteorshower/internal/tuple"
+)
+
+// fluctOp is a stateful operator whose state size zig-zags over inputs, so
+// the HAU's sampler must detect turning points.
+type fluctOp struct {
+	operator.Base
+	size int64
+	dir  int64
+}
+
+func (f *fluctOp) OnTuple(_ int, t *tuple.Tuple, _ operator.Emitter) error {
+	if f.dir == 0 {
+		f.dir = 100
+	}
+	f.size += f.dir
+	if f.size >= 500 {
+		f.dir = -100
+	}
+	if f.size <= 0 {
+		f.dir = 100
+	}
+	return nil
+}
+
+func (f *fluctOp) StateSize() int64 { return f.size }
+
+// tpListener records turning points.
+type tpListener struct {
+	NopListener
+	mu   sync.Mutex
+	tps  int
+	alls []int64
+}
+
+func (l *tpListener) TurningPoint(_ string, _ int64, size int64, _ float64, _ bool) {
+	l.mu.Lock()
+	l.tps++
+	l.alls = append(l.alls, size)
+	l.mu.Unlock()
+}
+
+func (l *tpListener) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tps
+}
+
+func TestAccessors(t *testing.T) {
+	gen := operator.NewRateSource("S", 1, 1, operator.BytePayload(4, 2))
+	h, _ := New(Config{ID: "S", Scheme: MSSrcAP, Ops: []operator.Operator{gen}, Out: []*Edge{NewEdge("S", "x", 0)}})
+	if h.ID() != "S" || h.Scheme() != MSSrcAP || !h.IsSource() || len(h.Ops()) != 1 {
+		t.Fatal("accessors wrong")
+	}
+	if h.CachedStateSize() != 0 || h.ProcessedCount() != 0 || h.ShedCount() != 0 {
+		t.Fatal("fresh counters non-zero")
+	}
+}
+
+func TestNopListener(t *testing.T) {
+	var l NopListener
+	l.CheckpointDone("", 0, CheckpointBreakdown{})
+	l.TurningPoint("", 0, 0, 0, false)
+	l.Stopped("", nil)
+}
+
+func TestReportAllTurningPoints(t *testing.T) {
+	in := NewEdge("x", "H", 0)
+	lis := &tpListener{}
+	h, _ := New(Config{
+		ID: "H", Scheme: MSSrcAPAA, Ops: []operator.Operator{&fluctOp{Base: operator.Base{OpName: "f"}}},
+		In: []*Edge{in}, Listener: lis, TickEvery: time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h.Start(ctx)
+	h.Command(Command{Kind: CmdReportAll})
+	go func() {
+		for i := uint64(1); ; i++ {
+			tp := tuple.New(i, "x", "k", nil)
+			tp.Seq = i
+			select {
+			case in.C <- tp:
+			case <-ctx.Done():
+				return
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+	waitFor(t, 10*time.Second, func() bool { return lis.count() >= 2 })
+	if h.CachedStateSize() == 0 && lis.count() == 0 {
+		t.Fatal("state never sampled")
+	}
+	// CmdReportNormal suppresses non-halving reports.
+	h.Command(Command{Kind: CmdReportNormal})
+	// CmdAlertOn re-enables them.
+	h.Command(Command{Kind: CmdAlertOn})
+	n := lis.count()
+	waitFor(t, 10*time.Second, func() bool { return lis.count() > n })
+	h.Command(Command{Kind: CmdAlertOff})
+	cancel()
+}
+
+func TestOperatorErrorFailStops(t *testing.T) {
+	in := NewEdge("x", "H", 0)
+	bad := &failingOp{}
+	h, _ := New(Config{
+		ID: "H", Scheme: MSSrc, Ops: []operator.Operator{bad},
+		In: []*Edge{in}, TickEvery: time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h.Start(ctx)
+	tp := tuple.New(1, "x", "k", nil)
+	tp.Seq = 1
+	in.C <- tp
+	select {
+	case <-h.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("HAU did not fail-stop on operator error")
+	}
+	if h.Err() == nil {
+		t.Fatal("terminal error not recorded")
+	}
+}
+
+type failingOp struct{ operator.Base }
+
+func (f *failingOp) OnTuple(int, *tuple.Tuple, operator.Emitter) error {
+	return errors.New("software error")
+}
+
+func TestCmdSwapOutEdgeAndReplay(t *testing.T) {
+	oldOut := NewEdge("H", "down", 8)
+	disk := fastDisk()
+	pres := buffer.NewPreserver(1, 1<<20, disk)
+	gen := operator.NewRateSource("H", 2, 1, operator.BytePayload(8, 2))
+	h, _ := New(Config{
+		ID: "H", Scheme: Baseline, Ops: []operator.Operator{gen},
+		Out: []*Edge{oldOut}, Preserver: pres, TickEvery: time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h.Start(ctx)
+	// Drain the old edge until a few tuples passed.
+	seen := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for seen < 5 && time.Now().Before(deadline) {
+		select {
+		case <-oldOut.C:
+			seen++
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if seen < 5 {
+		t.Fatal("no flow on original edge")
+	}
+	// Swap in a new edge and replay the preserved output onto it.
+	newOut := NewEdge("H", "down", 256)
+	h.Command(Command{Kind: CmdSwapOutEdge, Port: 0, Edge: newOut})
+	h.Command(Command{Kind: CmdReplayOutput, Port: 0})
+	got := 0
+	deadline = time.Now().Add(5 * time.Second)
+	var first *tuple.Tuple
+	for time.Now().Before(deadline) && got < 5 {
+		select {
+		case tp := <-newOut.C:
+			if first == nil {
+				first = tp
+			}
+			got++
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if got < 5 {
+		t.Fatalf("replayed only %d tuples on the new edge", got)
+	}
+	if first.Seq != 1 {
+		t.Fatalf("replay did not start from the beginning: seq %d", first.Seq)
+	}
+	// Out-of-range swap/replay commands are ignored, not fatal.
+	h.Command(Command{Kind: CmdSwapOutEdge, Port: 9, Edge: newOut})
+	h.Command(Command{Kind: CmdReplayOutput, Port: 9})
+	time.Sleep(10 * time.Millisecond)
+	if h.Err() != nil {
+		t.Fatalf("bad port command killed the HAU: %v", h.Err())
+	}
+	cancel()
+}
+
+func TestBaselinePerSourceIDDedup(t *testing.T) {
+	// Two interleavings of the same per-source streams: the second pass
+	// (simulating a restarted upstream with different interleaving) must
+	// be fully suppressed.
+	in := NewEdge("x", "K", 0)
+	col := newCountingRecorder()
+	sinkOp := operator.NewSink("K", col)
+	sinkOp.TrackIdentity = true
+	h, _ := New(Config{
+		ID: "K", Scheme: Baseline, Ops: []operator.Operator{sinkOp},
+		In: []*Edge{in}, TickEvery: time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h.Start(ctx)
+	send := func(src string, id uint64, seq uint64) {
+		tp := tuple.New(id, src, "k", nil)
+		tp.Seq = seq
+		in.C <- tp
+	}
+	// First delivery: A1 B1 A2 B2 with seqs 1..4.
+	send("A", 1, 1)
+	send("B", 1, 2)
+	send("A", 2, 3)
+	send("B", 2, 4)
+	// Replay with a different interleaving and different seqs.
+	send("B", 1, 5)
+	send("B", 2, 6)
+	send("A", 1, 7)
+	send("A", 2, 8)
+	waitFor(t, 5*time.Second, func() bool { return sinkOp.Delivered() >= 4 })
+	time.Sleep(20 * time.Millisecond)
+	if sinkOp.Delivered() != 4 {
+		t.Fatalf("delivered %d, want 4 (replay suppressed)", sinkOp.Delivered())
+	}
+	if sinkOp.Duplicates() != 0 {
+		t.Fatalf("duplicates = %d", sinkOp.Duplicates())
+	}
+	cancel()
+}
+
+type countingRecorder struct {
+	mu sync.Mutex
+	n  int
+}
+
+func newCountingRecorder() *countingRecorder { return &countingRecorder{} }
+
+func (c *countingRecorder) RecordLatency(int64, time.Duration) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func fastDisk() *storage.Disk {
+	return storage.NewDisk(storage.DiskSpec{BandwidthBps: 1 << 30, TimeScale: 0})
+}

@@ -1,0 +1,134 @@
+// Package spe implements the Stream Processing Engine: the HAU (High
+// Availability Unit) runtime that executes operators, aligns checkpoint
+// tokens, performs synchronous or parallel-asynchronous individual
+// checkpoints, and supports recovery (paper §III).
+//
+// Each HAU runs as one goroutine; edges between HAUs are buffered channels
+// (in-order, lossless, bounded — matching the paper's TCP assumptions and
+// providing natural backpressure).
+package spe
+
+import "time"
+
+// Scheme selects the fault-tolerance protocol an HAU participates in.
+type Scheme uint8
+
+const (
+	// Baseline is the paper's state-of-the-art reference (§II-B3):
+	// independent periodic checkpoints at random phases, input
+	// preservation at every HAU, synchronous checkpointing.
+	Baseline Scheme = iota
+	// MSSrc is basic Meteor Shower (§III-A): source preservation and
+	// cascading tokens, synchronous individual checkpoints.
+	MSSrc
+	// MSSrcAP adds parallel, asynchronous checkpointing (§III-B): 1-hop
+	// tokens broadcast by the controller, copy-on-write-style snapshots
+	// written by a helper goroutine.
+	MSSrcAP
+	// MSSrcAPAA adds application-aware checkpoint timing (§III-C). The
+	// HAU behaves exactly as MSSrcAP; the difference is in when the
+	// controller fires checkpoints, plus turning-point reporting.
+	MSSrcAPAA
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Baseline:
+		return "Baseline"
+	case MSSrc:
+		return "MS-src"
+	case MSSrcAP:
+		return "MS-src+ap"
+	case MSSrcAPAA:
+		return "MS-src+ap+aa"
+	default:
+		return "unknown-scheme"
+	}
+}
+
+// UsesTokens reports whether the scheme coordinates checkpoints by tokens.
+func (s Scheme) UsesTokens() bool { return s != Baseline }
+
+// OneHopTokens reports whether tokens are 1-hop (controller-broadcast)
+// rather than cascading from sources.
+func (s Scheme) OneHopTokens() bool { return s == MSSrcAP || s == MSSrcAPAA }
+
+// Asynchronous reports whether individual checkpoints overlap processing.
+func (s Scheme) Asynchronous() bool { return s == MSSrcAP || s == MSSrcAPAA }
+
+// ApplicationAware reports whether checkpoint timing tracks state size.
+func (s Scheme) ApplicationAware() bool { return s == MSSrcAPAA }
+
+// CommandKind enumerates controller-to-HAU commands.
+type CommandKind uint8
+
+const (
+	// CmdCheckpoint starts a checkpoint epoch. For MS-src it is sent to
+	// source HAUs only; for MS-src+ap(+aa) it is broadcast to every HAU.
+	CmdCheckpoint CommandKind = iota
+	// CmdAlertOn/Off toggle alert mode: while on, the HAU actively
+	// reports turning points with ICR (§III-C3).
+	CmdAlertOn
+	CmdAlertOff
+	// CmdReportAll makes the HAU report every turning point regardless of
+	// alert mode — the profiling phase.
+	CmdReportAll
+	// CmdReportNormal restores passive reporting (only halvings).
+	CmdReportNormal
+	// CmdSwapOutEdge replaces one output edge (baseline recovery rewires
+	// the restarted neighbour's input channel).
+	CmdSwapOutEdge
+	// CmdReplayOutput re-sends the preserved tuples of one output port
+	// (baseline recovery).
+	CmdReplayOutput
+)
+
+// Command is a controller-to-HAU control message.
+type Command struct {
+	Kind  CommandKind
+	Epoch uint64
+	Port  int   // CmdSwapOutEdge, CmdReplayOutput
+	Edge  *Edge // CmdSwapOutEdge
+}
+
+// CheckpointBreakdown decomposes one individual checkpoint the way Fig. 14
+// does: token collection, disk I/O, and other (serialization + process
+// creation). Durations are modelled (unscaled) simulation time.
+type CheckpointBreakdown struct {
+	TokenWait  time.Duration // command/first-token arrival -> alignment
+	Serialize  time.Duration // state serialization + snapshot fork
+	DiskIO     time.Duration // stable-storage write
+	StateBytes int64
+	Async      bool
+}
+
+// Total returns the checkpoint's critical-path duration as the HAU saw it.
+func (b CheckpointBreakdown) Total() time.Duration {
+	return b.TokenWait + b.Serialize + b.DiskIO
+}
+
+// Listener receives HAU events. The controller implements it; tests use
+// stubs. Callbacks run on HAU or writer goroutines and must not block for
+// long.
+type Listener interface {
+	// CheckpointDone fires when an individual checkpoint is durable.
+	CheckpointDone(hau string, epoch uint64, b CheckpointBreakdown)
+	// TurningPoint fires when the HAU's state-size series turns. halved
+	// reports whether the size fell by more than half since the previous
+	// peak (the passive-mode notification trigger, §III-C3).
+	TurningPoint(hau string, at int64, size int64, icr float64, halved bool)
+	// Stopped fires when the HAU's main loop exits.
+	Stopped(hau string, err error)
+}
+
+// NopListener discards all events.
+type NopListener struct{}
+
+// CheckpointDone implements Listener.
+func (NopListener) CheckpointDone(string, uint64, CheckpointBreakdown) {}
+
+// TurningPoint implements Listener.
+func (NopListener) TurningPoint(string, int64, int64, float64, bool) {}
+
+// Stopped implements Listener.
+func (NopListener) Stopped(string, error) {}

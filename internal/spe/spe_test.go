@@ -1,0 +1,438 @@
+package spe
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"meteorshower/internal/buffer"
+	"meteorshower/internal/metrics"
+	"meteorshower/internal/operator"
+	"meteorshower/internal/storage"
+	"meteorshower/internal/tuple"
+)
+
+// recListener records events thread-safely.
+type recListener struct {
+	mu    sync.Mutex
+	ckpts []struct {
+		hau   string
+		epoch uint64
+		b     CheckpointBreakdown
+	}
+	turns   int
+	stopped []string
+}
+
+func (l *recListener) CheckpointDone(hau string, epoch uint64, b CheckpointBreakdown) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ckpts = append(l.ckpts, struct {
+		hau   string
+		epoch uint64
+		b     CheckpointBreakdown
+	}{hau, epoch, b})
+}
+
+func (l *recListener) TurningPoint(string, int64, int64, float64, bool) {
+	l.mu.Lock()
+	l.turns++
+	l.mu.Unlock()
+}
+
+func (l *recListener) Stopped(hau string, _ error) {
+	l.mu.Lock()
+	l.stopped = append(l.stopped, hau)
+	l.mu.Unlock()
+}
+
+func (l *recListener) ckptCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ckpts)
+}
+
+func fastStore() *storage.Store {
+	return storage.NewStore(storage.DiskSpec{BandwidthBps: 1 << 30, Latency: time.Microsecond, TimeScale: 0})
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached before timeout")
+}
+
+// buildChain wires S -> M -> K and returns the HAUs plus sink internals.
+func buildChain(t *testing.T, scheme Scheme, cat *storage.Catalog, srcLog *buffer.SourceLog) (src, mid, sink *HAU, sinkOp *operator.Sink, col *metrics.Collector) {
+	t.Helper()
+	e1 := NewEdge("S", "M", 0)
+	e2 := NewEdge("M", "K", 0)
+	col = metrics.NewCollector()
+
+	gen := operator.NewRateSource("S", 5, 1, operator.BytePayload(16, 4)) // 5 tuples/ms
+	var err error
+	src, err = New(Config{
+		ID: "S", Scheme: scheme, Ops: []operator.Operator{gen},
+		Out: []*Edge{e1}, Catalog: cat, SourceLog: srcLog,
+		TickEvery: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapOp := operator.NewMap("m", func(in *tuple.Tuple) *tuple.Tuple { return in })
+	mid, err = New(Config{
+		ID: "M", Scheme: scheme, Ops: []operator.Operator{mapOp},
+		In: []*Edge{e1}, Out: []*Edge{e2}, Catalog: cat,
+		TickEvery: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkOp = operator.NewSink("K", col)
+	sinkOp.TrackIdentity = true
+	sink, err = New(Config{
+		ID: "K", Scheme: scheme, Ops: []operator.Operator{sinkOp},
+		In: []*Edge{e2}, Catalog: cat,
+		TickEvery: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, mid, sink, sinkOp, col
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if _, err := New(Config{ID: "x"}); err == nil {
+		t.Fatal("no operators accepted")
+	}
+	gen := operator.NewRateSource("S", 1, 1, operator.BytePayload(4, 2))
+	_, err := New(Config{ID: "S", Ops: []operator.Operator{gen}, In: []*Edge{NewEdge("a", "S", 0)}})
+	if err == nil {
+		t.Fatal("source with inputs accepted")
+	}
+}
+
+func TestChainFlowsTuples(t *testing.T) {
+	cat := storage.NewCatalog(fastStore(), []string{"S", "M", "K"})
+	src, mid, sink, sinkOp, col := buildChain(t, MSSrc, cat, buffer.NewSourceLog("S", fastStore(), 1<<20))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src.Start(ctx)
+	mid.Start(ctx)
+	sink.Start(ctx)
+	waitFor(t, 5*time.Second, func() bool { return col.Count() >= 50 })
+	cancel()
+	<-src.Done()
+	<-mid.Done()
+	<-sink.Done()
+	if sinkOp.Duplicates() != 0 {
+		t.Fatalf("duplicates without any failure: %d", sinkOp.Duplicates())
+	}
+	if col.MeanLatency() <= 0 {
+		t.Fatal("no latency recorded")
+	}
+}
+
+func TestMSSrcCascadingCheckpoint(t *testing.T) {
+	cat := storage.NewCatalog(fastStore(), []string{"S", "M", "K"})
+	srcLog := buffer.NewSourceLog("S", fastStore(), 1<<20)
+	src, mid, sink, _, col := buildChain(t, MSSrc, cat, srcLog)
+	lis := &recListener{}
+	src.cfg.Listener, mid.cfg.Listener, sink.cfg.Listener = lis, lis, lis
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src.Start(ctx)
+	mid.Start(ctx)
+	sink.Start(ctx)
+	waitFor(t, 5*time.Second, func() bool { return col.Count() >= 20 })
+
+	// Trigger epoch 1 at the source only; the token must cascade.
+	src.Command(Command{Kind: CmdCheckpoint, Epoch: 1})
+	waitFor(t, 5*time.Second, func() bool {
+		_, ok := cat.MostRecentComplete()
+		return ok
+	})
+	e, _ := cat.MostRecentComplete()
+	if e != 1 {
+		t.Fatalf("MRC epoch = %d", e)
+	}
+	if lis.ckptCount() != 3 {
+		t.Fatalf("individual checkpoints = %d, want 3", lis.ckptCount())
+	}
+	if srcLog.Epoch() != 1 {
+		t.Fatalf("source log epoch = %d, want 1", srcLog.Epoch())
+	}
+	// Stream must keep flowing after the checkpoint.
+	before := col.Count()
+	waitFor(t, 5*time.Second, func() bool { return col.Count() > before+10 })
+	cancel()
+}
+
+func TestMSSrcAPOneHopCheckpoint(t *testing.T) {
+	cat := storage.NewCatalog(fastStore(), []string{"S", "M", "K"})
+	src, mid, sink, sinkOp, col := buildChain(t, MSSrcAP, cat, buffer.NewSourceLog("S", fastStore(), 1<<20))
+	lis := &recListener{}
+	src.cfg.Listener, mid.cfg.Listener, sink.cfg.Listener = lis, lis, lis
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src.Start(ctx)
+	mid.Start(ctx)
+	sink.Start(ctx)
+	waitFor(t, 5*time.Second, func() bool { return col.Count() >= 20 })
+
+	// Controller broadcast: every HAU gets the command.
+	for _, h := range []*HAU{src, mid, sink} {
+		h.Command(Command{Kind: CmdCheckpoint, Epoch: 1})
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		_, ok := cat.MostRecentComplete()
+		return ok
+	})
+	lis.mu.Lock()
+	for _, c := range lis.ckpts {
+		if !c.b.Async {
+			t.Errorf("HAU %s checkpoint not asynchronous", c.hau)
+		}
+	}
+	lis.mu.Unlock()
+	if sinkOp.Duplicates() != 0 {
+		t.Fatalf("duplicates after checkpoint: %d", sinkOp.Duplicates())
+	}
+	cancel()
+}
+
+func TestBaselinePeriodicCheckpointAndAck(t *testing.T) {
+	cat := storage.NewCatalog(fastStore(), []string{"S", "M", "K"})
+	e1 := NewEdge("S", "M", 0)
+	e2 := NewEdge("M", "K", 0)
+	col := metrics.NewCollector()
+	disk := storage.NewDisk(storage.DiskSpec{BandwidthBps: 1 << 30, TimeScale: 0})
+
+	gen := operator.NewRateSource("S", 5, 1, operator.BytePayload(16, 4))
+	srcPres := buffer.NewPreserver(1, 1<<20, disk)
+	src, _ := New(Config{
+		ID: "S", Scheme: Baseline, Ops: []operator.Operator{gen},
+		Out: []*Edge{e1}, Catalog: cat, Preserver: srcPres,
+		TickEvery: time.Millisecond, CkptPeriod: 30 * time.Millisecond,
+	})
+	midPres := buffer.NewPreserver(1, 1<<20, disk)
+	mid, _ := New(Config{
+		ID: "M", Scheme: Baseline, Ops: []operator.Operator{operator.NewMap("m", func(in *tuple.Tuple) *tuple.Tuple { return in })},
+		In: []*Edge{e1}, Out: []*Edge{e2}, Catalog: cat, Preserver: midPres,
+		TickEvery: time.Millisecond, CkptPeriod: 30 * time.Millisecond,
+		AckUpstream: func(_ int, seq uint64) { srcPres.Trim(0, seq) },
+	})
+	sinkOp := operator.NewSink("K", col)
+	sink, _ := New(Config{
+		ID: "K", Scheme: Baseline, Ops: []operator.Operator{sinkOp},
+		In: []*Edge{e2}, Catalog: cat,
+		TickEvery: time.Millisecond, CkptPeriod: 30 * time.Millisecond,
+		AckUpstream: func(_ int, seq uint64) { midPres.Trim(0, seq) },
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src.Start(ctx)
+	mid.Start(ctx)
+	sink.Start(ctx)
+	waitFor(t, 5*time.Second, func() bool { return col.Count() >= 100 })
+
+	// Every HAU checkpoints on its own timer.
+	waitFor(t, 5*time.Second, func() bool {
+		se, sok := cat.LatestEpochFor("S")
+		me, mok := cat.LatestEpochFor("M")
+		ke, kok := cat.LatestEpochFor("K")
+		return sok && mok && kok && se >= 2 && me >= 2 && ke >= 2
+	})
+	// Acks trim the upstream preservation buffers: after a sink
+	// checkpoint, mid's buffer must not grow without bound.
+	waitFor(t, 5*time.Second, func() bool {
+		st := midPres.Stats()
+		return st.Entries > 0 || col.Count() > 0
+	})
+	trimmedOnce := func() bool {
+		// If acks work, the preserver holds fewer entries than the sink
+		// has delivered.
+		return int(col.Count()) > midPres.Stats().Entries+10
+	}
+	waitFor(t, 5*time.Second, trimmedOnce)
+	cancel()
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	// Feed a sink HAU two copies of the same sequence range; only one copy
+	// must be processed.
+	e := NewEdge("X", "K", 0)
+	col := metrics.NewCollector()
+	sinkOp := operator.NewSink("K", col)
+	sinkOp.TrackIdentity = true
+	sink, _ := New(Config{
+		ID: "K", Scheme: MSSrc, Ops: []operator.Operator{sinkOp},
+		In: []*Edge{e}, TickEvery: time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink.Start(ctx)
+	for round := 0; round < 2; round++ {
+		for i := uint64(1); i <= 10; i++ {
+			tp := tuple.New(i, "X", "k", nil)
+			tp.Seq = i
+			e.C <- tp
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool { return col.Count() >= 10 })
+	time.Sleep(20 * time.Millisecond)
+	if col.Count() != 10 {
+		t.Fatalf("delivered %d, want 10 (duplicates dropped)", col.Count())
+	}
+	if sinkOp.Duplicates() != 0 {
+		t.Fatalf("sink saw %d duplicates", sinkOp.Duplicates())
+	}
+	cancel()
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	cnt := operator.NewCounter("c")
+	mk := func() (*HAU, *operator.Counter) {
+		c := operator.NewCounter("c")
+		h, err := New(Config{
+			ID: "H", Scheme: MSSrcAP, Ops: []operator.Operator{c},
+			In:  []*Edge{NewEdge("a", "H", 0), NewEdge("b", "H", 0)},
+			Out: []*Edge{NewEdge("H", "z", 0)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h, c
+	}
+	h, _ := mk()
+	h.cfg.Ops[0] = cnt
+	h.outSeq[0] = 42
+	h.lastInSeq[0], h.lastInSeq[1] = 7, 9
+	h.localEpoch = 3
+	cnt.OnTuple(0, tuple.New(1, "S", "alpha", nil), func(int, *tuple.Tuple) {})
+	rt := tuple.New(5, "S", "k", []byte("inflight"))
+	rt.Seq = 41
+	h.retained = []retainedTuple{{port: 0, t: rt}}
+
+	blob := h.SnapshotNow()
+	h2, c2 := mk()
+	if err := h2.RestoreFrom(blob); err != nil {
+		t.Fatal(err)
+	}
+	if h2.outSeq[0] != 42 || h2.lastInSeq[0] != 7 || h2.lastInSeq[1] != 9 || h2.localEpoch != 3 {
+		t.Fatalf("counters not restored: %+v %+v", h2.outSeq, h2.lastInSeq)
+	}
+	if len(h2.pendingOut) != 1 || h2.pendingOut[0].t.Seq != 41 || string(h2.pendingOut[0].t.Data) != "inflight" {
+		t.Fatalf("retained tuples not restored: %+v", h2.pendingOut)
+	}
+	if c2.Count("alpha") != 1 {
+		t.Fatal("operator state not restored")
+	}
+}
+
+func TestRestoreFromErrors(t *testing.T) {
+	h, _ := New(Config{ID: "H", Ops: []operator.Operator{operator.NewCounter("c")}})
+	if err := h.RestoreFrom([]byte{1, 2}); err == nil {
+		t.Fatal("short blob accepted")
+	}
+	// Port-count mismatch.
+	h2, _ := New(Config{
+		ID: "H", Ops: []operator.Operator{operator.NewCounter("c")},
+		Out: []*Edge{NewEdge("H", "z", 0)},
+	})
+	blob := h2.SnapshotNow()
+	if err := h.RestoreFrom(blob); err == nil {
+		t.Fatal("mismatched port count accepted")
+	}
+}
+
+func TestRestoredHAUResendsInflight(t *testing.T) {
+	out := NewEdge("H", "z", 4)
+	h, _ := New(Config{
+		ID: "H", Scheme: MSSrcAP, Ops: []operator.Operator{operator.NewCounter("c")},
+		Out: []*Edge{out}, TickEvery: time.Millisecond,
+	})
+	rt := tuple.New(5, "S", "k", []byte("x"))
+	rt.Seq = 3
+	h.pendingOut = []retainedTuple{{port: 0, t: rt}}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h.Start(ctx)
+	select {
+	case got := <-out.C:
+		if got.Seq != 3 || got.ID != 5 {
+			t.Fatalf("re-sent tuple = %+v", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight tuple not re-sent")
+	}
+	cancel()
+}
+
+func TestSourceReplayAndSkip(t *testing.T) {
+	out := NewEdge("S", "z", 64)
+	gen := operator.NewRateSource("S", 0, 1, operator.BytePayload(4, 2)) // rate 0: no new tuples
+	h, _ := New(Config{
+		ID: "S", Scheme: MSSrc, Ops: []operator.Operator{gen},
+		Out: []*Edge{out}, TickEvery: time.Millisecond,
+	})
+	var replay []*tuple.Tuple
+	for i := uint64(10); i < 15; i++ {
+		replay = append(replay, tuple.New(i, "S", "k", nil))
+	}
+	h.SetSourceReplay(replay)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h.Start(ctx)
+	for i := uint64(10); i < 15; i++ {
+		select {
+		case got := <-out.C:
+			if got.ID != i {
+				t.Fatalf("replayed id = %d, want %d", got.ID, i)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("replay stalled")
+		}
+	}
+	waitFor(t, 2*time.Second, func() bool { return gen.NextID() == 15 })
+	cancel()
+}
+
+func TestSchemeStringsAndPredicates(t *testing.T) {
+	if Baseline.String() != "Baseline" || MSSrc.String() != "MS-src" ||
+		MSSrcAP.String() != "MS-src+ap" || MSSrcAPAA.String() != "MS-src+ap+aa" {
+		t.Fatal("scheme strings wrong")
+	}
+	if Baseline.UsesTokens() || !MSSrc.UsesTokens() {
+		t.Fatal("UsesTokens wrong")
+	}
+	if MSSrc.OneHopTokens() || !MSSrcAP.OneHopTokens() {
+		t.Fatal("OneHopTokens wrong")
+	}
+	if MSSrc.Asynchronous() || !MSSrcAPAA.Asynchronous() {
+		t.Fatal("Asynchronous wrong")
+	}
+	if !MSSrcAPAA.ApplicationAware() || MSSrcAP.ApplicationAware() {
+		t.Fatal("ApplicationAware wrong")
+	}
+	if Scheme(99).String() != "unknown-scheme" {
+		t.Fatal("unknown scheme string")
+	}
+}
+
+func TestBreakdownTotal(t *testing.T) {
+	b := CheckpointBreakdown{TokenWait: 1, Serialize: 2, DiskIO: 3}
+	if b.Total() != 6 {
+		t.Fatalf("Total = %v", b.Total())
+	}
+}

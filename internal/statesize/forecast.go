@@ -1,0 +1,62 @@
+package statesize
+
+import "sort"
+
+// Forecasting utilities: the profiling phase observes when state-size
+// minima occur; when the rhythm is periodic (TMI's fixed k-means window,
+// SignalGuru's dwell times), the next minimum can be predicted and a
+// checkpoint scheduled for it in advance — the idea behind the paper's
+// Oracle, which "is obtained from observing prior runs".
+
+// TroughTimes extracts the times of local minima from a polyline.
+func TroughTimes(p *Polyline) []int64 {
+	pts := p.Points()
+	var out []int64
+	for i := 1; i < len(pts)-1; i++ {
+		if pts[i].Size < pts[i-1].Size && pts[i].Size < pts[i+1].Size {
+			out = append(out, pts[i].At)
+		}
+	}
+	return out
+}
+
+// Periodicity estimates the dominant trough-to-trough interval as the
+// median gap. It returns ok=false with fewer than two troughs or when the
+// gaps disagree wildly (max gap more than 3x the median), which means the
+// process is not periodic enough to forecast.
+func Periodicity(troughs []int64) (int64, bool) {
+	if len(troughs) < 2 {
+		return 0, false
+	}
+	gaps := make([]int64, 0, len(troughs)-1)
+	for i := 1; i < len(troughs); i++ {
+		g := troughs[i] - troughs[i-1]
+		if g > 0 {
+			gaps = append(gaps, g)
+		}
+	}
+	if len(gaps) == 0 {
+		return 0, false
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	median := gaps[len(gaps)/2]
+	if gaps[len(gaps)-1] > 3*median {
+		return 0, false
+	}
+	return median, true
+}
+
+// ForecastNextTrough predicts the first state-size minimum strictly after
+// `after`, extrapolating the last observed trough by the estimated period.
+func ForecastNextTrough(troughs []int64, after int64) (int64, bool) {
+	period, ok := Periodicity(troughs)
+	if !ok {
+		return 0, false
+	}
+	last := troughs[len(troughs)-1]
+	next := last
+	for next <= after {
+		next += period
+	}
+	return next, true
+}

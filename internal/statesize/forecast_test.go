@@ -1,0 +1,92 @@
+package statesize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sawtoothPolyline(periods int, period, peak int64) *Polyline {
+	var p Polyline
+	for i := 0; i < periods; i++ {
+		base := int64(i) * period
+		p.Append(Sample{At: base, Size: peak}) // falls to trough mid-period
+		p.Append(Sample{At: base + period/2, Size: 10})
+	}
+	p.Append(Sample{At: int64(periods) * period, Size: peak})
+	return &p
+}
+
+func TestTroughTimes(t *testing.T) {
+	p := sawtoothPolyline(3, 100, 500)
+	troughs := TroughTimes(p)
+	if len(troughs) != 3 {
+		t.Fatalf("troughs = %v", troughs)
+	}
+	if troughs[0] != 50 || troughs[1] != 150 || troughs[2] != 250 {
+		t.Fatalf("trough times = %v", troughs)
+	}
+}
+
+func TestTroughTimesMonotone(t *testing.T) {
+	var p Polyline
+	p.Append(Sample{At: 0, Size: 1})
+	p.Append(Sample{At: 10, Size: 2})
+	p.Append(Sample{At: 20, Size: 3})
+	if got := TroughTimes(&p); len(got) != 0 {
+		t.Fatalf("monotone series has troughs: %v", got)
+	}
+}
+
+func TestPeriodicity(t *testing.T) {
+	period, ok := Periodicity([]int64{50, 150, 250, 350})
+	if !ok || period != 100 {
+		t.Fatalf("period = %d, %v", period, ok)
+	}
+	if _, ok := Periodicity([]int64{50}); ok {
+		t.Fatal("single trough forecastable")
+	}
+	// Wildly irregular gaps: not periodic.
+	if _, ok := Periodicity([]int64{0, 10, 20, 500}); ok {
+		t.Fatal("irregular gaps accepted")
+	}
+}
+
+func TestForecastNextTrough(t *testing.T) {
+	troughs := []int64{50, 150, 250}
+	next, ok := ForecastNextTrough(troughs, 260)
+	if !ok || next != 350 {
+		t.Fatalf("forecast = %d, %v", next, ok)
+	}
+	// Far future: keeps stepping by the period.
+	next, ok = ForecastNextTrough(troughs, 999)
+	if !ok || next != 1050 {
+		t.Fatalf("far forecast = %d, %v", next, ok)
+	}
+	if _, ok := ForecastNextTrough([]int64{1}, 0); ok {
+		t.Fatal("unforecastable input accepted")
+	}
+}
+
+// Property: for perfectly periodic troughs with jitter-free spacing, the
+// forecast is always a trough time of the ideal process.
+func TestQuickForecastPeriodic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		period := int64(10 + rng.Intn(1000))
+		start := int64(rng.Intn(100))
+		var troughs []int64
+		for i := 0; i < 3+rng.Intn(10); i++ {
+			troughs = append(troughs, start+int64(i)*period)
+		}
+		after := troughs[len(troughs)-1] + int64(rng.Intn(int(period*3)))
+		next, ok := ForecastNextTrough(troughs, after)
+		if !ok {
+			return false
+		}
+		return next > after && (next-start)%period == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,359 @@
+// Package statesize implements the state-size analytics behind
+// application-aware checkpointing (paper §III-C): turning-point (local
+// extremum) detection on a per-HAU size series, instantaneous change rate
+// (ICR) estimation, linear interpolation between turning points, dynamic-HAU
+// classification, and the runtime profiler that derives the alert-mode
+// threshold smax.
+//
+// The paper obtains sizes from precompiler-generated state_size()
+// functions; here operators implement the Sizer interface instead (see
+// DESIGN.md, substitutions).
+package statesize
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Sizer is implemented by anything that can report its current state size
+// in bytes. Every operator implements it; an HAU's size is the sum over its
+// operators.
+type Sizer interface {
+	StateSize() int64
+}
+
+// Sample is one observation of a state-size series.
+type Sample struct {
+	At   int64 // ns since run start
+	Size int64 // bytes
+}
+
+// PointKind classifies a turning point.
+type PointKind uint8
+
+const (
+	// Trough is a local minimum — the candidate moment for checkpointing.
+	Trough PointKind = iota
+	// Peak is a local maximum.
+	Peak
+)
+
+func (k PointKind) String() string {
+	if k == Trough {
+		return "trough"
+	}
+	return "peak"
+}
+
+// TurningPoint is a local extremum of a size series, annotated with the ICR
+// measured just after the turn (paper Fig. 11: "P5(40,60)" = size 40,
+// ICR +60 per unit time). ICR is in bytes per second.
+type TurningPoint struct {
+	At   int64
+	Size int64
+	Kind PointKind
+	ICR  float64
+}
+
+// Tracker detects turning points in a streaming size series. The paper's
+// dynamic HAUs "record their recent few state sizes and detect the turning
+// points"; the tracker does the same with O(1) state. Detection is one
+// sample late by construction: a turn at sample i is confirmed (and its
+// post-turn ICR measured) when sample i+1 establishes the new direction.
+// Tracker is not goroutine-safe; each HAU owns one.
+type Tracker struct {
+	hasPrev bool
+	prev    Sample
+	dir     int // direction established by the last movement: +1, -1, 0
+}
+
+// Observe feeds one sample and returns a confirmed turning point, or nil.
+// Flat segments (equal consecutive sizes) do not change direction.
+func (tr *Tracker) Observe(s Sample) *TurningPoint {
+	if !tr.hasPrev {
+		tr.hasPrev = true
+		tr.prev = s
+		return nil
+	}
+	defer func() { tr.prev = s }()
+	var d int
+	switch {
+	case s.Size > tr.prev.Size:
+		d = 1
+	case s.Size < tr.prev.Size:
+		d = -1
+	default:
+		return nil
+	}
+	prevDir := tr.dir
+	tr.dir = d
+	if prevDir == 0 || d == prevDir {
+		return nil
+	}
+	tp := &TurningPoint{At: tr.prev.At, Size: tr.prev.Size, ICR: icr(tr.prev, s)}
+	if d > 0 {
+		tp.Kind = Trough
+	} else {
+		tp.Kind = Peak
+	}
+	return tp
+}
+
+// Last returns the most recent sample observed.
+func (tr *Tracker) Last() (Sample, bool) { return tr.prev, tr.hasPrev }
+
+func icr(from, to Sample) float64 {
+	dt := to.At - from.At
+	if dt <= 0 {
+		return 0
+	}
+	return float64(to.Size-from.Size) / (float64(dt) / 1e9)
+}
+
+// Polyline is a piecewise-linear state-size function built from samples
+// (typically turning points). "The state size at any time point between two
+// adjacent turning points can be roughly recovered by linear interpolation"
+// (§III-C2). Points must be appended in time order.
+type Polyline struct {
+	pts []Sample
+}
+
+// Append adds a vertex. Out-of-order vertices are inserted at the right
+// position (slow path; normal operation appends).
+func (p *Polyline) Append(s Sample) {
+	if n := len(p.pts); n == 0 || p.pts[n-1].At <= s.At {
+		p.pts = append(p.pts, s)
+		return
+	}
+	i := sort.Search(len(p.pts), func(i int) bool { return p.pts[i].At > s.At })
+	p.pts = append(p.pts, Sample{})
+	copy(p.pts[i+1:], p.pts[i:])
+	p.pts[i] = s
+}
+
+// Len returns the vertex count.
+func (p *Polyline) Len() int { return len(p.pts) }
+
+// Points returns the vertices (shared slice; callers must not mutate).
+func (p *Polyline) Points() []Sample { return p.pts }
+
+// At evaluates the polyline at time t. Before the first vertex it returns
+// the first size; after the last, the last size.
+func (p *Polyline) At(t int64) int64 {
+	n := len(p.pts)
+	if n == 0 {
+		return 0
+	}
+	if t <= p.pts[0].At {
+		return p.pts[0].Size
+	}
+	if t >= p.pts[n-1].At {
+		return p.pts[n-1].Size
+	}
+	i := sort.Search(n, func(i int) bool { return p.pts[i].At > t }) - 1
+	a, b := p.pts[i], p.pts[i+1]
+	if b.At == a.At {
+		return b.Size
+	}
+	frac := float64(t-a.At) / float64(b.At-a.At)
+	return a.Size + int64(frac*float64(b.Size-a.Size))
+}
+
+// MinOn returns the minimum value of the polyline on [t0, t1] and the time
+// at which it is attained. Both interval endpoints and every interior
+// vertex are candidates (a linear function attains extrema at endpoints).
+func (p *Polyline) MinOn(t0, t1 int64) (at, size int64) {
+	at, size = t0, p.At(t0)
+	if v := p.At(t1); v < size {
+		at, size = t1, v
+	}
+	for _, pt := range p.pts {
+		if pt.At > t0 && pt.At < t1 && pt.Size < size {
+			at, size = pt.At, pt.Size
+		}
+	}
+	return at, size
+}
+
+// IsDynamic reports whether a size series belongs to a dynamic HAU: "HAUs
+// whose minimum state size is less than half of its average state size are
+// deemed dynamic" (§III-C2).
+func IsDynamic(samples []Sample) bool {
+	if len(samples) == 0 {
+		return false
+	}
+	var sum float64
+	min := int64(math.MaxInt64)
+	for _, s := range samples {
+		sum += float64(s.Size)
+		if s.Size < min {
+			min = s.Size
+		}
+	}
+	avg := sum / float64(len(samples))
+	return float64(min) < avg/2
+}
+
+// MinRelaxation is the paper's floor on the relaxation factor: smax is
+// raised until (smax-smin)/smin >= 20%, giving alert mode enough occasions
+// to trigger each period.
+const MinRelaxation = 0.20
+
+// Profile is the outcome of the profiling phase for one application.
+type Profile struct {
+	Smax  int64   // alert-mode threshold
+	Smin  int64   // lowest per-period minimum observed
+	Alpha float64 // relaxation factor (smax-smin)/smin after flooring
+	// BestTimes holds, per checkpoint period, the moment of minimal
+	// aggregate state (the red circles in Fig. 10).
+	BestTimes []int64
+	// BestSizes holds the corresponding minima.
+	BestSizes []int64
+}
+
+// BuildProfile analyses the aggregate dynamic-HAU state function over
+// [start, end) partitioned into checkpoint periods of length period, and
+// derives the alert threshold: smax is the highest per-period minimum
+// ("the y-coordinates of the highest and lowest red-circled points are
+// called smax and smin"), then relaxed to at least MinRelaxation above
+// smin.
+func BuildProfile(f *Polyline, start, end, period int64) Profile {
+	var p Profile
+	if period <= 0 || end <= start || f.Len() == 0 {
+		return p
+	}
+	p.Smin = math.MaxInt64
+	for t0 := start; t0 < end; t0 += period {
+		t1 := t0 + period
+		if t1 > end {
+			t1 = end
+		}
+		at, size := f.MinOn(t0, t1)
+		p.BestTimes = append(p.BestTimes, at)
+		p.BestSizes = append(p.BestSizes, size)
+		if size > p.Smax {
+			p.Smax = size
+		}
+		if size < p.Smin {
+			p.Smin = size
+		}
+	}
+	if p.Smin == math.MaxInt64 {
+		p.Smin = 0
+	}
+	// Conservatively widen the band (§III-C2): bound alpha below.
+	if p.Smin > 0 {
+		alpha := float64(p.Smax-p.Smin) / float64(p.Smin)
+		if alpha < MinRelaxation {
+			p.Smax = p.Smin + int64(math.Ceil(MinRelaxation*float64(p.Smin)))
+			alpha = float64(p.Smax-p.Smin) / float64(p.Smin)
+		}
+		p.Alpha = alpha
+	} else if p.Smax == 0 {
+		// Degenerate: state hits zero every period. Any positive
+		// threshold works; keep a small one so alert mode still arms.
+		p.Smax = 1
+	}
+	return p
+}
+
+// Aggregator sums the latest reported sizes of a set of dynamic HAUs and
+// their latest ICRs. The controller holds one; HAUs report turning points
+// into it. Safe for concurrent use.
+type Aggregator struct {
+	mu    sync.Mutex
+	size  map[string]int64
+	icr   map[string]float64
+	lines map[string]*Polyline
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{
+		size:  make(map[string]int64),
+		icr:   make(map[string]float64),
+		lines: make(map[string]*Polyline),
+	}
+}
+
+// Report records HAU id's state size (and optionally ICR) at time at.
+func (a *Aggregator) Report(id string, at int64, size int64, icr float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.size[id] = size
+	a.icr[id] = icr
+	pl := a.lines[id]
+	if pl == nil {
+		pl = &Polyline{}
+		a.lines[id] = pl
+	}
+	pl.Append(Sample{At: at, Size: size})
+}
+
+// TotalSize returns the sum of the latest sizes.
+func (a *Aggregator) TotalSize() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var n int64
+	for _, s := range a.size {
+		n += s
+	}
+	return n
+}
+
+// TotalICR returns the sum of the latest ICRs ("the controller sums all
+// ICRs"; a positive sum foretells growth).
+func (a *Aggregator) TotalICR() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var n float64
+	for _, v := range a.icr {
+		n += v
+	}
+	return n
+}
+
+// Line returns the polyline of one reporter's size series, or nil if the
+// reporter never reported.
+func (a *Aggregator) Line(id string) *Polyline {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lines[id]
+}
+
+// AggregatePolyline returns the sum of all per-HAU polylines sampled at the
+// union of their vertex times — the "Total State Size" curve of Fig. 10.
+func (a *Aggregator) AggregatePolyline() *Polyline {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	timeSet := make(map[int64]bool)
+	for _, pl := range a.lines {
+		for _, pt := range pl.pts {
+			timeSet[pt.At] = true
+		}
+	}
+	times := make([]int64, 0, len(timeSet))
+	for t := range timeSet {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	out := &Polyline{}
+	for _, t := range times {
+		var sum int64
+		for _, pl := range a.lines {
+			sum += pl.At(t)
+		}
+		out.Append(Sample{At: t, Size: sum})
+	}
+	return out
+}
+
+// Reset clears all reports (between profiling and execution phases).
+func (a *Aggregator) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.size = make(map[string]int64)
+	a.icr = make(map[string]float64)
+	a.lines = make(map[string]*Polyline)
+}

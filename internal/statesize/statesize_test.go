@@ -1,0 +1,361 @@
+package statesize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const sec = int64(1e9)
+
+func feed(tr *Tracker, sizes ...int64) []*TurningPoint {
+	var tps []*TurningPoint
+	for i, s := range sizes {
+		if tp := tr.Observe(Sample{At: int64(i) * sec, Size: s}); tp != nil {
+			tps = append(tps, tp)
+		}
+	}
+	return tps
+}
+
+func TestTrackerDetectsTrough(t *testing.T) {
+	tps := feed(&Tracker{}, 100, 50, 20, 60, 90)
+	if len(tps) != 1 {
+		t.Fatalf("got %d turning points, want 1", len(tps))
+	}
+	tp := tps[0]
+	if tp.Kind != Trough || tp.Size != 20 || tp.At != 2*sec {
+		t.Fatalf("trough = %+v", tp)
+	}
+	if tp.ICR != 40 { // rose 40 bytes over 1s after the turn
+		t.Fatalf("ICR = %v, want 40", tp.ICR)
+	}
+}
+
+func TestTrackerDetectsPeak(t *testing.T) {
+	tps := feed(&Tracker{}, 10, 50, 250, 140)
+	if len(tps) != 1 || tps[0].Kind != Peak || tps[0].Size != 250 {
+		t.Fatalf("tps = %+v", tps)
+	}
+	if tps[0].ICR != -110 {
+		t.Fatalf("ICR = %v, want -110", tps[0].ICR)
+	}
+}
+
+func TestTrackerMonotoneSeriesNoTurns(t *testing.T) {
+	if tps := feed(&Tracker{}, 1, 2, 3, 4, 5); len(tps) != 0 {
+		t.Fatalf("monotone series produced %d turns", len(tps))
+	}
+	if tps := feed(&Tracker{}, 5, 4, 3, 2, 1); len(tps) != 0 {
+		t.Fatalf("monotone series produced %d turns", len(tps))
+	}
+}
+
+func TestTrackerFlatSegments(t *testing.T) {
+	// Plateaus must not create spurious turning points: 10,20,20,20,5 has
+	// exactly one peak (at the last sample of the plateau's start).
+	tps := feed(&Tracker{}, 10, 20, 20, 20, 5)
+	if len(tps) != 1 || tps[0].Kind != Peak {
+		t.Fatalf("tps = %+v", tps)
+	}
+}
+
+func TestTrackerZigzag(t *testing.T) {
+	tps := feed(&Tracker{}, 50, 100, 50, 100, 50)
+	if len(tps) != 3 {
+		t.Fatalf("zigzag: %d turns, want 3", len(tps))
+	}
+	wantKinds := []PointKind{Peak, Trough, Peak}
+	for i, tp := range tps {
+		if tp.Kind != wantKinds[i] {
+			t.Fatalf("turn %d kind = %v, want %v", i, tp.Kind, wantKinds[i])
+		}
+	}
+}
+
+func TestTrackerLast(t *testing.T) {
+	tr := &Tracker{}
+	if _, ok := tr.Last(); ok {
+		t.Fatal("fresh tracker has a last sample")
+	}
+	tr.Observe(Sample{At: 5, Size: 9})
+	if s, ok := tr.Last(); !ok || s.Size != 9 {
+		t.Fatalf("Last = %+v, %v", s, ok)
+	}
+}
+
+func TestPointKindString(t *testing.T) {
+	if Trough.String() != "trough" || Peak.String() != "peak" {
+		t.Fatal("PointKind strings wrong")
+	}
+}
+
+func TestPolylineInterpolation(t *testing.T) {
+	var p Polyline
+	p.Append(Sample{At: 0, Size: 100})
+	p.Append(Sample{At: 10 * sec, Size: 200})
+	if got := p.At(5 * sec); got != 150 {
+		t.Fatalf("At(5s) = %d, want 150", got)
+	}
+	if got := p.At(-sec); got != 100 {
+		t.Fatalf("At(before) = %d, want 100", got)
+	}
+	if got := p.At(20 * sec); got != 200 {
+		t.Fatalf("At(after) = %d, want 200", got)
+	}
+}
+
+func TestPolylineEmpty(t *testing.T) {
+	var p Polyline
+	if p.At(5) != 0 {
+		t.Fatal("empty polyline must evaluate to 0")
+	}
+}
+
+func TestPolylineOutOfOrderInsert(t *testing.T) {
+	var p Polyline
+	p.Append(Sample{At: 10, Size: 10})
+	p.Append(Sample{At: 0, Size: 0})
+	p.Append(Sample{At: 5, Size: 100})
+	pts := p.Points()
+	if pts[0].At != 0 || pts[1].At != 5 || pts[2].At != 10 {
+		t.Fatalf("points not time-ordered: %+v", pts)
+	}
+}
+
+func TestPolylineMinOn(t *testing.T) {
+	// Fig. 10 shape: zigzag with minima at the troughs.
+	var p Polyline
+	p.Append(Sample{At: 0, Size: 300})
+	p.Append(Sample{At: 2 * sec, Size: 450})
+	p.Append(Sample{At: 4 * sec, Size: 130})
+	p.Append(Sample{At: 6 * sec, Size: 400})
+	at, size := p.MinOn(0, 6*sec)
+	if at != 4*sec || size != 130 {
+		t.Fatalf("MinOn = (%d, %d)", at, size)
+	}
+	// Interval not containing the trough: min at an endpoint.
+	at, size = p.MinOn(0, 2*sec)
+	if at != 0 || size != 300 {
+		t.Fatalf("MinOn endpoint = (%d, %d)", at, size)
+	}
+}
+
+func TestIsDynamic(t *testing.T) {
+	// min 0 < avg/2 -> dynamic (TMI-like sawtooth).
+	saw := []Sample{{0, 0}, {1, 100}, {2, 200}, {3, 0}, {4, 100}, {5, 200}}
+	if !IsDynamic(saw) {
+		t.Fatal("sawtooth not classified dynamic")
+	}
+	// Near-constant -> static.
+	flat := []Sample{{0, 100}, {1, 110}, {2, 90}, {3, 105}}
+	if IsDynamic(flat) {
+		t.Fatal("flat series classified dynamic")
+	}
+	if IsDynamic(nil) {
+		t.Fatal("empty series classified dynamic")
+	}
+}
+
+func TestBuildProfile(t *testing.T) {
+	// Two periods of 10s. Period 1 min = 40 at t=4, period 2 min = 100 at
+	// t=14. smax=100, smin=40, alpha=1.5.
+	var f Polyline
+	f.Append(Sample{At: 0, Size: 200})
+	f.Append(Sample{At: 4 * sec, Size: 40})
+	f.Append(Sample{At: 8 * sec, Size: 300})
+	f.Append(Sample{At: 14 * sec, Size: 100})
+	f.Append(Sample{At: 18 * sec, Size: 350})
+	p := BuildProfile(&f, 0, 20*sec, 10*sec)
+	if p.Smax != 100 || p.Smin != 40 {
+		t.Fatalf("profile = %+v", p)
+	}
+	if len(p.BestTimes) != 2 || p.BestTimes[0] != 4*sec || p.BestTimes[1] != 14*sec {
+		t.Fatalf("best times = %v", p.BestTimes)
+	}
+	if p.Alpha != 1.5 {
+		t.Fatalf("alpha = %v", p.Alpha)
+	}
+}
+
+func TestBuildProfileRelaxationFloor(t *testing.T) {
+	// Minima 100 and 105: raw alpha = 5% < 20% -> smax raised to 120.
+	var f Polyline
+	f.Append(Sample{At: 0, Size: 500})
+	f.Append(Sample{At: 5 * sec, Size: 100})
+	f.Append(Sample{At: 10 * sec, Size: 500})
+	f.Append(Sample{At: 15 * sec, Size: 105})
+	f.Append(Sample{At: 20 * sec, Size: 500})
+	p := BuildProfile(&f, 0, 20*sec, 10*sec)
+	if p.Smax != 120 {
+		t.Fatalf("smax = %d, want 120 (floored relaxation)", p.Smax)
+	}
+	if p.Alpha < MinRelaxation {
+		t.Fatalf("alpha = %v < floor", p.Alpha)
+	}
+}
+
+func TestBuildProfileDegenerate(t *testing.T) {
+	if p := BuildProfile(&Polyline{}, 0, 10, 5); p.Smax != 0 {
+		t.Fatalf("empty polyline profile = %+v", p)
+	}
+	var f Polyline
+	f.Append(Sample{At: 0, Size: 0})
+	f.Append(Sample{At: 10 * sec, Size: 0})
+	p := BuildProfile(&f, 0, 10*sec, 5*sec)
+	if p.Smax <= 0 {
+		t.Fatal("zero-state profile must still arm alert mode")
+	}
+}
+
+func TestAggregatorTotals(t *testing.T) {
+	a := NewAggregator()
+	a.Report("h1", 0, 140, -50)
+	a.Report("h2", 0, 100, 30)
+	if got := a.TotalSize(); got != 240 {
+		t.Fatalf("TotalSize = %d", got)
+	}
+	if got := a.TotalICR(); got != -20 {
+		t.Fatalf("TotalICR = %v (Fig. 11: -50+30 = -20)", got)
+	}
+	// Update h1 at its next turning point (Fig. 11 p5): total flips sign.
+	a.Report("h1", 2*sec, 40, 60)
+	if got := a.TotalICR(); got != 90 {
+		t.Fatalf("TotalICR after p5 = %v, want 90", got)
+	}
+}
+
+func TestAggregatorAggregatePolyline(t *testing.T) {
+	a := NewAggregator()
+	a.Report("h1", 0, 100, 0)
+	a.Report("h1", 2*sec, 200, 0)
+	a.Report("h2", 1*sec, 50, 0)
+	pl := a.AggregatePolyline()
+	// At t=1s: h1 interpolates to 150, h2 is 50 -> 200.
+	if got := pl.At(1 * sec); got != 200 {
+		t.Fatalf("aggregate at 1s = %d, want 200", got)
+	}
+}
+
+func TestAggregatorReset(t *testing.T) {
+	a := NewAggregator()
+	a.Report("h1", 0, 100, 5)
+	a.Reset()
+	if a.TotalSize() != 0 || a.TotalICR() != 0 {
+		t.Fatal("reset did not clear totals")
+	}
+}
+
+// Property: for any series, every reported turning point is a true local
+// extremum of the (deduplicated) series.
+func TestQuickTurningPointsAreExtrema(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(60)
+		sizes := make([]int64, n)
+		for i := range sizes {
+			sizes[i] = int64(r.Intn(100))
+		}
+		tr := &Tracker{}
+		// Track the last two distinct values to validate extremum claims.
+		type obs struct {
+			size int64
+		}
+		var distinct []obs
+		for i, s := range sizes {
+			tp := tr.Observe(Sample{At: int64(i) * sec, Size: s})
+			if len(distinct) == 0 || distinct[len(distinct)-1].size != s {
+				distinct = append(distinct, obs{s})
+			}
+			if tp == nil {
+				continue
+			}
+			// The TP size must equal the second-to-last distinct value
+			// and be a strict extremum between its neighbours.
+			if len(distinct) < 3 {
+				return false
+			}
+			a := distinct[len(distinct)-3].size
+			b := distinct[len(distinct)-2].size
+			c := distinct[len(distinct)-1].size
+			if tp.Size != b {
+				return false
+			}
+			if tp.Kind == Peak && !(b > a && b > c) {
+				return false
+			}
+			if tp.Kind == Trough && !(b < a && b < c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: polyline interpolation is exact at vertices and bounded by the
+// min/max of neighbouring vertices in between.
+func TestQuickPolylineBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var p Polyline
+		n := 2 + r.Intn(20)
+		at := int64(0)
+		for i := 0; i < n; i++ {
+			at += int64(1 + r.Intn(5))
+			p.Append(Sample{At: at * sec, Size: int64(r.Intn(1000))})
+		}
+		pts := p.Points()
+		for i, v := range pts {
+			if p.At(v.At) != v.Size {
+				return false
+			}
+			if i == 0 {
+				continue
+			}
+			mid := (pts[i-1].At + v.At) / 2
+			val := p.At(mid)
+			lo, hi := pts[i-1].Size, v.Size
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if val < lo-1 || val > hi+1 { // int rounding tolerance
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BuildProfile's smax/smin bracket every per-period best size,
+// and alpha respects the floor whenever smin > 0.
+func TestQuickProfileBrackets(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var p Polyline
+		at := int64(0)
+		for i := 0; i < 10+r.Intn(30); i++ {
+			at += int64(1+r.Intn(3)) * sec
+			p.Append(Sample{At: at, Size: int64(10 + r.Intn(500))})
+		}
+		period := int64(5+r.Intn(10)) * sec
+		prof := BuildProfile(&p, 0, at, period)
+		for _, s := range prof.BestSizes {
+			if s < prof.Smin || (s > prof.Smax && prof.Alpha > MinRelaxation) {
+				return false
+			}
+		}
+		if prof.Smin > 0 && prof.Alpha < MinRelaxation {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

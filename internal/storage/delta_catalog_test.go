@@ -1,0 +1,105 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"meteorshower/internal/delta"
+)
+
+func TestCatalogDeltaChainLoad(t *testing.T) {
+	c := NewCatalog(NewStore(fastSpec()), []string{"h"})
+	full := bytes.Repeat([]byte{1}, 4096)
+	if _, _, err := c.SaveState(1, "h", full); err != nil {
+		t.Fatal(err)
+	}
+	v2 := append([]byte(nil), full...)
+	v2[100] = 9
+	d1 := delta.Diff(full, v2, 256)
+	if _, _, err := c.SaveStateDelta(2, "h", d1, 1); err != nil {
+		t.Fatal(err)
+	}
+	v3 := append([]byte(nil), v2...)
+	v3[2000] = 7
+	d2 := delta.Diff(v2, v3, 256)
+	if _, _, err := c.SaveStateDelta(3, "h", d2, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.LoadState(3, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v3) {
+		t.Fatal("delta chain did not reconstruct v3")
+	}
+	got2, _, err := c.LoadState(2, "h")
+	if err != nil || !bytes.Equal(got2, v2) {
+		t.Fatal("delta chain did not reconstruct v2")
+	}
+}
+
+func TestCatalogDeltaLoadCostsAccumulate(t *testing.T) {
+	c := NewCatalog(NewStore(fastSpec()), []string{"h"})
+	full := bytes.Repeat([]byte{1}, 8192)
+	c.SaveState(1, "h", full)
+	v2 := append([]byte(nil), full...)
+	v2[0] = 2
+	c.SaveStateDelta(2, "h", delta.Diff(full, v2, 1024), 1)
+	_, fullDur, err := c.LoadState(1, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, chainDur, err := c.LoadState(2, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chainDur <= fullDur {
+		t.Fatalf("chain load (%v) must cost more than a full load (%v)", chainDur, fullDur)
+	}
+}
+
+func TestCatalogDeltaMissingBase(t *testing.T) {
+	c := NewCatalog(NewStore(fastSpec()), []string{"h"})
+	if _, _, err := c.SaveStateDelta(2, "h", []byte("x"), 1); err == nil {
+		t.Fatal("delta without a saved base accepted")
+	}
+	if _, _, err := c.SaveStateDelta(2, "intruder", []byte("x"), 1); err == nil {
+		t.Fatal("unknown HAU accepted")
+	}
+}
+
+func TestCatalogGCKeepsDeltaBases(t *testing.T) {
+	c := NewCatalog(NewStore(fastSpec()), []string{"h"})
+	full := bytes.Repeat([]byte{5}, 2048)
+	c.SaveState(1, "h", full)
+	cur := full
+	for e := uint64(2); e <= 4; e++ {
+		next := append([]byte(nil), cur...)
+		next[int(e)*10] = byte(e)
+		c.SaveStateDelta(e, "h", delta.Diff(cur, next, 256), e-1)
+		cur = next
+	}
+	// Keep epoch 4: its chain reaches back to the full save at epoch 1,
+	// so GC must not collect epochs 1..3.
+	c.GC(4)
+	got, _, err := c.LoadState(4, "h")
+	if err != nil {
+		t.Fatalf("chain broken after GC: %v", err)
+	}
+	if !bytes.Equal(got, cur) {
+		t.Fatal("reconstruction wrong after GC")
+	}
+}
+
+func TestCatalogGCDropsStaleChains(t *testing.T) {
+	c := NewCatalog(NewStore(fastSpec()), []string{"h"})
+	c.SaveState(1, "h", []byte("old full"))
+	c.SaveState(2, "h", []byte("new full")) // full save: chain break
+	c.GC(2)
+	if _, _, err := c.LoadState(1, "h"); err == nil {
+		t.Fatal("stale full save survived GC")
+	}
+	if got, _, err := c.LoadState(2, "h"); err != nil || string(got) != "new full" {
+		t.Fatalf("kept epoch lost: %q %v", got, err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package storage simulates the storage substrate of a commodity data
+// center: per-node local disks and a GFS-like shared storage system (paper
+// §III: "Meteor Shower assumes that there is a shared storage system in
+// the data center"). Disk cost is modelled as latency + bytes/bandwidth and
+// is *actually slept*, so checkpoint and recovery experiments observe
+// realistic, contention-aware I/O times.
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DiskSpec describes a simulated disk or storage service.
+type DiskSpec struct {
+	// BandwidthBps is the sustained transfer rate in bytes per second of
+	// one stripe.
+	BandwidthBps int64
+	// Latency is the fixed per-operation cost (seek / RPC round trip).
+	Latency time.Duration
+	// TimeScale compresses simulated time: the actual sleep is
+	// cost * TimeScale. 1.0 = real time; 0.01 = 100x faster. Zero means
+	// "no sleeping at all" (pure accounting), which unit tests use.
+	TimeScale float64
+	// Stripes is the number of independent spindles/chunkservers ops are
+	// spread over (a GFS-like store has many; a node's SATA disk has 1).
+	// Zero means 1.
+	Stripes int
+}
+
+// DefaultLocalDisk mimics a commodity SATA disk (paper-era hardware).
+func DefaultLocalDisk() DiskSpec {
+	return DiskSpec{BandwidthBps: 80 << 20, Latency: 8 * time.Millisecond, TimeScale: 1}
+}
+
+// DefaultSharedStore mimics the shared storage node reached over 1 Gbps
+// Ethernet: the network caps bandwidth below the disk's.
+func DefaultSharedStore() DiskSpec {
+	return DiskSpec{BandwidthBps: 100 << 20, Latency: 2 * time.Millisecond, TimeScale: 1}
+}
+
+// Cost returns the modelled (unscaled) duration of transferring n bytes.
+func (s DiskSpec) Cost(n int64) time.Duration {
+	d := s.Latency
+	if s.BandwidthBps > 0 {
+		d += time.Duration(float64(n) / float64(s.BandwidthBps) * float64(time.Second))
+	}
+	return d
+}
+
+// Disk is a simulated disk. Concurrent operations on the same stripe are
+// serialized (simultaneous checkpoint writers queue behind each other);
+// operations on different stripes overlap, modelling a distributed store.
+type Disk struct {
+	spec DiskSpec
+
+	stripes   []sync.Mutex
+	next      atomic.Uint64
+	busyNS    atomic.Int64
+	readBytes atomic.Int64
+	wroteByte atomic.Int64
+	ops       atomic.Int64
+}
+
+// NewDisk returns a disk with the given spec.
+func NewDisk(spec DiskSpec) *Disk {
+	n := spec.Stripes
+	if n <= 0 {
+		n = 1
+	}
+	return &Disk{spec: spec, stripes: make([]sync.Mutex, n)}
+}
+
+// Spec returns the disk's specification.
+func (d *Disk) Spec() DiskSpec { return d.spec }
+
+// Write charges (and sleeps) the cost of writing n bytes and returns the
+// modelled unscaled duration.
+func (d *Disk) Write(n int64) time.Duration {
+	d.wroteByte.Add(n)
+	return d.op(n)
+}
+
+// Read charges (and sleeps) the cost of reading n bytes and returns the
+// modelled unscaled duration.
+func (d *Disk) Read(n int64) time.Duration {
+	d.readBytes.Add(n)
+	return d.op(n)
+}
+
+func (d *Disk) op(n int64) time.Duration {
+	cost := d.spec.Cost(n)
+	d.ops.Add(1)
+	d.busyNS.Add(int64(cost))
+	if d.spec.TimeScale > 0 {
+		s := &d.stripes[d.next.Add(1)%uint64(len(d.stripes))]
+		s.Lock()
+		time.Sleep(time.Duration(float64(cost) * d.spec.TimeScale))
+		s.Unlock()
+	}
+	return cost
+}
+
+// Stats reports cumulative accounting since creation.
+func (d *Disk) Stats() DiskStats {
+	return DiskStats{
+		Ops:          d.ops.Load(),
+		BytesRead:    d.readBytes.Load(),
+		BytesWritten: d.wroteByte.Load(),
+		BusyTime:     time.Duration(d.busyNS.Load()),
+	}
+}
+
+// DiskStats is a snapshot of a disk's lifetime counters.
+type DiskStats struct {
+	Ops          int64
+	BytesRead    int64
+	BytesWritten int64
+	BusyTime     time.Duration // modelled (unscaled) cumulative busy time
+}

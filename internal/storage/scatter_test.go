@@ -1,0 +1,117 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func scatterSpec() DiskSpec {
+	return DiskSpec{BandwidthBps: 1 << 20, Latency: time.Millisecond, TimeScale: 0}
+}
+
+func TestScatterRoundTrip(t *testing.T) {
+	s := NewScatter(4, scatterSpec())
+	data := make([]byte, 10_001) // not divisible by 4
+	rand.New(rand.NewSource(1)).Read(data)
+	if _, err := s.Put("state", data); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.Get("state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("scatter round trip mismatch")
+	}
+}
+
+func TestScatterEmptyAndTiny(t *testing.T) {
+	s := NewScatter(8, scatterSpec())
+	for _, data := range [][]byte{nil, {1}, {1, 2, 3}} {
+		if _, err := s.Put("k", data); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := s.Get("k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("tiny round trip mismatch at %d bytes", len(data))
+		}
+	}
+}
+
+func TestScatterSpreadsBytes(t *testing.T) {
+	s := NewScatter(4, scatterSpec())
+	data := make([]byte, 40_000)
+	s.Put("k", data)
+	for i, st := range s.Stores() {
+		w := st.Disk().Stats().BytesWritten
+		if w < 9_000 || w > 11_000 {
+			t.Fatalf("store %d wrote %d bytes, want ~10000", i, w)
+		}
+	}
+}
+
+func TestScatterParallelSpeedup(t *testing.T) {
+	// With real sleeping, a scatter write of X bytes over 4 stores takes
+	// about a quarter of the single-store time.
+	spec := DiskSpec{BandwidthBps: 1 << 20, Latency: 0, TimeScale: 1}
+	data := make([]byte, 100<<10) // 100KB at 1MB/s = ~100ms single
+	single := NewScatter(1, spec)
+	start := time.Now()
+	single.Put("k", data)
+	singleDur := time.Since(start)
+
+	wide := NewScatter(4, spec)
+	start = time.Now()
+	wide.Put("k", data)
+	wideDur := time.Since(start)
+	if wideDur > singleDur*2/3 {
+		t.Fatalf("scatter not parallel: 1-wide %v vs 4-wide %v", singleDur, wideDur)
+	}
+}
+
+func TestScatterGetMissing(t *testing.T) {
+	s := NewScatter(2, scatterSpec())
+	if _, _, err := s.Get("nope"); err == nil {
+		t.Fatal("missing key accepted")
+	}
+}
+
+func TestScatterDelete(t *testing.T) {
+	s := NewScatter(3, scatterSpec())
+	s.Put("k", []byte("hello"))
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get("k"); err == nil {
+		t.Fatal("deleted key still readable")
+	}
+}
+
+func TestScatterWidthClamp(t *testing.T) {
+	if NewScatter(0, scatterSpec()).Width() != 1 {
+		t.Fatal("zero width not clamped")
+	}
+}
+
+func TestQuickScatterRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewScatter(1+rng.Intn(8), scatterSpec())
+		data := make([]byte, rng.Intn(5000))
+		rng.Read(data)
+		if _, err := s.Put("k", data); err != nil {
+			return false
+		}
+		got, _, err := s.Get("k")
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

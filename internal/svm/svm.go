@@ -1,0 +1,105 @@
+// Package svm implements a minimal linear support vector machine trained
+// with the Pegasos stochastic sub-gradient method. SignalGuru's prediction
+// operators use it to forecast traffic-signal transitions from observed
+// phase features (paper §II-B2: "P: SVM Prediction Model").
+package svm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Model is a linear classifier: sign(w·x + b).
+type Model struct {
+	W []float64
+	B float64
+}
+
+// Config controls training.
+type Config struct {
+	Lambda float64 // regularization (default 1e-3)
+	Epochs int     // passes over the data (default 20)
+	Seed   int64
+}
+
+// Train fits a linear SVM on samples x with labels y in {-1, +1}.
+func Train(x [][]float64, y []float64, cfg Config) (*Model, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, errors.New("svm: need equal, non-zero samples and labels")
+	}
+	dim := len(x[0])
+	for i, xi := range x {
+		if len(xi) != dim {
+			return nil, errors.New("svm: inconsistent dimensions")
+		}
+		if y[i] != 1 && y[i] != -1 {
+			return nil, errors.New("svm: labels must be +1 or -1")
+		}
+	}
+	if cfg.Lambda == 0 {
+		cfg.Lambda = 1e-3
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 20
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{W: make([]float64, dim)}
+	t := 1
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for range x {
+			i := rng.Intn(len(x))
+			eta := 1 / (cfg.Lambda * float64(t))
+			margin := y[i] * (dot(m.W, x[i]) + m.B)
+			for d := range m.W {
+				m.W[d] *= 1 - eta*cfg.Lambda
+			}
+			if margin < 1 {
+				for d := range m.W {
+					m.W[d] += eta * y[i] * x[i][d]
+				}
+				m.B += eta * y[i]
+			}
+			t++
+		}
+	}
+	return m, nil
+}
+
+// Score returns the signed distance proxy w·x + b.
+func (m *Model) Score(x []float64) float64 { return dot(m.W, x) + m.B }
+
+// Predict returns +1 or -1.
+func (m *Model) Predict(x []float64) float64 {
+	if m.Score(x) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// Accuracy returns the fraction of samples classified correctly.
+func (m *Model) Accuracy(x [][]float64, y []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	hit := 0
+	for i := range x {
+		if m.Predict(x[i]) == y[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(x))
+}
+
+// Norm returns ||w||, useful to check regularization behaviour.
+func (m *Model) Norm() float64 {
+	return math.Sqrt(dot(m.W, m.W))
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,140 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// separable builds a linearly separable 2-D set around y = x.
+func separable(r *rand.Rand, n int, gap float64) (x [][]float64, y []float64) {
+	for i := 0; i < n; i++ {
+		a := r.Float64()*10 - 5
+		b := r.Float64()*10 - 5
+		label := 1.0
+		if b < a-gap {
+			label = -1
+		} else if b < a+gap {
+			continue // margin zone: skip
+		}
+		x = append(x, []float64{a, b})
+		y = append(y, label)
+	}
+	return x, y
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, nil, Config{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []float64{1, -1}, Config{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Train([][]float64{{1}, {2, 3}}, []float64{1, -1}, Config{}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []float64{0}, Config{}); err == nil {
+		t.Fatal("bad label accepted")
+	}
+}
+
+func TestTrainSeparable(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	x, y := separable(r, 400, 0.5)
+	m, err := Train(x, y, Config{Seed: 2, Epochs: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(x, y); acc < 0.95 {
+		t.Fatalf("training accuracy %.2f < 0.95", acc)
+	}
+}
+
+func TestTrainGeneralizes(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	xTrain, yTrain := separable(r, 300, 0.8)
+	xTest, yTest := separable(r, 200, 0.8)
+	m, err := Train(xTrain, yTrain, Config{Seed: 4, Epochs: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(xTest, yTest); acc < 0.9 {
+		t.Fatalf("test accuracy %.2f < 0.9", acc)
+	}
+}
+
+func TestPredictSign(t *testing.T) {
+	m := &Model{W: []float64{1, 0}, B: 0}
+	if m.Predict([]float64{5, 0}) != 1 || m.Predict([]float64{-5, 0}) != -1 {
+		t.Fatal("prediction sign wrong")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	x, y := separable(r, 100, 0.5)
+	a, _ := Train(x, y, Config{Seed: 9})
+	b, _ := Train(x, y, Config{Seed: 9})
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			t.Fatal("same seed produced different weights")
+		}
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	m := &Model{W: []float64{1}}
+	if m.Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy must be 0")
+	}
+}
+
+// Property: higher regularization never increases ||w||
+// (checked in expectation over seeds; allow rare inversions by majority).
+func TestQuickRegularizationShrinks(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x, y := separable(r, 150, 0.5)
+		if len(x) < 20 {
+			return true
+		}
+		weak, err1 := Train(x, y, Config{Lambda: 1e-4, Seed: seed, Epochs: 10})
+		strong, err2 := Train(x, y, Config{Lambda: 1e-1, Seed: seed, Epochs: 10})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return strong.Norm() <= weak.Norm()*1.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flipping all labels flips all predictions on a symmetric model.
+func TestQuickLabelSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x, y := separable(r, 120, 0.6)
+		if len(x) < 20 {
+			return true
+		}
+		m, err := Train(x, y, Config{Seed: seed, Epochs: 30})
+		if err != nil {
+			return false
+		}
+		yFlip := make([]float64, len(y))
+		for i := range y {
+			yFlip[i] = -y[i]
+		}
+		mf, err := Train(x, yFlip, Config{Seed: seed, Epochs: 30})
+		if err != nil {
+			return false
+		}
+		// Both models should fit their own labels reasonably; the bound is
+		// loose because Pegasos on a small random sample is noisy.
+		return m.Accuracy(x, y) > 0.75 && mf.Accuracy(x, yFlip) > 0.75
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+// Package tuple defines the unit of data exchanged between stream operators
+// and the checkpoint tokens that Meteor Shower piggybacks on the dataflow.
+//
+// A tuple is the smallest unit of data passed along a stream. A token is "a
+// piece of data embedded in the dataflow as an extra field in a tuple"
+// (paper §III-A); here it is carried by the Tok field, and a pure control
+// tuple is one whose payload is empty and whose Tok field is set.
+package tuple
+
+import "time"
+
+// TokenKind distinguishes the two token flavours used by the Meteor Shower
+// variants.
+type TokenKind uint8
+
+const (
+	// Cascading tokens originate at source HAUs and are forwarded hop by
+	// hop down the query network (MS-src).
+	Cascading TokenKind = iota
+	// OneHop tokens are emitted by every HAU simultaneously on a
+	// controller command and are discarded after alignment (MS-src+ap).
+	OneHop
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case Cascading:
+		return "cascading"
+	case OneHop:
+		return "one-hop"
+	default:
+		return "unknown"
+	}
+}
+
+// Token conveys a checkpoint command. It marks the stream boundary between
+// tuples handled by the downstream HAU (preceding the token) and tuples
+// handled by the upstream HAU (succeeding it).
+type Token struct {
+	Epoch uint64    // checkpoint epoch this token belongs to
+	Kind  TokenKind // cascading (MS-src) or 1-hop (MS-src+ap)
+	From  string    // id of the HAU that emitted this token
+}
+
+// Tuple is a unit of stream data. Payload bytes are opaque to the runtime;
+// applications encode their records into Data. The runtime itself only
+// reads the metadata fields.
+type Tuple struct {
+	ID  uint64 // sequence number, unique per source
+	Src string // id of the source HAU that produced the originating event
+	Key string // partitioning / grouping key
+	Ts  int64  // event creation time, ns since epoch (virtual or wall)
+	// Seq is the per-edge sequence number stamped by the sending HAU.
+	// Receivers use it to drop duplicates during post-recovery replay;
+	// zero means "unsequenced" (tokens, unit tests).
+	Seq  uint64
+	Data []byte // application payload
+	Tok  *Token // non-nil when this tuple carries a checkpoint token
+}
+
+// New returns a data tuple stamped with the current wall time.
+func New(id uint64, src, key string, data []byte) *Tuple {
+	return &Tuple{ID: id, Src: src, Key: key, Ts: time.Now().UnixNano(), Data: data}
+}
+
+// NewToken returns a pure control tuple carrying tok.
+func NewToken(tok Token) *Tuple {
+	return &Tuple{Ts: time.Now().UnixNano(), Tok: &tok}
+}
+
+// IsToken reports whether t carries a checkpoint token.
+func (t *Tuple) IsToken() bool { return t != nil && t.Tok != nil }
+
+// Size returns the number of bytes this tuple occupies for the purposes of
+// buffering, preservation and checkpoint accounting. It intentionally
+// over-approximates by including the fixed header fields.
+func (t *Tuple) Size() int64 {
+	if t == nil {
+		return 0
+	}
+	const header = 8 + 8 + 8 // ID + Ts + slice headers, rounded
+	n := int64(header + len(t.Src) + len(t.Key) + len(t.Data))
+	if t.Tok != nil {
+		n += int64(9 + len(t.Tok.From))
+	}
+	return n
+}
+
+// Clone returns a deep copy of t. The payload is copied so the clone can be
+// retained (e.g. in a preservation buffer) while the original continues
+// downstream.
+func (t *Tuple) Clone() *Tuple {
+	if t == nil {
+		return nil
+	}
+	c := *t
+	if t.Data != nil {
+		c.Data = append([]byte(nil), t.Data...)
+	}
+	if t.Tok != nil {
+		tok := *t.Tok
+		c.Tok = &tok
+	}
+	return &c
+}
+
+// Age returns how long ago the tuple was created, relative to now (ns).
+func (t *Tuple) Age(nowNS int64) time.Duration {
+	return time.Duration(nowNS - t.Ts)
+}

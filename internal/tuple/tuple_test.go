@@ -1,0 +1,103 @@
+package tuple
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewStampsTime(t *testing.T) {
+	before := time.Now().UnixNano()
+	tp := New(7, "S0", "k", []byte("payload"))
+	after := time.Now().UnixNano()
+	if tp.Ts < before || tp.Ts > after {
+		t.Fatalf("Ts=%d not in [%d,%d]", tp.Ts, before, after)
+	}
+	if tp.ID != 7 || tp.Src != "S0" || tp.Key != "k" || string(tp.Data) != "payload" {
+		t.Fatalf("fields not preserved: %+v", tp)
+	}
+	if tp.IsToken() {
+		t.Fatal("data tuple must not be a token")
+	}
+}
+
+func TestNewToken(t *testing.T) {
+	tp := NewToken(Token{Epoch: 3, Kind: OneHop, From: "H2"})
+	if !tp.IsToken() {
+		t.Fatal("expected token tuple")
+	}
+	if tp.Tok.Epoch != 3 || tp.Tok.Kind != OneHop || tp.Tok.From != "H2" {
+		t.Fatalf("token fields: %+v", tp.Tok)
+	}
+}
+
+func TestIsTokenNil(t *testing.T) {
+	var tp *Tuple
+	if tp.IsToken() {
+		t.Fatal("nil tuple must not be a token")
+	}
+}
+
+func TestSizeNil(t *testing.T) {
+	var tp *Tuple
+	if tp.Size() != 0 {
+		t.Fatal("nil tuple size must be 0")
+	}
+}
+
+func TestSizeGrowsWithPayload(t *testing.T) {
+	small := New(1, "S", "k", make([]byte, 10))
+	big := New(1, "S", "k", make([]byte, 1000))
+	if big.Size()-small.Size() != 990 {
+		t.Fatalf("payload delta not reflected: %d vs %d", small.Size(), big.Size())
+	}
+}
+
+func TestSizeIncludesToken(t *testing.T) {
+	plain := New(1, "S", "k", nil)
+	withTok := New(1, "S", "k", nil)
+	withTok.Tok = &Token{From: "H1"}
+	if withTok.Size() <= plain.Size() {
+		t.Fatal("token must add to size")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	orig := New(1, "S", "k", []byte{1, 2, 3})
+	orig.Tok = &Token{Epoch: 1, From: "H"}
+	c := orig.Clone()
+	c.Data[0] = 99
+	c.Tok.Epoch = 42
+	if orig.Data[0] != 1 {
+		t.Fatal("payload not deep-copied")
+	}
+	if orig.Tok.Epoch != 1 {
+		t.Fatal("token not deep-copied")
+	}
+}
+
+func TestCloneNil(t *testing.T) {
+	var tp *Tuple
+	if tp.Clone() != nil {
+		t.Fatal("clone of nil must be nil")
+	}
+}
+
+func TestAge(t *testing.T) {
+	tp := &Tuple{Ts: 1000}
+	if got := tp.Age(4000); got != 3000 {
+		t.Fatalf("Age = %v, want 3000ns", got)
+	}
+}
+
+func TestTokenKindString(t *testing.T) {
+	cases := map[TokenKind]string{
+		Cascading:    "cascading",
+		OneHop:       "one-hop",
+		TokenKind(9): "unknown",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package vision provides the image-processing kernels used by the BCP and
+// SignalGuru applications: synthetic grayscale images, connected-component
+// people counting (BCP's Counter operators), band-pass filtering
+// (SignalGuru's color filter), blob shape metrics (shape filter), and
+// stationary-bright detection across frames (motion filter).
+//
+// The paper's inputs were real camera and iPhone pictures; here images are
+// synthesized with a known number of blobs so correctness is testable
+// end-to-end (DESIGN.md, substitutions).
+package vision
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+)
+
+// Image is a grayscale raster.
+type Image struct {
+	W, H int
+	Pix  []uint8 // row-major, len = W*H
+}
+
+// NewImage returns a zeroed WxH image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// At returns the pixel at (x, y); out-of-bounds reads return 0.
+func (im *Image) At(x, y int) uint8 {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return 0
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-bounds writes are ignored.
+func (im *Image) Set(x, y int, v uint8) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	im.Pix[y*im.W+x] = v
+}
+
+// ByteSize returns the in-memory footprint used for state accounting.
+func (im *Image) ByteSize() int64 {
+	if im == nil {
+		return 0
+	}
+	return int64(len(im.Pix)) + 16
+}
+
+// Clone returns an independent copy.
+func (im *Image) Clone() *Image {
+	c := NewImage(im.W, im.H)
+	copy(c.Pix, im.Pix)
+	return c
+}
+
+// Marshal encodes the image for checkpointing.
+func (im *Image) Marshal() []byte {
+	buf := make([]byte, 8+len(im.Pix))
+	binary.LittleEndian.PutUint32(buf, uint32(im.W))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(im.H))
+	copy(buf[8:], im.Pix)
+	return buf
+}
+
+// UnmarshalImage decodes an image produced by Marshal. The buffer must
+// contain exactly one image.
+func UnmarshalImage(buf []byte) (*Image, error) {
+	im, n, err := UnmarshalImagePrefix(buf)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(buf) {
+		return nil, errors.New("vision: trailing bytes after image")
+	}
+	return im, nil
+}
+
+// UnmarshalImagePrefix decodes an image from the front of buf and returns
+// the byte count consumed. Trailing bytes are permitted: a camera tuple may
+// carry a small analysis thumbnail followed by the raw full-resolution
+// frame, and operators only decode the thumbnail.
+func UnmarshalImagePrefix(buf []byte) (*Image, int, error) {
+	if len(buf) < 8 {
+		return nil, 0, errors.New("vision: short image encoding")
+	}
+	w := int(binary.LittleEndian.Uint32(buf))
+	h := int(binary.LittleEndian.Uint32(buf[4:]))
+	if w < 0 || h < 0 || w*h > len(buf)-8 {
+		return nil, 0, errors.New("vision: corrupt image encoding")
+	}
+	im := NewImage(w, h)
+	copy(im.Pix, buf[8:8+w*h])
+	return im, 8 + w*h, nil
+}
+
+// SynthesizeOpts controls synthetic image generation.
+type SynthesizeOpts struct {
+	W, H       int
+	Blobs      int   // number of bright rectangular blobs ("people"/"lights")
+	BlobSize   int   // blob edge length in pixels (default 6)
+	NoiseLevel uint8 // background noise amplitude (default 40)
+	Seed       int64
+}
+
+// Synthesize draws opts.Blobs non-overlapping bright blobs on dim noise.
+// Blobs are placed on a jittered grid so they never merge, keeping the true
+// count recoverable by CountBlobs.
+func Synthesize(opts SynthesizeOpts) *Image {
+	if opts.BlobSize == 0 {
+		opts.BlobSize = 6
+	}
+	if opts.NoiseLevel == 0 {
+		opts.NoiseLevel = 40
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	im := NewImage(opts.W, opts.H)
+	for i := range im.Pix {
+		im.Pix[i] = uint8(rng.Intn(int(opts.NoiseLevel) + 1))
+	}
+	cell := opts.BlobSize * 3
+	cols := opts.W / cell
+	rows := opts.H / cell
+	capacity := cols * rows
+	n := opts.Blobs
+	if n > capacity {
+		n = capacity
+	}
+	perm := rng.Perm(capacity)
+	for i := 0; i < n; i++ {
+		c := perm[i]
+		cx := (c % cols) * cell
+		cy := (c / cols) * cell
+		ox := cx + 1 + rng.Intn(cell-opts.BlobSize-1)
+		oy := cy + 1 + rng.Intn(cell-opts.BlobSize-1)
+		val := uint8(200 + rng.Intn(55))
+		for y := 0; y < opts.BlobSize; y++ {
+			for x := 0; x < opts.BlobSize; x++ {
+				im.Set(ox+x, oy+y, val)
+			}
+		}
+	}
+	return im
+}
+
+// Blob is a connected component of above-threshold pixels.
+type Blob struct {
+	Area                   int
+	MinX, MinY, MaxX, MaxY int
+}
+
+// Width returns the bounding-box width.
+func (b Blob) Width() int { return b.MaxX - b.MinX + 1 }
+
+// Height returns the bounding-box height.
+func (b Blob) Height() int { return b.MaxY - b.MinY + 1 }
+
+// AspectRatio returns width/height; square-ish blobs (traffic lights,
+// standing people) have ratios near 1.
+func (b Blob) AspectRatio() float64 {
+	return float64(b.Width()) / float64(b.Height())
+}
+
+// Blobs extracts connected components (4-connectivity) of pixels >=
+// threshold with at least minArea pixels, using union-find labelling.
+func Blobs(im *Image, threshold uint8, minArea int) []Blob {
+	n := im.W * im.H
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1 // -1 = background
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			i := int32(y*im.W + x)
+			if im.Pix[i] < threshold {
+				continue
+			}
+			parent[i] = i
+			if x > 0 && parent[i-1] >= 0 {
+				union(i-1, i)
+			}
+			if y > 0 && parent[i-int32(im.W)] >= 0 {
+				union(i-int32(im.W), i)
+			}
+		}
+	}
+	acc := make(map[int32]*Blob)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			i := int32(y*im.W + x)
+			if parent[i] < 0 {
+				continue
+			}
+			r := find(i)
+			b := acc[r]
+			if b == nil {
+				b = &Blob{MinX: x, MinY: y, MaxX: x, MaxY: y}
+				acc[r] = b
+			}
+			b.Area++
+			if x < b.MinX {
+				b.MinX = x
+			}
+			if x > b.MaxX {
+				b.MaxX = x
+			}
+			if y < b.MinY {
+				b.MinY = y
+			}
+			if y > b.MaxY {
+				b.MaxY = y
+			}
+		}
+	}
+	var out []Blob
+	for _, b := range acc {
+		if b.Area >= minArea {
+			out = append(out, *b)
+		}
+	}
+	return out
+}
+
+// CountBlobs returns the number of connected components of at least
+// minArea pixels >= threshold — BCP's people counter.
+func CountBlobs(im *Image, threshold uint8, minArea int) int {
+	return len(Blobs(im, threshold, minArea))
+}
+
+// BandPass zeroes every pixel outside [lo, hi] — SignalGuru's color filter
+// specialized to grayscale (a real color filter selects a hue band; the
+// grayscale analogue selects an intensity band).
+func BandPass(im *Image, lo, hi uint8) *Image {
+	out := NewImage(im.W, im.H)
+	for i, v := range im.Pix {
+		if v >= lo && v <= hi {
+			out.Pix[i] = v
+		}
+	}
+	return out
+}
+
+// StationaryBright returns a mask of pixels that are >= threshold in at
+// least frac of the frames — SignalGuru's motion filter: "traffic lights
+// always have fixed positions at intersections", so pixels that are bright
+// in most frames are stationary lights, while moving objects smear out.
+func StationaryBright(frames []*Image, threshold uint8, frac float64) (*Image, error) {
+	if len(frames) == 0 {
+		return nil, errors.New("vision: no frames")
+	}
+	w, h := frames[0].W, frames[0].H
+	counts := make([]int, w*h)
+	for _, f := range frames {
+		if f.W != w || f.H != h {
+			return nil, errors.New("vision: frame size mismatch")
+		}
+		for i, v := range f.Pix {
+			if v >= threshold {
+				counts[i]++
+			}
+		}
+	}
+	need := int(frac * float64(len(frames)))
+	if need < 1 {
+		need = 1
+	}
+	out := NewImage(w, h)
+	for i, c := range counts {
+		if c >= need {
+			out.Pix[i] = 255
+		}
+	}
+	return out, nil
+}
+
+// FilterByShape keeps blobs whose aspect ratio lies in [lo, hi] —
+// SignalGuru's shape filter (traffic-light housings are roughly square to
+// tall).
+func FilterByShape(blobs []Blob, lo, hi float64) []Blob {
+	var out []Blob
+	for _, b := range blobs {
+		if r := b.AspectRatio(); r >= lo && r <= hi {
+			out = append(out, b)
+		}
+	}
+	return out
+}

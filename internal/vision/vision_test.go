@@ -1,0 +1,247 @@
+package vision
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestImageAtSetBounds(t *testing.T) {
+	im := NewImage(4, 3)
+	im.Set(2, 1, 9)
+	if im.At(2, 1) != 9 {
+		t.Fatal("Set/At round trip failed")
+	}
+	im.Set(-1, 0, 7) // must not panic
+	im.Set(4, 0, 7)
+	if im.At(-1, 0) != 0 || im.At(0, 3) != 0 {
+		t.Fatal("out-of-bounds reads must be 0")
+	}
+}
+
+func TestImageMarshalRoundTrip(t *testing.T) {
+	im := Synthesize(SynthesizeOpts{W: 20, H: 10, Blobs: 2, Seed: 1})
+	got, err := UnmarshalImage(im.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != im.W || got.H != im.H {
+		t.Fatalf("dims %dx%d, want %dx%d", got.W, got.H, im.W, im.H)
+	}
+	for i := range im.Pix {
+		if got.Pix[i] != im.Pix[i] {
+			t.Fatalf("pixel %d mismatch", i)
+		}
+	}
+}
+
+func TestUnmarshalImageCorrupt(t *testing.T) {
+	if _, err := UnmarshalImage([]byte{1, 2}); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	im := NewImage(4, 4)
+	buf := im.Marshal()
+	if _, err := UnmarshalImage(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated buffer accepted")
+	}
+}
+
+func TestImageClone(t *testing.T) {
+	im := NewImage(2, 2)
+	im.Set(0, 0, 5)
+	c := im.Clone()
+	c.Set(0, 0, 9)
+	if im.At(0, 0) != 5 {
+		t.Fatal("clone shares pixels")
+	}
+}
+
+func TestByteSizeNil(t *testing.T) {
+	var im *Image
+	if im.ByteSize() != 0 {
+		t.Fatal("nil image size must be 0")
+	}
+}
+
+func TestSynthesizeCountRecoverable(t *testing.T) {
+	for _, want := range []int{0, 1, 3, 7, 12} {
+		im := Synthesize(SynthesizeOpts{W: 160, H: 120, Blobs: want, Seed: int64(want)})
+		got := CountBlobs(im, 150, 4)
+		if got != want {
+			t.Fatalf("blobs=%d: counted %d", want, got)
+		}
+	}
+}
+
+func TestSynthesizeCapacityClamp(t *testing.T) {
+	// Tiny image cannot fit 100 blobs; count must equal the clamped number
+	// and not panic.
+	im := Synthesize(SynthesizeOpts{W: 40, H: 40, Blobs: 100, Seed: 3})
+	got := CountBlobs(im, 150, 4)
+	if got == 0 || got > 100 {
+		t.Fatalf("clamped count = %d", got)
+	}
+}
+
+func TestBlobsGeometry(t *testing.T) {
+	im := NewImage(20, 20)
+	for y := 5; y < 9; y++ {
+		for x := 3; x < 11; x++ {
+			im.Set(x, y, 255)
+		}
+	}
+	bs := Blobs(im, 200, 1)
+	if len(bs) != 1 {
+		t.Fatalf("blobs = %d", len(bs))
+	}
+	b := bs[0]
+	if b.Area != 32 || b.Width() != 8 || b.Height() != 4 {
+		t.Fatalf("blob = %+v", b)
+	}
+	if b.AspectRatio() != 2.0 {
+		t.Fatalf("aspect = %v", b.AspectRatio())
+	}
+}
+
+func TestBlobsMinArea(t *testing.T) {
+	im := NewImage(10, 10)
+	im.Set(1, 1, 255) // single speck
+	for y := 5; y < 8; y++ {
+		for x := 5; x < 8; x++ {
+			im.Set(x, y, 255)
+		}
+	}
+	if got := CountBlobs(im, 200, 2); got != 1 {
+		t.Fatalf("minArea filter: got %d blobs, want 1", got)
+	}
+	if got := CountBlobs(im, 200, 1); got != 2 {
+		t.Fatalf("without filter: got %d blobs, want 2", got)
+	}
+}
+
+func TestBlobsLShapeConnectivity(t *testing.T) {
+	// An L-shape must be one component under 4-connectivity.
+	im := NewImage(10, 10)
+	for y := 0; y < 5; y++ {
+		im.Set(2, y, 255)
+	}
+	for x := 2; x < 7; x++ {
+		im.Set(x, 4, 255)
+	}
+	if got := CountBlobs(im, 200, 1); got != 1 {
+		t.Fatalf("L-shape split into %d components", got)
+	}
+}
+
+func TestBlobsDiagonalNotConnected(t *testing.T) {
+	im := NewImage(4, 4)
+	im.Set(0, 0, 255)
+	im.Set(1, 1, 255)
+	if got := CountBlobs(im, 200, 1); got != 2 {
+		t.Fatalf("diagonal pixels merged: %d components", got)
+	}
+}
+
+func TestBandPass(t *testing.T) {
+	im := NewImage(3, 1)
+	im.Set(0, 0, 10)
+	im.Set(1, 0, 100)
+	im.Set(2, 0, 250)
+	out := BandPass(im, 50, 200)
+	if out.At(0, 0) != 0 || out.At(1, 0) != 100 || out.At(2, 0) != 0 {
+		t.Fatalf("band pass wrong: %v", out.Pix)
+	}
+}
+
+func TestStationaryBright(t *testing.T) {
+	// A "light" at (2,2) in all frames; a "car" moving along x.
+	var frames []*Image
+	for i := 0; i < 5; i++ {
+		f := NewImage(10, 5)
+		f.Set(2, 2, 255)   // stationary light
+		f.Set(3+i, 4, 255) // moving object
+		frames = append(frames, f)
+	}
+	mask, err := StationaryBright(frames, 200, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask.At(2, 2) != 255 {
+		t.Fatal("stationary light filtered out")
+	}
+	for i := 0; i < 5; i++ {
+		if mask.At(3+i, 4) != 0 {
+			t.Fatal("moving object survived motion filter")
+		}
+	}
+	if got := CountBlobs(mask, 200, 1); got != 1 {
+		t.Fatalf("mask blob count = %d", got)
+	}
+}
+
+func TestStationaryBrightErrors(t *testing.T) {
+	if _, err := StationaryBright(nil, 200, 0.5); err == nil {
+		t.Fatal("empty frame list accepted")
+	}
+	frames := []*Image{NewImage(2, 2), NewImage(3, 2)}
+	if _, err := StationaryBright(frames, 200, 0.5); err == nil {
+		t.Fatal("mismatched frame sizes accepted")
+	}
+}
+
+func TestFilterByShape(t *testing.T) {
+	blobs := []Blob{
+		{MinX: 0, MinY: 0, MaxX: 3, MaxY: 3}, // ratio 1
+		{MinX: 0, MinY: 0, MaxX: 9, MaxY: 1}, // ratio 5
+	}
+	out := FilterByShape(blobs, 0.5, 2)
+	if len(out) != 1 || out[0].AspectRatio() != 1 {
+		t.Fatalf("shape filter = %+v", out)
+	}
+}
+
+// Property: synthesized images always yield exactly the requested blob
+// count (when within capacity) across random sizes and seeds.
+func TestQuickSynthesizeCount(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		want := r.Intn(6)
+		im := Synthesize(SynthesizeOpts{W: 120 + r.Intn(80), H: 100 + r.Intn(60), Blobs: want, Seed: seed})
+		return CountBlobs(im, 150, 4) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: blob areas sum to the number of above-threshold pixels when
+// minArea = 1.
+func TestQuickBlobAreaConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		im := NewImage(20, 20)
+		bright := 0
+		for i := range im.Pix {
+			if r.Intn(4) == 0 {
+				im.Pix[i] = 255
+				bright++
+			}
+		}
+		total := 0
+		for _, b := range Blobs(im, 200, 1) {
+			total += b.Area
+		}
+		return total == bright
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCountBlobs(b *testing.B) {
+	im := Synthesize(SynthesizeOpts{W: 320, H: 240, Blobs: 20, Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CountBlobs(im, 150, 4)
+	}
+}
