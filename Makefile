@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke bench-hotpath
+
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One-iteration smoke run: catches a broken hot path without paying for a
+# full measurement; real numbers go to BENCH_hotpath.json via bench-hotpath.
+bench-smoke:
+	$(GO) test -run NONE -bench BenchmarkHotPath -benchtime 1x .
+
+bench-hotpath:
+	$(GO) test -run NONE -bench BenchmarkHotPath -benchtime 2s .

@@ -196,6 +196,34 @@ func BenchmarkAblationGroupCommit(b *testing.B) {
 	}
 }
 
+// BenchmarkHotPath measures the raw tuple throughput of the HAU runtime:
+// elastic sources through a map into a sink, no checkpoints, no injected
+// per-tuple delay. One benchmark op = one tuple delivered at the sink, so
+// ns/op, B/op and allocs/op are per-tuple costs of the transport itself.
+// Baseline and current numbers are recorded in BENCH_hotpath.json.
+func BenchmarkHotPath(b *testing.B) {
+	cases := []struct {
+		name string
+		cfg  bench.HotPathConfig
+	}{
+		{"chain", bench.HotPathConfig{FanIn: 1, Payload: 64}},
+		{"fanin2", bench.HotPathConfig{FanIn: 2, Payload: 64}},
+		{"preserve", bench.HotPathConfig{FanIn: 1, Payload: 64, Preserve: true}},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := bc.cfg
+			cfg.Tuples = b.N
+			res, err := bench.RunHotPath(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.TuplesPerSec(), "tuples/s")
+		})
+	}
+}
+
 // BenchmarkBaselineRecovery measures single-HAU baseline recovery.
 func BenchmarkBaselineRecovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,194 @@
+package bench
+
+// Hot-path microbenchmark harness. Unlike the figure experiments, which
+// reproduce the paper's numbers on the scaled simulation, this harness
+// measures the raw tuple throughput of the HAU runtime itself: elastic
+// sources blast tuples through a short pipeline with no artificial
+// per-tuple delay, no checkpoints and no failure injection, so the cost
+// under test is exactly the edge transport + event loop + delivery path.
+// BENCH_hotpath.json records the numbers so later PRs cannot regress them.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"meteorshower/internal/buffer"
+	"meteorshower/internal/operator"
+	"meteorshower/internal/spe"
+	"meteorshower/internal/storage"
+	"meteorshower/internal/tuple"
+)
+
+// HotPathConfig shapes one hot-path run.
+type HotPathConfig struct {
+	// FanIn is the number of source HAUs feeding the middle HAU (>= 1).
+	FanIn int
+	// Preserve enables baseline-style input preservation on the middle
+	// HAU, with a background trimmer standing in for checkpoint acks.
+	Preserve bool
+	// Tuples is how many data tuples the sink must deliver before the
+	// run stops.
+	Tuples int
+	// Payload is the payload size per tuple in bytes.
+	Payload int
+	// EdgeBuffer overrides the per-edge buffer capacity (0 = default).
+	EdgeBuffer int
+}
+
+// HotPathResult reports what a hot-path run measured.
+type HotPathResult struct {
+	Delivered uint64        // tuples the sink saw
+	Elapsed   time.Duration // wall time from start to target delivery
+}
+
+// TuplesPerSec returns the headline throughput.
+func (r HotPathResult) TuplesPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Delivered) / r.Elapsed.Seconds()
+}
+
+// RunHotPath drives FanIn elastic sources -> map -> sink until the sink
+// has delivered cfg.Tuples tuples, then tears the pipeline down and
+// reports the elapsed time. Sources run in MaxRate mode so downstream
+// backpressure does the pacing and the measured rate is the runtime's
+// capacity, not the offered load.
+func RunHotPath(cfg HotPathConfig) (HotPathResult, error) {
+	if cfg.FanIn <= 0 {
+		cfg.FanIn = 1
+	}
+	if cfg.Tuples <= 0 {
+		cfg.Tuples = 1
+	}
+	if cfg.Payload < 0 {
+		cfg.Payload = 0
+	}
+	scheme := spe.MSSrc
+	if cfg.Preserve {
+		scheme = spe.Baseline
+	}
+
+	// One shared payload buffer: the benchmark measures transport cost,
+	// not payload generation, and emitted payloads are immutable.
+	payload := make([]byte, cfg.Payload)
+	payloadFn := func(id uint64, _ *rand.Rand) (string, []byte) {
+		return "k", payload
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	haus := make([]*spe.HAU, 0, cfg.FanIn+2)
+	inEdges := make([]*spe.Edge, cfg.FanIn)
+	for i := 0; i < cfg.FanIn; i++ {
+		id := fmt.Sprintf("S%d", i)
+		src := operator.NewRateSource(id, 0, int64(i+1), payloadFn)
+		src.MaxRate = true
+		src.CatchUpCap = 8192
+		e := spe.NewEdge(id, "M", cfg.EdgeBuffer)
+		inEdges[i] = e
+		h, err := spe.New(spe.Config{
+			ID:        id,
+			Scheme:    scheme,
+			Ops:       []operator.Operator{src},
+			Out:       []*spe.Edge{e},
+			TickEvery: time.Millisecond,
+		})
+		if err != nil {
+			return HotPathResult{}, err
+		}
+		haus = append(haus, h)
+	}
+
+	outEdge := spe.NewEdge("M", "K", cfg.EdgeBuffer)
+	var pres *buffer.Preserver
+	if cfg.Preserve {
+		disk := storage.NewDisk(storage.DiskSpec{BandwidthBps: 1 << 30, Latency: time.Microsecond, TimeScale: 0})
+		pres = buffer.NewPreserver(1, buffer.DefaultMemCap, disk)
+	}
+	mid, err := spe.New(spe.Config{
+		ID:        "M",
+		Scheme:    scheme,
+		Ops:       []operator.Operator{operator.NewMap("m", func(t *tuple.Tuple) *tuple.Tuple { return t })},
+		In:        inEdges,
+		Out:       []*spe.Edge{outEdge},
+		Preserver: pres,
+		TickEvery: time.Millisecond,
+	})
+	if err != nil {
+		return HotPathResult{}, err
+	}
+	haus = append(haus, mid)
+
+	sink := operator.NewSink("K", nil)
+	last, err := spe.New(spe.Config{
+		ID:        "K",
+		Scheme:    scheme,
+		Ops:       []operator.Operator{sink},
+		In:        []*spe.Edge{outEdge},
+		TickEvery: time.Millisecond,
+	})
+	if err != nil {
+		return HotPathResult{}, err
+	}
+	haus = append(haus, last)
+
+	start := time.Now()
+	for _, h := range haus {
+		h.Start(ctx)
+	}
+
+	// Stand-in for checkpoint acks: trim the preservation buffer up to
+	// what the sink has already seen, like a downstream ack would.
+	if pres != nil {
+		go func() {
+			tick := time.NewTicker(5 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					pres.Trim(0, sink.Delivered())
+				}
+			}
+		}()
+	}
+
+	target := uint64(cfg.Tuples)
+	var elapsed time.Duration
+	for {
+		if sink.Delivered() >= target {
+			elapsed = time.Since(start)
+			break
+		}
+		if err := firstErr(haus); err != nil {
+			cancel()
+			return HotPathResult{}, err
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	delivered := sink.Delivered()
+	cancel()
+	for _, h := range haus {
+		select {
+		case <-h.Done():
+		case <-time.After(5 * time.Second):
+			return HotPathResult{}, errors.New("bench: HAU failed to stop")
+		}
+	}
+	return HotPathResult{Delivered: delivered, Elapsed: elapsed}, nil
+}
+
+func firstErr(haus []*spe.HAU) error {
+	for _, h := range haus {
+		if err := h.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

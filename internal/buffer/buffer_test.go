@@ -90,8 +90,8 @@ func TestPreserverBadPort(t *testing.T) {
 
 func TestPreserverSpill(t *testing.T) {
 	disk := fastDisk()
-	p := NewPreserver(1, 100, disk) // tiny cap
-	// Each tuple ~ 24 header + 1 src + 1 key + 50 payload = 76 bytes.
+	p := NewPreserver(1, 200, disk) // tiny cap
+	// Each tuple ~ 88 header + 1 src + 1 key + 50 payload = 140 bytes.
 	p.Append(0, mk(1, 50))
 	if disk.Stats().BytesWritten != 0 {
 		t.Fatal("spilled below cap")

@@ -86,23 +86,7 @@ func (p *Preserver) Append(port int, t *tuple.Tuple) (uint64, error) {
 	q.resident = append(q.resident, entry{seq: seq, t: t.Clone()})
 	p.memBytes += t.Size()
 
-	var spillBytes int64
-	if p.memBytes > p.memCap {
-		for _, pq := range p.ports {
-			for _, e := range pq.resident {
-				enc := e.t.Marshal()
-				pq.spilled = append(pq.spilled, spilledRef{
-					seq: e.seq,
-					off: pq.logBase + len(pq.log),
-					ln:  len(enc),
-				})
-				pq.log = append(pq.log, enc...)
-				spillBytes += e.t.Size()
-			}
-			pq.resident = pq.resident[:0]
-		}
-		p.memBytes = 0
-	}
+	spillBytes := p.spillLocked()
 	p.mu.Unlock()
 
 	// Charge the disk outside the lock: the dump blocks this HAU (it is
@@ -112,6 +96,70 @@ func (p *Preserver) Append(port int, t *tuple.Tuple) (uint64, error) {
 		p.disk.Write(spillBytes)
 	}
 	return seq, nil
+}
+
+// AppendBatch retains ts on the given output port in one lock acquisition,
+// taking ownership of the tuple headers (the hot path hands over Retain
+// copies instead of paying a deep clone per tuple; payloads are immutable
+// once emitted, so sharing them is safe). Each entry keeps the sequence
+// number already stamped on the tuple so ack-based trimming by edge
+// sequence keeps working; unsequenced tuples get the next local sequence.
+func (p *Preserver) AppendBatch(port int, ts []*tuple.Tuple) error {
+	if len(ts) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	if port < 0 || port >= len(p.ports) {
+		p.mu.Unlock()
+		return fmt.Errorf("buffer: port %d out of range [0,%d)", port, len(p.ports))
+	}
+	q := p.ports[port]
+	for _, t := range ts {
+		seq := t.Seq
+		if seq == 0 {
+			seq = q.nextSeq
+		}
+		if seq >= q.nextSeq {
+			q.nextSeq = seq + 1
+		}
+		q.resident = append(q.resident, entry{seq: seq, t: t})
+		p.memBytes += t.Size()
+	}
+	spillBytes := p.spillLocked()
+	p.mu.Unlock()
+	if spillBytes > 0 && p.disk != nil {
+		p.disk.Write(spillBytes)
+	}
+	return nil
+}
+
+// spillLocked dumps every port's resident entries into the per-port byte
+// logs when the shared in-memory budget is exceeded, returning how many
+// bytes to charge the disk. Caller holds p.mu. Spilled tuple headers are
+// recycled (payload bytes are never touched by Put, so shared payloads
+// stay valid).
+func (p *Preserver) spillLocked() int64 {
+	if p.memBytes <= p.memCap {
+		return 0
+	}
+	var spillBytes int64
+	for _, pq := range p.ports {
+		for i, e := range pq.resident {
+			enc := e.t.Marshal()
+			pq.spilled = append(pq.spilled, spilledRef{
+				seq: e.seq,
+				off: pq.logBase + len(pq.log),
+				ln:  len(enc),
+			})
+			pq.log = append(pq.log, enc...)
+			spillBytes += e.t.Size()
+			tuple.Put(e.t)
+			pq.resident[i] = entry{}
+		}
+		pq.resident = pq.resident[:0]
+	}
+	p.memBytes = 0
+	return spillBytes
 }
 
 // Trim discards all entries on port with sequence <= upto. Downstream
@@ -145,6 +193,8 @@ func (p *Preserver) Trim(port int, upto uint64) {
 	j := 0
 	for j < len(q.resident) && q.resident[j].seq <= upto {
 		p.memBytes -= q.resident[j].t.Size()
+		tuple.Put(q.resident[j].t)
+		q.resident[j] = entry{}
 		j++
 	}
 	if j > 0 {

@@ -42,6 +42,7 @@ type Config struct {
 	LocalDiskSpec  storage.DiskSpec
 	SharedSpec     storage.DiskSpec
 	EdgeBuffer     int
+	EdgeBatch      int // tuples per micro-batch on every edge (0 = default)
 	TickEvery      time.Duration
 	CkptPeriod     time.Duration // baseline per-HAU period / controller period
 	PreserveMemCap int64         // baseline in-memory buffer cap (paper: 50 MB)
@@ -217,7 +218,7 @@ func (cl *Cluster) Start(ctx context.Context) error {
 		ups := g.Upstream(id)
 		edges := make([]*spe.Edge, len(ups))
 		for i, up := range ups {
-			edges[i] = spe.NewEdge(up, id, cl.cfg.EdgeBuffer)
+			edges[i] = spe.NewEdgeBatch(up, id, cl.cfg.EdgeBuffer, cl.cfg.EdgeBatch)
 		}
 		cl.inEdges[id] = edges
 	}
@@ -492,7 +493,7 @@ func (cl *Cluster) RecoverAll(ctx context.Context) (RecoveryStats, error) {
 		ups := g.Upstream(id)
 		edges := make([]*spe.Edge, len(ups))
 		for i, up := range ups {
-			edges[i] = spe.NewEdge(up, id, cl.cfg.EdgeBuffer)
+			edges[i] = spe.NewEdgeBatch(up, id, cl.cfg.EdgeBuffer, cl.cfg.EdgeBatch)
 		}
 		cl.inEdges[id] = edges
 	}
@@ -620,7 +621,7 @@ func (cl *Cluster) RecoverHAU(ctx context.Context, id string) (RecoveryStats, er
 	ups := g.Upstream(id)
 	edges := make([]*spe.Edge, len(ups))
 	for i, up := range ups {
-		edges[i] = spe.NewEdge(up, id, cl.cfg.EdgeBuffer)
+		edges[i] = spe.NewEdgeBatch(up, id, cl.cfg.EdgeBuffer, cl.cfg.EdgeBatch)
 	}
 	cl.inEdges[id] = edges
 	h, opsDur, restoreDur, err := cl.buildHAU(id, blob)

@@ -46,6 +46,7 @@ type Options struct {
 	SharedDisk storage.DiskSpec
 
 	EdgeBuffer     int
+	EdgeBatch      int // tuples per edge micro-batch (0 = default)
 	TickEvery      time.Duration
 	PreserveMemCap int64 // baseline in-memory preservation cap
 	SourceFlush    int64 // source-log group commit threshold
@@ -105,6 +106,7 @@ func NewSystem(opts Options) (*System, error) {
 		LocalDiskSpec:   opts.LocalDisk,
 		SharedSpec:      opts.SharedDisk,
 		EdgeBuffer:      opts.EdgeBuffer,
+		EdgeBatch:       opts.EdgeBatch,
 		TickEvery:       opts.TickEvery,
 		CkptPeriod:      opts.CheckpointPeriod,
 		PreserveMemCap:  opts.PreserveMemCap,

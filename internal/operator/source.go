@@ -39,6 +39,7 @@ type RateSource struct {
 	started bool
 	credit  float64 // fractional tuples carried between calls
 	lastNS  int64
+	rng     *rand.Rand // reused across tuples, re-seeded per tuple
 }
 
 // NewRateSource returns a source emitting ratePerMS tuples per millisecond.
@@ -84,18 +85,40 @@ func (s *RateSource) Generate(now int64) []*tuple.Tuple {
 		}
 		s.credit -= float64(n)
 	}
+	if s.rng == nil {
+		s.rng = rand.New(new(splitmix64))
+	}
 	out := make([]*tuple.Tuple, 0, n)
 	for i := 0; i < n; i++ {
 		id := s.nextID
 		s.nextID++
-		rng := rand.New(rand.NewSource(s.Seed ^ int64(id*2654435761)))
-		key, data := s.Payload(id, rng)
-		t := tuple.New(id, s.ID, key, data)
-		t.Ts = now
-		out = append(out, t)
+		// Re-keying the generator per tuple keeps regeneration
+		// deterministic from any id, and splitmix64 makes the reseed O(1)
+		// (math/rand's own source refills a 607-word table per Seed).
+		s.rng.Seed(s.Seed ^ int64(id*2654435761))
+		key, data := s.Payload(id, s.rng)
+		out = append(out, tuple.NewAt(id, s.ID, key, now, data))
 	}
 	return out
 }
+
+// splitmix64 is a tiny rand.Source64 whose Seed is a single word store.
+// Sources re-key it for every tuple, so constant-time seeding matters far
+// more than period; splitmix64 passes BigCrush and is the standard
+// seeder/stream-splitter for exactly this use.
+type splitmix64 struct{ s uint64 }
+
+func (m *splitmix64) Seed(seed int64) { m.s = uint64(seed) }
+
+func (m *splitmix64) Uint64() uint64 {
+	m.s += 0x9E3779B97F4A7C15
+	z := m.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (m *splitmix64) Int63() int64 { return int64(m.Uint64() >> 1) }
 
 // SkipPast advances the generator cursor past lastID. Recovery calls this
 // after replaying preserved tuples so the source does not regenerate them.

@@ -38,17 +38,17 @@ func TestStreamBoundaryBlocksTokenedInput(t *testing.T) {
 	// only this goroutine reads out.C).
 	counts := map[string]int{}
 	var token *tuple.Tuple
+	r := newEdgeReader(out)
 	drain := func() {
 		for {
-			select {
-			case tp := <-out.C:
-				if tp.IsToken() {
-					token = tp
-				} else {
-					counts[tp.Src]++
-				}
-			default:
+			tp := r.tryNext()
+			if tp == nil {
 				return
+			}
+			if tp.IsToken() {
+				token = tp
+			} else {
+				counts[tp.Src]++
 			}
 		}
 	}
@@ -67,7 +67,7 @@ func TestStreamBoundaryBlocksTokenedInput(t *testing.T) {
 	send := func(e *Edge, src string, id, seq uint64) {
 		tp := tuple.New(id, src, src, nil)
 		tp.Seq = seq
-		e.C <- tp
+		e.Inject(nil, tp)
 	}
 
 	// Pre-token traffic flows on both inputs.
@@ -78,7 +78,7 @@ func TestStreamBoundaryBlocksTokenedInput(t *testing.T) {
 
 	// Token arrives on input 0 only; tuples behind it must NOT be
 	// processed while input 1 keeps flowing.
-	in0.C <- tuple.NewToken(tuple.Token{Epoch: 1, Kind: tuple.Cascading, From: "h3"})
+	in0.Inject(nil, tuple.NewToken(tuple.Token{Epoch: 1, Kind: tuple.Cascading, From: "h3"}))
 	send(in0, "h3", 2, 2) // post-token on the blocked stream
 	for i := uint64(2); i <= 6; i++ {
 		send(in1, "h4", i, i)
@@ -94,7 +94,7 @@ func TestStreamBoundaryBlocksTokenedInput(t *testing.T) {
 
 	// The second token aligns the HAU: it checkpoints, forwards a token
 	// downstream, and resumes the blocked input.
-	in1.C <- tuple.NewToken(tuple.Token{Epoch: 1, Kind: tuple.Cascading, From: "h4"})
+	in1.Inject(nil, tuple.NewToken(tuple.Token{Epoch: 1, Kind: tuple.Cascading, From: "h4"}))
 	waitFor(t, 5*time.Second, func() bool { return lis.ckptCount() == 1 })
 	waitCounts("h3", 2)
 	drain()
@@ -144,14 +144,11 @@ func TestOneHopTokenNotForwarded(t *testing.T) {
 
 	// Command first: H emits its own 1-hop token downstream immediately.
 	h.Command(Command{Kind: CmdCheckpoint, Epoch: 1})
+	r := newEdgeReader(out)
 	var ownToken *tuple.Tuple
 	waitFor(t, 5*time.Second, func() bool {
-		select {
-		case tp := <-out.C:
-			if tp.IsToken() {
-				ownToken = tp
-			}
-		default:
+		if tp := r.tryNext(); tp != nil && tp.IsToken() {
+			ownToken = tp
 		}
 		return ownToken != nil
 	})
@@ -160,16 +157,12 @@ func TestOneHopTokenNotForwarded(t *testing.T) {
 	}
 
 	// The upstream's token aligns H; it must be discarded, not forwarded.
-	in.C <- tuple.NewToken(tuple.Token{Epoch: 1, Kind: tuple.OneHop, From: "up"})
+	in.Inject(nil, tuple.NewToken(tuple.Token{Epoch: 1, Kind: tuple.OneHop, From: "up"}))
 	waitFor(t, 5*time.Second, func() bool { return lis.ckptCount() == 1 })
 	h.WaitWriters()
 	time.Sleep(20 * time.Millisecond)
-	select {
-	case tp := <-out.C:
-		if tp.IsToken() {
-			t.Fatal("1-hop token forwarded downstream")
-		}
-	default:
+	if tp := r.tryNext(); tp != nil && tp.IsToken() {
+		t.Fatal("1-hop token forwarded downstream")
 	}
 	cancel()
 }

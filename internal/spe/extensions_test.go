@@ -43,17 +43,17 @@ func TestDeltaCheckpointWritesLess(t *testing.T) {
 	for i := uint64(1); i <= 400; i++ {
 		tp := tuple.New(i, "x", fmt.Sprintf("key-%03d", i), nil)
 		tp.Seq = i
-		in.C <- tp
+		in.Inject(nil, tp)
 	}
-	in.C <- tuple.NewToken(tuple.Token{Epoch: 1, Kind: tuple.OneHop, From: "x"})
+	in.Inject(nil, tuple.NewToken(tuple.Token{Epoch: 1, Kind: tuple.OneHop, From: "x"}))
 	waitFor(t, 5*time.Second, func() bool { return lis.ckptCount() == 1 })
 
 	// One more tuple whose key sorts last, then epoch 2 (delta): only the
 	// final block of the snapshot changes.
 	tp := tuple.New(401, "x", "zzz-last", nil)
 	tp.Seq = 401
-	in.C <- tp
-	in.C <- tuple.NewToken(tuple.Token{Epoch: 2, Kind: tuple.OneHop, From: "x"})
+	in.Inject(nil, tp)
+	in.Inject(nil, tuple.NewToken(tuple.Token{Epoch: 2, Kind: tuple.OneHop, From: "x"}))
 	waitFor(t, 5*time.Second, func() bool { return lis.ckptCount() == 2 })
 	h.WaitWriters()
 
@@ -107,8 +107,8 @@ func TestDeltaFullEveryForcesFullSaves(t *testing.T) {
 	for e := uint64(1); e <= 4; e++ {
 		tp := tuple.New(e, "x", "k", make([]byte, 500))
 		tp.Seq = e
-		in.C <- tp
-		in.C <- tuple.NewToken(tuple.Token{Epoch: e, Kind: tuple.OneHop, From: "x"})
+		in.Inject(nil, tp)
+		in.Inject(nil, tuple.NewToken(tuple.Token{Epoch: e, Kind: tuple.OneHop, From: "x"}))
 		waitFor(t, 5*time.Second, func() bool { return lis.ckptCount() == int(e) })
 	}
 	h.WaitWriters()
@@ -143,8 +143,8 @@ func TestLoadShedding(t *testing.T) {
 	// Nobody drains `out`: the queue fills to the watermark and sheds
 	// keep the HAU live instead of deadlocked.
 	waitFor(t, 5*time.Second, func() bool { return h.ShedCount() > 100 })
-	if len(out.C) > 8 {
-		t.Fatalf("queue overfilled despite watermark: %d", len(out.C))
+	if q := out.Occupancy(); q > 8 {
+		t.Fatalf("queue overfilled despite watermark: %d", q)
 	}
 	cancel()
 }
@@ -163,7 +163,7 @@ func TestNoSheddingByDefault(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	h.Start(ctx)
-	waitFor(t, 5*time.Second, func() bool { return len(out.C) == 4 })
+	waitFor(t, 5*time.Second, func() bool { return out.Queued() == 4 })
 	time.Sleep(20 * time.Millisecond)
 	if h.ShedCount() != 0 {
 		t.Fatal("shed without watermark")

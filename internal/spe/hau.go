@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"reflect"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,24 +16,177 @@ import (
 	"meteorshower/internal/tuple"
 )
 
-// DefaultEdgeBuffer is the per-stream channel capacity. A bounded channel
-// is the in-flight window of the simulated TCP connection: full channel =
+// DefaultEdgeBuffer is the per-stream capacity in tuples. A bounded edge
+// is the in-flight window of the simulated TCP connection: full edge =
 // backpressure on the sender.
 const DefaultEdgeBuffer = 512
 
-// Edge is a stream between two HAUs.
+// DefaultBatchSize is how many tuples a sender accumulates before one
+// channel send. Tokens and tick deadlines force earlier flushes, so
+// batching trades at most one tick of latency for an order of magnitude
+// fewer channel operations.
+const DefaultBatchSize = 32
+
+// Edge is a stream between two HAUs. Tuples cross it in micro-batches:
+// the sending HAU appends to a pending batch and flushes it on batch-full,
+// on its tick deadline, when its input side goes idle, or immediately when
+// a token is emitted. The channel carries batch containers; per-edge FIFO
+// order is the append order.
+//
+// Append/Flush/DropPending are owned by the sending HAU's loop. Inject and
+// Recv are safe for concurrent use (tests and external producers).
 type Edge struct {
 	From, To string
-	C        chan *tuple.Tuple
+	C        chan *tuple.Batch
+
+	batch    int // max tuples per batch
+	tupleCap int // logical capacity in tuples
+
+	pending *tuple.Batch // sender-side accumulation
+	queued  atomic.Int64 // tuples sent and not yet received
 }
 
-// NewEdge returns an edge with the given buffer capacity (0 = default).
+// NewEdge returns an edge with the given buffer capacity in tuples
+// (0 = default) and the default batch size.
 func NewEdge(from, to string, buf int) *Edge {
+	return NewEdgeBatch(from, to, buf, 0)
+}
+
+// NewEdgeBatch returns an edge with explicit buffer capacity and batch
+// size (0 = defaults). The batch size is clamped to the buffer capacity,
+// and the channel holds ceil(buf/batch) batch slots so a full channel of
+// full batches matches the configured tuple capacity.
+func NewEdgeBatch(from, to string, buf, batch int) *Edge {
 	if buf <= 0 {
 		buf = DefaultEdgeBuffer
 	}
-	return &Edge{From: from, To: to, C: make(chan *tuple.Tuple, buf)}
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	if batch > buf {
+		batch = buf
+	}
+	slots := (buf + batch - 1) / batch
+	return &Edge{
+		From: from, To: to,
+		C:        make(chan *tuple.Batch, slots),
+		batch:    batch,
+		tupleCap: buf,
+	}
 }
+
+// Cap returns the edge's logical capacity in tuples.
+func (e *Edge) Cap() int { return e.tupleCap }
+
+// BatchSize returns the sender's batch size in tuples.
+func (e *Edge) BatchSize() int { return e.batch }
+
+// Append adds t to the pending batch without sending. Sender-loop only.
+func (e *Edge) Append(t *tuple.Tuple) {
+	if e.pending == nil {
+		e.pending = tuple.GetBatch()
+	}
+	e.pending.Tuples = append(e.pending.Tuples, t)
+}
+
+// Full reports whether the pending batch reached the batch size.
+func (e *Edge) Full() bool {
+	return e.pending != nil && len(e.pending.Tuples) >= e.batch
+}
+
+// PendingLen returns how many tuples are accumulated but not yet sent.
+func (e *Edge) PendingLen() int {
+	if e.pending == nil {
+		return 0
+	}
+	return len(e.pending.Tuples)
+}
+
+// Flush sends the pending batch. Returns false only if ctx died while the
+// channel was full; the batch stays pending in that case.
+func (e *Edge) Flush(ctx context.Context) bool {
+	if e.pending == nil || len(e.pending.Tuples) == 0 {
+		return true
+	}
+	b := e.pending
+	// Count before the send: the channel transfers batch ownership, so the
+	// receiver may recycle b the moment the send completes.
+	n := int64(len(b.Tuples))
+	if ctx == nil {
+		e.pending = nil
+		e.queued.Add(n)
+		e.C <- b
+		return true
+	}
+	select {
+	case e.C <- b:
+		e.pending = nil
+		e.queued.Add(n)
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// DropPending abandons the pending batch (edge swap-out: the tuples are
+// already preserved and will be covered by replay).
+func (e *Edge) DropPending() {
+	if e.pending != nil {
+		tuple.PutBatch(e.pending)
+		e.pending = nil
+	}
+}
+
+// Inject sends ts as one batch, bypassing the pending accumulation. Safe
+// for concurrent use; tests and external producers feed edges with it.
+// A nil ctx blocks until the send completes.
+func (e *Edge) Inject(ctx context.Context, ts ...*tuple.Tuple) bool {
+	b := tuple.BatchOf(ts...)
+	if ctx == nil {
+		e.queued.Add(int64(len(ts)))
+		e.C <- b
+		return true
+	}
+	select {
+	case e.C <- b:
+		e.queued.Add(int64(len(ts)))
+		return true
+	case <-ctx.Done():
+		tuple.PutBatch(b)
+		return false
+	}
+}
+
+// Recv pops one batch, keeping the occupancy count accurate. Returns
+// (nil, false) when the edge is closed or ctx died. Receivers that read
+// e.C directly instead must not rely on Queued.
+func (e *Edge) Recv(ctx context.Context) (*tuple.Batch, bool) {
+	if ctx == nil {
+		b, ok := <-e.C
+		if ok {
+			e.queued.Add(-int64(len(b.Tuples)))
+		}
+		return b, ok
+	}
+	select {
+	case b, ok := <-e.C:
+		if ok {
+			e.queued.Add(-int64(len(b.Tuples)))
+		}
+		return b, ok
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+// Queued returns the number of tuples sent on the edge and not yet
+// received — the channel occupancy in tuples.
+func (e *Edge) Queued() int { return int(e.queued.Load()) }
+
+// Occupancy returns queued plus pending tuples: everything emitted on
+// this edge that the receiver has not picked up. Load shedding compares
+// it against the watermark.
+func (e *Edge) Occupancy() int { return e.Queued() + e.PendingLen() }
 
 // Config assembles one HAU. The cluster layer builds these; tests build
 // them directly.
@@ -73,7 +225,7 @@ type Config struct {
 	DeltaFullEvery  int // 0 = default 4
 
 	// ShedWatermark enables load shedding (paper §III: long-term overload
-	// "require[s] load shedding"): when an output channel is fuller than
+	// "require[s] load shedding"): when an output edge is fuller than
 	// this fraction of its capacity, new data tuples for it are dropped
 	// instead of blocking the operator. 0 disables shedding.
 	ShedWatermark float64
@@ -86,6 +238,58 @@ type retainedTuple struct {
 	t    *tuple.Tuple
 }
 
+// inItem is one delivery on the merged input channel: a batch from one
+// input edge, or a nil batch marking that the edge closed.
+type inItem struct {
+	port  int
+	batch *tuple.Batch
+}
+
+// portGate pauses one input edge's forwarder during token alignment, so
+// an aligning port exerts backpressure on exactly that edge while the
+// other inputs keep flowing.
+type portGate struct {
+	mu     sync.Mutex
+	paused bool
+	resume chan struct{}
+}
+
+func (g *portGate) pause() {
+	g.mu.Lock()
+	if !g.paused {
+		g.paused = true
+		g.resume = make(chan struct{})
+	}
+	g.mu.Unlock()
+}
+
+func (g *portGate) unpause() {
+	g.mu.Lock()
+	if g.paused {
+		g.paused = false
+		close(g.resume)
+	}
+	g.mu.Unlock()
+}
+
+// wait blocks while the gate is paused. Returns false if ctx died.
+func (g *portGate) wait(ctx context.Context) bool {
+	for {
+		g.mu.Lock()
+		if !g.paused {
+			g.mu.Unlock()
+			return true
+		}
+		ch := g.resume
+		g.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return false
+		}
+	}
+}
+
 // HAU is a running High Availability Unit: "the smallest unit of work that
 // can be checkpointed and recovered independently".
 type HAU struct {
@@ -93,28 +297,33 @@ type HAU struct {
 	src operator.Source // cfg.Ops[0] if it is a source
 	ctx context.Context // loop context, set by run
 
-	ctrl chan Command
+	ctrl   chan Command
+	merged chan inItem // fan-in of all input edges (nil if no inputs)
+	gates  []*portGate
 
 	// Loop-owned state (no locks needed).
-	outSeq     []uint64
-	lastInSeq  []uint64
-	lastSrcID  []map[string]uint64 // per in port: per-source high-water ID
-	aligned    []bool
-	awaiting   bool
-	pendingEp  uint64
-	doneEpoch  uint64 // highest token epoch already checkpointed
-	alignStart int64
-	retaining  bool
-	retained   []retainedTuple
-	nextCkpt   int64
-	localEpoch uint64
-	reportAll  bool
-	alert      bool
-	tracker    statesize.Tracker
-	lastPeak   int64
-	emitters   []operator.Emitter
-	pendingOut []retainedTuple // in-flight tuples restored from a snapshot
-	srcReplay  []*tuple.Tuple  // preserved source tuples to re-send first
+	outSeq      []uint64
+	lastInSeq   []uint64
+	lastSrcID   []map[string]uint64 // per in port: per-source high-water ID
+	aligned     []bool
+	closed      []bool           // input edge hung up; counts as aligned
+	parked      [][]*tuple.Batch // per port: batches held during alignment
+	presPending [][]*tuple.Tuple // per out port: retained copies awaiting preservation
+	awaiting    bool
+	pendingEp   uint64
+	doneEpoch   uint64 // highest token epoch already checkpointed
+	alignStart  int64
+	retaining   bool
+	retained    []retainedTuple
+	nextCkpt    int64
+	localEpoch  uint64
+	reportAll   bool
+	alert       bool
+	tracker     statesize.Tracker
+	lastPeak    int64
+	emitters    []operator.Emitter
+	pendingOut  []retainedTuple // in-flight tuples restored from a snapshot
+	srcReplay   []*tuple.Tuple  // preserved source tuples to re-send first
 
 	lastBlob  []byte // previous checkpoint state (delta base)
 	lastEpoch uint64
@@ -127,6 +336,7 @@ type HAU struct {
 
 	startOnce sync.Once
 	done      chan struct{}
+	failed    atomic.Bool
 	errMu     sync.Mutex
 	err       error
 }
@@ -149,16 +359,24 @@ func New(cfg Config) (*HAU, error) {
 		cfg.Now = func() int64 { return time.Now().UnixNano() }
 	}
 	h := &HAU{
-		cfg:       cfg,
-		ctrl:      make(chan Command, 64),
-		outSeq:    make([]uint64, len(cfg.Out)),
-		lastInSeq: make([]uint64, len(cfg.In)),
-		lastSrcID: make([]map[string]uint64, len(cfg.In)),
-		aligned:   make([]bool, len(cfg.In)),
-		done:      make(chan struct{}),
+		cfg:         cfg,
+		ctrl:        make(chan Command, 64),
+		outSeq:      make([]uint64, len(cfg.Out)),
+		lastInSeq:   make([]uint64, len(cfg.In)),
+		lastSrcID:   make([]map[string]uint64, len(cfg.In)),
+		aligned:     make([]bool, len(cfg.In)),
+		closed:      make([]bool, len(cfg.In)),
+		parked:      make([][]*tuple.Batch, len(cfg.In)),
+		presPending: make([][]*tuple.Tuple, len(cfg.Out)),
+		gates:       make([]*portGate, len(cfg.In)),
+		done:        make(chan struct{}),
 	}
 	for i := range h.lastSrcID {
 		h.lastSrcID[i] = make(map[string]uint64)
+		h.gates[i] = &portGate{}
+	}
+	if len(cfg.In) > 0 {
+		h.merged = make(chan inItem, 2*len(cfg.In)+2)
 	}
 	if s, ok := cfg.Ops[0].(operator.Source); ok {
 		h.src = s
@@ -233,6 +451,7 @@ func (h *HAU) setErr(err error) {
 		h.err = err
 	}
 	h.errMu.Unlock()
+	h.failed.Store(true)
 }
 
 // SetSourceReplay queues preserved tuples for re-emission before normal
@@ -254,6 +473,36 @@ func (h *HAU) WaitWriters() { h.writerWG.Wait() }
 
 func (h *HAU) now() int64 { return h.cfg.Now() }
 
+// forward is the per-input-edge forwarder goroutine: it moves batches from
+// the edge channel onto the merged channel, preserving per-edge FIFO
+// order. While its gate is paused (token alignment) it forwards nothing,
+// so the bounded edge fills and the upstream sender blocks — backpressure
+// on exactly the aligning edge.
+func (h *HAU) forward(ctx context.Context, port int, e *Edge) {
+	for {
+		if !h.gates[port].wait(ctx) {
+			return
+		}
+		b, ok := e.Recv(ctx)
+		if !ok {
+			if ctx.Err() != nil {
+				return
+			}
+			// Edge closed: deliver the hangup marker, then exit.
+			select {
+			case h.merged <- inItem{port: port}:
+			case <-ctx.Done():
+			}
+			return
+		}
+		select {
+		case h.merged <- inItem{port: port, batch: b}:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
 func (h *HAU) run(ctx context.Context) {
 	h.ctx = ctx
 	defer func() {
@@ -263,10 +512,15 @@ func (h *HAU) run(ctx context.Context) {
 	}()
 
 	// Phase 0: recovery replay. In-flight tuples captured by the MRC
-	// snapshot go out first (they carry their original sequence numbers),
-	// then preserved source tuples.
+	// snapshot go out first (they carry their original sequence numbers
+	// and are already preserved), then preserved source tuples.
 	for _, rt := range h.pendingOut {
-		if !h.rawSend(ctx, rt.port, rt.t) {
+		if rt.port < 0 || rt.port >= len(h.cfg.Out) {
+			continue
+		}
+		e := h.cfg.Out[rt.port]
+		e.Append(rt.t)
+		if e.Full() && !e.Flush(ctx) {
 			return
 		}
 	}
@@ -276,7 +530,7 @@ func (h *HAU) run(ctx context.Context) {
 		for port := range h.cfg.Out {
 			out := t
 			if port < len(h.cfg.Out)-1 {
-				out = t.Clone()
+				out = t.Retain()
 			}
 			if !h.deliverOut(port, out) {
 				return
@@ -292,52 +546,149 @@ func (h *HAU) run(ctx context.Context) {
 		}
 	}
 	h.srcReplay = nil
+	if !h.flushAll(ctx) {
+		return
+	}
 
 	if h.cfg.CkptPeriod > 0 {
 		h.nextCkpt = h.now() + int64(h.cfg.CkptPhase)
+	}
+
+	for i, e := range h.cfg.In {
+		go h.forward(ctx, i, e)
 	}
 
 	ticker := time.NewTicker(h.cfg.TickEvery)
 	defer ticker.Stop()
 
 	for {
-		if h.Err() != nil {
+		if h.failed.Load() {
 			return // fail-stop: the operator stops functioning
 		}
-		cases := make([]reflect.SelectCase, 0, 3+len(h.cfg.In))
-		cases = append(cases,
-			reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(ctx.Done())},
-			reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(h.ctrl)},
-			reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(ticker.C)},
-		)
-		ports := make([]int, 0, len(h.cfg.In))
-		for i, e := range h.cfg.In {
-			if h.aligned[i] {
-				continue // blocked awaiting tokens on the other inputs
-			}
-			cases = append(cases, reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(e.C)})
-			ports = append(ports, i)
-		}
-		chosen, val, ok := reflect.Select(cases)
-		switch chosen {
-		case 0:
+		select {
+		case <-ctx.Done():
 			return
-		case 1:
-			if ok {
-				h.onCommand(ctx, val.Interface().(Command))
-			}
-		case 2:
+		case cmd := <-h.ctrl:
+			h.onCommand(ctx, cmd)
+		case <-ticker.C:
 			h.onTick(ctx)
-		default:
-			if !ok {
+		case it := <-h.merged:
+			switch {
+			case it.batch == nil:
 				// Upstream hung up; treat as quiescence, keep serving
-				// other inputs. Mark aligned forever to drop the case.
-				h.aligned[ports[chosen-3]] = true
-				continue
+				// other inputs.
+				h.closed[it.port] = true
+				h.checkAlignment(ctx)
+			case h.aligned[it.port]:
+				// Stream boundary: hold in-flight batches until the
+				// remaining tokens arrive.
+				h.parked[it.port] = append(h.parked[it.port], it.batch)
+			default:
+				h.processBatch(ctx, it.port, it.batch)
 			}
-			h.onInput(ctx, ports[chosen-3], val.Interface().(*tuple.Tuple))
+			h.drainParked(ctx)
+		}
+		// Idle flush: when no input is waiting, push partial batches out
+		// instead of sitting on them until the next tick. Under load the
+		// merged channel stays busy and batches fill up instead.
+		if len(h.merged) == 0 && !h.flushAll(ctx) {
+			return
 		}
 	}
+}
+
+// processBatch runs the tuples of one batch through the operator chain.
+// Tokens force a flush at the sender, so a token is normally the last
+// tuple of its batch; if alignment begins mid-batch anyway, the remainder
+// is re-parked at the front of the port's parked queue to preserve FIFO
+// order.
+func (h *HAU) processBatch(ctx context.Context, port int, b *tuple.Batch) {
+	ts := b.Tuples
+	var n uint64
+	for i := 0; i < len(ts); i++ {
+		if h.failed.Load() {
+			break
+		}
+		t := ts[i]
+		if t.IsToken() {
+			tok := *t.Tok
+			ts[i] = nil
+			tuple.Put(t)
+			h.onToken(ctx, port, tok)
+			if h.aligned[port] && i+1 < len(ts) {
+				rem := tuple.GetBatch()
+				rem.Tuples = append(rem.Tuples, ts[i+1:]...)
+				h.parked[port] = append([]*tuple.Batch{rem}, h.parked[port]...)
+				break
+			}
+			continue
+		}
+		if h.onData(port, t) {
+			n++
+		}
+	}
+	if n > 0 {
+		h.processed.Add(n)
+	}
+	tuple.PutBatch(b)
+}
+
+// drainParked processes batches parked during alignment as soon as their
+// port reopens, before any newer merged deliveries — preserving per-edge
+// FIFO order across an alignment pause.
+func (h *HAU) drainParked(ctx context.Context) {
+	for {
+		progressed := false
+		for p := range h.parked {
+			for len(h.parked[p]) > 0 && !h.aligned[p] && !h.failed.Load() {
+				b := h.parked[p][0]
+				h.parked[p] = h.parked[p][1:]
+				h.processBatch(ctx, p, b)
+				progressed = true
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// flushAll pushes every output port's pending batch (and preservation
+// backlog) downstream. Called on ticks and when the input side idles.
+func (h *HAU) flushAll(ctx context.Context) bool {
+	for port := range h.cfg.Out {
+		if !h.flushPort(ctx, port) {
+			return false
+		}
+	}
+	return true
+}
+
+// flushPres appends the port's pending retained copies to the preserver.
+// Must run before the corresponding edge flush: a tuple is preserved
+// before it becomes visible downstream.
+func (h *HAU) flushPres(port int) bool {
+	if h.cfg.Preserver == nil || len(h.presPending[port]) == 0 {
+		return true
+	}
+	pend := h.presPending[port]
+	err := h.cfg.Preserver.AppendBatch(port, pend)
+	for i := range pend {
+		pend[i] = nil
+	}
+	h.presPending[port] = pend[:0]
+	if err != nil {
+		h.setErr(err)
+		return false
+	}
+	return true
+}
+
+func (h *HAU) flushPort(ctx context.Context, port int) bool {
+	if !h.flushPres(port) {
+		return false
+	}
+	return h.cfg.Out[port].Flush(ctx)
 }
 
 func (h *HAU) onCommand(ctx context.Context, cmd Command) {
@@ -354,10 +705,20 @@ func (h *HAU) onCommand(ctx context.Context, cmd Command) {
 		h.reportAll = false
 	case CmdSwapOutEdge:
 		if cmd.Port >= 0 && cmd.Port < len(h.cfg.Out) && cmd.Edge != nil {
+			// Preserve stamped-but-unflushed tuples before abandoning the
+			// old edge; replay reads them back from the preserver. The old
+			// edge's pending batch is dropped, not leaked to the dead peer.
+			h.flushPres(cmd.Port)
+			h.cfg.Out[cmd.Port].DropPending()
 			h.cfg.Out[cmd.Port] = cmd.Edge
 		}
 	case CmdReplayOutput:
 		if h.cfg.Preserver == nil || cmd.Port < 0 || cmd.Port >= len(h.cfg.Out) {
+			return
+		}
+		// Push anything already pending first so replayed tuples keep
+		// sequence order on the wire.
+		if !h.flushPort(ctx, cmd.Port) {
 			return
 		}
 		ts, err := h.cfg.Preserver.Replay(cmd.Port, 0)
@@ -365,11 +726,14 @@ func (h *HAU) onCommand(ctx context.Context, cmd Command) {
 			h.setErr(err)
 			return
 		}
+		e := h.cfg.Out[cmd.Port]
 		for _, t := range ts {
-			if !h.rawSend(ctx, cmd.Port, t) {
+			e.Append(t)
+			if e.Full() && !e.Flush(ctx) {
 				return
 			}
 		}
+		e.Flush(ctx)
 	}
 }
 
@@ -423,11 +787,10 @@ func (h *HAU) beginSourceEpoch(epoch uint64) {
 	}
 }
 
-func (h *HAU) onInput(ctx context.Context, port int, t *tuple.Tuple) {
-	if t.IsToken() {
-		h.onToken(ctx, port, *t.Tok)
-		return
-	}
+// onData runs one data tuple through duplicate suppression and the
+// operator chain. Reports whether the tuple was processed (not a
+// replay duplicate).
+func (h *HAU) onData(port int, t *tuple.Tuple) bool {
 	// Duplicate suppression. Meteor Shower rolls the whole application back
 	// to one consistent cut, so per-edge sequence numbers are reliable.
 	// The baseline restarts a single HAU whose re-emissions may interleave
@@ -436,7 +799,7 @@ func (h *HAU) onInput(ctx context.Context, port int, t *tuple.Tuple) {
 	if h.cfg.Scheme == Baseline {
 		if t.Src != "" {
 			if last, ok := h.lastSrcID[port][t.Src]; ok && t.ID <= last {
-				return
+				return false
 			}
 			h.lastSrcID[port][t.Src] = t.ID
 		}
@@ -445,17 +808,17 @@ func (h *HAU) onInput(ctx context.Context, port int, t *tuple.Tuple) {
 		}
 	} else if t.Seq != 0 {
 		if t.Seq <= h.lastInSeq[port] {
-			return // duplicate from a replay
+			return false // duplicate from a replay
 		}
 		h.lastInSeq[port] = t.Seq
 	}
 	if h.cfg.PerTupleDelay > 0 {
 		time.Sleep(h.cfg.PerTupleDelay)
 	}
-	h.processed.Add(1)
 	if err := h.cfg.Ops[0].OnTuple(port, t, h.emitters[0]); err != nil {
 		h.setErr(err)
 	}
+	return true
 }
 
 func (h *HAU) onToken(ctx context.Context, port int, tok tuple.Token) {
@@ -479,14 +842,24 @@ func (h *HAU) onToken(ctx context.Context, port int, tok tuple.Token) {
 		}
 	}
 	h.aligned[port] = true
+	h.gates[port].pause()
+	h.checkAlignment(ctx)
+}
+
+// checkAlignment completes the individual checkpoint once every input is
+// either tokened or closed.
+func (h *HAU) checkAlignment(ctx context.Context) {
+	if !h.awaiting {
+		return
+	}
 	n := 0
-	for _, a := range h.aligned {
-		if a {
+	for i := range h.aligned {
+		if h.aligned[i] || h.closed[i] {
 			n++
 		}
 	}
 	if n < len(h.cfg.In) {
-		return // stream boundary: stop reading this input, keep the rest
+		return // stream boundary: stop reading tokened inputs, keep the rest
 	}
 	// All tokens received: individual checkpoint.
 	tokenWait := time.Duration(h.now() - h.alignStart)
@@ -495,6 +868,7 @@ func (h *HAU) onToken(ctx context.Context, port int, tok tuple.Token) {
 	h.doneEpoch = epoch
 	for i := range h.aligned {
 		h.aligned[i] = false // erase tokens, reopen inputs
+		h.gates[i].unpause()
 	}
 	h.doCheckpoint(ctx, epoch, tokenWait)
 	if h.cfg.Scheme == MSSrc {
@@ -505,8 +879,8 @@ func (h *HAU) onToken(ctx context.Context, port int, tok tuple.Token) {
 func (h *HAU) onTick(ctx context.Context) {
 	now := h.now()
 	if h.src != nil {
-		for _, t := range h.src.Generate(now) {
-			h.processed.Add(1)
+		gen := h.src.Generate(now)
+		for _, t := range gen {
 			if h.cfg.SourceLog != nil {
 				// Source preservation: stable write *before* sending.
 				if err := h.cfg.SourceLog.Append(t); err != nil {
@@ -517,12 +891,15 @@ func (h *HAU) onTick(ctx context.Context) {
 			for port := range h.cfg.Out {
 				out := t
 				if port < len(h.cfg.Out)-1 {
-					out = t.Clone()
+					out = t.Retain()
 				}
 				if !h.deliverOut(port, out) {
 					return
 				}
 			}
+		}
+		if len(gen) > 0 {
+			h.processed.Add(uint64(len(gen)))
 		}
 	}
 	for i, op := range h.cfg.Ops {
@@ -537,6 +914,7 @@ func (h *HAU) onTick(ctx context.Context) {
 		h.baselineCheckpoint(ctx)
 		h.nextCkpt = now + int64(h.cfg.CkptPeriod)
 	}
+	h.flushAll(ctx)
 }
 
 func (h *HAU) sampleState(now int64) {
@@ -582,21 +960,30 @@ func (h *HAU) baselineCheckpoint(ctx context.Context) {
 	}
 }
 
+// releaseRetained recycles the retained in-flight copies after they have
+// been encoded into a checkpoint. They are Retain copies owned exclusively
+// by the HAU loop, so the headers go back to the pool.
+func (h *HAU) releaseRetained() {
+	for _, rt := range h.retained {
+		tuple.Put(rt.t)
+	}
+	h.retaining = false
+	h.retained = nil
+}
+
 // doCheckpoint takes the individual checkpoint for epoch. Synchronous
 // schemes block the loop for the full write; asynchronous schemes snapshot
 // in memory (the copy-on-write fork) and hand the write to a helper
 // goroutine, resuming the stream immediately.
 func (h *HAU) doCheckpoint(ctx context.Context, epoch uint64, tokenWait time.Duration) {
 	if h.cfg.Catalog == nil {
-		h.retaining = false
-		h.retained = nil
+		h.releaseRetained()
 		return
 	}
 	serStart := time.Now()
 	blob := h.encodeState()
 	serialize := time.Since(serStart)
-	h.retaining = false
-	h.retained = nil
+	h.releaseRetained()
 
 	// Delta-checkpointing: write only changed blocks against the previous
 	// epoch, falling back to full saves when the delta would not save
@@ -662,26 +1049,30 @@ func (h *HAU) doCheckpoint(ctx context.Context, epoch uint64, tokenWait time.Dur
 	h.cfg.Listener.CheckpointDone(id, epoch, b)
 }
 
+// broadcastToken appends a token to every output port and flushes
+// immediately: tokens are never delayed by batching, so checkpoint
+// latency is unaffected by the micro-batches.
 func (h *HAU) broadcastToken(ctx context.Context, tok tuple.Token) {
+	now := h.now()
 	for port := range h.cfg.Out {
-		t := tuple.NewToken(tok)
-		t.Ts = h.now()
-		if !h.rawSend(ctx, port, t) {
+		h.cfg.Out[port].Append(tuple.NewTokenAt(tok, now))
+		if !h.flushPort(ctx, port) {
 			return
 		}
 	}
 }
 
-// deliverOut stamps, preserves, retains and sends a data tuple on an
-// output port. Returns false if the context died mid-send.
+// deliverOut stamps, preserves, retains and enqueues a data tuple on an
+// output port, flushing when the batch fills. Returns false if the
+// context died mid-send.
 func (h *HAU) deliverOut(port int, t *tuple.Tuple) bool {
 	if port < 0 || port >= len(h.cfg.Out) {
 		h.setErr(fmt.Errorf("spe: %s emitted to invalid port %d", h.cfg.ID, port))
 		return false
 	}
+	e := h.cfg.Out[port]
 	if h.cfg.ShedWatermark > 0 {
-		c := h.cfg.Out[port].C
-		if float64(len(c)) > h.cfg.ShedWatermark*float64(cap(c)) {
+		if float64(e.Occupancy()) > h.cfg.ShedWatermark*float64(e.Cap()) {
 			h.shed.Add(1)
 			return true // overload: drop instead of blocking upstream
 		}
@@ -689,26 +1080,17 @@ func (h *HAU) deliverOut(port int, t *tuple.Tuple) bool {
 	h.outSeq[port]++
 	t.Seq = h.outSeq[port]
 	if h.cfg.Preserver != nil {
-		if _, err := h.cfg.Preserver.Append(port, t); err != nil {
-			h.setErr(err)
-			return false
-		}
+		// Copy-on-retain: the preserver takes ownership of a header copy
+		// sharing the (immutable) payload; the original continues
+		// downstream. The actual append is batched into flushPres.
+		h.presPending[port] = append(h.presPending[port], t.Retain())
 	}
 	if h.retaining {
-		h.retained = append(h.retained, retainedTuple{port: port, t: t.Clone()})
+		h.retained = append(h.retained, retainedTuple{port: port, t: t.Retain()})
 	}
-	return h.rawSend(h.ctx, port, t)
-}
-
-// rawSend pushes t on the port's channel without stamping or preservation.
-func (h *HAU) rawSend(ctx context.Context, port int, t *tuple.Tuple) bool {
-	if ctx == nil {
-		ctx = context.Background()
+	e.Append(t)
+	if e.Full() {
+		return h.flushPort(h.ctx, port)
 	}
-	select {
-	case h.cfg.Out[port].C <- t:
-		return true
-	case <-ctx.Done():
-		return false
-	}
+	return true
 }

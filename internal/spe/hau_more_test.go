@@ -91,9 +91,7 @@ func TestReportAllTurningPoints(t *testing.T) {
 		for i := uint64(1); ; i++ {
 			tp := tuple.New(i, "x", "k", nil)
 			tp.Seq = i
-			select {
-			case in.C <- tp:
-			case <-ctx.Done():
+			if !in.Inject(ctx, tp) {
 				return
 			}
 			time.Sleep(500 * time.Microsecond)
@@ -125,7 +123,7 @@ func TestOperatorErrorFailStops(t *testing.T) {
 	h.Start(ctx)
 	tp := tuple.New(1, "x", "k", nil)
 	tp.Seq = 1
-	in.C <- tp
+	in.Inject(nil, tp)
 	select {
 	case <-h.Done():
 	case <-time.After(5 * time.Second):
@@ -155,13 +153,12 @@ func TestCmdSwapOutEdgeAndReplay(t *testing.T) {
 	defer cancel()
 	h.Start(ctx)
 	// Drain the old edge until a few tuples passed.
+	oldR := newEdgeReader(oldOut)
 	seen := 0
 	deadline := time.Now().Add(5 * time.Second)
 	for seen < 5 && time.Now().Before(deadline) {
-		select {
-		case <-oldOut.C:
+		if oldR.next(10*time.Millisecond) != nil {
 			seen++
-		case <-time.After(10 * time.Millisecond):
 		}
 	}
 	if seen < 5 {
@@ -171,17 +168,16 @@ func TestCmdSwapOutEdgeAndReplay(t *testing.T) {
 	newOut := NewEdge("H", "down", 256)
 	h.Command(Command{Kind: CmdSwapOutEdge, Port: 0, Edge: newOut})
 	h.Command(Command{Kind: CmdReplayOutput, Port: 0})
+	newR := newEdgeReader(newOut)
 	got := 0
 	deadline = time.Now().Add(5 * time.Second)
 	var first *tuple.Tuple
 	for time.Now().Before(deadline) && got < 5 {
-		select {
-		case tp := <-newOut.C:
+		if tp := newR.next(10 * time.Millisecond); tp != nil {
 			if first == nil {
 				first = tp
 			}
 			got++
-		case <-time.After(10 * time.Millisecond):
 		}
 	}
 	if got < 5 {
@@ -218,7 +214,7 @@ func TestBaselinePerSourceIDDedup(t *testing.T) {
 	send := func(src string, id uint64, seq uint64) {
 		tp := tuple.New(id, src, "k", nil)
 		tp.Seq = seq
-		in.C <- tp
+		in.Inject(nil, tp)
 	}
 	// First delivery: A1 B1 A2 B2 with seqs 1..4.
 	send("A", 1, 1)

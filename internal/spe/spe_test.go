@@ -286,7 +286,7 @@ func TestDuplicateSuppression(t *testing.T) {
 		for i := uint64(1); i <= 10; i++ {
 			tp := tuple.New(i, "X", "k", nil)
 			tp.Seq = i
-			e.C <- tp
+			e.Inject(nil, tp)
 		}
 	}
 	waitFor(t, 5*time.Second, func() bool { return col.Count() >= 10 })
@@ -368,13 +368,13 @@ func TestRestoredHAUResendsInflight(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	h.Start(ctx)
-	select {
-	case got := <-out.C:
-		if got.Seq != 3 || got.ID != 5 {
-			t.Fatalf("re-sent tuple = %+v", got)
-		}
-	case <-time.After(2 * time.Second):
+	r := newEdgeReader(out)
+	got := r.next(2 * time.Second)
+	if got == nil {
 		t.Fatal("in-flight tuple not re-sent")
+	}
+	if got.Seq != 3 || got.ID != 5 {
+		t.Fatalf("re-sent tuple = %+v", got)
 	}
 	cancel()
 }
@@ -394,14 +394,14 @@ func TestSourceReplayAndSkip(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	h.Start(ctx)
+	r := newEdgeReader(out)
 	for i := uint64(10); i < 15; i++ {
-		select {
-		case got := <-out.C:
-			if got.ID != i {
-				t.Fatalf("replayed id = %d, want %d", got.ID, i)
-			}
-		case <-time.After(2 * time.Second):
+		got := r.next(2 * time.Second)
+		if got == nil {
 			t.Fatal("replay stalled")
+		}
+		if got.ID != i {
+			t.Fatalf("replayed id = %d, want %d", got.ID, i)
 		}
 	}
 	waitFor(t, 2*time.Second, func() bool { return gen.NextID() == 15 })

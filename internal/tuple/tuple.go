@@ -78,7 +78,10 @@ func (t *Tuple) Size() int64 {
 	if t == nil {
 		return 0
 	}
-	const header = 8 + 8 + 8 // ID + Ts + slice headers, rounded
+	// ID + Ts + Seq fixed words, the Src/Key string headers, the Data
+	// slice header and the Tok pointer — the full in-memory header on a
+	// 64-bit platform.
+	const header = 8 + 8 + 8 + 16 + 16 + 24 + 8
 	n := int64(header + len(t.Src) + len(t.Key) + len(t.Data))
 	if t.Tok != nil {
 		n += int64(9 + len(t.Tok.From))
