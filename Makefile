@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench-hotpath
+.PHONY: ci vet build test race chaos bench-smoke bench-hotpath
 
-ci: vet build race bench-smoke
+ci: vet build race bench-smoke chaos
 
 vet:
 	$(GO) vet ./...
@@ -23,3 +23,9 @@ bench-smoke:
 
 bench-hotpath:
 	$(GO) test -run NONE -bench BenchmarkHotPath -benchtime 2s .
+
+# Chaos smoke: 3 fixed seeds per topology through the fault-injection
+# harness under the race detector. A failing run prints the mschaos
+# command that replays its schedule.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaosSmoke|TestChaosScheduleReproducible' ./internal/chaos/

@@ -1,0 +1,82 @@
+// Command mschaos runs the seed-replayable chaos harness: correlated
+// burst kills injected at adversarial instants against a live simulated
+// cluster, with whole-application recovery checked by the exactly-once
+// sequence oracle and the reference-replay state oracle.
+//
+//	mschaos -seed 42                      # one run, chain topology
+//	mschaos -topology all -seed 42        # every topology, same seed
+//	mschaos -seed 42 -rounds 5 -nodes 6   # a longer, wider schedule
+//
+// A failing run exits non-zero and prints the exact command that replays
+// its schedule.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"meteorshower/internal/chaos"
+	"meteorshower/internal/failure"
+)
+
+func main() {
+	var (
+		topology = flag.String("topology", "chain", `topology: "chain", "fanin", "fanout" or "all"`)
+		seed     = flag.Int64("seed", 1, "schedule seed; a failing seed replays the identical schedule")
+		rounds   = flag.Int("rounds", 3, "kill/recover rounds per run")
+		nodes    = flag.Int("nodes", 4, "worker nodes")
+		limit    = flag.Uint64("limit", 60, "tuple ids emitted per source")
+		abe      = flag.Bool("abe", false, "sample bursts from the Abe cluster profile instead of Google's DC")
+		verbose  = flag.Bool("v", false, "log per-round progress")
+	)
+	flag.Parse()
+
+	var tops []chaos.Topology
+	if *topology == "all" {
+		tops = chaos.Topologies
+	} else {
+		tops = []chaos.Topology{chaos.Topology(*topology)}
+	}
+	profile := failure.GoogleDC()
+	if *abe {
+		profile = failure.AbeCluster()
+	}
+
+	failed := false
+	for _, top := range tops {
+		cfg := chaos.Config{
+			Topology:    top,
+			Seed:        *seed,
+			Rounds:      *rounds,
+			Nodes:       *nodes,
+			SourceLimit: *limit,
+			Profile:     profile,
+		}
+		if *verbose {
+			cfg.Logf = func(format string, args ...any) {
+				fmt.Printf("[%s] "+format+"\n", append([]any{top}, args...)...)
+			}
+		}
+		res, err := chaos.Run(context.Background(), cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mschaos: %v\n", err)
+			failed = true
+			continue
+		}
+		fmt.Println(res)
+		if err := res.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			failed = true
+			continue
+		}
+		for _, rec := range res.Recoveries {
+			fmt.Printf("  recovery epoch=%d haus=%d reload=%s diskio=%s deserialize=%s reconnect=%s total=%s\n",
+				rec.Epoch, rec.HAUs, rec.Reload, rec.DiskIO, rec.Deserialize, rec.Reconnect, rec.Total)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -29,6 +29,15 @@ type SGConfig struct {
 	Collector     *metrics.Collector
 	SinkRef       *SinkRef
 	TrackIdentity bool
+
+	// SourceLimit bounds every source to the ids [0, SourceLimit)
+	// (0 = unbounded); see TMIConfig.SourceLimit.
+	SourceLimit uint64
+	// Audit swaps the fan-in stages — voting and SVM prediction, whose
+	// re-stamped identities depend on cross-pipeline arrival order — for
+	// passthroughs. The motion filters then stamp the last deterministic
+	// identity each tuple carries to the sink.
+	Audit bool
 }
 
 // SGPaper returns the 55-operator configuration (4 S + 4 D + 12 C + 12 A +
@@ -103,6 +112,7 @@ func SG(cfg SGConfig) cluster.AppSpec {
 				if cfg.Burst > 0 {
 					src.CatchUpCap = cfg.Burst
 				}
+				src.Limit = cfg.SourceLimit
 				return []operator.Operator{src}
 			case 'D':
 				return []operator.Operator{NewFrameDispatchOp(id, cfg.FiltersPerDisp, -1)}
@@ -113,10 +123,16 @@ func SG(cfg SGConfig) cluster.AppSpec {
 			case 'M':
 				return []operator.Operator{NewMotionFilterOp(id, cfg.DwellFrames)}
 			case 'V':
+				if cfg.Audit {
+					return []operator.Operator{operator.NewPassthrough(id, 1)}
+				}
 				return []operator.Operator{NewVotingOp(id, 3)}
 			case 'G':
 				return []operator.Operator{operator.NewPassthrough(id, 1)}
 			case 'P':
+				if cfg.Audit {
+					return []operator.Operator{operator.NewPassthrough(id, 1)}
+				}
 				return []operator.Operator{NewSVMPredictOp(id, cfg.Seed)}
 			default:
 				return []operator.Operator{newSink(id, cfg.Collector, cfg.SinkRef, cfg.TrackIdentity)}

@@ -31,6 +31,16 @@ type TMIConfig struct {
 	Collector     *metrics.Collector
 	SinkRef       *SinkRef
 	TrackIdentity bool
+
+	// SourceLimit bounds every source to exactly the ids [0, SourceLimit)
+	// (0 = unbounded). A bounded stream quiesces, giving the chaos harness
+	// and the replay-equivalence tests a terminal state to compare.
+	SourceLimit uint64
+	// Audit swaps the wall-clock-windowed k-means analyzers (whose output
+	// depends on tick timing) for passthroughs, so the sink output is a
+	// pure function of the source streams. Replay-equivalence oracles
+	// require this; throughput/latency measurements should leave it off.
+	Audit bool
 }
 
 // TMIPaper returns the 55-operator configuration of the evaluation
@@ -120,6 +130,7 @@ func TMI(cfg TMIConfig) cluster.AppSpec {
 				if cfg.Burst > 0 {
 					src.CatchUpCap = cfg.Burst
 				}
+				src.Limit = cfg.SourceLimit
 				return []operator.Operator{src}
 			case 'P':
 				return []operator.Operator{NewPairOp(id)}
@@ -128,6 +139,9 @@ func TMI(cfg TMIConfig) cluster.AppSpec {
 			case 'G':
 				return []operator.Operator{operator.NewPassthrough(id, 1)}
 			case 'A':
+				if cfg.Audit {
+					return []operator.Operator{operator.NewPassthrough(id, 1)}
+				}
 				return []operator.Operator{NewKMeansOp(id, cfg.K, int64(cfg.Window), cfg.Seed)}
 			default:
 				return []operator.Operator{newSink(id, cfg.Collector, cfg.SinkRef, cfg.TrackIdentity)}

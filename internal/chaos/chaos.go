@@ -1,0 +1,367 @@
+// Package chaos is a seed-replayable fault-injection harness for the
+// simulated cluster. A run boots a real application (chain, fan-in or
+// fan-out topology in Audit mode with bounded sources), samples correlated
+// burst-kill schedules from the failure model, injects the kills at
+// adversarial instants — mid-alignment, mid-snapshot-drain, mid-recovery,
+// back-to-back bursts — drives whole-application recovery, and then checks
+// two oracles:
+//
+//  1. the exactly-once sequence oracle: the sink's per-source delivery
+//     report must show zero gaps and zero duplicates;
+//  2. the state-equivalence oracle: the terminal sink state must equal a
+//     single-threaded reference replay of the same source streams.
+//
+// Every run is reproducible from its (topology, seed, rounds, nodes)
+// tuple; a failing Result prints the exact mschaos command that replays
+// it.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"meteorshower/internal/cluster"
+	"meteorshower/internal/failure"
+	"meteorshower/internal/metrics"
+	"meteorshower/internal/operator"
+	"meteorshower/internal/spe"
+	"meteorshower/internal/storage"
+)
+
+// InjectionPoint names the instant within the checkpoint/recovery
+// lifecycle at which a round's burst is injected.
+type InjectionPoint string
+
+const (
+	// KillImmediate kills right after a complete checkpoint — the
+	// textbook case, recovery from a fresh MRC.
+	KillImmediate InjectionPoint = "immediate"
+	// KillMidAlignment kills while checkpoint tokens are still
+	// propagating, so the in-flight epoch never completes and recovery
+	// must fall back to the previous cut.
+	KillMidAlignment InjectionPoint = "mid-alignment"
+	// KillMidDrain kills after at least one HAU has persisted its state
+	// for the in-flight epoch but before the epoch is complete — the
+	// shared store holds a torn cut that recovery must ignore.
+	KillMidDrain InjectionPoint = "mid-snapshot-drain"
+	// KillMidRecovery kills one more node while whole-application
+	// recovery is running; the retry loop must converge instead of
+	// wedging or leaving HAUs on a dead node.
+	KillMidRecovery InjectionPoint = "mid-recovery"
+	// KillBackToBack injects a second burst microseconds after the
+	// first, before anything reacts — a rack failure cascading into a
+	// router event.
+	KillBackToBack InjectionPoint = "back-to-back"
+)
+
+// injectionPoints is the sample space for a round's injection draw.
+var injectionPoints = []InjectionPoint{
+	KillImmediate, KillMidAlignment, KillMidDrain, KillMidRecovery, KillBackToBack,
+}
+
+// Config parameterizes one chaos run. Zero values select defaults.
+type Config struct {
+	Topology    Topology
+	Seed        int64
+	Rounds      int        // kill/recover rounds; default 3
+	Nodes       int        // worker nodes; default 4
+	Scheme      spe.Scheme // zero value selects spe.MSSrcAP; the harness drives whole-application recovery, so only the token-aligned schemes apply
+	Profile     failure.Profile // default failure.GoogleDC()
+	SourceLimit uint64          // ids per source; default 60
+	Logf        func(format string, args ...any)
+}
+
+func (c *Config) defaults() {
+	if c.Topology == "" {
+		c.Topology = Chain
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 3
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.Scheme == 0 {
+		c.Scheme = spe.MSSrcAP
+	}
+	if c.Profile.Name == "" {
+		c.Profile = failure.GoogleDC()
+	}
+	if c.SourceLimit == 0 {
+		c.SourceLimit = 60
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Round records one injected failure and its recovery.
+type Round struct {
+	Burst          []int          // node indices killed
+	SecondBurst    []int          // back-to-back only
+	Point          InjectionPoint // when within the lifecycle the kill landed
+	ExtraKill      int            // node killed mid-recovery; -1 if none
+	RecoveredEpoch uint64         // epoch the cluster rolled back to
+	Attempts       int            // RecoverAll attempts the round consumed
+}
+
+// Result is a finished chaos run plus both oracle verdicts.
+type Result struct {
+	Topology  Topology
+	Seed      int64
+	Nodes     int
+	Rounds    int // planned rounds (RoundList may be shorter if a round errored)
+	RoundList []Round
+	// Report is the chaos run's terminal sink state; Reference is the
+	// single-threaded replay's.
+	Report     operator.SinkReport
+	Reference  operator.SinkReport
+	StateDiffs []string // state-equivalence oracle; empty = equivalent
+	Recoveries []metrics.Recovery
+}
+
+// Violations returns the sequence oracle's count: gaps plus duplicates
+// across every source at the sink.
+func (r *Result) Violations() uint64 { return r.Report.TotalViolations() }
+
+// Err returns nil when both oracles pass, else one error naming every
+// violation and the command that replays the run.
+func (r *Result) Err() error {
+	if r.Violations() == 0 && len(r.StateDiffs) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos: oracle violations (replay: %s)\n", r.ReplayCommand())
+	if v := r.Violations(); v > 0 {
+		fmt.Fprintf(&b, "sequence oracle: %d violations\n%s", v, r.Report)
+	}
+	for _, d := range r.StateDiffs {
+		fmt.Fprintf(&b, "state oracle: %s\n", d)
+	}
+	return fmt.Errorf("%s", strings.TrimRight(b.String(), "\n"))
+}
+
+// ReplayCommand returns the CLI invocation reproducing this run's
+// schedule.
+func (r *Result) ReplayCommand() string {
+	return fmt.Sprintf("go run ./cmd/mschaos -topology %s -seed %d -rounds %d -nodes %d",
+		r.Topology, r.Seed, r.Rounds, r.Nodes)
+}
+
+// String summarizes the run for logs.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "topology=%s seed=%d nodes=%d rounds=%d", r.Topology, r.Seed, r.Nodes, len(r.RoundList))
+	for i, rd := range r.RoundList {
+		fmt.Fprintf(&b, "\n  round %d: kill %v at %s", i, rd.Burst, rd.Point)
+		if len(rd.SecondBurst) > 0 {
+			fmt.Fprintf(&b, " then %v", rd.SecondBurst)
+		}
+		if rd.ExtraKill >= 0 {
+			fmt.Fprintf(&b, " (+node %d mid-recovery)", rd.ExtraKill)
+		}
+		fmt.Fprintf(&b, " -> recovered from epoch %d in %d attempt(s)", rd.RecoveredEpoch, rd.Attempts)
+	}
+	fmt.Fprintf(&b, "\n  sequence oracle: %d violations; state oracle: %d diffs",
+		r.Violations(), len(r.StateDiffs))
+	return b.String()
+}
+
+// Run executes one chaos run. The returned error covers harness failures
+// (recovery wedged, checkpoint never completing); oracle verdicts live in
+// the Result — check Result.Err().
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg.defaults()
+	res := &Result{Topology: cfg.Topology, Seed: cfg.Seed, Nodes: cfg.Nodes, Rounds: cfg.Rounds}
+
+	// Ground truth first: it is cheap, synchronous, and also tells the
+	// harness how many distinct deliveries to wait for at quiescence.
+	refSpec, _, refSink, err := buildSpec(cfg.Topology, cfg.Seed, cfg.SourceLimit)
+	if err != nil {
+		return nil, err
+	}
+	reference, err := referenceReplay(refSpec, refSink)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: reference replay: %w", err)
+	}
+	res.Reference = reference
+	var refSeen int
+	for _, sr := range reference {
+		refSeen += int(sr.Delivered)
+	}
+	cfg.Logf("reference replay: %d distinct deliveries across %d sources", refSeen, len(reference))
+
+	spec, col, sink, err := buildSpec(cfg.Topology, cfg.Seed, cfg.SourceLimit)
+	if err != nil {
+		return nil, err
+	}
+	disk := storage.DiskSpec{BandwidthBps: 1 << 30, Latency: time.Microsecond, TimeScale: 0}
+	cl, err := cluster.New(cluster.Config{
+		App:            spec,
+		Scheme:         cfg.Scheme,
+		Nodes:          cfg.Nodes,
+		LocalDiskSpec:  disk,
+		SharedSpec:     disk,
+		TickEvery:      time.Millisecond,
+		PreserveMemCap: 1 << 20,
+		SourceFlush:    256,
+		RetainEpochs:   2,
+		Seed:           cfg.Seed,
+		Metrics:        col,
+	})
+	if err != nil {
+		return nil, err
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if err := cl.Start(runCtx); err != nil {
+		return nil, err
+	}
+	defer cl.StopAll()
+
+	h := &harness{cfg: cfg, cl: cl, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if err := h.waitCond(10*time.Second, "first delivery", func() bool {
+		s := sink.Get()
+		return s != nil && s.SeenCount() > 0
+	}); err != nil {
+		return nil, err
+	}
+
+	bursts := failure.SampleBursts(cfg.Profile, cfg.Nodes, cfg.Rounds, cfg.Seed)
+	for i, burst := range bursts {
+		rd, err := h.round(runCtx, burst)
+		res.RoundList = append(res.RoundList, rd)
+		if err != nil {
+			return res, fmt.Errorf("chaos: round %d (%s, kill %v): %w (replay: %s)",
+				i, rd.Point, rd.Burst, err, res.ReplayCommand())
+		}
+		cfg.Logf("round %d: killed %v at %s, recovered from epoch %d in %d attempt(s)",
+			i, rd.Burst, rd.Point, rd.RecoveredEpoch, rd.Attempts)
+	}
+
+	// Quiescence: bounded sources run dry, so the chaos run must converge
+	// to exactly the reference's distinct-delivery count. Converging short
+	// means lost tuples; the report comparison below names them.
+	deadline := time.Now().Add(30 * time.Second)
+	lastSeen, stableSince := -1, time.Now()
+	for time.Now().Before(deadline) {
+		n := sink.Get().SeenCount()
+		if n != lastSeen {
+			lastSeen, stableSince = n, time.Now()
+		} else if n >= refSeen && time.Since(stableSince) > 300*time.Millisecond {
+			break
+		} else if time.Since(stableSince) > 3*time.Second {
+			break // quiesced short of the reference: report the gaps
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	res.Report = sink.Get().Report()
+	res.StateDiffs = diffReports(res.Report, reference)
+	res.Recoveries = col.Recoveries()
+	return res, nil
+}
+
+// harness bundles the per-run state the round driver needs.
+type harness struct {
+	cfg Config
+	cl  *cluster.Cluster
+	rng *rand.Rand
+}
+
+func (h *harness) waitCond(timeout time.Duration, what string, cond func() bool) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("chaos: timeout waiting for %s", what)
+}
+
+// ensureCheckpoint drives one complete checkpoint so the upcoming kill has
+// an MRC to recover from.
+func (h *harness) ensureCheckpoint(ctx context.Context) error {
+	ep := h.cl.Controller().TriggerCheckpoint()
+	return h.waitCond(10*time.Second, fmt.Sprintf("checkpoint epoch %d", ep), func() bool {
+		e, ok := h.cl.Catalog().MostRecentComplete()
+		return ok && e >= ep
+	})
+}
+
+// round injects one burst at a sampled adversarial instant and drives
+// recovery until the application is live again.
+func (h *harness) round(ctx context.Context, burst []int) (Round, error) {
+	rd := Round{Burst: burst, ExtraKill: -1}
+	rd.Point = injectionPoints[h.rng.Intn(len(injectionPoints))]
+	if err := h.ensureCheckpoint(ctx); err != nil {
+		return rd, err
+	}
+
+	killerDone := make(chan struct{})
+	close(killerDone) // non-mid-recovery rounds have no async killer
+	switch rd.Point {
+	case KillImmediate:
+		h.cl.KillNodes(burst)
+	case KillMidAlignment:
+		h.cl.Controller().TriggerCheckpoint()
+		time.Sleep(time.Duration(h.rng.Intn(1500)) * time.Microsecond)
+		h.cl.KillNodes(burst)
+	case KillMidDrain:
+		ep := h.cl.Controller().TriggerCheckpoint()
+		// Wait for at least one HAU's state to hit the store; if the
+		// epoch completes first the round degrades to KillImmediate,
+		// which is still a valid schedule.
+		_ = h.waitCond(2*time.Second, "first drain", func() bool {
+			saved, _ := h.cl.Catalog().EpochProgress(ep)
+			return saved >= 1
+		})
+		h.cl.KillNodes(burst)
+	case KillBackToBack:
+		second := failure.SampleBursts(h.cfg.Profile, h.cfg.Nodes, 1, h.rng.Int63())[0]
+		rd.SecondBurst = second
+		h.cl.KillNodes(burst)
+		time.Sleep(time.Duration(h.rng.Intn(800)) * time.Microsecond)
+		h.cl.KillNodes(second)
+	case KillMidRecovery:
+		extra := h.rng.Intn(h.cfg.Nodes)
+		rd.ExtraKill = extra
+		delay := time.Duration(h.rng.Intn(1200)) * time.Microsecond
+		h.cl.KillNodes(burst)
+		killerDone = make(chan struct{})
+		go func() {
+			defer close(killerDone)
+			time.Sleep(delay)
+			h.cl.KillNode(extra)
+		}()
+	}
+
+	stats, err := h.cl.RecoverAllWithRetry(ctx, 10, 2*time.Millisecond)
+	rd.Attempts++
+	if err != nil {
+		<-killerDone
+		return rd, fmt.Errorf("recovery: %w", err)
+	}
+	rd.RecoveredEpoch = stats.Epoch
+	<-killerDone
+	// The mid-recovery kill may have landed after recovery finished; if
+	// any HAU died, drive recovery once more until the app is whole.
+	if len(h.cl.DeadHAUs()) > 0 {
+		stats, err = h.cl.RecoverAllWithRetry(ctx, 10, 2*time.Millisecond)
+		rd.Attempts++
+		if err != nil {
+			return rd, fmt.Errorf("post-kill recovery: %w", err)
+		}
+		rd.RecoveredEpoch = stats.Epoch
+	}
+	// Replacement nodes arrive: revive anything still marked dead so the
+	// next round has full capacity.
+	for _, idx := range h.cl.DeadNodes() {
+		h.cl.ReviveNode(idx)
+	}
+	return rd, nil
+}

@@ -1,0 +1,121 @@
+package chaos
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"meteorshower/internal/operator"
+)
+
+// TestChaosSmoke is the CI chaos gate: three fixed seeds per topology,
+// every run must pass both oracles. Any failure prints the mschaos
+// command that replays the exact schedule.
+func TestChaosSmoke(t *testing.T) {
+	for _, top := range Topologies {
+		for seed := int64(1); seed <= 3; seed++ {
+			top, seed := top, seed
+			t.Run(string(top)+"/seed="+string(rune('0'+seed)), func(t *testing.T) {
+				res, err := Run(context.Background(), Config{Topology: top, Seed: seed})
+				if err != nil {
+					t.Fatalf("harness: %v", err)
+				}
+				if err := res.Err(); err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Recoveries) == 0 {
+					t.Fatal("no recovery timings recorded")
+				}
+				t.Logf("%s", res)
+			})
+		}
+	}
+}
+
+// TestChaosScheduleReproducible pins seed replayability: two runs with the
+// same configuration must inject the identical kill schedule — same
+// bursts, same instants, same mid-recovery extras.
+func TestChaosScheduleReproducible(t *testing.T) {
+	type schedule struct {
+		Burst       []int
+		SecondBurst []int
+		Point       InjectionPoint
+		ExtraKill   int
+	}
+	extract := func(res *Result) []schedule {
+		out := make([]schedule, 0, len(res.RoundList))
+		for _, rd := range res.RoundList {
+			out = append(out, schedule{rd.Burst, rd.SecondBurst, rd.Point, rd.ExtraKill})
+		}
+		return out
+	}
+	cfg := Config{Topology: FanIn, Seed: 7, Rounds: 3}
+	a, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa, sb := extract(a), extract(b); !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("same seed produced different schedules:\n%+v\n%+v", sa, sb)
+	}
+}
+
+// TestReferenceReplayDeterministic pins the ground-truth generator: two
+// replays of the same spec must agree exactly, and their reports must be
+// violation-free (the replay never loses or duplicates anything).
+func TestReferenceReplayDeterministic(t *testing.T) {
+	for _, top := range Topologies {
+		specA, _, refA, err := buildSpec(top, 9, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := referenceReplay(specA, refA)
+		if err != nil {
+			t.Fatalf("%s: %v", top, err)
+		}
+		if a.TotalViolations() != 0 {
+			t.Fatalf("%s: reference replay reported violations:\n%s", top, a)
+		}
+		if len(a) == 0 {
+			t.Fatalf("%s: reference replay delivered nothing", top)
+		}
+		specB, _, refB, err := buildSpec(top, 9, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := referenceReplay(specB, refB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: reference replay not deterministic\n%s\n%s", top, a, b)
+		}
+	}
+}
+
+// TestDiffReportsCatchesDivergence checks the state oracle's comparator
+// itself: missing sources, lost tuples and duplicate deliveries must all
+// surface; reorder-only differences must not.
+func TestDiffReportsCatchesDivergence(t *testing.T) {
+	want := operator.SinkReport{
+		"M0": {Delivered: 10, MinID: 1, MaxID: 10},
+		"M1": {Delivered: 5, MinID: 1, MaxID: 5},
+	}
+	clean := operator.SinkReport{
+		"M0": {Delivered: 10, MinID: 1, MaxID: 10, Reorders: 3},
+		"M1": {Delivered: 5, MinID: 1, MaxID: 5},
+	}
+	if d := diffReports(clean, want); len(d) != 0 {
+		t.Fatalf("reorder-only difference reported as divergence: %v", d)
+	}
+	broken := operator.SinkReport{
+		"M0": {Delivered: 9, MinID: 1, MaxID: 10, Gaps: 1},
+	}
+	d := diffReports(broken, want)
+	if len(d) != 2 {
+		t.Fatalf("want 2 diffs (M0 gap, M1 missing), got %v", d)
+	}
+}

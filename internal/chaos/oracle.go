@@ -1,0 +1,154 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"meteorshower/internal/apps"
+	"meteorshower/internal/cluster"
+	"meteorshower/internal/operator"
+	"meteorshower/internal/tuple"
+)
+
+// referenceReplay runs the application single-threaded: every source's
+// bounded stream is regenerated and pushed depth-first through the
+// operator graph with plain function calls — no goroutines, no edges, no
+// checkpoints, no failures. For Audit-mode workloads (no tick-driven or
+// arrival-order-sensitive operators) the resulting sink delivery state is
+// the ground truth a chaos run must converge to regardless of how many
+// times it was killed and recovered.
+//
+// The replay mirrors HAU semantics exactly where they affect data:
+// operator chains pipe Ops[i] into Ops[i+1], the last operator's emissions
+// route along the query network's downstream port order, and sources
+// broadcast each generated tuple to every output port with header copies
+// (operators restamp tuples in place, so branches must not share headers).
+func referenceReplay(spec cluster.AppSpec, ref *apps.SinkRef) (operator.SinkReport, error) {
+	g := spec.Graph
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	chains := make(map[string][]operator.Operator, len(order))
+	for _, id := range order {
+		chains[id] = spec.NewOperators(id)
+	}
+
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	var process func(id string, port int, t *tuple.Tuple)
+	var emitFrom func(id string, i int) operator.Emitter
+	emitFrom = func(id string, i int) operator.Emitter {
+		chain := chains[id]
+		if i == len(chain)-1 {
+			downs := g.Downstream(id)
+			return func(port int, t *tuple.Tuple) {
+				if firstErr != nil {
+					return
+				}
+				if port < 0 || port >= len(downs) {
+					fail(fmt.Errorf("chaos: %s emitted to invalid port %d", id, port))
+					return
+				}
+				process(downs[port], g.PortOf(id, downs[port]), t)
+			}
+		}
+		return func(port int, t *tuple.Tuple) {
+			if firstErr != nil {
+				return
+			}
+			if err := chain[i+1].OnTuple(port, t, emitFrom(id, i+1)); err != nil {
+				fail(err)
+			}
+		}
+	}
+	process = func(id string, port int, t *tuple.Tuple) {
+		if firstErr != nil {
+			return
+		}
+		if err := chains[id][0].OnTuple(port, t, emitFrom(id, 0)); err != nil {
+			fail(err)
+		}
+	}
+
+	for _, id := range g.Sources() {
+		src, ok := chains[id][0].(operator.Source)
+		if !ok {
+			return nil, fmt.Errorf("chaos: source HAU %s has no Source operator", id)
+		}
+		rs, bounded := chains[id][0].(*operator.RateSource)
+		if !bounded || rs.Limit == 0 {
+			return nil, fmt.Errorf("chaos: reference replay needs bounded sources (%s is unbounded)", id)
+		}
+		downs := g.Downstream(id)
+		emit := emitFrom(id, 0)
+		now := int64(0)
+		for !rs.Exhausted() {
+			now += int64(time.Millisecond)
+			for _, t := range src.Generate(now) {
+				for p := range downs {
+					out := t
+					if p < len(downs)-1 {
+						out = t.Retain()
+					}
+					emit(p, out)
+				}
+			}
+			if firstErr != nil {
+				return nil, firstErr
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	sink := ref.Get()
+	if sink == nil {
+		return nil, fmt.Errorf("chaos: reference replay built no sink")
+	}
+	return sink.Report(), nil
+}
+
+// diffReports compares the chaos run's terminal sink state against the
+// reference replay's, ignoring reorders (arrival order across fan-in paths
+// is timing, not correctness). It returns one human-readable line per
+// divergence; empty means the states are equivalent.
+func diffReports(got, want operator.SinkReport) []string {
+	var diffs []string
+	srcs := make(map[string]bool, len(got)+len(want))
+	for s := range got {
+		srcs[s] = true
+	}
+	for s := range want {
+		srcs[s] = true
+	}
+	keys := make([]string, 0, len(srcs))
+	for s := range srcs {
+		keys = append(keys, s)
+	}
+	sort.Strings(keys)
+	for _, s := range keys {
+		gs, gok := got[s]
+		ws, wok := want[s]
+		switch {
+		case !gok:
+			diffs = append(diffs, fmt.Sprintf("%s: absent from chaos run, reference delivered %d", s, ws.Delivered))
+		case !wok:
+			diffs = append(diffs, fmt.Sprintf("%s: delivered %d but absent from reference replay", s, gs.Delivered))
+		default:
+			gs.Reorders, ws.Reorders = 0, 0
+			if gs != ws {
+				diffs = append(diffs, fmt.Sprintf(
+					"%s: chaos delivered=%d ids=[%d,%d] gaps=%d dupes=%d; reference delivered=%d ids=[%d,%d] gaps=%d dupes=%d",
+					s, gs.Delivered, gs.MinID, gs.MaxID, gs.Gaps, gs.Duplicates,
+					ws.Delivered, ws.MinID, ws.MaxID, ws.Gaps, ws.Duplicates))
+			}
+		}
+	}
+	return diffs
+}

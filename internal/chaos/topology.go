@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"fmt"
+
+	"meteorshower/internal/apps"
+	"meteorshower/internal/cluster"
+	"meteorshower/internal/metrics"
+)
+
+// Topology names the query-network shape a chaos run exercises. All three
+// are cut down from the paper's applications and run in Audit mode with
+// bounded sources, so every run has a deterministic terminal sink state
+// the oracles can check against a reference replay.
+type Topology string
+
+const (
+	// Chain is TMI narrowed to one pipeline: S→P→M→G→A→K, every HAU
+	// in-degree 1. Token alignment is trivial here, which isolates
+	// source preservation and rollback from alignment effects.
+	Chain Topology = "chain"
+	// FanIn is the two-pipeline TMI: reference-speed operators fan out
+	// across both group operators and the analyzers fan back into the
+	// sink, so recovery must preserve exactly-once across merge points.
+	FanIn Topology = "fanin"
+	// FanOut is the one-phone SignalGuru: the dispatcher splits frames
+	// across two filter pipelines that re-merge at the voter, stressing
+	// alignment with diverging and reconverging token paths.
+	FanOut Topology = "fanout"
+)
+
+// Topologies lists every topology the harness knows, in the order the CLI
+// and the smoke tests iterate them.
+var Topologies = []Topology{Chain, FanIn, FanOut}
+
+// buildSpec returns a fresh application instance for the topology. Fresh
+// matters: operators are stateful, so the cluster run and the reference
+// replay each need their own instance built from identical parameters.
+func buildSpec(top Topology, seed int64, limit uint64) (cluster.AppSpec, *metrics.Collector, *apps.SinkRef, error) {
+	col := metrics.NewCollector()
+	ref := &apps.SinkRef{}
+	switch top {
+	case Chain:
+		cfg := apps.TMISmall(col)
+		cfg.Sources, cfg.Pairs, cfg.Groups = 1, 1, 1
+		cfg.Seed = seed
+		cfg.SinkRef = ref
+		cfg.TrackIdentity = true
+		cfg.Audit = true
+		cfg.SourceLimit = limit
+		return apps.TMI(cfg), col, ref, nil
+	case FanIn:
+		cfg := apps.TMISmall(col)
+		cfg.Seed = seed
+		cfg.SinkRef = ref
+		cfg.TrackIdentity = true
+		cfg.Audit = true
+		cfg.SourceLimit = limit
+		return apps.TMI(cfg), col, ref, nil
+	case FanOut:
+		cfg := apps.SGSmall(col)
+		cfg.Seed = seed
+		cfg.SinkRef = ref
+		cfg.TrackIdentity = true
+		cfg.Audit = true
+		cfg.SourceLimit = limit
+		return apps.SG(cfg), col, ref, nil
+	default:
+		return cluster.AppSpec{}, nil, nil, fmt.Errorf("chaos: unknown topology %q", top)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"meteorshower/internal/buffer"
 	"meteorshower/internal/controller"
 	"meteorshower/internal/graph"
+	"meteorshower/internal/metrics"
 	"meteorshower/internal/operator"
 	"meteorshower/internal/spe"
 	"meteorshower/internal/storage"
@@ -50,6 +51,12 @@ type Config struct {
 	PerTupleDelay  time.Duration
 	Seed           int64
 
+	// RetainEpochs keeps the newest N complete checkpoints (plus their
+	// replay tuples) instead of only the MRC, so RecoverAll can fall back
+	// to an older epoch when the newest one's blobs are lost or corrupt.
+	// 0 or 1 retains only the MRC (the paper's behavior).
+	RetainEpochs int
+
 	// DeltaCheckpoint enables block-delta checkpoint writes (paper §V).
 	DeltaCheckpoint bool
 	// ShedWatermark enables load shedding above this output-queue
@@ -59,6 +66,9 @@ type Config struct {
 
 	Listener spe.Listener // optional extra listener (controller is wired automatically)
 	Now      func() int64
+	// Metrics, when set, receives the per-phase timing of every successful
+	// whole-application recovery (metrics.Recovery).
+	Metrics *metrics.Collector
 }
 
 // node is one simulated worker machine.
@@ -158,14 +168,15 @@ func New(cfg Config) (*Cluster, error) {
 		cl.hauNode[id] = i % cfg.Nodes
 	}
 	ctrlCfg := controller.Config{
-		Scheme:     cfg.Scheme,
-		HAUs:       nil, // installed after build
-		Sources:    cfg.App.Graph.Sources(),
-		Catalog:    cl.catalog,
-		SourceLogs: cl.sourceLogs,
-		Period:     cfg.CkptPeriod,
-		IsAlive:    cl.hauAlive,
-		Now:        cfg.Now,
+		Scheme:       cfg.Scheme,
+		HAUs:         nil, // installed after build
+		Sources:      cfg.App.Graph.Sources(),
+		Catalog:      cl.catalog,
+		SourceLogs:   cl.sourceLogs,
+		Period:       cfg.CkptPeriod,
+		RetainEpochs: cfg.RetainEpochs,
+		IsAlive:      cl.hauAlive,
+		Now:          cfg.Now,
 	}
 	cl.ctrl = controller.New(ctrlCfg)
 	return cl, nil
@@ -304,12 +315,20 @@ func (cl *Cluster) buildHAU(id string, restoreBlob []byte) (*spe.HAU, time.Durat
 	if restoreBlob != nil {
 		restoreStart := time.Now()
 		if err := h.RestoreFrom(restoreBlob); err != nil {
-			return nil, 0, 0, err
+			return nil, 0, 0, restoreError{err}
 		}
 		restoreDur = time.Since(restoreStart)
 	}
 	return h, opsDur, restoreDur, nil
 }
+
+// restoreError marks a buildHAU failure as caused by an undecodable
+// checkpoint blob (as opposed to operator construction failing, which no
+// other epoch would fix). RecoverAll uses the distinction to fall back to
+// an older complete epoch.
+type restoreError struct{ error }
+
+func (e restoreError) Unwrap() error { return e.error }
 
 // listener returns the fan-out listener: controller plus any extra.
 func (cl *Cluster) listener() spe.Listener {
@@ -396,6 +415,45 @@ func (cl *Cluster) KillNode(idx int) {
 	}
 }
 
+// ReviveNode models a replacement machine taking the dead node's slot:
+// the slot accepts HAU placements again. The disk contents of the failed
+// machine stay lost (replacement hardware arrives blank).
+func (cl *Cluster) ReviveNode(idx int) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if idx < 0 || idx >= len(cl.nodes) {
+		return
+	}
+	cl.nodes[idx].alive.Store(true)
+}
+
+// DeadNodes returns the indices of nodes currently failed.
+func (cl *Cluster) DeadNodes() []int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var out []int
+	for i, n := range cl.nodes {
+		if !n.alive.Load() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DeadHAUs returns the ids of HAUs whose assigned node is dead — the set
+// a recovery must re-place.
+func (cl *Cluster) DeadHAUs() []string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var out []string
+	for _, id := range cl.cfg.App.Graph.Nodes() {
+		if !cl.nodes[cl.hauNode[id]].alive.Load() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 // KillNodes fail-stops a set of nodes (a correlated burst).
 func (cl *Cluster) KillNodes(idxs []int) {
 	for _, i := range idxs {
@@ -436,6 +494,13 @@ func (cl *Cluster) StopAll() {
 // Complete Checkpoint: every HAU is restarted (on healthy nodes), state is
 // read back from shared storage, sources replay their preserved tuples.
 // Returns the phase breakdown (Fig. 16).
+//
+// When the newest complete epoch turns out to be unloadable (blobs lost or
+// corrupted while the store itself is up), RecoverAll falls back to the
+// next older complete epoch rather than failing; only when every complete
+// epoch is unusable does it return the *MissingCheckpointError for the
+// newest one. A store that is down (storage.ErrUnavailable) fails fast —
+// older epochs live on the same store, so walking them is pointless.
 func (cl *Cluster) RecoverAll(ctx context.Context) (RecoveryStats, error) {
 	var stats RecoveryStats
 
@@ -457,11 +522,10 @@ func (cl *Cluster) RecoverAll(ctx context.Context) (RecoveryStats, error) {
 		<-h.Done()
 	}
 
-	mrc, ok := cl.catalog.MostRecentComplete()
-	if !ok {
-		return stats, errors.New("cluster: no complete checkpoint to recover from")
+	epochs := cl.catalog.CompleteEpochs()
+	if len(epochs) == 0 {
+		return stats, ErrNoCheckpoint
 	}
-	stats.Epoch = mrc
 
 	// Restart dead nodes' HAUs on healthy nodes: reassign placements.
 	cl.mu.Lock()
@@ -499,50 +563,63 @@ func (cl *Cluster) RecoverAll(ctx context.Context) (RecoveryStats, error) {
 	}
 	cl.mu.Unlock()
 
-	// Phase 2: read all checkpoint blobs (parallel readers contending on
-	// the shared store, like 55 nodes hammering one storage node).
-	diskStart := time.Now()
-	blobs := make(map[string][]byte, len(ids))
-	var blobMu sync.Mutex
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(ids))
-	for _, id := range ids {
-		id := id
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			blob, _, err := cl.catalog.LoadState(mrc, id)
-			if err != nil {
-				errCh <- fmt.Errorf("load %s: %w", id, err)
-				return
-			}
-			blobMu.Lock()
-			blobs[id] = blob
-			blobMu.Unlock()
-		}()
-	}
-	wg.Wait()
-	select {
-	case err := <-errCh:
-		return stats, err
-	default:
-	}
-	stats.DiskIO = time.Since(diskStart)
-
-	// Phases 1+3: reload operators and deserialize state.
-	newHAUs := make(map[string]*spe.HAU, len(ids))
-	cl.mu.Lock()
-	for _, id := range ids {
-		h, opsDur, restoreDur, err := cl.buildHAU(id, blobs[id])
+	// Phase 2 plus phases 1+3: walk complete epochs newest-first. For each
+	// candidate, read all checkpoint blobs (parallel readers contending on
+	// the shared store, like 55 nodes hammering one storage node), then
+	// reload operators and deserialize state. A blob that is missing or
+	// fails to decode condemns the whole epoch — recovering a torn cut
+	// would violate consistency — so fall back to the next older complete
+	// epoch. A store that is down fails fast instead: older epochs live on
+	// the same store.
+	var mrc uint64
+	var newHAUs map[string]*spe.HAU
+	var diskIO time.Duration
+	var firstErr error
+epochs:
+	for _, epoch := range epochs {
+		diskStart := time.Now()
+		blobs, err := cl.loadEpochBlobs(epoch, ids)
+		diskIO += time.Since(diskStart)
 		if err != nil {
-			cl.mu.Unlock()
-			return stats, err
+			if firstErr == nil {
+				firstErr = err
+			}
+			if errors.Is(err, storage.ErrUnavailable) {
+				return stats, firstErr
+			}
+			continue
 		}
-		stats.Reload += opsDur
-		stats.Deserialize += restoreDur
-		newHAUs[id] = h
+		haus := make(map[string]*spe.HAU, len(ids))
+		var reload, deserialize time.Duration
+		cl.mu.Lock()
+		for _, id := range ids {
+			h, opsDur, restoreDur, err := cl.buildHAU(id, blobs[id])
+			if err != nil {
+				cl.mu.Unlock()
+				var re restoreError
+				if !errors.As(err, &re) {
+					// Operator construction failed: no epoch fixes that.
+					return stats, err
+				}
+				if firstErr == nil {
+					firstErr = &MissingCheckpointError{Epoch: epoch, HAU: id, Err: re.error}
+				}
+				continue epochs
+			}
+			reload += opsDur
+			deserialize += restoreDur
+			haus[id] = h
+		}
+		cl.mu.Unlock()
+		mrc, newHAUs = epoch, haus
+		stats.Reload, stats.Deserialize = reload, deserialize
+		break
 	}
-	cl.mu.Unlock()
+	if newHAUs == nil {
+		return stats, firstErr
+	}
+	stats.Epoch = mrc
+	stats.DiskIO = diskIO
 
 	// Source replay: re-feed everything preserved since the MRC. Counted
 	// separately — the paper's recovery time stops before replay.
@@ -569,11 +646,114 @@ func (cl *Cluster) RecoverAll(ctx context.Context) (RecoveryStats, error) {
 		h.Start(hctx)
 	}
 	cl.installControllerHAUs()
+	// A node may have died while phases 1-3 ran: its KillNode fired the
+	// *old* (already spent) cancel funcs, so the instances just started
+	// above would keep running on a dead node. Cancel them here, under
+	// the same lock KillNode serializes on, and report divergence so the
+	// caller re-drives recovery.
+	var diverged []context.CancelFunc
+	for id := range newHAUs {
+		if !cl.nodes[cl.hauNode[id]].alive.Load() {
+			diverged = append(diverged, cl.cancels[id])
+		}
+	}
 	cl.mu.Unlock()
 	stats.Reconnect = time.Since(reconnectStart)
 	stats.HAUs = len(ids)
+	if len(diverged) > 0 {
+		for _, c := range diverged {
+			c()
+		}
+		return stats, fmt.Errorf("%w: %d HAUs placed on nodes that failed mid-recovery", ErrRecoveryDiverged, len(diverged))
+	}
 	cl.ctrl.ClearFailure()
+	if cl.cfg.Metrics != nil {
+		cl.cfg.Metrics.RecordRecovery(metrics.Recovery{
+			At:          cl.cfg.Now(),
+			Epoch:       stats.Epoch,
+			HAUs:        stats.HAUs,
+			Reload:      stats.Reload,
+			DiskIO:      stats.DiskIO,
+			Deserialize: stats.Deserialize,
+			Reconnect:   stats.Reconnect,
+			Total:       stats.Total(),
+		})
+	}
 	return stats, nil
+}
+
+// loadEpochBlobs reads every HAU's blob for one epoch in parallel. Any
+// failure aborts the epoch with a *MissingCheckpointError naming the HAU
+// whose blob was unusable.
+func (cl *Cluster) loadEpochBlobs(epoch uint64, ids []string) (map[string][]byte, error) {
+	blobs := make(map[string][]byte, len(ids))
+	var blobMu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(ids))
+	for _, id := range ids {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			blob, _, err := cl.catalog.LoadState(epoch, id)
+			if err != nil {
+				errCh <- &MissingCheckpointError{Epoch: epoch, HAU: id, Err: err}
+				return
+			}
+			blobMu.Lock()
+			blobs[id] = blob
+			blobMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	return blobs, nil
+}
+
+// RecoverAllWithRetry drives RecoverAll until the application is fully
+// live, backing off between attempts. It retries the transient failures a
+// correlated burst produces — the shared store briefly unreachable (a
+// standby storage node also died and is being promoted), or nodes dying
+// while a recovery is mid-flight — and gives up immediately on permanent
+// ones (no checkpoint at all, or blobs lost from a healthy store). The
+// backoff doubles per attempt, bounding the thundering-herd reload the
+// paper warns about when 55 nodes hammer one storage node.
+func (cl *Cluster) RecoverAllWithRetry(ctx context.Context, attempts int, backoff time.Duration) (RecoveryStats, error) {
+	if attempts <= 0 {
+		attempts = 1
+	}
+	var stats RecoveryStats
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			select {
+			case <-ctx.Done():
+				return stats, ctx.Err()
+			case <-time.After(backoff):
+			}
+			if backoff < 8*time.Second {
+				backoff *= 2
+			}
+		}
+		stats, err = cl.RecoverAll(ctx)
+		if err == nil {
+			return stats, nil
+		}
+		if errors.Is(err, ErrNoCheckpoint) {
+			return stats, err
+		}
+		var miss *MissingCheckpointError
+		if errors.As(err, &miss) && !errors.Is(miss.Err, storage.ErrUnavailable) {
+			// The store answered and the blob is gone: retrying re-reads
+			// the same missing data.
+			return stats, err
+		}
+	}
+	return stats, err
 }
 
 // RecoverHAU restarts a single failed HAU from its most recent individual
@@ -602,7 +782,7 @@ func (cl *Cluster) RecoverHAU(ctx context.Context, id string) (RecoveryStats, er
 	diskStart := time.Now()
 	blob, _, err := cl.catalog.LoadState(epoch, id)
 	if err != nil {
-		return stats, err
+		return stats, &MissingCheckpointError{Epoch: epoch, HAU: id, Err: err}
 	}
 	stats.DiskIO = time.Since(diskStart)
 

@@ -1,0 +1,34 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoCheckpoint means the catalog has no complete application checkpoint
+// at all: there is nothing to roll back to, and the caller must restart
+// the application from scratch. Retrying cannot help.
+var ErrNoCheckpoint = errors.New("cluster: no complete checkpoint to recover from")
+
+// MissingCheckpointError reports that the catalog advertised an epoch as
+// complete but one of its blobs could not be loaded from the shared store
+// — lost, corrupted, or the store itself is unreachable. errors.Is on the
+// wrapped cause distinguishes a permanently lost blob
+// (storage.ErrNotFound) from a store that may come back
+// (storage.ErrUnavailable).
+type MissingCheckpointError struct {
+	Epoch uint64
+	HAU   string
+	Err   error
+}
+
+func (e *MissingCheckpointError) Error() string {
+	return fmt.Sprintf("cluster: checkpoint epoch %d unusable (hau %s): %v", e.Epoch, e.HAU, e.Err)
+}
+
+func (e *MissingCheckpointError) Unwrap() error { return e.Err }
+
+// ErrRecoveryDiverged means a recovery completed but some HAUs landed on
+// nodes that died while it ran; the application is not fully live and the
+// recovery must be re-driven.
+var ErrRecoveryDiverged = errors.New("cluster: nodes died during recovery")

@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"meteorshower/internal/metrics"
+	"meteorshower/internal/spe"
+	"meteorshower/internal/storage"
+)
+
+// newManualCkptCluster is newTestCluster without periodic checkpointing:
+// every epoch in these tests is triggered explicitly, so the set of
+// complete epochs — and therefore which blobs exist to delete or corrupt —
+// is deterministic.
+func newManualCkptCluster(t *testing.T, nodes int) (*Cluster, *metrics.Collector, *sinkRegistry) {
+	t.Helper()
+	col := metrics.NewCollector()
+	reg := &sinkRegistry{}
+	local, shared := fastSpecs()
+	cl, err := New(Config{
+		App:            testApp(col, reg),
+		Scheme:         spe.MSSrcAP,
+		Nodes:          nodes,
+		LocalDiskSpec:  local,
+		SharedSpec:     shared,
+		TickEvery:      time.Millisecond,
+		PreserveMemCap: 1 << 20,
+		SourceFlush:    256,
+		RetainEpochs:   2,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, col, reg
+}
+
+// checkpointAt drives one explicit checkpoint epoch to completion.
+func checkpointAt(t *testing.T, cl *Cluster) uint64 {
+	t.Helper()
+	ep := cl.Controller().TriggerCheckpoint()
+	waitFor(t, 10*time.Second, fmt.Sprintf("epoch %d complete", ep), func() bool {
+		e, ok := cl.Catalog().MostRecentComplete()
+		return ok && e >= ep
+	})
+	return ep
+}
+
+// blobKeys returns the shared-store keys holding HAU's checkpoint blobs,
+// across every epoch, newest-first order not guaranteed.
+func blobKeys(cl *Cluster, hau string) []string {
+	var out []string
+	for _, k := range cl.SharedStore().Keys("ckpt/") {
+		if strings.HasSuffix(k, "/"+hau) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// TestRecoverAllNoCheckpointSentinel pins the typed error: with no
+// complete checkpoint at all, RecoverAll must return ErrNoCheckpoint
+// immediately rather than hanging or recovering garbage.
+func TestRecoverAllNoCheckpointSentinel(t *testing.T) {
+	cl, col, _ := newManualCkptCluster(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := cl.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "warmup", func() bool { return col.Count() >= 20 })
+	cl.KillAll()
+	if _, err := cl.RecoverAll(ctx); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+	// Permanent condition: the retry wrapper must not burn attempts on it.
+	start := time.Now()
+	if _, err := cl.RecoverAllWithRetry(ctx, 5, 100*time.Millisecond); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("retry err = %v, want ErrNoCheckpoint", err)
+	}
+	if time.Since(start) > 90*time.Millisecond {
+		t.Fatal("RecoverAllWithRetry retried a permanent ErrNoCheckpoint")
+	}
+	cl.StopAll()
+}
+
+// TestRecoverAllMissingEpochTypedError deletes one HAU's blob from every
+// complete epoch: recovery must fail with a *MissingCheckpointError naming
+// the newest epoch and the missing HAU — not hang, not restore a torn cut.
+func TestRecoverAllMissingEpochTypedError(t *testing.T) {
+	cl, col, _ := newManualCkptCluster(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := cl.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "warmup", func() bool { return col.Count() >= 20 })
+	newest := checkpointAt(t, cl)
+	cl.KillAll()
+
+	keys := blobKeys(cl, "M")
+	if len(keys) == 0 {
+		t.Fatal("no checkpoint blobs for M in the shared store")
+	}
+	for _, k := range keys {
+		if err := cl.SharedStore().Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, err := cl.RecoverAll(ctx)
+	var miss *MissingCheckpointError
+	if !errors.As(err, &miss) {
+		t.Fatalf("err = %v, want *MissingCheckpointError", err)
+	}
+	if miss.HAU != "M" || miss.Epoch != newest {
+		t.Fatalf("error names (epoch %d, hau %s), want (%d, M)", miss.Epoch, miss.HAU, newest)
+	}
+	if !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("cause = %v, want to wrap storage.ErrNotFound", err)
+	}
+	// Blobs gone from a healthy store are permanent: no retries.
+	if _, err := cl.RecoverAllWithRetry(ctx, 3, 10*time.Millisecond); !errors.As(err, &miss) {
+		t.Fatalf("retry err = %v, want *MissingCheckpointError", err)
+	}
+	cl.StopAll()
+}
+
+// TestRecoverAllFallsBackToOlderEpoch loses the newest epoch's blobs but
+// keeps an older complete epoch intact: recovery must fall back to it and
+// resume the application exactly-once from the older cut.
+func TestRecoverAllFallsBackToOlderEpoch(t *testing.T) {
+	cl, col, reg := newManualCkptCluster(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := cl.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "warmup", func() bool { return col.Count() >= 20 })
+	older := checkpointAt(t, cl)
+	waitFor(t, 10*time.Second, "progress past older epoch", func() bool { return col.Count() >= 60 })
+	newest := checkpointAt(t, cl)
+	if newest <= older {
+		t.Fatalf("epochs not monotonic: %d then %d", older, newest)
+	}
+	cl.KillAll()
+
+	key := fmt.Sprintf("ckpt/%016d/M", newest)
+	if !cl.SharedStore().Has(key) {
+		t.Fatalf("expected blob %s in shared store", key)
+	}
+	if err := cl.SharedStore().Delete(key); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := cl.RecoverAll(ctx)
+	if err != nil {
+		t.Fatalf("recovery did not fall back: %v", err)
+	}
+	if stats.Epoch != older {
+		t.Fatalf("recovered from epoch %d, want fallback to %d", stats.Epoch, older)
+	}
+	before := col.Count()
+	waitFor(t, 10*time.Second, "post-recovery progress", func() bool { return col.Count() > before+20 })
+	if d := reg.get().Duplicates(); d != 0 {
+		t.Fatalf("fallback recovery delivered %d duplicates", d)
+	}
+	cl.StopAll()
+}
+
+// TestRecoverAllCorruptBlobFallsBack corrupts (rather than deletes) the
+// newest epoch's blob for one HAU: the undecodable blob must condemn that
+// epoch the same way a missing one does, falling back to the older
+// complete epoch instead of wedging or restoring a torn cut.
+func TestRecoverAllCorruptBlobFallsBack(t *testing.T) {
+	cl, col, _ := newManualCkptCluster(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := cl.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "warmup", func() bool { return col.Count() >= 20 })
+	older := checkpointAt(t, cl)
+	newest := checkpointAt(t, cl)
+	cl.KillAll()
+
+	key := fmt.Sprintf("ckpt/%016d/M", newest)
+	if _, err := cl.SharedStore().Put(key, []byte{0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := cl.RecoverAll(ctx)
+	if err != nil {
+		t.Fatalf("recovery did not survive the corrupt blob: %v", err)
+	}
+	if stats.Epoch != older {
+		t.Fatalf("recovered from epoch %d, want fallback to %d", stats.Epoch, older)
+	}
+	cl.StopAll()
+}
+
+// TestRecoverAllStoreDownFailsFastThenRetrySucceeds takes the shared store
+// down: RecoverAll must fail fast with storage.ErrUnavailable (walking
+// older epochs on the same dead store is pointless), and
+// RecoverAllWithRetry must win once the store comes back — the
+// standby-promotion scenario a correlated burst produces.
+func TestRecoverAllStoreDownFailsFastThenRetrySucceeds(t *testing.T) {
+	cl, col, _ := newManualCkptCluster(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := cl.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "warmup", func() bool { return col.Count() >= 20 })
+	checkpointAt(t, cl)
+	cl.KillAll()
+	cl.SharedStore().SetDown(true)
+
+	if _, err := cl.RecoverAll(ctx); !errors.Is(err, storage.ErrUnavailable) {
+		t.Fatalf("err = %v, want storage.ErrUnavailable", err)
+	}
+
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		cl.SharedStore().SetDown(false)
+	}()
+	stats, err := cl.RecoverAllWithRetry(ctx, 6, 20*time.Millisecond)
+	if err != nil {
+		t.Fatalf("retry after store revival failed: %v", err)
+	}
+	if stats.HAUs == 0 {
+		t.Fatalf("stats = %+v, want live HAUs", stats)
+	}
+	before := col.Count()
+	waitFor(t, 10*time.Second, "post-recovery progress", func() bool { return col.Count() > before+20 })
+	cl.StopAll()
+}

@@ -41,6 +41,14 @@ type Config struct {
 	// means "not profiled yet".
 	Profile statesize.Profile
 
+	// RetainEpochs keeps the newest N complete checkpoints — and the
+	// preserved source tuples needed to replay from the oldest of them —
+	// instead of garbage-collecting everything below the MRC. N <= 1
+	// retains only the MRC. Retention is what lets whole-application
+	// recovery fall back to an older epoch when the newest one's blobs
+	// turn out to be lost or corrupted.
+	RetainEpochs int
+
 	// PingEvery is the failure-detection poll interval.
 	PingEvery time.Duration
 	// IsAlive reports whether an HAU's node currently responds to pings.
@@ -270,22 +278,42 @@ func (c *Controller) CheckpointDone(hau string, epoch uint64, b spe.CheckpointBr
 }
 
 func (c *Controller) onEpochComplete(epoch uint64) {
-	// Preserved tuples from before this checkpoint can never be replayed
-	// again: prune source logs and GC older checkpoints.
-	if mrc, ok := c.cfg.Catalog.MostRecentComplete(); ok {
+	// Preserved tuples from before the retention horizon can never be
+	// replayed again: prune source logs and GC older checkpoints. The
+	// horizon is the oldest retained epoch, not the MRC, so a fallback
+	// recovery from any retained epoch still finds its replay tuples.
+	if _, ok := c.cfg.Catalog.MostRecentComplete(); ok {
+		keep := c.retentionHorizon()
 		c.mu.Lock()
-		doPrune := mrc > c.lastPrune
+		doPrune := keep > c.lastPrune
 		if doPrune {
-			c.lastPrune = mrc
+			c.lastPrune = keep
 		}
 		c.mu.Unlock()
 		if doPrune {
 			for _, l := range c.cfg.SourceLogs {
-				l.Prune(mrc)
+				l.Prune(keep)
 			}
-			c.cfg.Catalog.GC(mrc)
+			c.cfg.Catalog.GC(keep)
 		}
 	}
+}
+
+// retentionHorizon returns the oldest epoch that must survive GC: the
+// RetainEpochs-th newest complete epoch (the MRC when retention is off).
+func (c *Controller) retentionHorizon() uint64 {
+	eps := c.cfg.Catalog.CompleteEpochs() // newest-first
+	if len(eps) == 0 {
+		return 0
+	}
+	n := c.cfg.RetainEpochs
+	if n < 1 {
+		n = 1
+	}
+	if n > len(eps) {
+		n = len(eps)
+	}
+	return eps[n-1]
 }
 
 // TurningPoint implements spe.Listener: HAU state-size reports flow here.
@@ -456,6 +484,15 @@ func (c *Controller) ClearFailure() {
 	c.mu.Lock()
 	c.failed = false
 	c.mu.Unlock()
+}
+
+// FailurePending reports whether an un-cleared failure incident is open:
+// pings found dead HAUs and no recovery has re-armed detection since. The
+// chaos harness polls this to know the detector's view converged.
+func (c *Controller) FailurePending() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failed
 }
 
 // ProfileApplication runs the profiling phase (§III-C2) for dur: every HAU

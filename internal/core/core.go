@@ -67,6 +67,9 @@ type Options struct {
 	ShedWatermark float64
 
 	Listener spe.Listener // optional extra event listener
+	// Metrics, when set, receives per-phase recovery timings in addition
+	// to whatever sink-side collector the app spec itself wires up.
+	Metrics *metrics.Collector
 }
 
 func (o *Options) applyDefaults() {
@@ -116,6 +119,7 @@ func NewSystem(opts Options) (*System, error) {
 		Listener:        opts.Listener,
 		DeltaCheckpoint: opts.DeltaCheckpoint,
 		ShedWatermark:   opts.ShedWatermark,
+		Metrics:         opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -189,6 +193,12 @@ func (s *System) KillAll() { s.cl.KillAll() }
 // RecoverAll rolls the whole application back to the MRC.
 func (s *System) RecoverAll(ctx context.Context) (cluster.RecoveryStats, error) {
 	return s.cl.RecoverAll(ctx)
+}
+
+// RecoverAllWithRetry rolls the application back, retrying transient
+// failures (store briefly down, nodes dying mid-recovery) with backoff.
+func (s *System) RecoverAllWithRetry(ctx context.Context, attempts int, backoff time.Duration) (cluster.RecoveryStats, error) {
+	return s.cl.RecoverAllWithRetry(ctx, attempts, backoff)
 }
 
 // RecoverHAU restarts one HAU from its latest individual checkpoint

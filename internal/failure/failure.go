@@ -211,6 +211,53 @@ func Generate(p Profile, nNodes int, horizon time.Duration, seed int64) []Event 
 	return events
 }
 
+// SampleBursts draws count kill-sets for a small test cluster from a
+// profile's failure structure. The trace is generated at data-center
+// scale, where rack and power correlation actually exist, and each
+// sampled event's node set is folded onto the nNodes test nodes.
+// Correlated events are sampled preferentially — chaos-run time is
+// scarce and surviving bursts is the design point — but independent
+// single-node failures keep a share so recovery is also exercised from
+// partial-failure states. Deterministic in seed.
+func SampleBursts(p Profile, nNodes, count int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	const dcNodes = 2400
+	events := Generate(p, dcNodes, Year, seed)
+	var bursts, singles []Event
+	for _, e := range events {
+		if e.Correlated() {
+			bursts = append(bursts, e)
+		} else {
+			singles = append(singles, e)
+		}
+	}
+	out := make([][]int, 0, count)
+	for len(out) < count {
+		var e Event
+		switch {
+		case len(bursts) > 0 && (len(singles) == 0 || rng.Float64() < 0.67):
+			e = bursts[rng.Intn(len(bursts))]
+		case len(singles) > 0:
+			e = singles[rng.Intn(len(singles))]
+		default:
+			out = append(out, []int{rng.Intn(nNodes)})
+			continue
+		}
+		seen := make(map[int]bool, len(e.Nodes))
+		kill := make([]int, 0, nNodes)
+		for _, n := range e.Nodes {
+			f := n % nNodes
+			if !seen[f] {
+				seen[f] = true
+				kill = append(kill, f)
+			}
+		}
+		sort.Ints(kill)
+		out = append(out, kill)
+	}
+	return out
+}
+
 // AFN100 recomputes Table I from a trace: per-cause annual node-failures
 // per 100 nodes.
 func AFN100(events []Event, nNodes int, horizon time.Duration) map[Cause]float64 {

@@ -17,13 +17,29 @@ type Point struct {
 	Lat time.Duration
 }
 
+// Recovery is one whole-application recovery broken into the phases the
+// paper's recovery-time analysis distinguishes (§VI-C): reloading
+// checkpoint blobs from the shared store, disk I/O, deserializing state,
+// and reconnecting/restarting the dataflow.
+type Recovery struct {
+	At          int64 // ns timestamp of recovery completion
+	Epoch       uint64
+	HAUs        int // HAUs rebuilt
+	Reload      time.Duration
+	DiskIO      time.Duration
+	Deserialize time.Duration
+	Reconnect   time.Duration
+	Total       time.Duration
+}
+
 // Collector accumulates sink-side observations. Safe for concurrent use —
 // multiple sink HAUs may share one collector.
 type Collector struct {
-	mu     sync.Mutex
-	count  uint64
-	latSum time.Duration
-	points []Point
+	mu         sync.Mutex
+	count      uint64
+	latSum     time.Duration
+	points     []Point
+	recoveries []Recovery
 }
 
 // NewCollector returns an empty collector.
@@ -128,11 +144,26 @@ func (c *Collector) CountSince(since int64) uint64 {
 	return n
 }
 
+// RecordRecovery appends one recovery's phase timings.
+func (c *Collector) RecordRecovery(r Recovery) {
+	c.mu.Lock()
+	c.recoveries = append(c.recoveries, r)
+	c.mu.Unlock()
+}
+
+// Recoveries returns every recorded recovery, oldest first.
+func (c *Collector) Recoveries() []Recovery {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Recovery(nil), c.recoveries...)
+}
+
 // Reset clears all observations.
 func (c *Collector) Reset() {
 	c.mu.Lock()
 	c.count = 0
 	c.latSum = 0
 	c.points = nil
+	c.recoveries = nil
 	c.mu.Unlock()
 }

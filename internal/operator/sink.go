@@ -3,7 +3,9 @@ package operator
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,12 +19,78 @@ type LatencyRecorder interface {
 	RecordLatency(at int64, lat time.Duration)
 }
 
+// srcTrack is the per-source delivery record behind the exactly-once
+// oracle: the distinct-id set plus running counters for each violation
+// class the chaos harness checks.
+type srcTrack struct {
+	seen     map[uint64]bool
+	minID    uint64 // lowest id delivered so far
+	maxID    uint64 // highest id delivered so far
+	lastID   uint64 // id of the most recent fresh delivery
+	hasAny   bool
+	dupes    uint64
+	reorders uint64
+}
+
+// SrcReport summarizes delivery from one source, classifying the three
+// ways exactly-once can fail:
+//
+//   - Gaps: ids inside [MinID, MaxID] that never arrived — lost tuples,
+//     the failure mode source preservation exists to prevent. The base is
+//     the lowest id seen, not 0: operators stamp ids from different
+//     starting points (sources from 0, intermediate identities from 1).
+//   - Duplicates: ids delivered more than once — replay that escaped the
+//     Seq/ID suppression.
+//   - Reorders: fresh deliveries whose id is below the previous fresh
+//     delivery's id. On a single path this means the transport reordered;
+//     across a fan-out/fan-in split it is expected and must be tolerated,
+//     so reorders are reported separately from Violations.
+type SrcReport struct {
+	Delivered  uint64 // distinct ids delivered
+	MinID      uint64 // lowest id delivered (valid when Delivered > 0)
+	MaxID      uint64 // highest id delivered (valid when Delivered > 0)
+	Gaps       uint64 // missing ids in [MinID, MaxID]
+	Duplicates uint64
+	Reorders   uint64
+}
+
+// SinkReport maps source id to its delivery report.
+type SinkReport map[string]SrcReport
+
+// TotalViolations counts gaps and duplicates across all sources. Reorders
+// are excluded: they are only a violation on order-preserving topologies,
+// which the caller knows and the sink does not.
+func (r SinkReport) TotalViolations() uint64 {
+	var n uint64
+	for _, sr := range r {
+		n += sr.Gaps + sr.Duplicates
+	}
+	return n
+}
+
+// String renders the report with sources sorted, for seed-reproducible
+// failure messages.
+func (r SinkReport) String() string {
+	srcs := make([]string, 0, len(r))
+	for src := range r {
+		srcs = append(srcs, src)
+	}
+	sort.Strings(srcs)
+	var b strings.Builder
+	for _, src := range srcs {
+		sr := r[src]
+		fmt.Fprintf(&b, "%s: delivered=%d ids=[%d,%d] gaps=%d dupes=%d reorders=%d\n",
+			src, sr.Delivered, sr.MinID, sr.MaxID, sr.Gaps, sr.Duplicates, sr.Reorders)
+	}
+	return b.String()
+}
+
 // Sink terminates a stream: it records end-to-end latency for every tuple
 // and, when TrackIdentity is on, remembers which (source, id) pairs it has
-// delivered — the exactly-once oracle used by the recovery property tests.
-// Unlike most operators, a Sink is observed concurrently (benchmarks and
-// monitors read its counters while the HAU loop delivers), so it guards
-// its state.
+// delivered — the exactly-once oracle used by the recovery property tests
+// and the chaos harness. Unlike most operators, a Sink is observed
+// concurrently (benchmarks and monitors read its counters while the HAU
+// loop delivers), so it guards its state.
 type Sink struct {
 	Base
 	Recorder      LatencyRecorder
@@ -32,12 +100,12 @@ type Sink struct {
 	delivered atomic.Uint64
 	dupes     atomic.Uint64
 	mu        sync.Mutex
-	seen      map[string]map[uint64]bool
+	track     map[string]*srcTrack
 }
 
 // NewSink returns a sink reporting into rec (which may be nil).
 func NewSink(name string, rec LatencyRecorder) *Sink {
-	return &Sink{Base: Base{OpName: name}, Recorder: rec, seen: make(map[string]map[uint64]bool)}
+	return &Sink{Base: Base{OpName: name}, Recorder: rec, track: make(map[string]*srcTrack)}
 }
 
 // OnTuple records the tuple's latency and identity.
@@ -54,15 +122,28 @@ func (s *Sink) OnTuple(_ int, t *tuple.Tuple, _ Emitter) error {
 	}
 	if s.TrackIdentity {
 		s.mu.Lock()
-		m := s.seen[t.Src]
-		if m == nil {
-			m = make(map[uint64]bool)
-			s.seen[t.Src] = m
+		tr := s.track[t.Src]
+		if tr == nil {
+			tr = &srcTrack{seen: make(map[uint64]bool)}
+			s.track[t.Src] = tr
 		}
-		if m[t.ID] {
+		if tr.seen[t.ID] {
+			tr.dupes++
 			s.dupes.Add(1)
+		} else {
+			if tr.hasAny && t.ID < tr.lastID {
+				tr.reorders++
+			}
+			tr.seen[t.ID] = true
+			if !tr.hasAny || t.ID > tr.maxID {
+				tr.maxID = t.ID
+			}
+			if !tr.hasAny || t.ID < tr.minID {
+				tr.minID = t.ID
+			}
+			tr.lastID = t.ID
+			tr.hasAny = true
 		}
-		m[t.ID] = true
 		s.mu.Unlock()
 	}
 	return nil
@@ -79,8 +160,8 @@ func (s *Sink) SeenCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
-	for _, m := range s.seen {
-		n += len(m)
+	for _, tr := range s.track {
+		n += len(tr.seen)
 	}
 	return n
 }
@@ -89,7 +170,49 @@ func (s *Sink) SeenCount() int {
 func (s *Sink) Seen(src string, id uint64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.seen[src][id]
+	tr := s.track[src]
+	return tr != nil && tr.seen[id]
+}
+
+// Report classifies every tracked source's deliveries into the three
+// violation classes. Gaps are derived, not stored: ids are dense within
+// [minID, maxID], so missing = span - distinct.
+func (s *Sink) Report() SinkReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(SinkReport, len(s.track))
+	for src, tr := range s.track {
+		sr := SrcReport{
+			Delivered:  uint64(len(tr.seen)),
+			Duplicates: tr.dupes,
+			Reorders:   tr.reorders,
+		}
+		if tr.hasAny {
+			sr.MinID = tr.minID
+			sr.MaxID = tr.maxID
+			sr.Gaps = tr.maxID - tr.minID + 1 - uint64(len(tr.seen))
+		}
+		out[src] = sr
+	}
+	return out
+}
+
+// MissingIDs lists up to max ids inside the source's [MinID, MaxID] span
+// that never arrived — the concrete gaps, for failure messages.
+func (s *Sink) MissingIDs(src string, max int) []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr := s.track[src]
+	if tr == nil || !tr.hasAny {
+		return nil
+	}
+	var out []uint64
+	for id := tr.minID; id <= tr.maxID && len(out) < max; id++ {
+		if !tr.seen[id] {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // StateSize covers the identity set.
@@ -97,32 +220,42 @@ func (s *Sink) StateSize() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var n int64 = 16
-	for src, m := range s.seen {
-		n += int64(len(src)) + int64(len(m))*9
+	for src, tr := range s.track {
+		n += int64(len(src)) + int64(len(tr.seen))*9 + 32
 	}
 	return n
 }
 
-// Snapshot serializes the delivery state.
+// Snapshot serializes the delivery state, including the per-source
+// violation counters so a recovered sink's report continues where the
+// checkpointed one left off.
 func (s *Sink) Snapshot() ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var buf []byte
 	buf = binary.LittleEndian.AppendUint64(buf, s.delivered.Load())
 	buf = binary.LittleEndian.AppendUint64(buf, s.dupes.Load())
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.seen)))
-	srcs := make([]string, 0, len(s.seen))
-	for src := range s.seen {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.track)))
+	srcs := make([]string, 0, len(s.track))
+	for src := range s.track {
 		srcs = append(srcs, src)
 	}
 	sort.Strings(srcs)
 	for _, src := range srcs {
-		m := s.seen[src]
+		tr := s.track[src]
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(src)))
 		buf = append(buf, src...)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m)))
-		ids := make([]uint64, 0, len(m))
-		for id := range m {
+		buf = binary.LittleEndian.AppendUint64(buf, tr.dupes)
+		buf = binary.LittleEndian.AppendUint64(buf, tr.reorders)
+		buf = binary.LittleEndian.AppendUint64(buf, tr.lastID)
+		if tr.hasAny {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tr.seen)))
+		ids := make([]uint64, 0, len(tr.seen))
+		for id := range tr.seen {
 			ids = append(ids, id)
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
@@ -144,28 +277,47 @@ func (s *Sink) Restore(buf []byte) error {
 	s.dupes.Store(binary.LittleEndian.Uint64(buf[8:]))
 	nsrc := int(binary.LittleEndian.Uint32(buf[16:]))
 	buf = buf[20:]
-	s.seen = make(map[string]map[uint64]bool, nsrc)
+	s.track = make(map[string]*srcTrack, nsrc)
 	for i := 0; i < nsrc; i++ {
 		if len(buf) < 2 {
 			return errors.New("sink: truncated snapshot")
 		}
 		sl := int(binary.LittleEndian.Uint16(buf))
 		buf = buf[2:]
-		if len(buf) < sl+4 {
+		if len(buf) < sl+29 {
 			return errors.New("sink: truncated snapshot")
 		}
 		src := string(buf[:sl])
-		n := int(binary.LittleEndian.Uint32(buf[sl:]))
-		buf = buf[sl+4:]
+		buf = buf[sl:]
+		tr := &srcTrack{
+			dupes:    binary.LittleEndian.Uint64(buf),
+			reorders: binary.LittleEndian.Uint64(buf[8:]),
+			lastID:   binary.LittleEndian.Uint64(buf[16:]),
+			hasAny:   buf[24] != 0,
+		}
+		n := int(binary.LittleEndian.Uint32(buf[25:]))
+		buf = buf[29:]
 		if len(buf) < n*8 {
 			return errors.New("sink: truncated snapshot")
 		}
-		m := make(map[uint64]bool, n)
+		tr.seen = make(map[uint64]bool, n)
 		for j := 0; j < n; j++ {
-			m[binary.LittleEndian.Uint64(buf[j*8:])] = true
+			id := binary.LittleEndian.Uint64(buf[j*8:])
+			tr.seen[id] = true
+			// min/maxID are derivable: ids are stored sorted, but recompute
+			// defensively rather than trust ordering.
+			if j == 0 || id > tr.maxID {
+				tr.maxID = id
+			}
+			if j == 0 || id < tr.minID {
+				tr.minID = id
+			}
+		}
+		if n > 0 {
+			tr.hasAny = true
 		}
 		buf = buf[n*8:]
-		s.seen[src] = m
+		s.track[src] = tr
 	}
 	return nil
 }

@@ -1,0 +1,133 @@
+package operator
+
+import (
+	"strings"
+	"testing"
+
+	"meteorshower/internal/tuple"
+)
+
+func oracleSink() *Sink {
+	s := NewSink("K", nil)
+	s.TrackIdentity = true
+	return s
+}
+
+func deliver(s *Sink, src string, ids ...uint64) {
+	for _, id := range ids {
+		s.OnTuple(0, tuple.New(id, src, "k", nil), nil)
+	}
+}
+
+func TestSinkOracleCleanRun(t *testing.T) {
+	s := oracleSink()
+	deliver(s, "S0", 0, 1, 2, 3, 4)
+	deliver(s, "S1", 0, 1, 2)
+	rep := s.Report()
+	if len(rep) != 2 {
+		t.Fatalf("report covers %d sources, want 2", len(rep))
+	}
+	for src, sr := range rep {
+		if sr.Gaps != 0 || sr.Duplicates != 0 || sr.Reorders != 0 {
+			t.Fatalf("%s: clean run reported violations: %+v", src, sr)
+		}
+	}
+	if rep["S0"].Delivered != 5 || rep["S0"].MaxID != 4 {
+		t.Fatalf("S0 report = %+v", rep["S0"])
+	}
+	if v := rep.TotalViolations(); v != 0 {
+		t.Fatalf("TotalViolations = %d, want 0", v)
+	}
+}
+
+func TestSinkOracleGap(t *testing.T) {
+	s := oracleSink()
+	deliver(s, "S0", 0, 1, 2, 5, 6) // 3 and 4 lost
+	sr := s.Report()["S0"]
+	if sr.Gaps != 2 {
+		t.Fatalf("gaps = %d, want 2 (report: %+v)", sr.Gaps, sr)
+	}
+	// Ids still ascend, so the missing range is a gap, not a reorder.
+	if sr.Duplicates != 0 || sr.Reorders != 0 {
+		t.Fatalf("gap misclassified: %+v", sr)
+	}
+	if got := s.MissingIDs("S0", 10); len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("MissingIDs = %v, want [3 4]", got)
+	}
+	if v := s.Report().TotalViolations(); v != 2 {
+		t.Fatalf("TotalViolations = %d, want 2", v)
+	}
+}
+
+func TestSinkOracleDuplicate(t *testing.T) {
+	s := oracleSink()
+	deliver(s, "S0", 0, 1, 2, 1, 2, 2)
+	sr := s.Report()["S0"]
+	if sr.Duplicates != 3 {
+		t.Fatalf("duplicates = %d, want 3 (report: %+v)", sr.Duplicates, sr)
+	}
+	if sr.Gaps != 0 || sr.Reorders != 0 {
+		t.Fatalf("duplicate misclassified: %+v", sr)
+	}
+	if s.Duplicates() != 3 {
+		t.Fatalf("global duplicate counter = %d, want 3", s.Duplicates())
+	}
+}
+
+func TestSinkOracleReorder(t *testing.T) {
+	s := oracleSink()
+	deliver(s, "S0", 0, 1, 3, 2, 4) // 2 arrives late but does arrive
+	sr := s.Report()["S0"]
+	if sr.Reorders != 1 {
+		t.Fatalf("reorders = %d, want 1 (report: %+v)", sr.Reorders, sr)
+	}
+	if sr.Gaps != 0 || sr.Duplicates != 0 {
+		t.Fatalf("reorder misclassified: %+v", sr)
+	}
+	// A reorder alone is not an exactly-once violation.
+	if v := s.Report().TotalViolations(); v != 0 {
+		t.Fatalf("TotalViolations = %d, want 0", v)
+	}
+}
+
+func TestSinkOraclePerSourceIsolation(t *testing.T) {
+	s := oracleSink()
+	deliver(s, "S0", 0, 1, 2)
+	deliver(s, "S1", 0, 2) // gap at 1
+	deliver(s, "S1", 0)    // duplicate
+	rep := s.Report()
+	if sr := rep["S0"]; sr.Gaps != 0 || sr.Duplicates != 0 {
+		t.Fatalf("S0 polluted by S1 violations: %+v", sr)
+	}
+	if sr := rep["S1"]; sr.Gaps != 1 || sr.Duplicates != 1 {
+		t.Fatalf("S1 report = %+v, want 1 gap + 1 dupe", sr)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "S1: delivered=2 ids=[0,2] gaps=1 dupes=1") {
+		t.Fatalf("String() = %q", out)
+	}
+}
+
+func TestSinkOracleSnapshotCarriesCounters(t *testing.T) {
+	s := oracleSink()
+	deliver(s, "S0", 0, 2, 1, 1) // reorder at 1, duplicate at second 1
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := oracleSink()
+	if err := s2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	sr := s2.Report()["S0"]
+	if sr.Delivered != 3 || sr.MinID != 0 || sr.MaxID != 2 || sr.Duplicates != 1 || sr.Reorders != 1 {
+		t.Fatalf("restored report = %+v", sr)
+	}
+	// Post-restore deliveries continue the same record: 3 closes the run
+	// without new violations.
+	deliver(s2, "S0", 3)
+	sr = s2.Report()["S0"]
+	if sr.Gaps != 0 || sr.Reorders != 1 || sr.Duplicates != 1 {
+		t.Fatalf("post-restore report = %+v", sr)
+	}
+}

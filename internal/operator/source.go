@@ -34,6 +34,11 @@ type RateSource struct {
 	// modelling the paper's evaluation sources, which replay recorded
 	// datasets as fast as the system absorbs them.
 	MaxRate bool
+	// Limit, when non-zero, stops generation once the cursor reaches it:
+	// the source emits exactly the ids [0, Limit). A bounded stream gives
+	// the chaos harness and the replay-equivalence tests a quiescent end
+	// state to compare against.
+	Limit uint64
 
 	nextID  uint64
 	started bool
@@ -85,6 +90,14 @@ func (s *RateSource) Generate(now int64) []*tuple.Tuple {
 		}
 		s.credit -= float64(n)
 	}
+	if s.Limit > 0 {
+		if s.nextID >= s.Limit {
+			return nil
+		}
+		if left := s.Limit - s.nextID; uint64(n) > left {
+			n = int(left)
+		}
+	}
 	if s.rng == nil {
 		s.rng = rand.New(new(splitmix64))
 	}
@@ -130,6 +143,9 @@ func (s *RateSource) SkipPast(lastID uint64) {
 
 // NextID returns the id the next generated tuple will carry.
 func (s *RateSource) NextID() uint64 { return s.nextID }
+
+// Exhausted reports whether a bounded source has emitted its whole stream.
+func (s *RateSource) Exhausted() bool { return s.Limit > 0 && s.nextID >= s.Limit }
 
 // StateSize of a source is its fixed cursor block.
 func (s *RateSource) StateSize() int64 { return 32 }

@@ -145,6 +145,19 @@ func (c *Catalog) MostRecentComplete() (uint64, bool) {
 	return c.complete[len(c.complete)-1], true
 }
 
+// CompleteEpochs returns every complete epoch, newest first. Recovery
+// walks this list when the newest complete checkpoint turns out to be
+// unloadable (lost or corrupted blobs) and an older one must serve.
+func (c *Catalog) CompleteEpochs() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]uint64, len(c.complete))
+	for i, e := range c.complete {
+		out[len(c.complete)-1-i] = e
+	}
+	return out
+}
+
 // LatestEpochFor returns the highest epoch hau has saved an individual
 // checkpoint for. Baseline recovery uses per-HAU latest checkpoints since
 // its HAUs checkpoint independently rather than per application epoch.
