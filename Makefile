@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race chaos bench-smoke bench-hotpath
+.PHONY: ci vet build test race chaos chaos-migrate bench-smoke bench-hotpath placement-bench
 
-ci: vet build race bench-smoke chaos
+ci: vet build race bench-smoke chaos chaos-migrate
 
 vet:
 	$(GO) vet ./...
@@ -29,3 +29,15 @@ bench-hotpath:
 # command that replays its schedule.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaosSmoke|TestChaosScheduleReproducible' ./internal/chaos/
+
+# Chaos with rack-spread placement and live migrations enabled, including
+# rounds that kill the migrating HAU's source or destination node while
+# the move is in flight.
+chaos-migrate:
+	$(GO) test -race -count=1 -run 'TestChaosMigrationSmoke|TestChaosMidMigrationKill' ./internal/chaos/
+
+# Placement benchmark: burst loss at DC scale (round-robin vs rack-spread),
+# live-cluster rack-burst recovery, and migration downtime vs state size.
+# Regenerates BENCH_placement.json.
+placement-bench:
+	$(GO) run ./cmd/msplace

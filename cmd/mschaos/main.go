@@ -6,6 +6,8 @@
 //	mschaos -seed 42                      # one run, chain topology
 //	mschaos -topology all -seed 42        # every topology, same seed
 //	mschaos -seed 42 -rounds 5 -nodes 6   # a longer, wider schedule
+//	mschaos -seed 42 -placement rackspread -migrate
+//	                                      # rack-spread placement + live-migration chaos
 //
 // A failing run exits non-zero and prints the exact command that replays
 // its schedule.
@@ -30,6 +32,10 @@ func main() {
 		limit    = flag.Uint64("limit", 60, "tuple ids emitted per source")
 		abe      = flag.Bool("abe", false, "sample bursts from the Abe cluster profile instead of Google's DC")
 		verbose  = flag.Bool("v", false, "log per-round progress")
+
+		place   = flag.String("placement", "", `placement policy: "roundrobin", "rackspread" or "loadaware" ("" = cluster default)`)
+		npr     = flag.Int("nodes-per-rack", 0, "failure-domain geometry (0 = one rack)")
+		migrate = flag.Bool("migrate", false, "enable live-migration chaos, including the mid-migration kill instant")
 	)
 	flag.Parse()
 
@@ -47,12 +53,15 @@ func main() {
 	failed := false
 	for _, top := range tops {
 		cfg := chaos.Config{
-			Topology:    top,
-			Seed:        *seed,
-			Rounds:      *rounds,
-			Nodes:       *nodes,
-			SourceLimit: *limit,
-			Profile:     profile,
+			Topology:     top,
+			Seed:         *seed,
+			Rounds:       *rounds,
+			Nodes:        *nodes,
+			SourceLimit:  *limit,
+			Profile:      profile,
+			Placement:    *place,
+			NodesPerRack: *npr,
+			Migrations:   *migrate,
 		}
 		if *verbose {
 			cfg.Logf = func(format string, args ...any) {

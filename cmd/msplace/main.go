@@ -1,0 +1,448 @@
+// Command msplace benchmarks the placement subsystem and regenerates
+// BENCH_placement.json. Three experiments:
+//
+//  1. Burst loss at data-center scale: round-robin vs rack-spread
+//     placement of 48 HAUs over 2400 nodes (the paper's Google DC
+//     geometry, 80 nodes/rack), scored against correlated failure bursts
+//     sampled from the failure model's own traces.
+//
+//  2. Rack-burst recovery on a live cluster: kill a whole rack after a
+//     checkpoint and measure how many HAUs each policy loses and how long
+//     whole-application recovery takes.
+//
+//  3. Migration downtime vs state size: live-migrate an operator carrying
+//     a padded state blob and record drain/downtime/restore timings.
+//
+//     msplace                 # full run, writes BENCH_placement.json
+//     msplace -out -          # print JSON to stdout instead
+//     msplace -quick          # reduced grids (CI smoke)
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"meteorshower/internal/apps"
+	"meteorshower/internal/cluster"
+	"meteorshower/internal/failure"
+	"meteorshower/internal/graph"
+	"meteorshower/internal/metrics"
+	"meteorshower/internal/operator"
+	"meteorshower/internal/placement"
+	"meteorshower/internal/spe"
+	"meteorshower/internal/storage"
+	"meteorshower/internal/tuple"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "BENCH_placement.json", `output path; "-" prints to stdout`)
+		seeds  = flag.Int("seeds", 8, "failure-trace seeds sampled for the burst-loss experiment")
+		trials = flag.Int("trials", 3, "live-cluster trials per policy for the recovery experiment")
+		quick  = flag.Bool("quick", false, "reduced grids")
+	)
+	flag.Parse()
+	if *quick {
+		*seeds, *trials = 2, 1
+	}
+
+	doc := map[string]any{
+		"benchmark": "placement",
+		"environment": map[string]string{
+			"go":     runtime.Version(),
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+		},
+		"regenerate": "go run ./cmd/msplace",
+	}
+
+	fmt.Fprintln(os.Stderr, "== burst loss, DC scale ==")
+	doc["burst_loss_dc"] = burstLossDC(*seeds)
+
+	fmt.Fprintln(os.Stderr, "== rack-burst recovery, live cluster ==")
+	rec, err := rackBurstRecovery(*trials)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msplace: recovery experiment: %v\n", err)
+		os.Exit(1)
+	}
+	doc["rack_burst_recovery"] = rec
+
+	fmt.Fprintln(os.Stderr, "== migration downtime vs state size ==")
+	pads := []int{64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	if *quick {
+		pads = []int{64 << 10, 1 << 20}
+	}
+	mig, err := migrationDowntime(pads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msplace: migration experiment: %v\n", err)
+		os.Exit(1)
+	}
+	doc["migration_downtime"] = mig
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msplace: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "msplace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+// fullView returns an all-alive placement view over the given geometry.
+func fullView(nodes, nodesPerRack int) placement.View {
+	v := placement.View{
+		Topo:  placement.NewTopology(nodes, nodesPerRack),
+		Alive: make([]bool, nodes),
+		HAUs:  map[string]placement.HAUInfo{},
+	}
+	for i := range v.Alive {
+		v.Alive[i] = true
+	}
+	return v
+}
+
+func hauIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("h%02d", i)
+	}
+	return ids
+}
+
+func lossUnder(assign map[string]int, kill []int) int {
+	dead := map[int]bool{}
+	for _, n := range kill {
+		dead[n] = true
+	}
+	c := 0
+	for _, n := range assign {
+		if dead[n] {
+			c++
+		}
+	}
+	return c
+}
+
+// burstLossDC scores round-robin vs rack-spread placements of 48 HAUs on
+// the Google DC geometry against every correlated burst in seeded
+// year-long failure traces. The headline fraction is computed over the
+// bursts that intersect round-robin's node footprint: bursts that miss
+// both placements tie trivially at zero loss and say nothing about the
+// policies.
+func burstLossDC(seeds int) map[string]any {
+	p := failure.GoogleDC()
+	const nodes = 2400
+	const haus = 48
+	v := fullView(nodes, p.NodesPerRack)
+	ids := hauIDs(haus)
+	rr := (placement.RoundRobin{}).Assign(ids, v)
+	rs := (placement.RackSpread{}).Assign(ids, v)
+	rrFoot := map[int]bool{}
+	for _, n := range rr {
+		rrFoot[n] = true
+	}
+	racks := v.Topo.Racks()
+	bound := (haus + racks - 1) / racks
+
+	var hitting, strict, correlated int
+	var sumRR, sumRS, maxRR, maxRS int
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		for _, e := range failure.Generate(p, nodes, failure.Year, seed) {
+			if !e.Correlated() {
+				continue
+			}
+			correlated++
+			hits := false
+			for _, n := range e.Nodes {
+				if rrFoot[n] {
+					hits = true
+					break
+				}
+			}
+			if !hits {
+				continue
+			}
+			hitting++
+			lr, ls := lossUnder(rr, e.Nodes), lossUnder(rs, e.Nodes)
+			sumRR += lr
+			sumRS += ls
+			if ls < lr {
+				strict++
+			}
+			if lr > maxRR {
+				maxRR = lr
+			}
+			if ls > maxRS {
+				maxRS = ls
+			}
+		}
+	}
+	res := map[string]any{
+		"definition": "correlated bursts from seeded year-long failure traces; " +
+			"losses and the strictly-fewer fraction are over bursts intersecting round-robin's node footprint " +
+			"(bursts missing both placements tie at zero and are excluded)",
+		"nodes":                     nodes,
+		"nodes_per_rack":            p.NodesPerRack,
+		"haus":                      haus,
+		"trace_seeds":               seeds,
+		"correlated_bursts":         correlated,
+		"footprint_hitting_bursts":  hitting,
+		"rackspread_per_rack_bound": bound,
+	}
+	if hitting > 0 {
+		res["roundrobin"] = map[string]any{
+			"mean_haus_lost": float64(sumRR) / float64(hitting),
+			"max_haus_lost":  maxRR,
+		}
+		res["rackspread"] = map[string]any{
+			"mean_haus_lost": float64(sumRS) / float64(hitting),
+			"max_haus_lost":  maxRS,
+		}
+		res["rackspread_strictly_fewer_fraction"] = float64(strict) / float64(hitting)
+	}
+	fmt.Fprintf(os.Stderr, "  %d correlated bursts, %d hit the footprint; rack-spread strictly fewer on %.1f%%\n",
+		correlated, hitting, 100*float64(strict)/float64(max(hitting, 1)))
+	return res
+}
+
+func fastDisk() storage.DiskSpec {
+	return storage.DiskSpec{BandwidthBps: 1 << 30, Latency: time.Microsecond, TimeScale: 0}
+}
+
+// chainSpec is the chaos harness's chain application: one TMI pipeline.
+func chainSpec(seed int64) (cluster.AppSpec, *metrics.Collector) {
+	col := metrics.NewCollector()
+	cfg := apps.TMISmall(col)
+	cfg.Sources, cfg.Pairs, cfg.Groups = 1, 1, 1
+	cfg.Seed = seed
+	return apps.TMI(cfg), col
+}
+
+type recoveryStat struct {
+	HAUsLost     []int     `json:"haus_lost_per_trial"`
+	RecoveryMS   []float64 `json:"recovery_ms_per_trial"`
+	MeanLost     float64   `json:"mean_haus_lost"`
+	MeanRecovery float64   `json:"mean_recovery_ms"`
+}
+
+// rackBurstRecovery boots the chain application on a 4-node/2-rack
+// cluster under each policy, kills rack 0 after a complete checkpoint,
+// and measures HAUs lost plus whole-application recovery time.
+func rackBurstRecovery(trials int) (map[string]any, error) {
+	policies := []placement.Policy{placement.RoundRobin{}, placement.RackSpread{}}
+	out := map[string]any{
+		"definition": "chain app on 4 nodes, 2 nodes/rack; rack 0 killed after a complete checkpoint; " +
+			"recovery_ms is RecoveryStats.Total() of the whole-application rollback",
+		"nodes":          4,
+		"nodes_per_rack": 2,
+		"trials":         trials,
+	}
+	for _, pol := range policies {
+		var st recoveryStat
+		for trial := 0; trial < trials; trial++ {
+			lost, rec, err := oneRecoveryTrial(pol, int64(trial+1))
+			if err != nil {
+				return nil, fmt.Errorf("%s trial %d: %w", pol.Name(), trial, err)
+			}
+			st.HAUsLost = append(st.HAUsLost, lost)
+			st.RecoveryMS = append(st.RecoveryMS, float64(rec.Microseconds())/1000)
+		}
+		for i := range st.HAUsLost {
+			st.MeanLost += float64(st.HAUsLost[i])
+			st.MeanRecovery += st.RecoveryMS[i]
+		}
+		st.MeanLost /= float64(trials)
+		st.MeanRecovery /= float64(trials)
+		out[pol.Name()] = st
+		fmt.Fprintf(os.Stderr, "  %s: mean %.1f HAUs lost, mean recovery %.2f ms\n",
+			pol.Name(), st.MeanLost, st.MeanRecovery)
+	}
+	return out, nil
+}
+
+func oneRecoveryTrial(pol placement.Policy, seed int64) (int, time.Duration, error) {
+	spec, col := chainSpec(seed)
+	cl, err := cluster.New(cluster.Config{
+		App:           spec,
+		Scheme:        spe.MSSrcAP,
+		Nodes:         4,
+		NodesPerRack:  2,
+		Placement:     pol,
+		LocalDiskSpec: fastDisk(),
+		SharedSpec:    fastDisk(),
+		TickEvery:     time.Millisecond,
+		SourceFlush:   256,
+		RetainEpochs:  2,
+		Seed:          seed,
+		Metrics:       col,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := cl.Start(ctx); err != nil {
+		return 0, 0, err
+	}
+	defer cl.StopAll()
+	if err := waitFor(10*time.Second, func() bool { return cl.ProcessedTotal() > 200 }); err != nil {
+		return 0, 0, fmt.Errorf("stream never warmed up: %w", err)
+	}
+	ep := cl.Controller().TriggerCheckpoint()
+	if err := waitFor(10*time.Second, func() bool {
+		e, ok := cl.Catalog().MostRecentComplete()
+		return ok && e >= ep
+	}); err != nil {
+		return 0, 0, fmt.Errorf("checkpoint never completed: %w", err)
+	}
+	cl.KillNodes([]int{0, 1}) // rack 0
+	lost := len(cl.DeadHAUs())
+	stats, err := cl.RecoverAllWithRetry(ctx, 10, 2*time.Millisecond)
+	if err != nil {
+		return 0, 0, err
+	}
+	return lost, stats.Total(), nil
+}
+
+// paddedOp is a stateful pass-through whose snapshot carries a
+// fixed-size pad — the knob for the migration-downtime experiment.
+type paddedOp struct {
+	operator.Base
+	pad   []byte
+	count uint64
+}
+
+func newPaddedOp(name string, padBytes int) *paddedOp {
+	return &paddedOp{Base: operator.Base{OpName: name}, pad: make([]byte, padBytes)}
+}
+
+func (p *paddedOp) OnTuple(_ int, t *tuple.Tuple, emit operator.Emitter) error {
+	p.count++
+	emit(0, t)
+	return nil
+}
+
+func (p *paddedOp) StateSize() int64 { return int64(len(p.pad)) + 8 }
+
+func (p *paddedOp) Snapshot() ([]byte, error) {
+	buf := make([]byte, 0, len(p.pad)+8)
+	buf = binary.LittleEndian.AppendUint64(buf, p.count)
+	return append(buf, p.pad...), nil
+}
+
+func (p *paddedOp) Restore(buf []byte) error {
+	if len(buf) < 8 {
+		return errors.New("paddedOp: short snapshot")
+	}
+	p.count = binary.LittleEndian.Uint64(buf)
+	p.pad = append([]byte(nil), buf[8:]...)
+	return nil
+}
+
+type migPoint struct {
+	StateBytes int64   `json:"state_bytes"`
+	MovedBytes int64   `json:"moved_bytes"`
+	DrainMS    float64 `json:"drain_ms"`
+	DowntimeMS float64 `json:"downtime_ms"`
+	RestoreMS  float64 `json:"restore_ms"`
+}
+
+// migrationDowntime live-migrates a padded-state operator once per pad
+// size and records the move's timing decomposition.
+func migrationDowntime(pads []int) ([]migPoint, error) {
+	var out []migPoint
+	for _, pad := range pads {
+		stats, err := oneMigrationTrial(pad)
+		if err != nil {
+			return nil, fmt.Errorf("pad %d: %w", pad, err)
+		}
+		out = append(out, migPoint{
+			StateBytes: int64(pad),
+			MovedBytes: stats.MovedBytes,
+			DrainMS:    float64(stats.Drain.Microseconds()) / 1000,
+			DowntimeMS: float64(stats.Downtime.Microseconds()) / 1000,
+			RestoreMS:  float64(stats.Restore.Microseconds()) / 1000,
+		})
+		fmt.Fprintf(os.Stderr, "  state %8d B: moved %8d B, drain %7.3f ms, downtime %7.3f ms\n",
+			pad, stats.MovedBytes, float64(stats.Drain.Microseconds())/1000,
+			float64(stats.Downtime.Microseconds())/1000)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StateBytes < out[j].StateBytes })
+	return out, nil
+}
+
+func oneMigrationTrial(pad int) (cluster.MigrationStats, error) {
+	g := graph.New()
+	g.MustAddNode("S")
+	g.MustAddNode("P")
+	g.MustAddNode("K")
+	g.MustAddEdge("S", "P")
+	g.MustAddEdge("P", "K")
+	spec := cluster.AppSpec{
+		Name:  "migbench",
+		Graph: g,
+		NewOperators: func(id string) []operator.Operator {
+			switch id {
+			case "S":
+				return []operator.Operator{operator.NewRateSource("S", 100, 1, operator.BytePayload(64, 16))}
+			case "P":
+				return []operator.Operator{newPaddedOp("P", pad)}
+			default:
+				return []operator.Operator{operator.NewSink("K", nil)}
+			}
+		},
+	}
+	cl, err := cluster.New(cluster.Config{
+		App:           spec,
+		Scheme:        spe.MSSrcAP,
+		Nodes:         2,
+		NodesPerRack:  1,
+		Placement:     placement.RackSpread{},
+		LocalDiskSpec: fastDisk(),
+		SharedSpec:    fastDisk(),
+		TickEvery:     time.Millisecond,
+		SourceFlush:   256,
+		Seed:          1,
+	})
+	if err != nil {
+		return cluster.MigrationStats{}, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := cl.Start(ctx); err != nil {
+		return cluster.MigrationStats{}, err
+	}
+	defer cl.StopAll()
+	if err := waitFor(10*time.Second, func() bool { return cl.ProcessedTotal() > 100 }); err != nil {
+		return cluster.MigrationStats{}, fmt.Errorf("stream never warmed up: %w", err)
+	}
+	dest := (cl.NodeOf("P") + 1) % 2
+	return cl.MigrateHAU(ctx, "P", dest)
+}
+
+func waitFor(timeout time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return errors.New("timeout")
+}

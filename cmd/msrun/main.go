@@ -20,6 +20,7 @@ import (
 	"meteorshower/internal/bench"
 	"meteorshower/internal/core"
 	"meteorshower/internal/metrics"
+	"meteorshower/internal/placement"
 	"meteorshower/internal/spe"
 )
 
@@ -49,6 +50,10 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		useDelta  = flag.Bool("delta", false, "enable delta-checkpointing")
 		shed      = flag.Float64("shed", 0, "load-shedding watermark (0 = off, e.g. 0.9)")
+
+		place     = flag.String("placement", "", `placement policy: "roundrobin", "rackspread" or "loadaware" ("" = round-robin)`)
+		npr       = flag.Int("nodes-per-rack", 0, "failure-domain geometry for placement (0 = one rack)")
+		rebalance = flag.Duration("rebalance-every", 0, "live-migration rebalancer period (0 = off)")
 	)
 	flag.Parse()
 
@@ -75,10 +80,22 @@ func main() {
 	ref := &apps.SinkRef{}
 	spec := bench.BuildApp(kind, p, col, ref)
 
+	var pol placement.Policy
+	if *place != "" {
+		pol, err = placement.Parse(*place)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
 	sys, err := core.NewSystem(core.Options{
 		App:              spec,
 		Scheme:           sch,
 		Nodes:            *nodes,
+		Placement:        pol,
+		NodesPerRack:     *npr,
+		RebalanceEvery:   *rebalance,
 		CheckpointPeriod: *period,
 		TickEvery:        time.Millisecond,
 		SourceFlush:      64 << 10,

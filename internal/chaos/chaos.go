@@ -27,6 +27,7 @@ import (
 	"meteorshower/internal/failure"
 	"meteorshower/internal/metrics"
 	"meteorshower/internal/operator"
+	"meteorshower/internal/placement"
 	"meteorshower/internal/spe"
 	"meteorshower/internal/storage"
 )
@@ -55,9 +56,16 @@ const (
 	// first, before anything reacts — a rack failure cascading into a
 	// router event.
 	KillBackToBack InjectionPoint = "back-to-back"
+	// KillMidMigration starts a live HAU migration, then kills the burst
+	// plus the migration's source or destination node while the move is in
+	// flight — quiesce, drain and handoff must all abort or complete
+	// without breaking exactly-once. Only in the sample space when
+	// Config.Migrations is set, so default schedules replay unchanged.
+	KillMidMigration InjectionPoint = "mid-migration"
 )
 
-// injectionPoints is the sample space for a round's injection draw.
+// injectionPoints is the default sample space for a round's injection
+// draw. KillMidMigration is appended only when migrations are enabled.
 var injectionPoints = []InjectionPoint{
 	KillImmediate, KillMidAlignment, KillMidDrain, KillMidRecovery, KillBackToBack,
 }
@@ -66,12 +74,23 @@ var injectionPoints = []InjectionPoint{
 type Config struct {
 	Topology    Topology
 	Seed        int64
-	Rounds      int        // kill/recover rounds; default 3
-	Nodes       int        // worker nodes; default 4
-	Scheme      spe.Scheme // zero value selects spe.MSSrcAP; the harness drives whole-application recovery, so only the token-aligned schemes apply
+	Rounds      int             // kill/recover rounds; default 3
+	Nodes       int             // worker nodes; default 4
+	Scheme      spe.Scheme      // zero value selects spe.MSSrcAP; the harness drives whole-application recovery, so only the token-aligned schemes apply
 	Profile     failure.Profile // default failure.GoogleDC()
 	SourceLimit uint64          // ids per source; default 60
 	Logf        func(format string, args ...any)
+
+	// Placement names the placement policy (placement.Parse); "" keeps the
+	// cluster default (round-robin, the historical schedule).
+	Placement    string
+	NodesPerRack int // failure-domain geometry; 0 = one rack
+	// Migrations enables live-migration chaos: each round either performs
+	// one migration before its kill or draws the mid-migration instant.
+	Migrations bool
+	// Points overrides the injection sample space (tests force a single
+	// instant with it). Empty selects the default space.
+	Points []InjectionPoint
 }
 
 func (c *Config) defaults() {
@@ -96,6 +115,12 @@ func (c *Config) defaults() {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if len(c.Points) == 0 {
+		c.Points = append([]InjectionPoint(nil), injectionPoints...)
+		if c.Migrations {
+			c.Points = append(c.Points, KillMidMigration)
+		}
+	}
 }
 
 // Round records one injected failure and its recovery.
@@ -106,15 +131,22 @@ type Round struct {
 	ExtraKill      int            // node killed mid-recovery; -1 if none
 	RecoveredEpoch uint64         // epoch the cluster rolled back to
 	Attempts       int            // RecoverAll attempts the round consumed
+
+	Migrated     string // HAU live-migrated this round; "" if none
+	MigratedFrom int
+	MigratedTo   int
+	MigrateKill  int // node killed while the migration was in flight; -1 if none
 }
 
 // Result is a finished chaos run plus both oracle verdicts.
 type Result struct {
-	Topology  Topology
-	Seed      int64
-	Nodes     int
-	Rounds    int // planned rounds (RoundList may be shorter if a round errored)
-	RoundList []Round
+	Topology   Topology
+	Seed       int64
+	Nodes      int
+	Rounds     int // planned rounds (RoundList may be shorter if a round errored)
+	Placement  string
+	Migrations bool
+	RoundList  []Round
 	// Report is the chaos run's terminal sink state; Reference is the
 	// single-threaded replay's.
 	Report     operator.SinkReport
@@ -147,8 +179,15 @@ func (r *Result) Err() error {
 // ReplayCommand returns the CLI invocation reproducing this run's
 // schedule.
 func (r *Result) ReplayCommand() string {
-	return fmt.Sprintf("go run ./cmd/mschaos -topology %s -seed %d -rounds %d -nodes %d",
+	cmd := fmt.Sprintf("go run ./cmd/mschaos -topology %s -seed %d -rounds %d -nodes %d",
 		r.Topology, r.Seed, r.Rounds, r.Nodes)
+	if r.Placement != "" {
+		cmd += fmt.Sprintf(" -placement %s", r.Placement)
+	}
+	if r.Migrations {
+		cmd += " -migrate"
+	}
+	return cmd
 }
 
 // String summarizes the run for logs.
@@ -163,6 +202,13 @@ func (r *Result) String() string {
 		if rd.ExtraKill >= 0 {
 			fmt.Fprintf(&b, " (+node %d mid-recovery)", rd.ExtraKill)
 		}
+		if rd.Migrated != "" {
+			fmt.Fprintf(&b, " [migrate %s %d->%d", rd.Migrated, rd.MigratedFrom, rd.MigratedTo)
+			if rd.MigrateKill >= 0 {
+				fmt.Fprintf(&b, ", node %d killed in flight", rd.MigrateKill)
+			}
+			fmt.Fprintf(&b, "]")
+		}
 		fmt.Fprintf(&b, " -> recovered from epoch %d in %d attempt(s)", rd.RecoveredEpoch, rd.Attempts)
 	}
 	fmt.Fprintf(&b, "\n  sequence oracle: %d violations; state oracle: %d diffs",
@@ -175,7 +221,18 @@ func (r *Result) String() string {
 // the Result — check Result.Err().
 func Run(ctx context.Context, cfg Config) (*Result, error) {
 	cfg.defaults()
-	res := &Result{Topology: cfg.Topology, Seed: cfg.Seed, Nodes: cfg.Nodes, Rounds: cfg.Rounds}
+	res := &Result{
+		Topology: cfg.Topology, Seed: cfg.Seed, Nodes: cfg.Nodes, Rounds: cfg.Rounds,
+		Placement: cfg.Placement, Migrations: cfg.Migrations,
+	}
+	var pol placement.Policy
+	if cfg.Placement != "" {
+		p, err := placement.Parse(cfg.Placement)
+		if err != nil {
+			return nil, err
+		}
+		pol = p
+	}
 
 	// Ground truth first: it is cheap, synchronous, and also tells the
 	// harness how many distinct deliveries to wait for at quiescence.
@@ -203,6 +260,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		App:            spec,
 		Scheme:         cfg.Scheme,
 		Nodes:          cfg.Nodes,
+		Placement:      pol,
+		NodesPerRack:   cfg.NodesPerRack,
 		LocalDiskSpec:  disk,
 		SharedSpec:     disk,
 		TickEvery:      time.Millisecond,
@@ -222,7 +281,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	defer cl.StopAll()
 
-	h := &harness{cfg: cfg, cl: cl, rng: rand.New(rand.NewSource(cfg.Seed))}
+	h := &harness{cfg: cfg, cl: cl, rng: rand.New(rand.NewSource(cfg.Seed)), ids: cl.GraphNodes()}
 	if err := h.waitCond(10*time.Second, "first delivery", func() bool {
 		s := sink.Get()
 		return s != nil && s.SeenCount() > 0
@@ -270,6 +329,19 @@ type harness struct {
 	cfg Config
 	cl  *cluster.Cluster
 	rng *rand.Rand
+	ids []string // graph node ids, sorted — migration target draws
+}
+
+// drawMigration samples an (HAU, destination) pair for a live migration.
+// The destination draw is bumped off the current node so the move is
+// always a real one.
+func (h *harness) drawMigration() (id string, dest int) {
+	id = h.ids[h.rng.Intn(len(h.ids))]
+	dest = h.rng.Intn(h.cfg.Nodes)
+	if dest == h.cl.NodeOf(id) {
+		dest = (dest + 1) % h.cfg.Nodes
+	}
+	return id, dest
 }
 
 func (h *harness) waitCond(timeout time.Duration, what string, cond func() bool) error {
@@ -296,8 +368,20 @@ func (h *harness) ensureCheckpoint(ctx context.Context) error {
 // round injects one burst at a sampled adversarial instant and drives
 // recovery until the application is live again.
 func (h *harness) round(ctx context.Context, burst []int) (Round, error) {
-	rd := Round{Burst: burst, ExtraKill: -1}
-	rd.Point = injectionPoints[h.rng.Intn(len(injectionPoints))]
+	rd := Round{Burst: burst, ExtraKill: -1, MigrateKill: -1}
+	rd.Point = h.cfg.Points[h.rng.Intn(len(h.cfg.Points))]
+	// In migration mode, every round that is not itself a mid-migration
+	// kill performs one clean live migration first, so the kill lands on a
+	// cluster whose placement has drifted from the initial assignment. An
+	// aborted move (tiny clusters can draw an impossible route) is fine —
+	// the round still runs.
+	if h.cfg.Migrations && rd.Point != KillMidMigration {
+		id, dest := h.drawMigration()
+		rd.Migrated, rd.MigratedFrom, rd.MigratedTo = id, h.cl.NodeOf(id), dest
+		if stats, err := h.cl.MigrateHAU(ctx, id, dest); err == nil {
+			rd.MigratedTo = stats.To
+		}
+	}
 	if err := h.ensureCheckpoint(ctx); err != nil {
 		return rd, err
 	}
@@ -338,6 +422,32 @@ func (h *harness) round(ctx context.Context, burst []int) (Round, error) {
 			time.Sleep(delay)
 			h.cl.KillNode(extra)
 		}()
+	case KillMidMigration:
+		// Start a live migration, then kill the burst plus the move's
+		// source or destination node while it is in flight. Whichever
+		// phase the kill lands in — quiesce, drain, handoff, or after
+		// completion — the exactly-once oracles must stay clean after the
+		// whole-application recovery below.
+		id, dest := h.drawMigration()
+		from := h.cl.NodeOf(id)
+		delay := time.Duration(h.rng.Intn(1500)) * time.Microsecond
+		victim := from
+		if h.rng.Intn(2) == 1 {
+			victim = dest
+		}
+		rd.Migrated, rd.MigratedFrom, rd.MigratedTo, rd.MigrateKill = id, from, dest, victim
+		migDone := make(chan struct{})
+		go func() {
+			defer close(migDone)
+			_, _ = h.cl.MigrateHAU(ctx, id, dest)
+		}()
+		time.Sleep(delay)
+		kills := append(append([]int(nil), burst...), victim)
+		h.cl.KillNodes(kills)
+		// The migration aborts (dead-host polling) or has already
+		// finished; either way it must return before recovery rebuilds
+		// the application, or its handoff could race the rebuild.
+		<-migDone
 	}
 
 	stats, err := h.cl.RecoverAllWithRetry(ctx, 10, 2*time.Millisecond)

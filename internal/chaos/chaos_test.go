@@ -32,6 +32,80 @@ func TestChaosSmoke(t *testing.T) {
 	}
 }
 
+// TestChaosMigrationSmoke runs the full schedule with rack-spread
+// placement and live-migration chaos enabled: every round either migrates
+// an HAU cleanly before its kill or draws the mid-migration instant, and
+// both oracles must still pass.
+func TestChaosMigrationSmoke(t *testing.T) {
+	for _, top := range Topologies {
+		for seed := int64(1); seed <= 3; seed++ {
+			top, seed := top, seed
+			t.Run(string(top)+"/seed="+string(rune('0'+seed)), func(t *testing.T) {
+				res, err := Run(context.Background(), Config{
+					Topology:     top,
+					Seed:         seed,
+					Placement:    "rackspread",
+					NodesPerRack: 2,
+					Migrations:   true,
+				})
+				if err != nil {
+					t.Fatalf("harness: %v", err)
+				}
+				if err := res.Err(); err != nil {
+					t.Fatal(err)
+				}
+				migrated := false
+				for _, rd := range res.RoundList {
+					migrated = migrated || rd.Migrated != ""
+				}
+				if !migrated {
+					t.Fatal("migration chaos enabled but no round attempted a migration")
+				}
+				t.Logf("%s", res)
+			})
+		}
+	}
+}
+
+// TestChaosMidMigrationKill forces every round onto the mid-migration
+// instant: a live migration is started and the burst plus the move's
+// source or destination node is killed while it is in flight. The
+// exactly-once and state-equivalence oracles must survive kills landing
+// in any phase of the move — quiesce, drain, handoff, or just after
+// completion.
+func TestChaosMidMigrationKill(t *testing.T) {
+	for _, top := range Topologies {
+		for seed := int64(1); seed <= 2; seed++ {
+			top, seed := top, seed
+			t.Run(string(top)+"/seed="+string(rune('0'+seed)), func(t *testing.T) {
+				res, err := Run(context.Background(), Config{
+					Topology:     top,
+					Seed:         seed,
+					Placement:    "rackspread",
+					NodesPerRack: 2,
+					Migrations:   true,
+					Points:       []InjectionPoint{KillMidMigration},
+				})
+				if err != nil {
+					t.Fatalf("harness: %v", err)
+				}
+				if err := res.Err(); err != nil {
+					t.Fatal(err)
+				}
+				for i, rd := range res.RoundList {
+					if rd.Point != KillMidMigration {
+						t.Fatalf("round %d ran %s, want forced %s", i, rd.Point, KillMidMigration)
+					}
+					if rd.Migrated == "" || rd.MigrateKill < 0 {
+						t.Fatalf("round %d recorded no in-flight migration kill: %+v", i, rd)
+					}
+				}
+				t.Logf("%s", res)
+			})
+		}
+	}
+}
+
 // TestChaosScheduleReproducible pins seed replayability: two runs with the
 // same configuration must inject the identical kill schedule — same
 // bursts, same instants, same mid-recovery extras.
@@ -60,6 +134,32 @@ func TestChaosScheduleReproducible(t *testing.T) {
 	}
 	if sa, sb := extract(a), extract(b); !reflect.DeepEqual(sa, sb) {
 		t.Fatalf("same seed produced different schedules:\n%+v\n%+v", sa, sb)
+	}
+
+	// Migration mode must be just as replayable for the rng-driven parts
+	// of the schedule. (Migration destinations are bumped off the live
+	// placement, which timing can shift, so only the draws are pinned.)
+	migrated := func(res *Result) []string {
+		out := make([]string, 0, len(res.RoundList))
+		for _, rd := range res.RoundList {
+			out = append(out, rd.Migrated)
+		}
+		return out
+	}
+	mcfg := Config{Topology: FanIn, Seed: 7, Rounds: 3, Placement: "rackspread", NodesPerRack: 2, Migrations: true}
+	ma, err := Run(context.Background(), mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := Run(context.Background(), mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa, sb := extract(ma), extract(mb); !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("migration mode: same seed produced different schedules:\n%+v\n%+v", sa, sb)
+	}
+	if ga, gb := migrated(ma), migrated(mb); !reflect.DeepEqual(ga, gb) {
+		t.Fatalf("migration mode: same seed drew different migration targets: %v vs %v", ga, gb)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"meteorshower/internal/graph"
 	"meteorshower/internal/metrics"
 	"meteorshower/internal/operator"
+	"meteorshower/internal/placement"
 	"meteorshower/internal/spe"
 	"meteorshower/internal/storage"
 )
@@ -38,7 +39,24 @@ type AppSpec struct {
 type Config struct {
 	App    AppSpec
 	Scheme spe.Scheme
-	Nodes  int // worker nodes; HAUs are placed round-robin
+	Nodes  int // worker nodes
+
+	// Placement chooses which node hosts each HAU, both at startup and when
+	// recovery must re-place the HAUs of dead nodes. nil defaults to
+	// placement.RoundRobin — the historical behaviour (HAU i on node i mod
+	// Nodes).
+	Placement placement.Policy
+	// NodesPerRack is the failure-domain geometry placement policies see.
+	// 0 puts every node in one rack (rack-spread degenerates to balancing).
+	NodesPerRack int
+
+	// RebalanceEvery enables the controller's rebalancer loop: every
+	// period it evaluates node load and live-migrates at most
+	// RebalanceMaxMoves HAUs off the hottest node when its score exceeds
+	// the mean by RebalanceHysteresis. 0 disables rebalancing.
+	RebalanceEvery      time.Duration
+	RebalanceHysteresis float64
+	RebalanceMaxMoves   int
 
 	LocalDiskSpec  storage.DiskSpec
 	SharedSpec     storage.DiskSpec
@@ -122,6 +140,15 @@ type Cluster struct {
 	preservers map[string]*buffer.Preserver
 	rng        *rand.Rand
 
+	policy placement.Policy
+	topo   placement.Topology
+	rebal  *placement.Rebalancer
+	// gen counts topology-changing events (recoveries). A migration that
+	// observes gen change mid-flight aborts: the whole-application rollback
+	// that bumped it has already rebuilt the HAU somewhere consistent.
+	gen       uint64
+	migrating map[string]bool
+
 	rootCtx context.Context
 	started bool
 }
@@ -156,7 +183,13 @@ func New(cfg Config) (*Cluster, error) {
 		sourceLogs: make(map[string]*buffer.SourceLog),
 		preservers: make(map[string]*buffer.Preserver),
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		policy:     cfg.Placement,
+		migrating:  make(map[string]bool),
 	}
+	if cl.policy == nil {
+		cl.policy = placement.RoundRobin{}
+	}
+	cl.topo = placement.NewTopology(cfg.Nodes, cfg.NodesPerRack)
 	cl.catalog = storage.NewCatalog(cl.shared, cfg.App.Graph.Nodes())
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &node{index: i, disk: storage.NewDisk(cfg.LocalDiskSpec)}
@@ -164,8 +197,13 @@ func New(cfg Config) (*Cluster, error) {
 		cl.nodes = append(cl.nodes, n)
 	}
 	ids := cfg.App.Graph.Nodes()
+	initial := cl.policy.Assign(ids, cl.viewLocked(nil))
 	for i, id := range ids {
-		cl.hauNode[id] = i % cfg.Nodes
+		n, ok := initial[id]
+		if !ok || n < 0 || n >= cfg.Nodes {
+			n = i % cfg.Nodes // policy bug: fall back to round-robin
+		}
+		cl.hauNode[id] = n
 	}
 	ctrlCfg := controller.Config{
 		Scheme:       cfg.Scheme,
@@ -178,8 +216,68 @@ func New(cfg Config) (*Cluster, error) {
 		IsAlive:      cl.hauAlive,
 		Now:          cfg.Now,
 	}
+	if cfg.RebalanceEvery > 0 {
+		cl.rebal = placement.NewRebalancer(placement.RebalancerConfig{
+			Policy:     cl.policy,
+			View:       cl.PlacementView,
+			Migrate:    cl.rebalanceMigrate,
+			Hysteresis: cfg.RebalanceHysteresis,
+			MaxMoves:   cfg.RebalanceMaxMoves,
+		})
+		ctrlCfg.Rebalance = cl.rebal.Step
+		ctrlCfg.RebalanceEvery = cfg.RebalanceEvery
+	}
 	cl.ctrl = controller.New(ctrlCfg)
 	return cl, nil
+}
+
+// rebalanceMigrate adapts MigrateHAU for the rebalancer (which has no ctx).
+func (cl *Cluster) rebalanceMigrate(id string, dest int) error {
+	cl.mu.Lock()
+	ctx := cl.rootCtx
+	cl.mu.Unlock()
+	if ctx == nil {
+		return errors.New("cluster: not started")
+	}
+	_, err := cl.MigrateHAU(ctx, id, dest)
+	return err
+}
+
+// viewLocked assembles the placement view. Callers hold cl.mu, or pass the
+// pre-start nil HAU map before concurrency begins. exclude (may be nil)
+// names HAUs whose pinned placement should be hidden from the policy —
+// the ids being (re-)placed.
+func (cl *Cluster) viewLocked(exclude map[string]bool) placement.View {
+	v := placement.View{
+		Topo:     cl.topo,
+		Alive:    make([]bool, len(cl.nodes)),
+		HAUs:     make(map[string]placement.HAUInfo, len(cl.hauNode)),
+		DiskBusy: make([]time.Duration, len(cl.nodes)),
+	}
+	for i, n := range cl.nodes {
+		v.Alive[i] = n.alive.Load()
+		v.DiskBusy[i] = n.disk.Stats().BusyTime
+	}
+	for id, n := range cl.hauNode {
+		if exclude[id] {
+			continue
+		}
+		info := placement.HAUInfo{Node: n}
+		if h := cl.haus[id]; h != nil {
+			info.StateBytes = h.CachedStateSize()
+			info.Processed = h.ProcessedCount()
+		}
+		v.HAUs[id] = info
+	}
+	return v
+}
+
+// PlacementView snapshots the cluster state placement policies consume:
+// alive nodes, per-node disk busy time, and per-HAU node/state/throughput.
+func (cl *Cluster) PlacementView() placement.View {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.viewLocked(nil)
 }
 
 // Catalog exposes the checkpoint catalog.
@@ -203,6 +301,17 @@ func (cl *Cluster) NodeOf(id string) int {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	return cl.hauNode[id]
+}
+
+// firstHealthyLocked returns the lowest-index alive node, or -1. Held
+// lock: cl.mu.
+func (cl *Cluster) firstHealthyLocked() int {
+	for i, n := range cl.nodes {
+		if n.alive.Load() {
+			return i
+		}
+	}
+	return -1
 }
 
 func (cl *Cluster) hauAlive(id string) bool {
@@ -527,27 +636,43 @@ func (cl *Cluster) RecoverAll(ctx context.Context) (RecoveryStats, error) {
 		return stats, ErrNoCheckpoint
 	}
 
-	// Restart dead nodes' HAUs on healthy nodes: reassign placements.
+	// Restart dead nodes' HAUs on healthy nodes: reassign placements via
+	// the active policy (round-robin over healthy nodes historically).
 	cl.mu.Lock()
-	healthy := make([]int, 0, len(cl.nodes))
-	for i, n := range cl.nodes {
+	cl.gen++ // invalidate any in-flight migration
+	anyAlive := false
+	for _, n := range cl.nodes {
 		if n.alive.Load() {
-			healthy = append(healthy, i)
+			anyAlive = true
+			break
 		}
 	}
-	if len(healthy) == 0 {
+	if !anyAlive {
 		// Everything failed: the paper restarts HAUs "on other healthy
 		// nodes" — model replacement nodes by reviving the old ones.
 		for _, n := range cl.nodes {
 			n.alive.Store(true)
-			healthy = append(healthy, n.index)
 		}
 	}
-	k := 0
+	var dead []string
 	for _, id := range cl.cfg.App.Graph.Nodes() {
 		if !cl.nodes[cl.hauNode[id]].alive.Load() {
-			cl.hauNode[id] = healthy[k%len(healthy)]
-			k++
+			dead = append(dead, id)
+		}
+	}
+	if len(dead) > 0 {
+		exclude := make(map[string]bool, len(dead))
+		for _, id := range dead {
+			exclude[id] = true
+		}
+		placed := cl.policy.Assign(dead, cl.viewLocked(exclude))
+		for _, id := range dead {
+			n, ok := placed[id]
+			if !ok || n < 0 || n >= len(cl.nodes) || !cl.nodes[n].alive.Load() {
+				// Policy bug: any healthy node keeps recovery alive.
+				n = cl.firstHealthyLocked()
+			}
+			cl.hauNode[id] = n
 		}
 	}
 	g := cl.cfg.App.Graph
@@ -786,14 +911,15 @@ func (cl *Cluster) RecoverHAU(ctx context.Context, id string) (RecoveryStats, er
 	}
 	stats.DiskIO = time.Since(diskStart)
 
-	// Move to a healthy node if the old one is down.
+	// Move to a healthy node (chosen by the active policy) if the old one
+	// is down.
 	cl.mu.Lock()
 	if !cl.nodes[cl.hauNode[id]].alive.Load() {
-		for i, n := range cl.nodes {
-			if n.alive.Load() {
-				cl.hauNode[id] = i
-				break
-			}
+		placed := cl.policy.Assign([]string{id}, cl.viewLocked(map[string]bool{id: true}))
+		if n, ok := placed[id]; ok && n >= 0 && n < len(cl.nodes) && cl.nodes[n].alive.Load() {
+			cl.hauNode[id] = n
+		} else if n := cl.firstHealthyLocked(); n >= 0 {
+			cl.hauNode[id] = n
 		}
 	}
 	// Fresh input edges (in-flight tuples on the dead node are gone).

@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"meteorshower/internal/metrics"
+	"meteorshower/internal/spe"
+)
+
+// ErrMigrationAborted marks a live migration that could not complete —
+// the source incarnation died mid-drain, a whole-application recovery
+// superseded the move, or the quiesce/drain timed out. The application is
+// left in a state ordinary failure handling heals: either the old
+// incarnation still runs, or the failure detector sees it gone and
+// triggers recovery.
+var ErrMigrationAborted = errors.New("cluster: migration aborted")
+
+// MigrationStats decomposes one live migration.
+type MigrationStats struct {
+	HAU        string
+	From, To   int
+	MovedBytes int64
+	Drain      time.Duration // divert commands sent -> state blob handed over
+	Downtime   time.Duration // old incarnation stopped -> new one started
+	Restore    time.Duration // state deserialization on the destination
+}
+
+const (
+	migrateQuiesceTimeout = 5 * time.Second
+	migrateDrainTimeout   = 10 * time.Second
+)
+
+// MigrateHAU live-migrates one HAU to another node with exactly-once
+// semantics and no whole-application rollback:
+//
+//  1. Quiesce: scheme-driven checkpoint triggers are paused, then one
+//     explicit checkpoint epoch is driven to completion so no token
+//     alignment is in flight when migration tokens enter the streams.
+//  2. Divert: every upstream gets CmdMigrateOut — it flushes its pending
+//     batch plus a migration token to the OLD edge, then switches the
+//     port to a fresh edge feeding the destination incarnation.
+//  3. Drain: the old incarnation processes everything up to the tokens
+//     (per-edge FIFO makes the token a barrier), flushes its outputs,
+//     serializes its state onto the reply channel, and exits.
+//  4. Restore: the destination incarnation is rebuilt from the blob with
+//     the SAME downstream edges and the fresh input edges, so output
+//     sequence numbers continue exactly where the old incarnation
+//     stopped — downstream dedup state stays valid and nothing is
+//     replayed or lost.
+//
+// Downstream HAUs are never rolled back, which is why step 3 must flush
+// pending output before snapshotting: a dropped stamped tuple would be a
+// permanent sequence gap. The Baseline scheme is rejected — its
+// preserver/ack plumbing assumes single-HAU restart recovery, not
+// token-barrier handoff.
+func (cl *Cluster) MigrateHAU(ctx context.Context, id string, dest int) (MigrationStats, error) {
+	var stats MigrationStats
+	if cl.cfg.Scheme == spe.Baseline {
+		return stats, errors.New("cluster: live migration requires a token scheme (not Baseline)")
+	}
+
+	cl.mu.Lock()
+	if !cl.started {
+		cl.mu.Unlock()
+		return stats, errors.New("cluster: not started")
+	}
+	old := cl.haus[id]
+	if old == nil {
+		cl.mu.Unlock()
+		return stats, fmt.Errorf("cluster: unknown HAU %q", id)
+	}
+	if dest < 0 || dest >= len(cl.nodes) {
+		cl.mu.Unlock()
+		return stats, fmt.Errorf("cluster: no such node %d", dest)
+	}
+	if !cl.nodes[dest].alive.Load() {
+		cl.mu.Unlock()
+		return stats, fmt.Errorf("cluster: destination node %d is dead", dest)
+	}
+	src := cl.hauNode[id]
+	if src == dest {
+		cl.mu.Unlock()
+		return stats, fmt.Errorf("cluster: HAU %q already on node %d", id, dest)
+	}
+	if cl.migrating[id] {
+		cl.mu.Unlock()
+		return stats, fmt.Errorf("cluster: HAU %q already migrating", id)
+	}
+	cl.migrating[id] = true
+	gen0 := cl.gen
+	cl.mu.Unlock()
+	defer func() {
+		cl.mu.Lock()
+		delete(cl.migrating, id)
+		cl.mu.Unlock()
+	}()
+	stats.HAU, stats.From, stats.To = id, src, dest
+
+	// Quiesce: no checkpoint alignment may be in flight while migration
+	// tokens travel, or token ordering on the old edges would interleave.
+	// Pausing first and then driving one fresh epoch to completion
+	// guarantees it: completion means every HAU finished aligning, and the
+	// pause stops new epochs until the move is done.
+	cl.ctrl.PauseCheckpoints()
+	defer cl.ctrl.ResumeCheckpoints()
+	if err := cl.quiesceCheckpoints(ctx); err != nil {
+		return stats, err
+	}
+
+	// The recovery generation must not have moved: a whole-application
+	// rollback rebuilt every HAU and our captured instance is stale.
+	cl.mu.Lock()
+	if cl.gen != gen0 || cl.haus[id] != old || !cl.nodes[dest].alive.Load() {
+		cl.mu.Unlock()
+		return stats, fmt.Errorf("%w: superseded before drain", ErrMigrationAborted)
+	}
+	g := cl.cfg.App.Graph
+	ups := g.Upstream(id)
+	newEdges := make([]*spe.Edge, len(ups))
+	for i, up := range ups {
+		newEdges[i] = spe.NewEdgeBatch(up, id, cl.cfg.EdgeBuffer, cl.cfg.EdgeBatch)
+	}
+	upHAUs := make([]*spe.HAU, len(ups))
+	for i, up := range ups {
+		upHAUs[i] = cl.haus[up]
+	}
+	cl.mu.Unlock()
+
+	drainStart := time.Now()
+	for i, up := range ups {
+		uh := upHAUs[i]
+		if uh == nil {
+			continue
+		}
+		outPort := -1
+		for p, d := range g.Downstream(up) {
+			if d == id {
+				outPort = p
+				break
+			}
+		}
+		if outPort < 0 {
+			continue
+		}
+		uh.Command(spe.Command{Kind: spe.CmdMigrateOut, Port: outPort, Edge: newEdges[i]})
+	}
+	reply := make(chan []byte, 1)
+	old.Command(spe.Command{Kind: spe.CmdMigrateSnap, Reply: reply})
+
+	var blob []byte
+	drainDeadline := time.After(migrateDrainTimeout)
+	drainTick := time.NewTicker(500 * time.Microsecond)
+	defer drainTick.Stop()
+drain:
+	for {
+		select {
+		case blob = <-reply:
+			break drain
+		case <-old.Done():
+			// The old incarnation replies and then exits, so Done and the
+			// buffered reply can be ready simultaneously — and select picks
+			// arbitrarily. Prefer the state blob if it was handed over.
+			select {
+			case blob = <-reply:
+				break drain
+			default:
+			}
+			// It died before handing its state over (node killed
+			// mid-drain). The failure detector / chaos harness drives a
+			// whole-application recovery that re-places the HAU
+			// consistently.
+			return stats, fmt.Errorf("%w: source incarnation died mid-drain", ErrMigrationAborted)
+		case <-ctx.Done():
+			return stats, fmt.Errorf("%w: %v", ErrMigrationAborted, ctx.Err())
+		case <-drainDeadline:
+			return stats, fmt.Errorf("%w: drain timed out", ErrMigrationAborted)
+		case <-drainTick.C:
+			// An upstream's node died: its migration token will never
+			// arrive, so the drain cannot complete. Bail out now rather than
+			// burning the whole timeout — recovery is coming anyway.
+			if len(cl.DeadHAUs()) > 0 {
+				return stats, fmt.Errorf("%w: node failure during drain", ErrMigrationAborted)
+			}
+		}
+	}
+	stats.Drain = time.Since(drainStart)
+	stats.MovedBytes = int64(len(blob))
+
+	// Handoff: the old incarnation has exited on its own; from here until
+	// Start below, HAU id is not processing — the downtime window.
+	downStart := time.Now()
+	cl.mu.Lock()
+	if cl.gen != gen0 {
+		cl.mu.Unlock()
+		return stats, fmt.Errorf("%w: superseded during drain", ErrMigrationAborted)
+	}
+	if c := cl.cancels[id]; c != nil {
+		c() // release the old incarnation's forwarder goroutines
+	}
+	target := dest
+	if !cl.nodes[target].alive.Load() {
+		// Destination died during the drain: fall back to the source node —
+		// the blob is the authoritative state either way.
+		target = src
+		if !cl.nodes[target].alive.Load() {
+			cl.mu.Unlock()
+			return stats, fmt.Errorf("%w: destination and source nodes both dead", ErrMigrationAborted)
+		}
+	}
+	cl.inEdges[id] = newEdges
+	cl.hauNode[id] = target
+	h, _, restoreDur, err := cl.buildHAU(id, blob)
+	if err != nil {
+		cl.mu.Unlock()
+		// The HAU is down until the failure detector notices; surface the
+		// cause rather than masking it as an abort.
+		return stats, fmt.Errorf("cluster: migration restore of %q: %w", id, err)
+	}
+	cl.haus[id] = h
+	hctx, cancel := context.WithCancel(cl.rootCtx)
+	cl.cancels[id] = cancel
+	cl.installControllerHAUs()
+	cl.mu.Unlock()
+	h.Start(hctx)
+	stats.To = target
+	stats.Restore = restoreDur
+	stats.Downtime = time.Since(downStart)
+
+	if cl.cfg.Metrics != nil {
+		cl.cfg.Metrics.RecordMigration(metrics.Migration{
+			At:         cl.cfg.Now(),
+			HAU:        id,
+			From:       stats.From,
+			To:         stats.To,
+			MovedBytes: stats.MovedBytes,
+			Drain:      stats.Drain,
+			Downtime:   stats.Downtime,
+			Restore:    stats.Restore,
+		})
+	}
+	return stats, nil
+}
+
+// quiesceCheckpoints drives one fresh checkpoint epoch to completion.
+// Waiting on an EXISTING epoch would wedge: an epoch abandoned by a
+// failure never completes. A fresh epoch triggered while the application
+// is healthy completes quickly; if it does not, something is already
+// wrong and the migration aborts.
+func (cl *Cluster) quiesceCheckpoints(ctx context.Context) error {
+	ep := cl.ctrl.TriggerCheckpoint()
+	deadline := time.After(migrateQuiesceTimeout)
+	tick := time.NewTicker(500 * time.Microsecond)
+	defer tick.Stop()
+	for {
+		if mrc, ok := cl.catalog.MostRecentComplete(); ok && mrc >= ep {
+			return nil
+		}
+		if len(cl.DeadHAUs()) > 0 {
+			// A member HAU's node is down: the epoch can never complete.
+			return fmt.Errorf("%w: node failure during quiesce", ErrMigrationAborted)
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("%w: %v", ErrMigrationAborted, ctx.Err())
+		case <-deadline:
+			return fmt.Errorf("%w: quiesce epoch %d did not complete", ErrMigrationAborted, ep)
+		case <-tick.C:
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"meteorshower/internal/metrics"
+	"meteorshower/internal/placement"
+	"meteorshower/internal/spe"
+)
+
+func TestMigrateHAURejectsBaseline(t *testing.T) {
+	cl, _, _ := newTestCluster(t, spe.Baseline, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := cl.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer cl.StopAll()
+	if _, err := cl.MigrateHAU(ctx, "M", 1); err == nil {
+		t.Fatal("baseline migration accepted")
+	}
+}
+
+func TestMigrateHAUValidation(t *testing.T) {
+	cl, _, _ := newTestCluster(t, spe.MSSrcAP, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if _, err := cl.MigrateHAU(ctx, "M", 1); err == nil {
+		t.Fatal("migration before Start accepted")
+	}
+	if err := cl.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer cl.StopAll()
+	if _, err := cl.MigrateHAU(ctx, "nope", 1); err == nil {
+		t.Fatal("unknown HAU accepted")
+	}
+	if _, err := cl.MigrateHAU(ctx, "M", 99); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if _, err := cl.MigrateHAU(ctx, "M", cl.NodeOf("M")); err == nil {
+		t.Fatal("same-node migration accepted")
+	}
+	dead := (cl.NodeOf("M") + 1) % 3
+	cl.KillNode(dead)
+	if _, err := cl.MigrateHAU(ctx, "M", dead); err == nil {
+		t.Fatal("dead destination accepted")
+	}
+}
+
+// migrateStreaming migrates id while the application streams and verifies
+// the sink saw exactly-once delivery across the move.
+func migrateStreaming(t *testing.T, scheme spe.Scheme, id string) {
+	t.Helper()
+	col := metrics.NewCollector()
+	reg := &sinkRegistry{}
+	local, shared := fastSpecs()
+	cl, err := New(Config{
+		App:           testApp(col, reg),
+		Scheme:        scheme,
+		Nodes:         4,
+		NodesPerRack:  2,
+		Placement:     placement.RackSpread{},
+		LocalDiskSpec: local,
+		SharedSpec:    shared,
+		TickEvery:     time.Millisecond,
+		SourceFlush:   256,
+		Seed:          1,
+		Metrics:       col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := cl.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "initial deliveries", func() bool {
+		s := reg.get()
+		return s != nil && s.Delivered() > 50
+	})
+	from := cl.NodeOf(id)
+	dest := -1
+	for n := 0; n < 4; n++ {
+		if n != from {
+			dest = n
+			break
+		}
+	}
+	stats, err := cl.MigrateHAU(ctx, id, dest)
+	if err != nil {
+		t.Fatalf("MigrateHAU(%s -> %d): %v", id, dest, err)
+	}
+	if cl.NodeOf(id) != dest {
+		t.Fatalf("HAU %s on node %d after migration, want %d", id, cl.NodeOf(id), dest)
+	}
+	if stats.From != from || stats.To != dest {
+		t.Fatalf("stats route %d->%d, want %d->%d", stats.From, stats.To, from, dest)
+	}
+	if stats.MovedBytes <= 0 {
+		t.Fatalf("moved %d bytes, want > 0", stats.MovedBytes)
+	}
+	if stats.Drain <= 0 || stats.Downtime <= 0 {
+		t.Fatalf("implausible timings: drain=%v downtime=%v", stats.Drain, stats.Downtime)
+	}
+	// The stream must keep flowing through the new incarnation.
+	after := reg.get().Delivered()
+	waitFor(t, 5*time.Second, "post-migration deliveries", func() bool {
+		return reg.get().Delivered() > after+50
+	})
+	cl.StopAll()
+	rep := reg.get().Report()
+	if v := rep.TotalViolations(); v != 0 {
+		t.Fatalf("exactly-once violated across migration:\n%s", rep)
+	}
+	migs := col.Migrations()
+	if len(migs) != 1 || migs[0].HAU != id || migs[0].MovedBytes != stats.MovedBytes {
+		t.Fatalf("metrics migrations = %+v, want one record for %s", migs, id)
+	}
+}
+
+func TestMigrateHAUExactlyOnceMSSrcAP(t *testing.T) { migrateStreaming(t, spe.MSSrcAP, "M") }
+func TestMigrateHAUExactlyOnceMSSrc(t *testing.T)   { migrateStreaming(t, spe.MSSrc, "M") }
+func TestMigrateSourceHAU(t *testing.T)             { migrateStreaming(t, spe.MSSrcAP, "S0") }
+func TestMigrateSinkHAU(t *testing.T)               { migrateStreaming(t, spe.MSSrcAP, "K") }
+
+// TestMigrateThenRecover checks the two subsystems compose: a migration
+// followed by a burst kill and whole-application recovery still yields
+// exactly-once delivery, and recovery re-places the dead HAUs through the
+// placement policy.
+func TestMigrateThenRecover(t *testing.T) {
+	col := metrics.NewCollector()
+	reg := &sinkRegistry{}
+	local, shared := fastSpecs()
+	cl, err := New(Config{
+		App:           testApp(col, reg),
+		Scheme:        spe.MSSrcAP,
+		Nodes:         4,
+		NodesPerRack:  2,
+		Placement:     placement.RackSpread{},
+		LocalDiskSpec: local,
+		SharedSpec:    shared,
+		TickEvery:     time.Millisecond,
+		SourceFlush:   256,
+		RetainEpochs:  2,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := cl.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "initial deliveries", func() bool {
+		s := reg.get()
+		return s != nil && s.Delivered() > 50
+	})
+	from := cl.NodeOf("M")
+	dest := (from + 1) % 4
+	if dest == from {
+		dest = (from + 2) % 4
+	}
+	if _, err := cl.MigrateHAU(ctx, "M", dest); err != nil {
+		t.Fatal(err)
+	}
+	cl.Controller().TriggerCheckpoint()
+	waitFor(t, 5*time.Second, "post-migration checkpoint", func() bool {
+		_, ok := cl.Catalog().MostRecentComplete()
+		return ok
+	})
+	cl.KillNode(dest) // takes down the freshly migrated HAU
+	if _, err := cl.RecoverAllWithRetry(ctx, 10, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !cl.nodes[cl.NodeOf("M")].alive.Load() {
+		t.Fatalf("M re-placed on dead node %d", cl.NodeOf("M"))
+	}
+	after := reg.get().Delivered()
+	waitFor(t, 5*time.Second, "post-recovery deliveries", func() bool {
+		return reg.get().Delivered() > after+50
+	})
+	cl.StopAll()
+	rep := reg.get().Report()
+	if v := rep.TotalViolations(); v != 0 {
+		t.Fatalf("exactly-once violated across migration+recovery:\n%s", rep)
+	}
+}

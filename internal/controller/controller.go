@@ -49,6 +49,14 @@ type Config struct {
 	// turn out to be lost or corrupted.
 	RetainEpochs int
 
+	// Rebalance, when set, is invoked every RebalanceEvery by the Run
+	// loop (the cluster wires it to a placement.Rebalancer.Step). It is
+	// skipped while checkpoints are paused, while a failure incident is
+	// open, and while a previous invocation is still running.
+	Rebalance func() (int, error)
+	// RebalanceEvery enables the rebalancer tick. Zero disables it.
+	RebalanceEvery time.Duration
+
 	// PingEvery is the failure-detection poll interval.
 	PingEvery time.Duration
 	// IsAlive reports whether an HAU's node currently responds to pings.
@@ -103,6 +111,8 @@ type Controller struct {
 	profAgg    *statesize.Aggregator
 	lastPrune  uint64
 	failed     bool
+	paused     int  // PauseCheckpoints nesting depth
+	rebalBusy  bool // a Rebalance invocation is in flight
 
 	tpCh chan tpEvent
 	done chan struct{}
@@ -204,6 +214,34 @@ func (c *Controller) InAlertMode() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.alert
+}
+
+// PauseCheckpoints suspends scheme-driven checkpoint triggers — the
+// periodic tick and alert-mode firing — until the matching
+// ResumeCheckpoints. Calls nest. Manual TriggerCheckpoint calls still
+// work: the live-migration engine pauses the scheduler, then drives one
+// explicit epoch to quiesce any in-flight alignment before it drains, so
+// migration tokens never interleave with checkpoint tokens.
+func (c *Controller) PauseCheckpoints() {
+	c.mu.Lock()
+	c.paused++
+	c.mu.Unlock()
+}
+
+// ResumeCheckpoints re-enables scheme-driven checkpoint triggers.
+func (c *Controller) ResumeCheckpoints() {
+	c.mu.Lock()
+	if c.paused > 0 {
+		c.paused--
+	}
+	c.mu.Unlock()
+}
+
+// CheckpointsPaused reports whether scheme-driven triggers are suspended.
+func (c *Controller) CheckpointsPaused() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.paused > 0
 }
 
 // TriggerCheckpoint starts the next checkpoint epoch immediately and
@@ -342,6 +380,12 @@ func (c *Controller) Run(ctx context.Context) {
 	}
 	pingTick = time.NewTicker(c.cfg.PingEvery)
 	defer pingTick.Stop()
+	rebalEvery := c.cfg.RebalanceEvery
+	if c.cfg.Rebalance == nil || rebalEvery <= 0 {
+		rebalEvery = time.Hour
+	}
+	rebalTick := time.NewTicker(rebalEvery)
+	defer rebalTick.Stop()
 
 	aa := c.cfg.Scheme.ApplicationAware()
 	if aa {
@@ -357,6 +401,9 @@ func (c *Controller) Run(ctx context.Context) {
 		case <-periodTick.C:
 			if c.cfg.Scheme == spe.Baseline {
 				continue // baseline HAUs checkpoint on their own timers
+			}
+			if c.CheckpointsPaused() {
+				continue // a live migration is draining
 			}
 			if aa {
 				c.mu.Lock()
@@ -378,8 +425,37 @@ func (c *Controller) Run(ctx context.Context) {
 			c.onTurningPoint(ev)
 		case <-pingTick.C:
 			c.pingNodes()
+		case <-rebalTick.C:
+			c.maybeRebalance()
 		}
 	}
+}
+
+// maybeRebalance runs one rebalancer step on its own goroutine (a live
+// migration blocks for the drain, and failure pings must keep flowing
+// meanwhile). Skipped while a failure incident is open, while checkpoints
+// are paused, and while a previous step is still running.
+func (c *Controller) maybeRebalance() {
+	c.mu.Lock()
+	fn := c.cfg.Rebalance
+	skip := fn == nil || c.rebalBusy || c.failed || c.paused > 0
+	if !skip {
+		c.rebalBusy = true
+	}
+	c.mu.Unlock()
+	if skip {
+		return
+	}
+	go func() {
+		defer func() {
+			c.mu.Lock()
+			c.rebalBusy = false
+			c.mu.Unlock()
+		}()
+		// A failed step (destination died mid-move, superseded by a
+		// recovery) is retried from fresh load numbers on the next tick.
+		_, _ = fn()
+	}()
 }
 
 // Done is closed when Run exits.
@@ -411,8 +487,9 @@ func (c *Controller) onTurningPoint(ev tpEvent) {
 		c.mu.Lock()
 		c.agg.Report(ev.hau, ev.at, ev.size, ev.icr)
 		total := c.agg.TotalICR()
+		paused := c.paused > 0
 		c.mu.Unlock()
-		if total > 0 {
+		if total > 0 && !paused {
 			c.TriggerCheckpoint()
 		}
 	case ev.halved && !fired:

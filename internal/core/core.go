@@ -21,6 +21,7 @@ import (
 	"meteorshower/internal/cluster"
 	"meteorshower/internal/controller"
 	"meteorshower/internal/metrics"
+	"meteorshower/internal/placement"
 	"meteorshower/internal/spe"
 	"meteorshower/internal/statesize"
 	"meteorshower/internal/storage"
@@ -31,6 +32,18 @@ type Options struct {
 	App    cluster.AppSpec
 	Scheme spe.Scheme
 	Nodes  int
+
+	// Placement chooses which node hosts each HAU (initially and when
+	// recovery re-places the HAUs of dead nodes). nil keeps round-robin.
+	Placement placement.Policy
+	// NodesPerRack is the failure-domain geometry placement policies see;
+	// 0 puts every node in one rack.
+	NodesPerRack int
+	// RebalanceEvery enables the controller's live-migration rebalancer
+	// loop with the given period; 0 disables it.
+	RebalanceEvery      time.Duration
+	RebalanceHysteresis float64
+	RebalanceMaxMoves   int
 
 	// CheckpointPeriod is the checkpoint period T (controller-driven for
 	// MS schemes, per-HAU for the baseline). Zero disables periodic
@@ -103,23 +116,28 @@ type System struct {
 func NewSystem(opts Options) (*System, error) {
 	opts.applyDefaults()
 	cl, err := cluster.New(cluster.Config{
-		App:             opts.App,
-		Scheme:          opts.Scheme,
-		Nodes:           opts.Nodes,
-		LocalDiskSpec:   opts.LocalDisk,
-		SharedSpec:      opts.SharedDisk,
-		EdgeBuffer:      opts.EdgeBuffer,
-		EdgeBatch:       opts.EdgeBatch,
-		TickEvery:       opts.TickEvery,
-		CkptPeriod:      opts.CheckpointPeriod,
-		PreserveMemCap:  opts.PreserveMemCap,
-		SourceFlush:     opts.SourceFlush,
-		PerTupleDelay:   opts.PerTupleDelay,
-		Seed:            opts.Seed,
-		Listener:        opts.Listener,
-		DeltaCheckpoint: opts.DeltaCheckpoint,
-		ShedWatermark:   opts.ShedWatermark,
-		Metrics:         opts.Metrics,
+		App:                 opts.App,
+		Scheme:              opts.Scheme,
+		Nodes:               opts.Nodes,
+		Placement:           opts.Placement,
+		NodesPerRack:        opts.NodesPerRack,
+		RebalanceEvery:      opts.RebalanceEvery,
+		RebalanceHysteresis: opts.RebalanceHysteresis,
+		RebalanceMaxMoves:   opts.RebalanceMaxMoves,
+		LocalDiskSpec:       opts.LocalDisk,
+		SharedSpec:          opts.SharedDisk,
+		EdgeBuffer:          opts.EdgeBuffer,
+		EdgeBatch:           opts.EdgeBatch,
+		TickEvery:           opts.TickEvery,
+		CkptPeriod:          opts.CheckpointPeriod,
+		PreserveMemCap:      opts.PreserveMemCap,
+		SourceFlush:         opts.SourceFlush,
+		PerTupleDelay:       opts.PerTupleDelay,
+		Seed:                opts.Seed,
+		Listener:            opts.Listener,
+		DeltaCheckpoint:     opts.DeltaCheckpoint,
+		ShedWatermark:       opts.ShedWatermark,
+		Metrics:             opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -205,6 +223,12 @@ func (s *System) RecoverAllWithRetry(ctx context.Context, attempts int, backoff 
 // (baseline recovery).
 func (s *System) RecoverHAU(ctx context.Context, id string) (cluster.RecoveryStats, error) {
 	return s.cl.RecoverHAU(ctx, id)
+}
+
+// MigrateHAU live-migrates one HAU to another node with exactly-once
+// semantics (token-aligned drain, snapshot, restore, edge rerouting).
+func (s *System) MigrateHAU(ctx context.Context, id string, dest int) (cluster.MigrationStats, error) {
+	return s.cl.MigrateHAU(ctx, id, dest)
 }
 
 // Stop shuts down all HAUs.

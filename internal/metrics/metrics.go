@@ -32,6 +32,19 @@ type Recovery struct {
 	Total       time.Duration
 }
 
+// Migration is one live HAU migration: the token-aligned drain of the old
+// incarnation, the handoff downtime (neither incarnation processing), and
+// the state restore on the destination node.
+type Migration struct {
+	At         int64 // ns timestamp of migration completion
+	HAU        string
+	From, To   int
+	MovedBytes int64
+	Drain      time.Duration // divert command -> state handoff
+	Downtime   time.Duration // old incarnation stopped -> new one started
+	Restore    time.Duration // state deserialization at the destination
+}
+
 // Collector accumulates sink-side observations. Safe for concurrent use —
 // multiple sink HAUs may share one collector.
 type Collector struct {
@@ -40,6 +53,7 @@ type Collector struct {
 	latSum     time.Duration
 	points     []Point
 	recoveries []Recovery
+	migrations []Migration
 }
 
 // NewCollector returns an empty collector.
@@ -158,6 +172,20 @@ func (c *Collector) Recoveries() []Recovery {
 	return append([]Recovery(nil), c.recoveries...)
 }
 
+// RecordMigration appends one live migration's timings.
+func (c *Collector) RecordMigration(m Migration) {
+	c.mu.Lock()
+	c.migrations = append(c.migrations, m)
+	c.mu.Unlock()
+}
+
+// Migrations returns every recorded live migration, oldest first.
+func (c *Collector) Migrations() []Migration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Migration(nil), c.migrations...)
+}
+
 // Reset clears all observations.
 func (c *Collector) Reset() {
 	c.mu.Lock()
@@ -165,5 +193,6 @@ func (c *Collector) Reset() {
 	c.latSum = 0
 	c.points = nil
 	c.recoveries = nil
+	c.migrations = nil
 	c.mu.Unlock()
 }

@@ -1,0 +1,232 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// HAUInfo is one HAU's placement and load as the cluster sees it.
+type HAUInfo struct {
+	Node       int
+	StateBytes int64  // last sampled operator state size
+	Processed  uint64 // cumulative tuples processed since start
+}
+
+// View is a consistent snapshot of the cluster a policy decides against:
+// the failure-domain topology, node liveness, every HAU's current
+// placement and load, and per-node cumulative disk busy time.
+type View struct {
+	Topo     Topology
+	Alive    []bool
+	HAUs     map[string]HAUInfo
+	DiskBusy []time.Duration // per node, cumulative modelled busy time
+}
+
+// AliveNodes returns the indices of alive nodes in ascending order. When
+// nothing is alive every node is returned — the caller is about to revive
+// replacement hardware and a policy must still produce a placement.
+func (v View) AliveNodes() []int {
+	out := make([]int, 0, len(v.Alive))
+	for i, a := range v.Alive {
+		if a {
+			out = append(out, i)
+		}
+	}
+	if len(out) == 0 {
+		for i := range v.Alive {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Policy decides which node hosts each HAU. Initial placement, recovery
+// re-placement, and rebalancer migrations all go through the active
+// policy.
+type Policy interface {
+	Name() string
+	// Assign places ids onto alive nodes. Entries of v.HAUs not in ids
+	// are pinned context (they stay where they are); entries for the ids
+	// themselves describe the placement being abandoned and are ignored.
+	// The returned map holds a node for every id. Assign must be
+	// deterministic in (ids, v).
+	Assign(ids []string, v View) map[string]int
+}
+
+// Parse resolves a policy by name. The empty string selects round-robin
+// (the historical default).
+func Parse(name string) (Policy, error) {
+	switch name {
+	case "", "roundrobin", "rr":
+		return RoundRobin{}, nil
+	case "rackspread", "rack":
+		return RackSpread{}, nil
+	case "loadaware", "load":
+		return LoadAware{}, nil
+	default:
+		return nil, fmt.Errorf("placement: unknown policy %q (want roundrobin, rackspread or loadaware)", name)
+	}
+}
+
+// Names lists the accepted policy names for CLI help strings.
+func Names() []string { return []string{"roundrobin", "rackspread", "loadaware"} }
+
+// RoundRobin reproduces the cluster's original behaviour: ids in order
+// onto alive nodes in index order. It ignores topology and load entirely —
+// it is the baseline the failure-domain-aware policies are measured
+// against.
+type RoundRobin struct{}
+
+// Name implements Policy.
+func (RoundRobin) Name() string { return "roundrobin" }
+
+// Assign implements Policy.
+func (RoundRobin) Assign(ids []string, v View) map[string]int {
+	alive := v.AliveNodes()
+	out := make(map[string]int, len(ids))
+	for i, id := range ids {
+		out[id] = alive[i%len(alive)]
+	}
+	return out
+}
+
+// RackSpread minimizes co-located HAUs of the application per failure
+// domain: each id goes to the alive node in the least-loaded rack,
+// counting both pinned HAUs and the ids already placed in this call.
+// Greedy min-count placement keeps rack occupancies within one of each
+// other, so no rack ever holds more than ⌈HAUs/aliveRacks⌉ of the app —
+// the bound a single rack- or power-aligned burst can destroy.
+type RackSpread struct{}
+
+// Name implements Policy.
+func (RackSpread) Name() string { return "rackspread" }
+
+// Assign implements Policy.
+func (RackSpread) Assign(ids []string, v View) map[string]int {
+	alive := v.AliveNodes()
+	moving := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		moving[id] = true
+	}
+	rackCount := make(map[int]int)
+	nodeCount := make(map[int]int)
+	for id, info := range v.HAUs {
+		if moving[id] {
+			continue
+		}
+		if info.Node >= 0 && info.Node < len(v.Alive) && v.Alive[info.Node] {
+			rackCount[v.Topo.RackOf(info.Node)]++
+			nodeCount[info.Node]++
+		}
+	}
+	out := make(map[string]int, len(ids))
+	for _, id := range ids {
+		best := -1
+		for _, n := range alive {
+			if best < 0 {
+				best = n
+				continue
+			}
+			rn, rb := v.Topo.RackOf(n), v.Topo.RackOf(best)
+			switch {
+			case rackCount[rn] < rackCount[rb]:
+				best = n
+			case rackCount[rn] == rackCount[rb] && nodeCount[n] < nodeCount[best]:
+				best = n
+			}
+		}
+		out[id] = best
+		rackCount[v.Topo.RackOf(best)]++
+		nodeCount[best]++
+	}
+	return out
+}
+
+// LoadAware balances nodes by observed load: state bytes (what a
+// checkpoint writes and a recovery reloads), processed-tuple counts (CPU),
+// and disk busy time. Each component is normalized to its cluster-wide
+// total so the three units compose; HAU count breaks ties toward the
+// emptier node. Within equal load it also prefers emptier racks, so it
+// degrades toward rack-spread instead of toward packing.
+type LoadAware struct{}
+
+// Name implements Policy.
+func (LoadAware) Name() string { return "loadaware" }
+
+// Assign implements Policy.
+func (LoadAware) Assign(ids []string, v View) map[string]int {
+	alive := v.AliveNodes()
+	moving := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		moving[id] = true
+	}
+	state := make([]float64, len(v.Alive))
+	procd := make([]float64, len(v.Alive))
+	count := make([]int, len(v.Alive))
+	rackCount := make(map[int]int)
+	var stateTotal, procTotal, busyTotal float64
+	for id, info := range v.HAUs {
+		stateTotal += float64(info.StateBytes)
+		procTotal += float64(info.Processed)
+		if moving[id] || info.Node < 0 || info.Node >= len(v.Alive) || !v.Alive[info.Node] {
+			continue
+		}
+		state[info.Node] += float64(info.StateBytes)
+		procd[info.Node] += float64(info.Processed)
+		count[info.Node]++
+		rackCount[v.Topo.RackOf(info.Node)]++
+	}
+	busy := make([]float64, len(v.Alive))
+	for i := range v.DiskBusy {
+		if i < len(busy) {
+			busy[i] = float64(v.DiskBusy[i])
+			busyTotal += busy[i]
+		}
+	}
+	frac := func(x, total float64) float64 {
+		if total <= 0 {
+			return 0
+		}
+		return x / total
+	}
+	score := func(n int) float64 {
+		return frac(state[n], stateTotal) + frac(procd[n], procTotal) + frac(busy[n], busyTotal)
+	}
+	// Place heavier HAUs first so the greedy fill packs well.
+	order := append([]string(nil), ids...)
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := v.HAUs[order[i]], v.HAUs[order[j]]
+		if a.StateBytes != b.StateBytes {
+			return a.StateBytes > b.StateBytes
+		}
+		return a.Processed > b.Processed
+	})
+	out := make(map[string]int, len(ids))
+	for _, id := range order {
+		best := -1
+		for _, n := range alive {
+			if best < 0 {
+				best = n
+				continue
+			}
+			sn, sb := score(n), score(best)
+			switch {
+			case sn < sb:
+				best = n
+			case sn == sb && count[n] < count[best]:
+				best = n
+			case sn == sb && count[n] == count[best] &&
+				rackCount[v.Topo.RackOf(n)] < rackCount[v.Topo.RackOf(best)]:
+				best = n
+			}
+		}
+		out[id] = best
+		info := v.HAUs[id]
+		state[best] += float64(info.StateBytes)
+		procd[best] += float64(info.Processed)
+		count[best]++
+		rackCount[v.Topo.RackOf(best)]++
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package placement
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// Move records one migration the rebalancer issued.
+type Move struct {
+	HAU      string
+	From, To int
+}
+
+// RebalancerConfig wires a Rebalancer to the cluster layer. View and
+// Migrate are the only coupling points, so the rebalancer itself stays
+// free of cluster imports and is testable against stubs.
+type RebalancerConfig struct {
+	Policy Policy
+	// View snapshots current placement and load.
+	View func() View
+	// Migrate live-migrates one HAU; it blocks until the move completes
+	// or aborts.
+	Migrate func(id string, dest int) error
+	// Hysteresis is the imbalance dead-band: a migration is considered
+	// only when the hottest node's load exceeds (1+Hysteresis) times the
+	// mean. Default 0.25. Without the dead-band the rebalancer would
+	// chase measurement noise and oscillate HAUs between nodes.
+	Hysteresis float64
+	// MaxMoves bounds migrations per Step (default 1): load numbers are
+	// stale the moment the first migration lands, so further moves in the
+	// same step act on fiction.
+	MaxMoves int
+	Logf     func(format string, args ...any)
+}
+
+// Rebalancer periodically compares per-node load and migrates HAUs off the
+// hottest node. Load is measured as deltas between successive views
+// (tuple-rate and disk-busy are cumulative counters), so the first Step
+// only records a baseline.
+type Rebalancer struct {
+	cfg RebalancerConfig
+
+	mu      sync.Mutex
+	prev    View
+	hasPrev bool
+	moves   []Move
+}
+
+// NewRebalancer validates cfg and returns a stopped rebalancer; the
+// controller (or a test) drives it by calling Step.
+func NewRebalancer(cfg RebalancerConfig) *Rebalancer {
+	if cfg.Policy == nil {
+		cfg.Policy = RoundRobin{}
+	}
+	if cfg.Hysteresis <= 0 {
+		cfg.Hysteresis = 0.25
+	}
+	if cfg.MaxMoves <= 0 {
+		cfg.MaxMoves = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Rebalancer{cfg: cfg}
+}
+
+// Moves returns every migration issued so far, oldest first.
+func (r *Rebalancer) Moves() []Move {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Move(nil), r.moves...)
+}
+
+// Step takes one load reading and issues at most MaxMoves migrations.
+// Returns how many migrations were performed.
+func (r *Rebalancer) Step() (int, error) {
+	if r.cfg.View == nil || r.cfg.Migrate == nil {
+		return 0, errors.New("placement: rebalancer not wired to a cluster")
+	}
+	v := r.cfg.View()
+
+	r.mu.Lock()
+	prev, hasPrev := r.prev, r.hasPrev
+	r.prev, r.hasPrev = v, true
+	r.mu.Unlock()
+	if !hasPrev || len(v.Alive) < 2 {
+		return 0, nil // first reading is the rate baseline
+	}
+
+	score, own := r.scores(v, prev)
+	alive := v.AliveNodes()
+	if len(alive) < 2 {
+		return 0, nil
+	}
+	var mean float64
+	for _, n := range alive {
+		mean += score[n]
+	}
+	mean /= float64(len(alive))
+
+	moved := 0
+	for moved < r.cfg.MaxMoves {
+		hot := alive[0]
+		for _, n := range alive {
+			if score[n] > score[hot] {
+				hot = n
+			}
+		}
+		if mean <= 0 || score[hot] <= mean*(1+r.cfg.Hysteresis) {
+			return moved, nil // within the dead-band: leave it alone
+		}
+		cand := r.candidates(v, hot, own)
+		if len(cand) == 0 {
+			return moved, nil
+		}
+		issued := false
+		for _, id := range cand {
+			dest, ok := r.cfg.Policy.Assign([]string{id}, v)[id]
+			if !ok || dest == hot || dest < 0 || dest >= len(v.Alive) || !v.Alive[dest] {
+				continue
+			}
+			r.cfg.Logf("rebalance: migrating %s node %d -> %d (load %.3f > mean %.3f)",
+				id, hot, dest, score[hot], mean)
+			if err := r.cfg.Migrate(id, dest); err != nil {
+				return moved, err
+			}
+			r.mu.Lock()
+			r.moves = append(r.moves, Move{HAU: id, From: hot, To: dest})
+			// The stored baseline still places id on hot; fix it so the
+			// next Step's rate deltas follow the HAU to its new node.
+			if info, ok := r.prev.HAUs[id]; ok {
+				info.Node = dest
+				r.prev.HAUs[id] = info
+			}
+			r.mu.Unlock()
+			score[hot] -= own[id]
+			score[dest] += own[id]
+			info := v.HAUs[id]
+			info.Node = dest
+			v.HAUs[id] = info
+			moved++
+			issued = true
+			break
+		}
+		if !issued {
+			return moved, nil
+		}
+	}
+	return moved, nil
+}
+
+// scores computes one load number per node — normalized state bytes plus
+// normalized tuple rate plus normalized disk-busy delta — and each HAU's
+// own contribution (used to pick migration candidates).
+func (r *Rebalancer) scores(v, prev View) (map[int]float64, map[string]float64) {
+	stateN := make(map[int]float64)
+	rateN := make(map[int]float64)
+	ownState := make(map[string]float64)
+	ownRate := make(map[string]float64)
+	var stateTotal, rateTotal, busyTotal float64
+	for id, info := range v.HAUs {
+		st := float64(info.StateBytes)
+		var rate float64
+		if p, ok := prev.HAUs[id]; ok && info.Processed >= p.Processed {
+			rate = float64(info.Processed - p.Processed)
+		}
+		ownState[id], ownRate[id] = st, rate
+		stateTotal += st
+		rateTotal += rate
+		if info.Node >= 0 && info.Node < len(v.Alive) {
+			stateN[info.Node] += st
+			rateN[info.Node] += rate
+		}
+	}
+	busyN := make(map[int]float64)
+	for n := range v.DiskBusy {
+		var d float64
+		if n < len(prev.DiskBusy) && v.DiskBusy[n] >= prev.DiskBusy[n] {
+			d = float64(v.DiskBusy[n] - prev.DiskBusy[n])
+		}
+		busyN[n] = d
+		busyTotal += d
+	}
+	frac := func(x, total float64) float64 {
+		if total <= 0 {
+			return 0
+		}
+		return x / total
+	}
+	score := make(map[int]float64, len(v.Alive))
+	for n := range v.Alive {
+		score[n] = frac(stateN[n], stateTotal) + frac(rateN[n], rateTotal) + frac(busyN[n], busyTotal)
+	}
+	own := make(map[string]float64, len(v.HAUs))
+	for id := range v.HAUs {
+		own[id] = frac(ownState[id], stateTotal) + frac(ownRate[id], rateTotal)
+	}
+	return score, own
+}
+
+// candidates lists the hottest node's HAUs, heaviest first — moving the
+// largest contributor unloads the node with the fewest migrations.
+func (r *Rebalancer) candidates(v View, hot int, own map[string]float64) []string {
+	var ids []string
+	for id, info := range v.HAUs {
+		if info.Node == hot {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if own[ids[i]] != own[ids[j]] {
+			return own[ids[i]] > own[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}

@@ -325,6 +325,12 @@ type HAU struct {
 	pendingOut  []retainedTuple // in-flight tuples restored from a snapshot
 	srcReplay   []*tuple.Tuple  // preserved source tuples to re-send first
 
+	// Live-migration drain state: armed by CmdMigrateSnap, completed when
+	// every input has delivered its migration token (or closed).
+	migArmed bool
+	migSeen  []bool
+	migReply chan<- []byte
+
 	lastBlob  []byte // previous checkpoint state (delta base)
 	lastEpoch uint64
 	sinceFull int
@@ -366,6 +372,7 @@ func New(cfg Config) (*HAU, error) {
 		lastSrcID:   make([]map[string]uint64, len(cfg.In)),
 		aligned:     make([]bool, len(cfg.In)),
 		closed:      make([]bool, len(cfg.In)),
+		migSeen:     make([]bool, len(cfg.In)),
 		parked:      make([][]*tuple.Batch, len(cfg.In)),
 		presPending: make([][]*tuple.Tuple, len(cfg.Out)),
 		gates:       make([]*portGate, len(cfg.In)),
@@ -588,6 +595,16 @@ func (h *HAU) run(ctx context.Context) {
 			}
 			h.drainParked(ctx)
 		}
+		// Migration drain complete: everything routed to this incarnation
+		// has been processed, nothing is parked, and no checkpoint is in
+		// flight. Hand the state to the cluster and exit; the destination
+		// incarnation resumes from the blob.
+		if h.migArmed && !h.awaiting && h.migrationAligned() {
+			if h.flushAll(ctx) {
+				h.migReply <- h.encodeState()
+			}
+			return
+		}
 		// Idle flush: when no input is waiting, push partial batches out
 		// instead of sitting on them until the next tick. Under load the
 		// merged channel stays busy and batches fill up instead.
@@ -595,6 +612,22 @@ func (h *HAU) run(ctx context.Context) {
 			return
 		}
 	}
+}
+
+// migrationAligned reports whether every input port has delivered its
+// migration token or closed. A port that still has parked batches (an
+// interleaved checkpoint alignment) is not done: its token order must be
+// preserved, so completion waits for drainParked to empty it.
+func (h *HAU) migrationAligned() bool {
+	for i := range h.migSeen {
+		if !h.migSeen[i] && !h.closed[i] {
+			return false
+		}
+		if len(h.parked[i]) > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // processBatch runs the tuples of one batch through the operator chain.
@@ -712,6 +745,25 @@ func (h *HAU) onCommand(ctx context.Context, cmd Command) {
 			h.cfg.Out[cmd.Port].DropPending()
 			h.cfg.Out[cmd.Port] = cmd.Edge
 		}
+	case CmdMigrateOut:
+		if cmd.Port >= 0 && cmd.Port < len(h.cfg.Out) && cmd.Edge != nil {
+			// Everything already stamped for the old edge must reach it —
+			// the migrating peer processes up to the token, and tuples lost
+			// here would be sequence gaps downstream (no rollback covers a
+			// migration). Flush pending plus the token, then divert.
+			h.flushPres(cmd.Port)
+			old := h.cfg.Out[cmd.Port]
+			old.Append(tuple.NewTokenAt(tuple.Token{Kind: tuple.Migration, From: h.cfg.ID}, h.now()))
+			if !old.Flush(ctx) {
+				return // ctx died: the whole migration aborts with us
+			}
+			h.cfg.Out[cmd.Port] = cmd.Edge
+		}
+	case CmdMigrateSnap:
+		if cmd.Reply != nil {
+			h.migArmed = true
+			h.migReply = cmd.Reply
+		}
 	case CmdReplayOutput:
 		if h.cfg.Preserver == nil || cmd.Port < 0 || cmd.Port >= len(h.cfg.Out) {
 			return
@@ -822,6 +874,15 @@ func (h *HAU) onData(port int, t *tuple.Tuple) bool {
 }
 
 func (h *HAU) onToken(ctx context.Context, port int, tok tuple.Token) {
+	if tok.Kind == tuple.Migration {
+		// Migration tokens carry no epoch; they mark that this input's
+		// upstream has diverted to the new incarnation's edge. Completion
+		// is checked in the run loop once all ports are marked.
+		if port >= 0 && port < len(h.migSeen) {
+			h.migSeen[port] = true
+		}
+		return
+	}
 	if tok.Epoch <= h.doneEpoch {
 		return // stale duplicate from a late command broadcast
 	}

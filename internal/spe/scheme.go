@@ -81,14 +81,27 @@ const (
 	// CmdReplayOutput re-sends the preserved tuples of one output port
 	// (baseline recovery).
 	CmdReplayOutput
+	// CmdMigrateOut diverts one output port to a new edge during a live
+	// migration of the downstream HAU: the pending batch is flushed to the
+	// OLD edge, a migration token is appended and flushed after it, and
+	// only then does the port switch to the new edge. Unlike
+	// CmdSwapOutEdge nothing is dropped — under token schemes there is no
+	// preserver to replay in-flight tuples from.
+	CmdMigrateOut
+	// CmdMigrateSnap arms the receiving HAU for migration: once every
+	// input port has seen a migration token (or closed), it flushes its
+	// outputs, serializes its state onto Reply, and exits cleanly. Source
+	// HAUs have no inputs and snapshot immediately.
+	CmdMigrateSnap
 )
 
 // Command is a controller-to-HAU control message.
 type Command struct {
 	Kind  CommandKind
 	Epoch uint64
-	Port  int   // CmdSwapOutEdge, CmdReplayOutput
-	Edge  *Edge // CmdSwapOutEdge
+	Port  int           // CmdSwapOutEdge, CmdReplayOutput, CmdMigrateOut
+	Edge  *Edge         // CmdSwapOutEdge, CmdMigrateOut
+	Reply chan<- []byte // CmdMigrateSnap; must be buffered (capacity >= 1)
 }
 
 // CheckpointBreakdown decomposes one individual checkpoint the way Fig. 14

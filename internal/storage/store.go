@@ -97,11 +97,18 @@ func (s *Store) Delete(key string) error {
 	return nil
 }
 
-// Has reports whether key exists (no disk cost: metadata lookup).
+// Has reports whether key exists (no disk cost: metadata lookup). A
+// stored zero-byte blob exists: presence is a map lookup, not a nil
+// check, so empty values (an operator with no state yet) are not
+// mistaken for missing ones.
 func (s *Store) Has(key string) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return !s.down && s.blobs[key] != nil
+	if s.down {
+		return false
+	}
+	_, ok := s.blobs[key]
+	return ok
 }
 
 // Keys returns all keys with the given prefix, sorted.

@@ -1,0 +1,43 @@
+package storage
+
+import "testing"
+
+// A zero-byte blob is a legal value — an operator with no state yet
+// checkpoints an empty snapshot. Has must report presence by key lookup,
+// not by comparing the stored value against nil (Put of an empty slice
+// stores nil, which a value-based check mistook for "missing").
+func TestHasZeroByteBlob(t *testing.T) {
+	s := NewStore(DiskSpec{})
+	if s.Has("empty") {
+		t.Fatal("Has reported a key that was never stored")
+	}
+	if _, err := s.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has("empty") {
+		t.Fatal("Has missed a stored zero-byte blob")
+	}
+	if _, err := s.Put("short", []byte{}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has("short") {
+		t.Fatal("Has missed a stored empty-slice blob")
+	}
+	got, _, err := s.Get("empty")
+	if err != nil {
+		t.Fatalf("Get of zero-byte blob: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("zero-byte blob read back %d bytes", len(got))
+	}
+	if err := s.Delete("empty"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("empty") {
+		t.Fatal("Has reported a deleted key")
+	}
+	s.SetDown(true)
+	if s.Has("short") {
+		t.Fatal("Has reported a key on a downed store")
+	}
+}

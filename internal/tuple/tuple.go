@@ -20,6 +20,12 @@ const (
 	// OneHop tokens are emitted by every HAU simultaneously on a
 	// controller command and are discarded after alignment (MS-src+ap).
 	OneHop
+	// Migration tokens mark the end of an input stream during a live HAU
+	// migration: each upstream flushes one onto the old edge before
+	// diverting its output to the destination's fresh edge. When the
+	// migrating HAU has seen one on every input, everything routed to its
+	// old incarnation has been processed and its state can move.
+	Migration
 )
 
 func (k TokenKind) String() string {
@@ -28,6 +34,8 @@ func (k TokenKind) String() string {
 		return "cascading"
 	case OneHop:
 		return "one-hop"
+	case Migration:
+		return "migration"
 	default:
 		return "unknown"
 	}
