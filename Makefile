@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race chaos chaos-migrate bench-smoke bench-hotpath placement-bench
+.PHONY: ci vet build test race chaos chaos-migrate bench-smoke bench-hotpath placement-bench bench-checkpoint bench-checkpoint-smoke
 
-ci: vet build race bench-smoke chaos chaos-migrate
+ci: vet build race bench-smoke bench-checkpoint-smoke chaos chaos-migrate
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +35,17 @@ chaos:
 # the move is in flight.
 chaos-migrate:
 	$(GO) test -race -count=1 -run 'TestChaosMigrationSmoke|TestChaosMidMigrationKill' ./internal/chaos/
+
+# Checkpoint datapath benchmark: freeze window vs dirty fraction, delta
+# writes, parallel restore. Regenerates BENCH_checkpoint.json.
+bench-checkpoint:
+	$(GO) run ./cmd/msckpt
+
+# One-iteration smoke of the checkpoint suite under the race detector:
+# exercises incremental capture, the off-loop writer and the restore
+# worker pool without paying for the full grid.
+bench-checkpoint-smoke:
+	$(GO) test -race -run NONE -bench BenchmarkCheckpoint -benchtime 1x .
 
 # Placement benchmark: burst loss at DC scale (round-robin vs rack-spread),
 # live-cluster rack-burst recovery, and migration downtime vs state size.

@@ -224,6 +224,44 @@ func BenchmarkHotPath(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckpoint measures the checkpoint datapath: the on-loop
+// freeze window as a function of the dirty fraction, the writer-side
+// delta, and parallel restore. Each iteration is a full driven experiment
+// (a real HAU through several checkpoints, or a checkpoint/kill/recover
+// cycle); the full grid regenerates BENCH_checkpoint.json via cmd/msckpt.
+func BenchmarkCheckpoint(b *testing.B) {
+	freeze := func(dirtyFrac float64, delta bool) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cell, err := bench.RunCheckpointCell(bench.CheckpointParams{
+					StateBytes: 1 << 20, DirtyFrac: dirtyFrac, Epochs: 4, Delta: delta, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(cell.FreezeUs, "freeze-us")
+				b.ReportMetric(cell.DirtyKB, "dirtyKB")
+				b.ReportMetric(cell.DiskUs, "disk-us")
+			}
+		}
+	}
+	b.Run("freeze/1MB-dirty1", freeze(0.01, false))
+	b.Run("freeze/1MB-dirty100", freeze(1, false))
+	b.Run("delta/1MB-dirty10", freeze(0.1, true))
+	b.Run("restore/width4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cells, err := bench.RunRestoreWidth(bench.RestoreParams{
+				Width: 4, StateBytes: 1 << 20, Workers: []int{1, 4}, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(cells[0].DeserializeUs, "w1-deser-us")
+			b.ReportMetric(cells[1].DeserializeUs, "w4-deser-us")
+		}
+	})
+}
+
 // BenchmarkBaselineRecovery measures single-HAU baseline recovery.
 func BenchmarkBaselineRecovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,164 @@
+// Command msckpt benchmarks the checkpoint datapath and regenerates
+// BENCH_checkpoint.json. Two experiments:
+//
+//  1. Freeze-window grid: a real MSSrcAP HAU carrying StateBytes across
+//     100 incremental sections is driven through checkpoints while the
+//     driver dirties a controlled fraction of sections per epoch. The
+//     cell records the on-loop freeze window (capture) separately from
+//     the writer-side flatten/diff/disk phases.
+//
+//  2. Restore width: a Width-chain application is checkpointed, killed,
+//     and recovered with increasing RestoreWorkers. Each stateful HAU
+//     carries a modelled data-structure reconstruction latency (the
+//     paper's recovery phase 3), which the worker pool overlaps.
+//
+//     msckpt          # full grid, writes BENCH_checkpoint.json
+//     msckpt -out -   # print JSON to stdout instead
+//     msckpt -quick   # reduced grid (CI smoke)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"meteorshower/internal/bench"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_checkpoint.json", `output path; "-" prints to stdout`)
+		quick = flag.Bool("quick", false, "reduced grid")
+	)
+	flag.Parse()
+
+	sizes := []int64{64 << 10, 1 << 20, 4 << 20, 16 << 20}
+	dirty := []float64{0.01, 0.10, 1.0}
+	restoreWidth, restoreState := 16, int64(4<<20)
+	workers := []int{1, 2, 4, 8, 16}
+	epochs := 8
+	if *quick {
+		sizes = []int64{64 << 10, 1 << 20}
+		dirty = []float64{0.01, 1.0}
+		restoreWidth, restoreState = 4, 1<<20
+		workers = []int{1, 4}
+		epochs = 3
+	}
+
+	doc := map[string]any{
+		"benchmark": "checkpoint",
+		"unit_note": "freeze_us is the on-loop capture (the stall the stream observes); " +
+			"flatten/diff/disk run on the per-HAU checkpoint writer goroutine",
+		"environment": map[string]any{
+			"go":     runtime.Version(),
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"cpus":   runtime.NumCPU(),
+		},
+		"regenerate": "go run ./cmd/msckpt",
+		"baseline_pre_change": map[string]any{
+			"commit_note": "monolithic v1 blob: every checkpoint re-encoded all operator state on the " +
+				"HAU loop, and delta diff + lastBlob bookkeeping also ran on-loop before the async write",
+			"note": "measured on this host immediately before the incremental-capture change; " +
+				"the pre-change freeze window was encode (+diff when delta was enabled)",
+			"freeze_us": map[string]any{
+				"4MB_dirty1_encode":         3288,
+				"4MB_dirty1_encode_diff":    3626,
+				"4MB_dirty100_encode_diff":  6936,
+				"16MB_dirty100_encode_diff": 43400,
+				"1MB_encode":                850,
+				"64KB_encode":               110,
+			},
+		},
+	}
+
+	fmt.Fprintln(os.Stderr, "== freeze window vs dirty fraction ==")
+	var grid []bench.CheckpointCell
+	var freeze4MBDirty1, freeze4MBDirty100 float64
+	for _, size := range sizes {
+		for _, frac := range dirty {
+			for _, delta := range []bool{false, true} {
+				cell, err := bench.RunCheckpointCell(bench.CheckpointParams{
+					StateBytes: size, DirtyFrac: frac, Epochs: epochs, Delta: delta, Seed: 1,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				grid = append(grid, cell)
+				if size == 4<<20 && !delta {
+					if frac == 0.01 {
+						freeze4MBDirty1 = cell.FreezeUs
+					}
+					if frac == 1.0 {
+						freeze4MBDirty100 = cell.FreezeUs
+					}
+				}
+				fmt.Fprintf(os.Stderr, "  %6dKB dirty=%4.0f%% delta=%-5v freeze %8.1fus flatten %8.1fus diff %8.1fus disk %8.1fus\n",
+					cell.StateKB, 100*frac, delta, cell.FreezeUs, cell.FlattenUs, cell.DiffUs, cell.DiskUs)
+			}
+		}
+	}
+	doc["freeze_grid"] = grid
+
+	fmt.Fprintln(os.Stderr, "== restore width ==")
+	cells, err := bench.RunRestoreWidth(bench.RestoreParams{
+		Width: restoreWidth, StateBytes: restoreState, Workers: workers, Seed: 1,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, c := range cells {
+		fmt.Fprintf(os.Stderr, "  workers=%2d deserialize %9.0fus total %9.0fus\n", c.Workers, c.DeserializeUs, c.TotalUs)
+	}
+	doc["restore_width"] = map[string]any{
+		"note": "each stateful HAU carries a modelled reconstruction latency (500us/MB, the paper's " +
+			"recovery phase 3); the worker pool overlaps it across HAUs, so the scaling holds on " +
+			"single-CPU hosts too — CPU-bound deserialize additionally gains with real cores",
+		"haus_width":                 restoreWidth,
+		"state_bytes_per_hau":        restoreState,
+		"modelled_restore_us_per_mb": 500,
+		"trials_best_of":             3,
+		"cells":                      cells,
+	}
+
+	if !*quick && freeze4MBDirty1 > 0 {
+		doc["headline"] = map[string]any{
+			"freeze_4MB_dirty1_us":            freeze4MBDirty1,
+			"speedup_vs_pre_change":           round1(3288 / freeze4MBDirty1),
+			"freeze_dirty100_over_dirty1_4MB": round1(freeze4MBDirty100 / freeze4MBDirty1),
+			"restore_w1_over_w8_deser":        round1(deserAt(cells, 1) / deserAt(cells, 8)),
+		}
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+func deserAt(cells []bench.RestoreCell, w int) float64 {
+	for _, c := range cells {
+		if c.Workers == w {
+			return c.DeserializeUs
+		}
+	}
+	return 0
+}
+
+func round1(v float64) float64 { return float64(int(v*10+0.5)) / 10 }
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "msckpt: %v\n", err)
+	os.Exit(1)
+}

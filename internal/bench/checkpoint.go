@@ -1,0 +1,374 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"meteorshower/internal/cluster"
+	"meteorshower/internal/graph"
+	"meteorshower/internal/operator"
+	"meteorshower/internal/spe"
+	"meteorshower/internal/storage"
+	"meteorshower/internal/tuple"
+)
+
+// This file measures the checkpoint datapath: the on-loop freeze window as
+// a function of dirty bytes (incremental capture), the writer-side
+// flatten/diff/IO phases, and whole-application restore at varying worker
+// widths. Results regenerate BENCH_checkpoint.json via cmd/msckpt.
+
+// benchState is one operator section of the benchmark HAU's state: a block
+// of pseudo-random bytes implementing the incremental-snapshot fast path.
+// The driver arms it from outside the loop; the next OnTick mutates a few
+// bytes and marks the section dirty, so dirtiness is controlled per epoch
+// with loop-ownership intact.
+type benchState struct {
+	operator.Base
+	state   []byte
+	rng     uint64
+	armed   atomic.Bool
+	dirty   bool
+	snapped bool
+	// restoreDelay models the data-structure reconstruction the paper's
+	// recovery phase 3 measures (hash tables and indexes rebuilt from the
+	// flat snapshot). The byte copy alone would make the restore-width
+	// experiment measure allocator throughput on the bench host instead of
+	// the per-HAU restore latency the worker pool overlaps.
+	restoreDelay time.Duration
+}
+
+func newBenchState(name string, size int64, seed uint64) *benchState {
+	o := &benchState{Base: operator.Base{OpName: name}, state: make([]byte, size), rng: seed | 1}
+	for i := range o.state {
+		o.rng = o.rng*6364136223846793005 + 1442695040888963407
+		o.state[i] = byte(o.rng >> 56)
+	}
+	return o
+}
+
+func (o *benchState) OnTuple(_ int, _ *tuple.Tuple, _ operator.Emitter) error { return nil }
+
+func (o *benchState) OnTick(_ int64, _ operator.Emitter) error {
+	if o.armed.CompareAndSwap(true, false) {
+		for k := 0; k < 16; k++ {
+			o.rng = o.rng*6364136223846793005 + 1442695040888963407
+			o.state[o.rng%uint64(len(o.state))]++
+		}
+		o.dirty = true
+	}
+	return nil
+}
+
+func (o *benchState) StateSize() int64 { return int64(len(o.state)) }
+
+func (o *benchState) Snapshot() ([]byte, error) {
+	return append([]byte(nil), o.state...), nil
+}
+
+// AppendSnapshot implements operator.IncrementalSnapshotter.
+func (o *benchState) AppendSnapshot(buf []byte) ([]byte, bool, error) {
+	if o.snapped && !o.dirty {
+		return buf, false, nil
+	}
+	o.snapped, o.dirty = true, false
+	return append(buf, o.state...), true, nil
+}
+
+func (o *benchState) Restore(b []byte) error {
+	o.state = append(o.state[:0:0], b...)
+	o.snapped = false
+	if o.restoreDelay > 0 {
+		time.Sleep(o.restoreDelay)
+	}
+	return nil
+}
+
+// ckptCapture forwards checkpoint breakdowns to the driving goroutine.
+type ckptCapture struct {
+	ch chan spe.CheckpointBreakdown
+}
+
+func (l *ckptCapture) CheckpointDone(_ string, _ uint64, b spe.CheckpointBreakdown) { l.ch <- b }
+func (l *ckptCapture) TurningPoint(string, int64, int64, float64, bool)             {}
+func (l *ckptCapture) Stopped(string, error)                                        {}
+
+// CheckpointParams configures one cell of the checkpoint-cost grid.
+type CheckpointParams struct {
+	StateBytes int64
+	DirtyFrac  float64 // fraction of sections mutated per epoch
+	Ops        int     // state sections (0 = 100)
+	Epochs     int     // measured epochs after the warmup full capture (0 = 8)
+	Delta      bool    // enable block-delta checkpoint writes
+	Seed       int64
+}
+
+// CheckpointCell is one measured grid cell; durations are per-epoch means
+// in microseconds.
+type CheckpointCell struct {
+	StateKB   int64   `json:"state_kb"`
+	DirtyFrac float64 `json:"dirty_frac"`
+	Delta     bool    `json:"delta"`
+	Epochs    int     `json:"epochs"`
+	FreezeUs  float64 `json:"freeze_us"` // on-loop capture (Serialize)
+	FlattenUs float64 `json:"flatten_us"`
+	DiffUs    float64 `json:"diff_us"`
+	DiskUs    float64 `json:"disk_us"`
+	DirtyKB   float64 `json:"dirty_kb"`   // bytes re-encoded per epoch
+	WrittenKB float64 `json:"written_kb"` // bytes written per epoch
+}
+
+// RunCheckpointCell drives a real MSSrcAP HAU through Epochs checkpoints,
+// arming DirtyFrac of its state sections before each, and averages the
+// breakdowns the HAU reports. The first (all-dirty) capture is excluded —
+// it is the cold-start cost, not the steady state the freeze window is
+// about.
+func RunCheckpointCell(p CheckpointParams) (CheckpointCell, error) {
+	if p.Ops <= 0 {
+		p.Ops = 100
+	}
+	if p.Epochs <= 0 {
+		p.Epochs = 8
+	}
+	blockSize := p.StateBytes / int64(p.Ops)
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	states := make([]*benchState, p.Ops)
+	ops := make([]operator.Operator, p.Ops)
+	for i := range ops {
+		s := newBenchState(fmt.Sprintf("b%d", i), blockSize, uint64(p.Seed)*1000003+uint64(i))
+		states[i] = s
+		ops[i] = s
+	}
+	lis := &ckptCapture{ch: make(chan spe.CheckpointBreakdown, 16)}
+	cat := storage.NewCatalog(storage.NewStore(storage.DiskSpec{BandwidthBps: 1 << 30, Latency: time.Microsecond}), []string{"B"})
+	h, err := spe.New(spe.Config{
+		ID:              "B",
+		Scheme:          spe.MSSrcAP,
+		Ops:             ops,
+		Catalog:         cat,
+		Listener:        lis,
+		TickEvery:       100 * time.Microsecond,
+		DeltaCheckpoint: p.Delta,
+	})
+	if err != nil {
+		return CheckpointCell{}, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h.Start(ctx)
+	defer func() { cancel(); <-h.Done() }()
+
+	await := func() (spe.CheckpointBreakdown, error) {
+		select {
+		case b := <-lis.ch:
+			return b, nil
+		case <-time.After(30 * time.Second):
+			return spe.CheckpointBreakdown{}, fmt.Errorf("bench: checkpoint stalled (%v)", h.Err())
+		}
+	}
+
+	// Warmup epoch: everything is dirty on the first capture by contract.
+	epoch := uint64(1)
+	h.Command(spe.Command{Kind: spe.CmdCheckpoint, Epoch: epoch})
+	if _, err := await(); err != nil {
+		return CheckpointCell{}, err
+	}
+
+	nDirty := int(math.Ceil(p.DirtyFrac * float64(p.Ops)))
+	if nDirty > p.Ops {
+		nDirty = p.Ops
+	}
+	cell := CheckpointCell{
+		StateKB:   p.StateBytes >> 10,
+		DirtyFrac: p.DirtyFrac,
+		Delta:     p.Delta,
+		Epochs:    p.Epochs,
+	}
+	for e := 0; e < p.Epochs; e++ {
+		for j := 0; j < nDirty; j++ {
+			states[(e*nDirty+j)%p.Ops].armed.Store(true)
+		}
+		// Wait for the loop's ticker to consume every armed flag so the
+		// mutation happens before the capture, on the loop goroutine.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			pending := false
+			for j := 0; j < nDirty; j++ {
+				if states[(e*nDirty+j)%p.Ops].armed.Load() {
+					pending = true
+					break
+				}
+			}
+			if !pending {
+				break
+			}
+			if time.Now().After(deadline) {
+				return CheckpointCell{}, fmt.Errorf("bench: ticker never consumed dirty flags (%v)", h.Err())
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		epoch++
+		h.Command(spe.Command{Kind: spe.CmdCheckpoint, Epoch: epoch})
+		b, err := await()
+		if err != nil {
+			return CheckpointCell{}, err
+		}
+		cell.FreezeUs += float64(b.Serialize.Microseconds())
+		cell.FlattenUs += float64(b.Flatten.Microseconds())
+		cell.DiffUs += float64(b.Diff.Microseconds())
+		cell.DiskUs += float64(b.DiskIO.Microseconds())
+		cell.DirtyKB += float64(b.DirtyBytes) / 1024
+		cell.WrittenKB += float64(b.StateBytes) / 1024
+	}
+	n := float64(p.Epochs)
+	cell.FreezeUs /= n
+	cell.FlattenUs /= n
+	cell.DiffUs /= n
+	cell.DiskUs /= n
+	cell.DirtyKB /= n
+	cell.WrittenKB /= n
+	return cell, nil
+}
+
+// RestoreParams configures the parallel-restore experiment: Width
+// stateful HAUs (each carrying StateBytes across 16 sections, plus one
+// source per chain) checkpointed once, killed, and recovered with each
+// worker count in Workers.
+type RestoreParams struct {
+	Width      int
+	StateBytes int64
+	Workers    []int
+	Trials     int // recoveries per width, best (min deserialize) kept (0 = 3)
+	Seed       int64
+	// RestorePerMB is the modelled reconstruction cost per MB of operator
+	// state (0 = 500us/MB). Real systems rebuild hash tables and indexes
+	// during deserialization; the model keeps the experiment about how the
+	// worker pool overlaps that latency rather than about the bench host's
+	// memcpy throughput.
+	RestorePerMB time.Duration
+}
+
+// RestoreCell is one recovery run at a given worker width.
+type RestoreCell struct {
+	Workers       int     `json:"workers"`
+	HAUs          int     `json:"haus"`
+	DeserializeUs float64 `json:"deserialize_us"` // wall-clock phase 3
+	TotalUs       float64 `json:"total_us"`
+}
+
+// RunRestoreWidth measures whole-application recovery wall-clock at each
+// worker count. Every run uses a fresh cluster with an identical app and
+// seed so the only variable is Config.RestoreWorkers.
+func RunRestoreWidth(p RestoreParams) ([]RestoreCell, error) {
+	if p.Width <= 0 {
+		p.Width = 16
+	}
+	if p.RestorePerMB <= 0 {
+		p.RestorePerMB = 500 * time.Microsecond
+	}
+	if len(p.Workers) == 0 {
+		p.Workers = []int{1, 2, 4, 8, 16}
+	}
+	if p.Trials <= 0 {
+		p.Trials = 3
+	}
+	// Discarded warmup: the first recovery pays one-time heap growth for
+	// the blob working set, which would otherwise be billed to whichever
+	// worker count runs first.
+	if _, err := runRestoreOnce(p, p.Workers[0]); err != nil {
+		return nil, err
+	}
+	var out []RestoreCell
+	for _, w := range p.Workers {
+		var best RestoreCell
+		for trial := 0; trial < p.Trials; trial++ {
+			cell, err := runRestoreOnce(p, w)
+			if err != nil {
+				return nil, err
+			}
+			if trial == 0 || cell.DeserializeUs < best.DeserializeUs {
+				best = cell
+			}
+		}
+		out = append(out, best)
+	}
+	return out, nil
+}
+
+func runRestoreOnce(p RestoreParams, workers int) (RestoreCell, error) {
+	g := graph.New()
+	for i := 0; i < p.Width; i++ {
+		g.MustAddNode(fmt.Sprintf("S%d", i))
+		g.MustAddNode(fmt.Sprintf("B%d", i))
+		g.MustAddEdge(fmt.Sprintf("S%d", i), fmt.Sprintf("B%d", i))
+	}
+	perOp := p.StateBytes / 16
+	app := cluster.AppSpec{
+		Name:  "restore-bench",
+		Graph: g,
+		NewOperators: func(id string) []operator.Operator {
+			if id[0] == 'S' {
+				return []operator.Operator{operator.NewRateSource(id, 1, 7, operator.BytePayload(16, 4))}
+			}
+			ops := make([]operator.Operator, 16)
+			for i := range ops {
+				s := newBenchState(fmt.Sprintf("%s-%d", id, i), perOp, uint64(p.Seed)*7919+uint64(i))
+				if i == 0 {
+					// One sleep per HAU, sized for the whole HAU's state,
+					// keeps the modelled cost well above kernel timer
+					// granularity.
+					s.restoreDelay = time.Duration(float64(p.RestorePerMB) * float64(p.StateBytes) / float64(1<<20))
+				}
+				ops[i] = s
+			}
+			return ops
+		},
+	}
+	fast := storage.DiskSpec{BandwidthBps: 1 << 30, Latency: time.Microsecond}
+	cl, err := cluster.New(cluster.Config{
+		App:            app,
+		Scheme:         spe.MSSrcAP,
+		Nodes:          4,
+		LocalDiskSpec:  fast,
+		SharedSpec:     fast,
+		TickEvery:      time.Millisecond,
+		SourceFlush:    256,
+		Seed:           p.Seed,
+		RestoreWorkers: workers,
+	})
+	if err != nil {
+		return RestoreCell{}, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := cl.Start(ctx); err != nil {
+		return RestoreCell{}, err
+	}
+	defer cl.StopAll()
+	ep := cl.Controller().TriggerCheckpoint()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if e, ok := cl.Catalog().MostRecentComplete(); ok && e == ep {
+			break
+		}
+		if time.Now().After(deadline) {
+			return RestoreCell{}, fmt.Errorf("bench: epoch %d never completed", ep)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cl.KillAll()
+	stats, err := cl.RecoverAll(ctx)
+	if err != nil {
+		return RestoreCell{}, err
+	}
+	return RestoreCell{
+		Workers:       workers,
+		HAUs:          stats.HAUs,
+		DeserializeUs: float64(stats.Deserialize.Microseconds()),
+		TotalUs:       float64(stats.Total().Microseconds()),
+	}, nil
+}

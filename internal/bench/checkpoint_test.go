@@ -1,0 +1,39 @@
+package bench
+
+import "testing"
+
+// TestCheckpointHarness is a fast correctness check of the benchmark
+// drivers: dirty-byte accounting must track the armed fraction, and the
+// restore worker pool must overlap the modelled per-HAU restore latency.
+func TestCheckpointHarness(t *testing.T) {
+	sparse, err := RunCheckpointCell(CheckpointParams{StateBytes: 256 << 10, DirtyFrac: 0.05, Epochs: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sparse %+v", sparse)
+	if sparse.DirtyKB <= 0 || sparse.WrittenKB <= 0 {
+		t.Fatal("no bytes measured")
+	}
+	full, err := RunCheckpointCell(CheckpointParams{StateBytes: 256 << 10, DirtyFrac: 1, Epochs: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("full %+v", full)
+	if full.DirtyKB <= sparse.DirtyKB {
+		t.Fatal("dirty accounting broken")
+	}
+
+	cells, err := RunRestoreWidth(RestoreParams{Width: 4, StateBytes: 1 << 20, Workers: []int{1, 4}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		t.Logf("restore %+v", c)
+		if c.HAUs != 8 {
+			t.Fatalf("want 8 HAUs, got %d", c.HAUs)
+		}
+	}
+	if cells[1].DeserializeUs >= cells[0].DeserializeUs {
+		t.Fatalf("4 workers (%vus) not faster than 1 (%vus)", cells[1].DeserializeUs, cells[0].DeserializeUs)
+	}
+}

@@ -82,10 +82,17 @@ type Config struct {
 	// bounded latency under long-term overload (paper §III).
 	ShedWatermark float64
 
+	// RestoreWorkers bounds how many HAUs are rebuilt concurrently during
+	// whole-application recovery (spe.New + state deserialization). 0 or 1
+	// restores sequentially — the historical behaviour. Operator
+	// construction and edge wiring stay under the cluster lock regardless.
+	RestoreWorkers int
+
 	Listener spe.Listener // optional extra listener (controller is wired automatically)
 	Now      func() int64
 	// Metrics, when set, receives the per-phase timing of every successful
-	// whole-application recovery (metrics.Recovery).
+	// whole-application recovery (metrics.Recovery) and the cost breakdown
+	// of every individual checkpoint (metrics.Checkpoint).
 	Metrics *metrics.Collector
 }
 
@@ -369,6 +376,20 @@ func (cl *Cluster) StartController(ctx context.Context) {
 // returned durations are the operator-construction (reload) and state
 // deserialization times, the Fig. 16 phases 1 and 3.
 func (cl *Cluster) buildHAU(id string, restoreBlob []byte) (*spe.HAU, time.Duration, time.Duration, error) {
+	cfg, opsDur := cl.prepareHAU(id)
+	h, restoreDur, err := constructHAU(cfg, restoreBlob)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return h, opsDur, restoreDur, nil
+}
+
+// prepareHAU runs the shared-state half of an HAU build: fresh operator
+// chain, edge wiring, preserver/source-log installation. Held lock: cl.mu
+// (it mutates cl.preservers and cl.sourceLogs and reads cl.inEdges). The
+// returned duration is operator-construction (reload) time, Fig. 16
+// phase 1.
+func (cl *Cluster) prepareHAU(id string) (spe.Config, time.Duration) {
 	g := cl.cfg.App.Graph
 	opsStart := time.Now()
 	ops := cl.cfg.App.NewOperators(id)
@@ -416,19 +437,26 @@ func (cl *Cluster) buildHAU(id string, restoreBlob []byte) (*spe.HAU, time.Durat
 		}
 		cfg.SourceLog = log
 	}
+	return cfg, opsDur
+}
+
+// constructHAU runs the lock-free half of an HAU build: spe.New plus state
+// deserialization. It touches only the prepared config and the blob, so
+// RecoverAll fans it out across a bounded worker pool — the returned
+// duration is this HAU's deserialization time (Fig. 16 phase 3).
+func constructHAU(cfg spe.Config, restoreBlob []byte) (*spe.HAU, time.Duration, error) {
 	h, err := spe.New(cfg)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, err
 	}
-	var restoreDur time.Duration
-	if restoreBlob != nil {
-		restoreStart := time.Now()
-		if err := h.RestoreFrom(restoreBlob); err != nil {
-			return nil, 0, 0, restoreError{err}
-		}
-		restoreDur = time.Since(restoreStart)
+	if restoreBlob == nil {
+		return h, 0, nil
 	}
-	return h, opsDur, restoreDur, nil
+	restoreStart := time.Now()
+	if err := h.RestoreFrom(restoreBlob); err != nil {
+		return nil, 0, restoreError{err}
+	}
+	return h, time.Since(restoreStart), nil
 }
 
 // restoreError marks a buildHAU failure as caused by an undecodable
@@ -439,13 +467,50 @@ type restoreError struct{ error }
 
 func (e restoreError) Unwrap() error { return e.error }
 
-// listener returns the fan-out listener: controller plus any extra.
+// listener returns the fan-out listener: controller plus any extras
+// (user-supplied listener, metrics recorder).
 func (cl *Cluster) listener() spe.Listener {
-	if cl.cfg.Listener == nil {
+	ls := fanOutListener{cl.ctrl}
+	if cl.cfg.Listener != nil {
+		ls = append(ls, cl.cfg.Listener)
+	}
+	if cl.cfg.Metrics != nil {
+		ls = append(ls, checkpointRecorder{m: cl.cfg.Metrics, now: cl.cfg.Now})
+	}
+	if len(ls) == 1 {
 		return cl.ctrl
 	}
-	return fanOutListener{cl.ctrl, cl.cfg.Listener}
+	return ls
 }
+
+// checkpointRecorder forwards per-checkpoint cost breakdowns to the
+// metrics collector, keeping the on-loop freeze window (Serialize)
+// distinguishable from the writer-side flatten/diff/IO phases.
+type checkpointRecorder struct {
+	m   *metrics.Collector
+	now func() int64
+}
+
+func (r checkpointRecorder) CheckpointDone(hau string, epoch uint64, b spe.CheckpointBreakdown) {
+	r.m.RecordCheckpoint(metrics.Checkpoint{
+		At:         r.now(),
+		HAU:        hau,
+		Epoch:      epoch,
+		TokenWait:  b.TokenWait,
+		Serialize:  b.Serialize,
+		Flatten:    b.Flatten,
+		Diff:       b.Diff,
+		DiskIO:     b.DiskIO,
+		StateBytes: b.StateBytes,
+		DirtyBytes: b.DirtyBytes,
+		Delta:      b.Delta,
+		Async:      b.Async,
+	})
+}
+
+func (checkpointRecorder) TurningPoint(string, int64, int64, float64, bool) {}
+
+func (checkpointRecorder) Stopped(string, error) {}
 
 type fanOutListener []spe.Listener
 
@@ -714,13 +779,46 @@ epochs:
 			}
 			continue
 		}
-		haus := make(map[string]*spe.HAU, len(ids))
-		var reload, deserialize time.Duration
+		// Phase 1 under the lock: operator chains and edge wiring mutate
+		// shared maps. Phase 3 fans out over a bounded worker pool —
+		// deserializing a wide application is embarrassingly parallel once
+		// each HAU's config is assembled — so Deserialize is wall-clock,
+		// not a per-HAU sum.
+		workers := cl.cfg.RestoreWorkers
+		if workers <= 0 {
+			workers = 1
+		}
+		cfgs := make([]spe.Config, len(ids))
+		var reload time.Duration
 		cl.mu.Lock()
-		for _, id := range ids {
-			h, opsDur, restoreDur, err := cl.buildHAU(id, blobs[id])
-			if err != nil {
-				cl.mu.Unlock()
+		for i, id := range ids {
+			var opsDur time.Duration
+			cfgs[i], opsDur = cl.prepareHAU(id)
+			reload += opsDur
+		}
+		cl.mu.Unlock()
+
+		built := make([]*spe.HAU, len(ids))
+		buildErrs := make([]error, len(ids))
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		deserStart := time.Now()
+		for i := range ids {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				built[i], _, buildErrs[i] = constructHAU(cfgs[i], blobs[ids[i]])
+			}(i)
+		}
+		wg.Wait()
+		deserialize := time.Since(deserStart)
+
+		haus := make(map[string]*spe.HAU, len(ids))
+		condemned := false
+		for i, id := range ids {
+			if err := buildErrs[i]; err != nil {
 				var re restoreError
 				if !errors.As(err, &re) {
 					// Operator construction failed: no epoch fixes that.
@@ -729,13 +827,14 @@ epochs:
 				if firstErr == nil {
 					firstErr = &MissingCheckpointError{Epoch: epoch, HAU: id, Err: re.error}
 				}
-				continue epochs
+				condemned = true
+				continue
 			}
-			reload += opsDur
-			deserialize += restoreDur
-			haus[id] = h
+			haus[id] = built[i]
 		}
-		cl.mu.Unlock()
+		if condemned {
+			continue epochs
+		}
 		mrc, newHAUs = epoch, haus
 		stats.Reload, stats.Deserialize = reload, deserialize
 		break

@@ -238,6 +238,73 @@ func TestKillAllAndRecoverExactlyOnce(t *testing.T) {
 	cl.StopAll()
 }
 
+// TestRecoverAllParallelRestore runs whole-application recovery with the
+// bounded restore pool and verifies exactly-once still holds, and that the
+// metrics collector received per-checkpoint breakdowns with the freeze
+// window recorded separately from the writer-side phases.
+func TestRecoverAllParallelRestore(t *testing.T) {
+	col := metrics.NewCollector()
+	reg := &sinkRegistry{}
+	local, shared := fastSpecs()
+	cl, err := New(Config{
+		App:            testApp(col, reg),
+		Scheme:         spe.MSSrcAP,
+		Nodes:          3,
+		LocalDiskSpec:  local,
+		SharedSpec:     shared,
+		TickEvery:      time.Millisecond,
+		CkptPeriod:     40 * time.Millisecond,
+		PreserveMemCap: 1 << 20,
+		SourceFlush:    256,
+		Seed:           1,
+		RestoreWorkers: 8,
+		Metrics:        col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := cl.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "warmup", func() bool { return col.Count() >= 50 })
+	ep := cl.Controller().TriggerCheckpoint()
+	waitFor(t, 10*time.Second, "epoch completion", func() bool {
+		e, ok := cl.Catalog().MostRecentComplete()
+		return ok && e == ep
+	})
+	cks := col.Checkpoints()
+	if len(cks) == 0 {
+		t.Fatal("no checkpoint breakdowns recorded")
+	}
+	for _, ck := range cks {
+		if !ck.Async {
+			t.Fatalf("MSSrcAP checkpoint recorded as synchronous: %+v", ck)
+		}
+		if ck.DirtyBytes <= 0 || ck.StateBytes <= 0 {
+			t.Fatalf("checkpoint missing byte counts: %+v", ck)
+		}
+	}
+	cl.KillAll()
+
+	stats, err := cl.RecoverAll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Epoch != ep || stats.HAUs != 4 {
+		t.Fatalf("recovery stats = %+v", stats)
+	}
+	preCut := reg.get().Delivered()
+	waitFor(t, 10*time.Second, "post-recovery flow", func() bool {
+		return reg.get().Delivered() > preCut+100
+	})
+	if d := reg.get().Duplicates(); d != 0 {
+		t.Fatalf("sink saw %d duplicates after parallel restore", d)
+	}
+	cl.StopAll()
+}
+
 func TestRecoverAllWithoutCheckpointFails(t *testing.T) {
 	cl, _, _ := newTestCluster(t, spe.MSSrcAP, 2)
 	ctx, cancel := context.WithCancel(context.Background())

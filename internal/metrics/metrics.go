@@ -32,6 +32,26 @@ type Recovery struct {
 	Total       time.Duration
 }
 
+// Checkpoint is one individual checkpoint's cost decomposition. Serialize
+// is the on-loop freeze window (the only phase that stalls the stream under
+// asynchronous schemes); Flatten, Diff and DiskIO run on the HAU's
+// checkpoint writer. DirtyBytes is how much state the capture re-encoded —
+// the quantity the freeze window scales with.
+type Checkpoint struct {
+	At         int64 // ns timestamp of checkpoint durability
+	HAU        string
+	Epoch      uint64
+	TokenWait  time.Duration
+	Serialize  time.Duration // on-loop freeze window
+	Flatten    time.Duration // writer-side section flatten
+	Diff       time.Duration // writer-side block-delta computation
+	DiskIO     time.Duration
+	StateBytes int64 // bytes written (delta when Delta is set)
+	DirtyBytes int64 // bytes re-encoded during capture
+	Delta      bool
+	Async      bool
+}
+
 // Migration is one live HAU migration: the token-aligned drain of the old
 // incarnation, the handoff downtime (neither incarnation processing), and
 // the state restore on the destination node.
@@ -48,12 +68,13 @@ type Migration struct {
 // Collector accumulates sink-side observations. Safe for concurrent use —
 // multiple sink HAUs may share one collector.
 type Collector struct {
-	mu         sync.Mutex
-	count      uint64
-	latSum     time.Duration
-	points     []Point
-	recoveries []Recovery
-	migrations []Migration
+	mu          sync.Mutex
+	count       uint64
+	latSum      time.Duration
+	points      []Point
+	recoveries  []Recovery
+	migrations  []Migration
+	checkpoints []Checkpoint
 }
 
 // NewCollector returns an empty collector.
@@ -172,6 +193,20 @@ func (c *Collector) Recoveries() []Recovery {
 	return append([]Recovery(nil), c.recoveries...)
 }
 
+// RecordCheckpoint appends one individual checkpoint's cost breakdown.
+func (c *Collector) RecordCheckpoint(ck Checkpoint) {
+	c.mu.Lock()
+	c.checkpoints = append(c.checkpoints, ck)
+	c.mu.Unlock()
+}
+
+// Checkpoints returns every recorded checkpoint, oldest first.
+func (c *Collector) Checkpoints() []Checkpoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Checkpoint(nil), c.checkpoints...)
+}
+
 // RecordMigration appends one live migration's timings.
 func (c *Collector) RecordMigration(m Migration) {
 	c.mu.Lock()
@@ -194,5 +229,6 @@ func (c *Collector) Reset() {
 	c.points = nil
 	c.recoveries = nil
 	c.migrations = nil
+	c.checkpoints = nil
 	c.mu.Unlock()
 }

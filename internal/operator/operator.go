@@ -43,6 +43,26 @@ type Ticker interface {
 	OnTick(now int64, emit Emitter) error
 }
 
+// IncrementalSnapshotter is an optional checkpoint fast path for operators
+// that track their own dirtiness. AppendSnapshot appends the encoded state
+// to buf and reports whether the bytes differ from the previous
+// AppendSnapshot call; when it reports false it must append nothing, and
+// the caller reuses its cached copy of the previous encoding. The contract:
+//
+//   - The first call after construction MUST append and report true.
+//   - Restore MUST mark the operator dirty, so the call after a restore
+//     re-encodes (the caller's cache is gone).
+//   - Reporting false promises the previously appended bytes are still
+//     byte-identical — the encoding must be deterministic.
+//
+// Implement this on concrete operator types only, never on an embedded
+// helper like Base: an embedded implementation would silently satisfy the
+// interface for every operator that embeds it, capturing empty state.
+type IncrementalSnapshotter interface {
+	Operator
+	AppendSnapshot(buf []byte) ([]byte, bool, error)
+}
+
 // Source is implemented by source operators: instead of consuming inputs
 // they generate tuples. Generate is called by the HAU's clock; it returns
 // the next batch (possibly empty). Generated tuples must carry fresh IDs so
@@ -168,6 +188,7 @@ type Batcher struct {
 	pool      []*tuple.Tuple
 	poolBytes int64
 	firstAt   int64
+	clean     bool // true while the pool matches the last AppendSnapshot
 }
 
 // NewBatcher returns a batching operator.
@@ -182,6 +203,7 @@ func (b *Batcher) OnTuple(_ int, t *tuple.Tuple, emit Emitter) error {
 	}
 	b.pool = append(b.pool, t)
 	b.poolBytes += t.Size()
+	b.clean = false
 	if b.MaxTuples > 0 && len(b.pool) >= b.MaxTuples {
 		b.doFlush(emit)
 	}
@@ -202,6 +224,7 @@ func (b *Batcher) doFlush(emit Emitter) {
 	}
 	b.pool = nil
 	b.poolBytes = 0
+	b.clean = false
 }
 
 // PoolLen returns the number of pooled tuples.
@@ -213,15 +236,29 @@ func (b *Batcher) StateSize() int64 { return b.poolBytes }
 
 // Snapshot serializes the pool.
 func (b *Batcher) Snapshot() ([]byte, error) {
-	var buf []byte
+	return b.appendState(nil), nil
+}
+
+// AppendSnapshot implements IncrementalSnapshotter: an untouched pool
+// (common at batch boundaries, where state is puny) encodes as zero bytes.
+func (b *Batcher) AppendSnapshot(buf []byte) ([]byte, bool, error) {
+	if b.clean {
+		return buf, false, nil
+	}
+	b.clean = true
+	return b.appendState(buf), true, nil
+}
+
+func (b *Batcher) appendState(buf []byte) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(b.firstAt))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.pool)))
 	buf = append(buf, tuple.MarshalMany(b.pool)...)
-	return buf, nil
+	return buf
 }
 
 // Restore rebuilds the pool.
 func (b *Batcher) Restore(buf []byte) error {
+	b.clean = false
 	if len(buf) < 12 {
 		return errors.New("batcher: short snapshot")
 	}
@@ -255,6 +292,7 @@ type Join struct {
 
 	sides [2]map[string][]*tuple.Tuple
 	bytes int64
+	clean bool // true while both sides match the last AppendSnapshot
 }
 
 // NewJoin returns a windowed equi-join.
@@ -282,6 +320,7 @@ func (j *Join) OnTuple(port int, t *tuple.Tuple, emit Emitter) error {
 	}
 	j.sides[port][t.Key] = append(j.sides[port][t.Key], t)
 	j.bytes += t.Size()
+	j.clean = false
 	return nil
 }
 
@@ -298,6 +337,7 @@ func (j *Join) OnTick(now int64, _ Emitter) error {
 					kept = append(kept, t)
 				} else {
 					j.bytes -= t.Size()
+					j.clean = false
 				}
 			}
 			if len(kept) == 0 {
@@ -315,7 +355,20 @@ func (j *Join) StateSize() int64 { return j.bytes }
 
 // Snapshot serializes both sides.
 func (j *Join) Snapshot() ([]byte, error) {
-	var buf []byte
+	return j.appendState(nil), nil
+}
+
+// AppendSnapshot implements IncrementalSnapshotter: a window with no
+// arrivals or evictions since the previous call encodes as zero bytes.
+func (j *Join) AppendSnapshot(buf []byte) ([]byte, bool, error) {
+	if j.clean {
+		return buf, false, nil
+	}
+	j.clean = true
+	return j.appendState(buf), true, nil
+}
+
+func (j *Join) appendState(buf []byte) []byte {
 	for s := 0; s < 2; s++ {
 		var all []*tuple.Tuple
 		for _, list := range j.sides[s] {
@@ -325,11 +378,12 @@ func (j *Join) Snapshot() ([]byte, error) {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(enc)))
 		buf = append(buf, enc...)
 	}
-	return buf, nil
+	return buf
 }
 
 // Restore rebuilds both sides.
 func (j *Join) Restore(buf []byte) error {
+	j.clean = false
 	j.bytes = 0
 	for s := 0; s < 2; s++ {
 		j.sides[s] = make(map[string][]*tuple.Tuple)
@@ -361,6 +415,7 @@ func (j *Join) Restore(buf []byte) error {
 type Counter struct {
 	Base
 	counts map[string]uint64
+	clean  bool // true while counts match the last AppendSnapshot encoding
 }
 
 // NewCounter returns an empty per-key counter.
@@ -372,6 +427,7 @@ func NewCounter(name string) *Counter {
 // nothing (the running count stays internal).
 func (c *Counter) OnTuple(_ int, t *tuple.Tuple, emit Emitter) error {
 	c.counts[t.Key]++
+	c.clean = false
 	emit(0, t)
 	return nil
 }
@@ -401,23 +457,37 @@ func (c *Counter) StateSize() int64 {
 // produce identical bytes — a requirement for delta-checkpointing to find
 // unchanged blocks.
 func (c *Counter) Snapshot() ([]byte, error) {
+	return c.appendState(nil), nil
+}
+
+// AppendSnapshot implements IncrementalSnapshotter: counts unchanged since
+// the previous call encode as zero bytes.
+func (c *Counter) AppendSnapshot(buf []byte) ([]byte, bool, error) {
+	if c.clean {
+		return buf, false, nil
+	}
+	c.clean = true
+	return c.appendState(buf), true, nil
+}
+
+func (c *Counter) appendState(buf []byte) []byte {
 	keys := make([]string, 0, len(c.counts))
 	for k := range c.counts {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	var buf []byte
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.counts)))
 	for _, k := range keys {
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(k)))
 		buf = append(buf, k...)
 		buf = binary.LittleEndian.AppendUint64(buf, c.counts[k])
 	}
-	return buf, nil
+	return buf
 }
 
 // Restore rebuilds the counts.
 func (c *Counter) Restore(buf []byte) error {
+	c.clean = false
 	if len(buf) < 4 {
 		return errors.New("counter: short snapshot")
 	}

@@ -45,6 +45,9 @@ type RateSource struct {
 	credit  float64 // fractional tuples carried between calls
 	lastNS  int64
 	rng     *rand.Rand // reused across tuples, re-seeded per tuple
+
+	snapped bool   // an AppendSnapshot encoding exists
+	snapID  uint64 // cursor value it captured
 }
 
 // NewRateSource returns a source emitting ratePerMS tuples per millisecond.
@@ -159,9 +162,26 @@ func (s *RateSource) Snapshot() ([]byte, error) {
 	return buf, nil
 }
 
+// AppendSnapshot implements IncrementalSnapshotter. Only the cursor
+// survives a restore (Restore resets the clock fields), so the incremental
+// encoding zeroes them: a source that generated nothing since the previous
+// epoch is byte-identical and contributes no freeze cost.
+func (s *RateSource) AppendSnapshot(buf []byte) ([]byte, bool, error) {
+	if s.snapped && s.snapID == s.nextID {
+		return buf, false, nil
+	}
+	s.snapped = true
+	s.snapID = s.nextID
+	buf = binary.LittleEndian.AppendUint64(buf, s.nextID)
+	buf = binary.LittleEndian.AppendUint64(buf, 0) // reserved
+	buf = binary.LittleEndian.AppendUint64(buf, 0) // clock field, reset on restore
+	return buf, true, nil
+}
+
 // Restore rebuilds the cursor. The time fields are reset so a restarted
 // source resumes cleanly on the recovering node's clock.
 func (s *RateSource) Restore(buf []byte) error {
+	s.snapped = false
 	if len(buf) < 24 {
 		return errors.New("source: short snapshot")
 	}

@@ -5,27 +5,38 @@ import (
 	"errors"
 	"fmt"
 
+	"meteorshower/internal/operator"
 	"meteorshower/internal/tuple"
 )
 
-// HAU checkpoint blob layout (little endian):
+// HAU checkpoint blob, version 2 (little endian):
+//
+//	u32 magic 0x4d535632
+//	u32 nSections
+//	nSections x u32 sectionLen
+//	section payloads, concatenated
+//
+// Section 0 is the runtime section; sections 1..N are the operators'
+// snapshots in chain order. The runtime section layout (shared with v1):
 //
 //	u32 nOut;  nOut  x u64 outSeq
 //	u32 nIn;   nIn   x u64 lastInSeq
 //	nIn x { u32 nSrc; nSrc x { u16 len, src, u64 id } }  per-source IDs
 //	u64 localEpoch
 //	u32 nRetained; per retained: u32 port, u32 len, tuple bytes
-//	u32 nOps;      per op:       u32 len, snapshot bytes
 //
 // The retained tuples are the in-flight tuples "between the incoming and
 // the output tokens" (§III-B) that recovery must re-send downstream.
+//
+// A version-1 blob has no header: the runtime section is followed directly
+// by u32 nOps and length-prefixed operator snapshots. RestoreFrom decodes
+// both; the first u32 (magic vs out-port count) tells them apart.
 
 var errShortSnapshot = errors.New("spe: short HAU snapshot")
 
-// encodeState serializes the HAU's runtime counters, retained in-flight
-// tuples, and every operator's snapshot.
-func (h *HAU) encodeState() []byte {
-	var buf []byte
+// appendRuntimeState encodes the HAU's runtime counters and retained
+// in-flight tuples (the runtime section) onto buf.
+func (h *HAU) appendRuntimeState(buf []byte) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(h.outSeq)))
 	for _, s := range h.outSeq {
 		buf = binary.LittleEndian.AppendUint64(buf, s)
@@ -43,31 +54,176 @@ func (h *HAU) encodeState() []byte {
 		}
 	}
 	buf = binary.LittleEndian.AppendUint64(buf, h.localEpoch)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(h.retained)))
-	for _, rt := range h.retained {
-		enc := rt.t.Marshal()
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(rt.port))
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(enc)))
-		buf = append(buf, enc...)
-	}
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(h.cfg.Ops)))
-	for _, op := range h.cfg.Ops {
-		snap, err := op.Snapshot()
-		if err != nil {
-			h.setErr(fmt.Errorf("spe: snapshot of %s: %w", op.Name(), err))
-			snap = nil
+	// pendingOut holds in-flight tuples restored from a snapshot but not yet
+	// re-emitted (non-empty only before Start); encoding it alongside the
+	// retained list keeps a restore -> snapshot round trip lossless.
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(h.retained)+len(h.pendingOut)))
+	for _, rts := range [][]retainedTuple{h.retained, h.pendingOut} {
+		for _, rt := range rts {
+			enc := rt.t.Marshal()
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(rt.port))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(enc)))
+			buf = append(buf, enc...)
 		}
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(snap)))
-		buf = append(buf, snap...)
 	}
 	return buf
 }
 
-// RestoreFrom rebuilds the HAU from a checkpoint blob. Must be called
-// before Start. Retained in-flight tuples are queued for re-emission when
-// the loop starts.
+// captureState takes the on-loop snapshot: the runtime section is encoded
+// into a pooled buffer, and each operator either re-encodes (dirty, or no
+// fast path) or contributes its cached section from the previous epoch.
+// This is the entire freeze window — flatten, delta and I/O all run on the
+// checkpoint writer. A failed operator snapshot aborts the whole capture so
+// a torn checkpoint is never saved.
+func (h *HAU) captureState() (*stateSnapshot, error) {
+	snap := &stateSnapshot{sections: make([]*sectionBuf, 0, len(h.cfg.Ops)+1)}
+	rt := getSection()
+	rt.b = h.appendRuntimeState(rt.b)
+	snap.dirty += int64(len(rt.b))
+	snap.sections = append(snap.sections, rt)
+	for i, op := range h.cfg.Ops {
+		sec, changed, err := h.captureOp(i, op)
+		if err != nil {
+			snap.release()
+			return nil, err
+		}
+		if changed {
+			snap.dirty += int64(len(sec.b))
+		}
+		snap.sections = append(snap.sections, sec)
+	}
+	return snap, nil
+}
+
+// captureOp encodes one operator's section. Incremental operators that
+// report no change since their previous capture contribute the cached
+// section; dirty ones encode into a fresh pooled buffer, which becomes the
+// new cache entry (the old entry keeps serving any checkpoint still
+// holding a reference to it).
+func (h *HAU) captureOp(i int, op operator.Operator) (*sectionBuf, bool, error) {
+	if inc, ok := op.(operator.IncrementalSnapshotter); ok {
+		fresh := getSection()
+		b, changed, err := inc.AppendSnapshot(fresh.b)
+		if err != nil {
+			fresh.release()
+			return nil, false, fmt.Errorf("spe: snapshot of %s: %w", op.Name(), err)
+		}
+		fresh.b = b
+		if cached := h.opSecs[i]; !changed && cached != nil {
+			fresh.release()
+			cached.retain()
+			return cached, false, nil
+		}
+		if cached := h.opSecs[i]; cached != nil {
+			cached.release()
+		}
+		fresh.retain() // the cache's reference
+		h.opSecs[i] = fresh
+		return fresh, true, nil
+	}
+	snap, err := op.Snapshot()
+	if err != nil {
+		return nil, false, fmt.Errorf("spe: snapshot of %s: %w", op.Name(), err)
+	}
+	return newSection(snap), true, nil
+}
+
+// encodeState captures and flattens the HAU state into one contiguous v2
+// blob — the synchronous path used by migration drains and SnapshotNow.
+func (h *HAU) encodeState() ([]byte, error) {
+	snap, err := h.captureState()
+	if err != nil {
+		return nil, err
+	}
+	blob := snap.flatten()
+	snap.release()
+	return blob, nil
+}
+
+// RestoreFrom rebuilds the HAU from a checkpoint blob (either layout
+// version). Must be called before Start. Retained in-flight tuples are
+// queued for re-emission when the loop starts.
 func (h *HAU) RestoreFrom(blob []byte) error {
 	r := reader{buf: blob}
+	first, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if first != snapshotMagic {
+		return h.restoreV1(blob)
+	}
+	nSec, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if int(nSec) != len(h.cfg.Ops)+1 {
+		return fmt.Errorf("spe: snapshot has %d sections, HAU wants %d", nSec, len(h.cfg.Ops)+1)
+	}
+	lens := make([]int, nSec)
+	total := 0
+	for i := range lens {
+		n, err := r.u32()
+		if err != nil {
+			return err
+		}
+		lens[i] = int(n)
+		total += int(n)
+	}
+	if total != len(r.buf) {
+		return fmt.Errorf("%w: section table wants %d payload bytes, have %d", errShortSnapshot, total, len(r.buf))
+	}
+	rt := reader{buf: r.buf[:lens[0]]}
+	if err := h.restoreRuntime(&rt); err != nil {
+		return err
+	}
+	if len(rt.buf) != 0 {
+		return fmt.Errorf("spe: %d trailing bytes in runtime section", len(rt.buf))
+	}
+	off := lens[0]
+	for i, op := range h.cfg.Ops {
+		sec := r.buf[off : off+lens[i+1]]
+		off += lens[i+1]
+		if len(sec) == 0 {
+			sec = nil
+		}
+		if err := op.Restore(sec); err != nil {
+			return fmt.Errorf("spe: restore of %s: %w", op.Name(), err)
+		}
+	}
+	return nil
+}
+
+// restoreV1 decodes the headerless version-1 layout: runtime section, then
+// u32 nOps and length-prefixed operator snapshots.
+func (h *HAU) restoreV1(blob []byte) error {
+	r := reader{buf: blob}
+	if err := h.restoreRuntime(&r); err != nil {
+		return err
+	}
+	nOps, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if int(nOps) != len(h.cfg.Ops) {
+		return fmt.Errorf("spe: snapshot has %d ops, HAU has %d", nOps, len(h.cfg.Ops))
+	}
+	for _, op := range h.cfg.Ops {
+		snap, err := r.bytes()
+		if err != nil {
+			return err
+		}
+		if len(snap) == 0 {
+			snap = nil
+		}
+		if err := op.Restore(snap); err != nil {
+			return fmt.Errorf("spe: restore of %s: %w", op.Name(), err)
+		}
+	}
+	return nil
+}
+
+// restoreRuntime decodes the runtime section from r.
+func (h *HAU) restoreRuntime(r *reader) error {
 	nOut, err := r.u32()
 	if err != nil {
 		return err
@@ -133,32 +289,20 @@ func (h *HAU) RestoreFrom(blob []byte) error {
 		}
 		h.pendingOut = append(h.pendingOut, retainedTuple{port: int(port), t: t})
 	}
-	nOps, err := r.u32()
-	if err != nil {
-		return err
-	}
-	if int(nOps) != len(h.cfg.Ops) {
-		return fmt.Errorf("spe: snapshot has %d ops, HAU has %d", nOps, len(h.cfg.Ops))
-	}
-	for _, op := range h.cfg.Ops {
-		snap, err := r.bytes()
-		if err != nil {
-			return err
-		}
-		if len(snap) == 0 {
-			snap = nil
-		}
-		if err := op.Restore(snap); err != nil {
-			return fmt.Errorf("spe: restore of %s: %w", op.Name(), err)
-		}
-	}
 	return nil
 }
 
 // SnapshotNow serializes the HAU state outside the protocol — used by
 // tests and by recovery verification tooling. Only safe when the HAU loop
-// is not running.
-func (h *HAU) SnapshotNow() []byte { return h.encodeState() }
+// is not running. Returns nil if an operator snapshot fails.
+func (h *HAU) SnapshotNow() []byte {
+	blob, err := h.encodeState()
+	if err != nil {
+		h.setErr(err)
+		return nil
+	}
+	return blob
+}
 
 type reader struct {
 	buf []byte

@@ -9,7 +9,7 @@ import (
 )
 
 // mkRestorable builds an HAU with 1 in, 1 out and a counter op.
-func mkRestorable(t *testing.T) *HAU {
+func mkRestorable(t testing.TB) *HAU {
 	t.Helper()
 	h, err := New(Config{
 		ID: "H", Scheme: MSSrcAP, Ops: []operator.Operator{operator.NewCounter("c")},
@@ -50,9 +50,10 @@ func TestRestoreFromCorruptRetainedTuple(t *testing.T) {
 	src.retained = []retainedTuple{{port: 0, t: tuple.New(1, "S", "k", []byte("x"))}}
 	blob := src.SnapshotNow()
 	// Find the retained tuple bytes and corrupt the magic.
-	// Layout: after outSeq(4+8), inSeq(4+8), srcIDs(4), epoch(8),
-	// nRetained(4), port(4), len(4) comes the tuple encoding.
-	off := 4 + 8 + 4 + 8 + 4 + 8 + 4 + 4 + 4
+	// v2 header: magic(4), nSections(4), 2 section lengths (4 each).
+	// Runtime section: outSeq(4+8), inSeq(4+8), srcIDs(4), epoch(8),
+	// nRetained(4), port(4), len(4), then the tuple encoding.
+	off := 4 + 4 + 2*4 + 4 + 8 + 4 + 8 + 4 + 8 + 4 + 4 + 4
 	if off+2 > len(blob) {
 		t.Fatalf("layout assumption broken: blob %d bytes", len(blob))
 	}

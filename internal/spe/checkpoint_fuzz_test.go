@@ -1,0 +1,63 @@
+package spe
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"meteorshower/internal/tuple"
+)
+
+// FuzzRestoreFrom throws arbitrary bytes at the snapshot decoder. Both
+// layout versions share the entry point, so the corpus seeds one valid blob
+// of each plus a few near-misses. The decoder may reject anything, but it
+// must never panic, and anything it accepts must re-encode (as v2) and
+// restore again with the same runtime counters.
+func FuzzRestoreFrom(f *testing.F) {
+	src := mkRestorable(f)
+	src.outSeq[0] = 5
+	src.lastInSeq[0] = 3
+	src.lastSrcID[0]["S"] = 9
+	src.retained = []retainedTuple{{port: 0, t: tuple.New(1, "S", "k", []byte("x"))}}
+	v2 := src.SnapshotNow()
+	if v2 == nil {
+		f.Fatal(src.Err())
+	}
+
+	// A v1 blob: runtime section, op count, length-prefixed op snapshot.
+	v1 := src.appendRuntimeState(nil)
+	opSnap, err := src.cfg.Ops[0].Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	v1 = binary.LittleEndian.AppendUint32(v1, 1)
+	v1 = binary.LittleEndian.AppendUint32(v1, uint32(len(opSnap)))
+	v1 = append(v1, opSnap...)
+
+	f.Add(v2)
+	f.Add(v1)
+	f.Add(v2[:len(v2)/2])
+	f.Add([]byte{})
+	// Valid magic, absurd section count.
+	bad := append([]byte(nil), v2[:8]...)
+	binary.LittleEndian.PutUint32(bad[4:], 1<<30)
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := mkRestorable(t)
+		if err := h.RestoreFrom(data); err != nil {
+			return
+		}
+		re := h.SnapshotNow()
+		if re == nil {
+			t.Fatalf("accepted blob failed to re-snapshot: %v", h.Err())
+		}
+		h2 := mkRestorable(t)
+		if err := h2.RestoreFrom(re); err != nil {
+			t.Fatalf("re-encoded blob rejected: %v", err)
+		}
+		if h2.outSeq[0] != h.outSeq[0] || h2.lastInSeq[0] != h.lastInSeq[0] ||
+			h2.localEpoch != h.localEpoch || len(h2.pendingOut) != len(h.pendingOut) {
+			t.Fatal("runtime state did not survive re-encoding")
+		}
+	})
+}

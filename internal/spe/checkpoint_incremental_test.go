@@ -1,0 +1,205 @@
+package spe
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"meteorshower/internal/operator"
+	"meteorshower/internal/storage"
+	"meteorshower/internal/tuple"
+)
+
+// failSnapOp snapshots successfully failAfter times, then fails forever.
+type failSnapOp struct {
+	operator.Base
+	failAfter int
+	calls     int
+}
+
+func (o *failSnapOp) OnTuple(_ int, _ *tuple.Tuple, _ operator.Emitter) error { return nil }
+
+func (o *failSnapOp) Snapshot() ([]byte, error) {
+	o.calls++
+	if o.calls > o.failAfter {
+		return nil, errors.New("snapshot failed")
+	}
+	return []byte("ok"), nil
+}
+
+// TestCheckpointAbortsOnSnapshotFailure is the regression for the historical
+// behaviour where a failed op.Snapshot() was encoded as a zero-length
+// section and the torn epoch still completed in the catalog. A snapshot
+// failure must abort the individual checkpoint: nothing saved, the epoch
+// never complete, the HAU fail-stopped.
+func TestCheckpointAbortsOnSnapshotFailure(t *testing.T) {
+	cat := storage.NewCatalog(storage.NewStore(storage.DiskSpec{BandwidthBps: 1 << 30, Latency: time.Microsecond}), []string{"H"})
+	h, err := New(Config{
+		ID: "H", Scheme: MSSrcAP,
+		Ops:     []operator.Operator{&failSnapOp{Base: operator.Base{OpName: "f"}, failAfter: 1}},
+		Out:     []*Edge{NewEdge("H", "z", 0)},
+		Catalog: cat,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h.Start(ctx)
+
+	// Epoch 1: the snapshot succeeds and the epoch completes.
+	h.Command(Command{Kind: CmdCheckpoint, Epoch: 1})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if e, ok := cat.MostRecentComplete(); ok && e == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("epoch 1 never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Epoch 2: the snapshot fails. The HAU must fail-stop without saving.
+	h.Command(Command{Kind: CmdCheckpoint, Epoch: 2})
+	select {
+	case <-h.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("HAU did not stop after snapshot failure")
+	}
+	if h.Err() == nil {
+		t.Fatal("snapshot failure not surfaced via Err")
+	}
+	if saved, _ := cat.EpochProgress(2); saved != 0 {
+		t.Fatalf("torn epoch has %d saves; want 0", saved)
+	}
+	if e, _ := cat.MostRecentComplete(); e != 1 {
+		t.Fatalf("most recent complete epoch = %d, want 1", e)
+	}
+}
+
+// TestPooledSectionAliasing pins the refcounting contract: a snapshot
+// captured before an operator mutation must flatten to the same bytes even
+// if the flatten happens after later captures re-encoded the operator into
+// new pooled buffers.
+func TestPooledSectionAliasing(t *testing.T) {
+	h := mkRestorable(t)
+	c := h.cfg.Ops[0].(*operator.Counter)
+	drop := func(int, *tuple.Tuple) {}
+	if err := c.OnTuple(0, tuple.New(1, "S", "a", nil), drop); err != nil {
+		t.Fatal(err)
+	}
+
+	snap1, err := h.captureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := snap1.flatten()
+
+	// Mutate the operator and capture twice more; the second capture is
+	// clean and must share the op section with the first by reference.
+	if err := c.OnTuple(0, tuple.New(2, "S", "b", nil), drop); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := h.captureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap3, err := h.captureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.sections[1] != snap3.sections[1] {
+		t.Fatal("clean capture did not reuse the cached op section")
+	}
+	if snap3.dirty >= snap2.dirty {
+		t.Fatalf("clean capture dirty=%d, dirty capture dirty=%d", snap3.dirty, snap2.dirty)
+	}
+
+	// The late flatten of the pre-mutation snapshot must be byte-identical
+	// to its early flatten: the re-encodes above must not have scribbled
+	// over snap1's pooled buffers.
+	if got := snap1.flatten(); !bytes.Equal(want, got) {
+		t.Fatal("pre-mutation snapshot changed after later captures")
+	}
+	snap1.release()
+	snap2.release()
+	snap3.release()
+
+	// A post-release capture after another mutation still restores cleanly.
+	if err := c.OnTuple(0, tuple.New(3, "S", "c", nil), drop); err != nil {
+		t.Fatal(err)
+	}
+	blob := h.SnapshotNow()
+	h2 := mkRestorable(t)
+	if err := h2.RestoreFrom(blob); err != nil {
+		t.Fatal(err)
+	}
+	c2 := h2.cfg.Ops[0].(*operator.Counter)
+	for _, k := range []string{"a", "b", "c"} {
+		if c2.Count(k) != 1 {
+			t.Fatalf("restored count[%s] = %d, want 1", k, c2.Count(k))
+		}
+	}
+}
+
+// TestV1BlobRoundTrip hand-encodes a version-1 (headerless) blob, restores
+// it, re-snapshots as v2, and restores that — the property v1 readers rely
+// on across the format migration.
+func TestV1BlobRoundTrip(t *testing.T) {
+	src := mkRestorable(t)
+	src.outSeq[0] = 11
+	src.lastInSeq[0] = 7
+	src.lastSrcID[0]["S"] = 42
+	src.localEpoch = 3
+	c := src.cfg.Ops[0].(*operator.Counter)
+	drop := func(int, *tuple.Tuple) {}
+	for i, k := range []string{"x", "y", "x"} {
+		if err := c.OnTuple(0, tuple.New(uint64(i+1), "S", k, nil), drop); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// v1 layout: runtime section, u32 nOps, length-prefixed op snapshots.
+	v1 := src.appendRuntimeState(nil)
+	opSnap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 = binary.LittleEndian.AppendUint32(v1, 1)
+	v1 = binary.LittleEndian.AppendUint32(v1, uint32(len(opSnap)))
+	v1 = append(v1, opSnap...)
+
+	check := func(h *HAU, stage string) {
+		t.Helper()
+		if h.outSeq[0] != 11 || h.lastInSeq[0] != 7 || h.lastSrcID[0]["S"] != 42 || h.localEpoch != 3 {
+			t.Fatalf("%s: runtime state mismatch: %+v", stage, h)
+		}
+		hc := h.cfg.Ops[0].(*operator.Counter)
+		if hc.Count("x") != 2 || hc.Count("y") != 1 {
+			t.Fatalf("%s: counts x=%d y=%d", stage, hc.Count("x"), hc.Count("y"))
+		}
+	}
+
+	h1 := mkRestorable(t)
+	if err := h1.RestoreFrom(v1); err != nil {
+		t.Fatal(err)
+	}
+	check(h1, "v1 restore")
+
+	v2 := h1.SnapshotNow()
+	if v2 == nil {
+		t.Fatal(h1.Err())
+	}
+	if binary.LittleEndian.Uint32(v2) != snapshotMagic {
+		t.Fatal("re-snapshot is not version 2")
+	}
+	h2 := mkRestorable(t)
+	if err := h2.RestoreFrom(v2); err != nil {
+		t.Fatal(err)
+	}
+	check(h2, "v2 restore")
+}

@@ -331,9 +331,19 @@ type HAU struct {
 	migSeen  []bool
 	migReply chan<- []byte
 
-	lastBlob  []byte // previous checkpoint state (delta base)
-	lastEpoch uint64
-	sinceFull int
+	// opSecs caches each operator's most recent encoded section so clean
+	// incremental operators cost one pointer per epoch. Loop-owned.
+	opSecs []*sectionBuf
+
+	// Checkpoint writer: one FIFO goroutine per HAU flattens snapshots,
+	// computes deltas, and writes to the catalog, keeping everything but the
+	// raw capture off the processing loop. The FIFO also guarantees a delta's
+	// base epoch is durable before the delta save referencing it. Launched
+	// lazily by the first async checkpoint; wstate is owned by the writer for
+	// async schemes and by the loop for synchronous ones.
+	ckptCh     chan ckptJob
+	writerDone chan struct{}
+	wstate     ckptWriterState
 
 	cachedSize atomic.Int64
 	processed  atomic.Uint64
@@ -367,6 +377,7 @@ func New(cfg Config) (*HAU, error) {
 	h := &HAU{
 		cfg:         cfg,
 		ctrl:        make(chan Command, 64),
+		opSecs:      make([]*sectionBuf, len(cfg.Ops)),
 		outSeq:      make([]uint64, len(cfg.Out)),
 		lastInSeq:   make([]uint64, len(cfg.In)),
 		lastSrcID:   make([]map[string]uint64, len(cfg.In)),
@@ -513,7 +524,17 @@ func (h *HAU) forward(ctx context.Context, port int, e *Edge) {
 func (h *HAU) run(ctx context.Context) {
 	h.ctx = ctx
 	defer func() {
+		if h.ckptCh != nil {
+			close(h.ckptCh)
+			<-h.writerDone
+		}
 		h.writerWG.Wait()
+		for i, sec := range h.opSecs {
+			if sec != nil {
+				sec.release()
+				h.opSecs[i] = nil
+			}
+		}
 		h.cfg.Listener.Stopped(h.cfg.ID, h.Err())
 		close(h.done)
 	}()
@@ -601,7 +622,14 @@ func (h *HAU) run(ctx context.Context) {
 		// incarnation resumes from the blob.
 		if h.migArmed && !h.awaiting && h.migrationAligned() {
 			if h.flushAll(ctx) {
-				h.migReply <- h.encodeState()
+				blob, err := h.encodeState()
+				if err != nil {
+					// No state handed over: the migration aborts when this
+					// incarnation's Done closes, and recovery takes over.
+					h.setErr(err)
+					return
+				}
+				h.migReply <- blob
 			}
 			return
 		}
@@ -1032,82 +1060,127 @@ func (h *HAU) releaseRetained() {
 	h.retained = nil
 }
 
-// doCheckpoint takes the individual checkpoint for epoch. Synchronous
-// schemes block the loop for the full write; asynchronous schemes snapshot
-// in memory (the copy-on-write fork) and hand the write to a helper
-// goroutine, resuming the stream immediately.
+// ckptJob is one captured checkpoint handed from the loop to the writer.
+type ckptJob struct {
+	epoch uint64
+	snap  *stateSnapshot
+	b     CheckpointBreakdown
+}
+
+// ckptWriterState is the delta-checkpoint bookkeeping owned by whichever
+// goroutine performs the writes: the writer goroutine for asynchronous
+// schemes, the HAU loop for synchronous ones.
+type ckptWriterState struct {
+	lastBlob  []byte // previous flattened state (delta base)
+	lastEpoch uint64
+	sinceFull int
+}
+
+// doCheckpoint takes the individual checkpoint for epoch. The loop only
+// captures the state sections (freeze cost scales with dirty bytes);
+// flatten, delta and the stable write run on the per-HAU writer goroutine
+// for asynchronous schemes, or inline for synchronous ones. A failed
+// operator snapshot aborts the individual checkpoint — nothing is saved, so
+// the catalog can never mark a torn epoch complete.
 func (h *HAU) doCheckpoint(ctx context.Context, epoch uint64, tokenWait time.Duration) {
 	if h.cfg.Catalog == nil {
 		h.releaseRetained()
 		return
 	}
 	serStart := time.Now()
-	blob := h.encodeState()
+	snap, err := h.captureState()
 	serialize := time.Since(serStart)
 	h.releaseRetained()
+	if err != nil {
+		h.setErr(err)
+		return
+	}
+	job := ckptJob{
+		epoch: epoch,
+		snap:  snap,
+		b: CheckpointBreakdown{
+			TokenWait:  tokenWait,
+			Serialize:  serialize,
+			DirtyBytes: snap.dirty,
+			Async:      h.cfg.Scheme.Asynchronous(),
+		},
+	}
+	if !job.b.Async {
+		h.writeCheckpoint(job)
+		return
+	}
+	if h.ckptCh == nil {
+		h.ckptCh = make(chan ckptJob, 16)
+		h.writerDone = make(chan struct{})
+		go h.writerLoop()
+	}
+	h.writerWG.Add(1)
+	h.ckptCh <- job // bounded: backpressure if the writer falls 16 epochs behind
+}
 
-	// Delta-checkpointing: write only changed blocks against the previous
-	// epoch, falling back to full saves when the delta would not save
-	// anything or on the periodic full-snapshot epoch.
+// writerLoop drains checkpoint jobs in FIFO order until the HAU loop closes
+// the channel on exit.
+func (h *HAU) writerLoop() {
+	defer close(h.writerDone)
+	for job := range h.ckptCh {
+		h.writeCheckpoint(job)
+		h.writerWG.Done()
+	}
+}
+
+// writeCheckpoint flattens one captured snapshot, computes the block delta
+// against the previous epoch when enabled, and saves through the catalog's
+// ownership-transferring path (the flattened blob is fresh and immutable,
+// so the store keeps it without a defensive copy).
+func (h *HAU) writeCheckpoint(job ckptJob) {
+	flatStart := time.Now()
+	blob := job.snap.flatten()
+	job.snap.release()
+	job.b.Flatten = time.Since(flatStart)
+
+	w := &h.wstate
 	writeBlob := blob
 	baseEpoch := uint64(0)
 	useDelta := false
-	if h.cfg.DeltaCheckpoint && h.lastBlob != nil {
+	if h.cfg.DeltaCheckpoint && w.lastBlob != nil {
 		fullEvery := h.cfg.DeltaFullEvery
 		if fullEvery <= 0 {
 			fullEvery = 4
 		}
-		if h.sinceFull+1 < fullEvery {
-			diff := delta.Diff(h.lastBlob, blob, delta.DefaultBlockSize)
+		if w.sinceFull+1 < fullEvery {
+			diffStart := time.Now()
+			diff := delta.Diff(w.lastBlob, blob, delta.DefaultBlockSize)
+			job.b.Diff = time.Since(diffStart)
 			if len(diff) < len(blob) {
 				writeBlob = diff
-				baseEpoch = h.lastEpoch
+				baseEpoch = w.lastEpoch
 				useDelta = true
 			}
 		}
 	}
 	if useDelta {
-		h.sinceFull++
+		w.sinceFull++
 	} else {
-		h.sinceFull = 0
+		w.sinceFull = 0
 	}
-	h.lastBlob = blob
-	h.lastEpoch = epoch
+	w.lastBlob = blob
+	w.lastEpoch = job.epoch
 
-	b := CheckpointBreakdown{
-		TokenWait:  tokenWait,
-		Serialize:  serialize,
-		StateBytes: int64(len(writeBlob)),
-		Async:      h.cfg.Scheme.Asynchronous(),
+	job.b.StateBytes = int64(len(writeBlob))
+	job.b.Delta = useDelta
+	var d time.Duration
+	var err error
+	if useDelta {
+		d, _, err = h.cfg.Catalog.SaveStateDeltaOwned(job.epoch, h.cfg.ID, writeBlob, baseEpoch)
+	} else {
+		d, _, err = h.cfg.Catalog.SaveStateOwned(job.epoch, h.cfg.ID, writeBlob)
 	}
-	id := h.cfg.ID
-	save := func() (time.Duration, bool, error) {
-		if useDelta {
-			return h.cfg.Catalog.SaveStateDelta(epoch, id, writeBlob, baseEpoch)
-		}
-		return h.cfg.Catalog.SaveState(epoch, id, writeBlob)
-	}
-	if b.Async {
-		h.writerWG.Add(1)
-		go func() {
-			defer h.writerWG.Done()
-			d, _, err := save()
-			if err != nil {
-				h.setErr(err)
-				return
-			}
-			b.DiskIO = d
-			h.cfg.Listener.CheckpointDone(id, epoch, b)
-		}()
-		return
-	}
-	d, _, err := save()
 	if err != nil {
 		h.setErr(err)
 		return
 	}
-	b.DiskIO = d
-	h.cfg.Listener.CheckpointDone(id, epoch, b)
+	job.b.DiskIO = d
+	h.cfg.Listener.CheckpointDone(h.cfg.ID, job.epoch, job.b)
 }
 
 // broadcastToken appends a token to every output port and flushes

@@ -107,17 +107,36 @@ type Command struct {
 // CheckpointBreakdown decomposes one individual checkpoint the way Fig. 14
 // does: token collection, disk I/O, and other (serialization + process
 // creation). Durations are modelled (unscaled) simulation time.
+//
+// Serialize is the on-loop freeze window — the section capture during which
+// the HAU processes nothing. Flatten and Diff run on the checkpoint writer
+// (off-loop for asynchronous schemes) together with the DiskIO write.
 type CheckpointBreakdown struct {
 	TokenWait  time.Duration // command/first-token arrival -> alignment
-	Serialize  time.Duration // state serialization + snapshot fork
+	Serialize  time.Duration // on-loop state capture — the freeze window
+	Flatten    time.Duration // writer-side section flatten into one blob
+	Diff       time.Duration // writer-side block-delta computation
 	DiskIO     time.Duration // stable-storage write
-	StateBytes int64
+	StateBytes int64         // bytes written (delta when Delta is set)
+	DirtyBytes int64         // bytes re-encoded during the capture
+	Delta      bool          // written as a delta against the previous epoch
 	Async      bool
 }
 
-// Total returns the checkpoint's critical-path duration as the HAU saw it.
+// Total returns the checkpoint's end-to-end duration: the freeze window
+// plus the writer-side work. For asynchronous schemes only TokenWait +
+// Serialize stalls the stream.
 func (b CheckpointBreakdown) Total() time.Duration {
-	return b.TokenWait + b.Serialize + b.DiskIO
+	return b.TokenWait + b.Serialize + b.Flatten + b.Diff + b.DiskIO
+}
+
+// Freeze returns the time the HAU loop was unable to process tuples for
+// this checkpoint, excluding token alignment.
+func (b CheckpointBreakdown) Freeze() time.Duration {
+	if b.Async {
+		return b.Serialize
+	}
+	return b.Serialize + b.Flatten + b.Diff + b.DiskIO
 }
 
 // Listener receives HAU events. The controller implements it; tests use

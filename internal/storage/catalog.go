@@ -50,8 +50,19 @@ func stateKey(epoch uint64, hau string) string {
 
 // SaveState persists one HAU's individual checkpoint for epoch and records
 // progress toward epoch completion. It returns the modelled write duration
-// and whether this save completed the application checkpoint.
+// and whether this save completed the application checkpoint. The caller
+// keeps ownership of state.
 func (c *Catalog) SaveState(epoch uint64, hau string, state []byte) (time.Duration, bool, error) {
+	return c.saveState(epoch, hau, state, false)
+}
+
+// SaveStateOwned is SaveState with ownership transfer: state is stored
+// without a defensive copy and the caller must not mutate it afterwards.
+func (c *Catalog) SaveStateOwned(epoch uint64, hau string, state []byte) (time.Duration, bool, error) {
+	return c.saveState(epoch, hau, state, true)
+}
+
+func (c *Catalog) saveState(epoch uint64, hau string, state []byte, owned bool) (time.Duration, bool, error) {
 	c.mu.Lock()
 	if !c.members[hau] {
 		c.mu.Unlock()
@@ -59,7 +70,13 @@ func (c *Catalog) SaveState(epoch uint64, hau string, state []byte) (time.Durati
 	}
 	c.mu.Unlock()
 
-	d, err := c.store.Put(stateKey(epoch, hau), state)
+	var d time.Duration
+	var err error
+	if owned {
+		d, err = c.store.PutOwned(stateKey(epoch, hau), state)
+	} else {
+		d, err = c.store.Put(stateKey(epoch, hau), state)
+	}
 	if err != nil {
 		return d, false, err
 	}
@@ -88,6 +105,15 @@ func (c *Catalog) SaveState(epoch uint64, hau string, state []byte) (time.Durati
 // checkpoint for base (delta-checkpointing, paper §V). Progress tracking
 // matches SaveState; recovery resolves the chain transparently.
 func (c *Catalog) SaveStateDelta(epoch uint64, hau string, diff []byte, base uint64) (time.Duration, bool, error) {
+	return c.saveStateDelta(epoch, hau, diff, base, false)
+}
+
+// SaveStateDeltaOwned is SaveStateDelta with ownership transfer of diff.
+func (c *Catalog) SaveStateDeltaOwned(epoch uint64, hau string, diff []byte, base uint64) (time.Duration, bool, error) {
+	return c.saveStateDelta(epoch, hau, diff, base, true)
+}
+
+func (c *Catalog) saveStateDelta(epoch uint64, hau string, diff []byte, base uint64, owned bool) (time.Duration, bool, error) {
 	c.mu.Lock()
 	if !c.members[hau] {
 		c.mu.Unlock()
@@ -104,7 +130,7 @@ func (c *Catalog) SaveStateDelta(epoch uint64, hau string, diff []byte, base uin
 	}
 	m[hau] = base
 	c.mu.Unlock()
-	return c.SaveState(epoch, hau, diff)
+	return c.saveState(epoch, hau, diff, owned)
 }
 
 // LoadState reads one HAU's individual checkpoint for epoch, resolving

@@ -40,10 +40,22 @@ func chunkKey(key string, i int) string { return fmt.Sprintf("%s#%d", key, i) }
 
 // Put scatters data over the backing stores in parallel and returns the
 // slowest chunk's modelled duration (the operation completes when the last
-// chunk is durable).
+// chunk is durable). Each byte of data is copied exactly once — into the
+// per-chunk buffer handed to the store — instead of the historical copy per
+// chunk plus a second defensive copy inside Store.Put.
 func (s *Scatter) Put(key string, data []byte) (time.Duration, error) {
+	return s.put(key, data, false)
+}
+
+// PutOwned scatters data with ownership transfer: chunks 1..n-1 are stored
+// as subslices of data with no copy at all, so the caller must not mutate
+// data afterwards. Only chunk 0 is copied, to prepend the length header.
+func (s *Scatter) PutOwned(key string, data []byte) (time.Duration, error) {
+	return s.put(key, data, true)
+}
+
+func (s *Scatter) put(key string, data []byte, owned bool) (time.Duration, error) {
 	n := len(s.stores)
-	header := binary.LittleEndian.AppendUint64(nil, uint64(len(data)))
 	chunk := (len(data) + n - 1) / n
 	var wg sync.WaitGroup
 	durs := make([]time.Duration, n)
@@ -59,12 +71,18 @@ func (s *Scatter) Put(key string, data []byte) (time.Duration, error) {
 		}
 		part := data[lo:hi]
 		if i == 0 {
-			part = append(append([]byte(nil), header...), part...)
+			// The header chunk is always rebuilt, which also covers the
+			// non-owned case for it.
+			buf := make([]byte, 0, 8+len(part))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(len(data)))
+			part = append(buf, part...)
+		} else if !owned {
+			part = append([]byte(nil), part...)
 		}
 		wg.Add(1)
 		go func(i int, part []byte) {
 			defer wg.Done()
-			durs[i], errs[i] = s.stores[i].Put(chunkKey(key, i), part)
+			durs[i], errs[i] = s.stores[i].PutOwned(chunkKey(key, i), part)
 		}(i, part)
 	}
 	wg.Wait()
@@ -119,12 +137,16 @@ func (s *Scatter) Get(key string) ([]byte, time.Duration, error) {
 	return out, worst, nil
 }
 
-// Delete removes all chunks of key.
+// Delete removes all chunks of key, best-effort: one down store must not
+// orphan the key's chunks on every healthy store (that would defeat
+// retention GC permanently for the blob). Every chunk is attempted; the
+// joined error reports the stores that failed so the caller can retry.
 func (s *Scatter) Delete(key string) error {
+	var errs []error
 	for i, st := range s.stores {
 		if err := st.Delete(chunkKey(key, i)); err != nil {
-			return err
+			errs = append(errs, fmt.Errorf("chunk %d: %w", i, err))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }

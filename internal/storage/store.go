@@ -52,8 +52,9 @@ func (s *Store) Down() bool {
 	return s.down
 }
 
-// Put stores data under key, charging disk write cost, and returns the
-// modelled duration of the write.
+// Put stores a copy of data under key, charging disk write cost, and
+// returns the modelled duration of the write. The caller keeps ownership of
+// data and may mutate it afterwards.
 func (s *Store) Put(key string, data []byte) (time.Duration, error) {
 	s.mu.RLock()
 	down := s.down
@@ -61,10 +62,24 @@ func (s *Store) Put(key string, data []byte) (time.Duration, error) {
 	if down {
 		return 0, ErrUnavailable
 	}
+	return s.PutOwned(key, append([]byte(nil), data...))
+}
+
+// PutOwned stores data under key without a defensive copy: ownership of the
+// slice transfers to the store, and the caller must not mutate it
+// afterwards (concurrent reads of the now-immutable bytes are fine).
+// Checkpoint writers hand over freshly flattened blobs through this path so
+// a checkpoint is copied at most once end-to-end.
+func (s *Store) PutOwned(key string, data []byte) (time.Duration, error) {
+	s.mu.RLock()
+	down := s.down
+	s.mu.RUnlock()
+	if down {
+		return 0, ErrUnavailable
+	}
 	d := s.disk.Write(int64(len(data)))
-	cp := append([]byte(nil), data...)
 	s.mu.Lock()
-	s.blobs[key] = cp
+	s.blobs[key] = data
 	s.mu.Unlock()
 	return d, nil
 }
