@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race chaos chaos-migrate bench-smoke bench-hotpath placement-bench bench-checkpoint bench-checkpoint-smoke
+.PHONY: ci vet build test race chaos chaos-migrate chaos-rescale bench-smoke bench-hotpath placement-bench bench-checkpoint bench-checkpoint-smoke rescale-bench rescale-bench-smoke
 
-ci: vet build race bench-smoke bench-checkpoint-smoke chaos chaos-migrate
+ci: vet build race bench-smoke bench-checkpoint-smoke chaos chaos-migrate chaos-rescale rescale-bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +36,11 @@ chaos:
 chaos-migrate:
 	$(GO) test -race -count=1 -run 'TestChaosMigrationSmoke|TestChaosMidMigrationKill' ./internal/chaos/
 
+# Re-partition chaos: live splits/merges injected between kill rounds,
+# including rounds that kill a replica while the rescale is in flight.
+chaos-rescale:
+	$(GO) test -race -count=1 -run 'TestChaosRescaleSmoke|TestChaosMidSplitKill' ./internal/chaos/
+
 # Checkpoint datapath benchmark: freeze window vs dirty fraction, delta
 # writes, parallel restore. Regenerates BENCH_checkpoint.json.
 bench-checkpoint:
@@ -52,3 +57,14 @@ bench-checkpoint-smoke:
 # Regenerates BENCH_placement.json.
 placement-bench:
 	$(GO) run ./cmd/msplace
+
+# Re-partitioning benchmark: split/merge downtime vs state size and sink
+# throughput vs replica count on a skewed-key pair stage. Regenerates
+# BENCH_rescale.json.
+rescale-bench:
+	$(GO) run ./cmd/msscale
+
+# Reduced-grid msscale under the race detector: exercises live split and
+# merge on a streaming cluster without paying for the full sweep.
+rescale-bench-smoke:
+	$(GO) run -race ./cmd/msscale -quick -out -

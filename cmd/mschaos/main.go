@@ -8,6 +8,8 @@
 //	mschaos -seed 42 -rounds 5 -nodes 6   # a longer, wider schedule
 //	mschaos -seed 42 -placement rackspread -migrate
 //	                                      # rack-spread placement + live-migration chaos
+//	mschaos -seed 42 -placement rackspread -rescale
+//	                                      # re-partition chaos: live splits/merges + mid-rescale kills
 //
 // A failing run exits non-zero and prints the exact command that replays
 // its schedule.
@@ -36,6 +38,7 @@ func main() {
 		place   = flag.String("placement", "", `placement policy: "roundrobin", "rackspread" or "loadaware" ("" = cluster default)`)
 		npr     = flag.Int("nodes-per-rack", 0, "failure-domain geometry (0 = one rack)")
 		migrate = flag.Bool("migrate", false, "enable live-migration chaos, including the mid-migration kill instant")
+		rescale = flag.Bool("rescale", false, "enable re-partition chaos: clean splits/merges plus the mid-rescale kill instant")
 	)
 	flag.Parse()
 
@@ -62,6 +65,7 @@ func main() {
 			Placement:    *place,
 			NodesPerRack: *npr,
 			Migrations:   *migrate,
+			Rescales:     *rescale,
 		}
 		if *verbose {
 			cfg.Logf = func(format string, args ...any) {
@@ -83,6 +87,10 @@ func main() {
 		for _, rec := range res.Recoveries {
 			fmt.Printf("  recovery epoch=%d haus=%d reload=%s diskio=%s deserialize=%s reconnect=%s total=%s\n",
 				rec.Epoch, rec.HAUs, rec.Reload, rec.DiskIO, rec.Deserialize, rec.Reconnect, rec.Total)
+		}
+		for _, rs := range res.RescaleList {
+			fmt.Printf("  rescale %s %d->%d bytes=%d drain=%s reshard=%s restore=%s downtime=%s\n",
+				rs.HAU, rs.From, rs.To, rs.Bytes, rs.Drain, rs.Reshard, rs.Restore, rs.Downtime)
 		}
 	}
 	if failed {

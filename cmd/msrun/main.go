@@ -54,6 +54,11 @@ func main() {
 		place     = flag.String("placement", "", `placement policy: "roundrobin", "rackspread" or "loadaware" ("" = round-robin)`)
 		npr       = flag.Int("nodes-per-rack", 0, "failure-domain geometry for placement (0 = one rack)")
 		rebalance = flag.Duration("rebalance-every", 0, "live-migration rebalancer period (0 = off)")
+
+		autoscale   = flag.Duration("autoscale-every", 0, "split/merge autoscaler period (0 = off)")
+		splitAbove  = flag.Int64("split-above", 0, "state-size watermark (bytes) above which a hot operator is split (0 = off)")
+		mergeBelow  = flag.Int64("merge-below", 0, "state-size watermark (bytes) below which a split operator is merged (0 = off)")
+		maxReplicas = flag.Int("max-replicas", 0, "replica cap per split operator (0 = 4)")
 	)
 	flag.Parse()
 
@@ -90,18 +95,23 @@ func main() {
 	}
 
 	sys, err := core.NewSystem(core.Options{
-		App:              spec,
-		Scheme:           sch,
-		Nodes:            *nodes,
-		Placement:        pol,
-		NodesPerRack:     *npr,
-		RebalanceEvery:   *rebalance,
-		CheckpointPeriod: *period,
-		TickEvery:        time.Millisecond,
-		SourceFlush:      64 << 10,
-		Seed:             *seed,
-		DeltaCheckpoint:  *useDelta,
-		ShedWatermark:    *shed,
+		App:                  spec,
+		Scheme:               sch,
+		Nodes:                *nodes,
+		Placement:            pol,
+		NodesPerRack:         *npr,
+		RebalanceEvery:       *rebalance,
+		AutoscaleEvery:       *autoscale,
+		SplitAbove:           *splitAbove,
+		MergeBelow:           *mergeBelow,
+		AutoscaleMaxReplicas: *maxReplicas,
+		CheckpointPeriod:     *period,
+		TickEvery:            time.Millisecond,
+		SourceFlush:          64 << 10,
+		Seed:                 *seed,
+		DeltaCheckpoint:      *useDelta,
+		ShedWatermark:        *shed,
+		Metrics:              col,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -114,7 +124,9 @@ func main() {
 		os.Exit(1)
 	}
 	defer sys.Stop()
-	if *period > 0 {
+	// The autoscaler (like scheme-driven checkpointing) runs inside the
+	// controller loop, so enabling it needs the controller running.
+	if *period > 0 || *autoscale > 0 {
 		sys.StartController(ctx)
 	}
 
@@ -148,6 +160,12 @@ func main() {
 	fmt.Printf("\nsummary: app=%s scheme=%s tuples=%d (%.1f/ms) meanLat=%s p99=%s checkpoints=%d\n",
 		sum.App, sum.Scheme, sum.Tuples, sum.TuplesPerMS,
 		sum.MeanLatency.Truncate(time.Microsecond), sum.P99.Truncate(time.Microsecond), sum.Checkpoints)
+	for _, rs := range col.Rescales() {
+		fmt.Printf("rescale %s %d->%d bytes=%d drain=%s reshard=%s restore=%s downtime=%s\n",
+			rs.HAU, rs.From, rs.To, rs.Bytes, rs.Drain.Truncate(time.Microsecond),
+			rs.Reshard.Truncate(time.Microsecond), rs.Restore.Truncate(time.Microsecond),
+			rs.Downtime.Truncate(time.Microsecond))
+	}
 	if s := ref.Get(); s != nil && s.Duplicates() > 0 {
 		fmt.Printf("WARNING: sink observed %d duplicate deliveries\n", s.Duplicates())
 		os.Exit(1)

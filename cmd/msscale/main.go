@@ -1,0 +1,396 @@
+// Command msscale benchmarks keyed-state re-partitioning and regenerates
+// BENCH_rescale.json. Two experiments:
+//
+//  1. Split/merge downtime vs state size: a sharded operator carrying a
+//     padded slot table (64 KB – 4 MB) is split across two replicas and
+//     merged back, recording the drain / re-shard / restore / downtime
+//     decomposition of each direction.
+//
+//  2. Throughput vs replica count: a compute-bound Pair stage fed a
+//     skewed-key TMI workload by elastic sources is run whole, split 2
+//     ways and split 4 ways; the sink delivery rate over a fixed window
+//     shows how splitting a hot operator raises application throughput.
+//
+//     msscale                 # full run, writes BENCH_rescale.json
+//     msscale -out -          # print JSON to stdout instead
+//     msscale -quick          # reduced grids (CI smoke)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"meteorshower/internal/apps"
+	"meteorshower/internal/cluster"
+	"meteorshower/internal/graph"
+	"meteorshower/internal/metrics"
+	"meteorshower/internal/operator"
+	"meteorshower/internal/partition"
+	"meteorshower/internal/placement"
+	"meteorshower/internal/spe"
+	"meteorshower/internal/storage"
+	"meteorshower/internal/tuple"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "BENCH_rescale.json", `output path; "-" prints to stdout`)
+		window = flag.Duration("window", 600*time.Millisecond, "sink-rate measurement window for the throughput experiment")
+		workNS = flag.Int64("work-ns", 50000, "per-tuple service time in the Pair stage (models a compute-bound operator)")
+		quick  = flag.Bool("quick", false, "reduced grids")
+	)
+	flag.Parse()
+
+	pads := []int{64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	reps := []int{1, 2, 4}
+	if *quick {
+		pads = []int{64 << 10, 1 << 20}
+		reps = []int{1, 2}
+		if *window > 250*time.Millisecond {
+			*window = 250 * time.Millisecond
+		}
+	}
+
+	doc := map[string]any{
+		"benchmark": "rescale",
+		"environment": map[string]string{
+			"go":     runtime.Version(),
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+		},
+		"regenerate": "go run ./cmd/msscale",
+	}
+
+	fmt.Fprintln(os.Stderr, "== split/merge downtime vs state size ==")
+	down, err := rescaleDowntime(pads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msscale: downtime experiment: %v\n", err)
+		os.Exit(1)
+	}
+	doc["rescale_downtime"] = down
+
+	fmt.Fprintln(os.Stderr, "== throughput vs replica count, skewed-key pair stage ==")
+	tput, err := throughputVsReplicas(reps, *window, *workNS)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msscale: throughput experiment: %v\n", err)
+		os.Exit(1)
+	}
+	doc["throughput_vs_replicas"] = tput
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msscale: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "msscale: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+func fastDisk() storage.DiskSpec {
+	return storage.DiskSpec{BandwidthBps: 1 << 30, Latency: time.Microsecond, TimeScale: 0}
+}
+
+// shardOp is a pass-through operator whose keyed state is a padded slot
+// table — the state-size knob for the downtime experiment. Each slot
+// carries total/slots bytes, so a 2-way split moves half the pad to each
+// replica.
+type shardOp struct {
+	operator.Base
+	slots [][]byte
+}
+
+func newShardOp(name string, total int) *shardOp {
+	s := make([][]byte, partition.DefaultSlots)
+	per := total / partition.DefaultSlots
+	for i := range s {
+		s[i] = make([]byte, per)
+	}
+	return &shardOp{Base: operator.Base{OpName: name}, slots: s}
+}
+
+func (o *shardOp) OnTuple(_ int, t *tuple.Tuple, emit operator.Emitter) error {
+	emit(0, t)
+	return nil
+}
+
+func (o *shardOp) StateSize() int64 {
+	var n int64
+	for _, sl := range o.slots {
+		n += int64(len(sl))
+	}
+	return n
+}
+
+// PartitionSlots implements operator.PartitionedState.
+func (o *shardOp) PartitionSlots() int { return partition.DefaultSlots }
+
+func (o *shardOp) Snapshot() ([]byte, error) {
+	return partition.AppendTable(nil, nil, o.slots), nil
+}
+
+func (o *shardOp) Restore(buf []byte) error {
+	if !partition.IsTable(buf) {
+		return errors.New("shardOp: snapshot is not a slot table")
+	}
+	_, slots, err := partition.ParseTable(buf)
+	if err != nil {
+		return err
+	}
+	o.slots = slots
+	return nil
+}
+
+type phaseMS struct {
+	MovedBytes int64   `json:"moved_bytes"`
+	DrainMS    float64 `json:"drain_ms"`
+	ReshardMS  float64 `json:"reshard_ms"`
+	RestoreMS  float64 `json:"restore_ms"`
+	DowntimeMS float64 `json:"downtime_ms"`
+}
+
+func toPhaseMS(st cluster.RescaleStats) phaseMS {
+	return phaseMS{
+		MovedBytes: st.Bytes,
+		DrainMS:    float64(st.Drain.Microseconds()) / 1000,
+		ReshardMS:  float64(st.Reshard.Microseconds()) / 1000,
+		RestoreMS:  float64(st.Restore.Microseconds()) / 1000,
+		DowntimeMS: float64(st.Downtime.Microseconds()) / 1000,
+	}
+}
+
+type downtimePoint struct {
+	StateBytes int64   `json:"state_bytes"`
+	Split      phaseMS `json:"split"`
+	Merge      phaseMS `json:"merge"`
+}
+
+// rescaleDowntime splits and re-merges a padded sharded operator once per
+// state size and records both directions' timing decomposition.
+func rescaleDowntime(pads []int) ([]downtimePoint, error) {
+	var out []downtimePoint
+	for _, pad := range pads {
+		split, merge, err := oneDowntimeTrial(pad)
+		if err != nil {
+			return nil, fmt.Errorf("pad %d: %w", pad, err)
+		}
+		out = append(out, downtimePoint{StateBytes: int64(pad), Split: toPhaseMS(split), Merge: toPhaseMS(merge)})
+		fmt.Fprintf(os.Stderr, "  state %8d B: split downtime %7.3f ms (drain %7.3f), merge downtime %7.3f ms (drain %7.3f)\n",
+			pad, float64(split.Downtime.Microseconds())/1000, float64(split.Drain.Microseconds())/1000,
+			float64(merge.Downtime.Microseconds())/1000, float64(merge.Drain.Microseconds())/1000)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StateBytes < out[j].StateBytes })
+	return out, nil
+}
+
+func oneDowntimeTrial(pad int) (cluster.RescaleStats, cluster.RescaleStats, error) {
+	var zero cluster.RescaleStats
+	g := graph.New()
+	g.MustAddNode("S")
+	g.MustAddNode("P")
+	g.MustAddNode("K")
+	g.MustAddEdge("S", "P")
+	g.MustAddEdge("P", "K")
+	spec := cluster.AppSpec{
+		Name:  "scalebench",
+		Graph: g,
+		NewOperators: func(id string) []operator.Operator {
+			switch id[0] {
+			case 'S':
+				return []operator.Operator{operator.NewRateSource("S", 100, 1, operator.BytePayload(64, 16))}
+			case 'P':
+				return []operator.Operator{newShardOp(id, pad)}
+			default:
+				return []operator.Operator{operator.NewSink("K", nil)}
+			}
+		},
+	}
+	cl, err := cluster.New(cluster.Config{
+		App:           spec,
+		Scheme:        spe.MSSrcAP,
+		Nodes:         4,
+		NodesPerRack:  2,
+		Placement:     placement.RackSpread{},
+		LocalDiskSpec: fastDisk(),
+		SharedSpec:    fastDisk(),
+		TickEvery:     time.Millisecond,
+		SourceFlush:   256,
+		Seed:          1,
+	})
+	if err != nil {
+		return zero, zero, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := cl.Start(ctx); err != nil {
+		return zero, zero, err
+	}
+	defer cl.StopAll()
+	if err := waitFor(10*time.Second, func() bool { return cl.ProcessedTotal() > 100 }); err != nil {
+		return zero, zero, fmt.Errorf("stream never warmed up: %w", err)
+	}
+	split, err := cl.SplitHAU(ctx, "P", 2)
+	if err != nil {
+		return zero, zero, fmt.Errorf("split: %w", err)
+	}
+	if err := waitFor(10*time.Second, func() bool { return cl.ProcessedTotal() > 400 }); err != nil {
+		return zero, zero, fmt.Errorf("stream stalled after split: %w", err)
+	}
+	merge, err := cl.MergeHAU(ctx, "P")
+	if err != nil {
+		return zero, zero, fmt.Errorf("merge: %w", err)
+	}
+	return split, merge, nil
+}
+
+// skewedPositions generates a hot-key-heavy TMI position stream: 80% of a
+// source's tuples land on 32 hot phones, the rest spread over 256 cold
+// ones — skewed enough that per-key state is far from uniform, wide
+// enough that the hot set straddles every replica's slot range. Keys are
+// per-source so the two sources' timestamp sequences never interleave on
+// one phone.
+func skewedPositions(srcIdx int) operator.PayloadFn {
+	hot := "ph" + fmt.Sprint(srcIdx) + "-hot-"
+	cold := "ph" + fmt.Sprint(srcIdx) + "-"
+	return func(id uint64, rng *rand.Rand) (string, []byte) {
+		var key string
+		if rng.Float64() < 0.8 {
+			key = hot + fmt.Sprint(id%32)
+		} else {
+			key = cold + fmt.Sprint(id%256)
+		}
+		pos := apps.Position{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, TsMS: int64(id)}
+		return key, pos.Encode()
+	}
+}
+
+type throughputPoint struct {
+	Replicas    int     `json:"replicas"`
+	WindowMS    float64 `json:"window_ms"`
+	SinkTuples  uint64  `json:"sink_tuples"`
+	TuplesPerMS float64 `json:"tuples_per_ms"`
+	SpeedupVs1  float64 `json:"speedup_vs_1"`
+}
+
+// throughputVsReplicas runs the skewed-key pair stage whole and split
+// n ways, measuring the sink delivery rate over the window each time.
+func throughputVsReplicas(reps []int, window time.Duration, workNS int64) ([]throughputPoint, error) {
+	var out []throughputPoint
+	var base float64
+	for _, n := range reps {
+		rate, err := oneThroughputTrial(n, window, workNS)
+		if err != nil {
+			return nil, fmt.Errorf("%d replica(s): %w", n, err)
+		}
+		pt := throughputPoint{
+			Replicas:    n,
+			WindowMS:    float64(window.Microseconds()) / 1000,
+			SinkTuples:  uint64(rate * float64(window.Milliseconds())),
+			TuplesPerMS: rate,
+		}
+		if base == 0 {
+			base = rate
+		}
+		pt.SpeedupVs1 = rate / base
+		out = append(out, pt)
+		fmt.Fprintf(os.Stderr, "  %d replica(s): %.1f tuples/ms (%.2fx)\n", n, rate, pt.SpeedupVs1)
+	}
+	return out, nil
+}
+
+func oneThroughputTrial(replicas int, window time.Duration, workNS int64) (float64, error) {
+	g := graph.New()
+	g.MustAddNode("S0")
+	g.MustAddNode("S1")
+	g.MustAddNode("P")
+	g.MustAddNode("K")
+	g.MustAddEdge("S0", "P")
+	g.MustAddEdge("S1", "P")
+	g.MustAddEdge("P", "K")
+	col := metrics.NewCollector()
+	spec := cluster.AppSpec{
+		Name:  "scaletput",
+		Graph: g,
+		NewOperators: func(id string) []operator.Operator {
+			switch id[0] {
+			case 'S':
+				idx := int(id[1] - '0')
+				src := operator.NewRateSource(id, 64, int64(idx+1), skewedPositions(idx))
+				src.MaxRate = true
+				// The sources must offer far more than one Pair replica
+				// absorbs, or the measurement is source-bound and replica
+				// count cannot matter.
+				src.CatchUpCap = 256
+				return []operator.Operator{src}
+			case 'P':
+				p := apps.NewPairOp(id)
+				p.WorkNS = workNS
+				return []operator.Operator{p}
+			default:
+				return []operator.Operator{operator.NewSink("K", col)}
+			}
+		},
+	}
+	cl, err := cluster.New(cluster.Config{
+		App:           spec,
+		Scheme:        spe.MSSrcAP,
+		Nodes:         6,
+		NodesPerRack:  2,
+		Placement:     placement.RackSpread{},
+		LocalDiskSpec: fastDisk(),
+		SharedSpec:    fastDisk(),
+		TickEvery:     time.Millisecond,
+		SourceFlush:   4 << 10,
+		Seed:          1,
+	})
+	if err != nil {
+		return 0, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := cl.Start(ctx); err != nil {
+		return 0, err
+	}
+	defer cl.StopAll()
+	if err := waitFor(10*time.Second, func() bool { return col.Count() > 200 }); err != nil {
+		return 0, fmt.Errorf("stream never warmed up: %w", err)
+	}
+	if replicas > 1 {
+		if _, err := cl.SplitHAU(ctx, "P", replicas); err != nil {
+			return 0, fmt.Errorf("split: %w", err)
+		}
+		// Let the replicas drain the backlog the split paused on before
+		// the measurement window opens.
+		time.Sleep(100 * time.Millisecond)
+	}
+	n0 := col.Count()
+	time.Sleep(window)
+	n1 := col.Count()
+	return float64(n1-n0) / (float64(window.Microseconds()) / 1000), nil
+}
+
+func waitFor(timeout time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return errors.New("timeout")
+}

@@ -14,9 +14,11 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"time"
 
 	"meteorshower/internal/kmeans"
 	"meteorshower/internal/operator"
+	"meteorshower/internal/partition"
 	"meteorshower/internal/svm"
 	"meteorshower/internal/tuple"
 	"meteorshower/internal/vision"
@@ -132,10 +134,22 @@ func DecodeReading(buf []byte) (Reading, error) {
 
 // PairOp is TMI's Pair operator: "calculating speed from position data". It
 // keeps the previous position per phone and emits a Speed tuple for each
-// consecutive pair.
+// consecutive pair. Its keyed state is sharded over the partition slot ring
+// (operator.PartitionedState) so a hot Pair HAU can be split across
+// replicas.
 type PairOp struct {
 	id   identity
 	last map[string]Position
+
+	// WorkNS models a compute-bound operator: every tuple costs WorkNS
+	// nanoseconds of service time on the replica's own (simulated) node.
+	// Used by the rescale benchmark to show throughput scaling with
+	// replica count. Zero in production topologies.
+	WorkNS int64
+	// debt is unserved WorkNS time; it is paid in ~1ms timer sleeps
+	// (yielding the simulation host) rather than busy-spins, so host core
+	// count does not serialize the simulated replicas.
+	debt int64
 }
 
 // NewPairOp returns an empty pair operator.
@@ -151,6 +165,14 @@ func (p *PairOp) OnTuple(_ int, t *tuple.Tuple, emit operator.Emitter) error {
 	pos, err := DecodePosition(t.Data)
 	if err != nil {
 		return err
+	}
+	if p.WorkNS > 0 {
+		p.debt += p.WorkNS
+		if p.debt >= int64(time.Millisecond) {
+			start := time.Now()
+			time.Sleep(time.Duration(p.debt))
+			p.debt -= time.Since(start).Nanoseconds() // oversleep is credit
+		}
 	}
 	prev, ok := p.last[t.Key]
 	p.last[t.Key] = pos
@@ -173,20 +195,55 @@ func (p *PairOp) StateSize() int64 {
 	return n
 }
 
-// Snapshot serializes the map and identity counter.
+// PartitionSlots implements operator.PartitionedState.
+func (p *PairOp) PartitionSlots() int { return partition.DefaultSlots }
+
+// Snapshot serializes the map as a partition slot table; the identity
+// counter rides in the residue so every replica of a split continues the
+// numbering (downstream operators restamp, so replica overlap is harmless).
 func (p *PairOp) Snapshot() ([]byte, error) {
-	buf := p.id.snapshot()
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.last)))
+	slots := make([][]byte, partition.DefaultSlots)
 	for _, k := range sortedKeys(p.last) {
-		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(k)))
-		buf = append(buf, k...)
-		buf = append(buf, p.last[k].Encode()...)
+		s := partition.SlotOf(k, len(slots))
+		slots[s] = binary.LittleEndian.AppendUint16(slots[s], uint16(len(k)))
+		slots[s] = append(slots[s], k...)
+		slots[s] = append(slots[s], p.last[k].Encode()...)
 	}
-	return buf, nil
+	return partition.AppendTable(nil, p.id.snapshot(), slots), nil
 }
 
-// Restore rebuilds the map.
+// Restore rebuilds the map from a slot table (possibly carved) or the
+// legacy flat encoding.
 func (p *PairOp) Restore(buf []byte) error {
+	if partition.IsTable(buf) {
+		residue, slots, err := partition.ParseTable(buf)
+		if err != nil {
+			return err
+		}
+		if err := p.id.restore(residue); err != nil {
+			return err
+		}
+		p.last = make(map[string]Position)
+		for _, sl := range slots {
+			for len(sl) > 0 {
+				if len(sl) < 2 {
+					return errors.New("apps: truncated pair snapshot")
+				}
+				kl := int(binary.LittleEndian.Uint16(sl))
+				sl = sl[2:]
+				if len(sl) < kl+24 {
+					return errors.New("apps: truncated pair snapshot")
+				}
+				pos, err := DecodePosition(sl[kl:])
+				if err != nil {
+					return err
+				}
+				p.last[string(sl[:kl])] = pos
+				sl = sl[kl+24:]
+			}
+		}
+		return nil
+	}
 	if err := p.id.restore(buf); err != nil {
 		return err
 	}
@@ -855,15 +912,20 @@ func (d *FrameDispatchOp) Restore(buf []byte) error { return d.id.restore(buf) }
 // --- SignalGuru operators ----------------------------------------------------
 
 // BandFilterOp is SignalGuru's color filter (C): it band-passes the image
-// so only signal-lamp-intensity pixels survive.
+// so only signal-lamp-intensity pixels survive. It keeps a per-camera
+// frame count (the paper's filters expose per-stream statistics for the
+// dispatcher's load feedback), which makes it the fan-out topologies'
+// keyed re-partition target: the count map shards over the slot ring, so
+// a hot filter can be split across HAU replicas.
 type BandFilterOp struct {
 	id     identity
 	Lo, Hi uint8
+	seen   map[string]uint64
 }
 
 // NewBandFilterOp returns an intensity band filter.
 func NewBandFilterOp(name string, lo, hi uint8) *BandFilterOp {
-	return &BandFilterOp{id: identity{name: name}, Lo: lo, Hi: hi}
+	return &BandFilterOp{id: identity{name: name}, Lo: lo, Hi: hi, seen: make(map[string]uint64)}
 }
 
 // Name implements operator.Operator.
@@ -875,6 +937,7 @@ func (b *BandFilterOp) OnTuple(_ int, t *tuple.Tuple, emit operator.Emitter) err
 	if err != nil {
 		return err
 	}
+	b.seen[t.Key]++
 	data := vision.BandPass(im, b.Lo, b.Hi).Marshal()
 	data = append(data, t.Data[n:]...)
 	out := &tuple.Tuple{Key: t.Key, Ts: t.Ts, Data: data}
@@ -882,14 +945,69 @@ func (b *BandFilterOp) OnTuple(_ int, t *tuple.Tuple, emit operator.Emitter) err
 	return nil
 }
 
-// StateSize is zero.
-func (b *BandFilterOp) StateSize() int64 { return 0 }
+// Seen returns the number of frames filtered for key (tests).
+func (b *BandFilterOp) Seen(key string) uint64 { return b.seen[key] }
 
-// Snapshot carries only the identity counter.
-func (b *BandFilterOp) Snapshot() ([]byte, error) { return b.id.snapshot(), nil }
+// StateSize reports the per-camera counter map.
+func (b *BandFilterOp) StateSize() int64 {
+	var n int64
+	for k := range b.seen {
+		n += int64(len(k)) + 8
+	}
+	return n
+}
 
-// Restore rebuilds the identity counter.
-func (b *BandFilterOp) Restore(buf []byte) error { return b.id.restore(buf) }
+// PartitionSlots implements operator.PartitionedState.
+func (b *BandFilterOp) PartitionSlots() int { return partition.DefaultSlots }
+
+// Snapshot serializes the counter map as a partition slot table; the
+// identity counter rides in the residue (downstream filters restamp, so
+// replica overlap is harmless).
+func (b *BandFilterOp) Snapshot() ([]byte, error) {
+	slots := make([][]byte, partition.DefaultSlots)
+	for _, k := range sortedKeys(b.seen) {
+		s := partition.SlotOf(k, len(slots))
+		slots[s] = binary.LittleEndian.AppendUint16(slots[s], uint16(len(k)))
+		slots[s] = append(slots[s], k...)
+		slots[s] = binary.LittleEndian.AppendUint64(slots[s], b.seen[k])
+	}
+	return partition.AppendTable(nil, b.id.snapshot(), slots), nil
+}
+
+// Restore rebuilds the counters from a slot table (possibly carved) or the
+// legacy residue-only encoding.
+func (b *BandFilterOp) Restore(buf []byte) error {
+	if partition.IsTable(buf) {
+		residue, slots, err := partition.ParseTable(buf)
+		if err != nil {
+			return err
+		}
+		if err := b.id.restore(residue); err != nil {
+			return err
+		}
+		b.seen = make(map[string]uint64)
+		for _, sl := range slots {
+			for len(sl) > 0 {
+				if len(sl) < 2 {
+					return errors.New("apps: truncated band-filter snapshot")
+				}
+				kl := int(binary.LittleEndian.Uint16(sl))
+				sl = sl[2:]
+				if len(sl) < kl+8 {
+					return errors.New("apps: truncated band-filter snapshot")
+				}
+				b.seen[string(sl[:kl])] = binary.LittleEndian.Uint64(sl[kl:])
+				sl = sl[kl+8:]
+			}
+		}
+		return nil
+	}
+	if err := b.id.restore(buf); err != nil {
+		return err
+	}
+	b.seen = make(map[string]uint64)
+	return nil
+}
 
 // ShapeFilterOp is SignalGuru's shape filter (A): it zeroes blobs whose
 // aspect ratio cannot be a signal housing.
@@ -932,11 +1050,25 @@ func (s *ShapeFilterOp) OnTuple(_ int, t *tuple.Tuple, emit operator.Emitter) er
 // StateSize is zero.
 func (s *ShapeFilterOp) StateSize() int64 { return 0 }
 
-// Snapshot carries only the identity counter.
-func (s *ShapeFilterOp) Snapshot() ([]byte, error) { return s.id.snapshot(), nil }
+// PartitionSlots implements operator.PartitionedState (residue-only).
+func (s *ShapeFilterOp) PartitionSlots() int { return 0 }
+
+// Snapshot carries only the identity counter (as slot-table residue).
+func (s *ShapeFilterOp) Snapshot() ([]byte, error) {
+	return partition.AppendTable(nil, s.id.snapshot(), nil), nil
+}
 
 // Restore rebuilds the identity counter.
-func (s *ShapeFilterOp) Restore(buf []byte) error { return s.id.restore(buf) }
+func (s *ShapeFilterOp) Restore(buf []byte) error {
+	if partition.IsTable(buf) {
+		residue, _, err := partition.ParseTable(buf)
+		if err != nil {
+			return err
+		}
+		return s.id.restore(residue)
+	}
+	return s.id.restore(buf)
+}
 
 // MotionFilterOp is SignalGuru's motion filter (M): it preserves all
 // pictures taken by a phone at an intersection until the vehicle leaves

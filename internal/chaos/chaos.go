@@ -62,6 +62,13 @@ const (
 	// without breaking exactly-once. Only in the sample space when
 	// Config.Migrations is set, so default schedules replay unchanged.
 	KillMidMigration InjectionPoint = "mid-migration"
+	// KillMidRescale starts a live split (or merge, when the victim is
+	// already split), then kills the burst plus a node hosting one of the
+	// victim's incarnations while the re-partition is in flight — the
+	// drain, re-shard and replica restore must abort or commit without
+	// breaking exactly-once. Only in the sample space when Config.Rescales
+	// is set, so default schedules replay unchanged.
+	KillMidRescale InjectionPoint = "mid-rescale"
 )
 
 // injectionPoints is the default sample space for a round's injection
@@ -88,6 +95,10 @@ type Config struct {
 	// Migrations enables live-migration chaos: each round either performs
 	// one migration before its kill or draws the mid-migration instant.
 	Migrations bool
+	// Rescales enables re-partition chaos: each round either splits or
+	// merges the topology's keyed operator before its kill or draws the
+	// mid-rescale instant.
+	Rescales bool
 	// Points overrides the injection sample space (tests force a single
 	// instant with it). Empty selects the default space.
 	Points []InjectionPoint
@@ -120,6 +131,9 @@ func (c *Config) defaults() {
 		if c.Migrations {
 			c.Points = append(c.Points, KillMidMigration)
 		}
+		if c.Rescales {
+			c.Points = append(c.Points, KillMidRescale)
+		}
 	}
 }
 
@@ -136,6 +150,10 @@ type Round struct {
 	MigratedFrom int
 	MigratedTo   int
 	MigrateKill  int // node killed while the migration was in flight; -1 if none
+
+	Rescaled    string // operator split/merged this round; "" if none
+	RescaleTo   int    // replica count the rescale targeted
+	RescaleKill int    // node killed while the rescale was in flight; -1 if none
 }
 
 // Result is a finished chaos run plus both oracle verdicts.
@@ -146,6 +164,7 @@ type Result struct {
 	Rounds     int // planned rounds (RoundList may be shorter if a round errored)
 	Placement  string
 	Migrations bool
+	Rescales   bool
 	RoundList  []Round
 	// Report is the chaos run's terminal sink state; Reference is the
 	// single-threaded replay's.
@@ -153,6 +172,9 @@ type Result struct {
 	Reference  operator.SinkReport
 	StateDiffs []string // state-equivalence oracle; empty = equivalent
 	Recoveries []metrics.Recovery
+	// RescaleList holds every COMMITTED re-partition's phase breakdown
+	// (aborted ones record nothing; the Round notes the attempt).
+	RescaleList []metrics.Rescale
 }
 
 // Violations returns the sequence oracle's count: gaps plus duplicates
@@ -187,6 +209,9 @@ func (r *Result) ReplayCommand() string {
 	if r.Migrations {
 		cmd += " -migrate"
 	}
+	if r.Rescales {
+		cmd += " -rescale"
+	}
 	return cmd
 }
 
@@ -209,6 +234,13 @@ func (r *Result) String() string {
 			}
 			fmt.Fprintf(&b, "]")
 		}
+		if rd.Rescaled != "" {
+			fmt.Fprintf(&b, " [rescale %s ->%d replica(s)", rd.Rescaled, rd.RescaleTo)
+			if rd.RescaleKill >= 0 {
+				fmt.Fprintf(&b, ", node %d killed in flight", rd.RescaleKill)
+			}
+			fmt.Fprintf(&b, "]")
+		}
 		fmt.Fprintf(&b, " -> recovered from epoch %d in %d attempt(s)", rd.RecoveredEpoch, rd.Attempts)
 	}
 	fmt.Fprintf(&b, "\n  sequence oracle: %d violations; state oracle: %d diffs",
@@ -223,7 +255,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	cfg.defaults()
 	res := &Result{
 		Topology: cfg.Topology, Seed: cfg.Seed, Nodes: cfg.Nodes, Rounds: cfg.Rounds,
-		Placement: cfg.Placement, Migrations: cfg.Migrations,
+		Placement: cfg.Placement, Migrations: cfg.Migrations, Rescales: cfg.Rescales,
 	}
 	var pol placement.Policy
 	if cfg.Placement != "" {
@@ -321,6 +353,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	res.Report = sink.Get().Report()
 	res.StateDiffs = diffReports(res.Report, reference)
 	res.Recoveries = col.Recoveries()
+	res.RescaleList = col.Rescales()
 	return res, nil
 }
 
@@ -342,6 +375,15 @@ func (h *harness) drawMigration() (id string, dest int) {
 		dest = (dest + 1) % h.cfg.Nodes
 	}
 	return id, dest
+}
+
+// rescaleTarget picks the replica count the next rescale of id drives
+// toward: split a whole operator to 2, merge a split one back to 1.
+func (h *harness) rescaleTarget(id string) int {
+	if len(h.cl.Replicas(id)) > 1 {
+		return 1
+	}
+	return 2
 }
 
 func (h *harness) waitCond(timeout time.Duration, what string, cond func() bool) error {
@@ -368,7 +410,7 @@ func (h *harness) ensureCheckpoint(ctx context.Context) error {
 // round injects one burst at a sampled adversarial instant and drives
 // recovery until the application is live again.
 func (h *harness) round(ctx context.Context, burst []int) (Round, error) {
-	rd := Round{Burst: burst, ExtraKill: -1, MigrateKill: -1}
+	rd := Round{Burst: burst, ExtraKill: -1, MigrateKill: -1, RescaleKill: -1}
 	rd.Point = h.cfg.Points[h.rng.Intn(len(h.cfg.Points))]
 	// In migration mode, every round that is not itself a mid-migration
 	// kill performs one clean live migration first, so the kill lands on a
@@ -380,6 +422,17 @@ func (h *harness) round(ctx context.Context, burst []int) (Round, error) {
 		rd.Migrated, rd.MigratedFrom, rd.MigratedTo = id, h.cl.NodeOf(id), dest
 		if stats, err := h.cl.MigrateHAU(ctx, id, dest); err == nil {
 			rd.MigratedTo = stats.To
+		}
+	}
+	// In rescale mode, every round that is not itself a mid-rescale kill
+	// re-partitions the victim cleanly first — splitting when it is whole,
+	// merging when a previous round left it split — so the kill lands on
+	// alternating replica geometries. An aborted rescale is fine — the
+	// round still runs.
+	if h.cfg.Rescales && rd.Point != KillMidRescale {
+		if id := rescaleVictim(h.cfg.Topology); id != "" {
+			rd.Rescaled, rd.RescaleTo = id, h.rescaleTarget(id)
+			_, _ = h.cl.RescaleHAU(ctx, id, rd.RescaleTo)
 		}
 	}
 	if err := h.ensureCheckpoint(ctx); err != nil {
@@ -448,6 +501,30 @@ func (h *harness) round(ctx context.Context, burst []int) (Round, error) {
 		// finished; either way it must return before recovery rebuilds
 		// the application, or its handoff could race the rebuild.
 		<-migDone
+	case KillMidRescale:
+		// Start a live split (or merge), then kill the burst plus a node
+		// hosting one of the victim's incarnations while the re-partition
+		// is in flight. Whichever phase the kill lands in — quiesce,
+		// drain, re-shard, replica restore, or just after commit — the
+		// exactly-once oracles must stay clean after the
+		// whole-application recovery below.
+		id := rescaleVictim(h.cfg.Topology)
+		incs := h.cl.Replicas(id)
+		victim := h.cl.NodeOf(incs[h.rng.Intn(len(incs))])
+		delay := time.Duration(h.rng.Intn(1500)) * time.Microsecond
+		rd.Rescaled, rd.RescaleTo, rd.RescaleKill = id, h.rescaleTarget(id), victim
+		rescDone := make(chan struct{})
+		go func() {
+			defer close(rescDone)
+			_, _ = h.cl.RescaleHAU(ctx, id, rd.RescaleTo)
+		}()
+		time.Sleep(delay)
+		kills := append(append([]int(nil), burst...), victim)
+		h.cl.KillNodes(kills)
+		// The rescale aborts (dead-host polling) or has already committed;
+		// either way it must return before recovery rebuilds the
+		// application, or its replica restore could race the rebuild.
+		<-rescDone
 	}
 
 	stats, err := h.cl.RecoverAllWithRetry(ctx, 10, 2*time.Millisecond)

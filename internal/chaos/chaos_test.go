@@ -106,6 +106,79 @@ func TestChaosMidMigrationKill(t *testing.T) {
 	}
 }
 
+// TestChaosMidSplitKill forces every round onto the mid-rescale instant:
+// a live split of the topology's keyed operator (or a merge, once a prior
+// round left it split) is started, and the burst plus a node hosting one
+// of its incarnations is killed while the re-partition is in flight. The
+// exactly-once and state-equivalence oracles must survive kills landing
+// in any phase — quiesce, drain, re-shard, replica restore, or just after
+// commit.
+func TestChaosMidSplitKill(t *testing.T) {
+	for _, top := range []Topology{Chain, FanOut} {
+		for seed := int64(1); seed <= 3; seed++ {
+			top, seed := top, seed
+			t.Run(string(top)+"/seed="+string(rune('0'+seed)), func(t *testing.T) {
+				res, err := Run(context.Background(), Config{
+					Topology:     top,
+					Seed:         seed,
+					Placement:    "rackspread",
+					NodesPerRack: 2,
+					Rescales:     true,
+					Points:       []InjectionPoint{KillMidRescale},
+				})
+				if err != nil {
+					t.Fatalf("harness: %v", err)
+				}
+				if err := res.Err(); err != nil {
+					t.Fatal(err)
+				}
+				for i, rd := range res.RoundList {
+					if rd.Point != KillMidRescale {
+						t.Fatalf("round %d ran %s, want forced %s", i, rd.Point, KillMidRescale)
+					}
+					if rd.Rescaled == "" || rd.RescaleKill < 0 {
+						t.Fatalf("round %d recorded no in-flight rescale kill: %+v", i, rd)
+					}
+				}
+				t.Logf("%s", res)
+			})
+		}
+	}
+}
+
+// TestChaosRescaleSmoke runs the full schedule with re-partition chaos
+// enabled on the fan-in topology: every round either rescales the keyed
+// operator cleanly before its kill or draws the mid-rescale instant, and
+// both oracles must still pass.
+func TestChaosRescaleSmoke(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run("fanin/seed="+string(rune('0'+seed)), func(t *testing.T) {
+			res, err := Run(context.Background(), Config{
+				Topology:     FanIn,
+				Seed:         seed,
+				Placement:    "rackspread",
+				NodesPerRack: 2,
+				Rescales:     true,
+			})
+			if err != nil {
+				t.Fatalf("harness: %v", err)
+			}
+			if err := res.Err(); err != nil {
+				t.Fatal(err)
+			}
+			rescaled := false
+			for _, rd := range res.RoundList {
+				rescaled = rescaled || rd.Rescaled != ""
+			}
+			if !rescaled {
+				t.Fatal("rescale chaos enabled but no round attempted a rescale")
+			}
+			t.Logf("%s", res)
+		})
+	}
+}
+
 // TestChaosScheduleReproducible pins seed replayability: two runs with the
 // same configuration must inject the identical kill schedule — same
 // bursts, same instants, same mid-recovery extras.

@@ -33,6 +33,23 @@ const (
 // and the smoke tests iterate them.
 var Topologies = []Topology{Chain, FanIn, FanOut}
 
+// rescaleVictim names the interior operator rescale chaos splits and
+// merges. It must carry keyed state (operator.PartitionedState with a
+// non-zero slot ring) and be restamped downstream before the sink, so
+// replica identities never reach the oracle: TMI's Pair is restamped by
+// the GoogleMap operator, SignalGuru's color filter by the shape and
+// motion filters.
+func rescaleVictim(top Topology) string {
+	switch top {
+	case Chain, FanIn:
+		return "P0"
+	case FanOut:
+		return "C0"
+	default:
+		return ""
+	}
+}
+
 // buildSpec returns a fresh application instance for the topology. Fresh
 // matters: operators are stateful, so the cluster run and the reference
 // replay each need their own instance built from identical parameters.

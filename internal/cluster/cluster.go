@@ -20,6 +20,7 @@ import (
 	"meteorshower/internal/graph"
 	"meteorshower/internal/metrics"
 	"meteorshower/internal/operator"
+	"meteorshower/internal/partition"
 	"meteorshower/internal/placement"
 	"meteorshower/internal/spe"
 	"meteorshower/internal/storage"
@@ -88,6 +89,25 @@ type Config struct {
 	// construction and edge wiring stay under the cluster lock regardless.
 	RestoreWorkers int
 
+	// AutoscaleEvery enables the controller's split/merge autoscaler: every
+	// period it compares each interior operator's aggregate state size
+	// against the hysteresis watermarks and splits hot operators across
+	// replicas (doubling, up to MaxReplicas) or merges cold ones back to
+	// one. Zero disables autoscaling.
+	AutoscaleEvery time.Duration
+	// SplitAbove is the state-size watermark (bytes) above which an
+	// operator is split. Zero disables splitting.
+	SplitAbove int64
+	// MergeBelow is the state-size watermark (bytes) below which a split
+	// operator is merged back. Zero disables merging. Keep MergeBelow well
+	// under SplitAbove or the detector oscillates.
+	MergeBelow int64
+	// MaxReplicas caps how many replicas a split may create (0 = 4).
+	MaxReplicas int
+	// RescaleCooldown is the minimum gap between rescales of the same
+	// operator (0 = twice AutoscaleEvery).
+	RescaleCooldown time.Duration
+
 	Listener spe.Listener // optional extra listener (controller is wired automatically)
 	Now      func() int64
 	// Metrics, when set, receives the per-phase timing of every successful
@@ -137,15 +157,29 @@ type Cluster struct {
 	catalog *storage.Catalog
 	ctrl    *controller.Controller
 
-	mu         sync.Mutex
-	nodes      []*node
-	haus       map[string]*spe.HAU
-	hauNode    map[string]int
-	cancels    map[string]context.CancelFunc
-	inEdges    map[string][]*spe.Edge // keyed by downstream id
+	mu      sync.Mutex
+	nodes   []*node
+	haus    map[string]*spe.HAU
+	hauNode map[string]int
+	cancels map[string]context.CancelFunc
+	// inEdges is the input-edge grid of each incarnation, keyed by the
+	// downstream incarnation id: inEdges[inc][p][k] is the edge from the
+	// k-th incarnation of the p-th upstream (graph order). Unsplit
+	// neighbours have single-entry rows.
+	inEdges    map[string][][]*spe.Edge
 	sourceLogs map[string]*buffer.SourceLog
 	preservers map[string]*buffer.Preserver
 	rng        *rand.Rand
+
+	// Keyed-state re-partitioning: parts maps a split operator's base id to
+	// its replica set, nextTag issues never-reused replica tags, and geom
+	// journals the partition geometry as of each commit epoch so recovery
+	// rebuilds the topology that matches the checkpoint it restores.
+	parts       map[string]*partState
+	nextTag     map[string]int
+	geom        []geomEntry
+	rescaling   map[string]bool
+	lastRescale map[string]time.Time
 
 	policy placement.Policy
 	topo   placement.Topology
@@ -185,13 +219,17 @@ func New(cfg Config) (*Cluster, error) {
 		shared:     storage.NewStore(cfg.SharedSpec),
 		haus:       make(map[string]*spe.HAU),
 		hauNode:    make(map[string]int),
-		cancels:    make(map[string]context.CancelFunc),
-		inEdges:    make(map[string][]*spe.Edge),
-		sourceLogs: make(map[string]*buffer.SourceLog),
-		preservers: make(map[string]*buffer.Preserver),
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		policy:     cfg.Placement,
-		migrating:  make(map[string]bool),
+		cancels:     make(map[string]context.CancelFunc),
+		inEdges:     make(map[string][][]*spe.Edge),
+		sourceLogs:  make(map[string]*buffer.SourceLog),
+		preservers:  make(map[string]*buffer.Preserver),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		policy:      cfg.Placement,
+		migrating:   make(map[string]bool),
+		parts:       make(map[string]*partState),
+		nextTag:     make(map[string]int),
+		rescaling:   make(map[string]bool),
+		lastRescale: make(map[string]time.Time),
 	}
 	if cl.policy == nil {
 		cl.policy = placement.RoundRobin{}
@@ -233,6 +271,10 @@ func New(cfg Config) (*Cluster, error) {
 		})
 		ctrlCfg.Rebalance = cl.rebal.Step
 		ctrlCfg.RebalanceEvery = cfg.RebalanceEvery
+	}
+	if cfg.AutoscaleEvery > 0 {
+		ctrlCfg.Autoscale = cl.autoscaleStep
+		ctrlCfg.AutoscaleEvery = cfg.AutoscaleEvery
 	}
 	cl.ctrl = controller.New(ctrlCfg)
 	return cl, nil
@@ -323,7 +365,11 @@ func (cl *Cluster) firstHealthyLocked() int {
 
 func (cl *Cluster) hauAlive(id string) bool {
 	cl.mu.Lock()
-	n := cl.hauNode[id]
+	n, ok := cl.hauNode[id]
+	if !ok {
+		cl.mu.Unlock()
+		return false
+	}
 	node := cl.nodes[n]
 	cl.mu.Unlock()
 	return node.alive.Load()
@@ -340,21 +386,20 @@ func (cl *Cluster) Start(ctx context.Context) error {
 	}
 	cl.rootCtx = ctx
 	g := cl.cfg.App.Graph
-	// Build all edges first (downstream in-edge slices define ports).
+	// Build all edge grids first (downstream in-edge rows define ports).
 	for _, id := range g.Nodes() {
-		ups := g.Upstream(id)
-		edges := make([]*spe.Edge, len(ups))
-		for i, up := range ups {
-			edges[i] = spe.NewEdgeBatch(up, id, cl.cfg.EdgeBuffer, cl.cfg.EdgeBatch)
+		for _, inc := range cl.expandedLocked(id) {
+			cl.inEdges[inc] = cl.freshInGridLocked(id, inc)
 		}
-		cl.inEdges[id] = edges
 	}
 	for _, id := range g.Nodes() {
-		h, _, _, err := cl.buildHAU(id, nil)
-		if err != nil {
-			return err
+		for _, inc := range cl.expandedLocked(id) {
+			h, _, _, err := cl.buildHAU(inc, nil)
+			if err != nil {
+				return err
+			}
+			cl.haus[inc] = h
 		}
-		cl.haus[id] = h
 	}
 	cl.installControllerHAUs()
 	for id, h := range cl.haus {
@@ -384,30 +429,59 @@ func (cl *Cluster) buildHAU(id string, restoreBlob []byte) (*spe.HAU, time.Durat
 	return h, opsDur, restoreDur, nil
 }
 
-// prepareHAU runs the shared-state half of an HAU build: fresh operator
-// chain, edge wiring, preserver/source-log installation. Held lock: cl.mu
-// (it mutates cl.preservers and cl.sourceLogs and reads cl.inEdges). The
-// returned duration is operator-construction (reload) time, Fig. 16
-// phase 1.
+// prepareHAU runs the shared-state half of an HAU build for one incarnation:
+// fresh operator chain, edge wiring, preserver/source-log installation. Held
+// lock: cl.mu (it mutates cl.preservers and cl.sourceLogs and reads
+// cl.inEdges and cl.parts). The returned duration is operator-construction
+// (reload) time, Fig. 16 phase 1.
 func (cl *Cluster) prepareHAU(id string) (spe.Config, time.Duration) {
 	g := cl.cfg.App.Graph
+	base := partition.BaseID(id)
 	opsStart := time.Now()
 	ops := cl.cfg.App.NewOperators(id)
 	opsDur := time.Since(opsStart)
 	nd := cl.nodes[cl.hauNode[id]]
 
-	outIDs := g.Downstream(id)
-	outs := make([]*spe.Edge, len(outIDs))
-	for i, down := range outIDs {
-		port := g.PortOf(id, down)
-		outs[i] = cl.inEdges[down][port]
+	// This incarnation's index among its siblings picks its column in every
+	// downstream incarnation's input grid.
+	selfIdx := 0
+	for i, sib := range cl.expandedLocked(base) {
+		if sib == id {
+			selfIdx = i
+			break
+		}
+	}
+	outIDs := g.Downstream(base)
+	outPorts := make([]spe.OutPort, len(outIDs))
+	nPhysOut := 0
+	for p, down := range outIDs {
+		port := g.PortOf(base, down)
+		downIncs := cl.expandedLocked(down)
+		es := make([]*spe.Edge, len(downIncs))
+		for j, dinc := range downIncs {
+			es[j] = cl.inEdges[dinc][port][selfIdx]
+		}
+		outPorts[p] = spe.OutPort{Edges: es}
+		if ps := cl.parts[down]; ps != nil {
+			outPorts[p].Router = ps.Router
+		}
+		nPhysOut += len(es)
+	}
+	var in []*spe.Edge
+	var inLogical []int
+	for p, row := range cl.inEdges[id] {
+		for _, e := range row {
+			in = append(in, e)
+			inLogical = append(inLogical, p)
+		}
 	}
 	cfg := spe.Config{
 		ID:              id,
 		Scheme:          cl.cfg.Scheme,
 		Ops:             ops,
-		In:              cl.inEdges[id],
-		Out:             outs,
+		In:              in,
+		OutPorts:        outPorts,
+		InLogical:       inLogical,
 		Catalog:         cl.catalog,
 		Listener:        cl.listener(),
 		TickEvery:       cl.cfg.TickEvery,
@@ -416,13 +490,13 @@ func (cl *Cluster) prepareHAU(id string) (spe.Config, time.Duration) {
 		ShedWatermark:   cl.cfg.ShedWatermark,
 		Now:             cl.cfg.Now,
 	}
-	isSource := len(cl.inEdges[id]) == 0
+	isSource := len(in) == 0
 	if cl.cfg.Scheme == spe.Baseline {
 		cfg.CkptPeriod = cl.cfg.CkptPeriod
 		if cl.cfg.CkptPeriod > 0 {
 			cfg.CkptPhase = time.Duration(cl.rng.Int63n(int64(cl.cfg.CkptPeriod)))
 		}
-		pres := buffer.NewPreserver(len(outs), cl.cfg.PreserveMemCap, nd.disk)
+		pres := buffer.NewPreserver(nPhysOut, cl.cfg.PreserveMemCap, nd.disk)
 		cl.preservers[id] = pres
 		cfg.Preserver = pres
 		downID := id
@@ -557,7 +631,8 @@ func (cl *Cluster) ackUpstream(down string, inPort int, seq uint64) {
 }
 
 // installControllerHAUs hands the controller the live HAU map. The
-// controller keeps the same map pointer, so recovery just mutates it.
+// controller copies the map, so this must be re-called after every
+// mutation of cl.haus (recovery, migration, rescale).
 func (cl *Cluster) installControllerHAUs() {
 	cl.ctrl.SetHAUs(cl.haus)
 }
@@ -614,15 +689,18 @@ func (cl *Cluster) DeadNodes() []int {
 	return out
 }
 
-// DeadHAUs returns the ids of HAUs whose assigned node is dead — the set
-// a recovery must re-place.
+// DeadHAUs returns the incarnation ids of HAUs whose assigned node is dead —
+// the set a recovery must re-place.
 func (cl *Cluster) DeadHAUs() []string {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	var out []string
 	for _, id := range cl.cfg.App.Graph.Nodes() {
-		if !cl.nodes[cl.hauNode[id]].alive.Load() {
-			out = append(out, id)
+		for _, inc := range cl.expandedLocked(id) {
+			n, ok := cl.hauNode[inc]
+			if !ok || !cl.nodes[n].alive.Load() {
+				out = append(out, inc)
+			}
 		}
 	}
 	return out
@@ -704,7 +782,7 @@ func (cl *Cluster) RecoverAll(ctx context.Context) (RecoveryStats, error) {
 	// Restart dead nodes' HAUs on healthy nodes: reassign placements via
 	// the active policy (round-robin over healthy nodes historically).
 	cl.mu.Lock()
-	cl.gen++ // invalidate any in-flight migration
+	cl.gen++ // invalidate any in-flight migration or rescale
 	anyAlive := false
 	for _, n := range cl.nodes {
 		if n.alive.Load() {
@@ -719,54 +797,60 @@ func (cl *Cluster) RecoverAll(ctx context.Context) (RecoveryStats, error) {
 			n.alive.Store(true)
 		}
 	}
-	var dead []string
-	for _, id := range cl.cfg.App.Graph.Nodes() {
-		if !cl.nodes[cl.hauNode[id]].alive.Load() {
-			dead = append(dead, id)
-		}
-	}
-	if len(dead) > 0 {
-		exclude := make(map[string]bool, len(dead))
-		for _, id := range dead {
-			exclude[id] = true
-		}
-		placed := cl.policy.Assign(dead, cl.viewLocked(exclude))
-		for _, id := range dead {
-			n, ok := placed[id]
-			if !ok || n < 0 || n >= len(cl.nodes) || !cl.nodes[n].alive.Load() {
-				// Policy bug: any healthy node keeps recovery alive.
-				n = cl.firstHealthyLocked()
-			}
-			cl.hauNode[id] = n
-		}
-	}
 	g := cl.cfg.App.Graph
-	ids := g.Nodes()
-	// Fresh edges everywhere: in-flight tuples are rolled back.
-	for _, id := range ids {
-		ups := g.Upstream(id)
-		edges := make([]*spe.Edge, len(ups))
-		for i, up := range ups {
-			edges[i] = spe.NewEdgeBatch(up, id, cl.cfg.EdgeBuffer, cl.cfg.EdgeBatch)
-		}
-		cl.inEdges[id] = edges
-	}
 	cl.mu.Unlock()
 
 	// Phase 2 plus phases 1+3: walk complete epochs newest-first. For each
-	// candidate, read all checkpoint blobs (parallel readers contending on
-	// the shared store, like 55 nodes hammering one storage node), then
-	// reload operators and deserialize state. A blob that is missing or
-	// fails to decode condemns the whole epoch — recovering a torn cut
-	// would violate consistency — so fall back to the next older complete
-	// epoch. A store that is down fails fast instead: older epochs live on
-	// the same store.
+	// candidate, adopt the partition geometry journalled for it (the replica
+	// sets the epoch's blobs were written under), read all checkpoint blobs
+	// (parallel readers contending on the shared store, like 55 nodes
+	// hammering one storage node), then reload operators and deserialize
+	// state. A blob that is missing or fails to decode condemns the whole
+	// epoch — recovering a torn cut would violate consistency — so fall back
+	// to the next older complete epoch. A store that is down fails fast
+	// instead: older epochs live on the same store.
 	var mrc uint64
 	var newHAUs map[string]*spe.HAU
+	var ids []string
 	var diskIO time.Duration
 	var firstErr error
 epochs:
 	for _, epoch := range epochs {
+		cl.mu.Lock()
+		cl.adoptGeometryLocked(epoch)
+		ids = cl.incarnationsLocked()
+		// Re-place incarnations that are on dead nodes or (after adopting an
+		// older geometry) have no placement yet.
+		var dead []string
+		for _, id := range ids {
+			n, ok := cl.hauNode[id]
+			if !ok || !cl.nodes[n].alive.Load() {
+				dead = append(dead, id)
+			}
+		}
+		if len(dead) > 0 {
+			exclude := make(map[string]bool, len(dead))
+			for _, id := range dead {
+				exclude[id] = true
+			}
+			placed := cl.policy.Assign(dead, cl.viewLocked(exclude))
+			for _, id := range dead {
+				n, ok := placed[id]
+				if !ok || n < 0 || n >= len(cl.nodes) || !cl.nodes[n].alive.Load() {
+					// Policy bug: any healthy node keeps recovery alive.
+					n = cl.firstHealthyLocked()
+				}
+				cl.hauNode[id] = n
+			}
+		}
+		// Fresh edge grids everywhere: in-flight tuples are rolled back.
+		for _, gid := range g.Nodes() {
+			for _, inc := range cl.expandedLocked(gid) {
+				cl.inEdges[inc] = cl.freshInGridLocked(gid, inc)
+			}
+		}
+		cl.mu.Unlock()
+
 		diskStart := time.Now()
 		blobs, err := cl.loadEpochBlobs(epoch, ids)
 		diskIO += time.Since(diskStart)
@@ -844,6 +928,17 @@ epochs:
 	}
 	stats.Epoch = mrc
 	stats.DiskIO = diskIO
+	// Drop journalled geometries newer than the epoch actually restored —
+	// their incarnations no longer exist anywhere.
+	cl.mu.Lock()
+	keptGeom := cl.geom[:0]
+	for _, e := range cl.geom {
+		if e.epoch <= mrc {
+			keptGeom = append(keptGeom, e)
+		}
+	}
+	cl.geom = keptGeom
+	cl.mu.Unlock()
 
 	// Source replay: re-feed everything preserved since the MRC. Counted
 	// separately — the paper's recovery time stops before replay.
@@ -1022,13 +1117,12 @@ func (cl *Cluster) RecoverHAU(ctx context.Context, id string) (RecoveryStats, er
 		}
 	}
 	// Fresh input edges (in-flight tuples on the dead node are gone).
+	// Single-HAU restart is the baseline's procedure; the baseline never
+	// splits operators, so every grid row has exactly one edge.
 	g := cl.cfg.App.Graph
 	ups := g.Upstream(id)
-	edges := make([]*spe.Edge, len(ups))
-	for i, up := range ups {
-		edges[i] = spe.NewEdgeBatch(up, id, cl.cfg.EdgeBuffer, cl.cfg.EdgeBatch)
-	}
-	cl.inEdges[id] = edges
+	grid := cl.freshInGridLocked(id, id)
+	cl.inEdges[id] = grid
 	h, opsDur, restoreDur, err := cl.buildHAU(id, blob)
 	if err != nil {
 		cl.mu.Unlock()
@@ -1064,7 +1158,7 @@ func (cl *Cluster) RecoverHAU(ctx context.Context, id string) (RecoveryStats, er
 		if outPort < 0 {
 			continue
 		}
-		uh.Command(spe.Command{Kind: spe.CmdSwapOutEdge, Port: outPort, Edge: edges[i]})
+		uh.Command(spe.Command{Kind: spe.CmdSwapOutEdge, Port: outPort, Edge: grid[i][0]})
 		uh.Command(spe.Command{Kind: spe.CmdReplayOutput, Port: outPort})
 	}
 	stats.Reconnect = time.Since(reconnectStart)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"meteorshower/internal/metrics"
+	"meteorshower/internal/partition"
 	"meteorshower/internal/spe"
 )
 
@@ -62,10 +63,18 @@ func (cl *Cluster) MigrateHAU(ctx context.Context, id string, dest int) (Migrati
 		return stats, errors.New("cluster: live migration requires a token scheme (not Baseline)")
 	}
 
+	if partition.IsReplica(id) {
+		return stats, fmt.Errorf("cluster: replica %q moves via rescale, not migration", id)
+	}
+
 	cl.mu.Lock()
 	if !cl.started {
 		cl.mu.Unlock()
 		return stats, errors.New("cluster: not started")
+	}
+	if cl.parts[id] != nil {
+		cl.mu.Unlock()
+		return stats, fmt.Errorf("cluster: HAU %q is split; merge before migrating", id)
 	}
 	old := cl.haus[id]
 	if old == nil {
@@ -106,7 +115,7 @@ func (cl *Cluster) MigrateHAU(ctx context.Context, id string, dest int) (Migrati
 	// pause stops new epochs until the move is done.
 	cl.ctrl.PauseCheckpoints()
 	defer cl.ctrl.ResumeCheckpoints()
-	if err := cl.quiesceCheckpoints(ctx); err != nil {
+	if _, err := cl.quiesceCheckpoints(ctx); err != nil {
 		return stats, err
 	}
 
@@ -119,22 +128,16 @@ func (cl *Cluster) MigrateHAU(ctx context.Context, id string, dest int) (Migrati
 	}
 	g := cl.cfg.App.Graph
 	ups := g.Upstream(id)
-	newEdges := make([]*spe.Edge, len(ups))
-	for i, up := range ups {
-		newEdges[i] = spe.NewEdgeBatch(up, id, cl.cfg.EdgeBuffer, cl.cfg.EdgeBatch)
+	// One fresh edge per upstream INCARNATION: a split upstream has several,
+	// each diverted at the same logical out port.
+	newGrid := make([][]*spe.Edge, len(ups))
+	type divert struct {
+		h    *spe.HAU
+		port int
+		edge *spe.Edge
 	}
-	upHAUs := make([]*spe.HAU, len(ups))
+	var diverts []divert
 	for i, up := range ups {
-		upHAUs[i] = cl.haus[up]
-	}
-	cl.mu.Unlock()
-
-	drainStart := time.Now()
-	for i, up := range ups {
-		uh := upHAUs[i]
-		if uh == nil {
-			continue
-		}
 		outPort := -1
 		for p, d := range g.Downstream(up) {
 			if d == id {
@@ -142,10 +145,21 @@ func (cl *Cluster) MigrateHAU(ctx context.Context, id string, dest int) (Migrati
 				break
 			}
 		}
-		if outPort < 0 {
-			continue
+		upIncs := cl.expandedLocked(up)
+		newGrid[i] = make([]*spe.Edge, len(upIncs))
+		for k, uinc := range upIncs {
+			e := spe.NewEdgeBatch(uinc, id, cl.cfg.EdgeBuffer, cl.cfg.EdgeBatch)
+			newGrid[i][k] = e
+			if uh := cl.haus[uinc]; uh != nil && outPort >= 0 {
+				diverts = append(diverts, divert{uh, outPort, e})
+			}
 		}
-		uh.Command(spe.Command{Kind: spe.CmdMigrateOut, Port: outPort, Edge: newEdges[i]})
+	}
+	cl.mu.Unlock()
+
+	drainStart := time.Now()
+	for _, d := range diverts {
+		d.h.Command(spe.Command{Kind: spe.CmdMigrateOut, Port: d.port, Edge: d.edge})
 	}
 	reply := make(chan []byte, 1)
 	old.Command(spe.Command{Kind: spe.CmdMigrateSnap, Reply: reply})
@@ -210,7 +224,7 @@ drain:
 			return stats, fmt.Errorf("%w: destination and source nodes both dead", ErrMigrationAborted)
 		}
 	}
-	cl.inEdges[id] = newEdges
+	cl.inEdges[id] = newGrid
 	cl.hauNode[id] = target
 	h, _, restoreDur, err := cl.buildHAU(id, blob)
 	if err != nil {
@@ -244,29 +258,29 @@ drain:
 	return stats, nil
 }
 
-// quiesceCheckpoints drives one fresh checkpoint epoch to completion.
-// Waiting on an EXISTING epoch would wedge: an epoch abandoned by a
-// failure never completes. A fresh epoch triggered while the application
-// is healthy completes quickly; if it does not, something is already
-// wrong and the migration aborts.
-func (cl *Cluster) quiesceCheckpoints(ctx context.Context) error {
+// quiesceCheckpoints drives one fresh checkpoint epoch to completion and
+// returns it. Waiting on an EXISTING epoch would wedge: an epoch abandoned
+// by a failure never completes. A fresh epoch triggered while the
+// application is healthy completes quickly; if it does not, something is
+// already wrong and the caller aborts.
+func (cl *Cluster) quiesceCheckpoints(ctx context.Context) (uint64, error) {
 	ep := cl.ctrl.TriggerCheckpoint()
 	deadline := time.After(migrateQuiesceTimeout)
 	tick := time.NewTicker(500 * time.Microsecond)
 	defer tick.Stop()
 	for {
 		if mrc, ok := cl.catalog.MostRecentComplete(); ok && mrc >= ep {
-			return nil
+			return ep, nil
 		}
 		if len(cl.DeadHAUs()) > 0 {
 			// A member HAU's node is down: the epoch can never complete.
-			return fmt.Errorf("%w: node failure during quiesce", ErrMigrationAborted)
+			return ep, fmt.Errorf("%w: node failure during quiesce", ErrMigrationAborted)
 		}
 		select {
 		case <-ctx.Done():
-			return fmt.Errorf("%w: %v", ErrMigrationAborted, ctx.Err())
+			return ep, fmt.Errorf("%w: %v", ErrMigrationAborted, ctx.Err())
 		case <-deadline:
-			return fmt.Errorf("%w: quiesce epoch %d did not complete", ErrMigrationAborted, ep)
+			return ep, fmt.Errorf("%w: quiesce epoch %d did not complete", ErrMigrationAborted, ep)
 		case <-tick.C:
 		}
 	}

@@ -1,0 +1,667 @@
+// Keyed-state re-partitioning: splitting a hot operator's key space across
+// several HAU replicas and merging cold replicas back, live and
+// exactly-once. The mechanism composes three existing pieces — the quiesce
+// epoch and migration-token barrier from live migration, the slot-table
+// state layout from the partition package, and the blob-v2 per-operator
+// sections from incremental checkpointing — so a split never re-encodes
+// operator state: it carves the drained slot tables by owner, and a merge
+// concatenates them.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"meteorshower/internal/metrics"
+	"meteorshower/internal/operator"
+	"meteorshower/internal/partition"
+	"meteorshower/internal/spe"
+)
+
+// ErrRescaleAborted marks a split/merge that could not complete — an
+// incarnation died mid-drain, a whole-application recovery superseded it,
+// or the quiesce/drain timed out. When the abort happens after the divert
+// commands were sent, upstream output ports already feed the new (never
+// started) incarnations, so the application needs a whole-application
+// recovery to heal; the failure detector or chaos harness drives one in
+// every abort path that matters (a node died). The pre-divert abort paths
+// leave the topology untouched.
+var ErrRescaleAborted = errors.New("cluster: rescale aborted")
+
+const rescaleDrainTimeout = 10 * time.Second
+
+// partState is the live partition geometry of one split operator.
+type partState struct {
+	Base     string
+	Replicas []string // incarnation ids, replica order = slot-owner index
+	Assign   *partition.Assignment
+	Router   *partition.Router
+}
+
+// geomEntry journals the partition geometry as of one checkpoint epoch:
+// blobs saved at or after epoch (until the next entry) were written by the
+// incarnations this geometry names. Recovery picks the newest entry at or
+// below the epoch it restores.
+type geomEntry struct {
+	epoch uint64
+	parts map[string]*partState
+}
+
+// RescaleStats decomposes one re-partitioning, Fig. 16-style.
+type RescaleStats struct {
+	HAU      string
+	From, To int // replica counts before and after
+	Bytes    int64
+	Drain    time.Duration // divert commands sent -> last state blob handed over
+	Reshard  time.Duration // slot carve/merge of the drained blobs
+	Restore  time.Duration // new incarnations built, restored and started
+	Downtime time.Duration // old incarnations stopped -> new ones started
+	Replicas []string      // the new incarnation ids
+}
+
+// expandedLocked returns the live incarnation ids of graph node id, in
+// replica order. Unsplit operators expand to themselves. Held lock: cl.mu.
+func (cl *Cluster) expandedLocked(id string) []string {
+	if ps := cl.parts[id]; ps != nil {
+		return ps.Replicas
+	}
+	return []string{id}
+}
+
+// incarnationsLocked returns every live incarnation id, graph order then
+// replica order — the catalog membership set. Held lock: cl.mu.
+func (cl *Cluster) incarnationsLocked() []string {
+	var out []string
+	for _, id := range cl.cfg.App.Graph.Nodes() {
+		out = append(out, cl.expandedLocked(id)...)
+	}
+	return out
+}
+
+// freshInGridLocked allocates the input-edge grid for one incarnation of
+// graph node base under the CURRENT partition geometry. Held lock: cl.mu.
+func (cl *Cluster) freshInGridLocked(base, inc string) [][]*spe.Edge {
+	g := cl.cfg.App.Graph
+	ups := g.Upstream(base)
+	grid := make([][]*spe.Edge, len(ups))
+	for p, up := range ups {
+		upIncs := cl.expandedLocked(up)
+		grid[p] = make([]*spe.Edge, len(upIncs))
+		for k, uinc := range upIncs {
+			grid[p][k] = spe.NewEdgeBatch(uinc, inc, cl.cfg.EdgeBuffer, cl.cfg.EdgeBatch)
+		}
+	}
+	return grid
+}
+
+// snapshotPartsLocked deep-copies the live geometry for the journal.
+// Routers are rebuilt on adoption, not stored. Held lock: cl.mu.
+func (cl *Cluster) snapshotPartsLocked() map[string]*partState {
+	out := make(map[string]*partState, len(cl.parts))
+	for id, ps := range cl.parts {
+		out[id] = &partState{
+			Base:     id,
+			Replicas: append([]string(nil), ps.Replicas...),
+			Assign:   ps.Assign.Clone(),
+		}
+	}
+	return out
+}
+
+// adoptGeometryLocked installs the partition geometry journalled for epoch
+// (the newest entry at or below it), resets catalog membership to match,
+// and prunes bookkeeping for incarnations the adopted geometry does not
+// name. Held lock: cl.mu.
+func (cl *Cluster) adoptGeometryLocked(epoch uint64) {
+	var best *geomEntry
+	for i := range cl.geom { // entries are appended in ascending epoch order
+		if cl.geom[i].epoch <= epoch {
+			best = &cl.geom[i]
+		}
+	}
+	parts := make(map[string]*partState)
+	if best != nil {
+		for id, ps := range best.parts {
+			a := ps.Assign.Clone()
+			parts[id] = &partState{
+				Base:     id,
+				Replicas: append([]string(nil), ps.Replicas...),
+				Assign:   a,
+				Router:   partition.NewRouter(a),
+			}
+		}
+	}
+	cl.parts = parts
+	valid := make(map[string]bool)
+	for _, inc := range cl.incarnationsLocked() {
+		valid[inc] = true
+	}
+	cl.catalog.SetMembers(cl.incarnationsLocked())
+	for inc := range cl.hauNode {
+		if !valid[inc] {
+			delete(cl.haus, inc)
+			delete(cl.cancels, inc)
+			delete(cl.inEdges, inc)
+			delete(cl.hauNode, inc)
+		}
+	}
+}
+
+// Replicas returns the live incarnation ids of operator id (itself when
+// unsplit).
+func (cl *Cluster) Replicas(id string) []string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return append([]string(nil), cl.expandedLocked(id)...)
+}
+
+// probeSlots checks that a fresh operator chain for the rescale target can
+// partition its state, and returns the slot-ring size its keyed operators
+// agree on.
+func probeSlots(ops []operator.Operator) (int, error) {
+	slots := 0
+	for _, op := range ops {
+		ps, ok := op.(operator.PartitionedState)
+		if !ok {
+			return 0, fmt.Errorf("cluster: operator %q does not partition its state", op.Name())
+		}
+		n := ps.PartitionSlots()
+		if n == 0 {
+			continue // residue-only: replicated to every incarnation
+		}
+		if slots == 0 {
+			slots = n
+		} else if slots != n {
+			return 0, fmt.Errorf("cluster: operators disagree on slot-ring size: %d vs %d", slots, n)
+		}
+	}
+	if slots == 0 {
+		return 0, errors.New("cluster: no keyed state to re-partition")
+	}
+	return slots, nil
+}
+
+// SplitHAU splits operator id across n >= 2 replicas: upstream output ports
+// grow a key router over the slot ring, the operator's keyed state is
+// carved by slot owner, and each replica runs as its own HAU placed in a
+// distinct failure domain where the topology allows.
+func (cl *Cluster) SplitHAU(ctx context.Context, id string, n int) (RescaleStats, error) {
+	if n < 2 {
+		return RescaleStats{}, fmt.Errorf("cluster: split needs at least 2 replicas, got %d", n)
+	}
+	return cl.RescaleHAU(ctx, id, n)
+}
+
+// MergeHAU merges a split operator back into a single HAU: the replicas'
+// slot tables are concatenated and the key routers removed.
+func (cl *Cluster) MergeHAU(ctx context.Context, id string) (RescaleStats, error) {
+	return cl.RescaleHAU(ctx, id, 1)
+}
+
+// RescaleHAU re-partitions operator id to n replicas, live and
+// exactly-once:
+//
+//  1. Quiesce: checkpoint triggers pause, then one fresh epoch is driven to
+//     completion so no token alignment is in flight.
+//  2. Divert: every upstream incarnation gets CmdRescaleOut — it flushes a
+//     migration token onto each OLD edge of the port, then swaps the port
+//     to fresh edges feeding the new incarnations, routed by the new slot
+//     assignment.
+//  3. Drain: each old incarnation processes up to the tokens, flushes its
+//     outputs, hands its state blob over, and exits.
+//  4. Re-shard: the drained blob-v2 sections are slot tables — a split
+//     carves each table by slot owner, a merge concatenates the replicas'
+//     tables. No operator-level re-encode happens.
+//  5. Restore: the new incarnations start from synthesized blobs (fresh
+//     runtime section, carved operator sections); downstream incarnations
+//     attach the new input ports once the old ports hang up, which orders
+//     old-incarnation output strictly before new-incarnation output.
+//  6. Commit: a forced checkpoint epoch records the new membership, and
+//     the geometry journal maps that epoch to the new replica set so a
+//     later recovery rebuilds the matching topology.
+func (cl *Cluster) RescaleHAU(ctx context.Context, id string, n int) (RescaleStats, error) {
+	var stats RescaleStats
+	if cl.cfg.Scheme == spe.Baseline {
+		return stats, errors.New("cluster: rescale requires a token scheme (not Baseline)")
+	}
+	if n < 1 {
+		return stats, fmt.Errorf("cluster: rescale to %d replicas", n)
+	}
+	if partition.IsReplica(id) {
+		return stats, fmt.Errorf("cluster: rescale targets the base id, not replica %q", id)
+	}
+
+	cl.mu.Lock()
+	if !cl.started {
+		cl.mu.Unlock()
+		return stats, errors.New("cluster: not started")
+	}
+	g := cl.cfg.App.Graph
+	if len(g.Upstream(id)) == 0 || len(g.Downstream(id)) == 0 {
+		cl.mu.Unlock()
+		return stats, fmt.Errorf("cluster: only interior operators rescale, not %q", id)
+	}
+	oldIncs := append([]string(nil), cl.expandedLocked(id)...)
+	m := len(oldIncs)
+	if m == n {
+		cl.mu.Unlock()
+		return stats, fmt.Errorf("cluster: HAU %q already has %d replicas", id, n)
+	}
+	if cl.rescaling[id] || cl.migrating[id] {
+		cl.mu.Unlock()
+		return stats, fmt.Errorf("cluster: HAU %q already rescaling or migrating", id)
+	}
+	slots, err := probeSlots(cl.cfg.App.NewOperators(id))
+	if err != nil {
+		cl.mu.Unlock()
+		return stats, err
+	}
+	var oldAssign *partition.Assignment
+	if ps := cl.parts[id]; ps != nil {
+		oldAssign = ps.Assign.Clone()
+	}
+	cl.rescaling[id] = true
+	gen0 := cl.gen
+	cl.mu.Unlock()
+	defer func() {
+		cl.mu.Lock()
+		delete(cl.rescaling, id)
+		cl.mu.Unlock()
+	}()
+	stats.HAU, stats.From, stats.To = id, m, n
+
+	// Phase 1: quiesce (see MigrateHAU for why a FRESH epoch is driven).
+	cl.ctrl.PauseCheckpoints()
+	defer cl.ctrl.ResumeCheckpoints()
+	if _, err := cl.quiesceCheckpoints(ctx); err != nil {
+		return stats, fmt.Errorf("%w: %v", ErrRescaleAborted, err)
+	}
+
+	// Build the target geometry and all new edges under the lock, but do not
+	// install any of it yet — the commit below re-checks the generation.
+	cl.mu.Lock()
+	if cl.gen != gen0 {
+		cl.mu.Unlock()
+		return stats, fmt.Errorf("%w: superseded before divert", ErrRescaleAborted)
+	}
+	assign := oldAssign
+	if assign == nil {
+		assign = partition.NewAssignment(slots)
+	}
+	assign.Rescale(n)
+	var newIncs []string
+	if n == 1 {
+		newIncs = []string{id}
+	} else {
+		tag := cl.nextTag[id]
+		for j := 0; j < n; j++ {
+			tag++
+			newIncs = append(newIncs, partition.ReplicaID(id, tag))
+		}
+		cl.nextTag[id] = tag
+	}
+	router := partition.NewRouter(assign)
+
+	// Place the new incarnations; the policy sees the cluster without the
+	// old incarnations (rack-spread puts replicas in distinct domains).
+	exclude := make(map[string]bool, m)
+	for _, oinc := range oldIncs {
+		exclude[oinc] = true
+	}
+	placed := cl.policy.Assign(newIncs, cl.viewLocked(exclude))
+	nodeOf := make(map[string]int, n)
+	for _, inc := range newIncs {
+		nd, ok := placed[inc]
+		if !ok || nd < 0 || nd >= len(cl.nodes) || !cl.nodes[nd].alive.Load() {
+			nd = cl.firstHealthyLocked()
+			if nd < 0 {
+				cl.mu.Unlock()
+				return stats, fmt.Errorf("%w: no healthy node for %q", ErrRescaleAborted, inc)
+			}
+		}
+		nodeOf[inc] = nd
+	}
+
+	// Fresh input grids for the new incarnations. The upstream expansion
+	// uses the CURRENT geometry — only this operator's own row structure
+	// changes at commit.
+	newInGrids := make(map[string][][]*spe.Edge, n)
+	for _, inc := range newIncs {
+		newInGrids[inc] = cl.freshInGridLocked(id, inc)
+	}
+	// Fresh rows replacing each downstream incarnation's input edges from
+	// this operator: row[j] is the edge from new incarnation j, matching its
+	// slot-owner index.
+	type downRow struct {
+		dinc string
+		port int
+		row  []*spe.Edge
+	}
+	var rows []downRow
+	for _, down := range g.Downstream(id) {
+		dp := g.PortOf(id, down)
+		for _, dinc := range cl.expandedLocked(down) {
+			row := make([]*spe.Edge, n)
+			for j, ninc := range newIncs {
+				row[j] = spe.NewEdgeBatch(ninc, dinc, cl.cfg.EdgeBuffer, cl.cfg.EdgeBatch)
+			}
+			rows = append(rows, downRow{dinc, dp, row})
+		}
+	}
+	// Divert commands: every upstream incarnation swaps its out port for id
+	// to the new edge set, routed by the new assignment.
+	type divertCmd struct {
+		h   *spe.HAU
+		cmd spe.Command
+	}
+	var diverts []divertCmd
+	for upPortIdx, up := range g.Upstream(id) {
+		outPort := -1
+		for p, d := range g.Downstream(up) {
+			if d == id {
+				outPort = p
+				break
+			}
+		}
+		if outPort < 0 {
+			continue
+		}
+		for k, uinc := range cl.expandedLocked(up) {
+			uh := cl.haus[uinc]
+			if uh == nil {
+				cl.mu.Unlock()
+				return stats, fmt.Errorf("%w: upstream incarnation %q missing", ErrRescaleAborted, uinc)
+			}
+			edges := make([]*spe.Edge, n)
+			for j, ninc := range newIncs {
+				edges[j] = newInGrids[ninc][upPortIdx][k]
+			}
+			rt := spe.KeyRouter(router)
+			if n == 1 {
+				rt = nil // merged back: single downstream, no routing
+			}
+			diverts = append(diverts, divertCmd{uh, spe.Command{
+				Kind: spe.CmdRescaleOut, Port: outPort, Edges: edges, Router: rt,
+			}})
+		}
+	}
+	oldHAUs := make([]*spe.HAU, m)
+	for i, oinc := range oldIncs {
+		oldHAUs[i] = cl.haus[oinc]
+		if oldHAUs[i] == nil {
+			cl.mu.Unlock()
+			return stats, fmt.Errorf("%w: incarnation %q missing", ErrRescaleAborted, oinc)
+		}
+	}
+	cl.mu.Unlock()
+
+	// Phases 2+3: divert and drain every old incarnation in parallel. The
+	// migration tokens flushed by CmdRescaleOut form per-edge barriers; each
+	// old incarnation aligns on them, flushes, replies with its state, and
+	// exits.
+	drainStart := time.Now()
+	for _, d := range diverts {
+		d.h.Command(d.cmd)
+	}
+	replies := make([]chan []byte, m)
+	for i, h := range oldHAUs {
+		replies[i] = make(chan []byte, 1)
+		h.Command(spe.Command{Kind: spe.CmdMigrateSnap, Reply: replies[i]})
+	}
+	blobs := make([][]byte, m)
+	drainDeadline := time.After(rescaleDrainTimeout)
+	drainTick := time.NewTicker(500 * time.Microsecond)
+	defer drainTick.Stop()
+	for i, h := range oldHAUs {
+		for blobs[i] == nil {
+			select {
+			case blobs[i] = <-replies[i]:
+			case <-h.Done():
+				// Reply and exit can be ready simultaneously; prefer the blob.
+				select {
+				case blobs[i] = <-replies[i]:
+				default:
+					return stats, fmt.Errorf("%w: incarnation %q died mid-drain", ErrRescaleAborted, oldIncs[i])
+				}
+			case <-ctx.Done():
+				return stats, fmt.Errorf("%w: %v", ErrRescaleAborted, ctx.Err())
+			case <-drainDeadline:
+				return stats, fmt.Errorf("%w: drain timed out", ErrRescaleAborted)
+			case <-drainTick.C:
+				if len(cl.DeadHAUs()) > 0 {
+					return stats, fmt.Errorf("%w: node failure during drain", ErrRescaleAborted)
+				}
+			}
+		}
+	}
+	stats.Drain = time.Since(drainStart)
+	// Every old incarnation has exited: the downtime window opens.
+	downStart := time.Now()
+
+	// Phase 4: re-shard. Split each blob into its runtime and per-operator
+	// sections, merge the per-operator slot tables across the old replicas,
+	// then carve by the new slot owners.
+	reshardStart := time.Now()
+	opsSecs := make([][][]byte, m)
+	var localEpoch uint64
+	for i, b := range blobs {
+		rt, ops, err := spe.SplitBlob(b)
+		if err != nil {
+			return stats, fmt.Errorf("cluster: rescale of %q: blob of %q: %w", id, oldIncs[i], err)
+		}
+		if i == 0 {
+			if localEpoch, err = spe.RuntimeEpoch(rt); err != nil {
+				return stats, fmt.Errorf("cluster: rescale of %q: %w", id, err)
+			}
+		}
+		opsSecs[i] = ops
+		stats.Bytes += int64(len(b))
+	}
+	nOps := len(opsSecs[0])
+	for i := 1; i < m; i++ {
+		if len(opsSecs[i]) != nOps {
+			return stats, fmt.Errorf("cluster: rescale of %q: replica blobs disagree on operator count", id)
+		}
+	}
+	newOpSecs := make([][][]byte, n)
+	for oi := 0; oi < nOps; oi++ {
+		merged := opsSecs[0][oi]
+		if m > 1 {
+			tables := make([][]byte, m)
+			for i := range opsSecs {
+				tables[i] = opsSecs[i][oi]
+			}
+			var err error
+			if merged, err = partition.Merge(tables); err != nil {
+				return stats, fmt.Errorf("cluster: rescale of %q: merge op %d: %w", id, oi, err)
+			}
+		}
+		if n == 1 {
+			newOpSecs[0] = append(newOpSecs[0], merged)
+			continue
+		}
+		for j := 0; j < n; j++ {
+			j := j
+			piece, err := partition.Carve(merged, func(s int) bool { return assign.Owner(s) == j })
+			if err != nil {
+				return stats, fmt.Errorf("cluster: rescale of %q: carve op %d: %w", id, oi, err)
+			}
+			newOpSecs[j] = append(newOpSecs[j], piece)
+		}
+	}
+	stats.Reshard = time.Since(reshardStart)
+
+	// Phase 5: commit the new geometry and start the new incarnations.
+	restoreStart := time.Now()
+	cl.mu.Lock()
+	if cl.gen != gen0 {
+		cl.mu.Unlock()
+		return stats, fmt.Errorf("%w: superseded during drain", ErrRescaleAborted)
+	}
+	for _, oinc := range oldIncs {
+		if c := cl.cancels[oinc]; c != nil {
+			c() // release the old incarnation's forwarder goroutines
+		}
+		delete(cl.cancels, oinc)
+		delete(cl.haus, oinc)
+		delete(cl.hauNode, oinc)
+		delete(cl.inEdges, oinc)
+	}
+	// Close the old rows feeding each downstream (their senders have
+	// exited) and install the new rows. The hangup is what releases each
+	// downstream's CmdAddInPort barrier.
+	type attachSet struct {
+		h    *spe.HAU
+		cmds []spe.Command
+	}
+	var attaches []attachSet
+	for _, dr := range rows {
+		for _, e := range cl.inEdges[dr.dinc][dr.port] {
+			e.Close()
+		}
+		cl.inEdges[dr.dinc][dr.port] = dr.row
+		if dh := cl.haus[dr.dinc]; dh != nil {
+			cmds := make([]spe.Command, 0, n)
+			for _, e := range dr.row {
+				cmds = append(cmds, spe.Command{
+					Kind: spe.CmdAddInPort, Edge: e, Logical: dr.port, AfterFrom: oldIncs,
+				})
+			}
+			attaches = append(attaches, attachSet{dh, cmds})
+		}
+	}
+	if n == 1 {
+		delete(cl.parts, id)
+	} else {
+		cl.parts[id] = &partState{Base: id, Replicas: newIncs, Assign: assign, Router: router}
+	}
+	for _, inc := range newIncs {
+		cl.inEdges[inc] = newInGrids[inc]
+		cl.hauNode[inc] = nodeOf[inc]
+	}
+	cl.catalog.SetMembers(cl.incarnationsLocked())
+	for j, inc := range newIncs {
+		cfg, _ := cl.prepareHAU(inc)
+		nOut := 0
+		for _, op := range cfg.OutPorts {
+			nOut += len(op.Edges)
+		}
+		blob := spe.BuildBlob(spe.NewRuntimeSection(nOut, localEpoch), newOpSecs[j])
+		h, _, err := constructHAU(cfg, blob)
+		if err != nil {
+			cl.mu.Unlock()
+			return stats, fmt.Errorf("cluster: rescale restore of %q: %w", inc, err)
+		}
+		cl.haus[inc] = h
+		hctx, cancel := context.WithCancel(cl.rootCtx)
+		cl.cancels[inc] = cancel
+		h.Start(hctx)
+	}
+	cl.installControllerHAUs()
+	cl.mu.Unlock()
+	for _, a := range attaches {
+		for _, cmd := range a.cmds {
+			a.h.Command(cmd)
+		}
+	}
+	stats.Restore = time.Since(restoreStart)
+	stats.Downtime = time.Since(downStart)
+	stats.Replicas = newIncs
+
+	// Phase 6: commit epoch. The first complete checkpoint under the new
+	// membership; journal it so recovery rebuilds the matching topology.
+	commitEp, err := cl.quiesceCheckpoints(ctx)
+	if err != nil {
+		// The new geometry is live but has no durable epoch: a recovery
+		// before the next complete checkpoint restores the pre-rescale
+		// topology via the journal, which is consistent.
+		return stats, fmt.Errorf("%w: commit epoch: %v", ErrRescaleAborted, err)
+	}
+	cl.mu.Lock()
+	if cl.gen == gen0 {
+		cl.geom = append(cl.geom, geomEntry{epoch: commitEp, parts: cl.snapshotPartsLocked()})
+	}
+	cl.mu.Unlock()
+
+	if cl.cfg.Metrics != nil {
+		cl.cfg.Metrics.RecordRescale(metrics.Rescale{
+			At:       cl.cfg.Now(),
+			HAU:      id,
+			From:     m,
+			To:       n,
+			Bytes:    stats.Bytes,
+			Drain:    stats.Drain,
+			Reshard:  stats.Reshard,
+			Restore:  stats.Restore,
+			Downtime: stats.Downtime,
+		})
+	}
+	return stats, nil
+}
+
+// autoscaleStep is the controller's split/merge detector: it compares each
+// interior operator's aggregate cached state size against the hysteresis
+// watermarks and performs at most one rescale per invocation. Returns the
+// number of rescales performed.
+func (cl *Cluster) autoscaleStep() (int, error) {
+	cl.mu.Lock()
+	if !cl.started {
+		cl.mu.Unlock()
+		return 0, nil
+	}
+	g := cl.cfg.App.Graph
+	ctx := cl.rootCtx
+	maxRep := cl.cfg.MaxReplicas
+	if maxRep <= 0 {
+		maxRep = 4
+	}
+	cool := cl.cfg.RescaleCooldown
+	if cool <= 0 {
+		cool = 2 * cl.cfg.AutoscaleEvery
+	}
+	now := time.Now()
+	var pickID string
+	var pickN int
+	for _, id := range g.Nodes() {
+		if len(g.Upstream(id)) == 0 || len(g.Downstream(id)) == 0 {
+			continue
+		}
+		if now.Sub(cl.lastRescale[id]) < cool {
+			continue
+		}
+		incs := cl.expandedLocked(id)
+		var agg int64
+		for _, inc := range incs {
+			if h := cl.haus[inc]; h != nil {
+				agg += h.CachedStateSize()
+			}
+		}
+		m := len(incs)
+		switch {
+		case cl.cfg.SplitAbove > 0 && agg > cl.cfg.SplitAbove && m < maxRep:
+			pickN = m * 2
+			if pickN > maxRep {
+				pickN = maxRep
+			}
+			pickID = id
+		case cl.cfg.MergeBelow > 0 && m > 1 && agg < cl.cfg.MergeBelow:
+			pickID, pickN = id, 1
+		}
+		if pickID != "" {
+			break
+		}
+	}
+	cl.mu.Unlock()
+	if pickID == "" {
+		return 0, nil
+	}
+	if _, err := cl.RescaleHAU(ctx, pickID, pickN); err != nil {
+		return 0, err
+	}
+	cl.mu.Lock()
+	cl.lastRescale[pickID] = now
+	cl.mu.Unlock()
+	return 1, nil
+}

@@ -57,6 +57,13 @@ type Config struct {
 	// RebalanceEvery enables the rebalancer tick. Zero disables it.
 	RebalanceEvery time.Duration
 
+	// Autoscale, when set, is invoked every AutoscaleEvery (the cluster
+	// wires it to its hot/cold split-merge detector). Same skip rules as
+	// Rebalance: not while paused, failed, or a previous step is running.
+	Autoscale func() (int, error)
+	// AutoscaleEvery enables the autoscaler tick. Zero disables it.
+	AutoscaleEvery time.Duration
+
 	// PingEvery is the failure-detection poll interval.
 	PingEvery time.Duration
 	// IsAlive reports whether an HAU's node currently responds to pings.
@@ -113,6 +120,7 @@ type Controller struct {
 	failed     bool
 	paused     int  // PauseCheckpoints nesting depth
 	rebalBusy  bool // a Rebalance invocation is in flight
+	scaleBusy  bool // an Autoscale invocation is in flight
 
 	tpCh chan tpEvent
 	done chan struct{}
@@ -386,6 +394,12 @@ func (c *Controller) Run(ctx context.Context) {
 	}
 	rebalTick := time.NewTicker(rebalEvery)
 	defer rebalTick.Stop()
+	scaleEvery := c.cfg.AutoscaleEvery
+	if c.cfg.Autoscale == nil || scaleEvery <= 0 {
+		scaleEvery = time.Hour
+	}
+	scaleTick := time.NewTicker(scaleEvery)
+	defer scaleTick.Stop()
 
 	aa := c.cfg.Scheme.ApplicationAware()
 	if aa {
@@ -427,8 +441,37 @@ func (c *Controller) Run(ctx context.Context) {
 			c.pingNodes()
 		case <-rebalTick.C:
 			c.maybeRebalance()
+		case <-scaleTick.C:
+			c.maybeAutoscale()
 		}
 	}
+}
+
+// maybeAutoscale runs one autoscaler step on its own goroutine (a rescale
+// blocks for the drain, and failure pings must keep flowing meanwhile).
+// Skipped while a failure incident is open, while checkpoints are paused,
+// and while a previous step is still running.
+func (c *Controller) maybeAutoscale() {
+	c.mu.Lock()
+	fn := c.cfg.Autoscale
+	skip := fn == nil || c.scaleBusy || c.failed || c.paused > 0
+	if !skip {
+		c.scaleBusy = true
+	}
+	c.mu.Unlock()
+	if skip {
+		return
+	}
+	go func() {
+		defer func() {
+			c.mu.Lock()
+			c.scaleBusy = false
+			c.mu.Unlock()
+		}()
+		// A failed step (node died mid-drain, superseded by a recovery) is
+		// retried from fresh size samples on the next tick.
+		_, _ = fn()
+	}()
 }
 
 // maybeRebalance runs one rebalancer step on its own goroutine (a live

@@ -45,6 +45,21 @@ type Options struct {
 	RebalanceHysteresis float64
 	RebalanceMaxMoves   int
 
+	// AutoscaleEvery enables the controller's split/merge autoscaler loop
+	// with the given period; 0 disables it. The detector splits an
+	// operator whose aggregate keyed state exceeds SplitAbove across
+	// replicas (doubling, up to AutoscaleMaxReplicas) and merges a split
+	// one back when it falls below MergeBelow.
+	AutoscaleEvery time.Duration
+	SplitAbove     int64
+	MergeBelow     int64
+	// AutoscaleMaxReplicas caps how many replicas a split may create
+	// (0 = 4).
+	AutoscaleMaxReplicas int
+	// RescaleCooldown is the minimum spacing between rescales of the same
+	// operator (0 = 2x AutoscaleEvery) — the detector's hysteresis.
+	RescaleCooldown time.Duration
+
 	// CheckpointPeriod is the checkpoint period T (controller-driven for
 	// MS schemes, per-HAU for the baseline). Zero disables periodic
 	// checkpointing (epochs can still be triggered manually).
@@ -124,6 +139,11 @@ func NewSystem(opts Options) (*System, error) {
 		RebalanceEvery:      opts.RebalanceEvery,
 		RebalanceHysteresis: opts.RebalanceHysteresis,
 		RebalanceMaxMoves:   opts.RebalanceMaxMoves,
+		AutoscaleEvery:      opts.AutoscaleEvery,
+		SplitAbove:          opts.SplitAbove,
+		MergeBelow:          opts.MergeBelow,
+		MaxReplicas:         opts.AutoscaleMaxReplicas,
+		RescaleCooldown:     opts.RescaleCooldown,
 		LocalDiskSpec:       opts.LocalDisk,
 		SharedSpec:          opts.SharedDisk,
 		EdgeBuffer:          opts.EdgeBuffer,
@@ -230,6 +250,21 @@ func (s *System) RecoverHAU(ctx context.Context, id string) (cluster.RecoverySta
 func (s *System) MigrateHAU(ctx context.Context, id string, dest int) (cluster.MigrationStats, error) {
 	return s.cl.MigrateHAU(ctx, id, dest)
 }
+
+// SplitHAU re-partitions one operator's keyed state across n HAU replicas,
+// live and exactly-once.
+func (s *System) SplitHAU(ctx context.Context, id string, n int) (cluster.RescaleStats, error) {
+	return s.cl.SplitHAU(ctx, id, n)
+}
+
+// MergeHAU merges a split operator back into a single HAU.
+func (s *System) MergeHAU(ctx context.Context, id string) (cluster.RescaleStats, error) {
+	return s.cl.MergeHAU(ctx, id)
+}
+
+// Replicas returns the live incarnation ids of operator id (itself when
+// unsplit).
+func (s *System) Replicas(id string) []string { return s.cl.Replicas(id) }
 
 // Stop shuts down all HAUs.
 func (s *System) Stop() { s.cl.StopAll() }

@@ -65,6 +65,22 @@ type Migration struct {
 	Restore    time.Duration // state deserialization at the destination
 }
 
+// Rescale is one keyed-state re-partitioning (split or merge) of an
+// operator across HAU replicas, decomposed Fig. 16-style: the token-aligned
+// drain of the old incarnations, the slot-level re-shard of their state, and
+// the restore/start of the new incarnations. Downtime is the window where no
+// incarnation of the operator was processing.
+type Rescale struct {
+	At       int64  // ns timestamp of rescale completion
+	HAU      string // base operator id
+	From, To int    // replica counts before and after
+	Bytes    int64  // state bytes re-sharded
+	Drain    time.Duration // divert commands sent -> last state blob handed over
+	Reshard  time.Duration // slot carve/merge of the drained blobs
+	Restore  time.Duration // new incarnations built, restored and started
+	Downtime time.Duration // old incarnations stopped -> new ones started
+}
+
 // Collector accumulates sink-side observations. Safe for concurrent use —
 // multiple sink HAUs may share one collector.
 type Collector struct {
@@ -74,6 +90,7 @@ type Collector struct {
 	points      []Point
 	recoveries  []Recovery
 	migrations  []Migration
+	rescales    []Rescale
 	checkpoints []Checkpoint
 }
 
@@ -221,6 +238,20 @@ func (c *Collector) Migrations() []Migration {
 	return append([]Migration(nil), c.migrations...)
 }
 
+// RecordRescale appends one split/merge re-partitioning's timings.
+func (c *Collector) RecordRescale(r Rescale) {
+	c.mu.Lock()
+	c.rescales = append(c.rescales, r)
+	c.mu.Unlock()
+}
+
+// Rescales returns every recorded re-partitioning, oldest first.
+func (c *Collector) Rescales() []Rescale {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Rescale(nil), c.rescales...)
+}
+
 // Reset clears all observations.
 func (c *Collector) Reset() {
 	c.mu.Lock()
@@ -229,6 +260,7 @@ func (c *Collector) Reset() {
 	c.points = nil
 	c.recoveries = nil
 	c.migrations = nil
+	c.rescales = nil
 	c.checkpoints = nil
 	c.mu.Unlock()
 }

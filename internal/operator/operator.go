@@ -15,6 +15,7 @@ import (
 	"errors"
 	"sort"
 
+	"meteorshower/internal/partition"
 	"meteorshower/internal/tuple"
 )
 
@@ -61,6 +62,29 @@ type Ticker interface {
 type IncrementalSnapshotter interface {
 	Operator
 	AppendSnapshot(buf []byte) ([]byte, bool, error)
+}
+
+// PartitionedState is implemented by operators whose keyed state can be
+// re-sharded across HAU replicas. The contract: Snapshot/AppendSnapshot
+// encode the state as a partition slot table (partition.AppendTable) with
+// PartitionSlots slots — each slot holding the state of exactly the keys
+// with partition.SlotOf(key, PartitionSlots()) == slot — and Restore
+// accepts any such table, including carved ones where foreign slots are
+// empty. Non-keyed state (identity counters, models) goes in the table's
+// residue, which a split copies to every replica and a merge takes from the
+// first.
+//
+// PartitionSlots may return 0 for operators with no keyed state at all
+// (residue-only); they are splittable because every replica just gets a
+// residue copy.
+//
+// With this contract a split is "carve slots out of the drained blob" and a
+// merge is slot-table concatenation — no operator-level re-encode.
+type PartitionedState interface {
+	Operator
+	// PartitionSlots returns the slot-ring size of the snapshot encoding
+	// (normally partition.DefaultSlots), or 0 for residue-only state.
+	PartitionSlots() int
 }
 
 // Source is implemented by source operators: instead of consuming inputs
@@ -453,9 +477,13 @@ func (c *Counter) StateSize() int64 {
 	return n
 }
 
-// Snapshot serializes the counts. Keys are sorted so identical states
-// produce identical bytes — a requirement for delta-checkpointing to find
-// unchanged blocks.
+// PartitionSlots implements PartitionedState: counts are sharded over the
+// default slot ring so a Counter HAU can be split across replicas.
+func (c *Counter) PartitionSlots() int { return partition.DefaultSlots }
+
+// Snapshot serializes the counts as a partition slot table. Keys are sorted
+// within each slot so identical states produce identical bytes — a
+// requirement for delta-checkpointing to find unchanged blocks.
 func (c *Counter) Snapshot() ([]byte, error) {
 	return c.appendState(nil), nil
 }
@@ -476,18 +504,42 @@ func (c *Counter) appendState(buf []byte) []byte {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.counts)))
+	slots := make([][]byte, partition.DefaultSlots)
 	for _, k := range keys {
-		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(k)))
-		buf = append(buf, k...)
-		buf = binary.LittleEndian.AppendUint64(buf, c.counts[k])
+		s := partition.SlotOf(k, len(slots))
+		slots[s] = binary.LittleEndian.AppendUint16(slots[s], uint16(len(k)))
+		slots[s] = append(slots[s], k...)
+		slots[s] = binary.LittleEndian.AppendUint64(slots[s], c.counts[k])
 	}
-	return buf
+	return partition.AppendTable(buf, nil, slots)
 }
 
-// Restore rebuilds the counts.
+// Restore rebuilds the counts from a slot table (possibly carved, with
+// foreign slots empty) or the legacy flat encoding.
 func (c *Counter) Restore(buf []byte) error {
 	c.clean = false
+	if partition.IsTable(buf) {
+		_, slots, err := partition.ParseTable(buf)
+		if err != nil {
+			return err
+		}
+		c.counts = make(map[string]uint64)
+		for _, sl := range slots {
+			for len(sl) > 0 {
+				if len(sl) < 2 {
+					return errors.New("counter: truncated snapshot")
+				}
+				kl := int(binary.LittleEndian.Uint16(sl))
+				sl = sl[2:]
+				if len(sl) < kl+8 {
+					return errors.New("counter: truncated snapshot")
+				}
+				c.counts[string(sl[:kl])] = binary.LittleEndian.Uint64(sl[kl:])
+				sl = sl[kl+8:]
+			}
+		}
+		return nil
+	}
 	if len(buf) < 4 {
 		return errors.New("counter: short snapshot")
 	}

@@ -1,0 +1,213 @@
+package partition
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestAssignmentProperty is the satellite property test: over many random
+// rescale sequences on a 256-slot FNV ring, the slot->replica assignment
+// stays total (every slot owned), disjoint (exactly one owner), bounded
+// (owners < replica count), balanced, and stable — a slot only changes
+// owner when a rescale forces it, so keys on unmoved slots keep their
+// replica across both a split and a merge.
+func TestAssignmentProperty(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewAssignment(DefaultSlots)
+		cur := 1
+		for step := 0; step < 12; step++ {
+			next := 1 + rng.Intn(6)
+			before := a.Clone()
+			moved := a.Rescale(next)
+			movedSet := make(map[int]bool, len(moved))
+			for _, s := range moved {
+				movedSet[s] = true
+			}
+			if a.Replicas() != next {
+				t.Fatalf("seed %d step %d: replicas = %d, want %d", seed, step, a.Replicas(), next)
+			}
+			count := make([]int, next)
+			for s := 0; s < a.Slots(); s++ {
+				o := a.Owner(s)
+				if o < 0 || o >= next {
+					t.Fatalf("seed %d step %d: slot %d owned by out-of-range replica %d", seed, step, s, o)
+				}
+				count[o]++
+				if !movedSet[s] && a.Owner(s) != before.Owner(s) {
+					t.Fatalf("seed %d step %d: unmoved slot %d changed owner %d -> %d",
+						seed, step, s, before.Owner(s), a.Owner(s))
+				}
+				if movedSet[s] && next >= cur && before.Owner(s) >= next {
+					continue
+				}
+			}
+			// Balance: replica loads differ by at most one.
+			min, max := a.Slots(), 0
+			for _, c := range count {
+				if c < min {
+					min = c
+				}
+				if c > max {
+					max = c
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("seed %d step %d: unbalanced assignment, loads %v", seed, step, count)
+			}
+			// Growth never strands a slot on a removed replica; shrink moves
+			// exactly the slots of removed replicas plus rebalance overflow.
+			for _, s := range moved {
+				if before.Owner(s) == a.Owner(s) {
+					t.Fatalf("seed %d step %d: slot %d reported moved but kept owner %d", seed, step, s, a.Owner(s))
+				}
+			}
+			cur = next
+		}
+	}
+}
+
+// TestRouterTotalDisjoint checks that routing by key is total and disjoint:
+// every key maps to exactly one replica, and SlotsOf partitions the ring.
+func TestRouterTotalDisjoint(t *testing.T) {
+	a := NewAssignment(DefaultSlots)
+	a.Rescale(3)
+	r := NewRouter(a)
+	seen := make(map[int]bool)
+	for s := 0; s < a.Slots(); s++ {
+		if seen[s] {
+			t.Fatalf("slot %d listed twice", s)
+		}
+	}
+	total := 0
+	for rep := 0; rep < 3; rep++ {
+		for _, s := range a.SlotsOf(rep) {
+			if seen[s] {
+				t.Fatalf("slot %d owned by two replicas", s)
+			}
+			seen[s] = true
+			total++
+		}
+	}
+	if total != a.Slots() {
+		t.Fatalf("SlotsOf covers %d slots, want %d", total, a.Slots())
+	}
+	keys := []string{"ph0-0", "ph0-1", "ph1-17", "", "a", "zz-top", "k-42"}
+	for _, k := range keys {
+		want := a.Owner(SlotOf(k, a.Slots()))
+		if got := r.Route(k); got != want {
+			t.Fatalf("Route(%q) = %d, want %d", k, got, want)
+		}
+		if got := r.RouteSlot(SlotOf(k, a.Slots())); got != want {
+			t.Fatalf("RouteSlot(%q) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+// TestRouterStableAcrossSplitAndMerge pins the split->merge round trip: keys
+// whose slots never move route to the same replica before and during the
+// rescale, and after a merge back to one replica everything routes to 0.
+func TestRouterStableAcrossSplitAndMerge(t *testing.T) {
+	a := NewAssignment(DefaultSlots)
+	r := NewRouter(a)
+	keys := make([]string, 0, 512)
+	for i := 0; i < 512; i++ {
+		keys = append(keys, "ph0-"+string(rune('a'+i%26))+string(rune('0'+i%10)))
+	}
+	for _, k := range keys {
+		if r.Route(k) != 0 {
+			t.Fatalf("pre-split Route(%q) = %d, want 0", k, r.Route(k))
+		}
+	}
+	before := a.Clone()
+	moved := a.Rescale(2)
+	movedSet := make(map[int]bool)
+	for _, s := range moved {
+		movedSet[s] = true
+	}
+	r.Update(a)
+	for _, k := range keys {
+		slot := SlotOf(k, a.Slots())
+		got := r.Route(k)
+		if !movedSet[slot] && got != before.Owner(slot) {
+			t.Fatalf("split: unmoved key %q (slot %d) changed replica %d -> %d", k, slot, before.Owner(slot), got)
+		}
+		if got != a.Owner(slot) {
+			t.Fatalf("split: Route(%q) = %d, disagrees with assignment %d", k, got, a.Owner(slot))
+		}
+	}
+	a.Rescale(1)
+	r.Update(a)
+	for _, k := range keys {
+		if got := r.Route(k); got != 0 {
+			t.Fatalf("post-merge Route(%q) = %d, want 0", k, got)
+		}
+	}
+}
+
+func TestReplicaIDRoundTrip(t *testing.T) {
+	id := ReplicaID("P0", 2)
+	if id != "P0~2" {
+		t.Fatalf("ReplicaID = %q", id)
+	}
+	if BaseID(id) != "P0" || !IsReplica(id) {
+		t.Fatalf("BaseID/IsReplica(%q) wrong", id)
+	}
+	if BaseID("P0") != "P0" || IsReplica("P0") {
+		t.Fatalf("plain id misclassified")
+	}
+}
+
+// TestCarveMergeRoundTrip checks that carving a slot table by any
+// assignment and merging the pieces reproduces the original bytes.
+func TestCarveMergeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	slots := make([][]byte, 64)
+	for s := range slots {
+		if rng.Intn(3) == 0 {
+			continue // empty slot
+		}
+		b := make([]byte, 1+rng.Intn(40))
+		rng.Read(b)
+		slots[s] = b
+	}
+	residue := []byte("residue-bytes")
+	table := AppendTable(nil, residue, slots)
+	if !IsTable(table) {
+		t.Fatal("IsTable = false on encoded table")
+	}
+	a := NewAssignment(64)
+	a.Rescale(3)
+	pieces := make([][]byte, 3)
+	for rep := 0; rep < 3; rep++ {
+		rep := rep
+		piece, err := Carve(table, func(s int) bool { return a.Owner(s) == rep })
+		if err != nil {
+			t.Fatalf("Carve: %v", err)
+		}
+		pieces[rep] = piece
+	}
+	merged, err := Merge(pieces)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if !bytes.Equal(merged, table) {
+		t.Fatalf("merge(carve(table)) != table (%d vs %d bytes)", len(merged), len(table))
+	}
+	// Residue-only tables (0 slots) merge to the first residue.
+	r0 := AppendTable(nil, []byte{9, 9}, nil)
+	r1 := AppendTable(nil, []byte{1}, nil)
+	m, err := Merge([][]byte{r0, r1})
+	if err != nil {
+		t.Fatalf("residue merge: %v", err)
+	}
+	res, sl, err := ParseTable(m)
+	if err != nil || len(sl) != 0 || !bytes.Equal(res, []byte{9, 9}) {
+		t.Fatalf("residue merge wrong: res=%v slots=%d err=%v", res, len(sl), err)
+	}
+	// Overlapping ownership is rejected.
+	if _, err := Merge([][]byte{table, table}); err == nil {
+		t.Fatal("Merge of overlapping tables succeeded")
+	}
+}

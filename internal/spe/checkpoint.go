@@ -24,9 +24,15 @@ import (
 //	nIn x { u32 nSrc; nSrc x { u16 len, src, u64 id } }  per-source IDs
 //	u64 localEpoch
 //	u32 nRetained; per retained: u32 port, u32 len, tuple bytes
+//	u32 nLabels;  nLabels x { u16 len, upstream id }   (v2 only, optional)
 //
 // The retained tuples are the in-flight tuples "between the incoming and
-// the output tokens" (§III-B) that recovery must re-send downstream.
+// the output tokens" (§III-B) that recovery must re-send downstream. The
+// trailing label block names each input port's upstream incarnation
+// (Edge.From) so restore can match ports by upstream identity when the
+// HAU's input geometry changed across a rescale. It exists only inside a
+// v2 section (which is length-delimited); the v1 decoder must not look for
+// it because v1 runs straight into the operator data.
 //
 // A version-1 blob has no header: the runtime section is followed directly
 // by u32 nOps and length-prefixed operator snapshots. RestoreFrom decodes
@@ -69,6 +75,17 @@ func (h *HAU) appendRuntimeState(buf []byte) []byte {
 	return buf
 }
 
+// appendInLabels encodes the input-port label block. Only v2 writers call
+// it: a v1 blob has no room for trailing data in its runtime section.
+func (h *HAU) appendInLabels(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(h.inFrom)))
+	for _, from := range h.inFrom {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(from)))
+		buf = append(buf, from...)
+	}
+	return buf
+}
+
 // captureState takes the on-loop snapshot: the runtime section is encoded
 // into a pooled buffer, and each operator either re-encodes (dirty, or no
 // fast path) or contributes its cached section from the previous epoch.
@@ -78,7 +95,7 @@ func (h *HAU) appendRuntimeState(buf []byte) []byte {
 func (h *HAU) captureState() (*stateSnapshot, error) {
 	snap := &stateSnapshot{sections: make([]*sectionBuf, 0, len(h.cfg.Ops)+1)}
 	rt := getSection()
-	rt.b = h.appendRuntimeState(rt.b)
+	rt.b = h.appendInLabels(h.appendRuntimeState(rt.b))
 	snap.dirty += int64(len(rt.b))
 	snap.sections = append(snap.sections, rt)
 	for i, op := range h.cfg.Ops {
@@ -173,7 +190,7 @@ func (h *HAU) RestoreFrom(blob []byte) error {
 		return fmt.Errorf("%w: section table wants %d payload bytes, have %d", errShortSnapshot, total, len(r.buf))
 	}
 	rt := reader{buf: r.buf[:lens[0]]}
-	if err := h.restoreRuntime(&rt); err != nil {
+	if err := h.restoreRuntime(&rt, true); err != nil {
 		return err
 	}
 	if len(rt.buf) != 0 {
@@ -197,7 +214,7 @@ func (h *HAU) RestoreFrom(blob []byte) error {
 // u32 nOps and length-prefixed operator snapshots.
 func (h *HAU) restoreV1(blob []byte) error {
 	r := reader{buf: blob}
-	if err := h.restoreRuntime(&r); err != nil {
+	if err := h.restoreRuntime(&r, false); err != nil {
 		return err
 	}
 	nOps, err := r.u32()
@@ -222,8 +239,12 @@ func (h *HAU) restoreV1(blob []byte) error {
 	return nil
 }
 
-// restoreRuntime decodes the runtime section from r.
-func (h *HAU) restoreRuntime(r *reader) error {
+// restoreRuntime decodes the runtime section from r. labeled marks a v2
+// section, which may end with an input-port label block; when it does and
+// the blob's input geometry differs from the HAU's, ports are matched by
+// upstream label instead of position — a replica restoring a carved blob
+// has fresh input edges the base never had, and vice versa after a merge.
+func (h *HAU) restoreRuntime(r *reader, labeled bool) error {
 	nOut, err := r.u32()
 	if err != nil {
 		return err
@@ -240,20 +261,19 @@ func (h *HAU) restoreRuntime(r *reader) error {
 	if err != nil {
 		return err
 	}
-	if int(nIn) != len(h.lastInSeq) {
-		return fmt.Errorf("spe: snapshot has %d in ports, HAU has %d", nIn, len(h.lastInSeq))
-	}
-	for i := range h.lastInSeq {
-		if h.lastInSeq[i], err = r.u64(); err != nil {
+	inSeq := make([]uint64, nIn)
+	for i := range inSeq {
+		if inSeq[i], err = r.u64(); err != nil {
 			return err
 		}
 	}
-	for i := range h.lastSrcID {
+	srcIDs := make([]map[string]uint64, nIn)
+	for i := range srcIDs {
 		nSrc, err := r.u32()
 		if err != nil {
 			return err
 		}
-		h.lastSrcID[i] = make(map[string]uint64, nSrc)
+		srcIDs[i] = make(map[string]uint64, nSrc)
 		for j := uint32(0); j < nSrc; j++ {
 			src, err := r.str16()
 			if err != nil {
@@ -263,7 +283,7 @@ func (h *HAU) restoreRuntime(r *reader) error {
 			if err != nil {
 				return err
 			}
-			h.lastSrcID[i][src] = id
+			srcIDs[i][src] = id
 		}
 	}
 	if h.localEpoch, err = r.u64(); err != nil {
@@ -289,7 +309,166 @@ func (h *HAU) restoreRuntime(r *reader) error {
 		}
 		h.pendingOut = append(h.pendingOut, retainedTuple{port: int(port), t: t})
 	}
+	var labels []string
+	labelsPresent := false
+	if labeled && len(r.buf) > 0 {
+		nLab, err := r.u32()
+		if err != nil {
+			return err
+		}
+		if nLab != nIn {
+			return fmt.Errorf("spe: snapshot has %d in-port labels for %d in ports", nLab, nIn)
+		}
+		labels = make([]string, nLab)
+		for i := range labels {
+			if labels[i], err = r.str16(); err != nil {
+				return err
+			}
+		}
+		labelsPresent = true
+	}
+	byLabel := make(map[string]int, len(labels))
+	for i, l := range labels {
+		byLabel[l] = i
+	}
+	allFound := true
+	for _, f := range h.inFrom {
+		if _, ok := byLabel[f]; !ok {
+			allFound = false
+			break
+		}
+	}
+	useLabels := labelsPresent && (int(nIn) != len(h.lastInSeq) || allFound)
+	if !useLabels {
+		if int(nIn) != len(h.lastInSeq) {
+			return fmt.Errorf("spe: snapshot has %d in ports, HAU has %d", nIn, len(h.lastInSeq))
+		}
+		copy(h.lastInSeq, inSeq)
+		copy(h.lastSrcID, srcIDs)
+		return nil
+	}
+	for i, f := range h.inFrom {
+		if j, ok := byLabel[f]; ok {
+			h.lastInSeq[i] = inSeq[j]
+			h.lastSrcID[i] = srcIDs[j]
+		} else {
+			// A fresh edge the blob never saw: sequence numbers restart.
+			h.lastInSeq[i] = 0
+			h.lastSrcID[i] = make(map[string]uint64)
+		}
+	}
 	return nil
+}
+
+// SplitBlob splits a v2 checkpoint blob into its runtime section and
+// per-operator sections, aliasing the blob's backing array. The cluster's
+// rescale path carves and re-assembles blobs at this level without knowing
+// any section's internal layout.
+func SplitBlob(blob []byte) (runtime []byte, ops [][]byte, err error) {
+	r := reader{buf: blob}
+	magic, err := r.u32()
+	if err != nil {
+		return nil, nil, err
+	}
+	if magic != snapshotMagic {
+		return nil, nil, errors.New("spe: not a v2 snapshot blob")
+	}
+	nSec, err := r.u32()
+	if err != nil {
+		return nil, nil, err
+	}
+	if nSec == 0 {
+		return nil, nil, errors.New("spe: v2 snapshot with no sections")
+	}
+	lens := make([]int, nSec)
+	total := 0
+	for i := range lens {
+		n, err := r.u32()
+		if err != nil {
+			return nil, nil, err
+		}
+		lens[i] = int(n)
+		total += int(n)
+	}
+	if total != len(r.buf) {
+		return nil, nil, fmt.Errorf("%w: section table wants %d payload bytes, have %d", errShortSnapshot, total, len(r.buf))
+	}
+	off := lens[0]
+	runtime = r.buf[:off]
+	ops = make([][]byte, nSec-1)
+	for i := range ops {
+		ops[i] = r.buf[off : off+lens[i+1]]
+		off += lens[i+1]
+	}
+	return runtime, ops, nil
+}
+
+// BuildBlob assembles a v2 checkpoint blob from a runtime section and
+// operator sections — the inverse of SplitBlob.
+func BuildBlob(runtime []byte, ops [][]byte) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, snapshotMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ops)+1))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(runtime)))
+	for _, op := range ops {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(op)))
+	}
+	buf = append(buf, runtime...)
+	for _, op := range ops {
+		buf = append(buf, op...)
+	}
+	return buf
+}
+
+// NewRuntimeSection synthesizes a runtime section for a freshly created
+// rescale incarnation: nOut zeroed output counters, no inputs (the label
+// block is present but empty, so a restore zero-fills whatever input ports
+// the new HAU has), the given localEpoch, and no retained tuples.
+func NewRuntimeSection(nOut int, localEpoch uint64) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(nOut))
+	buf = append(buf, make([]byte, 8*nOut)...)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // nIn
+	buf = binary.LittleEndian.AppendUint64(buf, localEpoch)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // nRetained
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // nLabels
+	return buf
+}
+
+// RuntimeEpoch extracts localEpoch from a runtime section.
+func RuntimeEpoch(runtime []byte) (uint64, error) {
+	r := reader{buf: runtime}
+	nOut, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	for i := uint32(0); i < nOut; i++ {
+		if _, err := r.u64(); err != nil {
+			return 0, err
+		}
+	}
+	nIn, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	for i := uint32(0); i < nIn; i++ {
+		if _, err := r.u64(); err != nil {
+			return 0, err
+		}
+	}
+	for i := uint32(0); i < nIn; i++ {
+		nSrc, err := r.u32()
+		if err != nil {
+			return 0, err
+		}
+		for j := uint32(0); j < nSrc; j++ {
+			if _, err := r.str16(); err != nil {
+				return 0, err
+			}
+			if _, err := r.u64(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return r.u64()
 }
 
 // SnapshotNow serializes the HAU state outside the protocol — used by

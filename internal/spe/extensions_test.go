@@ -48,9 +48,9 @@ func TestDeltaCheckpointWritesLess(t *testing.T) {
 	in.Inject(nil, tuple.NewToken(tuple.Token{Epoch: 1, Kind: tuple.OneHop, From: "x"}))
 	waitFor(t, 5*time.Second, func() bool { return lis.ckptCount() == 1 })
 
-	// One more tuple whose key sorts last, then epoch 2 (delta): only the
-	// final block of the snapshot changes.
-	tp := tuple.New(401, "x", "zzz-last", nil)
+	// Bump one existing key, then epoch 2 (delta): the count updates in
+	// place inside its slot, so only that slot's blocks change.
+	tp := tuple.New(401, "x", "key-001", nil)
 	tp.Seq = 401
 	in.Inject(nil, tp)
 	in.Inject(nil, tuple.NewToken(tuple.Token{Epoch: 2, Kind: tuple.OneHop, From: "x"}))

@@ -179,6 +179,12 @@ func (e *Edge) Recv(ctx context.Context) (*tuple.Batch, bool) {
 	}
 }
 
+// Close ends the stream: the receiver's forwarder drains the remaining
+// batches and then treats the edge as a permanent upstream hangup (the
+// port counts as aligned forever). Sender-side only, after the final
+// Flush; no Append/Flush/Inject may follow.
+func (e *Edge) Close() { close(e.C) }
+
 // Queued returns the number of tuples sent on the edge and not yet
 // received — the channel occupancy in tuples.
 func (e *Edge) Queued() int { return int(e.queued.Load()) }
@@ -187,6 +193,26 @@ func (e *Edge) Queued() int { return int(e.queued.Load()) }
 // this edge that the receiver has not picked up. Load shedding compares
 // it against the watermark.
 func (e *Edge) Occupancy() int { return e.Queued() + e.PendingLen() }
+
+// OutPort is one logical output port: one edge per downstream replica plus
+// the key router choosing among them. A nil Router means the port has a
+// single edge (Edges[0]) — the common un-split case.
+type OutPort struct {
+	Edges  []*Edge
+	Router KeyRouter
+}
+
+// flattenPorts lays the ports' edges out port-major and returns the flat
+// list plus each port's base physical index.
+func flattenPorts(out []OutPort) ([]*Edge, []int) {
+	var phys []*Edge
+	base := make([]int, len(out))
+	for p, op := range out {
+		base[p] = len(phys)
+		phys = append(phys, op.Edges...)
+	}
+	return phys, base
+}
 
 // Config assembles one HAU. The cluster layer builds these; tests build
 // them directly.
@@ -200,6 +226,17 @@ type Config struct {
 	Ops []operator.Operator
 	In  []*Edge
 	Out []*Edge
+
+	// OutPorts is the routed alternative to Out: when non-nil it wins, and
+	// each logical port may fan over several edges (one per downstream
+	// replica) chosen by the port's key router. Out is the shorthand for
+	// all-single-edge ports.
+	OutPorts []OutPort
+	// InLogical maps each physical input port (index into In) to the
+	// logical port number passed to Ops[0].OnTuple — several physical ports
+	// collapse onto one logical port when the upstream is split into
+	// replicas. nil means identity.
+	InLogical []int
 
 	Catalog   *storage.Catalog  // individual checkpoint destination
 	SourceLog *buffer.SourceLog // source preservation (MS schemes, source HAUs)
@@ -298,8 +335,26 @@ type HAU struct {
 	ctx context.Context // loop context, set by run
 
 	ctrl   chan Command
-	merged chan inItem // fan-in of all input edges (nil if no inputs)
+	merged chan inItem // fan-in of all input edges
 	gates  []*portGate
+
+	// Output geometry. out holds the logical ports; physOut flattens their
+	// edges port-major, and outBase[p] is the physical index of out[p]'s
+	// first edge. All per-edge state (outSeq, presPending, retained ports)
+	// is indexed by physical edge.
+	out     []OutPort
+	physOut []*Edge
+	outBase []int
+
+	// Input geometry. in/inFrom/inLogical grow when a rescale attaches new
+	// ports (CmdAddInPort); physical indexes of existing ports never change,
+	// closed ports just stay inert. inFrom labels each port with its
+	// upstream incarnation id (Edge.From) — checkpoints record the labels so
+	// restore can match ports across geometry changes.
+	in        []*Edge
+	inFrom    []string
+	inLogical []int
+	attachQ   []Command // CmdAddInPort waiting for AfterFrom ports to close
 
 	// Loop-owned state (no locks needed).
 	outSeq      []uint64
@@ -308,7 +363,7 @@ type HAU struct {
 	aligned     []bool
 	closed      []bool           // input edge hung up; counts as aligned
 	parked      [][]*tuple.Batch // per port: batches held during alignment
-	presPending [][]*tuple.Tuple // per out port: retained copies awaiting preservation
+	presPending [][]*tuple.Tuple // per physical out edge: retained copies awaiting preservation
 	awaiting    bool
 	pendingEp   uint64
 	doneEpoch   uint64 // highest token epoch already checkpointed
@@ -374,28 +429,54 @@ func New(cfg Config) (*HAU, error) {
 	if cfg.Now == nil {
 		cfg.Now = func() int64 { return time.Now().UnixNano() }
 	}
+	// Logical output ports: OutPorts wins; Out is all-single-edge shorthand.
+	out := cfg.OutPorts
+	if out == nil {
+		out = make([]OutPort, len(cfg.Out))
+		for i, e := range cfg.Out {
+			out[i] = OutPort{Edges: []*Edge{e}}
+		}
+	}
+	physOut, outBase := flattenPorts(out)
+	inLogical := cfg.InLogical
+	if inLogical == nil {
+		inLogical = make([]int, len(cfg.In))
+		for i := range inLogical {
+			inLogical[i] = i
+		}
+	} else if len(inLogical) != len(cfg.In) {
+		return nil, fmt.Errorf("spe: HAU %s has %d in edges but %d logical mappings", cfg.ID, len(cfg.In), len(inLogical))
+	}
 	h := &HAU{
 		cfg:         cfg,
 		ctrl:        make(chan Command, 64),
 		opSecs:      make([]*sectionBuf, len(cfg.Ops)),
-		outSeq:      make([]uint64, len(cfg.Out)),
+		out:         out,
+		physOut:     physOut,
+		outBase:     outBase,
+		in:          append([]*Edge(nil), cfg.In...),
+		inLogical:   append([]int(nil), inLogical...),
+		outSeq:      make([]uint64, len(physOut)),
 		lastInSeq:   make([]uint64, len(cfg.In)),
 		lastSrcID:   make([]map[string]uint64, len(cfg.In)),
 		aligned:     make([]bool, len(cfg.In)),
 		closed:      make([]bool, len(cfg.In)),
 		migSeen:     make([]bool, len(cfg.In)),
 		parked:      make([][]*tuple.Batch, len(cfg.In)),
-		presPending: make([][]*tuple.Tuple, len(cfg.Out)),
+		presPending: make([][]*tuple.Tuple, len(physOut)),
 		gates:       make([]*portGate, len(cfg.In)),
 		done:        make(chan struct{}),
+	}
+	h.inFrom = make([]string, len(h.in))
+	for i, e := range h.in {
+		h.inFrom[i] = e.From
 	}
 	for i := range h.lastSrcID {
 		h.lastSrcID[i] = make(map[string]uint64)
 		h.gates[i] = &portGate{}
 	}
-	if len(cfg.In) > 0 {
-		h.merged = make(chan inItem, 2*len(cfg.In)+2)
-	}
+	// Always allocated: a rescale can attach input ports to an HAU later.
+	h.merged = make(chan inItem, 2*len(cfg.In)+4)
 	if s, ok := cfg.Ops[0].(operator.Source); ok {
 		h.src = s
 		if len(cfg.In) > 0 {
@@ -450,6 +531,10 @@ func (h *HAU) ProcessedCount() uint64 { return h.processed.Load() }
 // ShedCount returns how many tuples load shedding dropped.
 func (h *HAU) ShedCount() uint64 { return h.shed.Load() }
 
+// Operators returns the HAU's operator chain (tests, tooling). Operator
+// state is owned by the HAU loop — read it only after Done is closed.
+func (h *HAU) Operators() []operator.Operator { return h.cfg.Ops }
+
 // Done is closed when the HAU loop exits.
 func (h *HAU) Done() <-chan struct{} { return h.done }
 
@@ -496,9 +581,12 @@ func (h *HAU) now() int64 { return h.cfg.Now() }
 // order. While its gate is paused (token alignment) it forwards nothing,
 // so the bounded edge fills and the upstream sender blocks — backpressure
 // on exactly the aligning edge.
-func (h *HAU) forward(ctx context.Context, port int, e *Edge) {
+// The gate is passed by value-pointer rather than read from h.gates so a
+// concurrent port attach (which appends to the slice) cannot race with a
+// running forwarder.
+func (h *HAU) forward(ctx context.Context, port int, g *portGate, e *Edge) {
 	for {
-		if !h.gates[port].wait(ctx) {
+		if !g.wait(ctx) {
 			return
 		}
 		b, ok := e.Recv(ctx)
@@ -543,10 +631,12 @@ func (h *HAU) run(ctx context.Context) {
 	// snapshot go out first (they carry their original sequence numbers
 	// and are already preserved), then preserved source tuples.
 	for _, rt := range h.pendingOut {
-		if rt.port < 0 || rt.port >= len(h.cfg.Out) {
+		// Retained ports are physical: the tuples keep their original
+		// sequence numbers, so they must return to the exact edge slot.
+		if rt.port < 0 || rt.port >= len(h.physOut) {
 			continue
 		}
-		e := h.cfg.Out[rt.port]
+		e := h.physOut[rt.port]
 		e.Append(rt.t)
 		if e.Full() && !e.Flush(ctx) {
 			return
@@ -555,9 +645,9 @@ func (h *HAU) run(ctx context.Context) {
 	h.pendingOut = nil
 	var maxReplayed uint64
 	for _, t := range h.srcReplay {
-		for port := range h.cfg.Out {
+		for port := range h.out {
 			out := t
-			if port < len(h.cfg.Out)-1 {
+			if port < len(h.out)-1 {
 				out = t.Retain()
 			}
 			if !h.deliverOut(port, out) {
@@ -582,8 +672,8 @@ func (h *HAU) run(ctx context.Context) {
 		h.nextCkpt = h.now() + int64(h.cfg.CkptPhase)
 	}
 
-	for i, e := range h.cfg.In {
-		go h.forward(ctx, i, e)
+	for i, e := range h.in {
+		go h.forward(ctx, i, h.gates[i], e)
 	}
 
 	ticker := time.NewTicker(h.cfg.TickEvery)
@@ -607,6 +697,7 @@ func (h *HAU) run(ctx context.Context) {
 				// other inputs.
 				h.closed[it.port] = true
 				h.checkAlignment(ctx)
+				h.tryAttach(ctx)
 			case h.aligned[it.port]:
 				// Stream boundary: hold in-flight batches until the
 				// remaining tokens arrive.
@@ -714,11 +805,11 @@ func (h *HAU) drainParked(ctx context.Context) {
 	}
 }
 
-// flushAll pushes every output port's pending batch (and preservation
+// flushAll pushes every output edge's pending batch (and preservation
 // backlog) downstream. Called on ticks and when the input side idles.
 func (h *HAU) flushAll(ctx context.Context) bool {
-	for port := range h.cfg.Out {
-		if !h.flushPort(ctx, port) {
+	for phys := range h.physOut {
+		if !h.flushPort(ctx, phys) {
 			return false
 		}
 	}
@@ -745,11 +836,12 @@ func (h *HAU) flushPres(port int) bool {
 	return true
 }
 
-func (h *HAU) flushPort(ctx context.Context, port int) bool {
-	if !h.flushPres(port) {
+// flushPort flushes one physical output edge (preservation first).
+func (h *HAU) flushPort(ctx context.Context, phys int) bool {
+	if !h.flushPres(phys) {
 		return false
 	}
-	return h.cfg.Out[port].Flush(ctx)
+	return h.physOut[phys].Flush(ctx)
 }
 
 func (h *HAU) onCommand(ctx context.Context, cmd Command) {
@@ -765,48 +857,60 @@ func (h *HAU) onCommand(ctx context.Context, cmd Command) {
 	case CmdReportNormal:
 		h.reportAll = false
 	case CmdSwapOutEdge:
-		if cmd.Port >= 0 && cmd.Port < len(h.cfg.Out) && cmd.Edge != nil {
+		if cmd.Port >= 0 && cmd.Port < len(h.out) && len(h.out[cmd.Port].Edges) == 1 && cmd.Edge != nil {
 			// Preserve stamped-but-unflushed tuples before abandoning the
 			// old edge; replay reads them back from the preserver. The old
 			// edge's pending batch is dropped, not leaked to the dead peer.
-			h.flushPres(cmd.Port)
-			h.cfg.Out[cmd.Port].DropPending()
-			h.cfg.Out[cmd.Port] = cmd.Edge
+			phys := h.outBase[cmd.Port]
+			h.flushPres(phys)
+			h.physOut[phys].DropPending()
+			h.out[cmd.Port].Edges[0] = cmd.Edge
+			h.physOut[phys] = cmd.Edge
 		}
 	case CmdMigrateOut:
-		if cmd.Port >= 0 && cmd.Port < len(h.cfg.Out) && cmd.Edge != nil {
+		if cmd.Port >= 0 && cmd.Port < len(h.out) && len(h.out[cmd.Port].Edges) == 1 && cmd.Edge != nil {
 			// Everything already stamped for the old edge must reach it —
 			// the migrating peer processes up to the token, and tuples lost
 			// here would be sequence gaps downstream (no rollback covers a
 			// migration). Flush pending plus the token, then divert.
-			h.flushPres(cmd.Port)
-			old := h.cfg.Out[cmd.Port]
+			phys := h.outBase[cmd.Port]
+			h.flushPres(phys)
+			old := h.physOut[phys]
 			old.Append(tuple.NewTokenAt(tuple.Token{Kind: tuple.Migration, From: h.cfg.ID}, h.now()))
 			if !old.Flush(ctx) {
 				return // ctx died: the whole migration aborts with us
 			}
-			h.cfg.Out[cmd.Port] = cmd.Edge
+			h.out[cmd.Port].Edges[0] = cmd.Edge
+			h.physOut[phys] = cmd.Edge
 		}
 	case CmdMigrateSnap:
 		if cmd.Reply != nil {
 			h.migArmed = true
 			h.migReply = cmd.Reply
 		}
+	case CmdRescaleOut:
+		h.onRescaleOut(ctx, cmd)
+	case CmdAddInPort:
+		if cmd.Edge != nil {
+			h.attachQ = append(h.attachQ, cmd)
+			h.tryAttach(ctx)
+		}
 	case CmdReplayOutput:
-		if h.cfg.Preserver == nil || cmd.Port < 0 || cmd.Port >= len(h.cfg.Out) {
+		if h.cfg.Preserver == nil || cmd.Port < 0 || cmd.Port >= len(h.out) || len(h.out[cmd.Port].Edges) != 1 {
 			return
 		}
+		phys := h.outBase[cmd.Port]
 		// Push anything already pending first so replayed tuples keep
 		// sequence order on the wire.
-		if !h.flushPort(ctx, cmd.Port) {
+		if !h.flushPort(ctx, phys) {
 			return
 		}
-		ts, err := h.cfg.Preserver.Replay(cmd.Port, 0)
+		ts, err := h.cfg.Preserver.Replay(phys, 0)
 		if err != nil {
 			h.setErr(err)
 			return
 		}
-		e := h.cfg.Out[cmd.Port]
+		e := h.physOut[phys]
 		for _, t := range ts {
 			e.Append(t)
 			if e.Full() && !e.Flush(ctx) {
@@ -815,6 +919,101 @@ func (h *HAU) onCommand(ctx context.Context, cmd Command) {
 		}
 		e.Flush(ctx)
 	}
+}
+
+// onRescaleOut replaces one logical output port's edge set: the split or
+// merge coordinator diverts this HAU's output from the old downstream
+// incarnation(s) to the new one(s). Each old edge receives the pending
+// flush plus a migration token (its downstream drains on it); the new
+// edges start with fresh sequence counters. Must run while checkpoints are
+// quiesced — the retained list is empty, so physical out indexes can be
+// re-laid out safely.
+func (h *HAU) onRescaleOut(ctx context.Context, cmd Command) {
+	if cmd.Port < 0 || cmd.Port >= len(h.out) || len(cmd.Edges) == 0 {
+		return
+	}
+	oldPort := h.out[cmd.Port]
+	base := h.outBase[cmd.Port]
+	for i, old := range oldPort.Edges {
+		h.flushPres(base + i)
+		old.Append(tuple.NewTokenAt(tuple.Token{Kind: tuple.Migration, From: h.cfg.ID}, h.now()))
+		if !old.Flush(ctx) {
+			return // ctx died: the rescale aborts with us
+		}
+	}
+	if len(h.retained) > 0 {
+		// Retained entries hold physical indexes about to be re-laid out;
+		// the coordinator quiesces checkpoints first, so this is a protocol
+		// violation rather than a recoverable state.
+		h.setErr(fmt.Errorf("spe: %s rescaled out port %d with %d retained tuples", h.cfg.ID, cmd.Port, len(h.retained)))
+		return
+	}
+	h.out[cmd.Port] = OutPort{Edges: cmd.Edges, Router: cmd.Router}
+	h.physOut, h.outBase = flattenPorts(h.out)
+	h.outSeq = spliceU64(h.outSeq, base, len(oldPort.Edges), len(cmd.Edges))
+	h.presPending = splicePres(h.presPending, base, len(oldPort.Edges), len(cmd.Edges))
+}
+
+// spliceU64 replaces the n entries at base with m zeros.
+func spliceU64(s []uint64, base, n, m int) []uint64 {
+	out := make([]uint64, 0, len(s)-n+m)
+	out = append(out, s[:base]...)
+	out = append(out, make([]uint64, m)...)
+	return append(out, s[base+n:]...)
+}
+
+// splicePres replaces the n entries at base with m empty slots.
+func splicePres(s [][]*tuple.Tuple, base, n, m int) [][]*tuple.Tuple {
+	out := make([][]*tuple.Tuple, 0, len(s)-n+m)
+	out = append(out, s[:base]...)
+	out = append(out, make([][]*tuple.Tuple, m)...)
+	return append(out, s[base+n:]...)
+}
+
+// tryAttach attaches queued input ports whose ordering barrier is met:
+// every existing port fed by an upstream named in AfterFrom has closed.
+// This serializes the old incarnation's stream strictly before the replica
+// streams that replace it.
+func (h *HAU) tryAttach(ctx context.Context) {
+	kept := h.attachQ[:0]
+	for _, cmd := range h.attachQ {
+		if h.afterClosed(cmd.AfterFrom) {
+			h.attachInPort(ctx, cmd.Edge, cmd.Logical)
+		} else {
+			kept = append(kept, cmd)
+		}
+	}
+	h.attachQ = kept
+}
+
+func (h *HAU) afterClosed(after []string) bool {
+	for _, from := range after {
+		for i, f := range h.inFrom {
+			if f == from && !h.closed[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// attachInPort appends one input port and spawns its forwarder. The new
+// port starts unaligned and unclosed with zeroed dedup state — its edge is
+// fresh, so sequence numbers restart at 1.
+func (h *HAU) attachInPort(ctx context.Context, e *Edge, logical int) {
+	port := len(h.in)
+	h.in = append(h.in, e)
+	h.inFrom = append(h.inFrom, e.From)
+	h.inLogical = append(h.inLogical, logical)
+	h.lastInSeq = append(h.lastInSeq, 0)
+	h.lastSrcID = append(h.lastSrcID, make(map[string]uint64))
+	h.aligned = append(h.aligned, false)
+	h.closed = append(h.closed, false)
+	h.migSeen = append(h.migSeen, false)
+	h.parked = append(h.parked, nil)
+	g := &portGate{}
+	h.gates = append(h.gates, g)
+	go h.forward(ctx, port, g, e)
 }
 
 func (h *HAU) onCheckpointCmd(ctx context.Context, epoch uint64) {
@@ -841,7 +1040,7 @@ func (h *HAU) onCheckpointCmd(ctx context.Context, epoch uint64) {
 		if h.src != nil {
 			h.beginSourceEpoch(epoch)
 		}
-		if len(h.cfg.In) == 0 {
+		if len(h.in) == 0 {
 			// Sources align trivially.
 			h.alignStart = h.now()
 			h.doneEpoch = epoch
@@ -895,7 +1094,7 @@ func (h *HAU) onData(port int, t *tuple.Tuple) bool {
 	if h.cfg.PerTupleDelay > 0 {
 		time.Sleep(h.cfg.PerTupleDelay)
 	}
-	if err := h.cfg.Ops[0].OnTuple(port, t, h.emitters[0]); err != nil {
+	if err := h.cfg.Ops[0].OnTuple(h.inLogical[port], t, h.emitters[0]); err != nil {
 		h.setErr(err)
 	}
 	return true
@@ -947,7 +1146,7 @@ func (h *HAU) checkAlignment(ctx context.Context) {
 			n++
 		}
 	}
-	if n < len(h.cfg.In) {
+	if n < len(h.aligned) {
 		return // stream boundary: stop reading tokened inputs, keep the rest
 	}
 	// All tokens received: individual checkpoint.
@@ -977,9 +1176,9 @@ func (h *HAU) onTick(ctx context.Context) {
 					return
 				}
 			}
-			for port := range h.cfg.Out {
+			for port := range h.out {
 				out := t
-				if port < len(h.cfg.Out)-1 {
+				if port < len(h.out)-1 {
 					out = t.Retain()
 				}
 				if !h.deliverOut(port, out) {
@@ -1043,7 +1242,7 @@ func (h *HAU) baselineCheckpoint(ctx context.Context) {
 	h.doCheckpoint(ctx, h.localEpoch, 0)
 	// Ack upstream neighbours so they trim their preservation buffers.
 	if h.cfg.AckUpstream != nil {
-		for port := range h.cfg.In {
+		for port := range h.in {
 			h.cfg.AckUpstream(port, h.lastInSeq[port])
 		}
 	}
@@ -1188,43 +1387,55 @@ func (h *HAU) writeCheckpoint(job ckptJob) {
 // latency is unaffected by the micro-batches.
 func (h *HAU) broadcastToken(ctx context.Context, tok tuple.Token) {
 	now := h.now()
-	for port := range h.cfg.Out {
-		h.cfg.Out[port].Append(tuple.NewTokenAt(tok, now))
-		if !h.flushPort(ctx, port) {
+	for phys, e := range h.physOut {
+		e.Append(tuple.NewTokenAt(tok, now))
+		if !h.flushPort(ctx, phys) {
 			return
 		}
 	}
 }
 
-// deliverOut stamps, preserves, retains and enqueues a data tuple on an
-// output port, flushing when the batch fills. Returns false if the
-// context died mid-send.
+// deliverOut stamps, preserves, retains and enqueues a data tuple on a
+// logical output port, flushing when the batch fills. On a routed port the
+// key router picks the edge (one per downstream replica); sequence numbers
+// and preservation are per physical edge. Returns false if the context died
+// mid-send.
 func (h *HAU) deliverOut(port int, t *tuple.Tuple) bool {
-	if port < 0 || port >= len(h.cfg.Out) {
+	if port < 0 || port >= len(h.out) {
 		h.setErr(fmt.Errorf("spe: %s emitted to invalid port %d", h.cfg.ID, port))
 		return false
 	}
-	e := h.cfg.Out[port]
+	op := h.out[port]
+	idx := 0
+	if op.Router != nil {
+		idx = op.Router.Route(t.Key)
+		if idx < 0 || idx >= len(op.Edges) {
+			h.setErr(fmt.Errorf("spe: %s port %d router chose edge %d of %d", h.cfg.ID, port, idx, len(op.Edges)))
+			return false
+		}
+	}
+	phys := h.outBase[port] + idx
+	e := op.Edges[idx]
 	if h.cfg.ShedWatermark > 0 {
 		if float64(e.Occupancy()) > h.cfg.ShedWatermark*float64(e.Cap()) {
 			h.shed.Add(1)
 			return true // overload: drop instead of blocking upstream
 		}
 	}
-	h.outSeq[port]++
-	t.Seq = h.outSeq[port]
+	h.outSeq[phys]++
+	t.Seq = h.outSeq[phys]
 	if h.cfg.Preserver != nil {
 		// Copy-on-retain: the preserver takes ownership of a header copy
 		// sharing the (immutable) payload; the original continues
 		// downstream. The actual append is batched into flushPres.
-		h.presPending[port] = append(h.presPending[port], t.Retain())
+		h.presPending[phys] = append(h.presPending[phys], t.Retain())
 	}
 	if h.retaining {
-		h.retained = append(h.retained, retainedTuple{port: port, t: t.Retain()})
+		h.retained = append(h.retained, retainedTuple{port: phys, t: t.Retain()})
 	}
 	e.Append(t)
 	if e.Full() {
-		return h.flushPort(h.ctx, port)
+		return h.flushPort(h.ctx, phys)
 	}
 	return true
 }

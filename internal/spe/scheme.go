@@ -93,15 +93,40 @@ const (
 	// outputs, serializes its state onto Reply, and exits cleanly. Source
 	// HAUs have no inputs and snapshot immediately.
 	CmdMigrateSnap
+	// CmdRescaleOut replaces one logical output port's edge set during a
+	// split or merge of the downstream HAU. Like CmdMigrateOut, every OLD
+	// edge of the port gets its pending batch flushed followed by a
+	// migration token (so each old downstream incarnation can drain); then
+	// the port switches to the new edge set with the given key router.
+	// Sequence counters for the new edges start at zero.
+	CmdRescaleOut
+	// CmdAddInPort attaches a new input edge to a running HAU — the
+	// downstream side of a rescale, where replica output edges replace the
+	// old incarnation's edge. The attach is deferred until every existing
+	// input port whose upstream is named in AfterFrom has closed,
+	// preserving per-source FIFO order across the old->new handover.
+	CmdAddInPort
 )
 
 // Command is a controller-to-HAU control message.
 type Command struct {
 	Kind  CommandKind
 	Epoch uint64
-	Port  int           // CmdSwapOutEdge, CmdReplayOutput, CmdMigrateOut
-	Edge  *Edge         // CmdSwapOutEdge, CmdMigrateOut
+	Port  int           // CmdSwapOutEdge, CmdReplayOutput, CmdMigrateOut, CmdRescaleOut
+	Edge  *Edge         // CmdSwapOutEdge, CmdMigrateOut, CmdAddInPort
 	Reply chan<- []byte // CmdMigrateSnap; must be buffered (capacity >= 1)
+
+	Edges     []*Edge // CmdRescaleOut: new edge set, replica order
+	Router    KeyRouter
+	Logical   int      // CmdAddInPort: logical input port for the operator
+	AfterFrom []string // CmdAddInPort: attach only after these upstreams close
+}
+
+// KeyRouter resolves a tuple key to the index of the output edge owning it
+// — the partition.Router installed on a routed port. nil means the port has
+// a single edge.
+type KeyRouter interface {
+	Route(key string) int
 }
 
 // CheckpointBreakdown decomposes one individual checkpoint the way Fig. 14

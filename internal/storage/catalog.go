@@ -44,6 +44,31 @@ func NewCatalog(store *Store, members []string) *Catalog {
 // Store returns the backing store.
 func (c *Catalog) Store() *Store { return c.store }
 
+// SetMembers replaces the member set — a rescale changes which incarnations
+// an application checkpoint must contain. Epochs already marked complete
+// stay complete; in-flight epochs are judged against the new membership, so
+// callers must quiesce checkpointing across the change.
+func (c *Catalog) SetMembers(members []string) {
+	m := make(map[string]bool, len(members))
+	for _, id := range members {
+		m[id] = true
+	}
+	c.mu.Lock()
+	c.members = m
+	c.mu.Unlock()
+}
+
+// Members returns the current member ids (unordered).
+func (c *Catalog) Members() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.members))
+	for id := range c.members {
+		out = append(out, id)
+	}
+	return out
+}
+
 func stateKey(epoch uint64, hau string) string {
 	return fmt.Sprintf("ckpt/%016d/%s", epoch, hau)
 }
