@@ -1,11 +1,20 @@
 GO ?= go
 
-.PHONY: ci vet build test race chaos chaos-migrate chaos-rescale bench-smoke bench-hotpath placement-bench bench-checkpoint bench-checkpoint-smoke rescale-bench rescale-bench-smoke
+.PHONY: ci vet lint build test race chaos chaos-migrate chaos-rescale chaos-unaligned bench-smoke bench-hotpath placement-bench bench-checkpoint bench-checkpoint-smoke bench-unaligned bench-unaligned-smoke rescale-bench rescale-bench-smoke
 
-ci: vet build race bench-smoke bench-checkpoint-smoke chaos chaos-migrate chaos-rescale rescale-bench-smoke
+ci: vet lint build race bench-smoke bench-checkpoint-smoke chaos chaos-migrate chaos-rescale chaos-unaligned rescale-bench-smoke
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck when available; the CI workflow installs it, local runs
+# without it just skip (no network installs from the build).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -41,10 +50,26 @@ chaos-migrate:
 chaos-rescale:
 	$(GO) test -race -count=1 -run 'TestChaosRescaleSmoke|TestChaosMidSplitKill' ./internal/chaos/
 
+# Unaligned-checkpoint chaos: both oracles across 3 seeds per topology
+# under the race detector with -scheme unaligned, including rounds forced
+# onto the mid-channel-log kill instant.
+chaos-unaligned:
+	$(GO) test -race -count=1 -run 'TestChaosUnaligned' ./internal/chaos/
+
 # Checkpoint datapath benchmark: freeze window vs dirty fraction, delta
 # writes, parallel restore. Regenerates BENCH_checkpoint.json.
 bench-checkpoint:
 	$(GO) run ./cmd/msckpt
+
+# Alignment ablation: aligned vs unaligned checkpoint completion across
+# fan-in x backpressure x edge-batch. Regenerates BENCH_unaligned.json.
+bench-unaligned:
+	$(GO) run ./cmd/msalign
+
+# Reduced-grid msalign under the race detector: exercises the unaligned
+# capture/seal/restore datapath without paying for the full sweep.
+bench-unaligned-smoke:
+	$(GO) run -race ./cmd/msalign -quick -out -
 
 # One-iteration smoke of the checkpoint suite under the race detector:
 # exercises incremental capture, the off-loop writer and the restore

@@ -28,6 +28,7 @@ import (
 func main() {
 	var (
 		topology = flag.String("topology", "chain", `topology: "chain", "fanin", "fanout" or "all"`)
+		scheme   = flag.String("scheme", "ms-src+ap", "checkpoint scheme: ms-src | ms-src+ap | ms-src+ap+aa | ms-src+ap+unaligned")
 		seed     = flag.Int64("seed", 1, "schedule seed; a failing seed replays the identical schedule")
 		rounds   = flag.Int("rounds", 3, "kill/recover rounds per run")
 		nodes    = flag.Int("nodes", 4, "worker nodes")
@@ -42,6 +43,11 @@ func main() {
 	)
 	flag.Parse()
 
+	sch, err := chaos.ParseScheme(*scheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	var tops []chaos.Topology
 	if *topology == "all" {
 		tops = chaos.Topologies
@@ -57,6 +63,7 @@ func main() {
 	for _, top := range tops {
 		cfg := chaos.Config{
 			Topology:     top,
+			Scheme:       sch,
 			Seed:         *seed,
 			Rounds:       *rounds,
 			Nodes:        *nodes,

@@ -34,6 +34,8 @@ func parseScheme(s string) (spe.Scheme, error) {
 		return spe.MSSrcAP, nil
 	case "ms-src+ap+aa", "aa":
 		return spe.MSSrcAPAA, nil
+	case "ms-src+ap+unaligned", "unaligned":
+		return spe.MSSrcAPU, nil
 	default:
 		return 0, fmt.Errorf("unknown scheme %q", s)
 	}
@@ -42,7 +44,7 @@ func parseScheme(s string) (spe.Scheme, error) {
 func main() {
 	var (
 		app       = flag.String("app", "TMI", "TMI | BCP | SignalGuru")
-		scheme    = flag.String("scheme", "ms-src+ap", "baseline | ms-src | ms-src+ap | ms-src+ap+aa")
+		scheme    = flag.String("scheme", "ms-src+ap", "baseline | ms-src | ms-src+ap | ms-src+ap+aa | ms-src+ap+unaligned")
 		duration  = flag.Duration("duration", 5*time.Second, "how long to run")
 		period    = flag.Duration("ckpt-period", time.Second, "checkpoint period (0 = off)")
 		nodes     = flag.Int("nodes", 8, "worker nodes")
@@ -160,6 +162,19 @@ func main() {
 	fmt.Printf("\nsummary: app=%s scheme=%s tuples=%d (%.1f/ms) meanLat=%s p99=%s checkpoints=%d\n",
 		sum.App, sum.Scheme, sum.Tuples, sum.TuplesPerMS,
 		sum.MeanLatency.Truncate(time.Microsecond), sum.P99.Truncate(time.Microsecond), sum.Checkpoints)
+	if cks := col.Checkpoints(); len(cks) > 0 {
+		var stallMax, stallSum time.Duration
+		var chBytes int64
+		for _, ck := range cks {
+			stallSum += ck.AlignStallSum
+			if ck.AlignStallMax > stallMax {
+				stallMax = ck.AlignStallMax
+			}
+			chBytes += ck.ChannelBytes
+		}
+		fmt.Printf("alignment: stallMax=%s stallSum=%s channelBytes=%d across %d checkpoints\n",
+			stallMax.Truncate(time.Microsecond), stallSum.Truncate(time.Microsecond), chBytes, len(cks))
+	}
 	for _, rs := range col.Rescales() {
 		fmt.Printf("rescale %s %d->%d bytes=%d drain=%s reshard=%s restore=%s downtime=%s\n",
 			rs.HAU, rs.From, rs.To, rs.Bytes, rs.Drain.Truncate(time.Microsecond),

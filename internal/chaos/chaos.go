@@ -69,6 +69,13 @@ const (
 	// breaking exactly-once. Only in the sample space when Config.Rescales
 	// is set, so default schedules replay unchanged.
 	KillMidRescale InjectionPoint = "mid-rescale"
+	// KillMidChannelLog triggers a checkpoint and kills while unaligned
+	// captures are logging in-flight channel tuples — the store may hold
+	// epochs whose blobs carry half the application's channel sections.
+	// Recovery must either use a complete unaligned epoch (replaying its
+	// channel state) or fall back past it. Only in the sample space when
+	// the scheme is unaligned, so default schedules replay unchanged.
+	KillMidChannelLog InjectionPoint = "mid-channel-log"
 )
 
 // injectionPoints is the default sample space for a round's injection
@@ -83,7 +90,7 @@ type Config struct {
 	Seed        int64
 	Rounds      int             // kill/recover rounds; default 3
 	Nodes       int             // worker nodes; default 4
-	Scheme      spe.Scheme      // zero value selects spe.MSSrcAP; the harness drives whole-application recovery, so only the token-aligned schemes apply
+	Scheme      spe.Scheme      // zero value selects spe.MSSrcAP; the harness drives whole-application recovery, so only the token schemes (aligned or unaligned) apply
 	Profile     failure.Profile // default failure.GoogleDC()
 	SourceLimit uint64          // ids per source; default 60
 	Logf        func(format string, args ...any)
@@ -134,6 +141,9 @@ func (c *Config) defaults() {
 		if c.Rescales {
 			c.Points = append(c.Points, KillMidRescale)
 		}
+		if c.Scheme.Unaligned() {
+			c.Points = append(c.Points, KillMidChannelLog)
+		}
 	}
 }
 
@@ -162,6 +172,7 @@ type Result struct {
 	Seed       int64
 	Nodes      int
 	Rounds     int // planned rounds (RoundList may be shorter if a round errored)
+	Scheme     spe.Scheme
 	Placement  string
 	Migrations bool
 	Rescales   bool
@@ -203,6 +214,9 @@ func (r *Result) Err() error {
 func (r *Result) ReplayCommand() string {
 	cmd := fmt.Sprintf("go run ./cmd/mschaos -topology %s -seed %d -rounds %d -nodes %d",
 		r.Topology, r.Seed, r.Rounds, r.Nodes)
+	if r.Scheme != spe.MSSrcAP && r.Scheme != 0 {
+		cmd += fmt.Sprintf(" -scheme %s", SchemeFlag(r.Scheme))
+	}
 	if r.Placement != "" {
 		cmd += fmt.Sprintf(" -placement %s", r.Placement)
 	}
@@ -213,6 +227,41 @@ func (r *Result) ReplayCommand() string {
 		cmd += " -rescale"
 	}
 	return cmd
+}
+
+// SchemeFlag returns the CLI spelling of a scheme, as accepted by the
+// msrun/mschaos -scheme flags and by ParseScheme.
+func SchemeFlag(s spe.Scheme) string {
+	switch s {
+	case spe.Baseline:
+		return "baseline"
+	case spe.MSSrc:
+		return "ms-src"
+	case spe.MSSrcAPAA:
+		return "ms-src+ap+aa"
+	case spe.MSSrcAPU:
+		return "ms-src+ap+unaligned"
+	default:
+		return "ms-src+ap"
+	}
+}
+
+// ParseScheme resolves a -scheme flag value (long or short spelling).
+func ParseScheme(s string) (spe.Scheme, error) {
+	switch strings.ToLower(s) {
+	case "baseline":
+		return spe.Baseline, nil
+	case "ms-src", "src":
+		return spe.MSSrc, nil
+	case "ms-src+ap", "ap", "":
+		return spe.MSSrcAP, nil
+	case "ms-src+ap+aa", "aa":
+		return spe.MSSrcAPAA, nil
+	case "ms-src+ap+unaligned", "unaligned":
+		return spe.MSSrcAPU, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q", s)
+	}
 }
 
 // String summarizes the run for logs.
@@ -255,7 +304,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	cfg.defaults()
 	res := &Result{
 		Topology: cfg.Topology, Seed: cfg.Seed, Nodes: cfg.Nodes, Rounds: cfg.Rounds,
-		Placement: cfg.Placement, Migrations: cfg.Migrations, Rescales: cfg.Rescales,
+		Scheme: cfg.Scheme, Placement: cfg.Placement, Migrations: cfg.Migrations, Rescales: cfg.Rescales,
 	}
 	var pol placement.Policy
 	if cfg.Placement != "" {
@@ -447,6 +496,14 @@ func (h *harness) round(ctx context.Context, burst []int) (Round, error) {
 	case KillMidAlignment:
 		h.cl.Controller().TriggerCheckpoint()
 		time.Sleep(time.Duration(h.rng.Intn(1500)) * time.Microsecond)
+		h.cl.KillNodes(burst)
+	case KillMidChannelLog:
+		// Unaligned captures snapshot on the first token and then log
+		// in-flight channel tuples until every port seals. The capture
+		// window is short, so kill quickly after the trigger — some HAUs
+		// will have persisted blobs with channel sections, others nothing.
+		h.cl.Controller().TriggerCheckpoint()
+		time.Sleep(time.Duration(h.rng.Intn(600)) * time.Microsecond)
 		h.cl.KillNodes(burst)
 	case KillMidDrain:
 		ep := h.cl.Controller().TriggerCheckpoint()

@@ -215,10 +215,10 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.Now = func() int64 { return time.Now().UnixNano() }
 	}
 	cl := &Cluster{
-		cfg:        cfg,
-		shared:     storage.NewStore(cfg.SharedSpec),
-		haus:       make(map[string]*spe.HAU),
-		hauNode:    make(map[string]int),
+		cfg:         cfg,
+		shared:      storage.NewStore(cfg.SharedSpec),
+		haus:        make(map[string]*spe.HAU),
+		hauNode:     make(map[string]int),
 		cancels:     make(map[string]context.CancelFunc),
 		inEdges:     make(map[string][][]*spe.Edge),
 		sourceLogs:  make(map[string]*buffer.SourceLog),
@@ -567,18 +567,21 @@ type checkpointRecorder struct {
 
 func (r checkpointRecorder) CheckpointDone(hau string, epoch uint64, b spe.CheckpointBreakdown) {
 	r.m.RecordCheckpoint(metrics.Checkpoint{
-		At:         r.now(),
-		HAU:        hau,
-		Epoch:      epoch,
-		TokenWait:  b.TokenWait,
-		Serialize:  b.Serialize,
-		Flatten:    b.Flatten,
-		Diff:       b.Diff,
-		DiskIO:     b.DiskIO,
-		StateBytes: b.StateBytes,
-		DirtyBytes: b.DirtyBytes,
-		Delta:      b.Delta,
-		Async:      b.Async,
+		At:            r.now(),
+		HAU:           hau,
+		Epoch:         epoch,
+		TokenWait:     b.TokenWait,
+		Serialize:     b.Serialize,
+		Flatten:       b.Flatten,
+		Diff:          b.Diff,
+		DiskIO:        b.DiskIO,
+		AlignStallMax: b.AlignStallMax,
+		AlignStallSum: b.AlignStallSum,
+		StateBytes:    b.StateBytes,
+		DirtyBytes:    b.DirtyBytes,
+		ChannelBytes:  b.ChannelBytes,
+		Delta:         b.Delta,
+		Async:         b.Async,
 	})
 }
 

@@ -57,6 +57,15 @@ const (
 // permanent sequence gap. The Baseline scheme is rejected — its
 // preserver/ack plumbing assumes single-HAU restart recovery, not
 // token-barrier handoff.
+//
+// Under the unaligned scheme the quiesce epoch completes without stalling
+// (captures log channel tuples instead of pausing ports), and any capture
+// still armed when the migration token or CmdMigrateSnap reaches an HAU is
+// force-sealed (aborted) by the HAU itself — its remaining tokens may never
+// arrive once upstreams divert, and the drain must not wait on a
+// never-pausing port. A capture that can never seal (e.g. its epoch was
+// abandoned by a failure) instead surfaces as a quiesce timeout with
+// ErrMigrationAborted.
 func (cl *Cluster) MigrateHAU(ctx context.Context, id string, dest int) (MigrationStats, error) {
 	var stats MigrationStats
 	if cl.cfg.Scheme == spe.Baseline {

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"meteorshower/internal/spe"
+)
+
+// TestMigrateRacesUnalignedCheckpoint is the satellite regression for the
+// token-barrier drain path: a checkpoint is triggered under the unaligned
+// scheme and a live migration of the fan-in HAU starts immediately, so the
+// migration's quiesce, divert tokens and CmdMigrateSnap race whatever
+// capture state the HAUs are in. The move must complete (force-sealing any
+// in-flight capture) without deadlocking, and delivery stays exactly-once.
+func TestMigrateRacesUnalignedCheckpoint(t *testing.T) {
+	cl, _, reg := newTestCluster(t, spe.MSSrcAPU, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := cl.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "initial deliveries", func() bool {
+		s := reg.get()
+		return s != nil && s.Delivered() > 50
+	})
+
+	from := cl.NodeOf("M")
+	dest := (from + 1) % 4
+	// Fire the checkpoint and start the migration in the same breath: the
+	// unaligned captures it arms are mid-flight when the migration's
+	// quiesce and divert begin.
+	cl.Controller().TriggerCheckpoint()
+	stats, err := cl.MigrateHAU(ctx, "M", dest)
+	if err != nil {
+		t.Fatalf("MigrateHAU racing unaligned checkpoint: %v", err)
+	}
+	if cl.NodeOf("M") != dest {
+		t.Fatalf("M on node %d after migration, want %d", cl.NodeOf("M"), dest)
+	}
+	if stats.MovedBytes <= 0 {
+		t.Fatalf("moved %d bytes, want > 0", stats.MovedBytes)
+	}
+
+	after := reg.get().Delivered()
+	waitFor(t, 5*time.Second, "post-migration deliveries", func() bool {
+		return reg.get().Delivered() > after+50
+	})
+	cl.StopAll()
+	if rep := reg.get().Report(); rep.TotalViolations() != 0 {
+		t.Fatalf("exactly-once violated across migration racing a capture:\n%s", rep)
+	}
+}
+
+// TestMigrateAbortsOnWedgedUnalignedCapture pins the reject path: an HAU
+// wedged in a capture that can never seal (a bogus far-future epoch, so no
+// upstream token or controller command will ever resolve it) must make the
+// migration fail with the typed ErrMigrationAborted when its quiesce epoch
+// cannot complete — bounded by the quiesce timeout, never a deadlock.
+func TestMigrateAbortsOnWedgedUnalignedCapture(t *testing.T) {
+	cl, _, reg := newTestCluster(t, spe.MSSrcAPU, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := cl.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer cl.StopAll()
+	waitFor(t, 5*time.Second, "initial deliveries", func() bool {
+		s := reg.get()
+		return s != nil && s.Delivered() > 0
+	})
+
+	cl.mu.Lock()
+	m := cl.haus["M"]
+	cl.mu.Unlock()
+	m.Command(spe.Command{Kind: spe.CmdCheckpoint, Epoch: 1 << 20})
+
+	start := time.Now()
+	_, err := cl.MigrateHAU(ctx, "M", (cl.NodeOf("M")+1)%3)
+	if !errors.Is(err, ErrMigrationAborted) {
+		t.Fatalf("migration with wedged capture: err = %v, want ErrMigrationAborted", err)
+	}
+	if elapsed := time.Since(start); elapsed > migrateQuiesceTimeout+3*time.Second {
+		t.Fatalf("abort took %v, not bounded by the quiesce timeout", elapsed)
+	}
+}

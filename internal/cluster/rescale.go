@@ -221,6 +221,14 @@ func (cl *Cluster) MergeHAU(ctx context.Context, id string) (RescaleStats, error
 //  6. Commit: a forced checkpoint epoch records the new membership, and
 //     the geometry journal maps that epoch to the new replica set so a
 //     later recovery rebuilds the matching topology.
+//
+// Under the unaligned scheme the quiesce and commit epochs complete without
+// stalling (captures log channel tuples instead of pausing ports), and any
+// capture still armed when a CmdRescaleOut migration token reaches an HAU is
+// force-sealed (aborted) by the HAU itself — once upstreams divert to fresh
+// edges the capture's remaining tokens may never arrive, and the drain must
+// not wait on a never-pausing port. A capture that can never seal surfaces
+// as a quiesce timeout wrapped in ErrRescaleAborted.
 func (cl *Cluster) RescaleHAU(ctx context.Context, id string, n int) (RescaleStats, error) {
 	var stats RescaleStats
 	if cl.cfg.Scheme == spe.Baseline {

@@ -38,18 +38,26 @@ type Recovery struct {
 // checkpoint writer. DirtyBytes is how much state the capture re-encoded —
 // the quantity the freeze window scales with.
 type Checkpoint struct {
-	At         int64 // ns timestamp of checkpoint durability
-	HAU        string
-	Epoch      uint64
-	TokenWait  time.Duration
-	Serialize  time.Duration // on-loop freeze window
-	Flatten    time.Duration // writer-side section flatten
-	Diff       time.Duration // writer-side block-delta computation
-	DiskIO     time.Duration
-	StateBytes int64 // bytes written (delta when Delta is set)
-	DirtyBytes int64 // bytes re-encoded during capture
-	Delta      bool
-	Async      bool
+	At        int64 // ns timestamp of checkpoint durability
+	HAU       string
+	Epoch     uint64
+	TokenWait time.Duration
+	Serialize time.Duration // on-loop freeze window
+	Flatten   time.Duration // writer-side section flatten
+	Diff      time.Duration // writer-side block-delta computation
+	DiskIO    time.Duration
+	// AlignStallMax/AlignStallSum are how long tokened input ports sat
+	// paused waiting for the slowest token (max over ports / sum across
+	// ports); zero for baseline and unaligned checkpoints.
+	AlignStallMax time.Duration
+	AlignStallSum time.Duration
+	StateBytes    int64 // bytes written (delta when Delta is set)
+	DirtyBytes    int64 // bytes re-encoded during capture
+	// ChannelBytes is the encoded size of in-flight channel tuples logged
+	// into the blob — the snapshot-size overhead of unaligned checkpoints.
+	ChannelBytes int64
+	Delta        bool
+	Async        bool
 }
 
 // Migration is one live HAU migration: the token-aligned drain of the old
@@ -71,10 +79,10 @@ type Migration struct {
 // the restore/start of the new incarnations. Downtime is the window where no
 // incarnation of the operator was processing.
 type Rescale struct {
-	At       int64  // ns timestamp of rescale completion
-	HAU      string // base operator id
-	From, To int    // replica counts before and after
-	Bytes    int64  // state bytes re-sharded
+	At       int64         // ns timestamp of rescale completion
+	HAU      string        // base operator id
+	From, To int           // replica counts before and after
+	Bytes    int64         // state bytes re-sharded
 	Drain    time.Duration // divert commands sent -> last state blob handed over
 	Reshard  time.Duration // slot carve/merge of the drained blobs
 	Restore  time.Duration // new incarnations built, restored and started

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"meteorshower/internal/operator"
+	"meteorshower/internal/storage"
 	"meteorshower/internal/tuple"
 )
 
@@ -17,7 +18,10 @@ import (
 //	section payloads, concatenated
 //
 // Section 0 is the runtime section; sections 1..N are the operators'
-// snapshots in chain order. The runtime section layout (shared with v1):
+// snapshots in chain order. An unaligned checkpoint appends one optional
+// channel-state section (storage.ChannelSectionMagic) after the operator
+// sections, carrying the in-flight tuples logged while ports sealed.
+// The runtime section layout (shared with v1):
 //
 //	u32 nOut;  nOut  x u64 outSeq
 //	u32 nIn;   nIn   x u64 lastInSeq
@@ -173,7 +177,12 @@ func (h *HAU) RestoreFrom(blob []byte) error {
 	if err != nil {
 		return err
 	}
-	if int(nSec) != len(h.cfg.Ops)+1 {
+	// len(Ops)+1 sections is the plain layout; an unaligned checkpoint
+	// appends one channel-state section after the operator sections,
+	// giving len(Ops)+2. Whether the extra section really is channel state
+	// is checked by its magic below.
+	hasChannel := int(nSec) == len(h.cfg.Ops)+2
+	if int(nSec) != len(h.cfg.Ops)+1 && !hasChannel {
 		return fmt.Errorf("spe: snapshot has %d sections, HAU wants %d", nSec, len(h.cfg.Ops)+1)
 	}
 	lens := make([]int, nSec)
@@ -206,6 +215,51 @@ func (h *HAU) RestoreFrom(blob []byte) error {
 		if err := op.Restore(sec); err != nil {
 			return fmt.Errorf("spe: restore of %s: %w", op.Name(), err)
 		}
+	}
+	if hasChannel {
+		sec := r.buf[off : off+lens[nSec-1]]
+		if !storage.IsChannelSection(sec) {
+			return fmt.Errorf("spe: snapshot has %d sections but the extra one is not channel state", nSec)
+		}
+		if err := h.restoreChannelState(sec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// restoreChannelState decodes an unaligned checkpoint's channel-state
+// section and queues the logged tuples for replay through the input path
+// when the loop starts. Streams are matched to input ports by upstream
+// label, consuming one port per stream so duplicate labels pair up in
+// order.
+func (h *HAU) restoreChannelState(sec []byte) error {
+	streams, err := storage.DecodeChannelSection(sec)
+	if err != nil {
+		return fmt.Errorf("spe: %s channel state: %w", h.cfg.ID, err)
+	}
+	h.chanReplay = h.chanReplay[:0]
+	used := make([]bool, len(h.inFrom))
+	for _, s := range streams {
+		port := -1
+		for i, f := range h.inFrom {
+			if !used[i] && f == s.Label {
+				port = i
+				break
+			}
+		}
+		if port < 0 {
+			return fmt.Errorf("spe: %s channel state for unknown upstream %q", h.cfg.ID, s.Label)
+		}
+		used[port] = true
+		ts, err := tuple.UnmarshalMany(s.Payload)
+		if err != nil {
+			return fmt.Errorf("spe: %s channel state for %q: %w", h.cfg.ID, s.Label, err)
+		}
+		if len(ts) != s.Count {
+			return fmt.Errorf("spe: %s channel state for %q: %d tuples, header says %d", h.cfg.ID, s.Label, len(ts), s.Count)
+		}
+		h.chanReplay = append(h.chanReplay, chanReplayStream{port: port, ts: ts})
 	}
 	return nil
 }

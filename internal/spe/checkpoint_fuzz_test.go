@@ -4,8 +4,22 @@ import (
 	"encoding/binary"
 	"testing"
 
+	"meteorshower/internal/storage"
 	"meteorshower/internal/tuple"
 )
+
+// appendBlobSection rewrites a v2 blob's section table with one extra
+// section appended — the shape an unaligned checkpoint's channel-state
+// section arrives in.
+func appendBlobSection(blob, sec []byte) []byte {
+	nSec := binary.LittleEndian.Uint32(blob[4:])
+	out := append([]byte(nil), blob[:4]...)
+	out = binary.LittleEndian.AppendUint32(out, nSec+1)
+	out = append(out, blob[8:8+4*nSec]...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(sec)))
+	out = append(out, blob[8+4*nSec:]...)
+	return append(out, sec...)
+}
 
 // FuzzRestoreFrom throws arbitrary bytes at the snapshot decoder. Both
 // layout versions share the entry point, so the corpus seeds one valid blob
@@ -41,6 +55,23 @@ func FuzzRestoreFrom(f *testing.F) {
 	bad := append([]byte(nil), v2[:8]...)
 	binary.LittleEndian.PutUint32(bad[4:], 1<<30)
 	f.Add(bad)
+	// Unaligned-checkpoint layout: a non-empty channel-state section after
+	// the operator sections, labelled with the real upstream.
+	chTup := tuple.New(7, "S", "k", []byte("ch"))
+	chTup.Seq = 4
+	chSec := storage.EncodeChannelSection([]storage.ChannelStream{
+		{Label: "a", Count: 1, Payload: tuple.MarshalMany([]*tuple.Tuple{chTup})},
+	})
+	f.Add(appendBlobSection(v2, chSec))
+	// Extra section without the channel magic: must be rejected, not read
+	// as an operator's.
+	f.Add(appendBlobSection(v2, []byte("not a channel section")))
+	// Channel section with a label no input port matches.
+	f.Add(appendBlobSection(v2, storage.EncodeChannelSection([]storage.ChannelStream{
+		{Label: "nobody", Count: 0, Payload: nil},
+	})))
+	// Channel magic but garbage behind it.
+	f.Add(appendBlobSection(v2, binary.LittleEndian.AppendUint32(nil, storage.ChannelSectionMagic)))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h := mkRestorable(t)

@@ -275,20 +275,76 @@ type retainedTuple struct {
 	t    *tuple.Tuple
 }
 
+// chanReplayStream is one restored port's logged channel tuples.
+type chanReplayStream struct {
+	port int
+	ts   []*tuple.Tuple
+}
+
 // inItem is one delivery on the merged input channel: a batch from one
-// input edge, or a nil batch marking that the edge closed.
+// input edge, a seal handoff from a forwarder's unaligned-capture drain,
+// or (both nil) a marker that the edge closed.
 type inItem struct {
 	port  int
 	batch *tuple.Batch
+	seal  *portSeal
+}
+
+// portSeal is a forwarder's capture handoff: the data tuples it overtook
+// on its edge between entering drain mode and finding the capture token.
+// It travels on the merged channel, so FIFO order guarantees the loop has
+// already seen (and logged) every tuple the forwarder sent before the
+// drain began.
+type portSeal struct {
+	epoch uint64
+	log   []*tuple.Tuple
 }
 
 // portGate pauses one input edge's forwarder during token alignment, so
 // an aligning port exerts backpressure on exactly that edge while the
-// other inputs keep flowing.
+// other inputs keep flowing. For unaligned checkpoints it is never
+// paused; instead it carries the capture arming state that switches the
+// forwarder into drain mode.
 type portGate struct {
 	mu     sync.Mutex
 	paused bool
 	resume chan struct{}
+
+	// Unaligned-capture arming: non-zero capEpoch tells the forwarder to
+	// enter drain mode for that epoch; capCancel is closed when the port
+	// seals (or the capture aborts) so a drain waiting for a token that
+	// already passed in-band exits immediately.
+	capEpoch  uint64
+	capCancel chan struct{}
+}
+
+// arm switches the gate into unaligned-capture mode for epoch.
+func (g *portGate) arm(epoch uint64) {
+	g.mu.Lock()
+	if g.capCancel != nil {
+		close(g.capCancel)
+	}
+	g.capEpoch = epoch
+	g.capCancel = make(chan struct{})
+	g.mu.Unlock()
+}
+
+// disarm ends capture mode, waking any forwarder drain. Idempotent.
+func (g *portGate) disarm() {
+	g.mu.Lock()
+	if g.capCancel != nil {
+		close(g.capCancel)
+		g.capCancel = nil
+	}
+	g.capEpoch = 0
+	g.mu.Unlock()
+}
+
+// capture returns the current arming state.
+func (g *portGate) capture() (uint64, chan struct{}) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.capEpoch, g.capCancel
 }
 
 func (g *portGate) pause() {
@@ -380,6 +436,27 @@ type HAU struct {
 	pendingOut  []retainedTuple // in-flight tuples restored from a snapshot
 	srcReplay   []*tuple.Tuple  // preserved source tuples to re-send first
 
+	// Unaligned-capture state (MSSrcAPU), loop-owned. While armed, the
+	// operator snapshot for ucapEpoch is already taken (ucapSnap) and the
+	// loop is collecting in-flight channel tuples on not-yet-sealed ports
+	// into ucapLog; data batches are parked until the capture finalizes.
+	ucapArmed     bool
+	ucapEpoch     uint64
+	ucapStart     int64
+	ucapSerialize time.Duration
+	ucapSnap      *stateSnapshot
+	ucapSealed    []bool
+	ucapLog       *buffer.ChannelCapture
+
+	// pausedAt records, per input port, when alignment paused its
+	// forwarder — the per-port alignment stall reported in the breakdown.
+	pausedAt []int64
+
+	// chanReplay holds channel tuples decoded from an unaligned
+	// checkpoint's channel-state section, replayed through the input path
+	// before normal processing resumes.
+	chanReplay []chanReplayStream
+
 	// Live-migration drain state: armed by CmdMigrateSnap, completed when
 	// every input has delivered its migration token (or closed).
 	migArmed bool
@@ -461,6 +538,7 @@ func New(cfg Config) (*HAU, error) {
 		lastSrcID:   make([]map[string]uint64, len(cfg.In)),
 		aligned:     make([]bool, len(cfg.In)),
 		closed:      make([]bool, len(cfg.In)),
+		pausedAt:    make([]int64, len(cfg.In)),
 		migSeen:     make([]bool, len(cfg.In)),
 		parked:      make([][]*tuple.Batch, len(cfg.In)),
 		presPending: make([][]*tuple.Tuple, len(physOut)),
@@ -585,9 +663,17 @@ func (h *HAU) now() int64 { return h.cfg.Now() }
 // concurrent port attach (which appends to the slice) cannot race with a
 // running forwarder.
 func (h *HAU) forward(ctx context.Context, port int, g *portGate, e *Edge) {
+	var capDone uint64
 	for {
 		if !g.wait(ctx) {
 			return
+		}
+		if ep, cancel := g.capture(); ep != 0 && ep > capDone {
+			capDone = ep
+			if !h.drainCapture(ctx, port, e, ep, cancel) {
+				return
+			}
+			continue
 		}
 		b, ok := e.Recv(ctx)
 		if !ok {
@@ -607,6 +693,96 @@ func (h *HAU) forward(ctx context.Context, port int, g *portGate, e *Edge) {
 			return
 		}
 	}
+}
+
+// sendItem delivers one item to the merged channel.
+func (h *HAU) sendItem(ctx context.Context, it inItem) bool {
+	select {
+	case h.merged <- it:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// drainCapture is the forwarder's unaligned-capture mode: instead of
+// handing batches to the (possibly backlogged) merged channel one send at
+// a time, it pulls the edge dry hunting for the capture token — the
+// barrier overtakes the queued backlog — logging the data tuples it
+// passes. Everything pulled is buffered and forwarded afterwards in FIFO
+// order, so live processing sees the exact same stream; the log is handed
+// to the loop as the port's seal and becomes part of the checkpoint's
+// channel-state section. The drain exits without sealing when the capture
+// is cancelled (the loop saw the token in-band first, or the capture
+// aborted), when a migration token or a newer epoch's token preempts it,
+// or when the edge closes. Returns false when the forwarder should exit.
+func (h *HAU) drainCapture(ctx context.Context, port int, e *Edge, epoch uint64, cancel chan struct{}) bool {
+	var logged []*tuple.Tuple
+	var buffered []*tuple.Batch
+	sealed := false
+	hangup := false
+	preempted := false
+scan:
+	for {
+		var b *tuple.Batch
+		var ok bool
+		select {
+		case b, ok = <-e.C:
+			if !ok {
+				hangup = true
+				break scan
+			}
+			e.queued.Add(-int64(len(b.Tuples)))
+		case <-cancel:
+			preempted = true
+			break scan
+		case <-ctx.Done():
+			for _, t := range logged {
+				tuple.Put(t)
+			}
+			return false
+		}
+		for _, t := range b.Tuples {
+			if t.IsToken() {
+				tok := t.Tok
+				switch {
+				case tok.Kind == tuple.OneHop && tok.Epoch == epoch:
+					sealed = true
+				case tok.Kind == tuple.Migration || tok.Epoch > epoch:
+					// A migration drain or a newer epoch preempts this
+					// capture; the loop sees the token in-band and aborts.
+					preempted = true
+				}
+			} else if !sealed && !preempted {
+				logged = append(logged, t.Retain())
+			}
+		}
+		buffered = append(buffered, b)
+		if sealed || preempted {
+			break
+		}
+	}
+	if sealed || hangup {
+		// Seal first: FIFO order means the loop stops logging this port
+		// before it processes the buffered (post-token) tuples below.
+		if !h.sendItem(ctx, inItem{port: port, seal: &portSeal{epoch: epoch, log: logged}}) {
+			return false
+		}
+	} else {
+		for _, t := range logged {
+			tuple.Put(t)
+		}
+	}
+	for _, b := range buffered {
+		if !h.sendItem(ctx, inItem{port: port, batch: b}) {
+			return false
+		}
+	}
+	if hangup {
+		h.sendItem(ctx, inItem{port: port})
+		return false
+	}
+	return true
 }
 
 func (h *HAU) run(ctx context.Context) {
@@ -664,6 +840,26 @@ func (h *HAU) run(ctx context.Context) {
 		}
 	}
 	h.srcReplay = nil
+	// Channel tuples logged by an unaligned checkpoint replay through the
+	// normal input path (dedup, operator chain, output stamping) before
+	// the forwarders start — exactly as if the edges delivered them first.
+	// Their sequence numbers pick up right after the snapshot's lastInSeq,
+	// and upstream re-emissions resume right after them.
+	for _, cs := range h.chanReplay {
+		var n uint64
+		for _, t := range cs.ts {
+			if h.failed.Load() {
+				break
+			}
+			if h.onData(cs.port, t) {
+				n++
+			}
+		}
+		if n > 0 {
+			h.processed.Add(n)
+		}
+	}
+	h.chanReplay = nil
 	if !h.flushAll(ctx) {
 		return
 	}
@@ -692,12 +888,19 @@ func (h *HAU) run(ctx context.Context) {
 			h.onTick(ctx)
 		case it := <-h.merged:
 			switch {
+			case it.seal != nil:
+				h.onSeal(it.port, it.seal)
 			case it.batch == nil:
 				// Upstream hung up; treat as quiescence, keep serving
 				// other inputs.
 				h.closed[it.port] = true
+				if h.ucapArmed {
+					h.sealUnalignedPort(it.port)
+				}
 				h.checkAlignment(ctx)
 				h.tryAttach(ctx)
+			case h.ucapArmed:
+				h.captureScan(ctx, it.port, it.batch)
 			case h.aligned[it.port]:
 				// Stream boundary: hold in-flight batches until the
 				// remaining tokens arrive.
@@ -711,7 +914,7 @@ func (h *HAU) run(ctx context.Context) {
 		// has been processed, nothing is parked, and no checkpoint is in
 		// flight. Hand the state to the cluster and exit; the destination
 		// incarnation resumes from the blob.
-		if h.migArmed && !h.awaiting && h.migrationAligned() {
+		if h.migArmed && !h.awaiting && !h.ucapArmed && h.migrationAligned() {
 			if h.flushAll(ctx) {
 				blob, err := h.encodeState()
 				if err != nil {
@@ -789,6 +992,11 @@ func (h *HAU) processBatch(ctx context.Context, port int, b *tuple.Batch) {
 // port reopens, before any newer merged deliveries — preserving per-edge
 // FIFO order across an alignment pause.
 func (h *HAU) drainParked(ctx context.Context) {
+	if h.ucapArmed {
+		// Parked batches wait out the capture: processing them now would
+		// delay the remaining ports' seals behind per-tuple work.
+		return
+	}
 	for {
 		progressed := false
 		for p := range h.parked {
@@ -885,6 +1093,11 @@ func (h *HAU) onCommand(ctx context.Context, cmd Command) {
 		}
 	case CmdMigrateSnap:
 		if cmd.Reply != nil {
+			// Force-seal an in-flight unaligned capture: its remaining
+			// tokens may never arrive once upstreams divert, and the drain
+			// must not deadlock behind it. The epoch simply never
+			// completes; recovery uses an older complete one.
+			h.abortUnaligned()
 			h.migArmed = true
 			h.migReply = cmd.Reply
 		}
@@ -1001,6 +1214,10 @@ func (h *HAU) afterClosed(after []string) bool {
 // port starts unaligned and unclosed with zeroed dedup state — its edge is
 // fresh, so sequence numbers restart at 1.
 func (h *HAU) attachInPort(ctx context.Context, e *Edge, logical int) {
+	// The per-capture port arrays are sized at arming; a geometry change
+	// mid-capture aborts it (the rescale coordinator quiesces checkpoints,
+	// so this is a defensive guard, not a normal path).
+	h.abortUnaligned()
 	port := len(h.in)
 	h.in = append(h.in, e)
 	h.inFrom = append(h.inFrom, e.From)
@@ -1009,6 +1226,7 @@ func (h *HAU) attachInPort(ctx context.Context, e *Edge, logical int) {
 	h.lastSrcID = append(h.lastSrcID, make(map[string]uint64))
 	h.aligned = append(h.aligned, false)
 	h.closed = append(h.closed, false)
+	h.pausedAt = append(h.pausedAt, 0)
 	h.migSeen = append(h.migSeen, false)
 	h.parked = append(h.parked, nil)
 	g := &portGate{}
@@ -1022,7 +1240,8 @@ func (h *HAU) onCheckpointCmd(ctx context.Context, epoch uint64) {
 		// upstream handled its command first); in that case the HAU is
 		// already armed — or already done — and a second arming would
 		// broadcast duplicate tokens and stall the next epoch.
-		if epoch <= h.doneEpoch || (h.awaiting && epoch <= h.pendingEp) {
+		if epoch <= h.doneEpoch || (h.awaiting && epoch <= h.pendingEp) ||
+			(h.ucapArmed && epoch <= h.ucapEpoch) {
 			return
 		}
 	}
@@ -1031,7 +1250,7 @@ func (h *HAU) onCheckpointCmd(ctx context.Context, epoch uint64) {
 		// §III-A step 1: checkpoint, then trickle a cascading token.
 		h.alignStart = h.now()
 		h.doneEpoch = epoch
-		h.doCheckpoint(ctx, epoch, 0)
+		h.doCheckpoint(ctx, epoch, 0, 0, 0)
 		h.beginSourceEpoch(epoch)
 		h.broadcastToken(ctx, tuple.Token{Epoch: epoch, Kind: tuple.Cascading, From: h.cfg.ID})
 	case h.cfg.Scheme.OneHopTokens():
@@ -1044,7 +1263,13 @@ func (h *HAU) onCheckpointCmd(ctx context.Context, epoch uint64) {
 			// Sources align trivially.
 			h.alignStart = h.now()
 			h.doneEpoch = epoch
-			h.doCheckpoint(ctx, epoch, 0)
+			h.doCheckpoint(ctx, epoch, 0, 0, 0)
+			return
+		}
+		if h.cfg.Scheme.Unaligned() {
+			// Snapshot immediately and log in-flight channel tuples
+			// instead of pausing forwarders for alignment.
+			h.armUnaligned(ctx, epoch)
 			return
 		}
 		h.awaiting = true
@@ -1104,7 +1329,11 @@ func (h *HAU) onToken(ctx context.Context, port int, tok tuple.Token) {
 	if tok.Kind == tuple.Migration {
 		// Migration tokens carry no epoch; they mark that this input's
 		// upstream has diverted to the new incarnation's edge. Completion
-		// is checked in the run loop once all ports are marked.
+		// is checked in the run loop once all ports are marked. An
+		// in-flight unaligned capture is force-sealed (aborted): its
+		// remaining tokens may never arrive once upstreams divert, and the
+		// migration drain must not wait on a never-pausing port.
+		h.abortUnaligned()
 		if port >= 0 && port < len(h.migSeen) {
 			h.migSeen[port] = true
 		}
@@ -1112,6 +1341,10 @@ func (h *HAU) onToken(ctx context.Context, port int, tok tuple.Token) {
 	}
 	if tok.Epoch <= h.doneEpoch {
 		return // stale duplicate from a late command broadcast
+	}
+	if h.cfg.Scheme.Unaligned() {
+		h.onUnalignedToken(ctx, port, tok)
+		return
 	}
 	if !h.awaiting {
 		if h.cfg.Scheme.OneHopTokens() {
@@ -1130,6 +1363,7 @@ func (h *HAU) onToken(ctx context.Context, port int, tok tuple.Token) {
 		}
 	}
 	h.aligned[port] = true
+	h.pausedAt[port] = h.now()
 	h.gates[port].pause()
 	h.checkAlignment(ctx)
 }
@@ -1150,7 +1384,19 @@ func (h *HAU) checkAlignment(ctx context.Context) {
 		return // stream boundary: stop reading tokened inputs, keep the rest
 	}
 	// All tokens received: individual checkpoint.
-	tokenWait := time.Duration(h.now() - h.alignStart)
+	now := h.now()
+	tokenWait := time.Duration(now - h.alignStart)
+	var alignMax, alignSum time.Duration
+	for i := range h.aligned {
+		if h.aligned[i] && h.pausedAt[i] > 0 {
+			d := time.Duration(now - h.pausedAt[i])
+			alignSum += d
+			if d > alignMax {
+				alignMax = d
+			}
+		}
+		h.pausedAt[i] = 0
+	}
 	epoch := h.pendingEp
 	h.awaiting = false
 	h.doneEpoch = epoch
@@ -1158,7 +1404,7 @@ func (h *HAU) checkAlignment(ctx context.Context) {
 		h.aligned[i] = false // erase tokens, reopen inputs
 		h.gates[i].unpause()
 	}
-	h.doCheckpoint(ctx, epoch, tokenWait)
+	h.doCheckpoint(ctx, epoch, tokenWait, alignMax, alignSum)
 	if h.cfg.Scheme == MSSrc {
 		h.broadcastToken(ctx, tuple.Token{Epoch: epoch, Kind: tuple.Cascading, From: h.cfg.ID})
 	}
@@ -1239,7 +1485,7 @@ func (h *HAU) stateSize() int64 {
 func (h *HAU) baselineCheckpoint(ctx context.Context) {
 	h.localEpoch++
 	h.alignStart = h.now()
-	h.doCheckpoint(ctx, h.localEpoch, 0)
+	h.doCheckpoint(ctx, h.localEpoch, 0, 0, 0)
 	// Ack upstream neighbours so they trim their preservation buffers.
 	if h.cfg.AckUpstream != nil {
 		for port := range h.in {
@@ -1281,7 +1527,7 @@ type ckptWriterState struct {
 // for asynchronous schemes, or inline for synchronous ones. A failed
 // operator snapshot aborts the individual checkpoint — nothing is saved, so
 // the catalog can never mark a torn epoch complete.
-func (h *HAU) doCheckpoint(ctx context.Context, epoch uint64, tokenWait time.Duration) {
+func (h *HAU) doCheckpoint(ctx context.Context, epoch uint64, tokenWait, alignMax, alignSum time.Duration) {
 	if h.cfg.Catalog == nil {
 		h.releaseRetained()
 		return
@@ -1294,16 +1540,23 @@ func (h *HAU) doCheckpoint(ctx context.Context, epoch uint64, tokenWait time.Dur
 		h.setErr(err)
 		return
 	}
-	job := ckptJob{
+	h.submitCheckpoint(ckptJob{
 		epoch: epoch,
 		snap:  snap,
 		b: CheckpointBreakdown{
-			TokenWait:  tokenWait,
-			Serialize:  serialize,
-			DirtyBytes: snap.dirty,
-			Async:      h.cfg.Scheme.Asynchronous(),
+			TokenWait:     tokenWait,
+			Serialize:     serialize,
+			AlignStallMax: alignMax,
+			AlignStallSum: alignSum,
+			DirtyBytes:    snap.dirty,
+			Async:         h.cfg.Scheme.Asynchronous(),
 		},
-	}
+	})
+}
+
+// submitCheckpoint hands a captured snapshot to the writer — inline for
+// synchronous schemes, the per-HAU writer goroutine otherwise.
+func (h *HAU) submitCheckpoint(job ckptJob) {
 	if !job.b.Async {
 		h.writeCheckpoint(job)
 		return
@@ -1315,6 +1568,189 @@ func (h *HAU) doCheckpoint(ctx context.Context, epoch uint64, tokenWait time.Dur
 	}
 	h.writerWG.Add(1)
 	h.ckptCh <- job // bounded: backpressure if the writer falls 16 epochs behind
+}
+
+// armUnaligned starts an unaligned capture for epoch: the operator state
+// is snapshotted immediately (the token-broadcast instant is the cut) and
+// every open input port switches to channel logging until its token
+// lands. Forwarders are never paused — their gates are armed so they
+// overtake the edge backlog hunting for the token.
+func (h *HAU) armUnaligned(ctx context.Context, epoch uint64) {
+	if h.migArmed {
+		return // migration drain in progress: no new captures
+	}
+	if h.ucapArmed {
+		// A newer epoch preempts an unfinished capture; the old epoch can
+		// never complete application-wide once the controller moved on.
+		h.abortUnaligned()
+	}
+	h.ucapArmed = true
+	h.ucapEpoch = epoch
+	h.ucapStart = h.now()
+	h.ucapSerialize = 0
+	h.ucapSealed = make([]bool, len(h.in))
+	h.ucapLog = buffer.NewChannelCapture(epoch, len(h.in))
+	if h.cfg.Catalog != nil {
+		serStart := time.Now()
+		snap, err := h.captureState()
+		h.ucapSerialize = time.Since(serStart)
+		if err != nil {
+			h.setErr(err)
+			h.abortUnaligned()
+			return
+		}
+		h.ucapSnap = snap
+	}
+	for port := range h.in {
+		if h.closed[port] {
+			h.ucapSealed[port] = true
+		} else {
+			h.gates[port].arm(epoch)
+		}
+	}
+	h.maybeFinalizeUnaligned()
+}
+
+// onUnalignedToken handles a checkpoint token under the unaligned scheme:
+// the first token of a new epoch arms the capture (broadcasting our own
+// token downstream, exactly as the controller command would), and a token
+// for the armed epoch seals its port — no pausing, no alignment stall.
+func (h *HAU) onUnalignedToken(ctx context.Context, port int, tok tuple.Token) {
+	if !h.ucapArmed || tok.Epoch > h.ucapEpoch {
+		h.broadcastToken(ctx, tuple.Token{Epoch: tok.Epoch, Kind: tuple.OneHop, From: h.cfg.ID})
+		h.armUnaligned(ctx, tok.Epoch)
+	}
+	if h.ucapArmed && tok.Epoch == h.ucapEpoch {
+		h.sealUnalignedPort(port)
+	}
+}
+
+// sealUnalignedPort marks one port's channel log complete: its token has
+// landed (or its edge closed), so no further tuples on it belong to the
+// capture's cut.
+func (h *HAU) sealUnalignedPort(port int) {
+	if !h.ucapArmed || port < 0 || port >= len(h.ucapSealed) || h.ucapSealed[port] {
+		return
+	}
+	h.ucapSealed[port] = true
+	h.gates[port].disarm()
+	h.maybeFinalizeUnaligned()
+}
+
+// onSeal absorbs a forwarder's drain log: the tuples it overtook on the
+// edge between the capture arming and the token. Stale seals (the capture
+// aborted or was preempted) release their log.
+func (h *HAU) onSeal(port int, s *portSeal) {
+	if !h.ucapArmed || s.epoch != h.ucapEpoch || port < 0 || port >= len(h.ucapSealed) || h.ucapSealed[port] {
+		for _, t := range s.log {
+			tuple.Put(t)
+		}
+		return
+	}
+	h.ucapLog.Absorb(port, s.log)
+	h.sealUnalignedPort(port)
+}
+
+// captureScan handles one merged data batch while a capture is armed:
+// data tuples on unsealed ports are logged into the capture, every data
+// tuple is parked for processing after the capture finalizes (so the loop
+// reaches the remaining seals without paying per-tuple processing cost in
+// the capture window), and tokens are handled inline — they steer the
+// capture itself.
+func (h *HAU) captureScan(ctx context.Context, port int, b *tuple.Batch) {
+	var park *tuple.Batch
+	for i := 0; i < len(b.Tuples); i++ {
+		t := b.Tuples[i]
+		if t.IsToken() {
+			tok := *t.Tok
+			b.Tuples[i] = nil
+			tuple.Put(t)
+			h.onToken(ctx, port, tok)
+			continue
+		}
+		if h.ucapArmed && port < len(h.ucapSealed) && !h.ucapSealed[port] {
+			h.ucapLog.Log(port, t)
+		}
+		if park == nil {
+			park = tuple.GetBatch()
+		}
+		park.Tuples = append(park.Tuples, t)
+	}
+	if park != nil {
+		h.parked[port] = append(h.parked[port], park)
+	}
+	tuple.PutBatch(b)
+}
+
+// maybeFinalizeUnaligned completes the capture once every port is sealed
+// or closed: the per-port channel logs are encoded into a channel-state
+// section appended to the snapshot taken at arming, and the whole blob
+// goes to the off-loop writer.
+func (h *HAU) maybeFinalizeUnaligned() {
+	if !h.ucapArmed {
+		return
+	}
+	for port := range h.ucapSealed {
+		if !h.ucapSealed[port] && !h.closed[port] {
+			return
+		}
+	}
+	epoch := h.ucapEpoch
+	tokenWait := time.Duration(h.now() - h.ucapStart)
+	snap := h.ucapSnap
+	log := h.ucapLog
+	h.ucapArmed = false
+	h.ucapSnap = nil
+	h.ucapLog = nil
+	h.doneEpoch = epoch
+	for _, g := range h.gates {
+		g.disarm()
+	}
+	if snap == nil {
+		log.Release()
+		return // no catalog: capture protocol ran, nothing to persist
+	}
+	var chBytes int64
+	if streams := log.Streams(h.inFrom); len(streams) > 0 {
+		sec := storage.EncodeChannelSection(streams)
+		chBytes = int64(len(sec))
+		snap.sections = append(snap.sections, newSection(sec))
+	}
+	log.Release()
+	h.submitCheckpoint(ckptJob{
+		epoch: epoch,
+		snap:  snap,
+		b: CheckpointBreakdown{
+			TokenWait:    tokenWait,
+			Serialize:    h.ucapSerialize,
+			DirtyBytes:   snap.dirty,
+			ChannelBytes: chBytes,
+			Async:        true,
+		},
+	})
+}
+
+// abortUnaligned force-seals an in-flight capture without persisting it:
+// the snapshot sections and channel logs are released and the forwarder
+// drains cancelled. The epoch never completes in the catalog, so recovery
+// simply uses an older complete one — safe because every logged tuple was
+// also processed live. Idempotent.
+func (h *HAU) abortUnaligned() {
+	if !h.ucapArmed {
+		return
+	}
+	h.ucapArmed = false
+	if h.ucapSnap != nil {
+		h.ucapSnap.release()
+		h.ucapSnap = nil
+	}
+	if h.ucapLog != nil {
+		h.ucapLog.Release()
+		h.ucapLog = nil
+	}
+	for _, g := range h.gates {
+		g.disarm()
+	}
 }
 
 // writerLoop drains checkpoint jobs in FIFO order until the HAU loop closes

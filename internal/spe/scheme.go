@@ -29,6 +29,14 @@ const (
 	// HAU behaves exactly as MSSrcAP; the difference is in when the
 	// controller fires checkpoints, plus turning-point reporting.
 	MSSrcAPAA
+	// MSSrcAPU replaces token alignment with unaligned checkpoints (after
+	// "Lightweight Asynchronous Snapshots for Distributed Dataflows"): on
+	// the first token (or the controller command) the HAU snapshots its
+	// state immediately and, instead of pausing tokened ports, logs the
+	// tuples still in flight on not-yet-tokened input edges into a
+	// channel-state section of the blob, sealing each port when its token
+	// lands. Restore replays the logged tuples before resuming.
+	MSSrcAPU
 )
 
 func (s Scheme) String() string {
@@ -41,6 +49,8 @@ func (s Scheme) String() string {
 		return "MS-src+ap"
 	case MSSrcAPAA:
 		return "MS-src+ap+aa"
+	case MSSrcAPU:
+		return "MS-src+ap+unaligned"
 	default:
 		return "unknown-scheme"
 	}
@@ -51,13 +61,17 @@ func (s Scheme) UsesTokens() bool { return s != Baseline }
 
 // OneHopTokens reports whether tokens are 1-hop (controller-broadcast)
 // rather than cascading from sources.
-func (s Scheme) OneHopTokens() bool { return s == MSSrcAP || s == MSSrcAPAA }
+func (s Scheme) OneHopTokens() bool { return s == MSSrcAP || s == MSSrcAPAA || s == MSSrcAPU }
 
 // Asynchronous reports whether individual checkpoints overlap processing.
-func (s Scheme) Asynchronous() bool { return s == MSSrcAP || s == MSSrcAPAA }
+func (s Scheme) Asynchronous() bool { return s == MSSrcAP || s == MSSrcAPAA || s == MSSrcAPU }
 
 // ApplicationAware reports whether checkpoint timing tracks state size.
 func (s Scheme) ApplicationAware() bool { return s == MSSrcAPAA }
+
+// Unaligned reports whether the scheme logs in-flight channel tuples
+// instead of stalling on token alignment.
+func (s Scheme) Unaligned() bool { return s == MSSrcAPU }
 
 // CommandKind enumerates controller-to-HAU commands.
 type CommandKind uint8
@@ -137,15 +151,26 @@ type KeyRouter interface {
 // the HAU processes nothing. Flatten and Diff run on the checkpoint writer
 // (off-loop for asynchronous schemes) together with the DiskIO write.
 type CheckpointBreakdown struct {
-	TokenWait  time.Duration // command/first-token arrival -> alignment
-	Serialize  time.Duration // on-loop state capture — the freeze window
-	Flatten    time.Duration // writer-side section flatten into one blob
-	Diff       time.Duration // writer-side block-delta computation
-	DiskIO     time.Duration // stable-storage write
-	StateBytes int64         // bytes written (delta when Delta is set)
-	DirtyBytes int64         // bytes re-encoded during the capture
-	Delta      bool          // written as a delta against the previous epoch
-	Async      bool
+	TokenWait time.Duration // command/first-token arrival -> alignment
+	Serialize time.Duration // on-loop state capture — the freeze window
+	Flatten   time.Duration // writer-side section flatten into one blob
+	Diff      time.Duration // writer-side block-delta computation
+	DiskIO    time.Duration // stable-storage write
+	// AlignStallMax/AlignStallSum measure how long tokened input ports
+	// had their forwarders paused waiting for the slowest token (max over
+	// ports, and sum across ports). Always zero for unaligned and
+	// baseline checkpoints — that is the stall the unaligned scheme
+	// eliminates.
+	AlignStallMax time.Duration
+	AlignStallSum time.Duration
+	StateBytes    int64 // bytes written (delta when Delta is set)
+	DirtyBytes    int64 // bytes re-encoded during the capture
+	// ChannelBytes counts the in-flight channel tuples logged into the
+	// blob's channel-state section (unaligned checkpoints only) — the
+	// snapshot-size price paid for eliminating the alignment stall.
+	ChannelBytes int64
+	Delta        bool // written as a delta against the previous epoch
+	Async        bool
 }
 
 // Total returns the checkpoint's end-to-end duration: the freeze window

@@ -1,0 +1,77 @@
+package storage
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestChannelSectionRoundTrip(t *testing.T) {
+	streams := []ChannelStream{
+		{Label: "u0", Count: 3, Payload: []byte("abcdef")},
+		{Label: "some-long-upstream-name", Count: 1, Payload: []byte{0x00, 0xff}},
+		{Label: "u2", Count: 0, Payload: nil},
+	}
+	sec := EncodeChannelSection(streams)
+	if !IsChannelSection(sec) {
+		t.Fatal("encoded section does not carry the channel magic")
+	}
+	got, err := DecodeChannelSection(sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(streams) {
+		t.Fatalf("decoded %d streams, want %d", len(got), len(streams))
+	}
+	for i, s := range streams {
+		if got[i].Label != s.Label || got[i].Count != s.Count || string(got[i].Payload) != string(s.Payload) {
+			t.Fatalf("stream %d = %+v, want %+v", i, got[i], s)
+		}
+	}
+}
+
+func TestChannelSectionEmpty(t *testing.T) {
+	sec := EncodeChannelSection(nil)
+	got, err := DecodeChannelSection(sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("decoded %d streams from empty section", len(got))
+	}
+}
+
+// TestChannelSectionRejectsForeignBytes is the v1-blob guard: anything not
+// carrying the channel magic — a v1 snapshot, an operator section, garbage
+// — must be rejected with an error that names the magic mismatch.
+func TestChannelSectionRejectsForeignBytes(t *testing.T) {
+	v1ish := binary.LittleEndian.AppendUint32(nil, 0x4d535631) // "MSV1"
+	v1ish = append(v1ish, make([]byte, 32)...)
+	for _, b := range [][]byte{v1ish, []byte("operator state"), make([]byte, 16)} {
+		_, err := DecodeChannelSection(b)
+		if err == nil {
+			t.Fatalf("accepted %d foreign bytes", len(b))
+		}
+		if !strings.Contains(err.Error(), "magic") {
+			t.Fatalf("rejection does not name the magic mismatch: %v", err)
+		}
+	}
+	if _, err := DecodeChannelSection([]byte{1, 2}); err == nil {
+		t.Fatal("accepted a 2-byte section")
+	}
+}
+
+func TestChannelSectionTruncations(t *testing.T) {
+	sec := EncodeChannelSection([]ChannelStream{
+		{Label: "u0", Count: 2, Payload: []byte("payload")},
+		{Label: "u1", Count: 1, Payload: []byte("x")},
+	})
+	for cut := 0; cut < len(sec); cut++ {
+		if _, err := DecodeChannelSection(sec[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(sec))
+		}
+	}
+	if _, err := DecodeChannelSection(append(sec, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
