@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet lint build test race chaos chaos-migrate chaos-rescale chaos-unaligned bench-smoke bench-hotpath placement-bench bench-checkpoint bench-checkpoint-smoke bench-unaligned bench-unaligned-smoke rescale-bench rescale-bench-smoke
+.PHONY: ci vet lint build test race chaos chaos-migrate chaos-rescale chaos-unaligned chaos-elastic bench-smoke bench-hotpath placement-bench bench-checkpoint bench-checkpoint-smoke bench-unaligned bench-unaligned-smoke rescale-bench rescale-bench-smoke elasticity-bench elasticity-bench-smoke
 
-ci: vet lint build race bench-smoke bench-checkpoint-smoke chaos chaos-migrate chaos-rescale chaos-unaligned rescale-bench-smoke
+ci: vet lint build race bench-smoke bench-checkpoint-smoke chaos chaos-migrate chaos-rescale chaos-unaligned chaos-elastic rescale-bench-smoke elasticity-bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -55,6 +55,23 @@ chaos-rescale:
 # onto the mid-channel-log kill instant.
 chaos-unaligned:
 	$(GO) test -race -count=1 -run 'TestChaosUnaligned' ./internal/chaos/
+
+# Fleet-elasticity chaos: clean grow/drain cycles between kill rounds plus
+# the mid-scale-in and scale-in-destination kill instants, 3 seeds per
+# topology under the race detector.
+chaos-elastic:
+	$(GO) test -race -count=1 -run 'TestChaosElastic|TestChaosMidScaleIn|TestChaosScaleInDest' ./internal/chaos/
+
+# Fleet-elasticity benchmark: flash-crowd and diurnal workloads, elastic
+# fleet vs a static two-node baseline, with the exactly-once oracle checked
+# across every scale action. Regenerates BENCH_elasticity.json.
+elasticity-bench:
+	$(GO) run ./cmd/mselastic
+
+# Shortened mselastic phases printed to stdout: exercises the full
+# grow/shrink loop and its acceptance checks without the full phase grid.
+elasticity-bench-smoke:
+	$(GO) run ./cmd/mselastic -quick -out -
 
 # Checkpoint datapath benchmark: freeze window vs dirty fraction, delta
 # writes, parallel restore. Regenerates BENCH_checkpoint.json.

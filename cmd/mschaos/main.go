@@ -10,6 +10,7 @@
 //	                                      # rack-spread placement + live-migration chaos
 //	mschaos -seed 42 -placement rackspread -rescale
 //	                                      # re-partition chaos: live splits/merges + mid-rescale kills
+//	mschaos -seed 42 -elastic             # elasticity chaos: grow/drain cycles + mid-scale-in kills
 //
 // A failing run exits non-zero and prints the exact command that replays
 // its schedule.
@@ -40,6 +41,7 @@ func main() {
 		npr     = flag.Int("nodes-per-rack", 0, "failure-domain geometry (0 = one rack)")
 		migrate = flag.Bool("migrate", false, "enable live-migration chaos, including the mid-migration kill instant")
 		rescale = flag.Bool("rescale", false, "enable re-partition chaos: clean splits/merges plus the mid-rescale kill instant")
+		elastic = flag.Bool("elastic", false, "enable fleet-elasticity chaos: clean grow/drain cycles plus the mid-scale-in and scale-in-destination kill instants")
 	)
 	flag.Parse()
 
@@ -73,6 +75,7 @@ func main() {
 			NodesPerRack: *npr,
 			Migrations:   *migrate,
 			Rescales:     *rescale,
+			Elastic:      *elastic,
 		}
 		if *verbose {
 			cfg.Logf = func(format string, args ...any) {

@@ -1,0 +1,425 @@
+// Command mselastic benchmarks metrics-driven fleet elasticity and
+// regenerates BENCH_elasticity.json. Two workload scenarios run on the
+// same four-pipeline application, each once with the elasticity engine on
+// (fleet 2..5) and once on a static two-node fleet:
+//
+//   - flash crowd: steady base load, then a 10x rate spike, then back.
+//     The fleet must grow during the spike, hold p99 below the static
+//     fleet's, and drain back down afterwards — with the sink's
+//     exactly-once oracle clean across every migration.
+//   - diurnal: a sine-modulated rate over two periods. The fleet should
+//     track the curve, growing near the peaks and shrinking in the
+//     troughs.
+//
+// Each run records a fleet/rate timeline, the executed scale events, and
+// latency over the scenario's high-load window.
+//
+//	mselastic                 # full run, writes BENCH_elasticity.json
+//	mselastic -out -          # print JSON to stdout instead
+//	mselastic -quick          # shorter phases (CI smoke)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"meteorshower/internal/cluster"
+	"meteorshower/internal/elastic"
+	"meteorshower/internal/graph"
+	"meteorshower/internal/metrics"
+	"meteorshower/internal/operator"
+	"meteorshower/internal/placement"
+	"meteorshower/internal/spe"
+	"meteorshower/internal/storage"
+)
+
+const (
+	pipelines     = 4                     // S_i -> M_i -> K fan-in width
+	perTupleDelay = 60 * time.Microsecond // modelled service time per tuple per receiving stage
+	minNodes      = 2
+	maxNodes      = 5
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_elasticity.json", `output path; "-" prints to stdout`)
+		quick = flag.Bool("quick", false, "shorter phases (CI smoke)")
+	)
+	flag.Parse()
+
+	doc := map[string]any{
+		"benchmark": "elasticity",
+		"environment": map[string]string{
+			"go":     runtime.Version(),
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+		},
+		"regenerate": "go run ./cmd/mselastic",
+	}
+
+	scenarios := []scenario{flashCrowd(*quick), diurnal(*quick)}
+	failed := false
+	for _, sc := range scenarios {
+		fmt.Fprintf(os.Stderr, "== %s ==\n", sc.name)
+		cmp, err := runComparison(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mselastic: %s: %v\n", sc.name, err)
+			os.Exit(1)
+		}
+		doc[sc.name] = cmp
+		for _, p := range cmp.check(sc, *quick) {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %s\n", sc.name, p)
+			failed = true
+		}
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mselastic: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mselastic: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// scenario shapes the offered load: rate is tuples/ms per source as a
+// function of elapsed time, and [measFrom, measTo] is the high-load window
+// the latency comparison is scored over.
+type scenario struct {
+	name     string
+	total    time.Duration
+	measFrom time.Duration
+	measTo   time.Duration
+	rate     func(elapsed time.Duration) float64
+}
+
+// flashCrowd holds a light base rate, spikes 10x, and drops back. The
+// measurement window is the tail of the spike: the static fleet's backlog
+// has built up by then, while the elastic fleet has had time to grow.
+func flashCrowd(quick bool) scenario {
+	const base = 0.5
+	warm, crowd, tail := 800*time.Millisecond, 1500*time.Millisecond, 1900*time.Millisecond
+	if quick {
+		warm, crowd, tail = 500*time.Millisecond, 1000*time.Millisecond, 700*time.Millisecond
+	}
+	crowdEnd := warm + crowd
+	return scenario{
+		name:     "flash_crowd",
+		total:    crowdEnd + tail,
+		measFrom: warm + crowd/2,
+		measTo:   crowdEnd,
+		rate: func(elapsed time.Duration) float64 {
+			if elapsed >= warm && elapsed < crowdEnd {
+				return base * 10
+			}
+			return base
+		},
+	}
+}
+
+// diurnal modulates the rate with a sine over two periods; the measurement
+// window brackets the first peak.
+func diurnal(quick bool) scenario {
+	// The sine peak (base * 1.9 per source) must exceed two nodes' service
+	// capacity, or the static baseline never falls behind and the
+	// comparison is just migration jitter.
+	const base = 3.0
+	period := 2400 * time.Millisecond
+	if quick {
+		period = 1600 * time.Millisecond
+	}
+	return scenario{
+		name:     "diurnal",
+		total:    2 * period,
+		measFrom: period / 8,
+		measTo:   period / 2,
+		rate: func(elapsed time.Duration) float64 {
+			phase := 2 * math.Pi * float64(elapsed) / float64(period)
+			r := base * (1 + 0.9*math.Sin(phase))
+			if r < 0.05 {
+				r = 0.05
+			}
+			return r
+		},
+	}
+}
+
+// timelinePoint is one 50ms sample of the run.
+type timelinePoint struct {
+	TMS       int64   `json:"t_ms"`
+	Fleet     int     `json:"fleet"`
+	RatePerMS float64 `json:"offered_rate_per_source"`
+	Sink      uint64  `json:"sink_tuples"`
+}
+
+type scaleEvent struct {
+	TMS   int64  `json:"t_ms"`
+	Kind  string `json:"kind"`
+	Node  int    `json:"node"`
+	Fleet int    `json:"fleet_after"`
+}
+
+// runResult is one run's record (elastic or static).
+type runResult struct {
+	Timeline    []timelinePoint `json:"timeline"`
+	Events      []scaleEvent    `json:"events,omitempty"`
+	MaxFleet    int             `json:"max_fleet"`
+	FinalFleet  int             `json:"final_fleet"`
+	Delivered   uint64          `json:"delivered"`
+	Violations  uint64          `json:"exactly_once_violations"`
+	CrowdCount  uint64          `json:"window_tuples"`
+	CrowdP99MS  float64         `json:"window_p99_ms"`
+	CrowdMeanMS float64         `json:"window_mean_ms"`
+}
+
+type comparison struct {
+	Elastic runResult `json:"elastic"`
+	Static  runResult `json:"static"`
+	P99Gain float64   `json:"p99_speedup_vs_static"`
+}
+
+// check returns the acceptance violations of one scenario comparison.
+// The flash crowd is the latency experiment: its measurement window must
+// show elastic p99 strictly below the static fleet's, and (outside quick
+// mode, whose shortened tail is too brief for the scale-in cooldowns) the
+// fleet must have drained back down by the end. The diurnal scenario is
+// the tracking experiment: the fleet must oscillate with the sine — both
+// scale directions executed — while p99 is reported, not gated; a trailing
+// trigger cannot beat a ramp it has not seen yet in every window.
+func (c comparison) check(sc scenario, quick bool) []string {
+	var probs []string
+	if c.Elastic.Violations != 0 || c.Static.Violations != 0 {
+		probs = append(probs, fmt.Sprintf("exactly-once violated (elastic %d, static %d)",
+			c.Elastic.Violations, c.Static.Violations))
+	}
+	if c.Elastic.MaxFleet <= minNodes {
+		probs = append(probs, "fleet never grew under load")
+	}
+	switch sc.name {
+	case "flash_crowd":
+		// The latency comparison only gates full runs: quick mode's
+		// measurement window is a few hundred milliseconds, where host
+		// scheduling noise can outweigh the real backlog difference.
+		if !quick && c.Elastic.CrowdP99MS >= c.Static.CrowdP99MS {
+			probs = append(probs, fmt.Sprintf("elastic crowd p99 %.3fms not better than static %.3fms",
+				c.Elastic.CrowdP99MS, c.Static.CrowdP99MS))
+		}
+		if !quick && c.Elastic.FinalFleet >= c.Elastic.MaxFleet {
+			probs = append(probs, fmt.Sprintf("fleet never shrank back (max %d, final %d)",
+				c.Elastic.MaxFleet, c.Elastic.FinalFleet))
+		}
+	case "diurnal":
+		outs, ins := 0, 0
+		for _, ev := range c.Elastic.Events {
+			switch ev.Kind {
+			case elastic.ScaleOut.String():
+				outs++
+			case elastic.ScaleIn.String():
+				ins++
+			}
+		}
+		if outs < 2 || ins < 1 {
+			probs = append(probs, fmt.Sprintf("fleet did not track the sine (%d scale-outs, %d scale-ins)", outs, ins))
+		}
+	}
+	return probs
+}
+
+func runComparison(sc scenario) (comparison, error) {
+	el, err := runScenario(sc, true)
+	if err != nil {
+		return comparison{}, fmt.Errorf("elastic run: %w", err)
+	}
+	st, err := runScenario(sc, false)
+	if err != nil {
+		return comparison{}, fmt.Errorf("static run: %w", err)
+	}
+	cmp := comparison{Elastic: el, Static: st}
+	if el.CrowdP99MS > 0 {
+		cmp.P99Gain = st.CrowdP99MS / el.CrowdP99MS
+	}
+	fmt.Fprintf(os.Stderr,
+		"  elastic: fleet %d..%d, window p99 %8.3f ms (%d tuples), violations %d\n",
+		minNodes, el.MaxFleet, el.CrowdP99MS, el.CrowdCount, el.Violations)
+	fmt.Fprintf(os.Stderr,
+		"  static:  fleet %d,    window p99 %8.3f ms (%d tuples), violations %d\n",
+		minNodes, st.CrowdP99MS, st.CrowdCount, st.Violations)
+	return cmp, nil
+}
+
+// sinkBox tracks the live sink instance (migration re-instantiates it).
+type sinkBox struct {
+	mu   sync.Mutex
+	sink *operator.Sink
+}
+
+func (b *sinkBox) set(s *operator.Sink) {
+	b.mu.Lock()
+	b.sink = s
+	b.mu.Unlock()
+}
+
+func (b *sinkBox) get() *operator.Sink {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sink
+}
+
+// benchApp builds S0..S3 -> M0..M3 -> K with rate-driven sources. startNS
+// anchors the scenario clock: sources offer sc.rate(now - start).
+func benchApp(sc scenario, startNS *atomic.Int64, col *metrics.Collector, box *sinkBox) cluster.AppSpec {
+	g := graph.New()
+	for i := 0; i < pipelines; i++ {
+		s, m := fmt.Sprintf("S%d", i), fmt.Sprintf("M%d", i)
+		g.MustAddNode(s)
+		g.MustAddNode(m)
+		g.MustAddEdge(s, m)
+	}
+	g.MustAddNode("K")
+	for i := 0; i < pipelines; i++ {
+		g.MustAddEdge(fmt.Sprintf("M%d", i), "K")
+	}
+	return cluster.AppSpec{
+		Name:  "elasticbench",
+		Graph: g,
+		NewOperators: func(id string) []operator.Operator {
+			switch id[0] {
+			case 'S':
+				idx := int64(id[1] - '0')
+				src := operator.NewRateSource(id, 0, idx+1, operator.BytePayload(32, 8))
+				src.CatchUpCap = 512
+				src.RateFn = func(nowNS int64) float64 {
+					start := startNS.Load()
+					if start == 0 {
+						return 0
+					}
+					return sc.rate(time.Duration(nowNS - start))
+				}
+				return []operator.Operator{src}
+			case 'M':
+				return []operator.Operator{operator.NewPassthrough(id, 1)}
+			default:
+				s := operator.NewSink("K", col)
+				s.TrackIdentity = true
+				box.set(s)
+				return []operator.Operator{s}
+			}
+		},
+	}
+}
+
+func fastDisk() storage.DiskSpec {
+	return storage.DiskSpec{BandwidthBps: 1 << 30, Latency: time.Microsecond, TimeScale: 0}
+}
+
+func runScenario(sc scenario, elasticOn bool) (runResult, error) {
+	var res runResult
+	col := metrics.NewCollector()
+	box := &sinkBox{}
+	var startNS atomic.Int64
+
+	cfg := cluster.Config{
+		App:            benchApp(sc, &startNS, col, box),
+		Scheme:         spe.MSSrcAP,
+		Nodes:          minNodes,
+		NodeCores:      1,
+		PerTupleDelay:  perTupleDelay,
+		Placement:      placement.LoadAware{},
+		RebalanceEvery: 50 * time.Millisecond,
+		LocalDiskSpec:  fastDisk(),
+		SharedSpec:     fastDisk(),
+		EdgeBuffer:     8 << 10,
+		TickEvery:      time.Millisecond,
+		CkptPeriod:     100 * time.Millisecond,
+		PreserveMemCap: 1 << 20,
+		SourceFlush:    256,
+		Seed:           1,
+		Metrics:        col,
+	}
+	if elasticOn {
+		cfg.ElasticEvery = 50 * time.Millisecond
+		cfg.Elastic = elastic.Config{
+			// 2-of-3 at a 50ms tick reacts ~150ms into an overload; the
+			// longer CooldownIn keeps a dip on a rising ramp from handing
+			// a node back that the next peak needs.
+			Window: 3, Violations: 2,
+			ScaleOutUtil: 0.7, ScaleInUtil: 0.15, ScaleOutQueue: 400,
+			CooldownOut: 200 * time.Millisecond, CooldownIn: 400 * time.Millisecond,
+			MinNodes: minNodes, MaxNodes: maxNodes,
+		}
+	}
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		return res, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := cl.Start(ctx); err != nil {
+		return res, err
+	}
+	defer cl.StopAll()
+	cl.StartController(ctx)
+
+	start := time.Now()
+	startNS.Store(start.UnixNano())
+	res.MaxFleet = cl.FleetSize()
+	for elapsed := time.Duration(0); elapsed < sc.total; elapsed = time.Since(start) {
+		time.Sleep(50 * time.Millisecond)
+		fleet := cl.FleetSize()
+		if fleet > res.MaxFleet {
+			res.MaxFleet = fleet
+		}
+		res.Timeline = append(res.Timeline, timelinePoint{
+			TMS:       time.Since(start).Milliseconds(),
+			Fleet:     fleet,
+			RatePerMS: sc.rate(time.Since(start)),
+			Sink:      col.Count(),
+		})
+	}
+	res.FinalFleet = cl.FleetSize()
+	cl.StopAll()
+
+	if elasticOn {
+		for _, ev := range cl.Elastic().Events() {
+			res.Events = append(res.Events, scaleEvent{
+				TMS:   ev.At.Sub(start).Milliseconds(),
+				Kind:  ev.Kind.String(),
+				Node:  ev.Node,
+				Fleet: ev.Fleet,
+			})
+		}
+	}
+	s := box.get()
+	if s == nil {
+		return res, fmt.Errorf("sink never instantiated")
+	}
+	res.Delivered = s.Delivered()
+	res.Violations = s.Report().TotalViolations()
+	ws := col.Window(start.Add(sc.measFrom).UnixNano(), start.Add(sc.measTo).UnixNano())
+	res.CrowdCount = ws.Count
+	res.CrowdP99MS = float64(ws.P99.Microseconds()) / 1000
+	res.CrowdMeanMS = float64(ws.Mean.Microseconds()) / 1000
+	if res.CrowdCount == 0 {
+		return res, fmt.Errorf("no deliveries inside the measurement window")
+	}
+	return res, nil
+}

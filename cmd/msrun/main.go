@@ -19,6 +19,7 @@ import (
 	"meteorshower/internal/apps"
 	"meteorshower/internal/bench"
 	"meteorshower/internal/core"
+	"meteorshower/internal/elastic"
 	"meteorshower/internal/metrics"
 	"meteorshower/internal/placement"
 	"meteorshower/internal/spe"
@@ -61,6 +62,15 @@ func main() {
 		splitAbove  = flag.Int64("split-above", 0, "state-size watermark (bytes) above which a hot operator is split (0 = off)")
 		mergeBelow  = flag.Int64("merge-below", 0, "state-size watermark (bytes) below which a split operator is merged (0 = off)")
 		maxReplicas = flag.Int("max-replicas", 0, "replica cap per split operator (0 = 4)")
+
+		elasticEvery = flag.Duration("elastic-every", 0, "fleet-elasticity tick period (0 = off)")
+		minNodes     = flag.Int("min-nodes", 0, "elastic fleet floor (0 = the starting node count)")
+		maxNodes     = flag.Int("max-nodes", 0, "elastic fleet ceiling (0 = 2x the starting node count)")
+		outUtil      = flag.Float64("scale-out-util", 0.8, "mean CPU utilization above which the fleet grows")
+		inUtil       = flag.Float64("scale-in-util", 0.2, "per-node CPU utilization below which a node may drain")
+		elWindow     = flag.Int("elastic-window", 5, "elasticity trigger window (M of the N-of-M rule)")
+		elViolations = flag.Int("elastic-violations", 3, "violated samples required to act (N of the N-of-M rule)")
+		nodeCores    = flag.Float64("node-cores", 0, "modelled CPU cores per node (0 = no CPU capacity model; elasticity defaults it to 1)")
 	)
 	flag.Parse()
 
@@ -96,6 +106,20 @@ func main() {
 		}
 	}
 
+	// Elasticity needs the CPU capacity model to read utilization, and
+	// sensible fleet bounds around the starting size.
+	if *elasticEvery > 0 {
+		if *nodeCores == 0 {
+			*nodeCores = 1
+		}
+		if *minNodes == 0 {
+			*minNodes = *nodes
+		}
+		if *maxNodes == 0 {
+			*maxNodes = 2 * *nodes
+		}
+	}
+
 	sys, err := core.NewSystem(core.Options{
 		App:                  spec,
 		Scheme:               sch,
@@ -107,13 +131,20 @@ func main() {
 		SplitAbove:           *splitAbove,
 		MergeBelow:           *mergeBelow,
 		AutoscaleMaxReplicas: *maxReplicas,
-		CheckpointPeriod:     *period,
-		TickEvery:            time.Millisecond,
-		SourceFlush:          64 << 10,
-		Seed:                 *seed,
-		DeltaCheckpoint:      *useDelta,
-		ShedWatermark:        *shed,
-		Metrics:              col,
+		ElasticEvery:         *elasticEvery,
+		Elastic: elastic.Config{
+			Window: *elWindow, Violations: *elViolations,
+			ScaleOutUtil: *outUtil, ScaleInUtil: *inUtil,
+			MinNodes: *minNodes, MaxNodes: *maxNodes,
+		},
+		NodeCores:        *nodeCores,
+		CheckpointPeriod: *period,
+		TickEvery:        time.Millisecond,
+		SourceFlush:      64 << 10,
+		Seed:             *seed,
+		DeltaCheckpoint:  *useDelta,
+		ShedWatermark:    *shed,
+		Metrics:          col,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -126,9 +157,10 @@ func main() {
 		os.Exit(1)
 	}
 	defer sys.Stop()
-	// The autoscaler (like scheme-driven checkpointing) runs inside the
-	// controller loop, so enabling it needs the controller running.
-	if *period > 0 || *autoscale > 0 {
+	// The autoscaler and the elasticity engine (like scheme-driven
+	// checkpointing) run inside the controller loop, so enabling either
+	// needs the controller running.
+	if *period > 0 || *autoscale > 0 || *elasticEvery > 0 {
 		sys.StartController(ctx)
 	}
 
@@ -174,6 +206,12 @@ func main() {
 		}
 		fmt.Printf("alignment: stallMax=%s stallSum=%s channelBytes=%d across %d checkpoints\n",
 			stallMax.Truncate(time.Microsecond), stallSum.Truncate(time.Microsecond), chBytes, len(cks))
+	}
+	if *elasticEvery > 0 {
+		for _, ev := range sys.Cluster().Elastic().Events() {
+			fmt.Printf("elastic %s node %d (fleet -> %d)\n", ev.Kind, ev.Node, ev.Fleet)
+		}
+		fmt.Printf("fleet: %d nodes at shutdown\n", sys.Cluster().FleetSize())
 	}
 	for _, rs := range col.Rescales() {
 		fmt.Printf("rescale %s %d->%d bytes=%d drain=%s reshard=%s restore=%s downtime=%s\n",

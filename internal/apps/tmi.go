@@ -19,10 +19,13 @@ type TMIConfig struct {
 	Pairs   int // P and M operators (1:1)
 	Groups  int // G and A operators (1:1)
 
-	RatePerMS       float64 // tuples per simulated ms per source
-	MaxRate         bool    // elastic sources: replay as fast as absorbed
-	Burst           int     // tuples offered per tick when MaxRate
-	RecordPad       int     // CDR bytes beyond the raw position fields
+	RatePerMS float64 // tuples per simulated ms per source
+	// RateFn, when set, overrides RatePerMS with a time-varying rate
+	// (operator.RateSource.RateFn) — diurnal curves, flash crowds.
+	RateFn          func(nowNS int64) float64
+	MaxRate         bool // elastic sources: replay as fast as absorbed
+	Burst           int  // tuples offered per tick when MaxRate
+	RecordPad       int  // CDR bytes beyond the raw position fields
 	PhonesPerSource int
 	Window          time.Duration // the paper's N-minute k-means window, scaled
 	K               int           // clusters (transportation modes)
@@ -127,6 +130,7 @@ func TMI(cfg TMIConfig) cluster.AppSpec {
 					PositionPayload(i, cfg.PhonesPerSource, cfg.RecordPad),
 				)
 				src.MaxRate = cfg.MaxRate
+				src.RateFn = cfg.RateFn
 				if cfg.Burst > 0 {
 					src.CatchUpCap = cfg.Burst
 				}

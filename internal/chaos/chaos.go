@@ -69,6 +69,21 @@ const (
 	// breaking exactly-once. Only in the sample space when Config.Rescales
 	// is set, so default schedules replay unchanged.
 	KillMidRescale InjectionPoint = "mid-rescale"
+	// KillMidScaleIn starts a scale-in drain (the node live-migrates every
+	// hosted HAU off before retiring), then kills the burst plus the
+	// draining node itself while moves are still in flight — the drain must
+	// abort (the node died under it) or have already retired, and the
+	// whole-application recovery must re-place its HAUs exactly once, never
+	// twice. Only in the sample space when Config.Elastic is set, so default
+	// schedules replay unchanged.
+	KillMidScaleIn InjectionPoint = "mid-scale-in"
+	// KillScaleInDest starts a scale-in drain and kills the burst plus the
+	// DESTINATION node of the drain's in-flight migration — the handoff
+	// target vanishes mid-move, so the migration and therefore the drain
+	// must abort without losing or duplicating the HAU. Only in the sample
+	// space when Config.Elastic is set, so default schedules replay
+	// unchanged.
+	KillScaleInDest InjectionPoint = "mid-scale-in-dest"
 	// KillMidChannelLog triggers a checkpoint and kills while unaligned
 	// captures are logging in-flight channel tuples — the store may hold
 	// epochs whose blobs carry half the application's channel sections.
@@ -106,6 +121,10 @@ type Config struct {
 	// merges the topology's keyed operator before its kill or draws the
 	// mid-rescale instant.
 	Rescales bool
+	// Elastic enables fleet-elasticity chaos: each round either performs one
+	// clean grow-then-drain cycle (add a node, scale another one in) before
+	// its kill, or draws one of the mid-scale-in instants.
+	Elastic bool
 	// Points overrides the injection sample space (tests force a single
 	// instant with it). Empty selects the default space.
 	Points []InjectionPoint
@@ -141,6 +160,9 @@ func (c *Config) defaults() {
 		if c.Rescales {
 			c.Points = append(c.Points, KillMidRescale)
 		}
+		if c.Elastic {
+			c.Points = append(c.Points, KillMidScaleIn, KillScaleInDest)
+		}
 		if c.Scheme.Unaligned() {
 			c.Points = append(c.Points, KillMidChannelLog)
 		}
@@ -164,6 +186,11 @@ type Round struct {
 	Rescaled    string // operator split/merged this round; "" if none
 	RescaleTo   int    // replica count the rescale targeted
 	RescaleKill int    // node killed while the rescale was in flight; -1 if none
+
+	Added     int // node added this round (elastic mode); -1 if none
+	Drained   int // node scale-in drained this round; -1 if none
+	DrainKill int // draining node killed while its HAUs were mid-flight; -1 if none
+	DestKill  int // drain-migration destination killed in flight; -1 if none
 }
 
 // Result is a finished chaos run plus both oracle verdicts.
@@ -176,6 +203,7 @@ type Result struct {
 	Placement  string
 	Migrations bool
 	Rescales   bool
+	Elastic    bool
 	RoundList  []Round
 	// Report is the chaos run's terminal sink state; Reference is the
 	// single-threaded replay's.
@@ -225,6 +253,9 @@ func (r *Result) ReplayCommand() string {
 	}
 	if r.Rescales {
 		cmd += " -rescale"
+	}
+	if r.Elastic {
+		cmd += " -elastic"
 	}
 	return cmd
 }
@@ -290,6 +321,22 @@ func (r *Result) String() string {
 			}
 			fmt.Fprintf(&b, "]")
 		}
+		if rd.Added >= 0 || rd.Drained >= 0 {
+			fmt.Fprintf(&b, " [elastic")
+			if rd.Added >= 0 {
+				fmt.Fprintf(&b, " +node %d", rd.Added)
+			}
+			if rd.Drained >= 0 {
+				fmt.Fprintf(&b, " drain node %d", rd.Drained)
+			}
+			if rd.DrainKill >= 0 {
+				fmt.Fprintf(&b, ", drained node killed in flight")
+			}
+			if rd.DestKill >= 0 {
+				fmt.Fprintf(&b, ", dest node %d killed in flight", rd.DestKill)
+			}
+			fmt.Fprintf(&b, "]")
+		}
 		fmt.Fprintf(&b, " -> recovered from epoch %d in %d attempt(s)", rd.RecoveredEpoch, rd.Attempts)
 	}
 	fmt.Fprintf(&b, "\n  sequence oracle: %d violations; state oracle: %d diffs",
@@ -305,6 +352,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		Topology: cfg.Topology, Seed: cfg.Seed, Nodes: cfg.Nodes, Rounds: cfg.Rounds,
 		Scheme: cfg.Scheme, Placement: cfg.Placement, Migrations: cfg.Migrations, Rescales: cfg.Rescales,
+		Elastic: cfg.Elastic,
 	}
 	var pol placement.Policy
 	if cfg.Placement != "" {
@@ -426,6 +474,38 @@ func (h *harness) drawMigration() (id string, dest int) {
 	return id, dest
 }
 
+// drawDrainVictim samples a node eligible for scale-in right now:
+// schedulable, hosting at least one HAU, every hosted incarnation live-
+// migratable, and at least one other schedulable node to receive them.
+// Returns -1 when no node qualifies (the round degrades gracefully).
+func (h *harness) drawDrainVictim() int {
+	var cands []int
+	for i := 0; i < h.cl.NumNodes(); i++ {
+		if h.cl.CanDrain(i) && h.hostsHAU(i) {
+			cands = append(cands, i)
+		}
+	}
+	// Always consume exactly one draw so the rng stream — and with it the
+	// rest of the schedule — stays seed-replayable even when the live
+	// placement (which timing can shift) offers no candidate.
+	r := h.rng.Intn(1 << 30)
+	if len(cands) == 0 {
+		return -1
+	}
+	return cands[r%len(cands)]
+}
+
+// hostsHAU reports whether node idx hosts at least one graph operator, so
+// draining it is a real move and not a trivial retire of an empty node.
+func (h *harness) hostsHAU(idx int) bool {
+	for _, id := range h.ids {
+		if h.cl.NodeOf(id) == idx {
+			return true
+		}
+	}
+	return false
+}
+
 // rescaleTarget picks the replica count the next rescale of id drives
 // toward: split a whole operator to 2, merge a split one back to 1.
 func (h *harness) rescaleTarget(id string) int {
@@ -459,7 +539,10 @@ func (h *harness) ensureCheckpoint(ctx context.Context) error {
 // round injects one burst at a sampled adversarial instant and drives
 // recovery until the application is live again.
 func (h *harness) round(ctx context.Context, burst []int) (Round, error) {
-	rd := Round{Burst: burst, ExtraKill: -1, MigrateKill: -1, RescaleKill: -1}
+	rd := Round{
+		Burst: burst, ExtraKill: -1, MigrateKill: -1, RescaleKill: -1,
+		Added: -1, Drained: -1, DrainKill: -1, DestKill: -1,
+	}
 	rd.Point = h.cfg.Points[h.rng.Intn(len(h.cfg.Points))]
 	// In migration mode, every round that is not itself a mid-migration
 	// kill performs one clean live migration first, so the kill lands on a
@@ -482,6 +565,18 @@ func (h *harness) round(ctx context.Context, burst []int) (Round, error) {
 		if id := rescaleVictim(h.cfg.Topology); id != "" {
 			rd.Rescaled, rd.RescaleTo = id, h.rescaleTarget(id)
 			_, _ = h.cl.RescaleHAU(ctx, id, rd.RescaleTo)
+		}
+	}
+	// In elastic mode, every round that is not itself a mid-scale-in kill
+	// performs one clean grow-then-drain cycle first — a node joins the
+	// fleet, a loaded node scales in — so the kill lands on a fleet whose
+	// membership has churned from the initial one. An aborted drain
+	// (nothing drainable on tiny clusters) is fine — the round still runs.
+	if h.cfg.Elastic && rd.Point != KillMidScaleIn && rd.Point != KillScaleInDest {
+		rd.Added = h.cl.AddNode()
+		if victim := h.drawDrainVictim(); victim >= 0 {
+			rd.Drained = victim
+			_ = h.cl.DrainNode(ctx, victim)
 		}
 	}
 	if err := h.ensureCheckpoint(ctx); err != nil {
@@ -582,6 +677,78 @@ func (h *harness) round(ctx context.Context, burst []int) (Round, error) {
 		// either way it must return before recovery rebuilds the
 		// application, or its replica restore could race the rebuild.
 		<-rescDone
+	case KillMidScaleIn:
+		// Grow first so the drain has destination capacity, then start a
+		// scale-in and kill the burst plus the DRAINING node itself while
+		// its HAUs are mid-flight. The drain must abort (the node died
+		// under it, or the recovery's gen bump supersedes it) or have
+		// already retired the node — and recovery must re-place each of its
+		// HAUs exactly once, never twice.
+		rd.Added = h.cl.AddNode()
+		victim := h.drawDrainVictim()
+		delay := time.Duration(h.rng.Intn(1500)) * time.Microsecond
+		if victim < 0 {
+			h.cl.KillNodes(burst) // nothing drainable: degrade to immediate
+			break
+		}
+		rd.Drained, rd.DrainKill = victim, victim
+		drainDone := make(chan struct{})
+		go func() {
+			defer close(drainDone)
+			_ = h.cl.DrainNode(ctx, victim)
+		}()
+		time.Sleep(delay)
+		kills := append(append([]int(nil), burst...), victim)
+		h.cl.KillNodes(kills)
+		// The drain aborts (dead-host polling) or has already retired the
+		// node; either way it must return before recovery rebuilds the
+		// application, or its in-flight migration could race the rebuild.
+		<-drainDone
+	case KillScaleInDest:
+		// Start a scale-in and aim the kill at the DESTINATION of the
+		// drain's in-flight migration, observed through the drain observer.
+		// The handoff target dies mid-move, so the migration — and with it
+		// the drain — must abort without losing or duplicating the HAU.
+		rd.Added = h.cl.AddNode()
+		victim := h.drawDrainVictim()
+		delay := time.Duration(h.rng.Intn(800)) * time.Microsecond
+		if victim < 0 {
+			h.cl.KillNodes(burst) // nothing drainable: degrade to immediate
+			break
+		}
+		rd.Drained = victim
+		destCh := make(chan int, 1)
+		h.cl.SetDrainObserver(func(id string, from, to int) {
+			select {
+			case destCh <- to:
+			default:
+			}
+		})
+		drainDone := make(chan struct{})
+		go func() {
+			defer close(drainDone)
+			_ = h.cl.DrainNode(ctx, victim)
+		}()
+		kills := append([]int(nil), burst...)
+		select {
+		case dest := <-destCh:
+			rd.DestKill = dest
+			time.Sleep(delay)
+			kills = append(kills, dest)
+		case <-drainDone:
+			// The drain already finished (or aborted). If a migration did
+			// start, still kill its destination — it hosts the moved HAU
+			// now, so the kill exercises recovery of freshly-landed state.
+			select {
+			case dest := <-destCh:
+				rd.DestKill = dest
+				kills = append(kills, dest)
+			default:
+			}
+		}
+		h.cl.KillNodes(kills)
+		<-drainDone
+		h.cl.SetDrainObserver(nil)
 	}
 
 	stats, err := h.cl.RecoverAllWithRetry(ctx, 10, 2*time.Millisecond)

@@ -17,6 +17,7 @@ import (
 
 	"meteorshower/internal/buffer"
 	"meteorshower/internal/controller"
+	"meteorshower/internal/elastic"
 	"meteorshower/internal/graph"
 	"meteorshower/internal/metrics"
 	"meteorshower/internal/operator"
@@ -108,6 +109,24 @@ type Config struct {
 	// operator (0 = twice AutoscaleEvery).
 	RescaleCooldown time.Duration
 
+	// NodeCores enables the per-node CPU capacity model: every node gets a
+	// spe.CPUGate with this many cores, and hosted HAUs charge
+	// PerTupleDelay against the node's shared virtual busy clock instead
+	// of sleeping independently. Co-located HAUs then contend for
+	// capacity, and per-node utilization (busy-time growth over wall
+	// clock) becomes observable — the elasticity trigger's CPU signal.
+	// Zero keeps the historical independent per-HAU sleep.
+	NodeCores float64
+
+	// ElasticEvery enables the controller's elasticity loop: every period
+	// the elastic engine samples per-node utilization and may add a node
+	// (scale-out; the rebalancer spreads HAUs onto it) or drain one
+	// (scale-in via live migration, then retirement). Zero disables it.
+	ElasticEvery time.Duration
+	// Elastic tunes the trigger (thresholds, window, fleet bounds). Zero
+	// cooldowns default to 3x/6x ElasticEvery for out/in.
+	Elastic elastic.Config
+
 	Listener spe.Listener // optional extra listener (controller is wired automatically)
 	Now      func() int64
 	// Metrics, when set, receives the per-phase timing of every successful
@@ -121,6 +140,20 @@ type node struct {
 	index int
 	disk  *storage.Disk
 	alive atomic.Bool
+	// cpu is the node's shared compute gate (nil unless Config.NodeCores
+	// is set). Hosted HAUs charge their per-tuple service time against it.
+	cpu *spe.CPUGate
+	// draining: the node is being scaled in — no new placements while its
+	// HAUs live-migrate off. retired: the drain finished and the node left
+	// the fleet. A retired node stays alive (it did not fail), it is just
+	// no longer a placement target; AddNode reuses retired slots first.
+	draining atomic.Bool
+	retired  atomic.Bool
+}
+
+// schedulable reports whether the node can receive new HAU placements.
+func (n *node) schedulable() bool {
+	return n.alive.Load() && !n.draining.Load() && !n.retired.Load()
 }
 
 // RecoveryStats decomposes a recovery the way Fig. 16 does: "the recovery
@@ -184,6 +217,12 @@ type Cluster struct {
 	policy placement.Policy
 	topo   placement.Topology
 	rebal  *placement.Rebalancer
+	// elastic is the fleet-sizing engine (nil unless ElasticEvery is set).
+	// drainObs, when installed, observes each per-HAU move a DrainNode
+	// performs just before the migration starts (chaos uses it to aim
+	// kills at the migration destination).
+	elastic  *elastic.Engine
+	drainObs func(id string, from, to int)
 	// gen counts topology-changing events (recoveries). A migration that
 	// observes gen change mid-flight aborts: the whole-application rollback
 	// that bumped it has already rebuilt the HAU somewhere consistent.
@@ -238,6 +277,9 @@ func New(cfg Config) (*Cluster, error) {
 	cl.catalog = storage.NewCatalog(cl.shared, cfg.App.Graph.Nodes())
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &node{index: i, disk: storage.NewDisk(cfg.LocalDiskSpec)}
+		if cfg.NodeCores > 0 {
+			n.cpu = spe.NewCPUGate(cfg.NodeCores)
+		}
 		n.alive.Store(true)
 		cl.nodes = append(cl.nodes, n)
 	}
@@ -276,9 +318,30 @@ func New(cfg Config) (*Cluster, error) {
 		ctrlCfg.Autoscale = cl.autoscaleStep
 		ctrlCfg.AutoscaleEvery = cfg.AutoscaleEvery
 	}
+	if cfg.ElasticEvery > 0 {
+		ecfg := cfg.Elastic
+		if ecfg.CooldownOut <= 0 {
+			ecfg.CooldownOut = 3 * cfg.ElasticEvery
+		}
+		if ecfg.CooldownIn <= 0 {
+			ecfg.CooldownIn = 6 * cfg.ElasticEvery
+		}
+		cl.elastic = elastic.NewEngine(ecfg, elastic.Hooks{
+			Sample:   cl.elasticSample,
+			AddNode:  cl.AddNode,
+			Drain:    cl.elasticDrain,
+			CanDrain: cl.CanDrain,
+			Now:      func() time.Time { return time.Unix(0, cfg.Now()) },
+		})
+		ctrlCfg.Elastic = cl.elastic.Step
+		ctrlCfg.ElasticEvery = cfg.ElasticEvery
+	}
 	cl.ctrl = controller.New(ctrlCfg)
 	return cl, nil
 }
+
+// Elastic exposes the fleet-sizing engine (nil when ElasticEvery is 0).
+func (cl *Cluster) Elastic() *elastic.Engine { return cl.elastic }
 
 // rebalanceMigrate adapts MigrateHAU for the rebalancer (which has no ctx).
 func (cl *Cluster) rebalanceMigrate(id string, dest int) error {
@@ -304,7 +367,9 @@ func (cl *Cluster) viewLocked(exclude map[string]bool) placement.View {
 		DiskBusy: make([]time.Duration, len(cl.nodes)),
 	}
 	for i, n := range cl.nodes {
-		v.Alive[i] = n.alive.Load()
+		// Policies read Alive as "placement-eligible": draining and retired
+		// nodes are alive machines but must not receive new HAUs.
+		v.Alive[i] = n.schedulable()
 		v.DiskBusy[i] = n.disk.Stats().BusyTime
 	}
 	for id, n := range cl.hauNode {
@@ -352,15 +417,24 @@ func (cl *Cluster) NodeOf(id string) int {
 	return cl.hauNode[id]
 }
 
-// firstHealthyLocked returns the lowest-index alive node, or -1. Held
+// firstHealthyLocked returns the lowest-index schedulable node, falling
+// back to any alive non-retired node (a draining one beats losing the
+// HAU), then to any alive node at all; -1 when everything is dead. Held
 // lock: cl.mu.
 func (cl *Cluster) firstHealthyLocked() int {
+	fallback := -1
 	for i, n := range cl.nodes {
-		if n.alive.Load() {
+		if !n.alive.Load() {
+			continue
+		}
+		if n.schedulable() {
 			return i
 		}
+		if fallback < 0 || (!n.retired.Load() && cl.nodes[fallback].retired.Load()) {
+			fallback = i
+		}
 	}
-	return -1
+	return fallback
 }
 
 func (cl *Cluster) hauAlive(id string) bool {
@@ -486,6 +560,7 @@ func (cl *Cluster) prepareHAU(id string) (spe.Config, time.Duration) {
 		Listener:        cl.listener(),
 		TickEvery:       cl.cfg.TickEvery,
 		PerTupleDelay:   cl.cfg.PerTupleDelay,
+		CPU:             nd.cpu,
 		DeltaCheckpoint: cl.cfg.DeltaCheckpoint,
 		ShedWatermark:   cl.cfg.ShedWatermark,
 		Now:             cl.cfg.Now,
@@ -788,7 +863,7 @@ func (cl *Cluster) RecoverAll(ctx context.Context) (RecoveryStats, error) {
 	cl.gen++ // invalidate any in-flight migration or rescale
 	anyAlive := false
 	for _, n := range cl.nodes {
-		if n.alive.Load() {
+		if n.alive.Load() && !n.retired.Load() {
 			anyAlive = true
 			break
 		}
@@ -796,8 +871,12 @@ func (cl *Cluster) RecoverAll(ctx context.Context) (RecoveryStats, error) {
 	if !anyAlive {
 		// Everything failed: the paper restarts HAUs "on other healthy
 		// nodes" — model replacement nodes by reviving the old ones.
+		// Retired slots stay retired: they left the fleet by scale-in,
+		// not by failure, and AddNode is the only way back.
 		for _, n := range cl.nodes {
-			n.alive.Store(true)
+			if !n.retired.Load() {
+				n.alive.Store(true)
+			}
 		}
 	}
 	g := cl.cfg.App.Graph

@@ -64,6 +64,14 @@ type Config struct {
 	// AutoscaleEvery enables the autoscaler tick. Zero disables it.
 	AutoscaleEvery time.Duration
 
+	// Elastic, when set, is invoked every ElasticEvery (the cluster wires
+	// it to the elasticity engine's Step: sample node utilization, maybe
+	// add or drain a node). Same skip rules as Rebalance: not while
+	// paused, failed, or a previous step is running.
+	Elastic func() (int, error)
+	// ElasticEvery enables the elasticity tick. Zero disables it.
+	ElasticEvery time.Duration
+
 	// PingEvery is the failure-detection poll interval.
 	PingEvery time.Duration
 	// IsAlive reports whether an HAU's node currently responds to pings.
@@ -121,6 +129,7 @@ type Controller struct {
 	paused     int  // PauseCheckpoints nesting depth
 	rebalBusy  bool // a Rebalance invocation is in flight
 	scaleBusy  bool // an Autoscale invocation is in flight
+	elasBusy   bool // an Elastic invocation is in flight
 
 	tpCh chan tpEvent
 	done chan struct{}
@@ -213,7 +222,13 @@ func (c *Controller) Stat(epoch uint64) (EpochStat, bool) {
 	if !ok {
 		return EpochStat{}, false
 	}
+	// Deep-copy the breakdown map: the shallow copy would alias the live
+	// map CheckpointDone keeps mutating, racing with the caller's reads.
 	cp := *e
+	cp.Breakdown = make(map[string]spe.CheckpointBreakdown, len(e.Breakdown))
+	for k, v := range e.Breakdown {
+		cp.Breakdown[k] = v
+	}
 	return cp, ok
 }
 
@@ -400,6 +415,12 @@ func (c *Controller) Run(ctx context.Context) {
 	}
 	scaleTick := time.NewTicker(scaleEvery)
 	defer scaleTick.Stop()
+	elasEvery := c.cfg.ElasticEvery
+	if c.cfg.Elastic == nil || elasEvery <= 0 {
+		elasEvery = time.Hour
+	}
+	elasTick := time.NewTicker(elasEvery)
+	defer elasTick.Stop()
 
 	aa := c.cfg.Scheme.ApplicationAware()
 	if aa {
@@ -443,8 +464,37 @@ func (c *Controller) Run(ctx context.Context) {
 			c.maybeRebalance()
 		case <-scaleTick.C:
 			c.maybeAutoscale()
+		case <-elasTick.C:
+			c.maybeElastic()
 		}
 	}
+}
+
+// maybeElastic runs one elasticity step on its own goroutine (a drain
+// blocks for per-HAU migrations, and failure pings must keep flowing
+// meanwhile). Skipped while a failure incident is open, while checkpoints
+// are paused, and while a previous step is still running.
+func (c *Controller) maybeElastic() {
+	c.mu.Lock()
+	fn := c.cfg.Elastic
+	skip := fn == nil || c.elasBusy || c.failed || c.paused > 0
+	if !skip {
+		c.elasBusy = true
+	}
+	c.mu.Unlock()
+	if skip {
+		return
+	}
+	go func() {
+		defer func() {
+			c.mu.Lock()
+			c.elasBusy = false
+			c.mu.Unlock()
+		}()
+		// A failed step (drain superseded by a recovery, node died) is
+		// retried from fresh utilization samples on the next tick.
+		_, _ = fn()
+	}()
 }
 
 // maybeAutoscale runs one autoscaler step on its own goroutine (a rescale

@@ -20,6 +20,7 @@ import (
 
 	"meteorshower/internal/cluster"
 	"meteorshower/internal/controller"
+	"meteorshower/internal/elastic"
 	"meteorshower/internal/metrics"
 	"meteorshower/internal/placement"
 	"meteorshower/internal/spe"
@@ -59,6 +60,16 @@ type Options struct {
 	// RescaleCooldown is the minimum spacing between rescales of the same
 	// operator (0 = 2x AutoscaleEvery) — the detector's hysteresis.
 	RescaleCooldown time.Duration
+
+	// ElasticEvery enables the controller's fleet-elasticity loop with the
+	// given period; 0 disables it. The engine samples per-node utilization
+	// and adds nodes (letting the rebalancer spread HAUs onto them) or
+	// drains them via live migration per the Elastic trigger config.
+	ElasticEvery time.Duration
+	Elastic      elastic.Config
+	// NodeCores enables the per-node CPU capacity model feeding the
+	// elasticity trigger's utilization signal; 0 disables it.
+	NodeCores float64
 
 	// CheckpointPeriod is the checkpoint period T (controller-driven for
 	// MS schemes, per-HAU for the baseline). Zero disables periodic
@@ -144,6 +155,9 @@ func NewSystem(opts Options) (*System, error) {
 		MergeBelow:          opts.MergeBelow,
 		MaxReplicas:         opts.AutoscaleMaxReplicas,
 		RescaleCooldown:     opts.RescaleCooldown,
+		ElasticEvery:        opts.ElasticEvery,
+		Elastic:             opts.Elastic,
+		NodeCores:           opts.NodeCores,
 		LocalDiskSpec:       opts.LocalDisk,
 		SharedSpec:          opts.SharedDisk,
 		EdgeBuffer:          opts.EdgeBuffer,

@@ -1,0 +1,138 @@
+// Package elastic closes the loop from observed per-node utilization to
+// the size of the node fleet. It follows the shape of metrics-driven
+// scaling managers: a sampler turns raw per-node counters (cumulative CPU
+// busy time, input-queue depth, HAU count, state bytes) into per-interval
+// utilization, a windowed trigger recommends scale-out or scale-in only
+// when N of the last M samples violate a threshold (with per-direction
+// cooldown hysteresis so flapping load cannot oscillate the fleet), and a
+// provisioner executes recommendations through hooks the cluster supplies:
+// scale-out adds a node and lets the placement rebalancer spread HAUs onto
+// it; scale-in drains a node via live migration so it is exactly-once.
+//
+// The package holds no reference to the cluster — everything it touches
+// arrives through Hooks — so the trigger is unit-testable in isolation.
+package elastic
+
+import "time"
+
+// NodeStat is one node's raw counters at a sampling instant.
+type NodeStat struct {
+	Node     int
+	Alive    bool
+	Draining bool
+	Retired  bool
+	HAUs     int           // incarnations hosted
+	CanMove  int           // hosted incarnations that are live-migratable
+	Queue    int           // tuples queued on the input edges of hosted HAUs
+	State    int64         // cached state bytes of hosted HAUs
+	CPUBusy  time.Duration // cumulative busy time charged to the node's CPU gate
+}
+
+// Schedulable reports whether the node can receive new HAU placements.
+func (s NodeStat) Schedulable() bool { return s.Alive && !s.Draining && !s.Retired }
+
+// Sample is one sampling instant across the whole fleet.
+type Sample struct {
+	At    time.Time
+	Nodes []NodeStat
+}
+
+// Util is one node's derived utilization over the last sampling interval.
+type Util struct {
+	Node      int
+	CPU       float64 // busy fraction over the interval, 0..~1
+	Queue     int     // input-queue depth at the sampling instant
+	HAUs      int
+	Sched     bool // placement-eligible (alive, not draining, not retired)
+	Drainable bool // hosts only live-migratable HAUs (or none)
+}
+
+// Config tunes the trigger. Zero values disable the corresponding signal;
+// a zero Window or Violations falls back to defaults.
+type Config struct {
+	// Window and Violations form the N-of-M rule: a direction fires only
+	// when at least Violations of the last Window samples violated its
+	// threshold. No decision is made until Window samples exist.
+	Window     int // default 5
+	Violations int // default 3, clamped to Window
+
+	// ScaleOutUtil fires scale-out when mean CPU utilization across
+	// schedulable nodes exceeds it (0 disables the CPU signal).
+	ScaleOutUtil float64
+	// ScaleOutQueue fires scale-out when any schedulable node's input-queue
+	// depth exceeds it (0 disables the queue signal).
+	ScaleOutQueue int
+	// ScaleInUtil marks a node as a scale-in candidate when its CPU
+	// utilization is below it and its queue is empty enough that draining
+	// it cannot lose ground (0 disables scale-in).
+	ScaleInUtil float64
+
+	// CooldownOut / CooldownIn gate how soon after ANY fleet action the
+	// respective direction may fire again. CooldownIn should be the longer
+	// one: after a scale-out, shrinking again quickly is thrash; after a
+	// scale-in, growing quickly is a flash-crowd response.
+	CooldownOut time.Duration
+	CooldownIn  time.Duration
+
+	// MinNodes/MaxNodes bound the fleet (MinNodes default 1).
+	MinNodes int
+	MaxNodes int
+	// StepOut is how many nodes one scale-out adds (default 1).
+	StepOut int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 5
+	}
+	if c.Violations <= 0 {
+		c.Violations = 3
+	}
+	if c.Violations > c.Window {
+		c.Violations = c.Window
+	}
+	if c.MinNodes <= 0 {
+		c.MinNodes = 1
+	}
+	if c.StepOut <= 0 {
+		c.StepOut = 1
+	}
+	return c
+}
+
+// DecisionKind is a trigger recommendation.
+type DecisionKind int
+
+const (
+	None DecisionKind = iota
+	ScaleOut
+	ScaleIn
+)
+
+func (k DecisionKind) String() string {
+	switch k {
+	case ScaleOut:
+		return "scale-out"
+	case ScaleIn:
+		return "scale-in"
+	default:
+		return "none"
+	}
+}
+
+// Decision is one trigger recommendation. For ScaleIn, Candidates ranks
+// drainable victims least-loaded first; the provisioner picks the first
+// one that still has a live migration destination.
+type Decision struct {
+	Kind       DecisionKind
+	Candidates []int
+	Reason     string
+}
+
+// Event records one executed fleet action.
+type Event struct {
+	At    time.Time
+	Kind  DecisionKind
+	Node  int // node added or drained
+	Fleet int // fleet size after the action
+}

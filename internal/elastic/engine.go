@@ -1,0 +1,177 @@
+package elastic
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Hooks is everything the provisioner needs from the cluster. Sample,
+// AddNode, Drain and CanDrain are required; Now and Logf are optional.
+type Hooks struct {
+	// Sample returns the current raw per-node counters.
+	Sample func() Sample
+	// AddNode grows the fleet by one schedulable node and returns its
+	// index (the placement rebalancer spreads HAUs onto it afterwards).
+	AddNode func() int
+	// Drain live-migrates every HAU off the node and retires it.
+	Drain func(node int) error
+	// CanDrain reports whether the node's HAUs all have live migration
+	// destinations right now (replica incarnations, for example, cannot
+	// live-migrate). A node failing this check is never drained.
+	CanDrain func(node int) bool
+	Now      func() time.Time
+	Logf     func(format string, args ...any)
+}
+
+// Engine is the provisioner: it derives per-interval utilization from
+// successive samples, feeds the trigger, and executes its recommendations
+// through the hooks. Step is the controller's elasticity tick; the
+// controller guarantees Steps never overlap.
+type Engine struct {
+	cfg   Config
+	hooks Hooks
+	trig  *Trigger
+
+	prev   map[int]prevStat
+	prevAt time.Time
+	primed bool
+	mu     sync.Mutex
+	events []Event
+}
+
+type prevStat struct {
+	busy time.Duration
+}
+
+// NewEngine returns an engine with cfg's defaults applied.
+func NewEngine(cfg Config, hooks Hooks) *Engine {
+	return &Engine{
+		cfg:   cfg.withDefaults(),
+		hooks: hooks,
+		trig:  NewTrigger(cfg),
+		prev:  make(map[int]prevStat),
+	}
+}
+
+func (e *Engine) now() time.Time {
+	if e.hooks.Now != nil {
+		return e.hooks.Now()
+	}
+	return time.Now()
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.hooks.Logf != nil {
+		e.hooks.Logf(format, args...)
+	}
+}
+
+// Step samples the fleet, derives utilization, and executes at most one
+// fleet action. Returns the number of nodes added (positive) or drained
+// (negative, always -1) this step.
+func (e *Engine) Step() (int, error) {
+	s := e.hooks.Sample()
+	now := s.At
+	if now.IsZero() {
+		now = e.now()
+	}
+
+	utils, fleet := e.derive(s, now)
+	if !utils.ok {
+		return 0, nil // first sample only primes the busy-time deltas
+	}
+
+	d := e.trig.Observe(now, fleet, utils.utils)
+	switch d.Kind {
+	case ScaleOut:
+		added := 0
+		for i := 0; i < e.cfg.StepOut; i++ {
+			if e.cfg.MaxNodes > 0 && fleet+added >= e.cfg.MaxNodes {
+				break
+			}
+			idx := e.hooks.AddNode()
+			added++
+			e.record(Event{At: now, Kind: ScaleOut, Node: idx, Fleet: fleet + added})
+			e.logf("elastic: scale-out -> node %d (fleet %d): %s", idx, fleet+added, d.Reason)
+		}
+		if added > 0 {
+			e.trig.Commit(now)
+		}
+		return added, nil
+	case ScaleIn:
+		for _, cand := range d.Candidates {
+			if e.hooks.CanDrain != nil && !e.hooks.CanDrain(cand) {
+				continue
+			}
+			if err := e.hooks.Drain(cand); err != nil {
+				// The drain lost a race (node died, recovery superseded it);
+				// leave the window and cooldown untouched and retry later.
+				return 0, fmt.Errorf("elastic: drain node %d: %w", cand, err)
+			}
+			e.trig.Commit(now)
+			e.record(Event{At: now, Kind: ScaleIn, Node: cand, Fleet: fleet - 1})
+			e.logf("elastic: scale-in <- node %d (fleet %d): %s", cand, fleet-1, d.Reason)
+			return -1, nil
+		}
+	}
+	return 0, nil
+}
+
+type derived struct {
+	ok    bool
+	utils []Util
+}
+
+// derive turns a raw sample into per-interval utilization. CPU is the
+// growth of the node's cumulative busy time over the wall-clock interval
+// since the previous sample; a node first seen this sample reads as idle
+// until the next step.
+func (e *Engine) derive(s Sample, now time.Time) (derived, int) {
+	fleet := 0
+	var utils []Util
+	wall := now.Sub(e.prevAt)
+	for _, n := range s.Nodes {
+		if !n.Retired {
+			fleet++
+		}
+		if n.Retired || !n.Alive {
+			delete(e.prev, n.Node)
+			continue
+		}
+		u := Util{
+			Node:      n.Node,
+			Queue:     n.Queue,
+			HAUs:      n.HAUs,
+			Sched:     n.Schedulable(),
+			Drainable: n.CanMove == n.HAUs,
+		}
+		if p, ok := e.prev[n.Node]; ok && wall > 0 {
+			busy := n.CPUBusy - p.busy
+			if busy < 0 {
+				busy = 0 // node slot was recycled; its gate restarted
+			}
+			u.CPU = float64(busy) / float64(wall)
+		}
+		e.prev[n.Node] = prevStat{busy: n.CPUBusy}
+		utils = append(utils, u)
+	}
+	primed := e.primed
+	e.primed = true
+	e.prevAt = now
+	return derived{ok: primed, utils: utils}, fleet
+}
+
+func (e *Engine) record(ev Event) {
+	e.mu.Lock()
+	e.events = append(e.events, ev)
+	e.mu.Unlock()
+}
+
+// Events returns every executed fleet action, oldest first. Safe to call
+// while the engine steps.
+func (e *Engine) Events() []Event {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Event(nil), e.events...)
+}

@@ -1,0 +1,189 @@
+package elastic
+
+import (
+	"testing"
+	"time"
+)
+
+// simFleet is a stub cluster for engine tests: per-node flags and busy
+// counters the Sample hook serializes, plus AddNode/Drain that mutate it
+// the way the real provisioner hooks do.
+type simFleet struct {
+	t        *testing.T
+	now      time.Time
+	step     time.Duration
+	busyFrac float64 // busy time accrued per interval on every live node
+	nodes    []simNode
+	drained  []int
+	added    int
+	eligible func(i int) bool // the CanDrain gate
+}
+
+type simNode struct {
+	retired bool
+	busy    time.Duration
+}
+
+func (f *simFleet) sample() Sample {
+	f.now = f.now.Add(f.step)
+	s := Sample{At: f.now}
+	for i := range f.nodes {
+		n := &f.nodes[i]
+		if !n.retired {
+			n.busy += time.Duration(float64(f.step) * f.busyFrac)
+		}
+		s.Nodes = append(s.Nodes, NodeStat{
+			Node: i, Alive: true, Retired: n.retired,
+			HAUs: 1, CanMove: 1, // every node claims drainable at sample level
+			CPUBusy: n.busy,
+		})
+	}
+	return s
+}
+
+func (f *simFleet) addNode() int {
+	// Reuse a retired slot first, like the cluster does.
+	for i := range f.nodes {
+		if f.nodes[i].retired {
+			f.nodes[i].retired = false
+			f.added++
+			return i
+		}
+	}
+	f.nodes = append(f.nodes, simNode{})
+	f.added++
+	return len(f.nodes) - 1
+}
+
+func (f *simFleet) drain(i int) error {
+	if f.eligible != nil && !f.eligible(i) {
+		f.t.Fatalf("engine drained node %d, which CanDrain rejected", i)
+	}
+	f.nodes[i].retired = true
+	f.drained = append(f.drained, i)
+	return nil
+}
+
+func (f *simFleet) engine(cfg Config) *Engine {
+	return NewEngine(cfg, Hooks{
+		Sample:   f.sample,
+		AddNode:  f.addNode,
+		Drain:    f.drain,
+		CanDrain: func(i int) bool { return f.eligible == nil || f.eligible(i) },
+	})
+}
+
+// TestEngineGrowsAndShrinks drives the engine through a load cycle:
+// sustained overload must add nodes up to MaxNodes, and a sustained idle
+// phase must drain back down to MinNodes — with every action recorded.
+func TestEngineGrowsAndShrinks(t *testing.T) {
+	f := &simFleet{
+		t: t, now: time.Unix(0, 0), step: 10 * time.Millisecond,
+		busyFrac: 0.95,
+		nodes:    make([]simNode, 2),
+	}
+	eng := f.engine(Config{
+		Window: 3, Violations: 2,
+		ScaleOutUtil: 0.7, ScaleInUtil: 0.2,
+		MinNodes: 2, MaxNodes: 5,
+	})
+	for i := 0; i < 40; i++ {
+		if _, err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fleet := 0
+	for _, n := range f.nodes {
+		if !n.retired {
+			fleet++
+		}
+	}
+	if fleet != 5 {
+		t.Fatalf("after sustained overload fleet=%d, want MaxNodes=5", fleet)
+	}
+
+	f.busyFrac = 0.01
+	for i := 0; i < 80; i++ {
+		if _, err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fleet = 0
+	for _, n := range f.nodes {
+		if !n.retired {
+			fleet++
+		}
+	}
+	if fleet != 2 {
+		t.Fatalf("after sustained idle fleet=%d, want MinNodes=2", fleet)
+	}
+
+	outs, ins := 0, 0
+	for _, ev := range eng.Events() {
+		switch ev.Kind {
+		case ScaleOut:
+			outs++
+		case ScaleIn:
+			ins++
+		}
+	}
+	if outs != 3 || ins != 3 {
+		t.Fatalf("events recorded %d outs / %d ins, want 3/3:\n%+v", outs, ins, eng.Events())
+	}
+}
+
+// TestEngineCanDrainGate pins the execution-time safety check: even when
+// every SAMPLE claims a node is drainable, the engine must skip any
+// candidate the CanDrain hook rejects at the moment of action — the drain
+// hook fails the test if an ineligible node slips through.
+func TestEngineCanDrainGate(t *testing.T) {
+	f := &simFleet{
+		t: t, now: time.Unix(0, 0), step: 10 * time.Millisecond,
+		busyFrac: 0.01,
+		nodes:    make([]simNode, 4),
+		eligible: func(i int) bool { return i%2 == 0 }, // odd nodes pinned
+	}
+	eng := f.engine(Config{
+		Window: 3, Violations: 2,
+		ScaleOutUtil: 0.9, ScaleInUtil: 0.3,
+		MinNodes: 1, MaxNodes: 6,
+	})
+	for i := 0; i < 120; i++ {
+		if _, err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(f.drained) == 0 {
+		t.Fatal("idle fleet never drained anything; the gate was not exercised")
+	}
+	for _, i := range f.drained {
+		if i%2 != 0 {
+			t.Fatalf("ineligible node %d was drained (drained: %v)", i, f.drained)
+		}
+	}
+}
+
+// TestEngineFirstSamplePrimes pins that the first step never acts: CPU is
+// a busy-time delta, so there is nothing to derive from a single sample.
+func TestEngineFirstSamplePrimes(t *testing.T) {
+	f := &simFleet{
+		t: t, now: time.Unix(0, 0), step: 10 * time.Millisecond,
+		busyFrac: 0.99,
+		nodes:    make([]simNode, 1),
+	}
+	eng := f.engine(Config{
+		Window: 1, Violations: 1,
+		ScaleOutUtil: 0.5,
+		MinNodes:     1, MaxNodes: 4,
+	})
+	n, err := eng.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || f.added != 0 {
+		t.Fatalf("first step acted (returned %d, added %d); it must only prime", n, f.added)
+	}
+	if n, _ := eng.Step(); n != 1 {
+		t.Fatalf("second step under overload returned %d, want 1 (scale-out)", n)
+	}
+}

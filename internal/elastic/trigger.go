@@ -1,0 +1,163 @@
+package elastic
+
+import (
+	"fmt"
+	"time"
+)
+
+// Trigger is the windowed N-of-M decision engine. It is a pure state
+// machine over derived utilization samples: Observe pushes one sample and
+// returns a recommendation; Commit records that a recommendation was
+// executed, starting the cooldown clock and clearing the window so the
+// next decision is based on post-action evidence only. Not safe for
+// concurrent use — the engine serializes calls.
+type Trigger struct {
+	cfg        Config
+	window     []windowSample
+	lastAction time.Time
+	acted      bool
+}
+
+// windowSample is one observation's violation verdicts.
+type windowSample struct {
+	outViolated bool
+	inViolated  map[int]bool // per schedulable node: under the scale-in floor
+	cpu         map[int]float64
+}
+
+// NewTrigger returns a trigger with cfg's defaults applied.
+func NewTrigger(cfg Config) *Trigger {
+	return &Trigger{cfg: cfg.withDefaults()}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (t *Trigger) Config() Config { return t.cfg }
+
+// Observe pushes one fleet sample and returns a recommendation. fleet is
+// the current number of non-retired nodes; utils carries one entry per
+// node (retired nodes may be omitted).
+func (t *Trigger) Observe(now time.Time, fleet int, utils []Util) Decision {
+	ws := windowSample{
+		inViolated: make(map[int]bool),
+		cpu:        make(map[int]float64),
+	}
+	var cpuSum float64
+	sched := 0
+	maxQueue := 0
+	for _, u := range utils {
+		if !u.Sched {
+			continue
+		}
+		sched++
+		cpuSum += u.CPU
+		if u.Queue > maxQueue {
+			maxQueue = u.Queue
+		}
+		ws.cpu[u.Node] = u.CPU
+	}
+	meanCPU := 0.0
+	if sched > 0 {
+		meanCPU = cpuSum / float64(sched)
+	}
+	// Capacity projection: a drain removes one node's share of capacity,
+	// so a node may only count as a scale-in violation if the surviving
+	// schedulable fleet would still sit below the scale-out threshold.
+	// Without this, an overloaded fleet that just grew would hand its
+	// fresh (still empty, therefore cold) node straight back and
+	// oscillate.
+	projected := sched > 1
+	if projected && t.cfg.ScaleOutUtil > 0 {
+		projected = cpuSum/float64(sched-1) < t.cfg.ScaleOutUtil
+	}
+	if projected && t.cfg.ScaleInUtil > 0 {
+		for _, u := range utils {
+			if u.Sched && u.Drainable &&
+				u.CPU < t.cfg.ScaleInUtil && u.Queue <= t.cfg.ScaleOutQueue {
+				ws.inViolated[u.Node] = true
+			}
+		}
+	}
+	if t.cfg.ScaleOutUtil > 0 && meanCPU > t.cfg.ScaleOutUtil {
+		ws.outViolated = true
+	}
+	if t.cfg.ScaleOutQueue > 0 && maxQueue > t.cfg.ScaleOutQueue {
+		ws.outViolated = true
+	}
+
+	t.window = append(t.window, ws)
+	if len(t.window) > t.cfg.Window {
+		t.window = t.window[len(t.window)-t.cfg.Window:]
+	}
+	if len(t.window) < t.cfg.Window {
+		return Decision{Kind: None, Reason: "window filling"}
+	}
+
+	outCount := 0
+	inCounts := make(map[int]int)
+	for _, s := range t.window {
+		if s.outViolated {
+			outCount++
+		}
+		for n := range s.inViolated {
+			inCounts[n]++
+		}
+	}
+
+	if outCount >= t.cfg.Violations &&
+		(t.cfg.MaxNodes <= 0 || fleet < t.cfg.MaxNodes) &&
+		t.cooled(now, t.cfg.CooldownOut) {
+		return Decision{
+			Kind: ScaleOut,
+			Reason: fmt.Sprintf("%d/%d samples over threshold (mean cpu %.2f, max queue %d)",
+				outCount, t.cfg.Window, meanCPU, maxQueue),
+		}
+	}
+
+	if fleet > t.cfg.MinNodes && t.cooled(now, t.cfg.CooldownIn) {
+		// Candidates: schedulable nodes cold in >= Violations of the last
+		// Window samples, least-loaded (by latest CPU) first. The fleet
+		// must stay above MinNodes after the drain.
+		var cands []int
+		for n, c := range inCounts {
+			if c >= t.cfg.Violations {
+				cands = append(cands, n)
+			}
+		}
+		if len(cands) > 0 {
+			latest := t.window[len(t.window)-1].cpu
+			for i := 0; i < len(cands); i++ {
+				for j := i + 1; j < len(cands); j++ {
+					ci, cj := latest[cands[i]], latest[cands[j]]
+					if cj < ci || (cj == ci && cands[j] < cands[i]) {
+						cands[i], cands[j] = cands[j], cands[i]
+					}
+				}
+			}
+			return Decision{
+				Kind:       ScaleIn,
+				Candidates: cands,
+				Reason: fmt.Sprintf("%d nodes under %.2f for %d/%d samples",
+					len(cands), t.cfg.ScaleInUtil, t.cfg.Violations, t.cfg.Window),
+			}
+		}
+	}
+	return Decision{Kind: None}
+}
+
+// cooled reports whether at least d has passed since the last committed
+// action (always true before the first action, or when d is zero).
+func (t *Trigger) cooled(now time.Time, d time.Duration) bool {
+	if !t.acted || d <= 0 {
+		return true
+	}
+	return now.Sub(t.lastAction) >= d
+}
+
+// Commit records that a recommendation was executed: the cooldown clock
+// restarts and the window is cleared so the next decision is grounded in
+// post-action samples only.
+func (t *Trigger) Commit(now time.Time) {
+	t.lastAction = now
+	t.acted = true
+	t.window = t.window[:0]
+}

@@ -1,0 +1,281 @@
+package elastic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// utilsN builds n identical schedulable, drainable node utilizations.
+func utilsN(n int, cpu float64, queue int) []Util {
+	us := make([]Util, n)
+	for i := range us {
+		us[i] = Util{Node: i, CPU: cpu, Queue: queue, HAUs: 1, Sched: true, Drainable: true}
+	}
+	return us
+}
+
+// TestTriggerTable drives scripted sample sequences through the trigger
+// and checks the decision after each one — the N-of-M window edge cases.
+func TestTriggerTable(t *testing.T) {
+	base := Config{
+		Window: 3, Violations: 2,
+		ScaleOutUtil: 0.8, ScaleInUtil: 0.2,
+		MinNodes: 1, MaxNodes: 8,
+	}
+	queueCfg := base
+	queueCfg.ScaleOutQueue = 100
+
+	hot := utilsN(2, 0.95, 0)
+	mid := utilsN(2, 0.5, 0)
+	cold := utilsN(2, 0.05, 0)
+
+	cases := []struct {
+		name  string
+		cfg   Config
+		fleet int
+		feed  [][]Util
+		want  []DecisionKind
+	}{
+		{
+			// No decision of any kind until Window samples exist.
+			name: "fewer samples than window", cfg: base, fleet: 2,
+			feed: [][]Util{hot, hot},
+			want: []DecisionKind{None, None},
+		},
+		{
+			// Exactly Violations of Window over threshold fires.
+			name: "exactly n of m fires", cfg: base, fleet: 2,
+			feed: [][]Util{hot, mid, hot},
+			want: []DecisionKind{None, None, ScaleOut},
+		},
+		{
+			// One short of Violations must not fire.
+			name: "n minus one holds", cfg: base, fleet: 2,
+			feed: [][]Util{hot, mid, mid},
+			want: []DecisionKind{None, None, None},
+		},
+		{
+			// Queue depth is an independent scale-out signal: CPU idle but
+			// a queue over the threshold still counts as a violation.
+			name: "queue signal fires", cfg: queueCfg, fleet: 2,
+			feed: [][]Util{utilsN(2, 0.1, 500), utilsN(2, 0.1, 500), utilsN(2, 0.1, 500)},
+			want: []DecisionKind{None, None, ScaleOut},
+		},
+		{
+			// At MaxNodes the out decision is suppressed entirely.
+			name: "max nodes blocks scale-out", cfg: base, fleet: 8,
+			feed: [][]Util{hot, hot, hot},
+			want: []DecisionKind{None, None, None},
+		},
+		{
+			// At MinNodes the in decision is suppressed entirely.
+			name: "min nodes blocks scale-in", cfg: base, fleet: 1,
+			feed: [][]Util{cold, cold, cold},
+			want: []DecisionKind{None, None, None},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tr := NewTrigger(tc.cfg)
+			now := time.Unix(0, 0)
+			for i, utils := range tc.feed {
+				d := tr.Observe(now, tc.fleet, utils)
+				if d.Kind != tc.want[i] {
+					t.Fatalf("sample %d: got %s (%s), want %s", i, d.Kind, d.Reason, tc.want[i])
+				}
+				now = now.Add(100 * time.Millisecond)
+			}
+		})
+	}
+}
+
+// TestTriggerScaleInRanking pins the candidate list: cold drainable nodes
+// only, least-loaded first, hot and undrainable nodes never included.
+func TestTriggerScaleInRanking(t *testing.T) {
+	tr := NewTrigger(Config{
+		Window: 3, Violations: 3,
+		ScaleOutUtil: 0.9, ScaleInUtil: 0.3,
+		MinNodes: 1,
+	})
+	sample := []Util{
+		{Node: 0, CPU: 0.10, Sched: true, Drainable: true},
+		{Node: 1, CPU: 0.05, Sched: true, Drainable: true},
+		{Node: 2, CPU: 0.08, Sched: true, Drainable: false}, // cold but pinned
+		{Node: 3, CPU: 0.85, Sched: true, Drainable: true},  // hot
+	}
+	now := time.Unix(0, 0)
+	var d Decision
+	for i := 0; i < 3; i++ {
+		d = tr.Observe(now, 4, sample)
+		now = now.Add(100 * time.Millisecond)
+	}
+	if d.Kind != ScaleIn {
+		t.Fatalf("got %s (%s), want scale-in", d.Kind, d.Reason)
+	}
+	if want := []int{1, 0}; !reflect.DeepEqual(d.Candidates, want) {
+		t.Fatalf("candidates %v, want %v (coldest first, node 2 pinned, node 3 hot)", d.Candidates, want)
+	}
+}
+
+// TestTriggerScaleInCapacityProjection pins the projection guard: a cold
+// drainable node must not be recommended while the surviving fleet would
+// sit above the scale-out threshold — an overloaded fleet that just grew
+// would otherwise hand its fresh, still-empty node straight back.
+func TestTriggerScaleInCapacityProjection(t *testing.T) {
+	tr := NewTrigger(Config{
+		Window: 3, Violations: 3,
+		ScaleOutUtil: 0.7, ScaleInUtil: 0.2,
+		MinNodes: 1, MaxNodes: 3, // fleet at cap: scale-out suppressed too
+	})
+	sample := []Util{
+		{Node: 0, CPU: 0.92, Sched: true, Drainable: true},
+		{Node: 1, CPU: 0.95, Sched: true, Drainable: true},
+		{Node: 2, CPU: 0.01, Sched: true, Drainable: true}, // fresh and empty
+	}
+	now := time.Unix(0, 0)
+	for i := 0; i < 20; i++ {
+		if d := tr.Observe(now, 3, sample); d.Kind != None {
+			t.Fatalf("sample %d: overloaded fleet recommended %s (%s)", i, d.Kind, d.Reason)
+		}
+		now = now.Add(100 * time.Millisecond)
+	}
+}
+
+// TestTriggerFlappingAtThresholdHolds feeds load that oscillates around
+// the scale-out threshold every sample. The N-of-M rule must absorb the
+// noise: neither direction may ever reach its violation count.
+func TestTriggerFlappingAtThresholdHolds(t *testing.T) {
+	tr := NewTrigger(Config{
+		Window: 4, Violations: 3,
+		ScaleOutUtil: 0.8, ScaleInUtil: 0.3,
+		MinNodes: 1, MaxNodes: 8,
+	})
+	now := time.Unix(0, 0)
+	for i := 0; i < 100; i++ {
+		utils := utilsN(3, 0.85, 0) // just over
+		if i%2 == 1 {
+			utils = utilsN(3, 0.5, 0) // comfortably between both thresholds
+		}
+		if d := tr.Observe(now, 3, utils); d.Kind != None {
+			t.Fatalf("sample %d: flapping load fired %s (%s)", i, d.Kind, d.Reason)
+		}
+		now = now.Add(100 * time.Millisecond)
+	}
+}
+
+// TestTriggerCooldownStopsOscillation scales out under load, then drops
+// the load to idle instantly. CooldownIn must hold the shrink back until
+// the hysteresis interval has passed since the commit — otherwise a brief
+// dip after a grow would immediately give the node back.
+func TestTriggerCooldownStopsOscillation(t *testing.T) {
+	const cooldownIn = 5 * time.Second
+	tr := NewTrigger(Config{
+		Window: 3, Violations: 3,
+		ScaleOutUtil: 0.8, ScaleInUtil: 0.3,
+		CooldownOut: time.Second, CooldownIn: cooldownIn,
+		MinNodes: 1, MaxNodes: 8,
+	})
+	now := time.Unix(0, 0)
+	var d Decision
+	for i := 0; i < 3; i++ {
+		d = tr.Observe(now, 2, utilsN(2, 0.95, 0))
+		now = now.Add(100 * time.Millisecond)
+	}
+	if d.Kind != ScaleOut {
+		t.Fatalf("got %s, want scale-out under sustained load", d.Kind)
+	}
+	tr.Commit(now)
+	committed := now
+
+	// Idle fleet immediately after the grow: everything inside the
+	// cooldown window must hold.
+	sawScaleIn := false
+	for i := 0; i < 100; i++ {
+		now = now.Add(100 * time.Millisecond)
+		d = tr.Observe(now, 3, utilsN(3, 0.02, 0))
+		if d.Kind == ScaleOut {
+			t.Fatalf("idle fleet recommended scale-out: %s", d.Reason)
+		}
+		if d.Kind == ScaleIn {
+			if since := now.Sub(committed); since < cooldownIn {
+				t.Fatalf("scale-in fired %v after commit, inside %v cooldown", since, cooldownIn)
+			}
+			sawScaleIn = true
+			break
+		}
+	}
+	if !sawScaleIn {
+		t.Fatal("scale-in never fired after the cooldown elapsed")
+	}
+}
+
+// TestTriggerCommitClearsWindow pins that a commit discards pre-action
+// evidence: the violation count must restart from zero, so a decision
+// right after a commit is impossible even with cooldowns disabled.
+func TestTriggerCommitClearsWindow(t *testing.T) {
+	tr := NewTrigger(Config{
+		Window: 3, Violations: 2,
+		ScaleOutUtil: 0.8, ScaleInUtil: 0.2,
+		MinNodes: 1,
+	})
+	now := time.Unix(0, 0)
+	var d Decision
+	for i := 0; i < 3; i++ {
+		d = tr.Observe(now, 2, utilsN(2, 0.95, 0))
+		now = now.Add(100 * time.Millisecond)
+	}
+	if d.Kind != ScaleOut {
+		t.Fatalf("got %s, want scale-out", d.Kind)
+	}
+	tr.Commit(now)
+	for i := 0; i < 2; i++ {
+		now = now.Add(100 * time.Millisecond)
+		if d = tr.Observe(now, 3, utilsN(3, 0.95, 0)); d.Kind != None {
+			t.Fatalf("sample %d after commit: got %s, want none (window must refill)", i, d.Kind)
+		}
+	}
+}
+
+// TestTriggerNeverRecommendsUndrainable is the scale-in safety property:
+// across randomized load, a node that is never drainable (it hosts an HAU
+// with no live migration destination) must never appear in a scale-in
+// candidate list, no matter how cold it runs.
+func TestTriggerNeverRecommendsUndrainable(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const nodes = 6
+	pinned := map[int]bool{1: true, 4: true} // fixed per-node property
+	tr := NewTrigger(Config{
+		Window: 4, Violations: 2,
+		ScaleOutUtil: 0.8, ScaleInUtil: 0.5,
+		MinNodes: 1,
+	})
+	now := time.Unix(0, 0)
+	for i := 0; i < 5000; i++ {
+		utils := make([]Util, nodes)
+		for j := range utils {
+			utils[j] = Util{
+				Node:      j,
+				CPU:       rng.Float64(),
+				Queue:     rng.Intn(4),
+				HAUs:      1,
+				Sched:     rng.Intn(10) > 0,
+				Drainable: !pinned[j],
+			}
+		}
+		d := tr.Observe(now, nodes, utils)
+		if d.Kind == ScaleIn {
+			for _, c := range d.Candidates {
+				if pinned[c] {
+					t.Fatalf("step %d: undrainable node %d recommended for scale-in (%v)", i, c, d.Candidates)
+				}
+			}
+			if rng.Intn(2) == 0 {
+				tr.Commit(now)
+			}
+		}
+		now = now.Add(50 * time.Millisecond)
+	}
+}

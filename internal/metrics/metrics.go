@@ -191,6 +191,45 @@ func (c *Collector) InstantSeries(width time.Duration) []Bucket {
 	return buckets
 }
 
+// WindowStats summarizes the deliveries inside one time window.
+type WindowStats struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Window returns latency statistics for deliveries with since <= At < until
+// (until <= 0 means no upper bound). The matching latencies are copied out
+// under the lock and sorted outside it, so timeline samplers can call this
+// concurrently with live collection.
+func (c *Collector) Window(since, until int64) WindowStats {
+	c.mu.Lock()
+	var lats []time.Duration
+	for _, p := range c.points {
+		if p.At >= since && (until <= 0 || p.At < until) {
+			lats = append(lats, p.Lat)
+		}
+	}
+	c.mu.Unlock()
+	var ws WindowStats
+	if len(lats) == 0 {
+		return ws
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	ws.Count = uint64(len(lats))
+	ws.Mean = sum / time.Duration(len(lats))
+	ws.P50 = lats[int(0.50*float64(len(lats)-1))]
+	ws.P99 = lats[int(0.99*float64(len(lats)-1))]
+	ws.Max = lats[len(lats)-1]
+	return ws
+}
+
 // CountSince returns deliveries with At >= since.
 func (c *Collector) CountSince(since int64) uint64 {
 	c.mu.Lock()

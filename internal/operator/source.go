@@ -39,6 +39,12 @@ type RateSource struct {
 	// the chaos harness and the replay-equivalence tests a quiescent end
 	// state to compare against.
 	Limit uint64
+	// RateFn, when set, makes the rate time-varying: it is evaluated at
+	// every Generate call with the current clock and overrides RatePerMS.
+	// Workload scenarios (diurnal curves, flash crowds) shape load with it;
+	// tuple CONTENT stays a pure function of id, so bounded runs remain
+	// replay-identical — only the emission timing moves.
+	RateFn func(nowNS int64) float64
 
 	nextID  uint64
 	started bool
@@ -83,7 +89,11 @@ func (s *RateSource) Generate(now int64) []*tuple.Tuple {
 			n = 1
 		}
 	} else {
-		s.credit += elapsedMS * s.RatePerMS
+		rate := s.RatePerMS
+		if s.RateFn != nil {
+			rate = s.RateFn(now)
+		}
+		s.credit += elapsedMS * rate
 		n = int(s.credit)
 		if n <= 0 {
 			return nil

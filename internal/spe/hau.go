@@ -254,6 +254,12 @@ type Config struct {
 	// PerTupleDelay models per-tuple CPU cost beyond the operators' real
 	// work. Zero for most tests.
 	PerTupleDelay time.Duration
+	// CPU, when set, is the hosting node's shared compute gate: instead of
+	// sleeping PerTupleDelay independently, the HAU charges it against the
+	// node's virtual busy clock, so co-located HAUs contend for capacity
+	// and the node's utilization becomes observable. Charges are amortized
+	// into >=cpuChargeChunk debts to stay off the per-tuple fast path.
+	CPU *CPUGate
 
 	// DeltaCheckpoint enables delta-checkpointing (paper §V): checkpoints
 	// write only the blocks changed since the previous epoch, with a full
@@ -413,6 +419,7 @@ type HAU struct {
 	attachQ   []Command // CmdAddInPort waiting for AfterFrom ports to close
 
 	// Loop-owned state (no locks needed).
+	cpuDebt     time.Duration // accumulated service time not yet charged to cfg.CPU
 	outSeq      []uint64
 	lastInSeq   []uint64
 	lastSrcID   []map[string]uint64 // per in port: per-source high-water ID
@@ -1317,7 +1324,15 @@ func (h *HAU) onData(port int, t *tuple.Tuple) bool {
 		h.lastInSeq[port] = t.Seq
 	}
 	if h.cfg.PerTupleDelay > 0 {
-		time.Sleep(h.cfg.PerTupleDelay)
+		if h.cfg.CPU != nil {
+			h.cpuDebt += h.cfg.PerTupleDelay
+			if h.cpuDebt >= cpuChargeChunk {
+				h.cfg.CPU.Charge(h.cpuDebt)
+				h.cpuDebt = 0
+			}
+		} else {
+			time.Sleep(h.cfg.PerTupleDelay)
+		}
 	}
 	if err := h.cfg.Ops[0].OnTuple(h.inLogical[port], t, h.emitters[0]); err != nil {
 		h.setErr(err)
