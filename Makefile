@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet lint build test race chaos chaos-migrate chaos-rescale chaos-unaligned chaos-elastic bench-smoke bench-hotpath placement-bench bench-checkpoint bench-checkpoint-smoke bench-unaligned bench-unaligned-smoke rescale-bench rescale-bench-smoke elasticity-bench elasticity-bench-smoke
+.PHONY: ci vet lint build test race chaos chaos-migrate chaos-rescale chaos-unaligned chaos-elastic chaos-ha bench-smoke bench-hotpath placement-bench bench-checkpoint bench-checkpoint-smoke bench-unaligned bench-unaligned-smoke rescale-bench rescale-bench-smoke elasticity-bench elasticity-bench-smoke ha-bench ha-bench-smoke
 
-ci: vet lint build race bench-smoke bench-checkpoint-smoke chaos chaos-migrate chaos-rescale chaos-unaligned chaos-elastic rescale-bench-smoke elasticity-bench-smoke
+ci: vet lint build race bench-smoke bench-checkpoint-smoke chaos chaos-migrate chaos-rescale chaos-unaligned chaos-elastic chaos-ha rescale-bench-smoke elasticity-bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -61,6 +61,24 @@ chaos-unaligned:
 # topology under the race detector.
 chaos-elastic:
 	$(GO) test -race -count=1 -run 'TestChaosElastic|TestChaosMidScaleIn|TestChaosScaleInDest' ./internal/chaos/
+
+# Hybrid fault-tolerance chaos: an active standby armed on each
+# topology's victim, promote-or-rollback recovery, plus the forced
+# primary-kill and standby-mid-promotion instants, 3 seeds per topology
+# under the race detector.
+chaos-ha:
+	$(GO) test -race -count=1 -run 'TestChaosHA' ./internal/chaos/
+
+# Hybrid fault-tolerance benchmark: hybrid failover vs pure-checkpoint
+# rollback on the same nine-HAU chain and kill schedule, scored by the
+# sink's interruption. Regenerates BENCH_ha.json.
+ha-bench:
+	$(GO) run ./cmd/msha
+
+# Shortened msha phases printed to stdout: exercises arm/kill/promote and
+# the rollback path with the same acceptance checks at a relaxed ratio gate.
+ha-bench-smoke:
+	$(GO) run ./cmd/msha -quick -out -
 
 # Fleet-elasticity benchmark: flash-crowd and diurnal workloads, elastic
 # fleet vs a static two-node baseline, with the exactly-once oracle checked

@@ -11,6 +11,7 @@
 //	mschaos -seed 42 -placement rackspread -rescale
 //	                                      # re-partition chaos: live splits/merges + mid-rescale kills
 //	mschaos -seed 42 -elastic             # elasticity chaos: grow/drain cycles + mid-scale-in kills
+//	mschaos -seed 42 -ha                  # hybrid fault tolerance: active standby on the victim + failover instants
 //
 // A failing run exits non-zero and prints the exact command that replays
 // its schedule.
@@ -42,6 +43,7 @@ func main() {
 		migrate = flag.Bool("migrate", false, "enable live-migration chaos, including the mid-migration kill instant")
 		rescale = flag.Bool("rescale", false, "enable re-partition chaos: clean splits/merges plus the mid-rescale kill instant")
 		elastic = flag.Bool("elastic", false, "enable fleet-elasticity chaos: clean grow/drain cycles plus the mid-scale-in and scale-in-destination kill instants")
+		ha      = flag.Bool("ha", false, "enable hybrid fault-tolerance chaos: an active standby on each topology's HA victim, hybrid promote-or-rollback recovery, plus the primary-kill and standby-mid-promotion instants")
 	)
 	flag.Parse()
 
@@ -76,6 +78,7 @@ func main() {
 			Migrations:   *migrate,
 			Rescales:     *rescale,
 			Elastic:      *elastic,
+			HA:           *ha,
 		}
 		if *verbose {
 			cfg.Logf = func(format string, args ...any) {

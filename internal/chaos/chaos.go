@@ -84,6 +84,25 @@ const (
 	// space when Config.Elastic is set, so default schedules replay
 	// unchanged.
 	KillScaleInDest InjectionPoint = "mid-scale-in-dest"
+	// KillHAPrimary kills the protected primary's node alone — the
+	// single-domain failure the standby was provisioned against — and
+	// lands the correlated burst asynchronously while hybrid recovery
+	// runs. HybridRecover must promote the standby (a single-edge
+	// switchover, no rollback) when the primary's domain held only
+	// protected HAUs, or roll back otherwise, and the late burst then
+	// forces a second recovery on top of whichever path won; the oracles
+	// must stay clean across the promotion boundary either way. Only in
+	// the sample space when Config.HA is set, so default schedules replay
+	// unchanged.
+	KillHAPrimary InjectionPoint = "ha-primary"
+	// KillHAStandbyMidPromote kills the protected primary's node alone so
+	// a promotion can start, then kills the STANDBY's node synchronously
+	// at the promote step — the operator's only live copy dies
+	// mid-switchover. The failover must abort, the burst lands on top,
+	// and whole-application rollback must heal everything without loss or
+	// duplication. Only in the sample space when Config.HA is set, so
+	// default schedules replay unchanged.
+	KillHAStandbyMidPromote InjectionPoint = "ha-standby-mid-promote"
 	// KillMidChannelLog triggers a checkpoint and kills while unaligned
 	// captures are logging in-flight channel tuples — the store may hold
 	// epochs whose blobs carry half the application's channel sections.
@@ -125,6 +144,12 @@ type Config struct {
 	// clean grow-then-drain cycle (add a node, scale another one in) before
 	// its kill, or draws one of the mid-scale-in instants.
 	Elastic bool
+	// HA enables hybrid fault-tolerance chaos: every round arms an active
+	// standby on the topology's HA victim before its kill, recovery goes
+	// through HybridRecover's promote-or-rollback decision instead of
+	// unconditional rollback, and the sample space gains the primary-kill
+	// and standby-mid-promotion instants.
+	HA bool
 	// Points overrides the injection sample space (tests force a single
 	// instant with it). Empty selects the default space.
 	Points []InjectionPoint
@@ -163,6 +188,9 @@ func (c *Config) defaults() {
 		if c.Elastic {
 			c.Points = append(c.Points, KillMidScaleIn, KillScaleInDest)
 		}
+		if c.HA {
+			c.Points = append(c.Points, KillHAPrimary, KillHAStandbyMidPromote)
+		}
 		if c.Scheme.Unaligned() {
 			c.Points = append(c.Points, KillMidChannelLog)
 		}
@@ -191,6 +219,12 @@ type Round struct {
 	Drained   int // node scale-in drained this round; -1 if none
 	DrainKill int // draining node killed while its HAUs were mid-flight; -1 if none
 	DestKill  int // drain-migration destination killed in flight; -1 if none
+
+	Protected   string // HA-protected operator this round (HA mode); "" if none
+	PrimaryKill int    // protected primary's node killed; -1 if none
+	StandbyKill int    // standby's node killed mid-promotion; -1 if none
+	Failovers   int    // standbys promoted in place of rollback this round
+	RolledBack  bool   // an HA-mode recovery fell back to whole-application rollback
 }
 
 // Result is a finished chaos run plus both oracle verdicts.
@@ -204,6 +238,7 @@ type Result struct {
 	Migrations bool
 	Rescales   bool
 	Elastic    bool
+	HA         bool
 	RoundList  []Round
 	// Report is the chaos run's terminal sink state; Reference is the
 	// single-threaded replay's.
@@ -256,6 +291,9 @@ func (r *Result) ReplayCommand() string {
 	}
 	if r.Elastic {
 		cmd += " -elastic"
+	}
+	if r.HA {
+		cmd += " -ha"
 	}
 	return cmd
 }
@@ -321,6 +359,22 @@ func (r *Result) String() string {
 			}
 			fmt.Fprintf(&b, "]")
 		}
+		if rd.Protected != "" {
+			fmt.Fprintf(&b, " [ha %s", rd.Protected)
+			if rd.PrimaryKill >= 0 {
+				fmt.Fprintf(&b, " primary node %d killed", rd.PrimaryKill)
+			}
+			if rd.StandbyKill >= 0 {
+				fmt.Fprintf(&b, ", standby node %d killed mid-promotion", rd.StandbyKill)
+			}
+			if rd.Failovers > 0 {
+				fmt.Fprintf(&b, ", %d promoted", rd.Failovers)
+			}
+			if rd.RolledBack {
+				fmt.Fprintf(&b, ", rolled back")
+			}
+			fmt.Fprintf(&b, "]")
+		}
 		if rd.Added >= 0 || rd.Drained >= 0 {
 			fmt.Fprintf(&b, " [elastic")
 			if rd.Added >= 0 {
@@ -352,7 +406,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		Topology: cfg.Topology, Seed: cfg.Seed, Nodes: cfg.Nodes, Rounds: cfg.Rounds,
 		Scheme: cfg.Scheme, Placement: cfg.Placement, Migrations: cfg.Migrations, Rescales: cfg.Rescales,
-		Elastic: cfg.Elastic,
+		Elastic: cfg.Elastic, HA: cfg.HA,
 	}
 	var pol placement.Policy
 	if cfg.Placement != "" {
@@ -506,6 +560,43 @@ func (h *harness) hostsHAU(idx int) bool {
 	return false
 }
 
+// recover drives one recovery: plain whole-application rollback, or — in
+// HA mode — HybridRecover's promote-or-rollback decision, which fails the
+// dead HAUs over onto their standbys when every casualty is protected.
+func (h *harness) recover(ctx context.Context, rd *Round) error {
+	rd.Attempts++
+	if h.cfg.HA {
+		n, rolledBack, err := h.cl.HybridRecover(ctx)
+		rd.Failovers += n
+		rd.RolledBack = rd.RolledBack || rolledBack
+		return err
+	}
+	stats, err := h.cl.RecoverAllWithRetry(ctx, 10, 2*time.Millisecond)
+	if err == nil {
+		rd.RecoveredEpoch = stats.Epoch
+	}
+	return err
+}
+
+// ensureProtected arms the topology's HA victim with an active standby if
+// it is not already protected, returning the victim id ("" when the
+// topology has no victim or arming failed — the round degrades to plain
+// rollback chaos).
+func (h *harness) ensureProtected(ctx context.Context) string {
+	id := haVictim(h.cfg.Topology)
+	if id == "" {
+		return ""
+	}
+	if h.cl.Protected(id) {
+		return id
+	}
+	if _, err := h.cl.ProtectHAU(ctx, id); err != nil {
+		h.cfg.Logf("protect %s: %v", id, err)
+		return ""
+	}
+	return id
+}
+
 // rescaleTarget picks the replica count the next rescale of id drives
 // toward: split a whole operator to 2, merge a split one back to 1.
 func (h *harness) rescaleTarget(id string) int {
@@ -542,6 +633,7 @@ func (h *harness) round(ctx context.Context, burst []int) (Round, error) {
 	rd := Round{
 		Burst: burst, ExtraKill: -1, MigrateKill: -1, RescaleKill: -1,
 		Added: -1, Drained: -1, DrainKill: -1, DestKill: -1,
+		PrimaryKill: -1, StandbyKill: -1,
 	}
 	rd.Point = h.cfg.Points[h.rng.Intn(len(h.cfg.Points))]
 	// In migration mode, every round that is not itself a mid-migration
@@ -578,6 +670,14 @@ func (h *harness) round(ctx context.Context, burst []int) (Round, error) {
 			rd.Drained = victim
 			_ = h.cl.DrainNode(ctx, victim)
 		}
+	}
+	// In HA mode, every round arms the topology's HA victim with an active
+	// standby before its kill (a rollback in the previous round tears the
+	// standby down, so each round re-arms). A failed arm (transient race
+	// with the recovering application) is fine — the round degrades to
+	// plain rollback chaos.
+	if h.cfg.HA {
+		rd.Protected = h.ensureProtected(ctx)
 	}
 	if err := h.ensureCheckpoint(ctx); err != nil {
 		return rd, err
@@ -749,25 +849,77 @@ func (h *harness) round(ctx context.Context, burst []int) (Round, error) {
 		h.cl.KillNodes(kills)
 		<-drainDone
 		h.cl.SetDrainObserver(nil)
+	case KillHAPrimary:
+		// Kill the protected primary's node alone, then land the burst
+		// asynchronously while hybrid recovery runs. When the primary's
+		// domain held only protected HAUs the recovery promotes the
+		// standby — and the late burst then piles a rollback (or a
+		// mid-promotion standby death) on top of the fresh switchover;
+		// otherwise the recovery rolls back under fire. Both outcomes are
+		// legal and both cross the promotion boundary the oracles check.
+		// The delay draw happens unconditionally so the rng stream — and
+		// with it the rest of the schedule — stays seed-replayable even
+		// when protection (which timing can shift) failed to arm.
+		delay := time.Duration(h.rng.Intn(1200)) * time.Microsecond
+		if rd.Protected == "" {
+			h.cl.KillNodes(burst) // protection unavailable: degrade to immediate
+			break
+		}
+		rd.PrimaryKill = h.cl.NodeOf(rd.Protected)
+		h.cl.KillNode(rd.PrimaryKill)
+		killerDone = make(chan struct{})
+		go func() {
+			defer close(killerDone)
+			time.Sleep(delay)
+			h.cl.KillNodes(burst)
+		}()
+	case KillHAStandbyMidPromote:
+		// Kill the primary's node alone so a promotion can start, then
+		// kill the standby's node synchronously at the promote step: the
+		// switchover loses the operator's only live copy mid-flight and
+		// must abort. The burst lands after the aborted attempt, and the
+		// whole-application rollback below heals everything.
+		if rd.Protected == "" {
+			h.cl.KillNodes(burst) // protection unavailable: degrade to immediate
+			break
+		}
+		id := rd.Protected
+		sbNode, hasSB := h.cl.StandbyNodeOf(id)
+		rd.PrimaryKill = h.cl.NodeOf(id)
+		h.cl.KillNode(rd.PrimaryKill)
+		if hasSB && sbNode != rd.PrimaryKill {
+			// The observer fires on the promoting goroutine — this one —
+			// so the kill is strictly ordered between the tee swap and
+			// the standby's install.
+			killed := false
+			h.cl.SetFailoverObserver(func(fid, step string) {
+				if fid == id && step == "promote" {
+					h.cl.KillNode(sbNode)
+					killed = true
+				}
+			})
+			if _, err := h.cl.FailoverHAU(ctx, id); err == nil {
+				rd.Failovers++ // defensive: the install raced ahead of the kill — still a legal, clean promotion
+			}
+			h.cl.SetFailoverObserver(nil)
+			if killed {
+				rd.StandbyKill = sbNode
+			}
+		}
+		h.cl.KillNodes(burst)
 	}
 
-	stats, err := h.cl.RecoverAllWithRetry(ctx, 10, 2*time.Millisecond)
-	rd.Attempts++
-	if err != nil {
+	if err := h.recover(ctx, &rd); err != nil {
 		<-killerDone
 		return rd, fmt.Errorf("recovery: %w", err)
 	}
-	rd.RecoveredEpoch = stats.Epoch
 	<-killerDone
 	// The mid-recovery kill may have landed after recovery finished; if
 	// any HAU died, drive recovery once more until the app is whole.
 	if len(h.cl.DeadHAUs()) > 0 {
-		stats, err = h.cl.RecoverAllWithRetry(ctx, 10, 2*time.Millisecond)
-		rd.Attempts++
-		if err != nil {
+		if err := h.recover(ctx, &rd); err != nil {
 			return rd, fmt.Errorf("post-kill recovery: %w", err)
 		}
-		rd.RecoveredEpoch = stats.Epoch
 	}
 	// Replacement nodes arrive: revive anything still marked dead so the
 	// next round has full capacity.

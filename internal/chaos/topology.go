@@ -50,6 +50,23 @@ func rescaleVictim(top Topology) string {
 	}
 }
 
+// haVictim names the interior operator HA chaos protects with an active
+// standby. It must satisfy ProtectHAU's shape constraints — exactly one
+// unsplit upstream, at least one downstream — and is deliberately distinct
+// from rescaleVictim (whose splits would make the victim or its upstream
+// ineligible): TMI's GoogleMap operator M0 (single input from its Pair)
+// and SignalGuru's frame analyzer A0 (single input from the color filter).
+func haVictim(top Topology) string {
+	switch top {
+	case Chain, FanIn:
+		return "M0"
+	case FanOut:
+		return "A0"
+	default:
+		return ""
+	}
+}
+
 // buildSpec returns a fresh application instance for the topology. Fresh
 // matters: operators are stateful, so the cluster run and the reference
 // replay each need their own instance built from identical parameters.

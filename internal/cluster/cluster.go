@@ -23,6 +23,7 @@ import (
 	"meteorshower/internal/operator"
 	"meteorshower/internal/partition"
 	"meteorshower/internal/placement"
+	"meteorshower/internal/replica"
 	"meteorshower/internal/spe"
 	"meteorshower/internal/storage"
 )
@@ -127,6 +128,29 @@ type Config struct {
 	// cooldowns default to 3x/6x ElasticEvery for out/in.
 	Elastic elastic.Config
 
+	// HAEvery enables the controller's hybrid fault-tolerance loop: every
+	// period the replica planner ranks single-input interior operators by
+	// recovery cost and arms an active standby for the hottest
+	// (ProtectHAU) or demotes cold protected ones back to
+	// checkpoint-only recovery (DemoteHAU). Zero disables the loop;
+	// Protect/Demote/FailoverHAU stay callable manually.
+	HAEvery time.Duration
+	// ProtectAbove / DemoteBelow are the planner's hysteresis watermarks
+	// (bytes of operator state); keep DemoteBelow well under ProtectAbove
+	// or a flat workload flaps. MaxStandbys bounds concurrent standbys
+	// (0 = 1); HACooldown is the per-HAU minimum between mode changes
+	// (0 = twice HAEvery).
+	ProtectAbove int64
+	DemoteBelow  int64
+	MaxStandbys  int
+	HACooldown   time.Duration
+	// StandbyRing bounds each standby's suppressed-output ring (tuples);
+	// 0 derives a default from the output edge capacity.
+	StandbyRing int
+	// Logf, when set, receives human-readable cluster warnings (e.g. a
+	// standby placed in its primary's rack on a single-rack fleet).
+	Logf func(format string, args ...any)
+
 	Listener spe.Listener // optional extra listener (controller is wired automatically)
 	Now      func() int64
 	// Metrics, when set, receives the per-phase timing of every successful
@@ -229,6 +253,14 @@ type Cluster struct {
 	gen       uint64
 	migrating map[string]bool
 
+	// Active-standby replication (hybrid fault tolerance): standbys maps
+	// each protected HAU to its armed standby, haPlanner assigns
+	// ModeStandby/ModeCheckpoint on the controller's HA tick, failObs
+	// observes failover steps (chaos aims kills with it).
+	standbys  map[string]*standbyState
+	haPlanner *replica.Planner
+	failObs   func(id, step string)
+
 	rootCtx context.Context
 	started bool
 }
@@ -269,6 +301,7 @@ func New(cfg Config) (*Cluster, error) {
 		nextTag:     make(map[string]int),
 		rescaling:   make(map[string]bool),
 		lastRescale: make(map[string]time.Time),
+		standbys:    make(map[string]*standbyState),
 	}
 	if cl.policy == nil {
 		cl.policy = placement.RoundRobin{}
@@ -335,6 +368,20 @@ func New(cfg Config) (*Cluster, error) {
 		})
 		ctrlCfg.Elastic = cl.elastic.Step
 		ctrlCfg.ElasticEvery = cfg.ElasticEvery
+	}
+	if cfg.HAEvery > 0 {
+		rcfg := replica.Config{
+			ProtectAbove: cfg.ProtectAbove,
+			DemoteBelow:  cfg.DemoteBelow,
+			MaxStandbys:  cfg.MaxStandbys,
+			Cooldown:     cfg.HACooldown,
+		}
+		if rcfg.Cooldown <= 0 {
+			rcfg.Cooldown = 2 * cfg.HAEvery
+		}
+		cl.haPlanner = replica.New(rcfg)
+		ctrlCfg.HA = cl.haStep
+		ctrlCfg.HAEvery = cfg.HAEvery
 	}
 	cl.ctrl = controller.New(ctrlCfg)
 	return cl, nil
@@ -736,9 +783,32 @@ func (cl *Cluster) KillNode(idx int) {
 			cancels = append(cancels, c)
 		}
 	}
+	// Standbys hosted on the dead node die with it. Drop their tees, or
+	// the upstream eventually blocks on the unconsumed mirror; the entry
+	// is removed so the HA loop can re-arm protection later.
+	type teeDrop struct {
+		uh     *spe.HAU
+		port   int
+		mirror *spe.Edge
+	}
+	var drops []teeDrop
+	rootCtx := cl.rootCtx
+	for id, sb := range cl.standbys {
+		if sb.node != idx {
+			continue
+		}
+		cancels = append(cancels, sb.cancel)
+		if uh := cl.haus[sb.up]; uh != nil {
+			drops = append(drops, teeDrop{uh, sb.upPort, sb.mirror})
+		}
+		delete(cl.standbys, id)
+	}
 	cl.mu.Unlock()
 	for _, c := range cancels {
 		c()
+	}
+	for _, d := range drops {
+		cl.dropTee(rootCtx, d.uh, d.port, d.mirror)
 	}
 }
 
@@ -811,6 +881,10 @@ func (cl *Cluster) StopAll() {
 		cancels = append(cancels, c)
 		haus = append(haus, cl.haus[id])
 	}
+	for _, sb := range cl.standbys {
+		cancels = append(cancels, sb.cancel)
+		haus = append(haus, sb.h)
+	}
 	cl.mu.Unlock()
 	for _, c := range cancels {
 		c()
@@ -843,6 +917,14 @@ func (cl *Cluster) RecoverAll(ctx context.Context) (RecoveryStats, error) {
 	cancels := make([]context.CancelFunc, 0, len(cl.cancels))
 	for _, c := range cl.cancels {
 		cancels = append(cancels, c)
+	}
+	// Standbys roll back with everything else: the rebuild below rewires
+	// every edge from scratch, so armed tees cannot survive it. The HA
+	// loop re-arms protection on a later tick.
+	for id, sb := range cl.standbys {
+		oldHAUs = append(oldHAUs, sb.h)
+		cancels = append(cancels, sb.cancel)
+		delete(cl.standbys, id)
 	}
 	cl.mu.Unlock()
 	for _, c := range cancels {

@@ -93,7 +93,7 @@ func (cl *Cluster) DrainNode(ctx context.Context, idx int) error {
 		return fmt.Errorf("cluster: draining node %d would leave no schedulable node", idx)
 	}
 	n.draining.Store(true)
-	gen0 := cl.gen
+	grd := cl.guardLocked(ErrDrainAborted)
 	cl.mu.Unlock()
 
 	abort := func(err error) error {
@@ -102,13 +102,13 @@ func (cl *Cluster) DrainNode(ctx context.Context, idx int) error {
 	}
 	for {
 		cl.mu.Lock()
-		if cl.gen != gen0 {
+		if grd.supersededLocked() {
 			cl.mu.Unlock()
-			return abort(fmt.Errorf("%w: superseded by recovery", ErrDrainAborted))
+			return abort(grd.errf("superseded by recovery"))
 		}
 		if !n.alive.Load() {
 			cl.mu.Unlock()
-			return abort(fmt.Errorf("%w: node %d died while draining", ErrDrainAborted, idx))
+			return abort(grd.errf("node %d died while draining", idx))
 		}
 		// Next hosted incarnation, in deterministic graph/replica order.
 		var id string
@@ -136,27 +136,27 @@ func (cl *Cluster) DrainNode(ctx context.Context, idx int) error {
 		obs := cl.drainObs
 		cl.mu.Unlock()
 		if dest < 0 {
-			return abort(fmt.Errorf("%w: no live destination for %q", ErrDrainAborted, id))
+			return abort(grd.errf("no live destination for %q", id))
 		}
 		if obs != nil {
 			obs(id, idx, dest)
 		}
 		if _, err := cl.MigrateHAU(ctx, id, dest); err != nil {
-			return abort(fmt.Errorf("%w: migrating %q to node %d: %v", ErrDrainAborted, id, dest, err))
+			return abort(grd.errf("migrating %q to node %d: %v", id, dest, err))
 		}
 	}
 
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	if cl.gen != gen0 {
+	if grd.supersededLocked() {
 		// A recovery slipped in after the last migration; it may have
 		// re-placed HAUs onto this node, so retiring it now would strand
 		// them. The recovery owns placement — give up.
-		return abort(fmt.Errorf("%w: superseded by recovery", ErrDrainAborted))
+		return abort(grd.errf("superseded by recovery"))
 	}
 	for _, inc := range cl.incarnationsLocked() {
 		if cl.hauNode[inc] == idx {
-			return abort(fmt.Errorf("%w: %q reappeared on node %d", ErrDrainAborted, inc, idx))
+			return abort(grd.errf("%q reappeared on node %d", inc, idx))
 		}
 	}
 	n.draining.Store(false)
@@ -195,11 +195,19 @@ func (cl *Cluster) CanDrain(idx int) bool {
 	if others == 0 {
 		return false
 	}
+	// A node hosting a standby cannot drain: standbys are not migratable
+	// incarnations (they exist to pin a failure domain), so the drain
+	// could never empty the node.
+	for _, sb := range cl.standbys {
+		if sb.node == idx {
+			return false
+		}
+	}
 	for id, nd := range cl.hauNode {
 		if nd != idx {
 			continue
 		}
-		if partition.IsReplica(id) || cl.parts[id] != nil || cl.migrating[id] {
+		if partition.IsReplica(id) || cl.parts[id] != nil || cl.migrating[id] || cl.haPinnedLocked(id) {
 			return false
 		}
 	}
@@ -277,7 +285,7 @@ func (cl *Cluster) elasticSample() elastic.Sample {
 		}
 		st := &s.Nodes[nd]
 		st.HAUs++
-		if !partition.IsReplica(id) && cl.parts[id] == nil && !cl.migrating[id] {
+		if !partition.IsReplica(id) && cl.parts[id] == nil && !cl.migrating[id] && !cl.haPinnedLocked(id) {
 			st.CanMove++
 		}
 		if h := cl.haus[id]; h != nil {
@@ -288,6 +296,17 @@ func (cl *Cluster) elasticSample() elastic.Sample {
 				st.Queue += e.Queued()
 			}
 		}
+	}
+	// Standbys occupy their host like any HAU (duplicate execution burns
+	// real capacity) but are never migration candidates.
+	for _, sb := range cl.standbys {
+		if sb.node < 0 || sb.node >= len(s.Nodes) {
+			continue
+		}
+		st := &s.Nodes[sb.node]
+		st.HAUs++
+		st.State += sb.h.CachedStateSize()
+		st.Queue += sb.mirror.Queued()
 	}
 	return s
 }

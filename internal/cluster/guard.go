@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"meteorshower/internal/spe"
+)
+
+// Every live topology operation — migration, rescale, drain, failover —
+// shares one abort contract: capture the recovery generation under cl.mu
+// after validating, re-check it at every commit point (a whole-application
+// rollback bumping cl.gen rebuilt every HAU, so the operation's captured
+// instances are stale), and surface every give-up wrapped in the
+// operation's sentinel error. opGuard is that contract, shared so the
+// quiesce epoch and the token-barrier blob drain are written once instead
+// of once per operation.
+type opGuard struct {
+	cl    *Cluster
+	gen0  uint64
+	abort error // the operation's sentinel (ErrMigrationAborted, ...)
+}
+
+const (
+	quiesceTimeout = 5 * time.Second
+	drainTimeout   = 10 * time.Second
+)
+
+// guardLocked captures the current recovery generation. Held lock: cl.mu.
+func (cl *Cluster) guardLocked(abort error) opGuard {
+	return opGuard{cl: cl, gen0: cl.gen, abort: abort}
+}
+
+// supersededLocked reports whether a recovery has bumped the generation
+// since the guard was captured. Held lock: cl.mu.
+func (g opGuard) supersededLocked() bool { return g.cl.gen != g.gen0 }
+
+// errf wraps a give-up reason in the operation's sentinel.
+func (g opGuard) errf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{g.abort}, args...)...)
+}
+
+// quiesce drives one fresh checkpoint epoch to completion and returns it.
+// Waiting on an EXISTING epoch would wedge: an epoch abandoned by a
+// failure never completes. A fresh epoch triggered while the application
+// is healthy completes quickly; if it does not, something is already wrong
+// and the caller aborts. Callers pause the controller's own triggers
+// first, so completion means no token alignment is in flight afterwards.
+func (g opGuard) quiesce(ctx context.Context) (uint64, error) {
+	cl := g.cl
+	ep := cl.ctrl.TriggerCheckpoint()
+	deadline := time.After(quiesceTimeout)
+	tick := time.NewTicker(500 * time.Microsecond)
+	defer tick.Stop()
+	for {
+		if mrc, ok := cl.catalog.MostRecentComplete(); ok && mrc >= ep {
+			return ep, nil
+		}
+		if len(cl.DeadHAUs()) > 0 {
+			// A member HAU's node is down: the epoch can never complete.
+			return ep, g.errf("node failure during quiesce")
+		}
+		select {
+		case <-ctx.Done():
+			return ep, g.errf("%v", ctx.Err())
+		case <-deadline:
+			return ep, g.errf("quiesce epoch %d did not complete", ep)
+		case <-tick.C:
+		}
+	}
+}
+
+// drainBlob waits for incarnation id to hand its state blob over on reply
+// after a token-barrier drain (CmdMigrateSnap / CmdStandbySnap). The
+// incarnation may reply and exit in the same instant — Done and the
+// buffered reply can both be ready, and select picks arbitrarily — so the
+// blob is preferred whenever it was handed over. deadline is shared by
+// callers draining several incarnations against one clock.
+func (g opGuard) drainBlob(ctx context.Context, id string, h *spe.HAU, reply <-chan []byte, deadline <-chan time.Time) ([]byte, error) {
+	tick := time.NewTicker(500 * time.Microsecond)
+	defer tick.Stop()
+	for {
+		select {
+		case blob := <-reply:
+			return blob, nil
+		case <-h.Done():
+			select {
+			case blob := <-reply:
+				return blob, nil
+			default:
+			}
+			// It died before handing its state over (node killed
+			// mid-drain). The failure detector / chaos harness drives a
+			// whole-application recovery that re-places it consistently.
+			return nil, g.errf("incarnation %q died mid-drain", id)
+		case <-ctx.Done():
+			return nil, g.errf("%v", ctx.Err())
+		case <-deadline:
+			return nil, g.errf("drain timed out")
+		case <-tick.C:
+			// An upstream's node died: its migration token will never
+			// arrive, so the drain cannot complete. Bail out now rather
+			// than burning the whole timeout — recovery is coming anyway.
+			if len(g.cl.DeadHAUs()) > 0 {
+				return nil, g.errf("node failure during drain")
+			}
+		}
+	}
+}

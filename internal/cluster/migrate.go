@@ -29,11 +29,6 @@ type MigrationStats struct {
 	Restore    time.Duration // state deserialization on the destination
 }
 
-const (
-	migrateQuiesceTimeout = 5 * time.Second
-	migrateDrainTimeout   = 10 * time.Second
-)
-
 // MigrateHAU live-migrates one HAU to another node with exactly-once
 // semantics and no whole-application rollback:
 //
@@ -107,8 +102,12 @@ func (cl *Cluster) MigrateHAU(ctx context.Context, id string, dest int) (Migrati
 		cl.mu.Unlock()
 		return stats, fmt.Errorf("cluster: HAU %q already migrating", id)
 	}
+	if cl.haPinnedLocked(id) {
+		cl.mu.Unlock()
+		return stats, fmt.Errorf("cluster: HAU %q is pinned by active-standby replication (protected or adjacent to a protected HAU); demote first", id)
+	}
 	cl.migrating[id] = true
-	gen0 := cl.gen
+	grd := cl.guardLocked(ErrMigrationAborted)
 	cl.mu.Unlock()
 	defer func() {
 		cl.mu.Lock()
@@ -124,16 +123,16 @@ func (cl *Cluster) MigrateHAU(ctx context.Context, id string, dest int) (Migrati
 	// pause stops new epochs until the move is done.
 	cl.ctrl.PauseCheckpoints()
 	defer cl.ctrl.ResumeCheckpoints()
-	if _, err := cl.quiesceCheckpoints(ctx); err != nil {
+	if _, err := grd.quiesce(ctx); err != nil {
 		return stats, err
 	}
 
 	// The recovery generation must not have moved: a whole-application
 	// rollback rebuilt every HAU and our captured instance is stale.
 	cl.mu.Lock()
-	if cl.gen != gen0 || cl.haus[id] != old || !cl.nodes[dest].alive.Load() {
+	if grd.supersededLocked() || cl.haus[id] != old || !cl.nodes[dest].alive.Load() {
 		cl.mu.Unlock()
-		return stats, fmt.Errorf("%w: superseded before drain", ErrMigrationAborted)
+		return stats, grd.errf("superseded before drain")
 	}
 	g := cl.cfg.App.Graph
 	ups := g.Upstream(id)
@@ -173,41 +172,9 @@ func (cl *Cluster) MigrateHAU(ctx context.Context, id string, dest int) (Migrati
 	reply := make(chan []byte, 1)
 	old.Command(spe.Command{Kind: spe.CmdMigrateSnap, Reply: reply})
 
-	var blob []byte
-	drainDeadline := time.After(migrateDrainTimeout)
-	drainTick := time.NewTicker(500 * time.Microsecond)
-	defer drainTick.Stop()
-drain:
-	for {
-		select {
-		case blob = <-reply:
-			break drain
-		case <-old.Done():
-			// The old incarnation replies and then exits, so Done and the
-			// buffered reply can be ready simultaneously — and select picks
-			// arbitrarily. Prefer the state blob if it was handed over.
-			select {
-			case blob = <-reply:
-				break drain
-			default:
-			}
-			// It died before handing its state over (node killed
-			// mid-drain). The failure detector / chaos harness drives a
-			// whole-application recovery that re-places the HAU
-			// consistently.
-			return stats, fmt.Errorf("%w: source incarnation died mid-drain", ErrMigrationAborted)
-		case <-ctx.Done():
-			return stats, fmt.Errorf("%w: %v", ErrMigrationAborted, ctx.Err())
-		case <-drainDeadline:
-			return stats, fmt.Errorf("%w: drain timed out", ErrMigrationAborted)
-		case <-drainTick.C:
-			// An upstream's node died: its migration token will never
-			// arrive, so the drain cannot complete. Bail out now rather than
-			// burning the whole timeout — recovery is coming anyway.
-			if len(cl.DeadHAUs()) > 0 {
-				return stats, fmt.Errorf("%w: node failure during drain", ErrMigrationAborted)
-			}
-		}
+	blob, err := grd.drainBlob(ctx, id, old, reply, time.After(drainTimeout))
+	if err != nil {
+		return stats, err
 	}
 	stats.Drain = time.Since(drainStart)
 	stats.MovedBytes = int64(len(blob))
@@ -216,9 +183,9 @@ drain:
 	// Start below, HAU id is not processing — the downtime window.
 	downStart := time.Now()
 	cl.mu.Lock()
-	if cl.gen != gen0 {
+	if grd.supersededLocked() {
 		cl.mu.Unlock()
-		return stats, fmt.Errorf("%w: superseded during drain", ErrMigrationAborted)
+		return stats, grd.errf("superseded during drain")
 	}
 	if c := cl.cancels[id]; c != nil {
 		c() // release the old incarnation's forwarder goroutines
@@ -265,32 +232,4 @@ drain:
 		})
 	}
 	return stats, nil
-}
-
-// quiesceCheckpoints drives one fresh checkpoint epoch to completion and
-// returns it. Waiting on an EXISTING epoch would wedge: an epoch abandoned
-// by a failure never completes. A fresh epoch triggered while the
-// application is healthy completes quickly; if it does not, something is
-// already wrong and the caller aborts.
-func (cl *Cluster) quiesceCheckpoints(ctx context.Context) (uint64, error) {
-	ep := cl.ctrl.TriggerCheckpoint()
-	deadline := time.After(migrateQuiesceTimeout)
-	tick := time.NewTicker(500 * time.Microsecond)
-	defer tick.Stop()
-	for {
-		if mrc, ok := cl.catalog.MostRecentComplete(); ok && mrc >= ep {
-			return ep, nil
-		}
-		if len(cl.DeadHAUs()) > 0 {
-			// A member HAU's node is down: the epoch can never complete.
-			return ep, fmt.Errorf("%w: node failure during quiesce", ErrMigrationAborted)
-		}
-		select {
-		case <-ctx.Done():
-			return ep, fmt.Errorf("%w: %v", ErrMigrationAborted, ctx.Err())
-		case <-deadline:
-			return ep, fmt.Errorf("%w: quiesce epoch %d did not complete", ErrMigrationAborted, ep)
-		case <-tick.C:
-		}
-	}
 }

@@ -82,7 +82,7 @@ func TestMigrateAbortsOnWedgedUnalignedCapture(t *testing.T) {
 	if !errors.Is(err, ErrMigrationAborted) {
 		t.Fatalf("migration with wedged capture: err = %v, want ErrMigrationAborted", err)
 	}
-	if elapsed := time.Since(start); elapsed > migrateQuiesceTimeout+3*time.Second {
+	if elapsed := time.Since(start); elapsed > quiesceTimeout+3*time.Second {
 		t.Fatalf("abort took %v, not bounded by the quiesce timeout", elapsed)
 	}
 }

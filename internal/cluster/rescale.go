@@ -30,8 +30,6 @@ import (
 // leave the topology untouched.
 var ErrRescaleAborted = errors.New("cluster: rescale aborted")
 
-const rescaleDrainTimeout = 10 * time.Second
-
 // partState is the live partition geometry of one split operator.
 type partState struct {
 	Base     string
@@ -261,6 +259,10 @@ func (cl *Cluster) RescaleHAU(ctx context.Context, id string, n int) (RescaleSta
 		cl.mu.Unlock()
 		return stats, fmt.Errorf("cluster: HAU %q already rescaling or migrating", id)
 	}
+	if cl.haPinnedLocked(id) {
+		cl.mu.Unlock()
+		return stats, fmt.Errorf("cluster: HAU %q is pinned by active-standby replication (protected or adjacent to a protected HAU); demote first", id)
+	}
 	slots, err := probeSlots(cl.cfg.App.NewOperators(id))
 	if err != nil {
 		cl.mu.Unlock()
@@ -271,7 +273,7 @@ func (cl *Cluster) RescaleHAU(ctx context.Context, id string, n int) (RescaleSta
 		oldAssign = ps.Assign.Clone()
 	}
 	cl.rescaling[id] = true
-	gen0 := cl.gen
+	grd := cl.guardLocked(ErrRescaleAborted)
 	cl.mu.Unlock()
 	defer func() {
 		cl.mu.Lock()
@@ -283,16 +285,16 @@ func (cl *Cluster) RescaleHAU(ctx context.Context, id string, n int) (RescaleSta
 	// Phase 1: quiesce (see MigrateHAU for why a FRESH epoch is driven).
 	cl.ctrl.PauseCheckpoints()
 	defer cl.ctrl.ResumeCheckpoints()
-	if _, err := cl.quiesceCheckpoints(ctx); err != nil {
-		return stats, fmt.Errorf("%w: %v", ErrRescaleAborted, err)
+	if _, err := grd.quiesce(ctx); err != nil {
+		return stats, err
 	}
 
 	// Build the target geometry and all new edges under the lock, but do not
 	// install any of it yet — the commit below re-checks the generation.
 	cl.mu.Lock()
-	if cl.gen != gen0 {
+	if grd.supersededLocked() {
 		cl.mu.Unlock()
-		return stats, fmt.Errorf("%w: superseded before divert", ErrRescaleAborted)
+		return stats, grd.errf("superseded before divert")
 	}
 	assign := oldAssign
 	if assign == nil {
@@ -419,29 +421,11 @@ func (cl *Cluster) RescaleHAU(ctx context.Context, id string, n int) (RescaleSta
 		h.Command(spe.Command{Kind: spe.CmdMigrateSnap, Reply: replies[i]})
 	}
 	blobs := make([][]byte, m)
-	drainDeadline := time.After(rescaleDrainTimeout)
-	drainTick := time.NewTicker(500 * time.Microsecond)
-	defer drainTick.Stop()
+	drainDeadline := time.After(drainTimeout)
 	for i, h := range oldHAUs {
-		for blobs[i] == nil {
-			select {
-			case blobs[i] = <-replies[i]:
-			case <-h.Done():
-				// Reply and exit can be ready simultaneously; prefer the blob.
-				select {
-				case blobs[i] = <-replies[i]:
-				default:
-					return stats, fmt.Errorf("%w: incarnation %q died mid-drain", ErrRescaleAborted, oldIncs[i])
-				}
-			case <-ctx.Done():
-				return stats, fmt.Errorf("%w: %v", ErrRescaleAborted, ctx.Err())
-			case <-drainDeadline:
-				return stats, fmt.Errorf("%w: drain timed out", ErrRescaleAborted)
-			case <-drainTick.C:
-				if len(cl.DeadHAUs()) > 0 {
-					return stats, fmt.Errorf("%w: node failure during drain", ErrRescaleAborted)
-				}
-			}
+		var err error
+		if blobs[i], err = grd.drainBlob(ctx, oldIncs[i], h, replies[i], drainDeadline); err != nil {
+			return stats, err
 		}
 	}
 	stats.Drain = time.Since(drainStart)
@@ -504,9 +488,9 @@ func (cl *Cluster) RescaleHAU(ctx context.Context, id string, n int) (RescaleSta
 	// Phase 5: commit the new geometry and start the new incarnations.
 	restoreStart := time.Now()
 	cl.mu.Lock()
-	if cl.gen != gen0 {
+	if grd.supersededLocked() {
 		cl.mu.Unlock()
-		return stats, fmt.Errorf("%w: superseded during drain", ErrRescaleAborted)
+		return stats, grd.errf("superseded during drain")
 	}
 	for _, oinc := range oldIncs {
 		if c := cl.cancels[oinc]; c != nil {
@@ -580,15 +564,15 @@ func (cl *Cluster) RescaleHAU(ctx context.Context, id string, n int) (RescaleSta
 
 	// Phase 6: commit epoch. The first complete checkpoint under the new
 	// membership; journal it so recovery rebuilds the matching topology.
-	commitEp, err := cl.quiesceCheckpoints(ctx)
+	commitEp, err := grd.quiesce(ctx)
 	if err != nil {
 		// The new geometry is live but has no durable epoch: a recovery
 		// before the next complete checkpoint restores the pre-rescale
 		// topology via the journal, which is consistent.
-		return stats, fmt.Errorf("%w: commit epoch: %v", ErrRescaleAborted, err)
+		return stats, fmt.Errorf("commit epoch: %w", err)
 	}
 	cl.mu.Lock()
-	if cl.gen == gen0 {
+	if !grd.supersededLocked() {
 		cl.geom = append(cl.geom, geomEntry{epoch: commitEp, parts: cl.snapshotPartsLocked()})
 	}
 	cl.mu.Unlock()

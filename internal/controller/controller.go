@@ -72,6 +72,14 @@ type Config struct {
 	// ElasticEvery enables the elasticity tick. Zero disables it.
 	ElasticEvery time.Duration
 
+	// HA, when set, is invoked every HAEvery (the cluster wires it to the
+	// replica planner's step: protect the hottest HAUs with active
+	// standbys, demote cold ones). Same skip rules as Rebalance: not while
+	// paused, failed, or a previous step is running.
+	HA func() (int, error)
+	// HAEvery enables the replication-policy tick. Zero disables it.
+	HAEvery time.Duration
+
 	// PingEvery is the failure-detection poll interval.
 	PingEvery time.Duration
 	// IsAlive reports whether an HAU's node currently responds to pings.
@@ -130,6 +138,7 @@ type Controller struct {
 	rebalBusy  bool // a Rebalance invocation is in flight
 	scaleBusy  bool // an Autoscale invocation is in flight
 	elasBusy   bool // an Elastic invocation is in flight
+	haBusy     bool // an HA invocation is in flight
 
 	tpCh chan tpEvent
 	done chan struct{}
@@ -421,6 +430,12 @@ func (c *Controller) Run(ctx context.Context) {
 	}
 	elasTick := time.NewTicker(elasEvery)
 	defer elasTick.Stop()
+	haEvery := c.cfg.HAEvery
+	if c.cfg.HA == nil || haEvery <= 0 {
+		haEvery = time.Hour
+	}
+	haTick := time.NewTicker(haEvery)
+	defer haTick.Stop()
 
 	aa := c.cfg.Scheme.ApplicationAware()
 	if aa {
@@ -466,8 +481,38 @@ func (c *Controller) Run(ctx context.Context) {
 			c.maybeAutoscale()
 		case <-elasTick.C:
 			c.maybeElastic()
+		case <-haTick.C:
+			c.maybeHA()
 		}
 	}
+}
+
+// maybeHA runs one replication-policy step on its own goroutine (arming a
+// standby blocks for a quiesce epoch and a state-clone drain, and failure
+// pings must keep flowing meanwhile). Skipped while a failure incident is
+// open, while checkpoints are paused, and while a previous step is still
+// running.
+func (c *Controller) maybeHA() {
+	c.mu.Lock()
+	fn := c.cfg.HA
+	skip := fn == nil || c.haBusy || c.failed || c.paused > 0
+	if !skip {
+		c.haBusy = true
+	}
+	c.mu.Unlock()
+	if skip {
+		return
+	}
+	go func() {
+		defer func() {
+			c.mu.Lock()
+			c.haBusy = false
+			c.mu.Unlock()
+		}()
+		// A failed step (quiesce raced a failure, placement fell through)
+		// is retried from fresh metrics on the next tick.
+		_, _ = fn()
+	}()
 }
 
 // maybeElastic runs one elasticity step on its own goroutine (a drain

@@ -89,6 +89,23 @@ type Rescale struct {
 	Downtime time.Duration // old incarnations stopped -> new ones started
 }
 
+// Failover is one standby promotion: a protected HAU's primary died and
+// the cluster switched the live stream to its standby instead of rolling
+// the application back. Wait is detection-to-promotion prep (draining the
+// dead primary's edges), Switch is the single-edge switchover itself
+// (tee swap + promote command) — the availability gap a protected failure
+// costs, to compare against Recovery.Total.
+type Failover struct {
+	At       int64 // ns timestamp of failover completion
+	HAU      string
+	From, To int // primary node, standby node
+	Wait     time.Duration
+	Switch   time.Duration
+	// RingTuples is how many suppressed output tuples the standby
+	// re-emitted at promotion (downstream dedup drops the overlap).
+	RingTuples int
+}
+
 // Collector accumulates sink-side observations. Safe for concurrent use —
 // multiple sink HAUs may share one collector.
 type Collector struct {
@@ -100,6 +117,7 @@ type Collector struct {
 	migrations  []Migration
 	rescales    []Rescale
 	checkpoints []Checkpoint
+	failovers   []Failover
 }
 
 // NewCollector returns an empty collector.
@@ -299,6 +317,50 @@ func (c *Collector) Rescales() []Rescale {
 	return append([]Rescale(nil), c.rescales...)
 }
 
+// RecordFailover appends one standby promotion's timings.
+func (c *Collector) RecordFailover(f Failover) {
+	c.mu.Lock()
+	c.failovers = append(c.failovers, f)
+	c.mu.Unlock()
+}
+
+// Failovers returns every recorded standby promotion, oldest first.
+func (c *Collector) Failovers() []Failover {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Failover(nil), c.failovers...)
+}
+
+// MaxGap returns the largest interval between consecutive deliveries with
+// since <= At < until (until <= 0 means no upper bound) — the sink-output
+// gap an availability benchmark scores a failure by. The window edges
+// count as virtual deliveries, so an outage running into the window's end
+// is measured, but a delivery-free window returns the full window (or 0
+// when unbounded).
+func (c *Collector) MaxGap(since, until int64) time.Duration {
+	c.mu.Lock()
+	var ats []int64
+	for _, p := range c.points {
+		if p.At >= since && (until <= 0 || p.At < until) {
+			ats = append(ats, p.At)
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(ats, func(i, j int) bool { return ats[i] < ats[j] })
+	if until > 0 {
+		ats = append(ats, until)
+	}
+	var gap time.Duration
+	prev := since
+	for _, at := range ats {
+		if d := time.Duration(at - prev); d > gap {
+			gap = d
+		}
+		prev = at
+	}
+	return gap
+}
+
 // Reset clears all observations.
 func (c *Collector) Reset() {
 	c.mu.Lock()
@@ -309,5 +371,6 @@ func (c *Collector) Reset() {
 	c.migrations = nil
 	c.rescales = nil
 	c.checkpoints = nil
+	c.failovers = nil
 	c.mu.Unlock()
 }

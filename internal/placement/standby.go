@@ -1,0 +1,38 @@
+package placement
+
+// StandbyNode picks the node to host an active standby for a primary on
+// primaryNode: an alive node in a DIFFERENT rack (a standby sharing its
+// primary's failure domain dies with it on exactly the correlated bursts
+// it exists to survive), preferring the node hosting the fewest HAUs and
+// breaking ties toward the lowest index so the choice is deterministic in
+// v.
+//
+// rackDisjoint reports whether the constraint held. When every alive node
+// shares the primary's rack (single-rack fleet, or the other racks are all
+// dead), the same fewest-HAUs choice is made among other nodes of the
+// primary's rack and rackDisjoint is false — the caller decides whether a
+// co-racked standby is worth keeping. node is -1 only when primaryNode is
+// the sole alive node.
+func StandbyNode(primaryNode int, v View) (node int, rackDisjoint bool) {
+	count := make(map[int]int)
+	for _, info := range v.HAUs {
+		count[info.Node]++
+	}
+	best, bestSame := -1, -1
+	for _, n := range v.AliveNodes() {
+		if n == primaryNode {
+			continue
+		}
+		if v.Topo.RackOf(n) != v.Topo.RackOf(primaryNode) {
+			if best < 0 || count[n] < count[best] {
+				best = n
+			}
+		} else if bestSame < 0 || count[n] < count[bestSame] {
+			bestSame = n
+		}
+	}
+	if best >= 0 {
+		return best, true
+	}
+	return bestSame, false
+}

@@ -1,0 +1,135 @@
+// Package replica decides which HAUs deserve an active standby. It is the
+// policy half of hybrid fault tolerance: the cluster layer owns the
+// mechanism (tee, suppression, failover), this package owns the per-HAU
+// ModeStandby-vs-ModeCheckpoint assignment, derived from the state-size
+// and recovery-time metrics the cluster already records.
+//
+// The shape follows "Tolerating Correlated Failures in Massively Parallel
+// Stream Processing Engines" (Su & Zhou): replication beats rollback
+// exactly for the operators whose state makes them dominate recovery
+// time, and those are a small fraction of the graph — so the planner
+// protects the few hottest operators under a budget instead of
+// replicating everything. Hysteresis mirrors the cluster's autoscaler:
+// per-HAU cooldowns and separated protect/demote watermarks keep an
+// operator oscillating around a threshold from churning standbys, each of
+// which costs a quiesce epoch and a state clone.
+package replica
+
+import (
+	"sort"
+	"time"
+)
+
+// Mode is an HAU's fault-tolerance assignment.
+type Mode uint8
+
+const (
+	// ModeCheckpoint is the default: recover by whole-application
+	// rollback to the last complete epoch.
+	ModeCheckpoint Mode = iota
+	// ModeStandby runs an active standby; failure is a sub-window
+	// single-edge switchover instead of a rollback.
+	ModeStandby
+)
+
+func (m Mode) String() string {
+	if m == ModeStandby {
+		return "standby"
+	}
+	return "checkpoint"
+}
+
+// Stat is one protectable HAU as the planner sees it.
+type Stat struct {
+	HAU         string
+	StateBytes  int64         // last cached operator state size
+	RecoverTime time.Duration // observed whole-application rollback time (0 = none yet)
+	Protected   bool          // a standby is currently armed
+}
+
+// Action is one planner decision: set HAU's mode to Mode.
+type Action struct {
+	HAU  string
+	Mode Mode
+}
+
+// Config tunes the planner's watermarks and budget.
+type Config struct {
+	// ProtectAbove arms a standby for an unprotected HAU whose state
+	// exceeds it (bytes). <= 0 disables protection.
+	ProtectAbove int64
+	// DemoteBelow disarms a protected HAU whose state has fallen under
+	// it. Keep well below ProtectAbove or a flat workload flaps.
+	// <= 0 means never demote on size.
+	DemoteBelow int64
+	// MaxStandbys bounds the number of simultaneously protected HAUs —
+	// each standby burns a core's worth of duplicate execution. <= 0
+	// defaults to 1.
+	MaxStandbys int
+	// Cooldown is the per-HAU minimum time between mode changes.
+	Cooldown time.Duration
+}
+
+// Planner assigns modes with hysteresis. Not safe for concurrent use; the
+// controller's HA tick serializes calls.
+type Planner struct {
+	cfg  Config
+	last map[string]time.Time // per-HAU last mode change
+}
+
+// New returns a Planner for cfg.
+func New(cfg Config) *Planner {
+	if cfg.MaxStandbys <= 0 {
+		cfg.MaxStandbys = 1
+	}
+	return &Planner{cfg: cfg, last: make(map[string]time.Time)}
+}
+
+// Step picks at most one mode change from the current stats. Demotions are
+// considered first — they free budget a pending protection may need.
+// Candidates for protection are ranked by observed recovery time, then
+// state size, then id (deterministic in stats). The caller reports the
+// action's completion implicitly: next Step's stats show the new
+// Protected flags, and a failed action simply leaves them unchanged, so
+// the planner retries after the cooldown.
+func (p *Planner) Step(now time.Time, stats []Stat) (Action, bool) {
+	protected := 0
+	for _, s := range stats {
+		if s.Protected {
+			protected++
+		}
+	}
+	ordered := append([]Stat(nil), stats...)
+	sort.Slice(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if a.RecoverTime != b.RecoverTime {
+			return a.RecoverTime > b.RecoverTime
+		}
+		if a.StateBytes != b.StateBytes {
+			return a.StateBytes > b.StateBytes
+		}
+		return a.HAU < b.HAU
+	})
+	cooled := func(id string) bool {
+		return now.Sub(p.last[id]) >= p.cfg.Cooldown
+	}
+	if p.cfg.DemoteBelow > 0 {
+		// Coldest protected HAU first (walk the ranking backwards).
+		for i := len(ordered) - 1; i >= 0; i-- {
+			s := ordered[i]
+			if s.Protected && s.StateBytes < p.cfg.DemoteBelow && cooled(s.HAU) {
+				p.last[s.HAU] = now
+				return Action{HAU: s.HAU, Mode: ModeCheckpoint}, true
+			}
+		}
+	}
+	if p.cfg.ProtectAbove > 0 && protected < p.cfg.MaxStandbys {
+		for _, s := range ordered {
+			if !s.Protected && s.StateBytes > p.cfg.ProtectAbove && cooled(s.HAU) {
+				p.last[s.HAU] = now
+				return Action{HAU: s.HAU, Mode: ModeStandby}, true
+			}
+		}
+	}
+	return Action{}, false
+}

@@ -1,0 +1,133 @@
+package replica
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(1000, 0)
+
+func cfg() Config {
+	return Config{ProtectAbove: 1000, DemoteBelow: 100, MaxStandbys: 2, Cooldown: time.Second}
+}
+
+func TestStepProtectsHottestAboveWatermark(t *testing.T) {
+	p := New(cfg())
+	act, ok := p.Step(t0, []Stat{
+		{HAU: "a", StateBytes: 1500},
+		{HAU: "b", StateBytes: 2500},
+		{HAU: "c", StateBytes: 500},
+	})
+	if !ok || act.HAU != "b" || act.Mode != ModeStandby {
+		t.Fatalf("want protect b, got %+v ok=%v", act, ok)
+	}
+}
+
+func TestStepRanksRecoverTimeOverStateSize(t *testing.T) {
+	p := New(cfg())
+	// "a" is smaller but has the longer observed rollback — it matters more.
+	act, ok := p.Step(t0, []Stat{
+		{HAU: "a", StateBytes: 1500, RecoverTime: 80 * time.Millisecond},
+		{HAU: "b", StateBytes: 2500, RecoverTime: 10 * time.Millisecond},
+	})
+	if !ok || act.HAU != "a" || act.Mode != ModeStandby {
+		t.Fatalf("want protect a (longest recovery), got %+v ok=%v", act, ok)
+	}
+}
+
+func TestStepTieBreaksByID(t *testing.T) {
+	p := New(cfg())
+	act, ok := p.Step(t0, []Stat{
+		{HAU: "z", StateBytes: 2000},
+		{HAU: "m", StateBytes: 2000},
+	})
+	if !ok || act.HAU != "m" {
+		t.Fatalf("equal stats must pick the lowest id, got %+v ok=%v", act, ok)
+	}
+}
+
+func TestStepRespectsStandbyBudget(t *testing.T) {
+	p := New(cfg())
+	stats := []Stat{
+		{HAU: "a", StateBytes: 3000, Protected: true},
+		{HAU: "b", StateBytes: 2500, Protected: true},
+		{HAU: "c", StateBytes: 2000},
+	}
+	if act, ok := p.Step(t0, stats); ok {
+		t.Fatalf("budget full (2/2), want no action, got %+v", act)
+	}
+}
+
+func TestStepDemotesColdProtectedFirst(t *testing.T) {
+	p := New(cfg())
+	// Budget is full AND a protected HAU went cold: the demotion must win
+	// the step, freeing budget for "c" on a later tick.
+	act, ok := p.Step(t0, []Stat{
+		{HAU: "a", StateBytes: 3000, Protected: true},
+		{HAU: "b", StateBytes: 50, Protected: true},
+		{HAU: "c", StateBytes: 2000},
+	})
+	if !ok || act.HAU != "b" || act.Mode != ModeCheckpoint {
+		t.Fatalf("want demote b, got %+v ok=%v", act, ok)
+	}
+	// Next tick, stats reflecting the demotion: now "c" gets the slot.
+	act, ok = p.Step(t0.Add(2*time.Second), []Stat{
+		{HAU: "a", StateBytes: 3000, Protected: true},
+		{HAU: "b", StateBytes: 50},
+		{HAU: "c", StateBytes: 2000},
+	})
+	if !ok || act.HAU != "c" || act.Mode != ModeStandby {
+		t.Fatalf("want protect c after freed budget, got %+v ok=%v", act, ok)
+	}
+}
+
+func TestStepCooldownBlocksFlapping(t *testing.T) {
+	p := New(cfg())
+	hot := []Stat{{HAU: "a", StateBytes: 2000}}
+	cold := []Stat{{HAU: "a", StateBytes: 50, Protected: true}}
+	if _, ok := p.Step(t0, hot); !ok {
+		t.Fatal("first protect must fire")
+	}
+	// Immediately cold again: inside the cooldown nothing may happen.
+	if act, ok := p.Step(t0.Add(10*time.Millisecond), cold); ok {
+		t.Fatalf("inside cooldown, want no action, got %+v", act)
+	}
+	if act, ok := p.Step(t0.Add(2*time.Second), cold); !ok || act.Mode != ModeCheckpoint {
+		t.Fatalf("after cooldown, want demote, got %+v ok=%v", act, ok)
+	}
+}
+
+func TestStepFailedActionRetriesAfterCooldown(t *testing.T) {
+	p := New(cfg())
+	hot := []Stat{{HAU: "a", StateBytes: 2000}}
+	if _, ok := p.Step(t0, hot); !ok {
+		t.Fatal("first protect must fire")
+	}
+	// The arm failed: next tick's stats still show "a" unprotected. Within
+	// the cooldown the planner stays quiet, after it the protect re-fires.
+	if act, ok := p.Step(t0.Add(500*time.Millisecond), hot); ok {
+		t.Fatalf("failed action must not retry inside cooldown, got %+v", act)
+	}
+	if act, ok := p.Step(t0.Add(2*time.Second), hot); !ok || act.HAU != "a" || act.Mode != ModeStandby {
+		t.Fatalf("want retry protect a, got %+v ok=%v", act, ok)
+	}
+}
+
+func TestStepDisabledWatermarks(t *testing.T) {
+	// ProtectAbove <= 0 disables protection entirely; DemoteBelow <= 0
+	// means never demote on size.
+	p := New(Config{DemoteBelow: 100, MaxStandbys: 1})
+	if act, ok := p.Step(t0, []Stat{{HAU: "a", StateBytes: 1 << 30}}); ok {
+		t.Fatalf("protection disabled, got %+v", act)
+	}
+	p = New(Config{ProtectAbove: 1000, MaxStandbys: 1})
+	if act, ok := p.Step(t0, []Stat{{HAU: "a", StateBytes: 1, Protected: true}}); ok {
+		t.Fatalf("demotion disabled, got %+v", act)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeStandby.String() != "standby" || ModeCheckpoint.String() != "checkpoint" {
+		t.Fatalf("mode strings: %q %q", ModeStandby, ModeCheckpoint)
+	}
+}

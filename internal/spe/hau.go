@@ -273,6 +273,20 @@ type Config struct {
 	// instead of blocking the operator. 0 disables shedding.
 	ShedWatermark float64
 
+	// Standby starts the HAU as a suppressed active standby: it executes
+	// the operator chain and stamps output sequence numbers, but writes
+	// nothing to its output edges (which are shared with the live primary)
+	// until CmdPromote. Stamped tuples are kept in a bounded per-edge
+	// suppression ring so a promotion can re-emit whatever the dead
+	// primary may not have delivered; downstream dedup drops the overlap.
+	// It acks checkpoint tokens but never writes blobs and never
+	// broadcasts tokens while suppressed.
+	Standby bool
+	// StandbyRing caps each output edge's suppression ring in tuples
+	// (0 = 4x the edge's capacity+batch — comfortably more than the
+	// primary can have stamped but not yet delivered).
+	StandbyRing int
+
 	Now func() int64 // clock; defaults to wall time
 }
 
@@ -408,6 +422,19 @@ type HAU struct {
 	physOut []*Edge
 	outBase []int
 
+	// Active-standby replication. mirror holds, per physical out edge, the
+	// standby's tee edge (nil = port not teed): stamped tuples and tokens
+	// are copied there carrying the main edge's sequence numbers. rings
+	// holds, on a suppressed standby, the bounded per-edge FIFO of stamped
+	// tuples awaiting a possible promotion. standbyFlag is read by the
+	// hot path and by the cluster/tests, written only by the loop
+	// (construction and CmdPromote).
+	mirror      []*Edge
+	rings       [][]*tuple.Tuple
+	standbyFlag atomic.Bool
+	mirrorBytes atomic.Int64
+	ringCount   atomic.Int64
+
 	// Input geometry. in/inFrom/inLogical grow when a rescale attaches new
 	// ports (CmdAddInPort); physical indexes of existing ports never change,
 	// closed ports just stay inert. inFrom labels each port with its
@@ -465,8 +492,11 @@ type HAU struct {
 	chanReplay []chanReplayStream
 
 	// Live-migration drain state: armed by CmdMigrateSnap, completed when
-	// every input has delivered its migration token (or closed).
+	// every input has delivered its migration token (or closed). migStay
+	// (CmdStandbySnap) hands the blob over and keeps running instead of
+	// exiting — the clone-a-live-primary path.
 	migArmed bool
+	migStay  bool
 	migSeen  []bool
 	migReply chan<- []byte
 
@@ -531,6 +561,9 @@ func New(cfg Config) (*HAU, error) {
 	} else if len(inLogical) != len(cfg.In) {
 		return nil, fmt.Errorf("spe: HAU %s has %d in edges but %d logical mappings", cfg.ID, len(cfg.In), len(inLogical))
 	}
+	if cfg.Standby && !cfg.Scheme.OneHopTokens() {
+		return nil, fmt.Errorf("spe: standby HAU %s requires a 1-hop token scheme, got %s", cfg.ID, cfg.Scheme)
+	}
 	h := &HAU{
 		cfg:         cfg,
 		ctrl:        make(chan Command, 64),
@@ -538,6 +571,8 @@ func New(cfg Config) (*HAU, error) {
 		out:         out,
 		physOut:     physOut,
 		outBase:     outBase,
+		mirror:      make([]*Edge, len(physOut)),
+		rings:       make([][]*tuple.Tuple, len(physOut)),
 		in:          append([]*Edge(nil), cfg.In...),
 		inLogical:   append([]int(nil), inLogical...),
 		outSeq:      make([]uint64, len(physOut)),
@@ -567,7 +602,11 @@ func New(cfg Config) (*HAU, error) {
 		if len(cfg.In) > 0 {
 			return nil, fmt.Errorf("spe: source HAU %s must not have inputs", cfg.ID)
 		}
+		if cfg.Standby {
+			return nil, fmt.Errorf("spe: source HAU %s cannot run as a standby", cfg.ID)
+		}
 	}
+	h.standbyFlag.Store(cfg.Standby)
 	h.emitters = make([]operator.Emitter, len(cfg.Ops))
 	for i := range cfg.Ops {
 		i := i
@@ -608,6 +647,14 @@ func (h *HAU) Command(cmd Command) {
 // CachedStateSize returns the last sampled state size — the controller's
 // size query (§III-C3) reads this without disturbing the HAU loop.
 func (h *HAU) CachedStateSize() int64 { return h.cachedSize.Load() }
+
+// Standby reports whether the HAU is currently a suppressed standby.
+// Flips to false when CmdPromote is processed.
+func (h *HAU) Standby() bool { return h.standbyFlag.Load() }
+
+// MirrorBytes returns the total tuple bytes copied to standby mirror
+// edges — the duplicate-traffic cost of protecting downstream HAUs.
+func (h *HAU) MirrorBytes() int64 { return h.mirrorBytes.Load() }
 
 // ProcessedCount returns how many data tuples this HAU has processed (or,
 // for sources, generated) since it started — the throughput numerator.
@@ -806,6 +853,13 @@ func (h *HAU) run(ctx context.Context) {
 				h.opSecs[i] = nil
 			}
 		}
+		for phys, ring := range h.rings {
+			for i, t := range ring {
+				tuple.Put(t)
+				ring[i] = nil
+			}
+			h.rings[phys] = nil
+		}
 		h.cfg.Listener.Stopped(h.cfg.ID, h.Err())
 		close(h.done)
 	}()
@@ -817,6 +871,13 @@ func (h *HAU) run(ctx context.Context) {
 		// Retained ports are physical: the tuples keep their original
 		// sequence numbers, so they must return to the exact edge slot.
 		if rt.port < 0 || rt.port >= len(h.physOut) {
+			continue
+		}
+		if h.standbyFlag.Load() {
+			// The primary already delivered these (the standby snapshot is
+			// cut on a quiesced drain, so this is defensive); ring them so
+			// a promotion re-emits and downstream dedup decides.
+			h.ringPush(rt.port, rt.t)
 			continue
 		}
 		e := h.physOut[rt.port]
@@ -920,19 +981,30 @@ func (h *HAU) run(ctx context.Context) {
 		// Migration drain complete: everything routed to this incarnation
 		// has been processed, nothing is parked, and no checkpoint is in
 		// flight. Hand the state to the cluster and exit; the destination
-		// incarnation resumes from the blob.
+		// incarnation resumes from the blob. A standby-arming drain
+		// (CmdStandbySnap) instead hands the blob over and keeps running —
+		// the clone continues as the suppressed standby.
 		if h.migArmed && !h.awaiting && !h.ucapArmed && h.migrationAligned() {
-			if h.flushAll(ctx) {
-				blob, err := h.encodeState()
-				if err != nil {
-					// No state handed over: the migration aborts when this
-					// incarnation's Done closes, and recovery takes over.
-					h.setErr(err)
-					return
-				}
-				h.migReply <- blob
+			if !h.flushAll(ctx) {
+				return
 			}
-			return
+			blob, err := h.encodeState()
+			if err != nil {
+				// No state handed over: the migration aborts when this
+				// incarnation's Done closes, and recovery takes over.
+				h.setErr(err)
+				return
+			}
+			h.migReply <- blob
+			if !h.migStay {
+				return
+			}
+			h.migArmed = false
+			h.migStay = false
+			h.migReply = nil
+			for i := range h.migSeen {
+				h.migSeen[i] = false
+			}
 		}
 		// Idle flush: when no input is waiting, push partial batches out
 		// instead of sitting on them until the next tick. Under load the
@@ -1022,7 +1094,12 @@ func (h *HAU) drainParked(ctx context.Context) {
 
 // flushAll pushes every output edge's pending batch (and preservation
 // backlog) downstream. Called on ticks and when the input side idles.
+// A suppressed standby never touches its output edges — they are shared
+// with the live primary, whose loop owns their pending batches.
 func (h *HAU) flushAll(ctx context.Context) bool {
+	if h.standbyFlag.Load() {
+		return true
+	}
 	for phys := range h.physOut {
 		if !h.flushPort(ctx, phys) {
 			return false
@@ -1051,9 +1128,13 @@ func (h *HAU) flushPres(port int) bool {
 	return true
 }
 
-// flushPort flushes one physical output edge (preservation first).
+// flushPort flushes one physical output edge (preservation first, then the
+// standby mirror so copies are never newer than the originals downstream).
 func (h *HAU) flushPort(ctx context.Context, phys int) bool {
 	if !h.flushPres(phys) {
+		return false
+	}
+	if m := h.mirror[phys]; m != nil && !m.Flush(ctx) {
 		return false
 	}
 	return h.physOut[phys].Flush(ctx)
@@ -1108,6 +1189,64 @@ func (h *HAU) onCommand(ctx context.Context, cmd Command) {
 			h.migArmed = true
 			h.migReply = cmd.Reply
 		}
+	case CmdStandbySnap:
+		if cmd.Reply != nil {
+			// Same barrier drain as CmdMigrateSnap, but the HAU keeps
+			// running after handing the blob over — the state clone a
+			// fresh standby is built from.
+			h.abortUnaligned()
+			h.migArmed = true
+			h.migStay = true
+			h.migReply = cmd.Reply
+		}
+	case CmdTeeOut:
+		if cmd.Port >= 0 && cmd.Port < len(h.out) && len(h.out[cmd.Port].Edges) == 1 && cmd.Edge != nil {
+			phys := h.outBase[cmd.Port]
+			if h.mirror[phys] != nil {
+				return // already teed
+			}
+			// Flush pending plus a migration token to the main edge — the
+			// cut the standby's snapshot drain aligns on. Every tuple
+			// stamped after this instant is copied to the mirror.
+			h.flushPres(phys)
+			e := h.physOut[phys]
+			e.Append(tuple.NewTokenAt(tuple.Token{Kind: tuple.Migration, From: h.cfg.ID}, h.now()))
+			if !e.Flush(ctx) {
+				return
+			}
+			h.mirror[phys] = cmd.Edge
+		}
+	case CmdTeeDrop:
+		if cmd.Port >= 0 && cmd.Port < len(h.out) && len(h.out[cmd.Port].Edges) == 1 {
+			phys := h.outBase[cmd.Port]
+			if m := h.mirror[phys]; m != nil {
+				h.mirror[phys] = nil
+				if m.Flush(ctx) {
+					m.Close()
+				}
+			}
+		}
+	case CmdTeeSwap:
+		if cmd.Port >= 0 && cmd.Port < len(h.out) && len(h.out[cmd.Port].Edges) == 1 {
+			phys := h.outBase[cmd.Port]
+			m := h.mirror[phys]
+			if m == nil {
+				return
+			}
+			h.mirror[phys] = nil
+			// The dead primary reads neither the pending batch nor the
+			// channel; every stamped tuple already has a mirror copy.
+			old := h.physOut[phys]
+			old.DropPending()
+			old.Close()
+			if !m.Flush(ctx) {
+				return
+			}
+			h.out[cmd.Port].Edges[0] = m
+			h.physOut[phys] = m
+		}
+	case CmdPromote:
+		h.promote(ctx)
 	case CmdRescaleOut:
 		h.onRescaleOut(ctx, cmd)
 	case CmdAddInPort:
@@ -1172,6 +1311,16 @@ func (h *HAU) onRescaleOut(ctx context.Context, cmd Command) {
 	h.physOut, h.outBase = flattenPorts(h.out)
 	h.outSeq = spliceU64(h.outSeq, base, len(oldPort.Edges), len(cmd.Edges))
 	h.presPending = splicePres(h.presPending, base, len(oldPort.Edges), len(cmd.Edges))
+	h.mirror = spliceEdges(h.mirror, base, len(oldPort.Edges), len(cmd.Edges))
+	h.rings = splicePres(h.rings, base, len(oldPort.Edges), len(cmd.Edges))
+}
+
+// spliceEdges replaces the n entries at base with m nils.
+func spliceEdges(s []*Edge, base, n, m int) []*Edge {
+	out := make([]*Edge, 0, len(s)-n+m)
+	out = append(out, s[:base]...)
+	out = append(out, make([]*Edge, m)...)
+	return append(out, s[base+n:]...)
 }
 
 // spliceU64 replaces the n entries at base with m zeros.
@@ -1543,7 +1692,9 @@ type ckptWriterState struct {
 // operator snapshot aborts the individual checkpoint — nothing is saved, so
 // the catalog can never mark a torn epoch complete.
 func (h *HAU) doCheckpoint(ctx context.Context, epoch uint64, tokenWait, alignMax, alignSum time.Duration) {
-	if h.cfg.Catalog == nil {
+	if h.cfg.Catalog == nil || h.standbyFlag.Load() {
+		// A suppressed standby acks tokens (alignment ran) but writes no
+		// blobs — the primary owns this HAU id's checkpoints.
 		h.releaseRetained()
 		return
 	}
@@ -1605,7 +1756,7 @@ func (h *HAU) armUnaligned(ctx context.Context, epoch uint64) {
 	h.ucapSerialize = 0
 	h.ucapSealed = make([]bool, len(h.in))
 	h.ucapLog = buffer.NewChannelCapture(epoch, len(h.in))
-	if h.cfg.Catalog != nil {
+	if h.cfg.Catalog != nil && !h.standbyFlag.Load() {
 		serStart := time.Now()
 		snap, err := h.captureState()
 		h.ucapSerialize = time.Since(serStart)
@@ -1835,10 +1986,20 @@ func (h *HAU) writeCheckpoint(job ckptJob) {
 
 // broadcastToken appends a token to every output port and flushes
 // immediately: tokens are never delayed by batching, so checkpoint
-// latency is unaffected by the micro-batches.
+// latency is unaffected by the micro-batches. Teed ports copy the token
+// to their mirror so the standby aligns on the same cuts as its
+// downstream peers. A suppressed standby broadcasts nothing — its output
+// edges belong to the live primary (CmdPromote re-broadcasts the latest
+// epochs to restore token liveness after a failover).
 func (h *HAU) broadcastToken(ctx context.Context, tok tuple.Token) {
+	if h.standbyFlag.Load() {
+		return
+	}
 	now := h.now()
 	for phys, e := range h.physOut {
+		if m := h.mirror[phys]; m != nil {
+			m.Append(tuple.NewTokenAt(tok, now))
+		}
 		e.Append(tuple.NewTokenAt(tok, now))
 		if !h.flushPort(ctx, phys) {
 			return
@@ -1867,6 +2028,17 @@ func (h *HAU) deliverOut(port int, t *tuple.Tuple) bool {
 	}
 	phys := h.outBase[port] + idx
 	e := op.Edges[idx]
+	if h.standbyFlag.Load() {
+		// Suppressed standby: stamp the sequence (the seq->tuple mapping
+		// must match the primary's exactly) and ring the tuple for a
+		// possible promotion, but never touch the shared edge. Shedding is
+		// skipped — it would desynchronize the sequence streams, which is
+		// why protection requires shedding disabled.
+		h.outSeq[phys]++
+		t.Seq = h.outSeq[phys]
+		h.ringPush(phys, t)
+		return true
+	}
 	if h.cfg.ShedWatermark > 0 {
 		if float64(e.Occupancy()) > h.cfg.ShedWatermark*float64(e.Cap()) {
 			h.shed.Add(1)
@@ -1884,9 +2056,84 @@ func (h *HAU) deliverOut(port int, t *tuple.Tuple) bool {
 	if h.retaining {
 		h.retained = append(h.retained, retainedTuple{port: phys, t: t.Retain()})
 	}
+	if m := h.mirror[phys]; m != nil {
+		// Tee after stamping so the copy carries the main edge's sequence
+		// number — the standby's view of this stream.
+		cp := t.Retain()
+		h.mirrorBytes.Add(cp.Size())
+		m.Append(cp)
+		if m.Full() && !m.Flush(h.ctx) {
+			return false
+		}
+	}
 	e.Append(t)
 	if e.Full() {
 		return h.flushPort(h.ctx, phys)
 	}
 	return true
+}
+
+// ringPush appends a stamped tuple to the standby's suppression ring for
+// one physical edge, evicting the oldest entries past the cap. Evicted
+// tuples are strictly older than anything the primary could still have
+// undelivered, so downstream already has them.
+func (h *HAU) ringPush(phys int, t *tuple.Tuple) {
+	e := h.physOut[phys]
+	max := h.cfg.StandbyRing
+	if max <= 0 {
+		max = 4 * (e.Cap() + e.BatchSize())
+	}
+	r := h.rings[phys]
+	if n := len(r) - max + 1; n > 0 {
+		for i := 0; i < n; i++ {
+			tuple.Put(r[i])
+			r[i] = nil
+		}
+		r = append(r[:0], r[n:]...)
+		h.ringCount.Add(int64(-n))
+	}
+	h.rings[phys] = append(r, t)
+	h.ringCount.Add(1)
+}
+
+// RingTuples returns how many suppressed output tuples the standby's
+// rings currently hold (0 once promoted — the failover metric reads it
+// just before CmdPromote re-emits them).
+func (h *HAU) RingTuples() int64 { return h.ringCount.Load() }
+
+// promote turns a suppressed standby into the live HAU: re-emit the
+// suppression rings onto the (previously shared, now exclusively ours)
+// output edges — downstream dedup drops whatever the dead primary already
+// delivered — then re-broadcast the latest checkpoint tokens in case the
+// primary died before broadcasting its own. Receivers drop stale
+// duplicates, so the re-broadcast is idempotent.
+func (h *HAU) promote(ctx context.Context) {
+	if !h.standbyFlag.Load() {
+		return
+	}
+	h.standbyFlag.Store(false)
+	for phys, ring := range h.rings {
+		e := h.physOut[phys]
+		for i, t := range ring {
+			e.Append(t)
+			ring[i] = nil
+			if e.Full() && !e.Flush(ctx) {
+				return
+			}
+		}
+		h.rings[phys] = nil
+	}
+	h.ringCount.Store(0)
+	if !h.flushAll(ctx) {
+		return
+	}
+	if h.doneEpoch > 0 {
+		h.broadcastToken(ctx, tuple.Token{Epoch: h.doneEpoch, Kind: tuple.OneHop, From: h.cfg.ID})
+	}
+	switch {
+	case h.awaiting:
+		h.broadcastToken(ctx, tuple.Token{Epoch: h.pendingEp, Kind: tuple.OneHop, From: h.cfg.ID})
+	case h.ucapArmed:
+		h.broadcastToken(ctx, tuple.Token{Epoch: h.ucapEpoch, Kind: tuple.OneHop, From: h.cfg.ID})
+	}
 }

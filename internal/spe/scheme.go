@@ -120,6 +120,35 @@ const (
 	// input port whose upstream is named in AfterFrom has closed,
 	// preserving per-source FIFO order across the old->new handover.
 	CmdAddInPort
+	// CmdTeeOut installs a mirror edge on one (single-edge) output port:
+	// the pending batch is flushed to the main edge, a migration token is
+	// appended and flushed after it (the cut the standby's state snapshot
+	// aligns on), and from then on every stamped tuple and every token is
+	// copied to the mirror as well. The mirror copies carry the main
+	// edge's sequence numbers — the standby's incarnation of the stream.
+	CmdTeeOut
+	// CmdTeeDrop removes the mirror from one teed output port: the
+	// mirror's pending batch is flushed and the mirror edge closed. Used
+	// when a standby dies or is demoted.
+	CmdTeeDrop
+	// CmdTeeSwap promotes the mirror of one teed output port to be the
+	// main edge: the dead primary's main edge has its pending batch
+	// dropped (every stamped tuple already has a copy in the mirror) and
+	// is closed, and the mirror becomes the port's only edge. This is the
+	// upstream half of a standby failover.
+	CmdTeeSwap
+	// CmdPromote turns a suppressed standby into a live HAU: the
+	// suppression ring is re-emitted onto the (shared) output edges —
+	// downstream dedup drops whatever the dead primary already delivered —
+	// and the standby re-broadcasts its latest checkpoint tokens in case
+	// the primary died before broadcasting its own (receivers drop stale
+	// duplicates).
+	CmdPromote
+	// CmdStandbySnap arms the same migration-token barrier drain as
+	// CmdMigrateSnap — flush outputs, serialize state onto Reply — but the
+	// HAU keeps running afterwards instead of exiting. Used to clone a
+	// live primary's state into a fresh standby.
+	CmdStandbySnap
 )
 
 // Command is a controller-to-HAU control message.
