@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet lint build test race chaos chaos-migrate chaos-rescale chaos-unaligned chaos-elastic chaos-ha bench-smoke bench-hotpath placement-bench bench-checkpoint bench-checkpoint-smoke bench-unaligned bench-unaligned-smoke rescale-bench rescale-bench-smoke elasticity-bench elasticity-bench-smoke ha-bench ha-bench-smoke
+.PHONY: ci vet lint build test race chaos chaos-migrate chaos-rescale chaos-rebalance chaos-unaligned chaos-elastic chaos-ha bench-smoke bench-hotpath placement-bench bench-checkpoint bench-checkpoint-smoke bench-unaligned bench-unaligned-smoke rescale-bench rescale-bench-smoke elasticity-bench elasticity-bench-smoke ha-bench ha-bench-smoke skew-bench skew-bench-smoke
 
-ci: vet lint build race bench-smoke bench-checkpoint-smoke chaos chaos-migrate chaos-rescale chaos-unaligned chaos-elastic chaos-ha rescale-bench-smoke elasticity-bench-smoke
+ci: vet lint build race bench-smoke bench-checkpoint-smoke chaos chaos-migrate chaos-rescale chaos-rebalance chaos-unaligned chaos-elastic chaos-ha rescale-bench-smoke elasticity-bench-smoke skew-bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -49,6 +49,11 @@ chaos-migrate:
 # including rounds that kill a replica while the rescale is in flight.
 chaos-rescale:
 	$(GO) test -race -count=1 -run 'TestChaosRescaleSmoke|TestChaosMidSplitKill' ./internal/chaos/
+
+# Hot-slot rebalance chaos: clean weighted slot moves between kill rounds
+# plus rounds that kill a replica while the rebalance is in flight.
+chaos-rebalance:
+	$(GO) test -race -count=1 -run 'TestChaosMidRebalanceKill' ./internal/chaos/
 
 # Unaligned-checkpoint chaos: both oracles across 3 seeds per topology
 # under the race detector with -scheme unaligned, including rounds forced
@@ -128,3 +133,14 @@ rescale-bench:
 # merge on a streaming cluster without paying for the full sweep.
 rescale-bench-smoke:
 	$(GO) run -race ./cmd/msscale -quick -out -
+
+# Skew benchmark: weighted vs count-balanced 4-way splits under Zipf key
+# skew, plus the drifting-hotspot rebalance. Regenerates BENCH_skew.json
+# and fails if the weighted split or the rebalance misses its gate.
+skew-bench:
+	$(GO) run ./cmd/msskew
+
+# Reduced-grid msskew under the race detector: exercises weighted split,
+# observed-load accounting and RebalanceHAU with the gates still armed.
+skew-bench-smoke:
+	$(GO) run -race ./cmd/msskew -quick -out -

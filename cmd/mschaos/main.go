@@ -10,6 +10,8 @@
 //	                                      # rack-spread placement + live-migration chaos
 //	mschaos -seed 42 -placement rackspread -rescale
 //	                                      # re-partition chaos: live splits/merges + mid-rescale kills
+//	mschaos -seed 42 -placement rackspread -rebalance
+//	                                      # hot-slot rebalance chaos: weighted slot moves + mid-rebalance kills
 //	mschaos -seed 42 -elastic             # elasticity chaos: grow/drain cycles + mid-scale-in kills
 //	mschaos -seed 42 -ha                  # hybrid fault tolerance: active standby on the victim + failover instants
 //
@@ -38,12 +40,13 @@ func main() {
 		abe      = flag.Bool("abe", false, "sample bursts from the Abe cluster profile instead of Google's DC")
 		verbose  = flag.Bool("v", false, "log per-round progress")
 
-		place   = flag.String("placement", "", `placement policy: "roundrobin", "rackspread" or "loadaware" ("" = cluster default)`)
-		npr     = flag.Int("nodes-per-rack", 0, "failure-domain geometry (0 = one rack)")
-		migrate = flag.Bool("migrate", false, "enable live-migration chaos, including the mid-migration kill instant")
-		rescale = flag.Bool("rescale", false, "enable re-partition chaos: clean splits/merges plus the mid-rescale kill instant")
-		elastic = flag.Bool("elastic", false, "enable fleet-elasticity chaos: clean grow/drain cycles plus the mid-scale-in and scale-in-destination kill instants")
-		ha      = flag.Bool("ha", false, "enable hybrid fault-tolerance chaos: an active standby on each topology's HA victim, hybrid promote-or-rollback recovery, plus the primary-kill and standby-mid-promotion instants")
+		place     = flag.String("placement", "", `placement policy: "roundrobin", "rackspread" or "loadaware" ("" = cluster default)`)
+		npr       = flag.Int("nodes-per-rack", 0, "failure-domain geometry (0 = one rack)")
+		migrate   = flag.Bool("migrate", false, "enable live-migration chaos, including the mid-migration kill instant")
+		rescale   = flag.Bool("rescale", false, "enable re-partition chaos: clean splits/merges plus the mid-rescale kill instant")
+		rebalance = flag.Bool("rebalance", false, "enable hot-slot rebalance chaos: clean weighted slot moves plus the mid-rebalance kill instant")
+		elastic   = flag.Bool("elastic", false, "enable fleet-elasticity chaos: clean grow/drain cycles plus the mid-scale-in and scale-in-destination kill instants")
+		ha        = flag.Bool("ha", false, "enable hybrid fault-tolerance chaos: an active standby on each topology's HA victim, hybrid promote-or-rollback recovery, plus the primary-kill and standby-mid-promotion instants")
 	)
 	flag.Parse()
 
@@ -77,6 +80,7 @@ func main() {
 			NodesPerRack: *npr,
 			Migrations:   *migrate,
 			Rescales:     *rescale,
+			Rebalances:   *rebalance,
 			Elastic:      *elastic,
 			HA:           *ha,
 		}

@@ -42,6 +42,15 @@ func parseScheme(s string) (spe.Scheme, error) {
 	}
 }
 
+// shareString renders per-replica load fractions as "[0.25 0.25 ...]".
+func shareString(shares []float64) string {
+	parts := make([]string, len(shares))
+	for i, s := range shares {
+		parts[i] = fmt.Sprintf("%.2f", s)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
 func main() {
 	var (
 		app       = flag.String("app", "TMI", "TMI | BCP | SignalGuru")
@@ -62,6 +71,10 @@ func main() {
 		splitAbove  = flag.Int64("split-above", 0, "state-size watermark (bytes) above which a hot operator is split (0 = off)")
 		mergeBelow  = flag.Int64("merge-below", 0, "state-size watermark (bytes) below which a split operator is merged (0 = off)")
 		maxReplicas = flag.Int("max-replicas", 0, "replica cap per split operator (0 = 4)")
+
+		imbAbove      = flag.Float64("imbalance-above", 0, "max/mean replica-load watermark arming the skew trigger (<=1 = off; needs -autoscale-every)")
+		imbWindow     = flag.Int("imbalance-window", 0, "skew trigger tick window (0 = 5)")
+		imbViolations = flag.Int("imbalance-violations", 0, "violated ticks required before the skew trigger acts (0 = 3)")
 
 		elasticEvery = flag.Duration("elastic-every", 0, "fleet-elasticity tick period (0 = off)")
 		minNodes     = flag.Int("min-nodes", 0, "elastic fleet floor (0 = the starting node count)")
@@ -131,6 +144,9 @@ func main() {
 		SplitAbove:           *splitAbove,
 		MergeBelow:           *mergeBelow,
 		AutoscaleMaxReplicas: *maxReplicas,
+		ImbalanceAbove:       *imbAbove,
+		ImbalanceWindow:      *imbWindow,
+		ImbalanceViolations:  *imbViolations,
 		ElasticEvery:         *elasticEvery,
 		Elastic: elastic.Config{
 			Window: *elWindow, Violations: *elViolations,
@@ -218,6 +234,19 @@ func main() {
 			rs.HAU, rs.From, rs.To, rs.Bytes, rs.Drain.Truncate(time.Microsecond),
 			rs.Reshard.Truncate(time.Microsecond), rs.Restore.Truncate(time.Microsecond),
 			rs.Downtime.Truncate(time.Microsecond))
+	}
+	for _, sk := range col.Skews() {
+		fmt.Printf("skew %s replicas=%d shares=%s ratio=%.2f action=%s moved=%d\n",
+			sk.HAU, sk.Replicas, shareString(sk.Shares), sk.Ratio, sk.Action, sk.Moved)
+	}
+	// Terminal per-replica load balance of every operator still split at
+	// shutdown, from the routers' observed tuple counts.
+	for _, id := range sys.Cluster().GraphNodes() {
+		if len(sys.Replicas(id)) < 2 {
+			continue
+		}
+		shares, ratio := sys.LoadShares(id, nil)
+		fmt.Printf("load %s shares=%s imbalance=%.2f\n", id, shareString(shares), ratio)
 	}
 	if s := ref.Get(); s != nil && s.Duplicates() > 0 {
 		fmt.Printf("WARNING: sink observed %d duplicate deliveries\n", s.Duplicates())

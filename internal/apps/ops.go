@@ -920,8 +920,17 @@ func (d *FrameDispatchOp) Restore(buf []byte) error { return d.id.restore(buf) }
 type BandFilterOp struct {
 	id     identity
 	Lo, Hi uint8
-	seen   map[string]uint64
+	// MaxKeys caps the counter map; zero means bandFilterMaxKeys. When the
+	// map outgrows the cap every count is halved and zeroes are evicted, so
+	// hot cameras keep (decayed) counts while one-off keys age out and the
+	// state stays bounded under arbitrarily skewed key churn.
+	MaxKeys int
+	seen    map[string]uint64
 }
+
+// bandFilterMaxKeys bounds the per-camera counter map: past this many
+// distinct keys the counts decay (halve, evict zeroes) until the map fits.
+const bandFilterMaxKeys = 4096
 
 // NewBandFilterOp returns an intensity band filter.
 func NewBandFilterOp(name string, lo, hi uint8) *BandFilterOp {
@@ -938,6 +947,9 @@ func (b *BandFilterOp) OnTuple(_ int, t *tuple.Tuple, emit operator.Emitter) err
 		return err
 	}
 	b.seen[t.Key]++
+	if len(b.seen) > b.maxKeys() {
+		b.decay()
+	}
 	data := vision.BandPass(im, b.Lo, b.Hi).Marshal()
 	data = append(data, t.Data[n:]...)
 	out := &tuple.Tuple{Key: t.Key, Ts: t.Ts, Data: data}
@@ -947,6 +959,31 @@ func (b *BandFilterOp) OnTuple(_ int, t *tuple.Tuple, emit operator.Emitter) err
 
 // Seen returns the number of frames filtered for key (tests).
 func (b *BandFilterOp) Seen(key string) uint64 { return b.seen[key] }
+
+func (b *BandFilterOp) maxKeys() int {
+	if b.MaxKeys > 0 {
+		return b.MaxKeys
+	}
+	return bandFilterMaxKeys
+}
+
+// decay halves every count and evicts keys that reach zero, repeating until
+// the map fits under the cap. Counts only shrink, so the loop terminates,
+// and the result depends only on the tuple order — a recovered replica
+// replaying the same stream decays identically, which keeps the chaos
+// harness's reference-replay state oracle valid.
+func (b *BandFilterOp) decay() {
+	for max := b.maxKeys(); len(b.seen) > max; {
+		for k, v := range b.seen {
+			v >>= 1
+			if v == 0 {
+				delete(b.seen, k)
+			} else {
+				b.seen[k] = v
+			}
+		}
+	}
+}
 
 // StateSize reports the per-camera counter map.
 func (b *BandFilterOp) StateSize() int64 {

@@ -390,6 +390,54 @@ func TestBandAndShapeFilters(t *testing.T) {
 	}
 }
 
+func TestBandFilterSeenBounded(t *testing.T) {
+	b := NewBandFilterOp("C0", 140, 255)
+	b.MaxKeys = 32
+	c := newCapture()
+	// One hot camera, then a churn of one-off keys well past the cap.
+	for i := 0; i < 100; i++ {
+		if err := b.OnTuple(0, imageTuple(uint64(i), "hot", 1), c.emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4*b.MaxKeys; i++ {
+		if err := b.OnTuple(0, imageTuple(uint64(1000+i), "cold"+itoa(i), 1), c.emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(b.seen) > b.MaxKeys {
+		t.Fatalf("seen map grew to %d keys, cap %d", len(b.seen), b.MaxKeys)
+	}
+	if b.StateSize() > int64(b.MaxKeys)*(8+16) {
+		t.Fatalf("StateSize %d not bounded", b.StateSize())
+	}
+	// The hot key survives decay with a reduced but nonzero count.
+	hot := b.Seen("hot")
+	if hot == 0 || hot >= 100 {
+		t.Fatalf("hot key count = %d, want decayed nonzero below 100", hot)
+	}
+	// Snapshot/restore round-trips the decayed map exactly.
+	snap, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := NewBandFilterOp("C0", 140, 255)
+	if err := b2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(b2.seen) != len(b.seen) {
+		t.Fatalf("restored %d keys, want %d", len(b2.seen), len(b.seen))
+	}
+	for k, v := range b.seen {
+		if b2.seen[k] != v {
+			t.Fatalf("restored seen[%q] = %d, want %d", k, b2.seen[k], v)
+		}
+	}
+	if b2.StateSize() != b.StateSize() {
+		t.Fatalf("restored StateSize %d, want %d", b2.StateSize(), b.StateSize())
+	}
+}
+
 func TestMotionFilterOpDwellAndClear(t *testing.T) {
 	m := NewMotionFilterOp("M0", 3)
 	c := newCapture()

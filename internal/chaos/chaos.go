@@ -27,6 +27,7 @@ import (
 	"meteorshower/internal/failure"
 	"meteorshower/internal/metrics"
 	"meteorshower/internal/operator"
+	"meteorshower/internal/partition"
 	"meteorshower/internal/placement"
 	"meteorshower/internal/spe"
 	"meteorshower/internal/storage"
@@ -69,6 +70,14 @@ const (
 	// breaking exactly-once. Only in the sample space when Config.Rescales
 	// is set, so default schedules replay unchanged.
 	KillMidRescale InjectionPoint = "mid-rescale"
+	// KillMidRebalance starts a weighted slots-only rebalance of the
+	// topology's keyed operator (splitting it 2-way first when whole), then
+	// kills the burst plus a node hosting one of its incarnations while hot
+	// slots are moving between the existing replicas — the drain, re-shard
+	// and replica restore must abort (ErrRescaleAborted) or commit without
+	// breaking exactly-once. Only in the sample space when Config.Rebalances
+	// is set, so default schedules replay unchanged.
+	KillMidRebalance InjectionPoint = "mid-rebalance"
 	// KillMidScaleIn starts a scale-in drain (the node live-migrates every
 	// hosted HAU off before retiring), then kills the burst plus the
 	// draining node itself while moves are still in flight — the drain must
@@ -140,6 +149,10 @@ type Config struct {
 	// merges the topology's keyed operator before its kill or draws the
 	// mid-rescale instant.
 	Rescales bool
+	// Rebalances enables hot-slot rebalance chaos: each round either shifts
+	// slots across the keyed operator's replicas cleanly before its kill
+	// (splitting it once when whole) or draws the mid-rebalance instant.
+	Rebalances bool
 	// Elastic enables fleet-elasticity chaos: each round either performs one
 	// clean grow-then-drain cycle (add a node, scale another one in) before
 	// its kill, or draws one of the mid-scale-in instants.
@@ -185,6 +198,9 @@ func (c *Config) defaults() {
 		if c.Rescales {
 			c.Points = append(c.Points, KillMidRescale)
 		}
+		if c.Rebalances {
+			c.Points = append(c.Points, KillMidRebalance)
+		}
 		if c.Elastic {
 			c.Points = append(c.Points, KillMidScaleIn, KillScaleInDest)
 		}
@@ -215,6 +231,9 @@ type Round struct {
 	RescaleTo   int    // replica count the rescale targeted
 	RescaleKill int    // node killed while the rescale was in flight; -1 if none
 
+	Rebalanced    string // operator whose hot slots were rebalanced; "" if none
+	RebalanceKill int    // node killed while the rebalance was in flight; -1 if none
+
 	Added     int // node added this round (elastic mode); -1 if none
 	Drained   int // node scale-in drained this round; -1 if none
 	DrainKill int // draining node killed while its HAUs were mid-flight; -1 if none
@@ -237,6 +256,7 @@ type Result struct {
 	Placement  string
 	Migrations bool
 	Rescales   bool
+	Rebalances bool
 	Elastic    bool
 	HA         bool
 	RoundList  []Round
@@ -288,6 +308,9 @@ func (r *Result) ReplayCommand() string {
 	}
 	if r.Rescales {
 		cmd += " -rescale"
+	}
+	if r.Rebalances {
+		cmd += " -rebalance"
 	}
 	if r.Elastic {
 		cmd += " -elastic"
@@ -359,6 +382,13 @@ func (r *Result) String() string {
 			}
 			fmt.Fprintf(&b, "]")
 		}
+		if rd.Rebalanced != "" {
+			fmt.Fprintf(&b, " [rebalance %s", rd.Rebalanced)
+			if rd.RebalanceKill >= 0 {
+				fmt.Fprintf(&b, ", node %d killed in flight", rd.RebalanceKill)
+			}
+			fmt.Fprintf(&b, "]")
+		}
 		if rd.Protected != "" {
 			fmt.Fprintf(&b, " [ha %s", rd.Protected)
 			if rd.PrimaryKill >= 0 {
@@ -406,7 +436,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		Topology: cfg.Topology, Seed: cfg.Seed, Nodes: cfg.Nodes, Rounds: cfg.Rounds,
 		Scheme: cfg.Scheme, Placement: cfg.Placement, Migrations: cfg.Migrations, Rescales: cfg.Rescales,
-		Elastic: cfg.Elastic, HA: cfg.HA,
+		Rebalances: cfg.Rebalances, Elastic: cfg.Elastic, HA: cfg.HA,
 	}
 	var pol placement.Policy
 	if cfg.Placement != "" {
@@ -510,10 +540,30 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 // harness bundles the per-run state the round driver needs.
 type harness struct {
-	cfg Config
-	cl  *cluster.Cluster
-	rng *rand.Rand
-	ids []string // graph node ids, sorted — migration target draws
+	cfg     Config
+	cl      *cluster.Cluster
+	rng     *rand.Rand
+	ids     []string // graph node ids, sorted — migration target draws
+	rebFlip bool     // alternates the synthetic skew so every rebalance moves slots
+}
+
+// nextRebalanceWeights returns a deterministic skewed weight vector,
+// alternating ascending and descending across calls: once a rebalance has
+// equalized one gradient, the next call's reversed gradient re-creates the
+// imbalance, so every clean-rebalance prelude and mid-rebalance kill
+// exercises real slot movement. No rng draws — the kill schedule stays
+// seed-replayable regardless of how many rebalances a run performs.
+func (h *harness) nextRebalanceWeights() partition.Weights {
+	w := make(partition.Weights, partition.DefaultSlots)
+	for s := range w {
+		if h.rebFlip {
+			w[s] = int64(len(w) - s)
+		} else {
+			w[s] = int64(s + 1)
+		}
+	}
+	h.rebFlip = !h.rebFlip
+	return w
 }
 
 // drawMigration samples an (HAU, destination) pair for a live migration.
@@ -632,7 +682,8 @@ func (h *harness) ensureCheckpoint(ctx context.Context) error {
 func (h *harness) round(ctx context.Context, burst []int) (Round, error) {
 	rd := Round{
 		Burst: burst, ExtraKill: -1, MigrateKill: -1, RescaleKill: -1,
-		Added: -1, Drained: -1, DrainKill: -1, DestKill: -1,
+		RebalanceKill: -1,
+		Added:         -1, Drained: -1, DrainKill: -1, DestKill: -1,
 		PrimaryKill: -1, StandbyKill: -1,
 	}
 	rd.Point = h.cfg.Points[h.rng.Intn(len(h.cfg.Points))]
@@ -657,6 +708,20 @@ func (h *harness) round(ctx context.Context, burst []int) (Round, error) {
 		if id := rescaleVictim(h.cfg.Topology); id != "" {
 			rd.Rescaled, rd.RescaleTo = id, h.rescaleTarget(id)
 			_, _ = h.cl.RescaleHAU(ctx, id, rd.RescaleTo)
+		}
+	}
+	// In rebalance mode, every round that is not itself a mid-rebalance kill
+	// shifts hot slots across the victim's replicas cleanly first (splitting
+	// it 2-way once when whole), so the kill lands on a slot table that has
+	// drifted from the count-balanced default. An aborted or no-op rebalance
+	// is fine — the round still runs.
+	if h.cfg.Rebalances && rd.Point != KillMidRebalance {
+		if id := rescaleVictim(h.cfg.Topology); id != "" {
+			if len(h.cl.Replicas(id)) < 2 {
+				_, _ = h.cl.RescaleHAU(ctx, id, 2)
+			}
+			rd.Rebalanced = id
+			_, _ = h.cl.RebalanceHAU(ctx, id, h.nextRebalanceWeights())
 		}
 	}
 	// In elastic mode, every round that is not itself a mid-scale-in kill
@@ -777,6 +842,35 @@ func (h *harness) round(ctx context.Context, burst []int) (Round, error) {
 		// either way it must return before recovery rebuilds the
 		// application, or its replica restore could race the rebuild.
 		<-rescDone
+	case KillMidRebalance:
+		// Split the victim cleanly first if whole (a rebalance needs >= 2
+		// replicas), then start a weighted slots-only rebalance and kill the
+		// burst plus a node hosting one of the victim's incarnations while
+		// hot slots are moving. Whichever phase the kill lands in — quiesce,
+		// drain, re-shard, replica restore, or just after commit — the
+		// exactly-once oracles must stay clean after the whole-application
+		// recovery below.
+		id := rescaleVictim(h.cfg.Topology)
+		if len(h.cl.Replicas(id)) < 2 {
+			_, _ = h.cl.RescaleHAU(ctx, id, 2)
+		}
+		w := h.nextRebalanceWeights()
+		incs := h.cl.Replicas(id)
+		victim := h.cl.NodeOf(incs[h.rng.Intn(len(incs))])
+		delay := time.Duration(h.rng.Intn(1500)) * time.Microsecond
+		rd.Rebalanced, rd.RebalanceKill = id, victim
+		rebDone := make(chan struct{})
+		go func() {
+			defer close(rebDone)
+			_, _ = h.cl.RebalanceHAU(ctx, id, w)
+		}()
+		time.Sleep(delay)
+		kills := append(append([]int(nil), burst...), victim)
+		h.cl.KillNodes(kills)
+		// The rebalance aborts (dead-host polling) or has already
+		// committed; either way it must return before recovery rebuilds the
+		// application, or its replica restore could race the rebuild.
+		<-rebDone
 	case KillMidScaleIn:
 		// Grow first so the drain has destination capacity, then start a
 		// scale-in and kill the burst plus the DRAINING node itself while

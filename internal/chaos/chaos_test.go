@@ -179,6 +179,46 @@ func TestChaosRescaleSmoke(t *testing.T) {
 	}
 }
 
+// TestChaosMidRebalanceKill forces every round onto the mid-rebalance
+// instant: a weighted slots-only rebalance of the topology's keyed
+// operator (split 2-way once when whole) is started, and the burst plus a
+// node hosting one of its incarnations is killed while hot slots are
+// moving between the existing replicas. The exactly-once and
+// state-equivalence oracles must survive kills landing in any phase —
+// quiesce, drain, re-shard, replica restore, or just after commit.
+func TestChaosMidRebalanceKill(t *testing.T) {
+	for _, top := range []Topology{Chain, FanOut} {
+		for seed := int64(1); seed <= 3; seed++ {
+			top, seed := top, seed
+			t.Run(string(top)+"/seed="+string(rune('0'+seed)), func(t *testing.T) {
+				res, err := Run(context.Background(), Config{
+					Topology:     top,
+					Seed:         seed,
+					Placement:    "rackspread",
+					NodesPerRack: 2,
+					Rebalances:   true,
+					Points:       []InjectionPoint{KillMidRebalance},
+				})
+				if err != nil {
+					t.Fatalf("harness: %v", err)
+				}
+				if err := res.Err(); err != nil {
+					t.Fatal(err)
+				}
+				for i, rd := range res.RoundList {
+					if rd.Point != KillMidRebalance {
+						t.Fatalf("round %d ran %s, want forced %s", i, rd.Point, KillMidRebalance)
+					}
+					if rd.Rebalanced == "" || rd.RebalanceKill < 0 {
+						t.Fatalf("round %d recorded no in-flight rebalance kill: %+v", i, rd)
+					}
+				}
+				t.Logf("%s", res)
+			})
+		}
+	}
+}
+
 // TestChaosScheduleReproducible pins seed replayability: two runs with the
 // same configuration must inject the identical kill schedule — same
 // bursts, same instants, same mid-recovery extras.

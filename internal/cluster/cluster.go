@@ -109,6 +109,19 @@ type Config struct {
 	// RescaleCooldown is the minimum gap between rescales of the same
 	// operator (0 = twice AutoscaleEvery).
 	RescaleCooldown time.Duration
+	// ImbalanceAbove arms the autoscaler's skew trigger: when a split
+	// operator's max-replica-load / mean-replica-load ratio (from the
+	// router's per-slot counters) exceeds this watermark on
+	// ImbalanceViolations of the last ImbalanceWindow ticks, the controller
+	// rebalances the hot slots between the existing replicas, escalating to
+	// a weighted split when a rebalance already ran and the skew persists.
+	// Values <= 1 disable the trigger (the ratio is never below 1).
+	ImbalanceAbove float64
+	// ImbalanceWindow is the tick window the skew trigger evaluates over
+	// (0 = 5); ImbalanceViolations is how many violating ticks inside the
+	// window fire an action (0 = 3, capped at the window).
+	ImbalanceWindow     int
+	ImbalanceViolations int
 
 	// NodeCores enables the per-node CPU capacity model: every node gets a
 	// spe.CPUGate with this many cores, and hosted HAUs charge
@@ -237,6 +250,14 @@ type Cluster struct {
 	geom        []geomEntry
 	rescaling   map[string]bool
 	lastRescale map[string]time.Time
+	// Skew-trigger bookkeeping: lastLoads snapshots each split operator's
+	// cumulative router counters at the previous autoscale tick (per-tick
+	// deltas feed the imbalance ratio), skewHits is the violation window,
+	// and lastSkewAct remembers whether the previous skew action was a
+	// rebalance (so persistent skew escalates to a weighted split).
+	lastLoads   map[string]partition.Weights
+	skewHits    map[string][]bool
+	lastSkewAct map[string]string
 
 	policy placement.Policy
 	topo   placement.Topology
@@ -301,6 +322,9 @@ func New(cfg Config) (*Cluster, error) {
 		nextTag:     make(map[string]int),
 		rescaling:   make(map[string]bool),
 		lastRescale: make(map[string]time.Time),
+		lastLoads:   make(map[string]partition.Weights),
+		skewHits:    make(map[string][]bool),
+		lastSkewAct: make(map[string]string),
 		standbys:    make(map[string]*standbyState),
 	}
 	if cl.policy == nil {

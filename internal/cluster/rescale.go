@@ -36,6 +36,10 @@ type partState struct {
 	Replicas []string // incarnation ids, replica order = slot-owner index
 	Assign   *partition.Assignment
 	Router   *partition.Router
+	// StateBytes is the per-slot state-byte estimate measured from the
+	// drained slot tables at the last re-shard — the skew signal available
+	// before any traffic has been routed under the new geometry.
+	StateBytes partition.Weights
 }
 
 // geomEntry journals the partition geometry as of one checkpoint epoch:
@@ -51,6 +55,7 @@ type geomEntry struct {
 type RescaleStats struct {
 	HAU      string
 	From, To int // replica counts before and after
+	Moved    int // slots that changed owner
 	Bytes    int64
 	Drain    time.Duration // divert commands sent -> last state blob handed over
 	Reshard  time.Duration // slot carve/merge of the drained blobs
@@ -100,9 +105,10 @@ func (cl *Cluster) snapshotPartsLocked() map[string]*partState {
 	out := make(map[string]*partState, len(cl.parts))
 	for id, ps := range cl.parts {
 		out[id] = &partState{
-			Base:     id,
-			Replicas: append([]string(nil), ps.Replicas...),
-			Assign:   ps.Assign.Clone(),
+			Base:       id,
+			Replicas:   append([]string(nil), ps.Replicas...),
+			Assign:     ps.Assign.Clone(),
+			StateBytes: append(partition.Weights(nil), ps.StateBytes...),
 		}
 	}
 	return out
@@ -124,10 +130,11 @@ func (cl *Cluster) adoptGeometryLocked(epoch uint64) {
 		for id, ps := range best.parts {
 			a := ps.Assign.Clone()
 			parts[id] = &partState{
-				Base:     id,
-				Replicas: append([]string(nil), ps.Replicas...),
-				Assign:   a,
-				Router:   partition.NewRouter(a),
+				Base:       id,
+				Replicas:   append([]string(nil), ps.Replicas...),
+				Assign:     a,
+				Router:     partition.NewRouter(a),
+				StateBytes: append(partition.Weights(nil), ps.StateBytes...),
 			}
 		}
 	}
@@ -192,10 +199,88 @@ func (cl *Cluster) SplitHAU(ctx context.Context, id string, n int) (RescaleStats
 	return cl.RescaleHAU(ctx, id, n)
 }
 
+// SplitHAUWeighted is SplitHAU with per-slot load weights: the new slot
+// assignment equalizes weighted load across the replicas instead of slot
+// counts. Nil weights fall back to the operator's observed load (tuples
+// routed, else state bytes), which for a first split of an unobserved
+// operator degrades to the count-balanced assignment.
+func (cl *Cluster) SplitHAUWeighted(ctx context.Context, id string, n int, w partition.Weights) (RescaleStats, error) {
+	if n < 2 {
+		return RescaleStats{}, fmt.Errorf("cluster: split needs at least 2 replicas, got %d", n)
+	}
+	return cl.RescaleHAUWeighted(ctx, id, n, w)
+}
+
 // MergeHAU merges a split operator back into a single HAU: the replicas'
 // slot tables are concatenated and the key routers removed.
 func (cl *Cluster) MergeHAU(ctx context.Context, id string) (RescaleStats, error) {
 	return cl.RescaleHAU(ctx, id, 1)
+}
+
+// RescaleHAUWeighted is RescaleHAU with per-slot load weights driving the
+// new slot assignment. Nil weights fall back to the observed load.
+func (cl *Cluster) RescaleHAUWeighted(ctx context.Context, id string, n int, w partition.Weights) (RescaleStats, error) {
+	if w == nil {
+		cl.mu.Lock()
+		w = cl.observedWeightsLocked(id)
+		cl.mu.Unlock()
+	}
+	return cl.rescaleHAU(ctx, id, n, w, false)
+}
+
+// RebalanceHAU redistributes slots between a split operator's EXISTING
+// replicas to fix observed load skew: the replica count stays the same, a
+// fresh incarnation set drains and restores through the usual quiesce +
+// token-barrier + carve machinery, and only the hot slots change owner. It
+// is the cheap answer to a drifting hotspot — a low-ms drain instead of a
+// split. Nil weights use the operator's observed load (tuples routed under
+// the current geometry, else the state-byte estimate from the last
+// re-shard). A table the weights cannot improve returns a zero-move
+// no-op without disturbing the running replicas.
+func (cl *Cluster) RebalanceHAU(ctx context.Context, id string, w partition.Weights) (RescaleStats, error) {
+	if w == nil {
+		cl.mu.Lock()
+		w = cl.observedWeightsLocked(id)
+		cl.mu.Unlock()
+	}
+	return cl.rescaleHAU(ctx, id, 0, w, true)
+}
+
+// observedWeightsLocked returns the per-slot load observed for operator id
+// under its current geometry: tuples routed since its router was installed,
+// falling back to the state-byte estimate from the last re-shard when no
+// traffic has been routed yet. Unsplit operators have no observations.
+// Held lock: cl.mu.
+func (cl *Cluster) observedWeightsLocked(id string) partition.Weights {
+	ps := cl.parts[id]
+	if ps == nil {
+		return nil
+	}
+	if ps.Router != nil {
+		if w := ps.Router.Loads(); w.Total() > 0 {
+			return w
+		}
+	}
+	return ps.StateBytes
+}
+
+// LoadShares returns the per-replica load fractions and imbalance ratio
+// of a split operator under weights w (nil = the observed load: tuples
+// routed under the current geometry, else state bytes). The ratio is
+// max/mean — 1.0 is perfectly balanced. Unsplit or unknown operators
+// report nil shares and a ratio of 1.
+func (cl *Cluster) LoadShares(id string, w partition.Weights) ([]float64, float64) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	ps := cl.parts[id]
+	if ps == nil || ps.Assign == nil {
+		return nil, 1
+	}
+	if w == nil {
+		w = cl.observedWeightsLocked(id)
+	}
+	loads := ps.Assign.LoadOf(w)
+	return partition.Shares(loads), partition.ImbalanceRatio(loads)
 }
 
 // RescaleHAU re-partitions operator id to n replicas, live and
@@ -228,11 +313,20 @@ func (cl *Cluster) MergeHAU(ctx context.Context, id string) (RescaleStats, error
 // not wait on a never-pausing port. A capture that can never seal surfaces
 // as a quiesce timeout wrapped in ErrRescaleAborted.
 func (cl *Cluster) RescaleHAU(ctx context.Context, id string, n int) (RescaleStats, error) {
+	return cl.rescaleHAU(ctx, id, n, nil, false)
+}
+
+// rescaleHAU is the shared core behind RescaleHAU, RescaleHAUWeighted and
+// RebalanceHAU. Weights (when non-empty) drive the new slot assignment so
+// replicas equalize load rather than slot counts; rebalance keeps the
+// replica count (n is ignored) and only shifts slot ownership between
+// fresh incarnations of the existing replica set.
+func (cl *Cluster) rescaleHAU(ctx context.Context, id string, n int, w partition.Weights, rebalance bool) (RescaleStats, error) {
 	var stats RescaleStats
 	if cl.cfg.Scheme == spe.Baseline {
 		return stats, errors.New("cluster: rescale requires a token scheme (not Baseline)")
 	}
-	if n < 1 {
+	if !rebalance && n < 1 {
 		return stats, fmt.Errorf("cluster: rescale to %d replicas", n)
 	}
 	if partition.IsReplica(id) {
@@ -251,7 +345,13 @@ func (cl *Cluster) RescaleHAU(ctx context.Context, id string, n int) (RescaleSta
 	}
 	oldIncs := append([]string(nil), cl.expandedLocked(id)...)
 	m := len(oldIncs)
-	if m == n {
+	if rebalance {
+		if m < 2 {
+			cl.mu.Unlock()
+			return stats, fmt.Errorf("cluster: rebalance of %q needs a split operator, have %d replica(s)", id, m)
+		}
+		n = m
+	} else if m == n {
 		cl.mu.Unlock()
 		return stats, fmt.Errorf("cluster: HAU %q already has %d replicas", id, n)
 	}
@@ -271,6 +371,16 @@ func (cl *Cluster) RescaleHAU(ctx context.Context, id string, n int) (RescaleSta
 	var oldAssign *partition.Assignment
 	if ps := cl.parts[id]; ps != nil {
 		oldAssign = ps.Assign.Clone()
+	}
+	if rebalance {
+		// A table the weights cannot improve is a no-op: don't drain a
+		// healthy replica set for nothing.
+		if oldAssign == nil || len(oldAssign.Clone().Rebalance(w)) == 0 {
+			cl.mu.Unlock()
+			stats.HAU, stats.From, stats.To = id, m, m
+			stats.Replicas = oldIncs
+			return stats, nil
+		}
 	}
 	cl.rescaling[id] = true
 	grd := cl.guardLocked(ErrRescaleAborted)
@@ -300,7 +410,16 @@ func (cl *Cluster) RescaleHAU(ctx context.Context, id string, n int) (RescaleSta
 	if assign == nil {
 		assign = partition.NewAssignment(slots)
 	}
-	assign.Rescale(n)
+	var movedSlots []int
+	switch {
+	case rebalance:
+		movedSlots = assign.Rebalance(w)
+	case len(w) > 0:
+		movedSlots = assign.RescaleWeighted(n, w)
+	default:
+		movedSlots = assign.Rescale(n)
+	}
+	stats.Moved = len(movedSlots)
 	var newIncs []string
 	if n == 1 {
 		newIncs = []string{id}
@@ -458,6 +577,7 @@ func (cl *Cluster) RescaleHAU(ctx context.Context, id string, n int) (RescaleSta
 		}
 	}
 	newOpSecs := make([][][]byte, n)
+	var stateBytes partition.Weights
 	for oi := 0; oi < nOps; oi++ {
 		merged := opsSecs[0][oi]
 		if m > 1 {
@@ -468,6 +588,21 @@ func (cl *Cluster) RescaleHAU(ctx context.Context, id string, n int) (RescaleSta
 			var err error
 			if merged, err = partition.Merge(tables); err != nil {
 				return stats, fmt.Errorf("cluster: rescale of %q: merge op %d: %w", id, oi, err)
+			}
+		}
+		// Per-slot state bytes, summed across the operator chain — the skew
+		// estimate available to the next weighted action before any traffic
+		// is routed under the new geometry.
+		if n > 1 {
+			if sb := partition.SlotBytes(merged); sb != nil {
+				if stateBytes == nil {
+					stateBytes = make(partition.Weights, len(sb))
+				}
+				for s := range sb {
+					if s < len(stateBytes) {
+						stateBytes[s] += sb[s]
+					}
+				}
 			}
 		}
 		if n == 1 {
@@ -527,7 +662,7 @@ func (cl *Cluster) RescaleHAU(ctx context.Context, id string, n int) (RescaleSta
 	if n == 1 {
 		delete(cl.parts, id)
 	} else {
-		cl.parts[id] = &partState{Base: id, Replicas: newIncs, Assign: assign, Router: router}
+		cl.parts[id] = &partState{Base: id, Replicas: newIncs, Assign: assign, Router: router, StateBytes: stateBytes}
 	}
 	for _, inc := range newIncs {
 		cl.inEdges[inc] = newInGrids[inc]
@@ -589,14 +724,34 @@ func (cl *Cluster) RescaleHAU(ctx context.Context, id string, n int) (RescaleSta
 			Restore:  stats.Restore,
 			Downtime: stats.Downtime,
 		})
+		if len(w) > 0 && n > 1 {
+			action := "split:weighted"
+			if rebalance {
+				action = "rebalance"
+			} else if n < m {
+				action = "merge:weighted"
+			}
+			loads := assign.LoadOf(w)
+			cl.cfg.Metrics.RecordSkew(metrics.Skew{
+				At:       cl.cfg.Now(),
+				HAU:      id,
+				Replicas: n,
+				Shares:   partition.Shares(loads),
+				Ratio:    partition.ImbalanceRatio(loads),
+				Action:   action,
+				Moved:    stats.Moved,
+			})
+		}
 	}
 	return stats, nil
 }
 
 // autoscaleStep is the controller's split/merge detector: it compares each
 // interior operator's aggregate cached state size against the hysteresis
-// watermarks and performs at most one rescale per invocation. Returns the
-// number of rescales performed.
+// watermarks and performs at most one rescale per invocation — with a skew
+// pass first, because shifting hot slots between existing replicas is
+// cheaper than changing the replica count. Returns the number of rescales
+// performed.
 func (cl *Cluster) autoscaleStep() (int, error) {
 	cl.mu.Lock()
 	if !cl.started {
@@ -614,6 +769,37 @@ func (cl *Cluster) autoscaleStep() (int, error) {
 		cool = 2 * cl.cfg.AutoscaleEvery
 	}
 	now := time.Now()
+
+	// Skew pass: N-of-M violations of the imbalance watermark on a split
+	// operator's per-tick routed load fire a rebalance, escalating to a
+	// weighted split when the previous rebalance didn't stick.
+	skewID, skewN, skewW := cl.skewStepLocked(now, cool, maxRep)
+	if skewID != "" {
+		cl.mu.Unlock()
+		var err error
+		if skewN > 0 {
+			_, err = cl.rescaleHAU(ctx, skewID, skewN, skewW, false)
+		} else {
+			_, err = cl.rescaleHAU(ctx, skewID, 0, skewW, true)
+		}
+		if err != nil {
+			return 0, err
+		}
+		cl.mu.Lock()
+		cl.lastRescale[skewID] = now
+		if skewN > 0 {
+			cl.lastSkewAct[skewID] = "split"
+		} else {
+			cl.lastSkewAct[skewID] = "rebalance"
+		}
+		// The action installed a fresh router: stale snapshots and the
+		// violation window would misjudge the new geometry.
+		delete(cl.lastLoads, skewID)
+		delete(cl.skewHits, skewID)
+		cl.mu.Unlock()
+		return 1, nil
+	}
+
 	var pickID string
 	var pickN int
 	for _, id := range g.Nodes() {
@@ -656,4 +842,94 @@ func (cl *Cluster) autoscaleStep() (int, error) {
 	cl.lastRescale[pickID] = now
 	cl.mu.Unlock()
 	return 1, nil
+}
+
+// skewStepLocked evaluates the imbalance watermark for every split operator
+// and picks at most one skew action: the per-tick routed-load delta gives
+// each replica's share, N-of-M watermark violations (plus the per-operator
+// cooldown) arm an action, and the action is a rebalance in place unless
+// the previous rebalance didn't stick — then it escalates to a weighted
+// split. Returns the chosen operator (empty for none), the split target (0
+// means rebalance) and the weights driving the action. Held lock: cl.mu.
+func (cl *Cluster) skewStepLocked(now time.Time, cool time.Duration, maxRep int) (string, int, partition.Weights) {
+	if cl.cfg.ImbalanceAbove <= 1 {
+		return "", 0, nil
+	}
+	win := cl.cfg.ImbalanceWindow
+	if win <= 0 {
+		win = 5
+	}
+	need := cl.cfg.ImbalanceViolations
+	if need <= 0 {
+		need = 3
+	}
+	if need > win {
+		need = win
+	}
+	var pickID string
+	var pickN int
+	var pickW partition.Weights
+	for _, id := range cl.cfg.App.Graph.Nodes() {
+		ps := cl.parts[id]
+		if ps == nil || ps.Router == nil || len(ps.Replicas) < 2 {
+			delete(cl.skewHits, id)
+			continue
+		}
+		m := len(ps.Replicas)
+		cur := ps.Router.Loads()
+		delta := cur.Sub(cl.lastLoads[id])
+		cl.lastLoads[id] = cur
+		judged := delta.Total() >= int64(2*m) // enough traffic to judge this tick
+		violated := false
+		if judged {
+			loads := ps.Assign.LoadOf(delta)
+			ratio := partition.ImbalanceRatio(loads)
+			violated = ratio > cl.cfg.ImbalanceAbove
+			if !violated {
+				// A genuinely balanced observation: the next skew episode
+				// starts with a rebalance again.
+				delete(cl.lastSkewAct, id)
+			} else if cl.cfg.Metrics != nil {
+				cl.cfg.Metrics.RecordSkew(metrics.Skew{
+					At: cl.cfg.Now(), HAU: id, Replicas: m,
+					Shares: partition.Shares(loads), Ratio: ratio, Action: "observe",
+				})
+			}
+		}
+		hits := append(cl.skewHits[id], violated)
+		if len(hits) > win {
+			hits = hits[len(hits)-win:]
+		}
+		cl.skewHits[id] = hits
+		if pickID != "" || now.Sub(cl.lastRescale[id]) < cool {
+			continue
+		}
+		nHits := 0
+		for _, h := range hits {
+			if h {
+				nHits++
+			}
+		}
+		if nHits < need {
+			continue
+		}
+		w := cl.observedWeightsLocked(id)
+		if w.Total() <= 0 {
+			continue
+		}
+		canMove := len(ps.Assign.Clone().Rebalance(w)) > 0
+		switch {
+		case canMove && cl.lastSkewAct[id] != "rebalance":
+			pickID, pickN, pickW = id, 0, w
+		case m < maxRep:
+			n := m * 2
+			if n > maxRep {
+				n = maxRep
+			}
+			pickID, pickN, pickW = id, n, w
+		case canMove:
+			pickID, pickN, pickW = id, 0, w // at the replica cap: rebalance is all we have
+		}
+	}
+	return pickID, pickN, pickW
 }

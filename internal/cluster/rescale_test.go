@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"context"
+	"math/rand"
+	"strconv"
 	"testing"
 	"time"
 
@@ -371,4 +373,272 @@ func TestGraphDownstreamReadOnly(t *testing.T) {
 	if got := g.Upstream("b"); got[0] != "a" {
 		t.Fatalf("Upstream leaked internal storage: %v", got)
 	}
+}
+
+// TestSplitHAUWeighted splits with an explicitly skewed weight vector and
+// checks the resulting assignment is measurably better balanced under
+// those weights than the count-balanced split, with flow still
+// exactly-once.
+func TestSplitHAUWeighted(t *testing.T) {
+	cl, _, reg := newKeyedCluster(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := cl.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "initial deliveries", func() bool {
+		s := reg.get()
+		return s != nil && s.Delivered() > 100
+	})
+	w := make(partition.Weights, partition.DefaultSlots)
+	for s := range w {
+		w[s] = 1
+	}
+	for s := 0; s < 32; s++ {
+		w[s] = 100 // hot range: the first 32 slots carry ~94% of the load
+	}
+	stats, err := cl.SplitHAUWeighted(ctx, "C", 2, w)
+	if err != nil {
+		t.Fatalf("SplitHAUWeighted: %v", err)
+	}
+	if stats.From != 1 || stats.To != 2 || stats.Moved == 0 {
+		t.Fatalf("weighted split stats = %+v", stats)
+	}
+	cl.mu.Lock()
+	assign := cl.parts["C"].Assign.Clone()
+	cl.mu.Unlock()
+	got := partition.ImbalanceRatio(assign.LoadOf(w))
+	count := partition.NewAssignment(partition.DefaultSlots)
+	count.Rescale(2)
+	ref := partition.ImbalanceRatio(count.LoadOf(w))
+	if got > 1.25 || got > ref {
+		t.Fatalf("weighted split imbalance %.3f (count-balanced would be %.3f)", got, ref)
+	}
+	after := reg.get().Delivered()
+	waitFor(t, 5*time.Second, "post-split deliveries", func() bool {
+		return reg.get().Delivered() > after+200
+	})
+	waitNoViolations(t, reg, "after weighted split")
+	cl.StopAll()
+}
+
+// TestRebalanceHAU drives the slots-only redistribution: after a
+// count-balanced split, a rebalance under a skewed weight vector must
+// re-incarnate the SAME replica count with the hot slots spread out,
+// keep the stream exactly-once, record a skew metric, and no-op when
+// called again with the weights it just balanced for.
+func TestRebalanceHAU(t *testing.T) {
+	cl, col, reg := newKeyedCluster(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := cl.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "initial deliveries", func() bool {
+		s := reg.get()
+		return s != nil && s.Delivered() > 100
+	})
+	if _, err := cl.RebalanceHAU(ctx, "C", nil); err == nil {
+		t.Fatal("rebalance of unsplit operator accepted")
+	}
+	if _, err := cl.SplitHAU(ctx, "C", 2); err != nil {
+		t.Fatalf("SplitHAU: %v", err)
+	}
+	oldReps := cl.Replicas("C")
+
+	// Weights that concentrate the load on replica 0's slot share.
+	cl.mu.Lock()
+	assign := cl.parts["C"].Assign.Clone()
+	cl.mu.Unlock()
+	w := make(partition.Weights, assign.Slots())
+	for s := range w {
+		if assign.Owner(s) == 0 {
+			w[s] = 100
+		} else {
+			w[s] = 1
+		}
+	}
+	stats, err := cl.RebalanceHAU(ctx, "C", w)
+	if err != nil {
+		t.Fatalf("RebalanceHAU: %v", err)
+	}
+	if stats.From != 2 || stats.To != 2 || stats.Moved == 0 {
+		t.Fatalf("rebalance stats = %+v", stats)
+	}
+	newReps := cl.Replicas("C")
+	if len(newReps) != 2 {
+		t.Fatalf("replica count changed by rebalance: %v", newReps)
+	}
+	for _, o := range oldReps {
+		for _, n := range newReps {
+			if o == n {
+				t.Fatalf("incarnation id %s reused across rebalance", o)
+			}
+		}
+	}
+	cl.mu.Lock()
+	after := cl.parts["C"].Assign.Clone()
+	cl.mu.Unlock()
+	if r := partition.ImbalanceRatio(after.LoadOf(w)); r > 1.25 {
+		t.Fatalf("post-rebalance imbalance %.3f > 1.25", r)
+	}
+	delivered := reg.get().Delivered()
+	waitFor(t, 5*time.Second, "post-rebalance deliveries", func() bool {
+		return reg.get().Delivered() > delivered+200
+	})
+	waitNoViolations(t, reg, "after rebalance")
+
+	var sawRebalance bool
+	for _, s := range col.Skews() {
+		if s.HAU == "C" && s.Action == "rebalance" && s.Moved == stats.Moved && s.Replicas == 2 {
+			sawRebalance = true
+		}
+	}
+	if !sawRebalance {
+		t.Fatalf("no rebalance skew metric recorded: %+v", col.Skews())
+	}
+
+	// Balanced-for-these-weights table: the same call is now a no-op that
+	// leaves the running incarnations alone.
+	again, err := cl.RebalanceHAU(ctx, "C", w)
+	if err != nil {
+		t.Fatalf("no-op RebalanceHAU: %v", err)
+	}
+	if again.Moved != 0 {
+		t.Fatalf("no-op rebalance moved %d slots", again.Moved)
+	}
+	if got := cl.Replicas("C"); got[0] != newReps[0] || got[1] != newReps[1] {
+		t.Fatalf("no-op rebalance re-incarnated replicas: %v -> %v", newReps, got)
+	}
+
+	// Observed-weight path: nil weights read the router's live counters.
+	if _, err := cl.RebalanceHAU(ctx, "C", nil); err != nil {
+		t.Fatalf("observed-weight RebalanceHAU: %v", err)
+	}
+	if got := cl.Replicas("C"); len(got) != 2 {
+		t.Fatalf("observed-weight rebalance changed replica count: %v", got)
+	}
+	waitNoViolations(t, reg, "after observed-weight rebalance")
+	cl.StopAll()
+	if d := reg.get().Duplicates(); d != 0 {
+		t.Fatalf("sink saw %d duplicates across rebalances", d)
+	}
+}
+
+// skewedKeyedApp is keyedApp with sources that only emit keys hashing into
+// the FIRST half of the slot ring — after a count-balanced 2-way split,
+// replica 0 owns every slot the traffic hits.
+func skewedKeyedApp(col *metrics.Collector, reg *sinkRegistry) AppSpec {
+	var hotKeys []string
+	for i := 0; len(hotKeys) < 16; i++ {
+		k := "h" + strconv.Itoa(i)
+		if partition.SlotOf(k, partition.DefaultSlots) < partition.DefaultSlots/2 {
+			hotKeys = append(hotKeys, k)
+		}
+	}
+	payload := func(id uint64, _ *rand.Rand) (string, []byte) {
+		return hotKeys[int(id)%len(hotKeys)], make([]byte, 16)
+	}
+	g := graph.New()
+	for _, id := range []string{"S0", "S1", "C", "K"} {
+		g.MustAddNode(id)
+	}
+	g.MustAddEdge("S0", "C")
+	g.MustAddEdge("S1", "C")
+	g.MustAddEdge("C", "K")
+	return AppSpec{
+		Name:  "skewed-keyed-test",
+		Graph: g,
+		NewOperators: func(id string) []operator.Operator {
+			switch id[0] {
+			case 'S':
+				return []operator.Operator{operator.NewRateSource(id, 3, 7, payload)}
+			case 'C':
+				return []operator.Operator{operator.NewCounter(id)}
+			default:
+				s := operator.NewSink("K", col)
+				s.TrackIdentity = true
+				reg.set(s)
+				return []operator.Operator{s}
+			}
+		},
+	}
+}
+
+// TestAutoscaleImbalanceTrigger drives the controller's skew trigger end to
+// end: a split counter receives deliberately skewed traffic (every key
+// hashes into one replica's slot share), the N-of-M watermark fires, and
+// the autoscaler rebalances without an explicit call.
+func TestAutoscaleImbalanceTrigger(t *testing.T) {
+	col := metrics.NewCollector()
+	reg := &sinkRegistry{}
+	local, shared := fastSpecs()
+	cl, err := New(Config{
+		App:                 skewedKeyedApp(col, reg),
+		Scheme:              spe.MSSrcAP,
+		Nodes:               4,
+		LocalDiskSpec:       local,
+		SharedSpec:          shared,
+		TickEvery:           time.Millisecond,
+		CkptPeriod:          50 * time.Millisecond,
+		SourceFlush:         256,
+		Seed:                1,
+		Metrics:             col,
+		AutoscaleEvery:      20 * time.Millisecond,
+		MaxReplicas:         2,
+		ImbalanceAbove:      1.3,
+		ImbalanceWindow:     3,
+		ImbalanceViolations: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := cl.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "initial deliveries", func() bool {
+		s := reg.get()
+		return s != nil && s.Delivered() > 100
+	})
+	// A count-balanced split hands replica 0 the first half of the ring —
+	// exactly where all of this app's keys hash — so replica 1 sees no
+	// traffic and the imbalance ratio sits at 2.0, above the watermark.
+	if _, err := cl.SplitHAU(ctx, "C", 2); err != nil {
+		t.Fatalf("SplitHAU: %v", err)
+	}
+	cl.StartController(ctx)
+	// The skew trigger should observe the one-sided traffic and rebalance:
+	// a fresh incarnation set at the same replica count. The skew record is
+	// written after the commit epoch, so wait on it rather than on the
+	// replica ids.
+	before := cl.Replicas("C")
+	waitFor(t, 10*time.Second, "autoscaler rebalance", func() bool {
+		for _, s := range col.Skews() {
+			if s.HAU == "C" && s.Action == "rebalance" {
+				return true
+			}
+		}
+		return false
+	})
+	got := cl.Replicas("C")
+	if len(got) != 2 || (got[0] == before[0] && got[1] == before[1]) {
+		t.Fatalf("rebalance did not re-incarnate at the same count: %v -> %v", before, got)
+	}
+	var observed bool
+	for _, s := range col.Skews() {
+		if s.HAU == "C" && s.Action == "observe" && s.Ratio > 1.3 {
+			observed = true
+		}
+	}
+	if !observed {
+		t.Fatalf("no observe skew record above the watermark: %+v", col.Skews())
+	}
+	after := reg.get().Delivered()
+	waitFor(t, 5*time.Second, "post-trigger flow", func() bool {
+		return reg.get().Delivered() > after+100
+	})
+	waitNoViolations(t, reg, "after autoscaler rebalance")
+	cl.StopAll()
 }

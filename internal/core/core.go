@@ -22,6 +22,7 @@ import (
 	"meteorshower/internal/controller"
 	"meteorshower/internal/elastic"
 	"meteorshower/internal/metrics"
+	"meteorshower/internal/partition"
 	"meteorshower/internal/placement"
 	"meteorshower/internal/spe"
 	"meteorshower/internal/statesize"
@@ -60,6 +61,18 @@ type Options struct {
 	// RescaleCooldown is the minimum spacing between rescales of the same
 	// operator (0 = 2x AutoscaleEvery) — the detector's hysteresis.
 	RescaleCooldown time.Duration
+	// ImbalanceAbove arms the autoscaler's skew trigger: when a split
+	// operator's max/mean replica load stays above this watermark for
+	// ImbalanceViolations of the last ImbalanceWindow ticks, the
+	// controller rebalances its hot slots (escalating to a weighted split
+	// when rebalancing alone cannot fix it). Values <= 1 disable the
+	// trigger. Requires AutoscaleEvery.
+	ImbalanceAbove float64
+	// ImbalanceWindow is the skew trigger's tick window (0 = 5).
+	ImbalanceWindow int
+	// ImbalanceViolations is how many ticks of the window must violate the
+	// watermark before acting (0 = 3, capped at the window).
+	ImbalanceViolations int
 
 	// ElasticEvery enables the controller's fleet-elasticity loop with the
 	// given period; 0 disables it. The engine samples per-node utilization
@@ -155,6 +168,9 @@ func NewSystem(opts Options) (*System, error) {
 		MergeBelow:          opts.MergeBelow,
 		MaxReplicas:         opts.AutoscaleMaxReplicas,
 		RescaleCooldown:     opts.RescaleCooldown,
+		ImbalanceAbove:      opts.ImbalanceAbove,
+		ImbalanceWindow:     opts.ImbalanceWindow,
+		ImbalanceViolations: opts.ImbalanceViolations,
 		ElasticEvery:        opts.ElasticEvery,
 		Elastic:             opts.Elastic,
 		NodeCores:           opts.NodeCores,
@@ -274,6 +290,24 @@ func (s *System) SplitHAU(ctx context.Context, id string, n int) (cluster.Rescal
 // MergeHAU merges a split operator back into a single HAU.
 func (s *System) MergeHAU(ctx context.Context, id string) (cluster.RescaleStats, error) {
 	return s.cl.MergeHAU(ctx, id)
+}
+
+// SplitHAUWeighted is SplitHAU with per-slot load weights driving the new
+// assignment; nil weights use the operator's observed load.
+func (s *System) SplitHAUWeighted(ctx context.Context, id string, n int, w partition.Weights) (cluster.RescaleStats, error) {
+	return s.cl.SplitHAUWeighted(ctx, id, n, w)
+}
+
+// RebalanceHAU shifts hot slots between a split operator's existing
+// replicas to fix observed load skew without changing the replica count.
+func (s *System) RebalanceHAU(ctx context.Context, id string, w partition.Weights) (cluster.RescaleStats, error) {
+	return s.cl.RebalanceHAU(ctx, id, w)
+}
+
+// LoadShares returns a split operator's per-replica load fractions and
+// max/mean imbalance ratio under the observed load (nil weights).
+func (s *System) LoadShares(id string, w partition.Weights) ([]float64, float64) {
+	return s.cl.LoadShares(id, w)
 }
 
 // Replicas returns the live incarnation ids of operator id (itself when

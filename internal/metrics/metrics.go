@@ -89,6 +89,24 @@ type Rescale struct {
 	Downtime time.Duration // old incarnations stopped -> new ones started
 }
 
+// Skew is one observation of how a split operator's load spreads across
+// its replicas: Shares are the per-replica load fractions, Ratio is
+// max/mean (1.0 balanced, Replicas worst case). Action records what the
+// observation is: "observe" for a watermark evaluation that found skew,
+// "rebalance" for slots shifted between the existing replicas, and
+// "split:weighted"/"merge:weighted" for weighted replica-count changes
+// (these report the projected post-action spread under the weights that
+// drove the action).
+type Skew struct {
+	At       int64 // ns timestamp of the observation
+	HAU      string
+	Replicas int
+	Shares   []float64
+	Ratio    float64
+	Action   string
+	Moved    int // slots moved by the action, 0 for observations
+}
+
 // Failover is one standby promotion: a protected HAU's primary died and
 // the cluster switched the live stream to its standby instead of rolling
 // the application back. Wait is detection-to-promotion prep (draining the
@@ -118,6 +136,7 @@ type Collector struct {
 	rescales    []Rescale
 	checkpoints []Checkpoint
 	failovers   []Failover
+	skews       []Skew
 }
 
 // NewCollector returns an empty collector.
@@ -317,6 +336,20 @@ func (c *Collector) Rescales() []Rescale {
 	return append([]Rescale(nil), c.rescales...)
 }
 
+// RecordSkew appends one replica-load skew observation.
+func (c *Collector) RecordSkew(s Skew) {
+	c.mu.Lock()
+	c.skews = append(c.skews, s)
+	c.mu.Unlock()
+}
+
+// Skews returns every recorded skew observation, oldest first.
+func (c *Collector) Skews() []Skew {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Skew(nil), c.skews...)
+}
+
 // RecordFailover appends one standby promotion's timings.
 func (c *Collector) RecordFailover(f Failover) {
 	c.mu.Lock()
@@ -372,5 +405,6 @@ func (c *Collector) Reset() {
 	c.rescales = nil
 	c.checkpoints = nil
 	c.failovers = nil
+	c.skews = nil
 	c.mu.Unlock()
 }

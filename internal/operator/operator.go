@@ -87,6 +87,21 @@ type PartitionedState interface {
 	PartitionSlots() int
 }
 
+// SlotWeights snapshots a partitioned operator and returns its per-slot
+// state bytes as partition weights — the skew signal available from state
+// alone, before any traffic has been routed. Residue-only operators (and
+// non-table snapshots) report nil: they carry no keyed state to weigh.
+func SlotWeights(op PartitionedState) (partition.Weights, error) {
+	if op.PartitionSlots() == 0 {
+		return nil, nil
+	}
+	buf, err := op.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return partition.SlotBytes(buf), nil
+}
+
 // Source is implemented by source operators: instead of consuming inputs
 // they generate tuples. Generate is called by the HAU's clock; it returns
 // the next batch (possibly empty). Generated tuples must carry fresh IDs so

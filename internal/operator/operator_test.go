@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"meteorshower/internal/partition"
 	"meteorshower/internal/tuple"
 )
 
@@ -270,6 +271,28 @@ func TestCounterCountsAndSurvivesRestore(t *testing.T) {
 	}
 	if cnt2.Count("a") != 5 || cnt2.Total() != 6 {
 		t.Fatal("restored counter lost counts")
+	}
+}
+
+func TestSlotWeightsReflectKeyedState(t *testing.T) {
+	cnt := NewCounter("c")
+	c := newCapture()
+	for i := 0; i < 8; i++ {
+		cnt.OnTuple(0, mk(uint64(i), "hotkey"), c.emit)
+	}
+	w, err := SlotWeights(cnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != partition.DefaultSlots {
+		t.Fatalf("got %d slot weights, want %d", len(w), partition.DefaultSlots)
+	}
+	hot := partition.SlotOf("hotkey", partition.DefaultSlots)
+	if w[hot] <= 0 {
+		t.Fatalf("hot slot %d weighs %d, want > 0", hot, w[hot])
+	}
+	if w.Total() != w[hot] {
+		t.Fatalf("weight leaked outside the hot slot: total %d, hot %d", w.Total(), w[hot])
 	}
 }
 

@@ -18,9 +18,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultSlots is the virtual-slot ring size. 256 slots bound table size
@@ -146,13 +148,22 @@ func (a *Assignment) Rescale(n int) []int {
 	return moved
 }
 
+// loadShards spreads the per-slot load counters across independent banks so
+// concurrent upstream forwarders routing the same hot slot don't serialize
+// on one atomic word. Must be a power of two (shard pick masks a cheap
+// per-goroutine random draw).
+const loadShards = 8
+
 // Router is the KeyRouter installed on upstream output ports: it resolves a
 // tuple key to the replica index that owns its slot. Reads are lock-cheap
-// (RWMutex read path); Update swaps the table during a rescale.
+// (RWMutex read path); Update swaps the table during a rescale. Every Route
+// also bumps a sharded per-slot counter, so the observed tuple distribution
+// is available as Weights for skew-aware reassignment.
 type Router struct {
 	mu    sync.RWMutex
 	slots int
 	owner []int32
+	loads []int64 // loadShards contiguous banks of per-slot counters
 }
 
 // NewRouter returns a router over the assignment's current table.
@@ -169,12 +180,31 @@ func (r *Router) Slots() int {
 	return r.slots
 }
 
-// Route returns the replica index owning key's slot.
+// Route returns the replica index owning key's slot and counts the tuple
+// against that slot's load.
 func (r *Router) Route(key string) int {
 	r.mu.RLock()
-	idx := int(r.owner[SlotOf(key, r.slots)])
+	slot := SlotOf(key, r.slots)
+	idx := int(r.owner[slot])
+	atomic.AddInt64(&r.loads[int(rand.Uint64()&(loadShards-1))*r.slots+slot], 1)
 	r.mu.RUnlock()
 	return idx
+}
+
+// Loads returns the tuples routed per slot since this router (or its
+// current ring size) was installed. The snapshot is point-in-time:
+// concurrent routing keeps counting while it runs.
+func (r *Router) Loads() Weights {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	w := make(Weights, r.slots)
+	for sh := 0; sh < loadShards; sh++ {
+		base := sh * r.slots
+		for s := 0; s < r.slots; s++ {
+			w[s] += atomic.LoadInt64(&r.loads[base+s])
+		}
+	}
+	return w
 }
 
 // RouteSlot returns the replica index owning slot.
@@ -184,13 +214,18 @@ func (r *Router) RouteSlot(slot int) int {
 	return int(r.owner[slot])
 }
 
-// Update installs the assignment's current table.
+// Update installs the assignment's current table. Load counters survive an
+// update at the same ring size (the slots are the same slots); a ring-size
+// change resets them.
 func (r *Router) Update(a *Assignment) {
 	owner := make([]int32, a.Slots())
 	for s := range owner {
 		owner[s] = int32(a.Owner(s))
 	}
 	r.mu.Lock()
+	if r.slots != a.Slots() || r.loads == nil {
+		r.loads = make([]int64, loadShards*a.Slots())
+	}
 	r.slots = a.Slots()
 	r.owner = owner
 	r.mu.Unlock()

@@ -1,0 +1,240 @@
+// Skew-aware slot weighting: observed per-slot load (tuples routed by the
+// Router, state bytes from drained slot tables) drives slot placement so a
+// rescale equalizes *load* across replicas rather than slot counts, and a
+// rebalance shifts only hot slots between the existing replicas. With a
+// Zipf-skewed key distribution a count-balanced 4-way split leaves one
+// replica owning most of the traffic; the weighted paths here recover
+// near-linear scaling from the same 256-slot ring.
+
+package partition
+
+import "sort"
+
+// Weights carries one non-negative load figure per slot — tuples routed,
+// state bytes, or any blend the caller chooses. Nil or all-equal weights
+// mean "no skew information": the weighted paths fall back to the
+// count-balanced behaviour, so callers never special-case the unweighted
+// case.
+type Weights []int64
+
+// Total returns the summed load across all slots.
+func (w Weights) Total() int64 {
+	var t int64
+	for _, v := range w {
+		t += v
+	}
+	return t
+}
+
+// Sub returns w minus prev, clamped at zero per slot — the load observed
+// since prev was snapshotted. A prev of different length (the router was
+// replaced) reads as zero.
+func (w Weights) Sub(prev Weights) Weights {
+	out := make(Weights, len(w))
+	for s, v := range w {
+		if s < len(prev) && prev[s] <= v {
+			v -= prev[s]
+		}
+		out[s] = v
+	}
+	return out
+}
+
+// uniform reports whether every slot carries the same load (vacuously true
+// when empty), in which case count-balancing IS load-balancing.
+func (w Weights) uniform() bool {
+	for _, v := range w {
+		if v != w[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// LoadOf returns the per-replica load sums under w. Nil weights count
+// slots (every slot weighs one).
+func (a *Assignment) LoadOf(w Weights) []int64 {
+	loads := make([]int64, a.replicas)
+	for s, o := range a.owner {
+		switch {
+		case w == nil:
+			loads[o]++
+		case s < len(w) && w[s] > 0:
+			loads[o] += w[s]
+		}
+	}
+	return loads
+}
+
+// Shares normalizes per-replica loads into fractions of the total. A zero
+// total reads as perfectly even.
+func Shares(loads []int64) []float64 {
+	out := make([]float64, len(loads))
+	var total int64
+	for _, l := range loads {
+		total += l
+	}
+	if total <= 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(loads))
+		}
+		return out
+	}
+	for i, l := range loads {
+		out[i] = float64(l) / float64(total)
+	}
+	return out
+}
+
+// ImbalanceRatio returns max(loads)/mean(loads): 1.0 is perfectly
+// balanced, len(loads) is the worst case (all load on one replica). A
+// zero total reads as balanced.
+func ImbalanceRatio(loads []int64) float64 {
+	if len(loads) == 0 {
+		return 1
+	}
+	var total, max int64
+	for _, l := range loads {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	if total <= 0 {
+		return 1
+	}
+	return float64(max) * float64(len(loads)) / float64(total)
+}
+
+// RescaleWeighted rebalances the table to n replicas equalizing *load*
+// rather than slot counts: surviving owners keep their slots while they
+// still fit under the balanced load target (a slot heavier than the whole
+// target stays only on an otherwise-empty owner), and displaced slots are
+// handed out heaviest-first to the least-loaded replica (LPT scheduling).
+// Zero-weight slots never leave a surviving owner — their placement
+// doesn't matter, so they keep the minimal-move property — and uniform
+// (or missing) weights delegate to the count-balanced Rescale, so the two
+// agree exactly when there is no skew to exploit. Returns the moved
+// slots, ascending.
+func (a *Assignment) RescaleWeighted(n int, w Weights) []int {
+	if n <= 0 {
+		n = 1
+	}
+	if len(w) != len(a.owner) || w.uniform() {
+		return a.Rescale(n)
+	}
+	target := float64(w.Total()) / float64(n)
+	load := make([]int64, n)
+	var moved []int
+	for s, o := range a.owner {
+		if o < n && (w[s] <= 0 || load[o] == 0 || float64(load[o]+w[s]) <= target) {
+			if w[s] > 0 {
+				load[o] += w[s]
+			}
+		} else {
+			moved = append(moved, s)
+		}
+	}
+	// Heaviest-first placement: big slots land while the spread across
+	// replicas is still wide, so no replica ends up one hot slot over.
+	order := append([]int(nil), moved...)
+	sort.Slice(order, func(i, j int) bool {
+		if w[order[i]] != w[order[j]] {
+			return w[order[i]] > w[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	for _, s := range order {
+		r := 0
+		for j := 1; j < n; j++ {
+			if load[j] < load[r] {
+				r = j
+			}
+		}
+		a.owner[s] = r
+		if w[s] > 0 {
+			load[r] += w[s]
+		}
+	}
+	a.replicas = n
+	return moved
+}
+
+// Rebalance shifts hot slots between the EXISTING replicas until no move
+// narrows the spread: each round the heaviest-loaded replica with a
+// movable slot donates its heaviest slot that still improves the pair to
+// the lightest-loaded replica. Zero-weight slots never move, the replica
+// count never changes, and every accepted move strictly shrinks the
+// donor/recipient gap, so the loop terminates. Returns the moved slots,
+// ascending and deduplicated (a slot may hop twice); empty means the
+// table is as balanced as slot granularity allows.
+func (a *Assignment) Rebalance(w Weights) []int {
+	n := a.replicas
+	if n <= 1 || len(w) != len(a.owner) || w.Total() <= 0 {
+		return nil
+	}
+	load := a.LoadOf(w)
+	byLoad := make([]int, n)
+	var moved []int
+	for iter := 0; iter < len(a.owner); iter++ {
+		for i := range byLoad {
+			byLoad[i] = i
+		}
+		sort.Slice(byLoad, func(i, j int) bool { return load[byLoad[i]] > load[byLoad[j]] })
+		recip := byLoad[n-1]
+		best, from := -1, -1
+		for _, donor := range byLoad {
+			if donor == recip {
+				continue
+			}
+			gap := load[donor] - load[recip]
+			if gap <= 0 {
+				break // sorted: no later donor is heavier
+			}
+			for s, o := range a.owner {
+				if o != donor || w[s] <= 0 || w[s] >= gap {
+					continue // moving s would not strictly improve the pair
+				}
+				if best < 0 || w[s] > w[best] {
+					best, from = s, donor
+				}
+			}
+			if best >= 0 {
+				break // prefer the heaviest donor that can improve
+			}
+		}
+		if best < 0 {
+			break
+		}
+		a.owner[best] = recip
+		load[from] -= w[best]
+		load[recip] += w[best]
+		moved = append(moved, best)
+	}
+	sort.Ints(moved)
+	uniq := moved[:0]
+	for i, s := range moved {
+		if i == 0 || s != moved[i-1] {
+			uniq = append(uniq, s)
+		}
+	}
+	return uniq
+}
+
+// SlotBytes returns the per-slot payload sizes of an encoded slot table —
+// the state-byte weight of each slot. Non-table buffers (legacy
+// residue-only snapshots) weigh nothing.
+func SlotBytes(buf []byte) Weights {
+	if !IsTable(buf) {
+		return nil
+	}
+	_, slots, err := ParseTable(buf)
+	if err != nil {
+		return nil
+	}
+	w := make(Weights, len(slots))
+	for s, p := range slots {
+		w[s] = int64(len(p))
+	}
+	return w
+}

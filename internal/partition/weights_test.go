@@ -1,0 +1,312 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// scrambled returns an assignment over slots with every slot owned by a
+// random replica in [0, m).
+func scrambled(rng *rand.Rand, slots, m int) *Assignment {
+	a := NewAssignment(slots)
+	a.replicas = m
+	for s := range a.owner {
+		a.owner[s] = rng.Intn(m)
+	}
+	return a
+}
+
+// TestRescaleWeightedUniformAgreesExactly is the satellite property test:
+// on uniform weights RescaleWeighted must agree with plain Rescale slot for
+// slot — it moves exactly the same (minimal) slot set. Randomized over
+// slot-ring sizes, starting replica counts and targets.
+func TestRescaleWeightedUniformAgreesExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		slots := 1 + rng.Intn(512)
+		m := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(8)
+		base := scrambled(rng, slots, m)
+		plain := base.Clone()
+		weighted := base.Clone()
+		level := int64(1 + rng.Intn(5)) // any constant weight, not just 1
+		w := make(Weights, slots)
+		for s := range w {
+			w[s] = level
+		}
+		movedPlain := plain.Rescale(n)
+		movedWeighted := weighted.RescaleWeighted(n, w)
+		if len(movedPlain) != len(movedWeighted) {
+			t.Fatalf("slots=%d m=%d n=%d: uniform weighted moved %d slots, plain moved %d",
+				slots, m, n, len(movedWeighted), len(movedPlain))
+		}
+		for i := range movedPlain {
+			if movedPlain[i] != movedWeighted[i] {
+				t.Fatalf("slots=%d m=%d n=%d: moved sets differ at %d: %d vs %d",
+					slots, m, n, i, movedWeighted[i], movedPlain[i])
+			}
+		}
+		for s := 0; s < slots; s++ {
+			if plain.Owner(s) != weighted.Owner(s) {
+				t.Fatalf("slots=%d m=%d n=%d: owner of slot %d: weighted %d, plain %d",
+					slots, m, n, s, weighted.Owner(s), plain.Owner(s))
+			}
+		}
+	}
+}
+
+// TestRescaleWeightedNilDelegates checks the no-information fallbacks: nil,
+// wrong-length and all-zero weights behave exactly like plain Rescale.
+func TestRescaleWeightedNilDelegates(t *testing.T) {
+	for _, w := range []Weights{nil, make(Weights, 10), make(Weights, DefaultSlots)} {
+		a := NewAssignment(DefaultSlots)
+		b := NewAssignment(DefaultSlots)
+		a.Rescale(3)
+		b.RescaleWeighted(3, w)
+		for s := 0; s < DefaultSlots; s++ {
+			if a.Owner(s) != b.Owner(s) {
+				t.Fatalf("weights %v: slot %d owner %d, want %d", w, s, b.Owner(s), a.Owner(s))
+			}
+		}
+	}
+}
+
+// TestRescaleWeightedBalancesSkew: a Zipf-ish skewed weight vector must end
+// up measurably better balanced under RescaleWeighted than under the
+// count-balanced Rescale, and the invariants (every slot owned by a live
+// replica, replica count updated) must hold.
+func TestRescaleWeightedBalancesSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		slots := 64 + rng.Intn(512)
+		n := 2 + rng.Intn(7)
+		w := make(Weights, slots)
+		for s := range w {
+			w[s] = int64(rng.Intn(3)) // long cold tail, some zero slots
+		}
+		// A few hot slots dominate.
+		for h := 0; h < 1+rng.Intn(4); h++ {
+			w[rng.Intn(slots)] = int64(1000 + rng.Intn(5000))
+		}
+		count := NewAssignment(slots)
+		count.Rescale(n)
+		weighted := NewAssignment(slots)
+		weighted.RescaleWeighted(n, w)
+		if weighted.Replicas() != n {
+			t.Fatalf("replicas = %d, want %d", weighted.Replicas(), n)
+		}
+		for s := 0; s < slots; s++ {
+			if o := weighted.Owner(s); o < 0 || o >= n {
+				t.Fatalf("slot %d owned by %d, out of range [0,%d)", s, o, n)
+			}
+		}
+		rc := ImbalanceRatio(count.LoadOf(w))
+		rw := ImbalanceRatio(weighted.LoadOf(w))
+		if rw > rc+1e-9 {
+			t.Fatalf("slots=%d n=%d: weighted imbalance %.3f worse than count-balanced %.3f", slots, n, rw, rc)
+		}
+	}
+}
+
+// TestRescaleWeightedZeroWeightSlotsStayPut: slots that carry no load never
+// move off a surviving owner — the minimal-move property for don't-care
+// slots.
+func TestRescaleWeightedZeroWeightSlotsStayPut(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		slots := 32 + rng.Intn(256)
+		m := 1 + rng.Intn(4)
+		n := m + 1 + rng.Intn(4) // grow: every old owner survives
+		a := scrambled(rng, slots, m)
+		before := append([]int(nil), a.owner...)
+		w := make(Weights, slots)
+		for s := range w {
+			if rng.Intn(2) == 0 {
+				w[s] = int64(1 + rng.Intn(100))
+			}
+		}
+		w[rng.Intn(slots)] = 10000 // ensure non-uniform
+		a.RescaleWeighted(n, w)
+		for s := 0; s < slots; s++ {
+			if w[s] == 0 && a.Owner(s) != before[s] {
+				t.Fatalf("zero-weight slot %d moved %d -> %d", s, before[s], a.Owner(s))
+			}
+		}
+	}
+}
+
+// TestRebalanceReducesImbalance: on a skewed table Rebalance must not
+// increase the imbalance ratio, must keep the replica count, and must only
+// move slots with positive weight.
+func TestRebalanceReducesImbalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		slots := 32 + rng.Intn(512)
+		n := 2 + rng.Intn(7)
+		a := scrambled(rng, slots, n)
+		before := append([]int(nil), a.owner...)
+		w := make(Weights, slots)
+		for s := range w {
+			w[s] = int64(rng.Intn(50))
+		}
+		pre := ImbalanceRatio(a.LoadOf(w))
+		moved := a.Rebalance(w)
+		post := ImbalanceRatio(a.LoadOf(w))
+		if a.Replicas() != n {
+			t.Fatalf("replicas changed %d -> %d", n, a.Replicas())
+		}
+		if post > pre+1e-9 {
+			t.Fatalf("rebalance worsened imbalance %.4f -> %.4f", pre, post)
+		}
+		movedSet := make(map[int]bool, len(moved))
+		for _, s := range moved {
+			movedSet[s] = true
+		}
+		for s := 0; s < slots; s++ {
+			if a.Owner(s) != before[s] && !movedSet[s] {
+				t.Fatalf("slot %d moved but not reported", s)
+			}
+			if movedSet[s] && w[s] <= 0 {
+				t.Fatalf("zero-weight slot %d moved", s)
+			}
+		}
+	}
+}
+
+// TestRebalanceConvergesOnHotSlotDrift models the drifting-hotspot
+// scenario: a table balanced for yesterday's hotspot sees today's traffic
+// concentrated elsewhere; one Rebalance pass must bring the ratio down to
+// what slot granularity allows (here well under 1.25).
+func TestRebalanceConvergesOnHotSlotDrift(t *testing.T) {
+	a := NewAssignment(DefaultSlots)
+	a.Rescale(4)
+	w := make(Weights, DefaultSlots)
+	for s := range w {
+		w[s] = 10
+	}
+	// Today's hot range: 8 slots that all landed on replica 0's count-
+	// balanced share, carrying ~80% of the traffic.
+	for s := 0; s < 8; s++ {
+		w[s] = 1500
+	}
+	if pre := ImbalanceRatio(a.LoadOf(w)); pre < 2 {
+		t.Fatalf("scenario not skewed enough: pre ratio %.2f", pre)
+	}
+	moved := a.Rebalance(w)
+	if len(moved) == 0 {
+		t.Fatal("rebalance moved nothing on a skewed table")
+	}
+	if post := ImbalanceRatio(a.LoadOf(w)); post > 1.25 {
+		t.Fatalf("post-rebalance imbalance %.3f > 1.25", post)
+	}
+}
+
+// TestRebalanceNoOps: unsplit tables, nil weights and zero totals are
+// no-ops.
+func TestRebalanceNoOps(t *testing.T) {
+	a := NewAssignment(DefaultSlots)
+	if moved := a.Rebalance(make(Weights, DefaultSlots)); moved != nil {
+		t.Fatalf("unsplit rebalance moved %v", moved)
+	}
+	a.Rescale(3)
+	if moved := a.Rebalance(nil); moved != nil {
+		t.Fatalf("nil-weight rebalance moved %v", moved)
+	}
+	if moved := a.Rebalance(make(Weights, DefaultSlots)); moved != nil {
+		t.Fatalf("zero-weight rebalance moved %v", moved)
+	}
+}
+
+// TestRouterLoads: routed tuples are counted against the right slots,
+// survive a same-size Update, and reset on a ring-size change.
+func TestRouterLoads(t *testing.T) {
+	a := NewAssignment(16)
+	a.Rescale(2)
+	r := NewRouter(a)
+	keys := []string{"alpha", "beta", "gamma", "alpha", "alpha"}
+	for _, k := range keys {
+		r.Route(k)
+	}
+	w := r.Loads()
+	if got := w.Total(); got != int64(len(keys)) {
+		t.Fatalf("total routed %d, want %d", got, len(keys))
+	}
+	if got := w[SlotOf("alpha", 16)]; got != 3 {
+		t.Fatalf("alpha slot counted %d, want 3", got)
+	}
+	r.Update(a) // same ring size: counters survive
+	if got := r.Loads().Total(); got != int64(len(keys)) {
+		t.Fatalf("after same-size update total %d, want %d", got, len(keys))
+	}
+	r.Update(NewAssignment(32)) // ring-size change: counters reset
+	if got := r.Loads().Total(); got != 0 {
+		t.Fatalf("after resize total %d, want 0", got)
+	}
+}
+
+// TestWeightsSub covers the windowed-delta helper, including the
+// router-replaced case (shorter prev).
+func TestWeightsSub(t *testing.T) {
+	cur := Weights{10, 5, 7}
+	prev := Weights{4, 9, 7}
+	d := cur.Sub(prev)
+	if d[0] != 6 || d[1] != 5 || d[2] != 0 {
+		t.Fatalf("delta = %v, want [6 5 0]", d)
+	}
+	if d := cur.Sub(nil); d[0] != 10 || d[1] != 5 || d[2] != 7 {
+		t.Fatalf("delta vs nil = %v", d)
+	}
+}
+
+// TestImbalanceRatioAndShares pins down the summary-stat semantics used by
+// the autoscaler trigger and msrun output.
+func TestImbalanceRatioAndShares(t *testing.T) {
+	if r := ImbalanceRatio([]int64{100, 100, 100, 100}); r != 1 {
+		t.Fatalf("balanced ratio %v, want 1", r)
+	}
+	if r := ImbalanceRatio([]int64{400, 0, 0, 0}); r != 4 {
+		t.Fatalf("worst-case ratio %v, want 4", r)
+	}
+	if r := ImbalanceRatio(nil); r != 1 {
+		t.Fatalf("empty ratio %v, want 1", r)
+	}
+	sh := Shares([]int64{30, 10})
+	if sh[0] != 0.75 || sh[1] != 0.25 {
+		t.Fatalf("shares %v, want [0.75 0.25]", sh)
+	}
+}
+
+// TestSlotBytes: the per-slot state-byte estimate tracks the encoded
+// table's payload lengths and ignores non-table buffers.
+func TestSlotBytes(t *testing.T) {
+	table := AppendTable(nil, []byte("res"), [][]byte{nil, []byte("abc"), []byte("zz")})
+	w := SlotBytes(table)
+	if len(w) != 3 || w[0] != 0 || w[1] != 3 || w[2] != 2 {
+		t.Fatalf("slot bytes %v, want [0 3 2]", w)
+	}
+	if w := SlotBytes([]byte("not a table")); w != nil {
+		t.Fatalf("non-table slot bytes %v, want nil", w)
+	}
+}
+
+// BenchmarkRouterRoute is the split-path cost guard: one Route call —
+// slot hash, owner lookup, and the sharded load-counter bump — must stay
+// allocation-free and a few tens of nanoseconds, since it sits on every
+// tuple an upstream forwards to a split operator.
+func BenchmarkRouterRoute(b *testing.B) {
+	a := NewAssignment(DefaultSlots)
+	a.Rescale(4)
+	r := NewRouter(a)
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = "bench-key-" + string(rune('a'+i%26)) + string(rune('0'+i%10))
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			r.Route(keys[i&63])
+			i++
+		}
+	})
+}
