@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet lint build test race chaos chaos-migrate chaos-rescale chaos-rebalance chaos-unaligned chaos-elastic chaos-ha bench-smoke bench-hotpath placement-bench bench-checkpoint bench-checkpoint-smoke bench-unaligned bench-unaligned-smoke rescale-bench rescale-bench-smoke elasticity-bench elasticity-bench-smoke ha-bench ha-bench-smoke skew-bench skew-bench-smoke
+.PHONY: ci vet lint build test race chaos chaos-migrate chaos-rescale chaos-rebalance chaos-unaligned chaos-elastic chaos-ha chaos-multiapp bench-smoke bench-hotpath placement-bench bench-checkpoint bench-checkpoint-smoke bench-unaligned bench-unaligned-smoke rescale-bench rescale-bench-smoke elasticity-bench elasticity-bench-smoke ha-bench ha-bench-smoke skew-bench skew-bench-smoke fairness-bench fairness-bench-smoke
 
-ci: vet lint build race bench-smoke bench-checkpoint-smoke chaos chaos-migrate chaos-rescale chaos-rebalance chaos-unaligned chaos-elastic chaos-ha rescale-bench-smoke elasticity-bench-smoke skew-bench-smoke
+ci: vet lint build race bench-smoke bench-checkpoint-smoke chaos chaos-migrate chaos-rescale chaos-rebalance chaos-unaligned chaos-elastic chaos-ha chaos-multiapp rescale-bench-smoke elasticity-bench-smoke skew-bench-smoke fairness-bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -74,6 +74,13 @@ chaos-elastic:
 chaos-ha:
 	$(GO) test -race -count=1 -run 'TestChaosHA' ./internal/chaos/
 
+# Multi-tenant chaos: two applications share one fleet; kills a node
+# hosting HAUs of both tenants (independent per-app rollbacks) and a node
+# hosting only one (co-tenant must not roll back), both oracles per app
+# under the race detector.
+chaos-multiapp:
+	$(GO) test -race -count=1 -run 'TestMultiApp' ./internal/chaos/
+
 # Hybrid fault-tolerance benchmark: hybrid failover vs pure-checkpoint
 # rollback on the same nine-HAU chain and kill schedule, scored by the
 # sink's interruption. Regenerates BENCH_ha.json.
@@ -144,3 +151,16 @@ skew-bench:
 # observed-load accounting and RebalanceHAU with the gates still armed.
 skew-bench-smoke:
 	$(GO) run -race ./cmd/msskew -quick -out -
+
+# Multi-tenant fairness benchmark: a light and a heavy tenant share one
+# fleet under 3:1 and 1:1 weights through a flash crowd, then a shared
+# node is killed to check per-app recovery isolation. Regenerates
+# BENCH_fairness.json and fails on a fairness-band or isolation miss.
+fairness-bench:
+	$(GO) run ./cmd/msfair
+
+# Shortened msfair phases printed to stdout: exercises the arbiter loop
+# and the kill/recovery isolation checks; the fairness bands are reported
+# but only correctness gates fail the run.
+fairness-bench-smoke:
+	$(GO) run ./cmd/msfair -quick -out -

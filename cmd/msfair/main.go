@@ -1,0 +1,690 @@
+// Command msfair benchmarks multi-tenant fair-share arbitration and
+// regenerates BENCH_fairness.json. Two synthetic applications — a light
+// tenant (2 pipelines) and a heavy tenant (4 pipelines) — share one fleet
+// under the weighted max-min arbiter, and four phases probe the fairness
+// and isolation claims:
+//
+//   - isolated_light: the light tenant alone on the full fleet — the
+//     baseline its shared-fleet throughput is retained against.
+//
+//   - shared_3_1: weights 3:1 with a heavy-tenant flash crowd. The light
+//     tenant must keep >= 90% of its isolated-run throughput inside the
+//     crowd window, and the arbiter's fair shares must give the heavy
+//     tenant ~3x the light tenant's fleet share.
+//
+//   - shared_1_1: equal weights with BOTH tenants in flash crowd — the
+//     shares must converge near 1:1, showing the weights (not the app
+//     shapes) set the split.
+//
+//   - recovery_isolation: steady shared load; once the arbiter has
+//     segregated the tenants onto disjoint node sets, a node hosting only
+//     heavy HAUs is killed. Only the heavy tenant may roll back (its own
+//     epoch, its own sources), and both sink oracles must end clean.
+//
+//     msfair                 # full run, writes BENCH_fairness.json
+//     msfair -out -          # print JSON to stdout instead
+//     msfair -quick          # shorter phases (CI smoke)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"meteorshower/internal/cluster"
+	"meteorshower/internal/graph"
+	"meteorshower/internal/metrics"
+	"meteorshower/internal/operator"
+	"meteorshower/internal/spe"
+	"meteorshower/internal/storage"
+)
+
+const (
+	fleetNodes    = 8
+	perTupleDelay = 60 * time.Microsecond // modelled service time per tuple per receiving stage
+
+	lightName, heavyName = "light", "heavy"
+	lightPipes           = 2
+	heavyPipes           = 4
+
+	// lightRate (tuples/ms per source) is sized so the light tenant's
+	// demand sits just under a quarter of the 8-node fleet: 2 sources x
+	// 5.5/ms x ~180us of attributed CPU per tuple ~ 2 cores. Under 3:1
+	// weights its fair share is exactly enough to keep up, so any
+	// throughput it loses to the heavy tenant's crowd is an arbitration
+	// failure, not an under-provisioned tenant.
+	lightRate = 5.5
+	heavyBase = 2.0  // heavy steady rate per source
+	heavyPeak = 20.0 // heavy flash-crowd rate per source (10x)
+	// heavySteady drives the recovery phase: high enough that the arbiter
+	// segregates the tenants, low enough that the post-rollback replay
+	// drains before the phase ends.
+	heavySteady = 8.0
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_fairness.json", `output path; "-" prints to stdout`)
+		quick = flag.Bool("quick", false, "shorter phases (CI smoke)")
+	)
+	flag.Parse()
+
+	doc := map[string]any{
+		"benchmark": "fairness",
+		"environment": map[string]string{
+			"go":     runtime.Version(),
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+		},
+		"regenerate": "go run ./cmd/msfair",
+		"fleet":      fleetNodes,
+	}
+	var problems []string
+	fail := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	// The fairness bands need the full-length arbiter settling window; the
+	// shortened -quick phases are too noisy to gate on them, so the smoke
+	// run reports the ratios but only fails on correctness (exactly-once
+	// violations, recovery isolation).
+	band := fail
+	if *quick {
+		band = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "  note (not gated in -quick): "+format+"\n", args...)
+		}
+	}
+
+	tl := phaseTimeline(*quick)
+
+	// Phase 1: the light tenant alone on the full fleet.
+	fmt.Fprintln(os.Stderr, "== isolated_light ==")
+	iso, err := runPhase(tl, []tenantCfg{lightTenant(1, steady(lightRate))}, phaseOpts{})
+	if err != nil {
+		fatal(err)
+	}
+	isoLight := iso.tenants[lightName]
+	doc["isolated_light"] = isoLight
+	if isoLight.Violations != 0 {
+		fail("isolated_light: %d exactly-once violations", isoLight.Violations)
+	}
+
+	// Phase 2: 3:1 weights, heavy flash crowd.
+	fmt.Fprintln(os.Stderr, "== shared_3_1 ==")
+	s31, err := runPhase(tl, []tenantCfg{
+		lightTenant(1, steady(lightRate)),
+		heavyTenant(3, crowd(tl, heavyBase, heavyPeak)),
+	}, phaseOpts{arbiter: true})
+	if err != nil {
+		fatal(err)
+	}
+	retention := 0.0
+	if isoLight.WindowPerMS > 0 {
+		retention = s31.tenants[lightName].WindowPerMS / isoLight.WindowPerMS
+	}
+	ratio31 := shareRatio(s31.shares, heavyName, lightName)
+	doc["shared_3_1"] = map[string]any{
+		"light":              s31.tenants[lightName],
+		"heavy":              s31.tenants[heavyName],
+		"fair_shares":        s31.shares,
+		"nodes_per_app":      s31.nodes,
+		"share_ratio":        ratio31,
+		"light_retention":    retention,
+		"arbiter_migrations": s31.moves,
+	}
+	fmt.Fprintf(os.Stderr, "  light retention %.3f, heavy/light share ratio %.2f, nodes %v\n",
+		retention, ratio31, s31.nodes)
+	if retention < 0.9 {
+		band("shared_3_1: light tenant kept only %.1f%% of isolated throughput (want >= 90%%)", retention*100)
+	}
+	if ratio31 < 2.0 || ratio31 > 4.5 {
+		band("shared_3_1: heavy/light share ratio %.2f outside ~3x band [2.0, 4.5]", ratio31)
+	}
+	for name, tr := range s31.tenants {
+		if tr.Violations != 0 {
+			fail("shared_3_1: %s sink has %d exactly-once violations", name, tr.Violations)
+		}
+	}
+
+	// Phase 3: equal weights, both tenants in flash crowd.
+	fmt.Fprintln(os.Stderr, "== shared_1_1 ==")
+	s11, err := runPhase(tl, []tenantCfg{
+		lightTenant(1, crowd(tl, lightRate, heavyPeak)),
+		heavyTenant(1, crowd(tl, heavyBase, heavyPeak)),
+	}, phaseOpts{arbiter: true})
+	if err != nil {
+		fatal(err)
+	}
+	ratio11 := shareRatio(s11.shares, heavyName, lightName)
+	doc["shared_1_1"] = map[string]any{
+		"light":         s11.tenants[lightName],
+		"heavy":         s11.tenants[heavyName],
+		"fair_shares":   s11.shares,
+		"nodes_per_app": s11.nodes,
+		"share_ratio":   ratio11,
+	}
+	fmt.Fprintf(os.Stderr, "  heavy/light share ratio %.2f, nodes %v\n", ratio11, s11.nodes)
+	if ratio11 < 0.55 || ratio11 > 1.8 {
+		band("shared_1_1: equal-weight share ratio %.2f not ~1:1 [0.55, 1.8]", ratio11)
+	}
+
+	// Phase 4: recovery isolation on a segregated fleet.
+	fmt.Fprintln(os.Stderr, "== recovery_isolation ==")
+	rec, err := runKillPhase(tl)
+	if err != nil {
+		fatal(err)
+	}
+	doc["recovery_isolation"] = rec
+	fmt.Fprintf(os.Stderr, "  killed node %d: heavy recoveries %d, light recoveries %d, violations light %d / heavy %d\n",
+		rec.KilledNode, rec.HeavyRecoveries, rec.LightRecoveries, rec.LightViolations, rec.HeavyViolations)
+	if rec.HeavyRecoveries == 0 {
+		fail("recovery_isolation: heavy tenant never rolled back after its node died")
+	}
+	if rec.LightRecoveries != 0 {
+		fail("recovery_isolation: co-tenant rolled back %d time(s); want 0", rec.LightRecoveries)
+	}
+	if rec.LightViolations != 0 {
+		fail("recovery_isolation: co-tenant sink recorded %d gaps/dups; want 0", rec.LightViolations)
+	}
+	if rec.HeavyViolations != 0 {
+		fail("recovery_isolation: heavy sink recorded %d gaps/dups after rollback; want 0", rec.HeavyViolations)
+	}
+
+	if problems == nil {
+		problems = []string{}
+	}
+	doc["checks_failed"] = problems
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "FAIL %s\n", p)
+	}
+	if len(problems) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "msfair: %v\n", err)
+	os.Exit(1)
+}
+
+// timeline shapes every phase: warm-up, a crowd window, and a tail. The
+// measurement window is the tail of the crowd, after the arbiter has had
+// time to react.
+type timeline struct {
+	warm, crowdEnd, total time.Duration
+	measFrom, measTo      time.Duration
+}
+
+func phaseTimeline(quick bool) timeline {
+	warm, crowdLen, tail := 600*time.Millisecond, 1400*time.Millisecond, 300*time.Millisecond
+	if quick {
+		warm, crowdLen, tail = 400*time.Millisecond, 900*time.Millisecond, 200*time.Millisecond
+	}
+	return timeline{
+		warm:     warm,
+		crowdEnd: warm + crowdLen,
+		total:    warm + crowdLen + tail,
+		measFrom: warm + crowdLen/3,
+		measTo:   warm + crowdLen,
+	}
+}
+
+// steady offers a constant rate; crowd holds base, spikes to peak inside
+// the timeline's crowd window, and drops back.
+func steady(rate float64) func(time.Duration) float64 {
+	return func(time.Duration) float64 { return rate }
+}
+
+func crowd(tl timeline, base, peak float64) func(time.Duration) float64 {
+	return func(elapsed time.Duration) float64 {
+		if elapsed >= tl.warm && elapsed < tl.crowdEnd {
+			return peak
+		}
+		return base
+	}
+}
+
+// tenantCfg describes one synthetic tenant: S_i -> M_i -> K fan-in with
+// rate-driven sources.
+type tenantCfg struct {
+	name      string
+	weight    float64
+	pipelines int
+	rate      func(elapsed time.Duration) float64
+}
+
+func lightTenant(weight float64, rate func(time.Duration) float64) tenantCfg {
+	return tenantCfg{name: lightName, weight: weight, pipelines: lightPipes, rate: rate}
+}
+
+func heavyTenant(weight float64, rate func(time.Duration) float64) tenantCfg {
+	return tenantCfg{name: heavyName, weight: weight, pipelines: heavyPipes, rate: rate}
+}
+
+// sinkBox tracks the live sink instance (migration and recovery
+// re-instantiate it).
+type sinkBox struct {
+	mu   sync.Mutex
+	sink *operator.Sink
+}
+
+func (b *sinkBox) set(s *operator.Sink) {
+	b.mu.Lock()
+	b.sink = s
+	b.mu.Unlock()
+}
+
+func (b *sinkBox) get() *operator.Sink {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sink
+}
+
+// buildTenant assembles one tenant's AppSpec plus its private latency
+// collector and sink box.
+func buildTenant(tc tenantCfg, startNS *atomic.Int64) (cluster.AppSpec, *metrics.Collector, *sinkBox) {
+	col := metrics.NewCollector()
+	box := &sinkBox{}
+	g := graph.New()
+	for i := 0; i < tc.pipelines; i++ {
+		s, m := fmt.Sprintf("S%d", i), fmt.Sprintf("M%d", i)
+		g.MustAddNode(s)
+		g.MustAddNode(m)
+		g.MustAddEdge(s, m)
+	}
+	g.MustAddNode("K")
+	for i := 0; i < tc.pipelines; i++ {
+		g.MustAddEdge(fmt.Sprintf("M%d", i), "K")
+	}
+	rate := tc.rate
+	return cluster.AppSpec{
+		Name:   tc.name,
+		Graph:  g,
+		Weight: tc.weight,
+		NewOperators: func(id string) []operator.Operator {
+			switch id[0] {
+			case 'S':
+				idx := int64(id[1] - '0')
+				src := operator.NewRateSource(id, 0, idx+1, operator.BytePayload(32, 8))
+				src.CatchUpCap = 512
+				src.RateFn = func(nowNS int64) float64 {
+					start := startNS.Load()
+					if start == 0 {
+						return 0
+					}
+					return rate(time.Duration(nowNS - start))
+				}
+				return []operator.Operator{src}
+			case 'M':
+				return []operator.Operator{operator.NewPassthrough(id, 1)}
+			default:
+				s := operator.NewSink("K", col)
+				s.TrackIdentity = true
+				box.set(s)
+				return []operator.Operator{s}
+			}
+		},
+	}, col, box
+}
+
+func fastDisk() storage.DiskSpec {
+	return storage.DiskSpec{BandwidthBps: 1 << 30, Latency: time.Microsecond, TimeScale: 0}
+}
+
+// tenantResult is one tenant's record for one phase.
+type tenantResult struct {
+	Delivered   uint64  `json:"delivered"`
+	Violations  uint64  `json:"exactly_once_violations"`
+	WindowCount uint64  `json:"window_tuples"`
+	WindowPerMS float64 `json:"window_tuples_per_ms"`
+	WindowP99MS float64 `json:"window_p99_ms"`
+	Nodes       int     `json:"nodes_hosting"`
+}
+
+type phaseResult struct {
+	tenants map[string]tenantResult
+	shares  map[string]float64 // arbiter fair shares averaged over the window
+	nodes   map[string]int     // distinct nodes hosting each app at window end
+	moves   int                // arbiter migrations executed
+}
+
+type phaseOpts struct {
+	arbiter bool
+}
+
+// startFleet boots a shared cluster for the given tenants and returns it
+// plus the per-tenant collectors/boxes and the cluster-level collector.
+func startFleet(ctx context.Context, tenants []tenantCfg, startNS *atomic.Int64, arbiter bool) (
+	*cluster.Cluster, *metrics.Collector, map[string]*metrics.Collector, map[string]*sinkBox, error) {
+
+	specs := make([]cluster.AppSpec, 0, len(tenants))
+	cols := make(map[string]*metrics.Collector, len(tenants))
+	boxes := make(map[string]*sinkBox, len(tenants))
+	for _, tc := range tenants {
+		spec, col, box := buildTenant(tc, startNS)
+		specs = append(specs, spec)
+		cols[tc.name] = col
+		boxes[tc.name] = box
+	}
+	clusterCol := metrics.NewCollector()
+	cfg := cluster.Config{
+		Apps:           specs,
+		Scheme:         spe.MSSrcAP,
+		Nodes:          fleetNodes,
+		NodeCores:      1,
+		PerTupleDelay:  perTupleDelay,
+		LocalDiskSpec:  fastDisk(),
+		SharedSpec:     fastDisk(),
+		EdgeBuffer:     8 << 10,
+		TickEvery:      time.Millisecond,
+		CkptPeriod:     100 * time.Millisecond,
+		PreserveMemCap: 1 << 20,
+		SourceFlush:    256,
+		RetainEpochs:   2,
+		Seed:           1,
+		Metrics:        clusterCol,
+	}
+	if arbiter {
+		cfg.ArbiterEvery = 100 * time.Millisecond
+		cfg.ArbiterMaxMoves = 3
+	}
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if err := cl.Start(ctx); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	cl.StartController(ctx)
+	return cl, clusterCol, cols, boxes, nil
+}
+
+// nodesPerApp counts the distinct nodes hosting at least one HAU of each
+// app right now.
+func nodesPerApp(cl *cluster.Cluster) map[string]int {
+	seen := make(map[string]map[int]bool)
+	for _, id := range cl.GraphNodes() {
+		app := cl.AppOfHAU(id)
+		if seen[app] == nil {
+			seen[app] = make(map[int]bool)
+		}
+		seen[app][cl.NodeOf(id)] = true
+	}
+	out := make(map[string]int, len(seen))
+	for app, nodes := range seen {
+		out[app] = len(nodes)
+	}
+	return out
+}
+
+func shareRatio(shares map[string]float64, num, den string) float64 {
+	if shares == nil || shares[den] <= 0 {
+		return 0
+	}
+	return shares[num] / shares[den]
+}
+
+// runPhase drives one timeline over the given tenants and scores the
+// crowd window per tenant. With opts.arbiter the fair-share loop runs and
+// its shares are averaged over the window.
+func runPhase(tl timeline, tenants []tenantCfg, opts phaseOpts) (phaseResult, error) {
+	res := phaseResult{tenants: make(map[string]tenantResult)}
+	var startNS atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cl, clusterCol, cols, boxes, err := startFleet(ctx, tenants, &startNS, opts.arbiter)
+	if err != nil {
+		return res, err
+	}
+	defer cl.StopAll()
+
+	start := time.Now()
+	startNS.Store(start.UnixNano())
+	shareSum := make(map[string]float64)
+	shareSamples := 0
+	for elapsed := time.Duration(0); elapsed < tl.total; elapsed = time.Since(start) {
+		time.Sleep(50 * time.Millisecond)
+		if opts.arbiter && elapsed >= tl.measFrom && elapsed < tl.measTo {
+			if s := cl.ArbiterShares(); s != nil {
+				for app, v := range s {
+					shareSum[app] += v
+				}
+				shareSamples++
+			}
+		}
+		if elapsed >= tl.measTo && res.nodes == nil {
+			res.nodes = nodesPerApp(cl)
+		}
+	}
+	if res.nodes == nil {
+		res.nodes = nodesPerApp(cl)
+	}
+	if shareSamples > 0 {
+		res.shares = make(map[string]float64, len(shareSum))
+		for app, v := range shareSum {
+			res.shares[app] = v / float64(shareSamples)
+		}
+	}
+	res.moves = len(clusterCol.Migrations())
+	cl.StopAll()
+
+	winMS := float64((tl.measTo - tl.measFrom).Milliseconds())
+	for _, tc := range tenants {
+		s := boxes[tc.name].get()
+		if s == nil {
+			return res, fmt.Errorf("tenant %s: sink never instantiated", tc.name)
+		}
+		ws := cols[tc.name].Window(start.Add(tl.measFrom).UnixNano(), start.Add(tl.measTo).UnixNano())
+		tr := tenantResult{
+			Delivered:   s.Delivered(),
+			Violations:  s.Report().TotalViolations(),
+			WindowCount: ws.Count,
+			WindowP99MS: float64(ws.P99.Microseconds()) / 1000,
+			Nodes:       res.nodes[tc.name],
+		}
+		if winMS > 0 {
+			tr.WindowPerMS = float64(ws.Count) / winMS
+		}
+		if ws.Count == 0 {
+			return res, fmt.Errorf("tenant %s: no deliveries inside the measurement window", tc.name)
+		}
+		res.tenants[tc.name] = tr
+	}
+	return res, nil
+}
+
+// killResult records the recovery-isolation phase.
+type killResult struct {
+	KilledNode      int            `json:"killed_node"`
+	KilledAtMS      int64          `json:"killed_at_ms"`
+	Segregated      bool           `json:"segregated_before_kill"`
+	HeavyRecoveries int            `json:"heavy_recoveries"`
+	LightRecoveries int            `json:"light_recoveries"`
+	LightViolations uint64         `json:"light_violations"`
+	HeavyViolations uint64         `json:"heavy_violations"`
+	LightDelivered  uint64         `json:"light_delivered"`
+	HeavyDelivered  uint64         `json:"heavy_delivered"`
+	NodesPerApp     map[string]int `json:"nodes_per_app_at_kill"`
+}
+
+// runKillPhase runs both tenants at steady rates under the arbiter, waits
+// for the fleet to segregate, kills a node hosting only heavy HAUs, and
+// lets per-app auto-recovery heal the heavy tenant while the light tenant
+// keeps running.
+func runKillPhase(tl timeline) (killResult, error) {
+	res := killResult{KilledNode: -1}
+	var startNS atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tenants := []tenantCfg{
+		lightTenant(1, steady(lightRate)),
+		heavyTenant(3, steady(heavySteady)),
+	}
+	cl, clusterCol, _, boxes, err := startFleet(ctx, tenants, &startNS, true)
+	if err != nil {
+		return res, err
+	}
+	defer cl.StopAll()
+
+	// Per-app auto-recovery: an app whose own ping loop reports dead HAUs
+	// rolls itself back; co-tenants never hear about it.
+	cl.SetAppFailureHandler(func(app string, dead []string) {
+		go func() {
+			for i := 0; i < 50; i++ {
+				if _, err := cl.RecoverApp(ctx, app); err == nil {
+					return
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+		}()
+	})
+
+	start := time.Now()
+	startNS.Store(start.UnixNano())
+
+	// A kill only exercises rollback once a complete checkpoint exists for
+	// both tenants; give the arbiter the warm-up window to segregate too.
+	ckptDeadline := start.Add(tl.crowdEnd)
+	for time.Now().Before(ckptDeadline) {
+		_, okL := cl.AppCatalog(lightName).MostRecentComplete()
+		_, okH := cl.AppCatalog(heavyName).MostRecentComplete()
+		if okL && okH && time.Since(start) >= tl.warm {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Wait for segregation: a node hosting heavy HAUs and nothing else.
+	searchDeadline := start.Add(tl.crowdEnd)
+	victim := -1
+	for time.Now().Before(searchDeadline) {
+		victim = heavyOnlyNode(cl)
+		if victim >= 0 {
+			res.Segregated = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if victim < 0 {
+		// Segregation incomplete (timing): force the shape by evicting
+		// light HAUs off one heavy node so the kill still isolates.
+		victim = evictToHeavyOnly(ctx, cl)
+		if victim < 0 {
+			return res, fmt.Errorf("no node hosts the heavy tenant")
+		}
+	}
+	res.NodesPerApp = nodesPerApp(cl)
+	res.KilledNode = victim
+	res.KilledAtMS = time.Since(start).Milliseconds()
+	cl.KillNode(victim)
+
+	// Let detection, rollback and replay finish, then settle the sinks.
+	if rest := tl.total - time.Since(start); rest > 0 {
+		time.Sleep(rest)
+	}
+	time.Sleep(500 * time.Millisecond)
+	settle := time.Now().Add(5 * time.Second)
+	lastLight, lastHeavy := uint64(0), uint64(0)
+	stable := time.Now()
+	for time.Now().Before(settle) {
+		l, h := boxes[lightName].get().Delivered(), boxes[heavyName].get().Delivered()
+		if l != lastLight || h != lastHeavy {
+			lastLight, lastHeavy, stable = l, h, time.Now()
+		} else if time.Since(stable) > 400*time.Millisecond {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cl.StopAll()
+
+	res.HeavyRecoveries = len(clusterCol.RecoveriesFor(heavyName))
+	res.LightRecoveries = len(clusterCol.RecoveriesFor(lightName))
+	res.LightViolations = boxes[lightName].get().Report().TotalViolations()
+	heavyRep := boxes[heavyName].get().Report()
+	res.HeavyViolations = heavyRep.TotalViolations()
+	if res.HeavyViolations != 0 {
+		fmt.Fprintf(os.Stderr, "  heavy sink report:\n%s", heavyRep)
+		for src := range heavyRep {
+			miss := boxes[heavyName].get().MissingIDs(src, 1<<20)
+			if len(miss) > 0 {
+				fmt.Fprintf(os.Stderr, "  %s missing %d ids, first=%d last=%d\n",
+					src, len(miss), miss[0], miss[len(miss)-1])
+			}
+		}
+		for _, r := range clusterCol.RecoveriesFor(heavyName) {
+			fmt.Fprintf(os.Stderr, "  heavy recovery: epoch=%d haus=%d at=%dms\n",
+				r.Epoch, r.HAUs, (r.At-start.UnixNano())/1e6)
+		}
+		fmt.Fprintf(os.Stderr, "  heavy complete epochs: %v\n", cl.AppCatalog(heavyName).CompleteEpochs())
+		for _, ck := range clusterCol.CheckpointsFor(heavyName) {
+			fmt.Fprintf(os.Stderr, "  heavy ckpt epoch=%d done at=%dms\n",
+				ck.Epoch, (ck.At-start.UnixNano())/1e6)
+		}
+		fmt.Fprintf(os.Stderr, "  killed at %dms\n", res.KilledAtMS)
+	}
+	res.LightDelivered = boxes[lightName].get().Delivered()
+	res.HeavyDelivered = boxes[heavyName].get().Delivered()
+	return res, nil
+}
+
+// heavyOnlyNode returns an alive node hosting at least one heavy HAU and
+// no light HAUs (-1 if none).
+func heavyOnlyNode(cl *cluster.Cluster) int {
+	perNode := make(map[int]map[string]int)
+	for _, id := range cl.GraphNodes() {
+		n := cl.NodeOf(id)
+		if perNode[n] == nil {
+			perNode[n] = make(map[string]int)
+		}
+		perNode[n][cl.AppOfHAU(id)]++
+	}
+	for n, apps := range perNode {
+		if apps[heavyName] > 0 && len(apps) == 1 {
+			return n
+		}
+	}
+	return -1
+}
+
+// evictToHeavyOnly picks a node hosting heavy HAUs and live-migrates every
+// co-tenant HAU off it, returning the node (-1 if the heavy tenant is
+// nowhere).
+func evictToHeavyOnly(ctx context.Context, cl *cluster.Cluster) int {
+	best := -1
+	for _, id := range cl.GraphNodes() {
+		if cl.AppOfHAU(id) == heavyName {
+			best = cl.NodeOf(id)
+			break
+		}
+	}
+	if best < 0 {
+		return -1
+	}
+	dest := (best + 1) % cl.NumNodes()
+	for _, id := range cl.GraphNodes() {
+		if cl.NodeOf(id) == best && cl.AppOfHAU(id) != heavyName {
+			if _, err := cl.MigrateHAU(ctx, id, dest); err != nil {
+				return -1
+			}
+		}
+	}
+	return best
+}

@@ -18,6 +18,7 @@ import (
 
 	"meteorshower/internal/apps"
 	"meteorshower/internal/bench"
+	"meteorshower/internal/cluster"
 	"meteorshower/internal/core"
 	"meteorshower/internal/elastic"
 	"meteorshower/internal/metrics"
@@ -54,6 +55,8 @@ func shareString(shares []float64) string {
 func main() {
 	var (
 		app       = flag.String("app", "TMI", "TMI | BCP | SignalGuru")
+		appsList  = flag.String("apps", "", `multi-tenant run: comma-separated app:weight list (e.g. "TMI:1,BCP:3") sharing one fleet; overrides -app`)
+		arbEvery  = flag.Duration("arbiter-every", 0, "fair-share arbiter period for -apps runs (0 = off)")
 		scheme    = flag.String("scheme", "ms-src+ap", "baseline | ms-src | ms-src+ap | ms-src+ap+aa | ms-src+ap+unaligned")
 		duration  = flag.Duration("duration", 5*time.Second, "how long to run")
 		period    = flag.Duration("ckpt-period", time.Second, "checkpoint period (0 = off)")
@@ -92,15 +95,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	var kind bench.AppKind
-	switch strings.ToLower(*app) {
-	case "tmi":
-		kind = bench.TMIApp
-	case "bcp":
-		kind = bench.BCPApp
-	case "signalguru", "sg":
-		kind = bench.SGApp
-	default:
+	parseKind := func(name string) (bench.AppKind, bool) {
+		switch strings.ToLower(name) {
+		case "tmi":
+			return bench.TMIApp, true
+		case "bcp":
+			return bench.BCPApp, true
+		case "signalguru", "sg":
+			return bench.SGApp, true
+		}
+		return 0, false
+	}
+	kind, ok := parseKind(*app)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
 		os.Exit(2)
 	}
@@ -109,6 +116,42 @@ func main() {
 	col := metrics.NewCollector()
 	ref := &apps.SinkRef{}
 	spec := bench.BuildApp(kind, p, col, ref)
+
+	// Multi-tenant run: several applications on one shared fleet, each with
+	// a fairness weight the arbiter and weighted load scores honour.
+	var specs []cluster.AppSpec
+	var refs []*apps.SinkRef
+	if *appsList != "" {
+		seen := map[string]int{}
+		for _, ent := range strings.Split(*appsList, ",") {
+			name, weightStr, _ := strings.Cut(strings.TrimSpace(ent), ":")
+			k, ok := parseKind(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown app %q in -apps\n", name)
+				os.Exit(2)
+			}
+			w := 1.0
+			if weightStr != "" {
+				if _, err := fmt.Sscanf(weightStr, "%g", &w); err != nil || w <= 0 {
+					fmt.Fprintf(os.Stderr, "bad weight %q for app %q\n", weightStr, name)
+					os.Exit(2)
+				}
+			}
+			r := &apps.SinkRef{}
+			sp := bench.BuildApp(k, p, col, r)
+			seen[sp.Name]++
+			if n := seen[sp.Name]; n > 1 {
+				sp.Name = fmt.Sprintf("%s-%d", sp.Name, n)
+			}
+			sp.Weight = w
+			specs = append(specs, sp)
+			refs = append(refs, r)
+		}
+		if len(specs) < 2 {
+			fmt.Fprintln(os.Stderr, "-apps needs at least two entries")
+			os.Exit(2)
+		}
+	}
 
 	var pol placement.Policy
 	if *place != "" {
@@ -135,6 +178,8 @@ func main() {
 
 	sys, err := core.NewSystem(core.Options{
 		App:                  spec,
+		Apps:                 specs,
+		ArbiterEvery:         *arbEvery,
 		Scheme:               sch,
 		Nodes:                *nodes,
 		Placement:            pol,
@@ -176,12 +221,21 @@ func main() {
 	// The autoscaler and the elasticity engine (like scheme-driven
 	// checkpointing) run inside the controller loop, so enabling either
 	// needs the controller running.
-	if *period > 0 || *autoscale > 0 || *elasticEvery > 0 {
+	if *period > 0 || *autoscale > 0 || *elasticEvery > 0 || *arbEvery > 0 {
 		sys.StartController(ctx)
 	}
 
-	fmt.Printf("running %s (%d operators) under %s on %d nodes\n",
-		spec.Name, spec.Graph.NumNodes(), sch, *nodes)
+	if len(specs) > 0 {
+		labels := make([]string, len(specs))
+		for i, sp := range specs {
+			labels[i] = fmt.Sprintf("%s (weight %g)", sp.Name, sp.Weight)
+		}
+		fmt.Printf("running %s under %s on %d shared nodes\n",
+			strings.Join(labels, " + "), sch, *nodes)
+	} else {
+		fmt.Printf("running %s (%d operators) under %s on %d nodes\n",
+			spec.Name, spec.Graph.NumNodes(), sch, *nodes)
+	}
 	start := time.Now()
 	killed := false
 	ticker := time.NewTicker(500 * time.Millisecond)
@@ -223,21 +277,38 @@ func main() {
 		fmt.Printf("alignment: stallMax=%s stallSum=%s channelBytes=%d across %d checkpoints\n",
 			stallMax.Truncate(time.Microsecond), stallSum.Truncate(time.Microsecond), chBytes, len(cks))
 	}
+	// appTag labels a per-row printout with the owning application — rows
+	// from different tenants are otherwise indistinguishable once several
+	// apps share the fleet.
+	appTag := func(app string) string {
+		if app == "" {
+			app = spec.Name
+		}
+		return "app=" + app + " "
+	}
 	if *elasticEvery > 0 {
 		for _, ev := range sys.Cluster().Elastic().Events() {
-			fmt.Printf("elastic %s node %d (fleet -> %d)\n", ev.Kind, ev.Node, ev.Fleet)
+			fmt.Printf("elastic %s node %d (fleet -> %d, apps %s)\n",
+				ev.Kind, ev.Node, ev.Fleet, strings.Join(sys.AppNames(), "+"))
 		}
-		fmt.Printf("fleet: %d nodes at shutdown\n", sys.Cluster().FleetSize())
+		fmt.Printf("fleet: %d nodes at shutdown (apps %s)\n",
+			sys.Cluster().FleetSize(), strings.Join(sys.AppNames(), "+"))
+	}
+	if shares := sys.ArbiterShares(); len(shares) > 0 {
+		for _, name := range sys.AppNames() {
+			fmt.Printf("fair-share app=%s nodes=%.2f processed=%d\n",
+				name, shares[name], sys.Cluster().ProcessedOf(name))
+		}
 	}
 	for _, rs := range col.Rescales() {
-		fmt.Printf("rescale %s %d->%d bytes=%d drain=%s reshard=%s restore=%s downtime=%s\n",
-			rs.HAU, rs.From, rs.To, rs.Bytes, rs.Drain.Truncate(time.Microsecond),
+		fmt.Printf("rescale %s%s %d->%d bytes=%d drain=%s reshard=%s restore=%s downtime=%s\n",
+			appTag(rs.App), rs.HAU, rs.From, rs.To, rs.Bytes, rs.Drain.Truncate(time.Microsecond),
 			rs.Reshard.Truncate(time.Microsecond), rs.Restore.Truncate(time.Microsecond),
 			rs.Downtime.Truncate(time.Microsecond))
 	}
 	for _, sk := range col.Skews() {
-		fmt.Printf("skew %s replicas=%d shares=%s ratio=%.2f action=%s moved=%d\n",
-			sk.HAU, sk.Replicas, shareString(sk.Shares), sk.Ratio, sk.Action, sk.Moved)
+		fmt.Printf("skew %s%s replicas=%d shares=%s ratio=%.2f action=%s moved=%d\n",
+			appTag(sk.App), sk.HAU, sk.Replicas, shareString(sk.Shares), sk.Ratio, sk.Action, sk.Moved)
 	}
 	// Terminal per-replica load balance of every operator still split at
 	// shutdown, from the routers' observed tuple counts.
@@ -246,10 +317,23 @@ func main() {
 			continue
 		}
 		shares, ratio := sys.LoadShares(id, nil)
-		fmt.Printf("load %s shares=%s imbalance=%.2f\n", id, shareString(shares), ratio)
+		fmt.Printf("load %s%s shares=%s imbalance=%.2f\n",
+			appTag(sys.Cluster().AppOfHAU(id)), id, shareString(shares), ratio)
 	}
-	if s := ref.Get(); s != nil && s.Duplicates() > 0 {
+	bad := false
+	if len(refs) > 0 {
+		for i, r := range refs {
+			if s := r.Get(); s != nil && s.Duplicates() > 0 {
+				fmt.Printf("WARNING: app=%s sink observed %d duplicate deliveries\n",
+					specs[i].Name, s.Duplicates())
+				bad = true
+			}
+		}
+	} else if s := ref.Get(); s != nil && s.Duplicates() > 0 {
 		fmt.Printf("WARNING: sink observed %d duplicate deliveries\n", s.Duplicates())
+		bad = true
+	}
+	if bad {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,284 @@
+package chaos
+
+// Multi-tenant chaos: two applications share one fleet, a node dies, and
+// the oracles check that per-app recovery is isolated — every tenant's
+// sink stays exactly-once, and only the tenant whose HAUs died rolls back.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"meteorshower/internal/apps"
+	"meteorshower/internal/cluster"
+	"meteorshower/internal/metrics"
+	"meteorshower/internal/operator"
+	"meteorshower/internal/spe"
+	"meteorshower/internal/storage"
+)
+
+// multiApp is a two-tenant harness: a TMI chain and a SignalGuru fan-out
+// (distinct app names) in Audit mode with bounded sources on one shared
+// cluster, each with a single-threaded reference replay as ground truth.
+type multiApp struct {
+	cl    *cluster.Cluster
+	col   *metrics.Collector
+	names []string
+	sinks map[string]*apps.SinkRef
+	refs  map[string]operator.SinkReport
+	seen  map[string]int // reference distinct-delivery count per app
+}
+
+func startMultiApp(t *testing.T, nodes int, seed int64) *multiApp {
+	t.Helper()
+	const limit = 40
+
+	m := &multiApp{
+		sinks: make(map[string]*apps.SinkRef),
+		refs:  make(map[string]operator.SinkReport),
+		seen:  make(map[string]int),
+	}
+	var specs []cluster.AppSpec
+	for i, top := range []Topology{Chain, FanOut} {
+		s := seed + int64(i)
+		refSpec, _, refSink, err := buildSpec(top, s, limit)
+		if err != nil {
+			t.Fatalf("buildSpec(%s): %v", top, err)
+		}
+		want, err := referenceReplay(refSpec, refSink)
+		if err != nil {
+			t.Fatalf("reference replay (%s): %v", top, err)
+		}
+		spec, _, sink, err := buildSpec(top, s, limit)
+		if err != nil {
+			t.Fatalf("buildSpec(%s): %v", top, err)
+		}
+		spec.Weight = float64(i + 1)
+		specs = append(specs, spec)
+		m.names = append(m.names, spec.Name)
+		m.sinks[spec.Name] = sink
+		m.refs[spec.Name] = want
+		for _, sr := range want {
+			m.seen[spec.Name] += int(sr.Delivered)
+		}
+	}
+
+	m.col = metrics.NewCollector()
+	disk := storage.DiskSpec{BandwidthBps: 1 << 30, Latency: time.Microsecond}
+	cl, err := cluster.New(cluster.Config{
+		Apps:           specs,
+		Scheme:         spe.MSSrcAP,
+		Nodes:          nodes,
+		LocalDiskSpec:  disk,
+		SharedSpec:     disk,
+		TickEvery:      time.Millisecond,
+		PreserveMemCap: 1 << 20,
+		SourceFlush:    256,
+		RetainEpochs:   2,
+		Seed:           seed,
+		Metrics:        m.col,
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	m.cl = cl
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	if err := cl.Start(ctx); err != nil {
+		t.Fatalf("cluster.Start: %v", err)
+	}
+	t.Cleanup(cl.StopAll)
+
+	for _, name := range m.names {
+		sink := m.sinks[name]
+		waitFor(t, 10*time.Second, "first delivery for "+name, func() bool {
+			s := sink.Get()
+			return s != nil && s.SeenCount() > 0
+		})
+	}
+	return m
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// checkpoint triggers one checkpoint on the named app's own controller and
+// waits for its catalog to commit it.
+func (m *multiApp) checkpoint(t *testing.T, app string) {
+	t.Helper()
+	ep := m.cl.AppController(app).TriggerCheckpoint()
+	waitFor(t, 10*time.Second, "checkpoint for "+app, func() bool {
+		e, ok := m.cl.AppCatalog(app).MostRecentComplete()
+		return ok && e >= ep
+	})
+}
+
+// recoverApp drives whole-application rollback for one tenant only,
+// retrying transient races like the chaos rounds do.
+func (m *multiApp) recoverApp(t *testing.T, app string) {
+	t.Helper()
+	var err error
+	for i := 0; i < 10; i++ {
+		if _, err = m.cl.RecoverApp(context.Background(), app); err == nil {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("RecoverApp(%s): %v", app, err)
+}
+
+// quiesce waits until the app's bounded stream has converged (reference
+// delivery count reached and stable, or no progress for 3s) and returns
+// the terminal sink report.
+func (m *multiApp) quiesce(app string) operator.SinkReport {
+	want := m.seen[app]
+	deadline := time.Now().Add(30 * time.Second)
+	lastSeen, stableSince := -1, time.Now()
+	for time.Now().Before(deadline) {
+		n := m.sinks[app].Get().SeenCount()
+		if n != lastSeen {
+			lastSeen, stableSince = n, time.Now()
+		} else if n >= want && time.Since(stableSince) > 300*time.Millisecond {
+			break
+		} else if time.Since(stableSince) > 3*time.Second {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return m.sinks[app].Get().Report()
+}
+
+// checkOracles asserts both oracles for one tenant: zero gaps/duplicates
+// at the sink and state equivalence with the reference replay.
+func (m *multiApp) checkOracles(t *testing.T, app string) {
+	t.Helper()
+	rep := m.quiesce(app)
+	if v := rep.TotalViolations(); v != 0 {
+		t.Errorf("app %s sequence oracle: %d violations\n%s", app, v, rep)
+	}
+	for _, d := range diffReports(rep, m.refs[app]) {
+		t.Errorf("app %s state oracle: %s", app, d)
+	}
+}
+
+// hostedApps returns how many HAUs each app hosts on node n.
+func (m *multiApp) hostedApps(n int) map[string]int {
+	out := make(map[string]int)
+	for _, id := range m.cl.GraphNodes() {
+		if m.cl.NodeOf(id) == n {
+			out[m.cl.AppOfHAU(id)]++
+		}
+	}
+	return out
+}
+
+// sharedNode returns a node hosting HAUs of at least two apps.
+func (m *multiApp) sharedNode(t *testing.T) int {
+	t.Helper()
+	for n := 0; n < m.cl.NumNodes(); n++ {
+		if len(m.hostedApps(n)) > 1 {
+			return n
+		}
+	}
+	t.Fatal("no node hosts HAUs from two apps")
+	return -1
+}
+
+// soloNode returns a node hosting HAUs of app and nobody else, live-
+// migrating co-tenant HAUs off one if the placement interleaved every node.
+func (m *multiApp) soloNode(t *testing.T, app string) int {
+	t.Helper()
+	best := -1
+	for n := 0; n < m.cl.NumNodes(); n++ {
+		hosted := m.hostedApps(n)
+		if hosted[app] == 0 {
+			continue
+		}
+		if len(hosted) == 1 {
+			return n
+		}
+		if best < 0 {
+			best = n
+		}
+	}
+	if best < 0 {
+		t.Fatalf("no node hosts %s", app)
+	}
+	dest := (best + 1) % m.cl.NumNodes()
+	for _, id := range m.cl.GraphNodes() {
+		if m.cl.NodeOf(id) == best && m.cl.AppOfHAU(id) != app {
+			if _, err := m.cl.MigrateHAU(context.Background(), id, dest); err != nil {
+				t.Fatalf("evicting co-tenant %q off node %d: %v", id, best, err)
+			}
+		}
+	}
+	return best
+}
+
+// TestMultiAppSharedNodeKill kills a node hosting HAUs from BOTH tenants.
+// Each application is recovered independently (its own rollback, its own
+// epoch); both sink oracles must stay green and every recovery record must
+// be tagged with the application it healed.
+func TestMultiAppSharedNodeKill(t *testing.T) {
+	m := startMultiApp(t, 4, 42)
+	for _, app := range m.names {
+		m.checkpoint(t, app)
+	}
+	victim := m.sharedNode(t)
+	t.Logf("killing node %d hosting %v", victim, m.hostedApps(victim))
+	m.cl.KillNode(victim)
+	for _, app := range m.names {
+		m.recoverApp(t, app)
+	}
+	for _, app := range m.names {
+		m.checkOracles(t, app)
+		if len(m.col.RecoveriesFor(app)) == 0 {
+			t.Errorf("app %s: no recovery record tagged with it", app)
+		}
+	}
+	tagged := 0
+	for _, app := range m.names {
+		tagged += len(m.col.RecoveriesFor(app))
+	}
+	if total := len(m.col.Recoveries()); total != tagged {
+		t.Errorf("%d recovery records but only %d tagged with an app", total, tagged)
+	}
+}
+
+// TestMultiAppRecoveryIsolation kills a node hosting HAUs of only ONE
+// tenant and rolls back just that application. The co-tenant must keep
+// running untouched: zero recovery records tagged with it, checkpoint
+// epoch intact, and both sink oracles green.
+func TestMultiAppRecoveryIsolation(t *testing.T) {
+	m := startMultiApp(t, 8, 7)
+	victimApp, coApp := m.names[0], m.names[1]
+	for _, app := range m.names {
+		m.checkpoint(t, app)
+	}
+	victim := m.soloNode(t, victimApp)
+	coEpoch, coOK := m.cl.AppCatalog(coApp).MostRecentComplete()
+	t.Logf("killing node %d hosting %v", victim, m.hostedApps(victim))
+	m.cl.KillNode(victim)
+	m.recoverApp(t, victimApp)
+	for _, app := range m.names {
+		m.checkOracles(t, app)
+	}
+	if len(m.col.RecoveriesFor(victimApp)) == 0 {
+		t.Errorf("app %s: rollback not recorded", victimApp)
+	}
+	if got := m.col.RecoveriesFor(coApp); len(got) != 0 {
+		t.Errorf("co-tenant %s rolled back %d time(s); want 0", coApp, len(got))
+	}
+	if ep, ok := m.cl.AppCatalog(coApp).MostRecentComplete(); !coOK || !ok || ep < coEpoch {
+		t.Errorf("co-tenant %s epoch moved from (%d,%v) to (%d,%v)", coApp, coEpoch, coOK, ep, ok)
+	}
+}

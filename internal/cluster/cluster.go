@@ -26,6 +26,7 @@ import (
 	"meteorshower/internal/replica"
 	"meteorshower/internal/spe"
 	"meteorshower/internal/storage"
+	"meteorshower/internal/tenant"
 )
 
 // AppSpec describes a stream application independent of the fault-tolerance
@@ -34,13 +35,27 @@ type AppSpec struct {
 	Name  string
 	Graph *graph.Graph
 	// NewOperators returns a *fresh* operator chain for HAU id. Recovery
-	// rebuilds chains from scratch and restores their snapshots.
+	// rebuilds chains from scratch and restores their snapshots. On a
+	// multi-tenant cluster the id passed in is the app-local id (the
+	// namespace prefix is stripped).
 	NewOperators func(id string) []operator.Operator
+	// Weight is the application's fairness weight on a shared fleet: an
+	// app with weight 3 is entitled to 3x the fleet share of a weight-1
+	// app. Zero or negative counts as 1. Ignored single-tenant.
+	Weight float64
 }
 
 // Config assembles a simulated cluster.
 type Config struct {
-	App    AppSpec
+	// App is the single application of a classic (single-tenant) cluster.
+	// Ignored when Apps is set.
+	App AppSpec
+	// Apps, when non-empty, runs several applications on one shared fleet
+	// (multi-tenancy). Each spec must carry a unique non-empty Name free
+	// of the namespace separator; every HAU id is namespaced "Name/id".
+	// Apps[0] additionally anchors the fleet-wide control loops
+	// (rebalancer, autoscaler, elasticity, HA, arbiter).
+	Apps   []AppSpec
 	Scheme spe.Scheme
 	Nodes  int // worker nodes
 
@@ -160,6 +175,16 @@ type Config struct {
 	// StandbyRing bounds each standby's suppressed-output ring (tuples);
 	// 0 derives a default from the output edge capacity.
 	StandbyRing int
+
+	// ArbiterEvery enables the fair-share arbitration loop on a
+	// multi-tenant cluster: every period the arbiter aggregates per-app
+	// demand (CPU busy, state bytes, backlog), computes weighted max-min
+	// fair shares of the fleet, and live-migrates at most ArbiterMaxMoves
+	// HAUs toward a node partition sized by those shares. Zero (or a
+	// single app) disables arbitration.
+	ArbiterEvery time.Duration
+	// ArbiterMaxMoves bounds migrations per arbiter step (0 = 1).
+	ArbiterMaxMoves int
 	// Logf, when set, receives human-readable cluster warnings (e.g. a
 	// standby placed in its primary's rack on a single-rack fleet).
 	Logf func(format string, args ...any)
@@ -223,9 +248,19 @@ func (r RecoveryStats) Total() time.Duration {
 type Cluster struct {
 	cfg Config
 
-	shared  *storage.Store
+	shared *storage.Store
+	// catalog and ctrl alias the first app's catalog/controller — the
+	// single-tenant surface every existing caller uses.
 	catalog *storage.Catalog
 	ctrl    *controller.Controller
+
+	// appMu guards the app registry. Lock order: cl.mu before appMu.
+	appMu       sync.RWMutex
+	apps        []*appState
+	appByPrefix map[string]*appState
+	// graph is the union of every app's namespaced graph — the topology
+	// all edge wiring and incarnation walks consult.
+	graph *graph.Graph
 
 	mu      sync.Mutex
 	nodes   []*node
@@ -237,17 +272,15 @@ type Cluster struct {
 	// k-th incarnation of the p-th upstream (graph order). Unsplit
 	// neighbours have single-entry rows.
 	inEdges    map[string][][]*spe.Edge
-	sourceLogs map[string]*buffer.SourceLog
 	preservers map[string]*buffer.Preserver
 	rng        *rand.Rand
 
 	// Keyed-state re-partitioning: parts maps a split operator's base id to
-	// its replica set, nextTag issues never-reused replica tags, and geom
-	// journals the partition geometry as of each commit epoch so recovery
-	// rebuilds the topology that matches the checkpoint it restores.
+	// its replica set and nextTag issues never-reused replica tags; each
+	// app's geometry journal (appState.geom) maps its commit epochs to the
+	// replica sets their blobs were written under.
 	parts       map[string]*partState
 	nextTag     map[string]int
-	geom        []geomEntry
 	rescaling   map[string]bool
 	lastRescale map[string]time.Time
 	// Skew-trigger bookkeeping: lastLoads snapshots each split operator's
@@ -282,17 +315,41 @@ type Cluster struct {
 	haPlanner *replica.Planner
 	failObs   func(id, step string)
 
+	// Fair-share arbitration (multi-tenant): arb plans bounded migrations
+	// toward the weighted fair node partition; arbPrevProc/arbPrevAt prime
+	// the per-app CPU-busy deltas; lastShares caches the newest share map
+	// for tooling.
+	arb         *tenant.Arbiter
+	arbPrevProc map[string]uint64
+	arbPrevAt   time.Time
+	arbPrimed   bool
+	lastShares  map[string]float64
+
 	rootCtx context.Context
+	// ctrlCtx remembers the StartController context so AddApp can launch a
+	// late-registered app's controller under the same lifetime.
+	ctrlCtx context.Context
 	started bool
 }
 
 // New builds (but does not start) a cluster.
 func New(cfg Config) (*Cluster, error) {
-	if cfg.App.Graph == nil || cfg.App.NewOperators == nil {
-		return nil, errors.New("cluster: incomplete app spec")
+	multi := len(cfg.Apps) > 0
+	specs := cfg.Apps
+	if !multi {
+		specs = []AppSpec{cfg.App}
 	}
-	if err := cfg.App.Graph.Validate(); err != nil {
-		return nil, fmt.Errorf("cluster: %w", err)
+	names := make(map[string]bool, len(specs))
+	for _, spec := range specs {
+		if err := validateAppSpec(spec, multi); err != nil {
+			return nil, err
+		}
+		if multi {
+			if names[spec.Name] {
+				return nil, fmt.Errorf("cluster: duplicate app name %q", spec.Name)
+			}
+			names[spec.Name] = true
+		}
 	}
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1
@@ -309,11 +366,11 @@ func New(cfg Config) (*Cluster, error) {
 	cl := &Cluster{
 		cfg:         cfg,
 		shared:      storage.NewStore(cfg.SharedSpec),
+		appByPrefix: make(map[string]*appState, len(specs)),
 		haus:        make(map[string]*spe.HAU),
 		hauNode:     make(map[string]int),
 		cancels:     make(map[string]context.CancelFunc),
 		inEdges:     make(map[string][][]*spe.Edge),
-		sourceLogs:  make(map[string]*buffer.SourceLog),
 		preservers:  make(map[string]*buffer.Preserver),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		policy:      cfg.Placement,
@@ -326,12 +383,28 @@ func New(cfg Config) (*Cluster, error) {
 		skewHits:    make(map[string][]bool),
 		lastSkewAct: make(map[string]string),
 		standbys:    make(map[string]*standbyState),
+		arbPrevProc: make(map[string]uint64),
 	}
 	if cl.policy == nil {
 		cl.policy = placement.RoundRobin{}
 	}
 	cl.topo = placement.NewTopology(cfg.Nodes, cfg.NodesPerRack)
-	cl.catalog = storage.NewCatalog(cl.shared, cfg.App.Graph.Nodes())
+	graphs := make([]*graph.Graph, 0, len(specs))
+	for _, spec := range specs {
+		prefix := ""
+		if multi {
+			prefix = spec.Name
+		}
+		a := cl.newAppState(spec, prefix)
+		cl.apps = append(cl.apps, a)
+		cl.appByPrefix[a.prefix] = a
+		graphs = append(graphs, a.graph)
+	}
+	var err error
+	if cl.graph, err = graph.Union(graphs...); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	cl.catalog = cl.apps[0].catalog
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &node{index: i, disk: storage.NewDisk(cfg.LocalDiskSpec)}
 		if cfg.NodeCores > 0 {
@@ -340,7 +413,7 @@ func New(cfg Config) (*Cluster, error) {
 		n.alive.Store(true)
 		cl.nodes = append(cl.nodes, n)
 	}
-	ids := cfg.App.Graph.Nodes()
+	ids := cl.graph.Nodes()
 	initial := cl.policy.Assign(ids, cl.viewLocked(nil))
 	for i, id := range ids {
 		n, ok := initial[id]
@@ -349,17 +422,9 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		cl.hauNode[id] = n
 	}
-	ctrlCfg := controller.Config{
-		Scheme:       cfg.Scheme,
-		HAUs:         nil, // installed after build
-		Sources:      cfg.App.Graph.Sources(),
-		Catalog:      cl.catalog,
-		SourceLogs:   cl.sourceLogs,
-		Period:       cfg.CkptPeriod,
-		RetainEpochs: cfg.RetainEpochs,
-		IsAlive:      cl.hauAlive,
-		Now:          cfg.Now,
-	}
+	// The first app's controller carries the fleet-wide loops; every app's
+	// controller runs its own checkpoint epochs and failure pings.
+	ctrlCfg := cl.appCtrlCfg(cl.apps[0])
 	if cfg.RebalanceEvery > 0 {
 		cl.rebal = placement.NewRebalancer(placement.RebalancerConfig{
 			Policy:     cl.policy,
@@ -383,13 +448,18 @@ func New(cfg Config) (*Cluster, error) {
 		if ecfg.CooldownIn <= 0 {
 			ecfg.CooldownIn = 6 * cfg.ElasticEvery
 		}
-		cl.elastic = elastic.NewEngine(ecfg, elastic.Hooks{
+		hooks := elastic.Hooks{
 			Sample:   cl.elasticSample,
 			AddNode:  cl.AddNode,
 			Drain:    cl.elasticDrain,
 			CanDrain: cl.CanDrain,
 			Now:      func() time.Time { return time.Unix(0, cfg.Now()) },
-		})
+		}
+		if multi {
+			// Scale-in picks the node whose drain disrupts fewest tenants.
+			hooks.RankDrain = cl.rankDrainCandidates
+		}
+		cl.elastic = elastic.NewEngine(ecfg, hooks)
 		ctrlCfg.Elastic = cl.elastic.Step
 		ctrlCfg.ElasticEvery = cfg.ElasticEvery
 	}
@@ -407,7 +477,23 @@ func New(cfg Config) (*Cluster, error) {
 		ctrlCfg.HA = cl.haStep
 		ctrlCfg.HAEvery = cfg.HAEvery
 	}
-	cl.ctrl = controller.New(ctrlCfg)
+	if cfg.ArbiterEvery > 0 && multi && len(cl.apps) > 1 {
+		cl.arb = tenant.NewArbiter(tenant.Config{
+			Cooldown: 2 * cfg.ArbiterEvery,
+			MaxMoves: cfg.ArbiterMaxMoves,
+			Logf:     cfg.Logf,
+		})
+		ctrlCfg.Arbiter = cl.arbiterStep
+		ctrlCfg.ArbiterEvery = cfg.ArbiterEvery
+	}
+	for i, a := range cl.apps {
+		if i == 0 {
+			a.ctrl = controller.New(ctrlCfg)
+			continue
+		}
+		a.ctrl = controller.New(cl.appCtrlCfg(a))
+	}
+	cl.ctrl = cl.apps[0].ctrl
 	return cl, nil
 }
 
@@ -447,7 +533,7 @@ func (cl *Cluster) viewLocked(exclude map[string]bool) placement.View {
 		if exclude[id] {
 			continue
 		}
-		info := placement.HAUInfo{Node: n}
+		info := placement.HAUInfo{Node: n, Weight: cl.appOf(id).weight}
 		if h := cl.haus[id]; h != nil {
 			info.StateBytes = h.CachedStateSize()
 			info.Processed = h.ProcessedCount()
@@ -530,7 +616,7 @@ func (cl *Cluster) Start(ctx context.Context) error {
 		return errors.New("cluster: already started")
 	}
 	cl.rootCtx = ctx
-	g := cl.cfg.App.Graph
+	g := cl.graph
 	// Build all edge grids first (downstream in-edge rows define ports).
 	for _, id := range g.Nodes() {
 		for _, inc := range cl.expandedLocked(id) {
@@ -556,10 +642,19 @@ func (cl *Cluster) Start(ctx context.Context) error {
 	return nil
 }
 
-// StartController launches the controller loop (periodic checkpoints,
-// alert mode, failure pings).
+// StartController launches every application's controller loop (periodic
+// checkpoints, alert mode, failure pings). On a single-tenant cluster this
+// is exactly the historical single loop.
 func (cl *Cluster) StartController(ctx context.Context) {
-	go cl.ctrl.Run(ctx)
+	cl.mu.Lock()
+	cl.ctrlCtx = ctx
+	apps := cl.appsSnapshot()
+	for _, a := range apps {
+		actx, cancel := context.WithCancel(ctx)
+		a.ctrlCancel = cancel
+		go a.ctrl.Run(actx)
+	}
+	cl.mu.Unlock()
 }
 
 // buildHAU constructs an HAU instance for id. Held lock: cl.mu. The two
@@ -580,10 +675,11 @@ func (cl *Cluster) buildHAU(id string, restoreBlob []byte) (*spe.HAU, time.Durat
 // cl.inEdges and cl.parts). The returned duration is operator-construction
 // (reload) time, Fig. 16 phase 1.
 func (cl *Cluster) prepareHAU(id string) (spe.Config, time.Duration) {
-	g := cl.cfg.App.Graph
+	g := cl.graph
+	a := cl.appOf(id)
 	base := partition.BaseID(id)
 	opsStart := time.Now()
-	ops := cl.cfg.App.NewOperators(id)
+	ops := cl.newOperators(a, id)
 	opsDur := time.Since(opsStart)
 	nd := cl.nodes[cl.hauNode[id]]
 
@@ -627,8 +723,8 @@ func (cl *Cluster) prepareHAU(id string) (spe.Config, time.Duration) {
 		In:              in,
 		OutPorts:        outPorts,
 		InLogical:       inLogical,
-		Catalog:         cl.catalog,
-		Listener:        cl.listener(),
+		Catalog:         a.catalog,
+		Listener:        cl.listenerFor(a),
 		TickEvery:       cl.cfg.TickEvery,
 		PerTupleDelay:   cl.cfg.PerTupleDelay,
 		CPU:             nd.cpu,
@@ -650,10 +746,10 @@ func (cl *Cluster) prepareHAU(id string) (spe.Config, time.Duration) {
 			cl.ackUpstream(downID, inPort, seq)
 		}
 	} else if isSource {
-		log := cl.sourceLogs[id]
+		log := a.sourceLogs[id]
 		if log == nil {
 			log = buffer.NewSourceLog(id, cl.shared, cl.cfg.SourceFlush)
-			cl.sourceLogs[id] = log
+			a.sourceLogs[id] = log
 		}
 		cfg.SourceLog = log
 	}
@@ -687,18 +783,18 @@ type restoreError struct{ error }
 
 func (e restoreError) Unwrap() error { return e.error }
 
-// listener returns the fan-out listener: controller plus any extras
-// (user-supplied listener, metrics recorder).
-func (cl *Cluster) listener() spe.Listener {
-	ls := fanOutListener{cl.ctrl}
+// listenerFor returns app a's fan-out listener: its own controller plus any
+// extras (user-supplied listener, metrics recorder tagged with the app).
+func (cl *Cluster) listenerFor(a *appState) spe.Listener {
+	ls := fanOutListener{a.ctrl}
 	if cl.cfg.Listener != nil {
 		ls = append(ls, cl.cfg.Listener)
 	}
 	if cl.cfg.Metrics != nil {
-		ls = append(ls, checkpointRecorder{m: cl.cfg.Metrics, now: cl.cfg.Now})
+		ls = append(ls, checkpointRecorder{m: cl.cfg.Metrics, now: cl.cfg.Now, app: a.name})
 	}
 	if len(ls) == 1 {
-		return cl.ctrl
+		return a.ctrl
 	}
 	return ls
 }
@@ -709,11 +805,13 @@ func (cl *Cluster) listener() spe.Listener {
 type checkpointRecorder struct {
 	m   *metrics.Collector
 	now func() int64
+	app string
 }
 
 func (r checkpointRecorder) CheckpointDone(hau string, epoch uint64, b spe.CheckpointBreakdown) {
 	r.m.RecordCheckpoint(metrics.Checkpoint{
 		At:            r.now(),
+		App:           r.app,
 		HAU:           hau,
 		Epoch:         epoch,
 		TokenWait:     b.TokenWait,
@@ -758,7 +856,7 @@ func (f fanOutListener) Stopped(hau string, err error) {
 // ackUpstream routes a baseline checkpoint ack from downstream's input
 // port to the upstream HAU's preserver.
 func (cl *Cluster) ackUpstream(down string, inPort int, seq uint64) {
-	g := cl.cfg.App.Graph
+	g := cl.graph
 	ups := g.Upstream(down)
 	if inPort < 0 || inPort >= len(ups) {
 		return
@@ -779,11 +877,28 @@ func (cl *Cluster) ackUpstream(down string, inPort int, seq uint64) {
 	}
 }
 
-// installControllerHAUs hands the controller the live HAU map. The
-// controller copies the map, so this must be re-called after every
-// mutation of cl.haus (recovery, migration, rescale).
+// installControllerHAUs hands each application's controller its own live
+// HAUs (the single-tenant cluster hands everything to the one controller).
+// Controllers copy the map, so this must be re-called after every mutation
+// of cl.haus (recovery, migration, rescale, app add/remove).
 func (cl *Cluster) installControllerHAUs() {
-	cl.ctrl.SetHAUs(cl.haus)
+	apps := cl.appsSnapshot()
+	if len(apps) == 1 {
+		apps[0].ctrl.SetHAUs(cl.haus)
+		return
+	}
+	split := make(map[*appState]map[string]*spe.HAU, len(apps))
+	for _, a := range apps {
+		split[a] = make(map[string]*spe.HAU)
+	}
+	for id, h := range cl.haus {
+		if m := split[cl.appOf(id)]; m != nil {
+			m[id] = h
+		}
+	}
+	for _, a := range apps {
+		a.ctrl.SetHAUs(split[a])
+	}
 }
 
 // KillNode fail-stops one node: its HAUs halt immediately and its disk
@@ -867,7 +982,7 @@ func (cl *Cluster) DeadHAUs() []string {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	var out []string
-	for _, id := range cl.cfg.App.Graph.Nodes() {
+	for _, id := range cl.graph.Nodes() {
 		for _, inc := range cl.expandedLocked(id) {
 			n, ok := cl.hauNode[inc]
 			if !ok || !cl.nodes[n].alive.Load() {
@@ -930,22 +1045,63 @@ func (cl *Cluster) StopAll() {
 // newest one. A store that is down (storage.ErrUnavailable) fails fast —
 // older epochs live on the same store, so walking them is pointless.
 func (cl *Cluster) RecoverAll(ctx context.Context) (RecoveryStats, error) {
+	apps := cl.appsSnapshot()
+	if len(apps) == 1 {
+		return cl.recoverApp(ctx, apps[0])
+	}
+	// Multi-tenant: recover each application independently — one tenant's
+	// unrecoverable checkpoint must not block a co-tenant's rollback.
+	// Phase durations sum; the first error is reported after every app had
+	// its chance.
+	var total RecoveryStats
+	var firstErr error
+	for _, a := range apps {
+		stats, err := cl.recoverApp(ctx, a)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("app %q: %w", a.name, err)
+			}
+			continue
+		}
+		total.Reload += stats.Reload
+		total.DiskIO += stats.DiskIO
+		total.Deserialize += stats.Deserialize
+		total.Reconnect += stats.Reconnect
+		total.ReplayFetch += stats.ReplayFetch
+		total.HAUs += stats.HAUs
+		total.Epoch = stats.Epoch
+	}
+	return total, firstErr
+}
+
+// recoverApp is whole-application rollback scoped to one application: only
+// a's HAUs (and standbys) stop, only a's checkpoint epochs and geometry
+// journal are consulted, only a's sources replay — co-tenants are never
+// touched, and their in-flight channel state survives intact.
+func (cl *Cluster) recoverApp(ctx context.Context, a *appState) (RecoveryStats, error) {
 	var stats RecoveryStats
 
-	// Make sure every old instance is dead and async writers drained.
+	// Make sure every old instance OF THIS APP is dead and async writers
+	// drained.
 	cl.mu.Lock()
-	oldHAUs := make([]*spe.HAU, 0, len(cl.haus))
-	for _, h := range cl.haus {
+	var oldHAUs []*spe.HAU
+	var cancels []context.CancelFunc
+	for id, h := range cl.haus {
+		if cl.appOf(id) != a {
+			continue
+		}
 		oldHAUs = append(oldHAUs, h)
+		if c := cl.cancels[id]; c != nil {
+			cancels = append(cancels, c)
+		}
 	}
-	cancels := make([]context.CancelFunc, 0, len(cl.cancels))
-	for _, c := range cl.cancels {
-		cancels = append(cancels, c)
-	}
-	// Standbys roll back with everything else: the rebuild below rewires
-	// every edge from scratch, so armed tees cannot survive it. The HA
-	// loop re-arms protection on a later tick.
+	// The app's standbys roll back with it: the rebuild below rewires its
+	// every edge from scratch, so armed tees cannot survive. The HA loop
+	// re-arms protection on a later tick.
 	for id, sb := range cl.standbys {
+		if cl.appOf(id) != a {
+			continue
+		}
 		oldHAUs = append(oldHAUs, sb.h)
 		cancels = append(cancels, sb.cancel)
 		delete(cl.standbys, id)
@@ -958,7 +1114,7 @@ func (cl *Cluster) RecoverAll(ctx context.Context) (RecoveryStats, error) {
 		<-h.Done()
 	}
 
-	epochs := cl.catalog.CompleteEpochs()
+	epochs := a.catalog.CompleteEpochs()
 	if len(epochs) == 0 {
 		return stats, ErrNoCheckpoint
 	}
@@ -966,7 +1122,8 @@ func (cl *Cluster) RecoverAll(ctx context.Context) (RecoveryStats, error) {
 	// Restart dead nodes' HAUs on healthy nodes: reassign placements via
 	// the active policy (round-robin over healthy nodes historically).
 	cl.mu.Lock()
-	cl.gen++ // invalidate any in-flight migration or rescale
+	cl.gen++ // invalidate in-flight fleet ops (drains)
+	a.gen++  // invalidate this app's in-flight migrations and rescales
 	anyAlive := false
 	for _, n := range cl.nodes {
 		if n.alive.Load() && !n.retired.Load() {
@@ -985,7 +1142,7 @@ func (cl *Cluster) RecoverAll(ctx context.Context) (RecoveryStats, error) {
 			}
 		}
 	}
-	g := cl.cfg.App.Graph
+	g := a.graph
 	cl.mu.Unlock()
 
 	// Phase 2 plus phases 1+3: walk complete epochs newest-first. For each
@@ -1005,8 +1162,8 @@ func (cl *Cluster) RecoverAll(ctx context.Context) (RecoveryStats, error) {
 epochs:
 	for _, epoch := range epochs {
 		cl.mu.Lock()
-		cl.adoptGeometryLocked(epoch)
-		ids = cl.incarnationsLocked()
+		cl.adoptGeometryLocked(a, epoch)
+		ids = cl.incarnationsOfLocked(a)
 		// Re-place incarnations that are on dead nodes or (after adopting an
 		// older geometry) have no placement yet.
 		var dead []string
@@ -1040,7 +1197,7 @@ epochs:
 		cl.mu.Unlock()
 
 		diskStart := time.Now()
-		blobs, err := cl.loadEpochBlobs(epoch, ids)
+		blobs, err := cl.loadEpochBlobs(a.catalog, epoch, ids)
 		diskIO += time.Since(diskStart)
 		if err != nil {
 			if firstErr == nil {
@@ -1119,20 +1276,20 @@ epochs:
 	// Drop journalled geometries newer than the epoch actually restored —
 	// their incarnations no longer exist anywhere.
 	cl.mu.Lock()
-	keptGeom := cl.geom[:0]
-	for _, e := range cl.geom {
+	keptGeom := a.geom[:0]
+	for _, e := range a.geom {
 		if e.epoch <= mrc {
 			keptGeom = append(keptGeom, e)
 		}
 	}
-	cl.geom = keptGeom
+	a.geom = keptGeom
 	cl.mu.Unlock()
 
 	// Source replay: re-feed everything preserved since the MRC. Counted
 	// separately — the paper's recovery time stops before replay.
 	replayStart := time.Now()
 	cl.mu.Lock()
-	for id, log := range cl.sourceLogs {
+	for id, log := range a.sourceLogs {
 		ts, err := log.ReplaySince(mrc)
 		if err != nil {
 			cl.mu.Unlock()
@@ -1173,10 +1330,11 @@ epochs:
 		}
 		return stats, fmt.Errorf("%w: %d HAUs placed on nodes that failed mid-recovery", ErrRecoveryDiverged, len(diverged))
 	}
-	cl.ctrl.ClearFailure()
+	a.ctrl.ClearFailure()
 	if cl.cfg.Metrics != nil {
 		cl.cfg.Metrics.RecordRecovery(metrics.Recovery{
 			At:          cl.cfg.Now(),
+			App:         a.name,
 			Epoch:       stats.Epoch,
 			HAUs:        stats.HAUs,
 			Reload:      stats.Reload,
@@ -1192,7 +1350,7 @@ epochs:
 // loadEpochBlobs reads every HAU's blob for one epoch in parallel. Any
 // failure aborts the epoch with a *MissingCheckpointError naming the HAU
 // whose blob was unusable.
-func (cl *Cluster) loadEpochBlobs(epoch uint64, ids []string) (map[string][]byte, error) {
+func (cl *Cluster) loadEpochBlobs(cat *storage.Catalog, epoch uint64, ids []string) (map[string][]byte, error) {
 	blobs := make(map[string][]byte, len(ids))
 	var blobMu sync.Mutex
 	var wg sync.WaitGroup
@@ -1202,7 +1360,7 @@ func (cl *Cluster) loadEpochBlobs(epoch uint64, ids []string) (map[string][]byte
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			blob, _, err := cl.catalog.LoadState(epoch, id)
+			blob, _, err := cat.LoadState(epoch, id)
 			if err != nil {
 				errCh <- &MissingCheckpointError{Epoch: epoch, HAU: id, Err: err}
 				return
@@ -1281,13 +1439,14 @@ func (cl *Cluster) RecoverHAU(ctx context.Context, id string) (RecoveryStats, er
 	}
 	<-old.Done()
 
-	epoch, ok := cl.catalog.LatestEpochFor(id)
+	a := cl.appOf(id)
+	epoch, ok := a.catalog.LatestEpochFor(id)
 	if !ok {
 		return stats, fmt.Errorf("cluster: no checkpoint for HAU %q", id)
 	}
 	stats.Epoch = epoch
 	diskStart := time.Now()
-	blob, _, err := cl.catalog.LoadState(epoch, id)
+	blob, _, err := a.catalog.LoadState(epoch, id)
 	if err != nil {
 		return stats, &MissingCheckpointError{Epoch: epoch, HAU: id, Err: err}
 	}
@@ -1307,7 +1466,7 @@ func (cl *Cluster) RecoverHAU(ctx context.Context, id string) (RecoveryStats, er
 	// Fresh input edges (in-flight tuples on the dead node are gone).
 	// Single-HAU restart is the baseline's procedure; the baseline never
 	// splits operators, so every grid row has exactly one edge.
-	g := cl.cfg.App.Graph
+	g := cl.graph
 	ups := g.Upstream(id)
 	grid := cl.freshInGridLocked(id, id)
 	cl.inEdges[id] = grid
@@ -1351,18 +1510,22 @@ func (cl *Cluster) RecoverHAU(ctx context.Context, id string) (RecoveryStats, er
 	}
 	stats.Reconnect = time.Since(reconnectStart)
 	stats.HAUs = 1
-	cl.ctrl.ClearFailure()
+	a.ctrl.ClearFailure()
 	return stats, nil
 }
 
-// SetFailureHandler installs the callback the controller invokes when its
-// pings detect dead nodes. Typical production wiring performs RecoverAll.
+// SetFailureHandler installs the callback every app's controller invokes
+// when its pings detect dead HAUs. Typical production wiring performs
+// RecoverAll. Multi-tenant callers who need to know WHICH application
+// failed should use SetAppFailureHandler instead.
 func (cl *Cluster) SetFailureHandler(fn func(dead []string)) {
-	cl.ctrl.SetOnFailure(fn)
+	for _, a := range cl.appsSnapshot() {
+		a.ctrl.SetOnFailure(fn)
+	}
 }
 
-// GraphNodes returns all HAU ids of the application.
-func (cl *Cluster) GraphNodes() []string { return cl.cfg.App.Graph.Nodes() }
+// GraphNodes returns all HAU ids across every application.
+func (cl *Cluster) GraphNodes() []string { return cl.graph.Nodes() }
 
 // ProcessedTotal sums ProcessedCount over all live HAUs — the paper's
 // throughput numerator ("the number of tuples processed by the application
@@ -1381,7 +1544,7 @@ func (cl *Cluster) ProcessedTotal() uint64 {
 func (cl *Cluster) SourceLog(id string) *buffer.SourceLog {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	return cl.sourceLogs[id]
+	return cl.appOf(id).sourceLogs[id]
 }
 
 // Preserver exposes the input-preservation buffer of an HAU (baseline).
@@ -1396,8 +1559,10 @@ func (cl *Cluster) ReplayableTuples() int {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	n := 0
-	for _, l := range cl.sourceLogs {
-		n += l.PreservedCount()
+	for _, a := range cl.appsSnapshot() {
+		for _, l := range a.sourceLogs {
+			n += l.PreservedCount()
+		}
 	}
 	return n
 }

@@ -308,5 +308,35 @@ func (cl *Cluster) elasticSample() elastic.Sample {
 		st.State += sb.h.CachedStateSize()
 		st.Queue += sb.mirror.Queued()
 	}
+	// Per-app aggregates for the multi-tenant trigger: the fleet scales on
+	// the SUM of every tenant's backlog, not any single app's.
+	apps := cl.appsSnapshot()
+	if len(apps) > 1 {
+		agg := make(map[*appState]*elastic.AppStat, len(apps))
+		for _, a := range apps {
+			agg[a] = &elastic.AppStat{App: a.name, Weight: a.weight}
+		}
+		for id, nd := range cl.hauNode {
+			if nd < 0 || nd >= len(s.Nodes) {
+				continue
+			}
+			st := agg[cl.appOf(id)]
+			if st == nil {
+				continue
+			}
+			st.HAUs++
+			if h := cl.haus[id]; h != nil {
+				st.State += h.CachedStateSize()
+			}
+			for _, row := range cl.inEdges[id] {
+				for _, e := range row {
+					st.Queue += e.Queued()
+				}
+			}
+		}
+		for _, a := range apps {
+			s.Apps = append(s.Apps, *agg[a])
+		}
+	}
 	return s
 }

@@ -101,7 +101,7 @@ func (cl *Cluster) haPinnedLocked(id string) bool {
 	if cl.standbys[base] != nil {
 		return true
 	}
-	g := cl.cfg.App.Graph
+	g := cl.graph
 	for _, up := range g.Upstream(base) {
 		if cl.standbys[up] != nil {
 			return true
@@ -127,7 +127,7 @@ func (cl *Cluster) ProtectedIDs() []string {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	var out []string
-	for _, id := range cl.cfg.App.Graph.Nodes() {
+	for _, id := range cl.graph.Nodes() {
 		if cl.standbys[id] != nil {
 			out = append(out, id)
 		}
@@ -243,7 +243,7 @@ func (cl *Cluster) ProtectHAU(ctx context.Context, id string) (ProtectStats, err
 		cl.mu.Unlock()
 		return stats, fmt.Errorf("cluster: unknown HAU %q", id)
 	}
-	g := cl.cfg.App.Graph
+	g := cl.graph
 	ups, downs := g.Upstream(id), g.Downstream(id)
 	if len(ups) != 1 || len(downs) == 0 {
 		cl.mu.Unlock()
@@ -290,7 +290,8 @@ func (cl *Cluster) ProtectHAU(ctx context.Context, id string) (ProtectStats, err
 	// for the duration of the arm; cl.standbys takes over on success.
 	cl.migrating[id] = true
 	cl.migrating[up] = true
-	grd := cl.guardLocked(ErrFailoverAborted)
+	a := cl.appOf(id)
+	grd := cl.appGuardLocked(a, ErrFailoverAborted)
 	rootCtx := cl.rootCtx
 	cl.mu.Unlock()
 	defer func() {
@@ -304,8 +305,8 @@ func (cl *Cluster) ProtectHAU(ctx context.Context, id string) (ProtectStats, err
 		cl.logf("cluster: standby for %q placed on node %d in the primary's rack (no alive node outside it) — a rack failure kills both", id, sbNode)
 	}
 
-	cl.ctrl.PauseCheckpoints()
-	defer cl.ctrl.ResumeCheckpoints()
+	a.ctrl.PauseCheckpoints()
+	defer a.ctrl.ResumeCheckpoints()
 	if _, err := grd.quiesce(ctx); err != nil {
 		return stats, err
 	}
@@ -424,7 +425,8 @@ func (cl *Cluster) FailoverHAU(ctx context.Context, id string) (FailoverStats, e
 		cl.mu.Unlock()
 		return stats, grdlessAbort("upstream %q is dead; rollback must heal both", sb.up)
 	}
-	grd := cl.guardLocked(ErrFailoverAborted)
+	a := cl.appOf(id)
+	grd := cl.appGuardLocked(a, ErrFailoverAborted)
 	mainIn := cl.inEdges[id]
 	rootCtx := cl.rootCtx
 	obs := cl.failObs
@@ -480,24 +482,19 @@ func (cl *Cluster) FailoverHAU(ctx context.Context, id string) (FailoverStats, e
 	cl.hauNode[id] = sb.node
 	cl.inEdges[id] = [][]*spe.Edge{{sb.mirror}}
 	cl.installControllerHAUs()
-	deadLeft := false
-	for _, inc := range cl.incarnationsLocked() {
-		n, ok := cl.hauNode[inc]
-		if !ok || !cl.nodes[n].alive.Load() {
-			deadLeft = true
-			break
-		}
-	}
+	deadLeft := len(cl.deadOfLocked(a)) > 0
 	cl.mu.Unlock()
 	stats.Switch = time.Since(switchStart)
 	if !deadLeft {
-		// Every HAU is live again without any rollback: re-arm failure
-		// detection.
-		cl.ctrl.ClearFailure()
+		// Every HAU of the app is live again without any rollback: re-arm
+		// its failure detection. Co-tenant failures are the co-tenant
+		// controller's business.
+		a.ctrl.ClearFailure()
 	}
 	if cl.cfg.Metrics != nil {
 		cl.cfg.Metrics.RecordFailover(metrics.Failover{
 			At:         cl.cfg.Now(),
+			App:        a.name,
 			HAU:        id,
 			From:       stats.From,
 			To:         stats.To,
@@ -558,7 +555,7 @@ func (cl *Cluster) haStep() (int, error) {
 		return 0, nil
 	}
 	ctx := cl.rootCtx
-	g := cl.cfg.App.Graph
+	g := cl.graph
 	var rollback time.Duration
 	if cl.cfg.Metrics != nil {
 		if rs := cl.cfg.Metrics.Recoveries(); len(rs) > 0 {

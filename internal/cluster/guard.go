@@ -11,13 +11,21 @@ import (
 // Every live topology operation — migration, rescale, drain, failover —
 // shares one abort contract: capture the recovery generation under cl.mu
 // after validating, re-check it at every commit point (a whole-application
-// rollback bumping cl.gen rebuilt every HAU, so the operation's captured
-// instances are stale), and surface every give-up wrapped in the
+// rollback bumping the generation rebuilt every HAU, so the operation's
+// captured instances are stale), and surface every give-up wrapped in the
 // operation's sentinel error. opGuard is that contract, shared so the
 // quiesce epoch and the token-barrier blob drain are written once instead
 // of once per operation.
+//
+// Guards come in two scopes. App-scoped guards (appGuardLocked) track one
+// application's recovery generation and poll only that app's controller,
+// catalog and liveness — a co-tenant's rollback neither aborts the
+// operation nor wedges its quiesce. Fleet-scoped guards (guardLocked)
+// track the global generation and are used by operations that span apps
+// (node drains).
 type opGuard struct {
 	cl    *Cluster
+	app   *appState // nil for fleet-scoped guards
 	gen0  uint64
 	abort error // the operation's sentinel (ErrMigrationAborted, ...)
 }
@@ -27,18 +35,48 @@ const (
 	drainTimeout   = 10 * time.Second
 )
 
-// guardLocked captures the current recovery generation. Held lock: cl.mu.
+// guardLocked captures the current fleet recovery generation. Held lock:
+// cl.mu.
 func (cl *Cluster) guardLocked(abort error) opGuard {
 	return opGuard{cl: cl, gen0: cl.gen, abort: abort}
 }
 
-// supersededLocked reports whether a recovery has bumped the generation
-// since the guard was captured. Held lock: cl.mu.
-func (g opGuard) supersededLocked() bool { return g.cl.gen != g.gen0 }
+// appGuardLocked captures app a's recovery generation: only a rollback of
+// THIS app supersedes the operation. Held lock: cl.mu.
+func (cl *Cluster) appGuardLocked(a *appState, abort error) opGuard {
+	return opGuard{cl: cl, app: a, gen0: a.gen, abort: abort}
+}
+
+// supersededLocked reports whether a recovery has bumped the guarded
+// generation since the guard was captured. Held lock: cl.mu.
+func (g opGuard) supersededLocked() bool {
+	if g.app != nil {
+		return g.app.gen != g.gen0
+	}
+	return g.cl.gen != g.gen0
+}
 
 // errf wraps a give-up reason in the operation's sentinel.
 func (g opGuard) errf(format string, args ...any) error {
 	return fmt.Errorf("%w: "+format, append([]any{g.abort}, args...)...)
+}
+
+// deadHAUs returns the failure probe scoped like the guard: only the
+// guarded app's HAUs, or every app's for fleet guards.
+func (g opGuard) deadHAUs() []string {
+	if g.app != nil {
+		return g.cl.deadHAUsOf(g.app)
+	}
+	return g.cl.DeadHAUs()
+}
+
+// mostRecentComplete consults the guarded app's catalog (fleet guards use
+// the anchor app's — they only exist in single-app flows).
+func (g opGuard) mostRecentComplete() (uint64, bool) {
+	if g.app != nil {
+		return g.app.catalog.MostRecentComplete()
+	}
+	return g.cl.catalog.MostRecentComplete()
 }
 
 // quiesce drives one fresh checkpoint epoch to completion and returns it.
@@ -48,16 +86,19 @@ func (g opGuard) errf(format string, args ...any) error {
 // and the caller aborts. Callers pause the controller's own triggers
 // first, so completion means no token alignment is in flight afterwards.
 func (g opGuard) quiesce(ctx context.Context) (uint64, error) {
-	cl := g.cl
-	ep := cl.ctrl.TriggerCheckpoint()
+	ctrl := g.cl.ctrl
+	if g.app != nil {
+		ctrl = g.app.ctrl
+	}
+	ep := ctrl.TriggerCheckpoint()
 	deadline := time.After(quiesceTimeout)
 	tick := time.NewTicker(500 * time.Microsecond)
 	defer tick.Stop()
 	for {
-		if mrc, ok := cl.catalog.MostRecentComplete(); ok && mrc >= ep {
+		if mrc, ok := g.mostRecentComplete(); ok && mrc >= ep {
 			return ep, nil
 		}
-		if len(cl.DeadHAUs()) > 0 {
+		if len(g.deadHAUs()) > 0 {
 			// A member HAU's node is down: the epoch can never complete.
 			return ep, g.errf("node failure during quiesce")
 		}
@@ -102,7 +143,7 @@ func (g opGuard) drainBlob(ctx context.Context, id string, h *spe.HAU, reply <-c
 			// An upstream's node died: its migration token will never
 			// arrive, so the drain cannot complete. Bail out now rather
 			// than burning the whole timeout — recovery is coming anyway.
-			if len(g.cl.DeadHAUs()) > 0 {
+			if len(g.deadHAUs()) > 0 {
 				return nil, g.errf("node failure during drain")
 			}
 		}

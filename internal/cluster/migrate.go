@@ -107,7 +107,8 @@ func (cl *Cluster) MigrateHAU(ctx context.Context, id string, dest int) (Migrati
 		return stats, fmt.Errorf("cluster: HAU %q is pinned by active-standby replication (protected or adjacent to a protected HAU); demote first", id)
 	}
 	cl.migrating[id] = true
-	grd := cl.guardLocked(ErrMigrationAborted)
+	a := cl.appOf(id)
+	grd := cl.appGuardLocked(a, ErrMigrationAborted)
 	cl.mu.Unlock()
 	defer func() {
 		cl.mu.Lock()
@@ -121,8 +122,8 @@ func (cl *Cluster) MigrateHAU(ctx context.Context, id string, dest int) (Migrati
 	// Pausing first and then driving one fresh epoch to completion
 	// guarantees it: completion means every HAU finished aligning, and the
 	// pause stops new epochs until the move is done.
-	cl.ctrl.PauseCheckpoints()
-	defer cl.ctrl.ResumeCheckpoints()
+	a.ctrl.PauseCheckpoints()
+	defer a.ctrl.ResumeCheckpoints()
 	if _, err := grd.quiesce(ctx); err != nil {
 		return stats, err
 	}
@@ -134,7 +135,7 @@ func (cl *Cluster) MigrateHAU(ctx context.Context, id string, dest int) (Migrati
 		cl.mu.Unlock()
 		return stats, grd.errf("superseded before drain")
 	}
-	g := cl.cfg.App.Graph
+	g := cl.graph
 	ups := g.Upstream(id)
 	// One fresh edge per upstream INCARNATION: a split upstream has several,
 	// each diverted at the same logical out port.
@@ -222,6 +223,7 @@ func (cl *Cluster) MigrateHAU(ctx context.Context, id string, dest int) (Migrati
 	if cl.cfg.Metrics != nil {
 		cl.cfg.Metrics.RecordMigration(metrics.Migration{
 			At:         cl.cfg.Now(),
+			App:        a.name,
 			HAU:        id,
 			From:       stats.From,
 			To:         stats.To,

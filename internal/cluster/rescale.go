@@ -73,20 +73,10 @@ func (cl *Cluster) expandedLocked(id string) []string {
 	return []string{id}
 }
 
-// incarnationsLocked returns every live incarnation id, graph order then
-// replica order — the catalog membership set. Held lock: cl.mu.
-func (cl *Cluster) incarnationsLocked() []string {
-	var out []string
-	for _, id := range cl.cfg.App.Graph.Nodes() {
-		out = append(out, cl.expandedLocked(id)...)
-	}
-	return out
-}
-
 // freshInGridLocked allocates the input-edge grid for one incarnation of
 // graph node base under the CURRENT partition geometry. Held lock: cl.mu.
 func (cl *Cluster) freshInGridLocked(base, inc string) [][]*spe.Edge {
-	g := cl.cfg.App.Graph
+	g := cl.graph
 	ups := g.Upstream(base)
 	grid := make([][]*spe.Edge, len(ups))
 	for p, up := range ups {
@@ -99,11 +89,14 @@ func (cl *Cluster) freshInGridLocked(base, inc string) [][]*spe.Edge {
 	return grid
 }
 
-// snapshotPartsLocked deep-copies the live geometry for the journal.
+// snapshotPartsLocked deep-copies app a's live geometry for its journal.
 // Routers are rebuilt on adoption, not stored. Held lock: cl.mu.
-func (cl *Cluster) snapshotPartsLocked() map[string]*partState {
-	out := make(map[string]*partState, len(cl.parts))
+func (cl *Cluster) snapshotPartsLocked(a *appState) map[string]*partState {
+	out := make(map[string]*partState)
 	for id, ps := range cl.parts {
+		if cl.appOf(id) != a {
+			continue
+		}
 		out[id] = &partState{
 			Base:       id,
 			Replicas:   append([]string(nil), ps.Replicas...),
@@ -114,37 +107,45 @@ func (cl *Cluster) snapshotPartsLocked() map[string]*partState {
 	return out
 }
 
-// adoptGeometryLocked installs the partition geometry journalled for epoch
-// (the newest entry at or below it), resets catalog membership to match,
-// and prunes bookkeeping for incarnations the adopted geometry does not
-// name. Held lock: cl.mu.
-func (cl *Cluster) adoptGeometryLocked(epoch uint64) {
+// adoptGeometryLocked installs the partition geometry app a journalled for
+// epoch (the newest entry at or below it), resets a's catalog membership to
+// match, and prunes bookkeeping for a's incarnations the adopted geometry
+// does not name. Co-tenant geometry and bookkeeping are untouched. Held
+// lock: cl.mu.
+func (cl *Cluster) adoptGeometryLocked(a *appState, epoch uint64) {
 	var best *geomEntry
-	for i := range cl.geom { // entries are appended in ascending epoch order
-		if cl.geom[i].epoch <= epoch {
-			best = &cl.geom[i]
+	for i := range a.geom { // entries are appended in ascending epoch order
+		if a.geom[i].epoch <= epoch {
+			best = &a.geom[i]
 		}
 	}
-	parts := make(map[string]*partState)
+	for id := range cl.parts {
+		if cl.appOf(id) == a {
+			delete(cl.parts, id)
+		}
+	}
 	if best != nil {
 		for id, ps := range best.parts {
-			a := ps.Assign.Clone()
-			parts[id] = &partState{
+			as := ps.Assign.Clone()
+			cl.parts[id] = &partState{
 				Base:       id,
 				Replicas:   append([]string(nil), ps.Replicas...),
-				Assign:     a,
-				Router:     partition.NewRouter(a),
+				Assign:     as,
+				Router:     partition.NewRouter(as),
 				StateBytes: append(partition.Weights(nil), ps.StateBytes...),
 			}
 		}
 	}
-	cl.parts = parts
-	valid := make(map[string]bool)
-	for _, inc := range cl.incarnationsLocked() {
+	members := cl.incarnationsOfLocked(a)
+	valid := make(map[string]bool, len(members))
+	for _, inc := range members {
 		valid[inc] = true
 	}
-	cl.catalog.SetMembers(cl.incarnationsLocked())
+	a.catalog.SetMembers(members)
 	for inc := range cl.hauNode {
+		if cl.appOf(inc) != a {
+			continue
+		}
 		if !valid[inc] {
 			delete(cl.haus, inc)
 			delete(cl.cancels, inc)
@@ -338,7 +339,7 @@ func (cl *Cluster) rescaleHAU(ctx context.Context, id string, n int, w partition
 		cl.mu.Unlock()
 		return stats, errors.New("cluster: not started")
 	}
-	g := cl.cfg.App.Graph
+	g := cl.graph
 	if len(g.Upstream(id)) == 0 || len(g.Downstream(id)) == 0 {
 		cl.mu.Unlock()
 		return stats, fmt.Errorf("cluster: only interior operators rescale, not %q", id)
@@ -363,7 +364,8 @@ func (cl *Cluster) rescaleHAU(ctx context.Context, id string, n int, w partition
 		cl.mu.Unlock()
 		return stats, fmt.Errorf("cluster: HAU %q is pinned by active-standby replication (protected or adjacent to a protected HAU); demote first", id)
 	}
-	slots, err := probeSlots(cl.cfg.App.NewOperators(id))
+	app := cl.appOf(id)
+	slots, err := probeSlots(cl.newOperators(app, id))
 	if err != nil {
 		cl.mu.Unlock()
 		return stats, err
@@ -383,7 +385,7 @@ func (cl *Cluster) rescaleHAU(ctx context.Context, id string, n int, w partition
 		}
 	}
 	cl.rescaling[id] = true
-	grd := cl.guardLocked(ErrRescaleAborted)
+	grd := cl.appGuardLocked(app, ErrRescaleAborted)
 	cl.mu.Unlock()
 	defer func() {
 		cl.mu.Lock()
@@ -393,8 +395,8 @@ func (cl *Cluster) rescaleHAU(ctx context.Context, id string, n int, w partition
 	stats.HAU, stats.From, stats.To = id, m, n
 
 	// Phase 1: quiesce (see MigrateHAU for why a FRESH epoch is driven).
-	cl.ctrl.PauseCheckpoints()
-	defer cl.ctrl.ResumeCheckpoints()
+	app.ctrl.PauseCheckpoints()
+	defer app.ctrl.ResumeCheckpoints()
 	if _, err := grd.quiesce(ctx); err != nil {
 		return stats, err
 	}
@@ -668,7 +670,7 @@ func (cl *Cluster) rescaleHAU(ctx context.Context, id string, n int, w partition
 		cl.inEdges[inc] = newInGrids[inc]
 		cl.hauNode[inc] = nodeOf[inc]
 	}
-	cl.catalog.SetMembers(cl.incarnationsLocked())
+	app.catalog.SetMembers(cl.incarnationsOfLocked(app))
 	for j, inc := range newIncs {
 		cfg, _ := cl.prepareHAU(inc)
 		nOut := 0
@@ -708,13 +710,14 @@ func (cl *Cluster) rescaleHAU(ctx context.Context, id string, n int, w partition
 	}
 	cl.mu.Lock()
 	if !grd.supersededLocked() {
-		cl.geom = append(cl.geom, geomEntry{epoch: commitEp, parts: cl.snapshotPartsLocked()})
+		app.geom = append(app.geom, geomEntry{epoch: commitEp, parts: cl.snapshotPartsLocked(app)})
 	}
 	cl.mu.Unlock()
 
 	if cl.cfg.Metrics != nil {
 		cl.cfg.Metrics.RecordRescale(metrics.Rescale{
 			At:       cl.cfg.Now(),
+			App:      app.name,
 			HAU:      id,
 			From:     m,
 			To:       n,
@@ -734,6 +737,7 @@ func (cl *Cluster) rescaleHAU(ctx context.Context, id string, n int, w partition
 			loads := assign.LoadOf(w)
 			cl.cfg.Metrics.RecordSkew(metrics.Skew{
 				At:       cl.cfg.Now(),
+				App:      app.name,
 				HAU:      id,
 				Replicas: n,
 				Shares:   partition.Shares(loads),
@@ -758,7 +762,7 @@ func (cl *Cluster) autoscaleStep() (int, error) {
 		cl.mu.Unlock()
 		return 0, nil
 	}
-	g := cl.cfg.App.Graph
+	g := cl.graph
 	ctx := cl.rootCtx
 	maxRep := cl.cfg.MaxReplicas
 	if maxRep <= 0 {
@@ -869,7 +873,7 @@ func (cl *Cluster) skewStepLocked(now time.Time, cool time.Duration, maxRep int)
 	var pickID string
 	var pickN int
 	var pickW partition.Weights
-	for _, id := range cl.cfg.App.Graph.Nodes() {
+	for _, id := range cl.graph.Nodes() {
 		ps := cl.parts[id]
 		if ps == nil || ps.Router == nil || len(ps.Replicas) < 2 {
 			delete(cl.skewHits, id)
@@ -891,7 +895,7 @@ func (cl *Cluster) skewStepLocked(now time.Time, cool time.Duration, maxRep int)
 				delete(cl.lastSkewAct, id)
 			} else if cl.cfg.Metrics != nil {
 				cl.cfg.Metrics.RecordSkew(metrics.Skew{
-					At: cl.cfg.Now(), HAU: id, Replicas: m,
+					At: cl.cfg.Now(), App: cl.appOf(id).name, HAU: id, Replicas: m,
 					Shares: partition.Shares(loads), Ratio: ratio, Action: "observe",
 				})
 			}

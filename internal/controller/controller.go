@@ -80,6 +80,15 @@ type Config struct {
 	// HAEvery enables the replication-policy tick. Zero disables it.
 	HAEvery time.Duration
 
+	// Arbiter, when set, is invoked every ArbiterEvery (the cluster wires
+	// it to the multi-tenant fair-share arbiter's step: compute per-app
+	// shares and migrate stranded HAUs onto their app's nodes). Same skip
+	// rules as Rebalance: not while paused, failed, or a previous step is
+	// running.
+	Arbiter func() (int, error)
+	// ArbiterEvery enables the fair-share tick. Zero disables it.
+	ArbiterEvery time.Duration
+
 	// PingEvery is the failure-detection poll interval.
 	PingEvery time.Duration
 	// IsAlive reports whether an HAU's node currently responds to pings.
@@ -139,6 +148,7 @@ type Controller struct {
 	scaleBusy  bool // an Autoscale invocation is in flight
 	elasBusy   bool // an Elastic invocation is in flight
 	haBusy     bool // an HA invocation is in flight
+	arbBusy    bool // an Arbiter invocation is in flight
 
 	tpCh chan tpEvent
 	done chan struct{}
@@ -436,6 +446,12 @@ func (c *Controller) Run(ctx context.Context) {
 	}
 	haTick := time.NewTicker(haEvery)
 	defer haTick.Stop()
+	arbEvery := c.cfg.ArbiterEvery
+	if c.cfg.Arbiter == nil || arbEvery <= 0 {
+		arbEvery = time.Hour
+	}
+	arbTick := time.NewTicker(arbEvery)
+	defer arbTick.Stop()
 
 	aa := c.cfg.Scheme.ApplicationAware()
 	if aa {
@@ -483,8 +499,38 @@ func (c *Controller) Run(ctx context.Context) {
 			c.maybeElastic()
 		case <-haTick.C:
 			c.maybeHA()
+		case <-arbTick.C:
+			c.maybeArbiter()
 		}
 	}
+}
+
+// maybeArbiter runs one fair-share arbitration step on its own goroutine
+// (executing a planned move blocks for a live migration drain, and failure
+// pings must keep flowing meanwhile). Skipped while a failure incident is
+// open, while checkpoints are paused, and while a previous step is still
+// running.
+func (c *Controller) maybeArbiter() {
+	c.mu.Lock()
+	fn := c.cfg.Arbiter
+	skip := fn == nil || c.arbBusy || c.failed || c.paused > 0
+	if !skip {
+		c.arbBusy = true
+	}
+	c.mu.Unlock()
+	if skip {
+		return
+	}
+	go func() {
+		defer func() {
+			c.mu.Lock()
+			c.arbBusy = false
+			c.mu.Unlock()
+		}()
+		// A failed step (a planned move lost a race with a recovery) is
+		// retried from fresh shares on the next tick.
+		_, _ = fn()
+	}()
 }
 
 // maybeHA runs one replication-policy step on its own goroutine (arming a

@@ -35,6 +35,20 @@ type Options struct {
 	Scheme spe.Scheme
 	Nodes  int
 
+	// Apps runs several applications on one shared fleet (multi-tenancy).
+	// When set, App is ignored; every spec needs a unique non-empty Name
+	// and its HAU ids are namespaced "Name/id". Apps[0] anchors the fleet
+	// control loops (rebalance, autoscale, elastic, HA, arbiter).
+	Apps []cluster.AppSpec
+	// ArbiterEvery enables the fair-share arbiter loop with the given
+	// period when at least two Apps share the fleet; 0 disables it. The
+	// arbiter computes weighted max-min fair node shares from observed
+	// per-app demand and migrates HAUs of over-share apps off nodes
+	// claimed by under-share apps.
+	ArbiterEvery time.Duration
+	// ArbiterMaxMoves bounds migrations per arbiter tick (0 = 1).
+	ArbiterMaxMoves int
+
 	// Placement chooses which node hosts each HAU (initially and when
 	// recovery re-places the HAUs of dead nodes). nil keeps round-robin.
 	Placement placement.Policy
@@ -156,6 +170,9 @@ func NewSystem(opts Options) (*System, error) {
 	opts.applyDefaults()
 	cl, err := cluster.New(cluster.Config{
 		App:                 opts.App,
+		Apps:                opts.Apps,
+		ArbiterEvery:        opts.ArbiterEvery,
+		ArbiterMaxMoves:     opts.ArbiterMaxMoves,
 		Scheme:              opts.Scheme,
 		Nodes:               opts.Nodes,
 		Placement:           opts.Placement,
@@ -213,9 +230,19 @@ func (s *System) Start(ctx context.Context) error {
 		return err
 	}
 	if s.opts.AutoRecover {
-		s.cl.SetFailureHandler(func([]string) {
-			go s.cl.RecoverAll(ctx) //nolint:errcheck // recovery errors surface via HAU state
-		})
+		if len(s.opts.Apps) > 1 {
+			// Multi-tenant: recover ONLY the application whose controller
+			// detected the failure. A co-tenant sharing the dead node has
+			// its own controller and triggers its own rollback; apps that
+			// lost nothing keep streaming untouched.
+			s.cl.SetAppFailureHandler(func(app string, _ []string) {
+				go s.cl.RecoverApp(ctx, app) //nolint:errcheck // recovery errors surface via HAU state
+			})
+		} else {
+			s.cl.SetFailureHandler(func([]string) {
+				go s.cl.RecoverAll(ctx) //nolint:errcheck // recovery errors surface via HAU state
+			})
+		}
 	}
 	return nil
 }
@@ -313,6 +340,20 @@ func (s *System) LoadShares(id string, w partition.Weights) ([]float64, float64)
 // Replicas returns the live incarnation ids of operator id (itself when
 // unsplit).
 func (s *System) Replicas(id string) []string { return s.cl.Replicas(id) }
+
+// AppNames lists the registered applications in registry order
+// (multi-tenant deployments).
+func (s *System) AppNames() []string { return s.cl.AppNames() }
+
+// RecoverApp rolls ONE application back to its most recent complete
+// checkpoint, leaving co-tenants untouched.
+func (s *System) RecoverApp(ctx context.Context, name string) (cluster.RecoveryStats, error) {
+	return s.cl.RecoverApp(ctx, name)
+}
+
+// ArbiterShares returns the fair-share arbiter's latest per-app node
+// shares (nil until the first arbitration tick).
+func (s *System) ArbiterShares() map[string]float64 { return s.cl.ArbiterShares() }
 
 // Stop shuts down all HAUs.
 func (s *System) Stop() { s.cl.StopAll() }

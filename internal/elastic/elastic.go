@@ -31,10 +31,25 @@ type NodeStat struct {
 // Schedulable reports whether the node can receive new HAU placements.
 func (s NodeStat) Schedulable() bool { return s.Alive && !s.Draining && !s.Retired }
 
-// Sample is one sampling instant across the whole fleet.
+// AppStat is one application's aggregate counters at a sampling instant —
+// the per-tenant view the trigger needs so every app's backlog weighs on
+// the scale-out decision, not just the first app to saturate its nodes.
+type AppStat struct {
+	App     string
+	Weight  float64 // fairness weight (tenant.Spec); <= 0 counts as 1
+	Queue   int     // tuples queued on the app's input edges
+	State   int64   // cached state bytes of the app's HAUs
+	CPUBusy time.Duration
+	HAUs    int
+}
+
+// Sample is one sampling instant across the whole fleet. Apps is optional:
+// single-tenant clusters leave it nil and the trigger falls back to the
+// node-level signals alone.
 type Sample struct {
 	At    time.Time
 	Nodes []NodeStat
+	Apps  []AppStat
 }
 
 // Util is one node's derived utilization over the last sampling interval.

@@ -20,8 +20,13 @@ type Hooks struct {
 	// destinations right now (replica incarnations, for example, cannot
 	// live-migrate). A node failing this check is never drained.
 	CanDrain func(node int) bool
-	Now      func() time.Time
-	Logf     func(format string, args ...any)
+	// RankDrain, when set, reorders scale-in candidates before the engine
+	// tries them (e.g. fewest distinct applications hosted first, so a
+	// shrink disrupts as few tenants as possible). It may also drop
+	// candidates by returning a shorter slice.
+	RankDrain func(cands []int) []int
+	Now       func() time.Time
+	Logf      func(format string, args ...any)
 }
 
 // Engine is the provisioner: it derives per-interval utilization from
@@ -82,7 +87,7 @@ func (e *Engine) Step() (int, error) {
 		return 0, nil // first sample only primes the busy-time deltas
 	}
 
-	d := e.trig.Observe(now, fleet, utils.utils)
+	d := e.trig.ObserveApps(now, fleet, utils.utils, s.Apps)
 	switch d.Kind {
 	case ScaleOut:
 		added := 0
@@ -100,7 +105,11 @@ func (e *Engine) Step() (int, error) {
 		}
 		return added, nil
 	case ScaleIn:
-		for _, cand := range d.Candidates {
+		cands := d.Candidates
+		if e.hooks.RankDrain != nil {
+			cands = e.hooks.RankDrain(append([]int(nil), cands...))
+		}
+		for _, cand := range cands {
 			if e.hooks.CanDrain != nil && !e.hooks.CanDrain(cand) {
 				continue
 			}

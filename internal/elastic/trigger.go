@@ -37,6 +37,14 @@ func (t *Trigger) Config() Config { return t.cfg }
 // the current number of non-retired nodes; utils carries one entry per
 // node (retired nodes may be omitted).
 func (t *Trigger) Observe(now time.Time, fleet int, utils []Util) Decision {
+	return t.ObserveApps(now, fleet, utils, nil)
+}
+
+// ObserveApps is Observe plus per-application aggregate backlog: the sum
+// of every app's queued tuples also counts against ScaleOutQueue, so two
+// tenants each at 60% of the per-node threshold still trip scale-out
+// together. A nil or single-entry apps slice degenerates to Observe.
+func (t *Trigger) ObserveApps(now time.Time, fleet int, utils []Util, apps []AppStat) Decision {
 	ws := windowSample{
 		inViolated: make(map[int]bool),
 		cpu:        make(map[int]float64),
@@ -82,6 +90,15 @@ func (t *Trigger) Observe(now time.Time, fleet int, utils []Util) Decision {
 	}
 	if t.cfg.ScaleOutQueue > 0 && maxQueue > t.cfg.ScaleOutQueue {
 		ws.outViolated = true
+	}
+	if t.cfg.ScaleOutQueue > 0 && len(apps) > 1 {
+		appQueue := 0
+		for _, a := range apps {
+			appQueue += a.Queue
+		}
+		if appQueue > t.cfg.ScaleOutQueue {
+			ws.outViolated = true
+		}
 	}
 
 	t.window = append(t.window, ws)

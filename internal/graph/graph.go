@@ -234,6 +234,56 @@ func (g *Graph) Clone() *Graph {
 	return c
 }
 
+// Renamed returns a deep copy of g with every node id passed through f.
+// Edge insertion order — and therefore every input and output port index —
+// is preserved, which a rebuild through the public AddNode/AddEdge API
+// could not guarantee (Nodes() sorts). The cluster layer uses it to
+// namespace an application's HAU ids when several applications share one
+// fleet. f must be injective over g's node ids.
+func (g *Graph) Renamed(f func(string) string) *Graph {
+	c := New()
+	for id := range g.nodes {
+		c.nodes[f(id)] = true
+	}
+	for id, ds := range g.out {
+		rds := make([]string, len(ds))
+		for i, d := range ds {
+			rds[i] = f(d)
+		}
+		c.out[f(id)] = rds
+	}
+	for id, us := range g.in {
+		rus := make([]string, len(us))
+		for i, u := range us {
+			rus[i] = f(u)
+		}
+		c.in[f(id)] = rus
+	}
+	return c
+}
+
+// Union returns a new graph containing every node and edge of the given
+// graphs. The inputs must have disjoint node id sets; a duplicate id
+// returns an error. Per-node edge order (port indices) is preserved.
+func Union(gs ...*Graph) (*Graph, error) {
+	c := New()
+	for _, g := range gs {
+		for id := range g.nodes {
+			if c.nodes[id] {
+				return nil, fmt.Errorf("graph: union: duplicate node %q", id)
+			}
+			c.nodes[id] = true
+		}
+		for id, ds := range g.out {
+			c.out[id] = append([]string(nil), ds...)
+		}
+		for id, us := range g.in {
+			c.in[id] = append([]string(nil), us...)
+		}
+	}
+	return c, nil
+}
+
 // PortOf returns the input port index on `to` that carries the stream from
 // `from`, or -1 if no such edge exists.
 func (g *Graph) PortOf(from, to string) int {

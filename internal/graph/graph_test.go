@@ -271,3 +271,59 @@ func TestQuickDepthMonotoneAlongEdges(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRenamedPreservesPorts(t *testing.T) {
+	g := New()
+	for _, id := range []string{"S1", "S2", "M", "K"} {
+		g.MustAddNode(id)
+	}
+	// Port order is the edge insertion order: S2 lands on M's port 0.
+	g.MustAddEdge("S2", "M")
+	g.MustAddEdge("S1", "M")
+	g.MustAddEdge("M", "K")
+	r := g.Renamed(func(id string) string { return "A/" + id })
+	if r.NumNodes() != 4 || r.NumEdges() != 3 {
+		t.Fatalf("renamed graph has %d nodes / %d edges", r.NumNodes(), r.NumEdges())
+	}
+	if got := r.PortOf("A/S2", "A/M"); got != 0 {
+		t.Fatalf("A/S2 -> A/M port = %d, want 0", got)
+	}
+	if got := r.PortOf("A/S1", "A/M"); got != 1 {
+		t.Fatalf("A/S1 -> A/M port = %d, want 1", got)
+	}
+	if got := r.Upstream("A/M"); len(got) != 2 || got[0] != "A/S2" || got[1] != "A/S1" {
+		t.Fatalf("upstream of A/M = %v", got)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("renamed graph invalid: %v", err)
+	}
+	// The original is untouched.
+	if !g.Has("S1") || g.Has("A/S1") {
+		t.Fatal("Renamed mutated the receiver")
+	}
+}
+
+func TestUnionDisjointApps(t *testing.T) {
+	mk := func(prefix string) *Graph {
+		g := New()
+		g.MustAddNode(prefix + "S")
+		g.MustAddNode(prefix + "K")
+		g.MustAddEdge(prefix+"S", prefix+"K")
+		return g
+	}
+	u, err := Union(mk("A/"), mk("B/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumNodes() != 4 || u.NumEdges() != 2 {
+		t.Fatalf("union has %d nodes / %d edges", u.NumNodes(), u.NumEdges())
+	}
+	// Two disjoint DAGs still form a valid query network: every node is
+	// reachable from some source.
+	if err := u.Validate(); err != nil {
+		t.Fatalf("union invalid: %v", err)
+	}
+	if _, err := Union(mk("A/"), mk("A/")); err == nil {
+		t.Fatal("union of overlapping graphs must fail")
+	}
+}

@@ -22,7 +22,8 @@ type Point struct {
 // checkpoint blobs from the shared store, disk I/O, deserializing state,
 // and reconnecting/restarting the dataflow.
 type Recovery struct {
-	At          int64 // ns timestamp of recovery completion
+	At          int64  // ns timestamp of recovery completion
+	App         string // application id ("" until multi-tenant callers tag it)
 	Epoch       uint64
 	HAUs        int // HAUs rebuilt
 	Reload      time.Duration
@@ -38,7 +39,8 @@ type Recovery struct {
 // checkpoint writer. DirtyBytes is how much state the capture re-encoded —
 // the quantity the freeze window scales with.
 type Checkpoint struct {
-	At        int64 // ns timestamp of checkpoint durability
+	At        int64  // ns timestamp of checkpoint durability
+	App       string // application id ("" until multi-tenant callers tag it)
 	HAU       string
 	Epoch     uint64
 	TokenWait time.Duration
@@ -64,7 +66,8 @@ type Checkpoint struct {
 // incarnation, the handoff downtime (neither incarnation processing), and
 // the state restore on the destination node.
 type Migration struct {
-	At         int64 // ns timestamp of migration completion
+	At         int64  // ns timestamp of migration completion
+	App        string // application id ("" until multi-tenant callers tag it)
 	HAU        string
 	From, To   int
 	MovedBytes int64
@@ -80,6 +83,7 @@ type Migration struct {
 // incarnation of the operator was processing.
 type Rescale struct {
 	At       int64         // ns timestamp of rescale completion
+	App      string        // application id ("" until multi-tenant callers tag it)
 	HAU      string        // base operator id
 	From, To int           // replica counts before and after
 	Bytes    int64         // state bytes re-sharded
@@ -98,7 +102,8 @@ type Rescale struct {
 // (these report the projected post-action spread under the weights that
 // drove the action).
 type Skew struct {
-	At       int64 // ns timestamp of the observation
+	At       int64  // ns timestamp of the observation
+	App      string // application id ("" until multi-tenant callers tag it)
 	HAU      string
 	Replicas int
 	Shares   []float64
@@ -114,7 +119,8 @@ type Skew struct {
 // (tee swap + promote command) — the availability gap a protected failure
 // costs, to compare against Recovery.Total.
 type Failover struct {
-	At       int64 // ns timestamp of failover completion
+	At       int64  // ns timestamp of failover completion
+	App      string // application id ("" until multi-tenant callers tag it)
 	HAU      string
 	From, To int // primary node, standby node
 	Wait     time.Duration
@@ -392,6 +398,77 @@ func (c *Collector) MaxGap(since, until int64) time.Duration {
 		prev = at
 	}
 	return gap
+}
+
+// RecoveriesFor returns the recoveries tagged with the given application
+// id, oldest first. The empty id matches records from single-tenant
+// clusters, which never tag.
+func (c *Collector) RecoveriesFor(app string) []Recovery {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Recovery
+	for _, r := range c.recoveries {
+		if r.App == app {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// CheckpointsFor returns the checkpoints tagged with the given application
+// id, oldest first.
+func (c *Collector) CheckpointsFor(app string) []Checkpoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Checkpoint
+	for _, ck := range c.checkpoints {
+		if ck.App == app {
+			out = append(out, ck)
+		}
+	}
+	return out
+}
+
+// RescalesFor returns the re-partitionings tagged with the given
+// application id, oldest first.
+func (c *Collector) RescalesFor(app string) []Rescale {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Rescale
+	for _, r := range c.rescales {
+		if r.App == app {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SkewsFor returns the skew observations tagged with the given application
+// id, oldest first.
+func (c *Collector) SkewsFor(app string) []Skew {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Skew
+	for _, sk := range c.skews {
+		if sk.App == app {
+			out = append(out, sk)
+		}
+	}
+	return out
+}
+
+// MigrationsFor returns the live migrations tagged with the given
+// application id, oldest first.
+func (c *Collector) MigrationsFor(app string) []Migration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Migration
+	for _, m := range c.migrations {
+		if m.App == app {
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 // Reset clears all observations.

@@ -11,6 +11,19 @@ type HAUInfo struct {
 	Node       int
 	StateBytes int64  // last sampled operator state size
 	Processed  uint64 // cumulative tuples processed since start
+	// Weight scales the HAU's load contributions by its application's
+	// fairness weight, so a heavy tenant's HAUs look proportionally larger
+	// to load-aware placement and the rebalancer. Zero means 1 (unweighted,
+	// the single-tenant default).
+	Weight float64
+}
+
+// weight returns the effective fairness weight (zero-value reads as 1).
+func (i HAUInfo) weight() float64 {
+	if i.Weight <= 0 {
+		return 1
+	}
+	return i.Weight
 }
 
 // View is a consistent snapshot of the cluster a policy decides against:
@@ -167,13 +180,14 @@ func (LoadAware) Assign(ids []string, v View) map[string]int {
 	rackCount := make(map[int]int)
 	var stateTotal, procTotal, busyTotal float64
 	for id, info := range v.HAUs {
-		stateTotal += float64(info.StateBytes)
-		procTotal += float64(info.Processed)
+		w := info.weight()
+		stateTotal += w * float64(info.StateBytes)
+		procTotal += w * float64(info.Processed)
 		if moving[id] || info.Node < 0 || info.Node >= len(v.Alive) || !v.Alive[info.Node] {
 			continue
 		}
-		state[info.Node] += float64(info.StateBytes)
-		procd[info.Node] += float64(info.Processed)
+		state[info.Node] += w * float64(info.StateBytes)
+		procd[info.Node] += w * float64(info.Processed)
 		count[info.Node]++
 		rackCount[v.Topo.RackOf(info.Node)]++
 	}
@@ -223,8 +237,9 @@ func (LoadAware) Assign(ids []string, v View) map[string]int {
 		}
 		out[id] = best
 		info := v.HAUs[id]
-		state[best] += float64(info.StateBytes)
-		procd[best] += float64(info.Processed)
+		w := info.weight()
+		state[best] += w * float64(info.StateBytes)
+		procd[best] += w * float64(info.Processed)
 		count[best]++
 		rackCount[v.Topo.RackOf(best)]++
 	}

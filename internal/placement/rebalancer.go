@@ -160,10 +160,11 @@ func (r *Rebalancer) scores(v, prev View) (map[int]float64, map[string]float64) 
 	ownRate := make(map[string]float64)
 	var stateTotal, rateTotal, busyTotal float64
 	for id, info := range v.HAUs {
-		st := float64(info.StateBytes)
+		w := info.weight()
+		st := w * float64(info.StateBytes)
 		var rate float64
 		if p, ok := prev.HAUs[id]; ok && info.Processed >= p.Processed {
-			rate = float64(info.Processed - p.Processed)
+			rate = w * float64(info.Processed-p.Processed)
 		}
 		ownState[id], ownRate[id] = st, rate
 		stateTotal += st

@@ -1400,6 +1400,17 @@ func (h *HAU) onCheckpointCmd(ctx context.Context, epoch uint64) {
 			(h.ucapArmed && epoch <= h.ucapEpoch) {
 			return
 		}
+		if h.awaiting {
+			// Still aligning an older epoch (a backlogged input keeps its
+			// token in flight longer than the checkpoint period). Adopting
+			// the newer epoch here would stamp its number on a snapshot cut
+			// at the OLD barrier — sources would then be one epoch ahead of
+			// this HAU inside the "complete" checkpoint, and rollback would
+			// lose the inter-barrier window. Skip the command: the newer
+			// epoch's tokens are already in-band behind the current ones and
+			// arm it through onToken once this alignment finishes.
+			return
+		}
 	}
 	switch {
 	case h.cfg.Scheme == MSSrc && h.src != nil:

@@ -1,0 +1,422 @@
+// Package tenant implements multi-tenancy primitives for a shared Meteor
+// Shower fleet: per-application specs with fairness weights, app-namespaced
+// HAU ids, weighted max-min fair shares computed from observed demand, and
+// an Arbiter that turns shares into bounded, cooldown-guarded placement
+// actions. The cluster layer owns the mechanics (migration, recovery); this
+// package owns the policy and stays free of cluster imports so it can be
+// unit-tested in isolation.
+package tenant
+
+import (
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sep separates the application namespace from the local HAU id. Replica
+// tags use '~' (partition.ReplicaID), so '/' is safe: BaseID("B/P0~1")
+// yields "B/P0", whose app is "B" and local id "P0". Single-app clusters
+// keep the empty prefix and bare ids — byte-compatible with every existing
+// checkpoint key and test.
+const Sep = "/"
+
+// Spec names one application sharing the fleet and its fairness weight.
+// Weights are relative: an app with weight 3 is entitled to 3x the fleet
+// share of an app with weight 1. Zero or negative weights count as 1.
+type Spec struct {
+	Name   string
+	Weight float64
+}
+
+// NormWeight returns the spec's effective weight (>= a small positive
+// floor, so a zero-valued spec still gets a share).
+func (s Spec) NormWeight() float64 {
+	if s.Weight <= 0 {
+		return 1
+	}
+	return s.Weight
+}
+
+// Qualify namespaces a local HAU id with its application. The empty app
+// name returns the id unchanged (single-tenant mode).
+func Qualify(app, id string) string {
+	if app == "" {
+		return id
+	}
+	return app + Sep + id
+}
+
+// AppOf extracts the application name from a namespaced HAU id ("" for a
+// bare single-tenant id).
+func AppOf(id string) string {
+	if i := strings.Index(id, Sep); i >= 0 {
+		return id[:i]
+	}
+	return ""
+}
+
+// LocalID strips the application namespace from an HAU id.
+func LocalID(id string) string {
+	if i := strings.Index(id, Sep); i >= 0 {
+		return id[i+len(Sep):]
+	}
+	return id
+}
+
+// Demand is one application's observed resource appetite, aggregated by the
+// cluster from its live HAUs: CPU busy time attributed over the sampling
+// interval, cached state bytes, and queued input backlog.
+type Demand struct {
+	App        string
+	Weight     float64
+	CPUBusy    time.Duration
+	StateBytes int64
+	Backlog    int
+	HAUs       int
+}
+
+// load collapses one demand to a scalar. CPU busy dominates (it is what
+// nodes actually run out of); state and backlog act as tie-breakers so an
+// idle-but-stateful app is not starved to zero.
+func (d Demand) load() float64 {
+	l := float64(d.CPUBusy)
+	l += float64(d.StateBytes) / 1024 // 1 KiB of state ~ 1ns of CPU
+	l += float64(d.Backlog) * 1e3     // 1 queued tuple ~ 1µs of CPU
+	return l
+}
+
+// FairShares computes weighted max-min fair shares (water-filling) over the
+// demands: each app is entitled to weight_i/Σweights of the capacity; apps
+// demanding less than their entitlement keep their demand, and the surplus
+// is redistributed among the still-unsatisfied apps in proportion to their
+// weights. capacity is the total load the fleet can absorb in the same
+// units as Demand.load (core-nanoseconds over the sampling interval);
+// demands may over-subscribe it, which is when the weighted entitlements
+// bind. capacity <= 0 falls back to the total observed load (shares then
+// degenerate to demand fractions). Shares are returned as fractions of
+// capacity summing to at most 1. An app with zero observed demand still
+// receives a floor share proportional to its weight so a cold-starting
+// tenant is never squeezed out entirely.
+func FairShares(demands []Demand, capacity float64) map[string]float64 {
+	shares := make(map[string]float64, len(demands))
+	if len(demands) == 0 {
+		return shares
+	}
+	var totalLoad float64
+	for _, d := range demands {
+		totalLoad += d.load()
+	}
+	if capacity <= 0 {
+		capacity = totalLoad
+	}
+	// Demand fraction of capacity per app; with no load at all, everyone
+	// demands exactly their entitlement (pure weight split).
+	demand := make(map[string]float64, len(demands))
+	weight := make(map[string]float64, len(demands))
+	var totalW float64
+	for _, d := range demands {
+		w := Spec{Weight: d.Weight}.NormWeight()
+		weight[d.App] = w
+		totalW += w
+	}
+	for _, d := range demands {
+		if totalLoad > 0 {
+			demand[d.App] = d.load() / capacity
+		} else {
+			demand[d.App] = weight[d.App] / totalW
+		}
+	}
+	// Water-filling: satisfy apps whose demand fits under their
+	// entitlement, redistribute the surplus by weight among the rest.
+	unsat := make([]string, 0, len(demands))
+	for _, d := range demands {
+		unsat = append(unsat, d.App)
+	}
+	sort.Strings(unsat) // determinism
+	free := 1.0
+	remW := totalW
+	for len(unsat) > 0 {
+		progressed := false
+		still := unsat[:0]
+		for _, app := range unsat {
+			ent := free * weight[app] / remW
+			if demand[app] <= ent {
+				shares[app] += demand[app]
+				free -= demand[app]
+				remW -= weight[app]
+				progressed = true
+			} else {
+				still = append(still, app)
+			}
+		}
+		unsat = still
+		if !progressed {
+			// Everyone left wants more than their entitlement: split the
+			// remaining capacity by weight and stop.
+			for _, app := range unsat {
+				shares[app] += free * weight[app] / remW
+			}
+			break
+		}
+		if remW <= 0 {
+			break
+		}
+	}
+	// Floor: a tenant never drops below 10% of its pure-weight entitlement,
+	// so a momentarily idle app keeps a foothold to ramp back up on.
+	for _, d := range demands {
+		floor := 0.1 * weight[d.App] / totalW
+		if shares[d.App] < floor {
+			shares[d.App] = floor
+		}
+	}
+	return shares
+}
+
+// NodeQuotas converts fair shares into integer per-app node counts over a
+// fleet of n nodes using largest-remainder rounding. Every app with live
+// HAUs gets at least one node when the fleet is large enough to allow it.
+func NodeQuotas(shares map[string]float64, demands []Demand, n int) map[string]int {
+	quotas := make(map[string]int, len(shares))
+	if n <= 0 || len(shares) == 0 {
+		return quotas
+	}
+	apps := make([]string, 0, len(shares))
+	var total float64
+	for app, s := range shares {
+		apps = append(apps, app)
+		total += s
+	}
+	sort.Strings(apps)
+	if total <= 0 {
+		total = 1
+	}
+	type rem struct {
+		app  string
+		frac float64
+	}
+	var rems []rem
+	used := 0
+	for _, app := range apps {
+		exact := shares[app] / total * float64(n)
+		q := int(exact)
+		quotas[app] = q
+		used += q
+		rems = append(rems, rem{app, exact - float64(q)})
+	}
+	sort.Slice(rems, func(i, j int) bool {
+		if rems[i].frac != rems[j].frac {
+			return rems[i].frac > rems[j].frac
+		}
+		return rems[i].app < rems[j].app
+	})
+	for i := 0; used < n && i < len(rems); i++ {
+		quotas[rems[i].app]++
+		used++
+	}
+	// Minimum footprint: an app with HAUs needs at least one node.
+	if n >= len(apps) {
+		hasHAUs := make(map[string]bool, len(demands))
+		for _, d := range demands {
+			if d.HAUs > 0 {
+				hasHAUs[d.App] = true
+			}
+		}
+		for _, app := range apps {
+			if quotas[app] == 0 && hasHAUs[app] {
+				// Take a node from the largest quota.
+				donor, best := "", 1
+				for _, a := range apps {
+					if quotas[a] > best {
+						donor, best = a, quotas[a]
+					}
+				}
+				if donor != "" {
+					quotas[donor]--
+					quotas[app]++
+				}
+			}
+		}
+	}
+	return quotas
+}
+
+// HAUView is one live HAU as the arbiter sees it.
+type HAUView struct {
+	ID      string
+	App     string
+	Node    int
+	Movable bool // live-migratable right now (not a replica, not pinned, not mid-op)
+}
+
+// View is the cluster snapshot the arbiter plans over. Capacity is the
+// total load the schedulable fleet can absorb over the sampling interval
+// (core-nanoseconds, same units as Demand.load); zero degenerates shares to
+// demand fractions.
+type View struct {
+	Nodes    []int // schedulable node indices
+	Capacity float64
+	Demands  []Demand
+	HAUs     []HAUView
+}
+
+// Action is one bounded arbitration step: migrate HAU of App from node From
+// to node To. Reason is human-readable ("quota", shown in logs).
+type Action struct {
+	App    string
+	HAU    string
+	From   int
+	To     int
+	Reason string
+}
+
+// Config tunes the arbiter.
+type Config struct {
+	// Cooldown is the minimum gap between action batches (0 = 1s).
+	Cooldown time.Duration
+	// MaxMoves bounds migrations per step (0 = 1).
+	MaxMoves int
+	// Logf receives arbitration decisions (optional).
+	Logf func(format string, args ...any)
+}
+
+// Arbiter computes per-app fair shares from observed demand and emits
+// migration actions that segregate applications onto disjoint weighted node
+// sets. Node-level segregation is what makes fair shares real under the
+// per-node CPU capacity model: co-located HAUs of different tenants contend
+// for the same cores, so a greedy tenant's flash crowd steals cycles from a
+// co-tenant unless the arbiter keeps their node sets apart (the quota-based
+// isolation Chiron argues for).
+type Arbiter struct {
+	cfg     Config
+	lastAct time.Time
+}
+
+// NewArbiter returns an arbiter with the given tuning.
+func NewArbiter(cfg Config) *Arbiter {
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = time.Second
+	}
+	if cfg.MaxMoves <= 0 {
+		cfg.MaxMoves = 1
+	}
+	return &Arbiter{cfg: cfg}
+}
+
+// Shares exposes the fair-share computation for the given view (tooling).
+func (a *Arbiter) Shares(v View) map[string]float64 {
+	return FairShares(v.Demands, v.Capacity)
+}
+
+// Step plans at most MaxMoves migrations toward the fair-share node
+// partition. It owns nodes greedily: each app claims the nodes where it
+// already hosts the most HAUs (minimizing churn), then HAUs stranded on
+// foreign nodes are moved onto their app's claimed set. Within a cooldown
+// window Step returns nil.
+func (a *Arbiter) Step(now time.Time, v View) []Action {
+	if len(v.Demands) < 2 || len(v.Nodes) == 0 {
+		return nil
+	}
+	if !a.lastAct.IsZero() && now.Sub(a.lastAct) < a.cfg.Cooldown {
+		return nil
+	}
+	shares := FairShares(v.Demands, v.Capacity)
+	quotas := NodeQuotas(shares, v.Demands, len(v.Nodes))
+
+	// Per-node, per-app HAU counts.
+	schedulable := make(map[int]bool, len(v.Nodes))
+	for _, n := range v.Nodes {
+		schedulable[n] = true
+	}
+	count := make(map[int]map[string]int)
+	for _, h := range v.HAUs {
+		if !schedulable[h.Node] {
+			continue
+		}
+		if count[h.Node] == nil {
+			count[h.Node] = make(map[string]int)
+		}
+		count[h.Node][h.App]++
+	}
+
+	// Claim nodes: apps in descending quota order pick the nodes where they
+	// already host the most HAUs, which minimizes the migrations needed to
+	// realize the partition.
+	apps := make([]string, 0, len(quotas))
+	for app := range quotas {
+		apps = append(apps, app)
+	}
+	sort.Slice(apps, func(i, j int) bool {
+		if quotas[apps[i]] != quotas[apps[j]] {
+			return quotas[apps[i]] > quotas[apps[j]]
+		}
+		return apps[i] < apps[j]
+	})
+	owner := make(map[int]string, len(v.Nodes))
+	claimed := make(map[int]bool, len(v.Nodes))
+	for _, app := range apps {
+		want := quotas[app]
+		cands := append([]int(nil), v.Nodes...)
+		sort.Slice(cands, func(i, j int) bool {
+			ci, cj := count[cands[i]][app], count[cands[j]][app]
+			if ci != cj {
+				return ci > cj
+			}
+			return cands[i] < cands[j]
+		})
+		for _, n := range cands {
+			if want == 0 {
+				break
+			}
+			if claimed[n] {
+				continue
+			}
+			owner[n] = app
+			claimed[n] = true
+			want--
+		}
+	}
+
+	// Move stranded HAUs: any movable HAU sitting on a node owned by a
+	// different app migrates to its own app's least-crowded node.
+	var actions []Action
+	loads := make(map[int]int, len(v.Nodes))
+	for _, h := range v.HAUs {
+		loads[h.Node]++
+	}
+	for _, h := range v.HAUs {
+		if len(actions) >= a.cfg.MaxMoves {
+			break
+		}
+		own, ok := owner[h.Node]
+		if !ok || own == h.App || !h.Movable {
+			continue
+		}
+		// Least-loaded node owned by h.App.
+		dest, destLoad := -1, 0
+		for _, n := range v.Nodes {
+			if owner[n] != h.App {
+				continue
+			}
+			if dest < 0 || loads[n] < destLoad {
+				dest, destLoad = n, loads[n]
+			}
+		}
+		if dest < 0 || dest == h.Node {
+			continue
+		}
+		actions = append(actions, Action{App: h.App, HAU: h.ID, From: h.Node, To: dest, Reason: "quota"})
+		loads[h.Node]--
+		loads[dest]++
+	}
+	if len(actions) > 0 {
+		a.lastAct = now
+		if a.cfg.Logf != nil {
+			for _, act := range actions {
+				a.cfg.Logf("tenant: arbiter moves %s (%s) node %d -> %d (%s)",
+					act.HAU, act.App, act.From, act.To, act.Reason)
+			}
+		}
+	}
+	return actions
+}

@@ -1,0 +1,164 @@
+package tenant
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestQualifyRoundTrip(t *testing.T) {
+	cases := []struct{ app, local, want string }{
+		{"", "P0", "P0"},
+		{"A", "P0", "A/P0"},
+		{"B", "P0~1", "B/P0~1"},
+	}
+	for _, c := range cases {
+		got := Qualify(c.app, c.local)
+		if got != c.want {
+			t.Fatalf("Qualify(%q,%q) = %q, want %q", c.app, c.local, got, c.want)
+		}
+		if AppOf(got) != c.app {
+			t.Fatalf("AppOf(%q) = %q, want %q", got, AppOf(got), c.app)
+		}
+		if LocalID(got) != c.local {
+			t.Fatalf("LocalID(%q) = %q, want %q", got, LocalID(got), c.local)
+		}
+	}
+}
+
+func TestFairSharesPureWeights(t *testing.T) {
+	// No observed load: shares follow weights exactly.
+	s := FairShares([]Demand{
+		{App: "A", Weight: 3},
+		{App: "B", Weight: 1},
+	}, 1e9)
+	if math.Abs(s["A"]-0.75) > 1e-9 || math.Abs(s["B"]-0.25) > 1e-9 {
+		t.Fatalf("shares = %v, want A=0.75 B=0.25", s)
+	}
+}
+
+func TestFairSharesSurplusRedistribution(t *testing.T) {
+	// Equal weights, but A demands far less than its 50% entitlement: A
+	// keeps its demand, B absorbs the surplus.
+	s := FairShares([]Demand{
+		{App: "A", Weight: 1, CPUBusy: 10 * time.Millisecond},
+		{App: "B", Weight: 1, CPUBusy: 90 * time.Millisecond},
+	}, float64(100*time.Millisecond))
+	if math.Abs(s["A"]-0.1) > 1e-9 {
+		t.Fatalf("A share = %v, want 0.1", s["A"])
+	}
+	if math.Abs(s["B"]-0.9) > 1e-9 {
+		t.Fatalf("B share = %v, want 0.9", s["B"])
+	}
+}
+
+func TestFairSharesBothGreedy(t *testing.T) {
+	// Both over-subscribe the capacity: weighted split wins regardless of
+	// raw demand.
+	s := FairShares([]Demand{
+		{App: "A", Weight: 3, CPUBusy: time.Second},
+		{App: "B", Weight: 1, CPUBusy: time.Second},
+	}, float64(time.Second))
+	if math.Abs(s["A"]-0.75) > 1e-9 || math.Abs(s["B"]-0.25) > 1e-9 {
+		t.Fatalf("shares = %v, want 0.75/0.25", s)
+	}
+}
+
+func TestFairSharesFloor(t *testing.T) {
+	// A momentarily idle tenant keeps a foothold (>= 10% of entitlement).
+	s := FairShares([]Demand{
+		{App: "A", Weight: 1},
+		{App: "B", Weight: 1, CPUBusy: time.Second},
+	}, float64(time.Second))
+	if s["A"] < 0.05-1e-9 {
+		t.Fatalf("idle tenant squeezed out: share %v", s["A"])
+	}
+}
+
+func TestNodeQuotasLargestRemainder(t *testing.T) {
+	q := NodeQuotas(map[string]float64{"A": 0.75, "B": 0.25},
+		[]Demand{{App: "A", HAUs: 3}, {App: "B", HAUs: 3}}, 4)
+	if q["A"] != 3 || q["B"] != 1 {
+		t.Fatalf("quotas = %v, want A=3 B=1", q)
+	}
+	// Minimum footprint: an app with HAUs never rounds to zero nodes when
+	// the fleet has room.
+	q = NodeQuotas(map[string]float64{"A": 0.95, "B": 0.05},
+		[]Demand{{App: "A", HAUs: 3}, {App: "B", HAUs: 3}}, 3)
+	if q["B"] < 1 {
+		t.Fatalf("quotas = %v, want B >= 1", q)
+	}
+	if q["A"]+q["B"] != 3 {
+		t.Fatalf("quotas %v do not cover the fleet", q)
+	}
+}
+
+func TestArbiterSegregates(t *testing.T) {
+	a := NewArbiter(Config{Cooldown: time.Millisecond, MaxMoves: 8})
+	// 4 nodes, A (weight 3) on nodes 0-2 plus one stray on node 3, B
+	// (weight 1) with a stray on node 0. Both saturated.
+	v := View{
+		Nodes:    []int{0, 1, 2, 3},
+		Capacity: float64(time.Second),
+		Demands: []Demand{
+			{App: "A", Weight: 3, CPUBusy: time.Second, HAUs: 4},
+			{App: "B", Weight: 1, CPUBusy: time.Second, HAUs: 2},
+		},
+		HAUs: []HAUView{
+			{ID: "A/P0", App: "A", Node: 0, Movable: true},
+			{ID: "A/P1", App: "A", Node: 1, Movable: true},
+			{ID: "A/P2", App: "A", Node: 2, Movable: true},
+			{ID: "A/P3", App: "A", Node: 3, Movable: true},
+			{ID: "B/P0", App: "B", Node: 0, Movable: true},
+			{ID: "B/P1", App: "B", Node: 3, Movable: true},
+		},
+	}
+	now := time.Unix(0, 0)
+	acts := a.Step(now, v)
+	if len(acts) == 0 {
+		t.Fatal("arbiter planned no moves on a mixed fleet")
+	}
+	// With quota A=3, B=1, node 3 is B's (most B HAUs among unclaimed):
+	// A/P3 must leave node 3 and B/P0 must leave A territory.
+	for _, act := range acts {
+		if act.App == "A" && act.From != 3 {
+			t.Fatalf("unexpected A move: %+v", act)
+		}
+		if act.App == "B" && act.To != 3 {
+			t.Fatalf("B moved to non-B node: %+v", act)
+		}
+	}
+	// Cooldown: an immediate second step is a no-op.
+	if again := a.Step(now, v); again != nil {
+		t.Fatalf("cooldown violated: %+v", again)
+	}
+}
+
+func TestArbiterSingleAppNoop(t *testing.T) {
+	a := NewArbiter(Config{})
+	v := View{Nodes: []int{0, 1}, Demands: []Demand{{App: "A", Weight: 1, HAUs: 1}}}
+	if acts := a.Step(time.Now(), v); acts != nil {
+		t.Fatalf("single-app step must be a no-op, got %+v", acts)
+	}
+}
+
+func TestArbiterRespectsMovable(t *testing.T) {
+	a := NewArbiter(Config{MaxMoves: 4})
+	v := View{
+		Nodes:    []int{0, 1},
+		Capacity: float64(time.Second),
+		Demands: []Demand{
+			{App: "A", Weight: 1, CPUBusy: time.Second, HAUs: 1},
+			{App: "B", Weight: 1, CPUBusy: time.Second, HAUs: 1},
+		},
+		HAUs: []HAUView{
+			{ID: "A/P0", App: "A", Node: 0, Movable: true},
+			{ID: "B/P0", App: "B", Node: 0, Movable: false},
+		},
+	}
+	for _, act := range a.Step(time.Now(), v) {
+		if act.HAU == "B/P0" {
+			t.Fatalf("arbiter moved a pinned HAU: %+v", act)
+		}
+	}
+}
